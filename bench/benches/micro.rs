@@ -1,0 +1,267 @@
+//! Criterion micro-benchmarks backing the experiments (B1–B4 in
+//! DESIGN.md §5): event trigger/dispatch throughput, channel-chain
+//! forwarding, keyed fan-out, codec round-trips, and RLE compression.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kompics::core::channel::{connect, connect_keyed};
+use kompics::core::port::Direction;
+use kompics::prelude::*;
+
+#[derive(Debug, Clone)]
+pub struct Tick(pub u64);
+impl_event!(Tick);
+
+port_type! {
+    /// Benchmark stream.
+    pub struct Pipe {
+        indication: Tick;
+        request: Tick;
+    }
+}
+
+/// Counts received ticks.
+struct Sink {
+    ctx: ComponentContext,
+    #[allow(dead_code)]
+    input: RequiredPort<Pipe>,
+    seen: Arc<AtomicU64>,
+}
+impl Sink {
+    fn new(seen: Arc<AtomicU64>) -> Self {
+        let input = RequiredPort::new();
+        input.subscribe(|this: &mut Sink, _t: &Tick| {
+            this.seen.fetch_add(1, Ordering::Relaxed);
+        });
+        Sink { ctx: ComponentContext::new(), input, seen }
+    }
+}
+impl ComponentDefinition for Sink {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Sink"
+    }
+}
+
+/// Forwards ticks onward (for chains).
+struct Relay {
+    ctx: ComponentContext,
+    #[allow(dead_code)] // keeps the port pair alive
+    input: ProvidedPort<Pipe>,
+    #[allow(dead_code)]
+    output: RequiredPort<Pipe>,
+}
+impl Relay {
+    fn new() -> Self {
+        let input: ProvidedPort<Pipe> = ProvidedPort::new();
+        let output: RequiredPort<Pipe> = RequiredPort::new();
+        input.subscribe(|this: &mut Relay, t: &Tick| {
+            this.output.trigger(Tick(t.0));
+        });
+        Relay { ctx: ComponentContext::new(), input, output }
+    }
+}
+impl ComponentDefinition for Relay {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Relay"
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_dispatch");
+    group.throughput(Throughput::Elements(1));
+    // One trigger → queue → handler execution, on the sequential scheduler
+    // (isolates the runtime path from thread wakeups).
+    let (system, scheduler) = KompicsSystem::sequential(Config::default().throughput(64));
+    let seen = Arc::new(AtomicU64::new(0));
+    let sink = system.create({
+        let s = seen.clone();
+        move || Sink::new(s)
+    });
+    system.start(&sink);
+    scheduler.run_until_quiescent();
+    let port = sink.required_ref::<Pipe>().unwrap();
+    group.bench_function("trigger_and_execute", |b| {
+        b.iter(|| {
+            port.trigger(Tick(1)).unwrap();
+            scheduler.run_until_quiescent();
+        })
+    });
+    group.finish();
+    system.shutdown();
+}
+
+/// Terminal of a relay chain: counts requests arriving at its provided
+/// port.
+struct Server {
+    ctx: ComponentContext,
+    #[allow(dead_code)]
+    input: ProvidedPort<Pipe>,
+    seen: Arc<AtomicU64>,
+}
+impl Server {
+    fn new(seen: Arc<AtomicU64>) -> Self {
+        let input: ProvidedPort<Pipe> = ProvidedPort::new();
+        input.subscribe(|this: &mut Server, _t: &Tick| {
+            this.seen.fetch_add(1, Ordering::Relaxed);
+        });
+        Server { ctx: ComponentContext::new(), input, seen }
+    }
+}
+impl ComponentDefinition for Server {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Server"
+    }
+}
+
+fn bench_channel_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_chain");
+    // A request traverses `depth` relay components before being counted by
+    // the terminal server; each hop is one channel forward plus one handler
+    // execution.
+    for depth in [1usize, 4, 16] {
+        let (system, scheduler) =
+            KompicsSystem::sequential(Config::default().throughput(64));
+        let seen = Arc::new(AtomicU64::new(0));
+        let server = system.create({
+            let s = seen.clone();
+            move || Server::new(s)
+        });
+        system.start(&server);
+        let mut head = server.provided_ref::<Pipe>().unwrap();
+        let mut relays = Vec::new();
+        for _ in 0..depth {
+            let relay = system.create(Relay::new);
+            system.start(&relay);
+            connect(&relay.required_ref::<Pipe>().unwrap(), &head).unwrap();
+            head = relay.provided_ref::<Pipe>().unwrap();
+            relays.push(relay);
+        }
+        scheduler.run_until_quiescent();
+        group.bench_function(BenchmarkId::from_parameter(depth), |b| {
+            b.iter(|| {
+                head.trigger(Tick(1)).unwrap();
+                scheduler.run_until_quiescent();
+            })
+        });
+        assert!(seen.load(Ordering::Relaxed) > 0, "requests reached the server");
+        system.shutdown();
+    }
+    group.finish();
+}
+
+/// Echoes requests back out as indications on the same provided port (the
+/// shape of the network components).
+struct Echo {
+    ctx: ComponentContext,
+    #[allow(dead_code)] // triggered from the handler via `this.input`
+    input: ProvidedPort<Pipe>,
+}
+impl Echo {
+    fn new() -> Self {
+        let input: ProvidedPort<Pipe> = ProvidedPort::new();
+        input.subscribe(|this: &mut Echo, t: &Tick| {
+            this.input.trigger(Tick(t.0));
+        });
+        Echo { ctx: ComponentContext::new(), input }
+    }
+}
+impl ComponentDefinition for Echo {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Echo"
+    }
+}
+
+fn bench_keyed_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyed_fanout");
+    // One provider port with N keyed channels: keyed dispatch should stay
+    // ~O(1) in the number of channels.
+    for channels in [4usize, 64, 512] {
+        let (system, scheduler) =
+            KompicsSystem::sequential(Config::default().throughput(64));
+        let hub = system.create(Echo::new);
+        system.start(&hub);
+        let provided = hub.provided_ref::<Pipe>().unwrap();
+        provided.set_key_extractor(Arc::new(|event, dir| {
+            if dir != Direction::Positive {
+                return None;
+            }
+            kompics::core::event::event_as::<Tick>(event).map(|t| t.0)
+        }));
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut sinks = Vec::new();
+        for key in 0..channels {
+            let sink = system.create({
+                let s = seen.clone();
+                move || Sink::new(s)
+            });
+            system.start(&sink);
+            connect_keyed(&provided, &sink.required_ref::<Pipe>().unwrap(), key as u64)
+                .unwrap();
+            sinks.push(sink);
+        }
+        scheduler.run_until_quiescent();
+        group.bench_function(BenchmarkId::from_parameter(channels), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                // Request in; the relay re-emits; keyed dispatch routes to
+                // exactly one sink.
+                provided.trigger(Tick(i % channels as u64)).unwrap();
+                scheduler.run_until_quiescent();
+                i += 1;
+            })
+        });
+        system.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use kompics::cats::key::RingKey;
+    use kompics::cats::msgs::{Tag, WriteQueryMsg};
+    use kompics::network::{Address, Message};
+
+    let msg = WriteQueryMsg {
+        base: Message::new(Address::local(8080, 1), Address::local(8081, 2)),
+        rid: 42,
+        key: RingKey(7),
+        tag: Tag { seq: 9, writer: 1 },
+        value: Some(vec![0xAB; 1024]),
+    };
+    let bytes = kompics::codec::to_bytes(&msg).unwrap();
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_1k_write", |b| {
+        b.iter(|| kompics::codec::to_bytes(&msg).unwrap())
+    });
+    group.bench_function("decode_1k_write", |b| {
+        b.iter(|| kompics::codec::from_bytes::<WriteQueryMsg>(&bytes).unwrap())
+    });
+    let compressible = vec![0x77u8; 64 * 1024];
+    group.throughput(Throughput::Bytes(compressible.len() as u64));
+    group.bench_function("rle_compress_64k", |b| {
+        b.iter(|| kompics::codec::rle_compress(&compressible))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dispatch, bench_channel_chain, bench_keyed_fanout, bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! **E2** — read-intensive throughput scaling (paper §4.1).
+//!
+//! The paper reports CATS scaling on Rackspace to 96 machines at just over
+//! 100,000 reads/s for read-intensive workloads on 1 KiB values. Lacking a
+//! testbed, this binary sweeps cluster sizes *inside one process* (the
+//! in-process network, multi-core scheduler) with a closed-loop
+//! read-intensive workload (95% get / 5% put) from multiple client threads,
+//! and reports aggregate throughput per cluster size. The expected shape is
+//! near-linear growth while cores are available, then a plateau.
+//!
+//! Run with `cargo run --release -p bench --bin exp2_throughput_scaling`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::env_u64;
+use kompics::cats::abd::AbdConfig;
+use kompics::cats::key::RingKey;
+use kompics::cats::local::{LocalCatsCluster, OpOutcome};
+use kompics::cats::node::CatsConfig;
+use kompics::cats::ring::RingConfig;
+use kompics::prelude::*;
+use kompics::protocols::cyclon::CyclonConfig;
+use kompics::protocols::fd::FdConfig;
+
+fn config() -> CatsConfig {
+    CatsConfig {
+        replication: Some(3),
+        ring: RingConfig { stabilize_period: Duration::from_millis(100), ..RingConfig::default() },
+        fd: FdConfig {
+            initial_delay: Duration::from_millis(500),
+            delta: Duration::from_millis(250),
+        },
+        cyclon: CyclonConfig { period: Duration::from_millis(250), ..CyclonConfig::default() },
+        abd: AbdConfig { op_timeout: Duration::from_secs(2), max_retries: 4, ..AbdConfig::default() },
+    }
+}
+
+fn main() {
+    let duration = Duration::from_millis(env_u64("KOMPICS_E2_MS", 2_000));
+    let clients = env_u64("KOMPICS_E2_CLIENTS", 8) as usize;
+    let sizes: Vec<usize> = std::env::var("KOMPICS_E2_SIZES")
+        .ok()
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![2, 4, 8, 16, 32]);
+    println!(
+        "E2 — read-intensive throughput (95/5 get/put, 1 KiB values), {clients} closed-loop \
+         client threads, {duration:?} measured window per size\n"
+    );
+    println!("{:>8} | {:>14} | {:>14} | {:>10}", "Nodes", "reads/s", "writes/s", "failures");
+    println!("{:->8}-+-{:->14}-+-{:->14}-+-{:->10}", "", "", "", "");
+
+    let mut last_throughput = 0.0;
+    for &size in &sizes {
+        let mut cluster = LocalCatsCluster::new(Config::default(), config());
+        for i in 0..size {
+            cluster.add_node((i as u64 + 1) * 1_000);
+        }
+        assert!(
+            cluster.await_converged(Duration::from_secs(60)),
+            "cluster of {size} did not converge"
+        );
+        // Preload keys.
+        let value = vec![0xEE; 1024];
+        for key in 0..256u64 {
+            assert_eq!(
+                cluster.put(key * 131, RingKey(key), value.clone(), Duration::from_secs(10)),
+                OpOutcome::Put
+            );
+        }
+
+        let cluster = Arc::new(cluster);
+        let reads = Arc::new(AtomicU64::new(0));
+        let writes = Arc::new(AtomicU64::new(0));
+        let failures = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let cluster = Arc::clone(&cluster);
+            let (reads, writes, failures, stop) = (
+                Arc::clone(&reads),
+                Arc::clone(&writes),
+                Arc::clone(&failures),
+                Arc::clone(&stop),
+            );
+            let value = value.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut i: u64 = c as u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let key = RingKey(i % 256);
+                    let node = (i * 2_654_435_761) % 100_000;
+                    let outcome = if i % 20 == 0 {
+                        let r = cluster.put(node, key, value.clone(), Duration::from_secs(5));
+                        writes.fetch_add(1, Ordering::Relaxed);
+                        r
+                    } else {
+                        let r = cluster.get(node, key, Duration::from_secs(5));
+                        reads.fetch_add(1, Ordering::Relaxed);
+                        r
+                    };
+                    if matches!(outcome, OpOutcome::Failed(_)) {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            }));
+        }
+        let started = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let r = reads.load(Ordering::Relaxed) as f64 / elapsed;
+        let w = writes.load(Ordering::Relaxed) as f64 / elapsed;
+        println!(
+            "{:>8} | {:>14.0} | {:>14.0} | {:>10}",
+            size,
+            r,
+            w,
+            failures.load(Ordering::Relaxed)
+        );
+        last_throughput = r;
+        cluster.shutdown();
+    }
+    println!(
+        "\nShape check (paper §4.1): on the paper's testbed every node owns a \
+         machine, so aggregate throughput scales to ~100 kreads/s at 96 nodes. \
+         In-process all nodes share this host's cores: aggregate throughput \
+         saturates as soon as the cores do, and adding nodes only adds protocol \
+         overhead (expect flat-to-gently-declining totals with zero failures). \
+         The per-node scale-out shape requires one process per machine — wire \
+         the same node assemblies over `TcpNetwork` across hosts to reproduce \
+         it. Final size reached {last_throughput:.0} reads/s."
+    );
+}

@@ -1,0 +1,113 @@
+//! Ring-key arithmetic for consistent hashing on the `u64` identifier
+//! circle.
+
+use serde::{Deserialize, Serialize};
+
+/// A position on the identifier ring. Node ids ([`Address::id`]) and data
+/// keys share the same space; a key is stored at its *successor* — the
+/// first node clockwise from it — and replicated on the following nodes.
+///
+/// [`Address::id`]: kompics_network::Address
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RingKey(pub u64);
+
+impl RingKey {
+    /// Whether `self` lies in the half-open ring interval `(from, to]`,
+    /// walking clockwise. When `from == to`, the interval is the full ring
+    /// (every key belongs to a sole node).
+    pub fn in_interval(self, from: RingKey, to: RingKey) -> bool {
+        if from == to {
+            true
+        } else if from < to {
+            from < self && self <= to
+        } else {
+            // Interval wraps zero.
+            self > from || self <= to
+        }
+    }
+
+    /// Clockwise distance from `self` to `other`.
+    pub fn distance_to(self, other: RingKey) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+}
+
+impl From<u64> for RingKey {
+    fn from(raw: u64) -> Self {
+        RingKey(raw)
+    }
+}
+
+impl std::fmt::Display for RingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Picks, from `members` (node ids present in a view), the id responsible
+/// for `key` — the first member clockwise at or after the key — followed by
+/// the next `group_size - 1` distinct members: the replication group.
+///
+/// `members` must be sorted ascending. Returns at most
+/// `min(group_size, members.len())` ids.
+pub fn replication_group(members: &[u64], key: RingKey, group_size: usize) -> Vec<u64> {
+    if members.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members sorted");
+    let start = members.partition_point(|&m| m < key.0) % members.len();
+    let take = group_size.min(members.len());
+    (0..take).map(|i| members[(start + i) % members.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_without_wrap() {
+        assert!(RingKey(5).in_interval(RingKey(3), RingKey(7)));
+        assert!(RingKey(7).in_interval(RingKey(3), RingKey(7)), "closed at `to`");
+        assert!(!RingKey(3).in_interval(RingKey(3), RingKey(7)), "open at `from`");
+        assert!(!RingKey(8).in_interval(RingKey(3), RingKey(7)));
+    }
+
+    #[test]
+    fn interval_with_wrap() {
+        assert!(RingKey(1).in_interval(RingKey(u64::MAX - 1), RingKey(3)));
+        assert!(RingKey(u64::MAX).in_interval(RingKey(u64::MAX - 1), RingKey(3)));
+        assert!(!RingKey(10).in_interval(RingKey(u64::MAX - 1), RingKey(3)));
+    }
+
+    #[test]
+    fn degenerate_interval_is_full_ring() {
+        assert!(RingKey(42).in_interval(RingKey(9), RingKey(9)));
+        assert!(RingKey(9).in_interval(RingKey(9), RingKey(9)));
+    }
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(RingKey(10).distance_to(RingKey(13)), 3);
+        assert_eq!(RingKey(u64::MAX).distance_to(RingKey(2)), 3);
+        assert_eq!(RingKey(5).distance_to(RingKey(5)), 0);
+    }
+
+    #[test]
+    fn group_starts_at_successor_and_wraps() {
+        let members = [10u64, 20, 30, 40];
+        assert_eq!(replication_group(&members, RingKey(15), 3), vec![20, 30, 40]);
+        assert_eq!(replication_group(&members, RingKey(20), 3), vec![20, 30, 40]);
+        assert_eq!(replication_group(&members, RingKey(35), 3), vec![40, 10, 20]);
+        assert_eq!(replication_group(&members, RingKey(45), 2), vec![10, 20]);
+        assert_eq!(replication_group(&members, RingKey(5), 1), vec![10]);
+    }
+
+    #[test]
+    fn group_caps_at_membership_size() {
+        let members = [7u64, 9];
+        assert_eq!(replication_group(&members, RingKey(8), 5), vec![9, 7]);
+        assert!(replication_group(&[], RingKey(1), 3).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! CATS wire messages (ring maintenance + ABD quorum rounds).
+
+use kompics_core::impl_event;
+use kompics_network::{Address, Message, MessageRegistry, NetworkError};
+use serde::{Deserialize, Serialize};
+
+use crate::key::RingKey;
+
+/// A totally ordered write timestamp: `(sequence, writer id)`. Lexicographic
+/// order makes concurrent writers resolve deterministically.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tag {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Id of the writing node (tie breaker).
+    pub writer: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Ring maintenance
+// ---------------------------------------------------------------------------
+
+/// Routed toward the successor of `joiner.id`; answered with
+/// [`JoinReplyMsg`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinLookupMsg {
+    /// Message header.
+    pub base: Message,
+    /// The joining node.
+    pub joiner: Address,
+    /// Hop counter (diagnostics, loop guard).
+    pub hops: u32,
+}
+impl_event!(JoinLookupMsg, extends Message, via base);
+
+/// Join answer from the responsible node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinReplyMsg {
+    /// Message header.
+    pub base: Message,
+    /// The joiner's new successor list (starting with its successor).
+    pub successors: Vec<Address>,
+}
+impl_event!(JoinReplyMsg, extends Message, via base);
+
+/// Stabilization probe: "who is your predecessor?"
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GetPredMsg {
+    /// Message header.
+    pub base: Message,
+}
+impl_event!(GetPredMsg, extends Message, via base);
+
+/// Stabilization answer: predecessor and successor list of the probed node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredReplyMsg {
+    /// Message header.
+    pub base: Message,
+    /// The probed node's predecessor, if known.
+    pub predecessor: Option<Address>,
+    /// The probed node's successor list.
+    pub successors: Vec<Address>,
+}
+impl_event!(PredReplyMsg, extends Message, via base);
+
+/// "I believe I am your predecessor."
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NotifyMsg {
+    /// Message header.
+    pub base: Message,
+}
+impl_event!(NotifyMsg, extends Message, via base);
+
+// ---------------------------------------------------------------------------
+// ABD quorum rounds
+// ---------------------------------------------------------------------------
+
+/// Phase-1 query: read the stored tag (and value) for `key`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadQueryMsg {
+    /// Message header.
+    pub base: Message,
+    /// Operation round id, unique per coordinator.
+    pub rid: u64,
+    /// The queried key.
+    pub key: RingKey,
+}
+impl_event!(ReadQueryMsg, extends Message, via base);
+
+/// Phase-1 reply carrying the replica's current `(tag, value)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadReplyMsg {
+    /// Message header.
+    pub base: Message,
+    /// Echoed round id.
+    pub rid: u64,
+    /// Stored write timestamp (default for never-written keys).
+    pub tag: Tag,
+    /// Stored value, if any.
+    pub value: Option<Vec<u8>>,
+}
+impl_event!(ReadReplyMsg, extends Message, via base);
+
+/// Phase-2 update: install `(tag, value)` if newer than stored.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteQueryMsg {
+    /// Message header.
+    pub base: Message,
+    /// Operation round id.
+    pub rid: u64,
+    /// The written key.
+    pub key: RingKey,
+    /// The imposing timestamp.
+    pub tag: Tag,
+    /// The imposed value.
+    pub value: Option<Vec<u8>>,
+}
+impl_event!(WriteQueryMsg, extends Message, via base);
+
+/// Phase-2 acknowledgement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteAckMsg {
+    /// Message header.
+    pub base: Message,
+    /// Echoed round id.
+    pub rid: u64,
+}
+impl_event!(WriteAckMsg, extends Message, via base);
+
+/// Registers all CATS wire messages under `base_tag .. base_tag + 8`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError::DuplicateTag`].
+pub fn register_messages(
+    registry: &mut MessageRegistry,
+    base_tag: u64,
+) -> Result<(), NetworkError> {
+    registry.register::<JoinLookupMsg>(base_tag)?;
+    registry.register::<JoinReplyMsg>(base_tag + 1)?;
+    registry.register::<GetPredMsg>(base_tag + 2)?;
+    registry.register::<PredReplyMsg>(base_tag + 3)?;
+    registry.register::<NotifyMsg>(base_tag + 4)?;
+    registry.register::<ReadQueryMsg>(base_tag + 5)?;
+    registry.register::<ReadReplyMsg>(base_tag + 6)?;
+    registry.register::<WriteQueryMsg>(base_tag + 7)?;
+    registry.register::<WriteAckMsg>(base_tag + 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_order_is_seq_then_writer() {
+        assert!(Tag { seq: 2, writer: 1 } > Tag { seq: 1, writer: 9 });
+        assert!(Tag { seq: 1, writer: 2 } > Tag { seq: 1, writer: 1 });
+        assert_eq!(Tag::default(), Tag { seq: 0, writer: 0 });
+    }
+
+    #[test]
+    fn all_messages_register_and_roundtrip() {
+        let mut registry = MessageRegistry::new();
+        register_messages(&mut registry, 500).unwrap();
+        let msg = WriteQueryMsg {
+            base: Message::new(Address::sim(1), Address::sim(2)),
+            rid: 7,
+            key: RingKey(9),
+            tag: Tag { seq: 3, writer: 1 },
+            value: Some(vec![1, 2, 3]),
+        };
+        let (tag, bytes) = registry.encode(&msg).unwrap();
+        let back = registry.decode(tag, &bytes).unwrap();
+        let back = kompics_core::event_as::<WriteQueryMsg>(back.as_ref()).unwrap();
+        assert_eq!(back.tag, Tag { seq: 3, writer: 1 });
+        assert_eq!(back.value.as_deref(), Some(&[1u8, 2, 3][..]));
+    }
+}

@@ -1,0 +1,471 @@
+//! The CATS Ring component: distributed-hash-table topology maintenance.
+//!
+//! Chord-style ring with successor lists: a joining node locates its
+//! successor by routing a [`JoinLookupMsg`] around the ring; periodic
+//! stabilization exchanges predecessor/successor information to converge
+//! after joins; the ping failure detector removes crashed neighbors.
+//! Membership changes are published as [`RingNeighbors`] indications, which
+//! the one-hop router folds into its full-membership view.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::prelude::*;
+use kompics_network::{Address, Message, Network};
+use kompics_protocols::fd::{EventuallyPerfectFd, Restore, StartMonitoring, StopMonitoring, Suspect};
+use kompics_protocols::monitor::{Status, StatusRequest, StatusResponse};
+use kompics_timer::{SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
+
+use crate::key::RingKey;
+use crate::msgs::{GetPredMsg, JoinLookupMsg, JoinReplyMsg, NotifyMsg, PredReplyMsg};
+
+// ---------------------------------------------------------------------------
+// Port type and events
+// ---------------------------------------------------------------------------
+
+/// Request: join the ring through the given seed nodes (empty ⇒ found a new
+/// ring).
+#[derive(Debug, Clone)]
+pub struct RingJoin {
+    /// Nodes already in the system (e.g. from the bootstrap service).
+    pub seeds: Vec<Address>,
+}
+impl_event!(RingJoin);
+
+/// Indication: the node's current ring neighborhood changed.
+#[derive(Debug, Clone)]
+pub struct RingNeighbors {
+    /// This node.
+    pub node: Address,
+    /// Current predecessor, if known.
+    pub predecessor: Option<Address>,
+    /// Current successor list (nearest first; empty ⇒ alone on the ring).
+    pub successors: Vec<Address>,
+}
+impl_event!(RingNeighbors);
+
+/// Indication: the join protocol completed (a successor was adopted, or a
+/// fresh ring was founded).
+#[derive(Debug, Clone)]
+pub struct JoinCompleted {
+    /// This node.
+    pub node: Address,
+}
+impl_event!(JoinCompleted);
+
+port_type! {
+    /// The ring-topology abstraction provided by [`CatsRing`].
+    pub struct RingPort {
+        indication: RingNeighbors, JoinCompleted;
+        request: RingJoin;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component
+// ---------------------------------------------------------------------------
+
+/// Ring parameters.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Successor-list length (also bounds fault tolerance). Default 4.
+    pub successor_list_len: usize,
+    /// Stabilization period. Default 500 ms.
+    pub stabilize_period: Duration,
+    /// Hop budget for join lookups (loop guard). Default 512.
+    pub max_join_hops: u32,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            successor_list_len: 4,
+            stabilize_period: Duration::from_millis(500),
+            max_join_hops: 512,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StabilizeTick {
+    base: Timeout,
+}
+impl_event!(StabilizeTick, extends Timeout, via base);
+
+/// The ring-maintenance component: provides [`RingPort`] and [`Status`];
+/// requires `Network`, `Timer` and the failure detector.
+pub struct CatsRing {
+    ctx: ComponentContext,
+    ring: ProvidedPort<RingPort>,
+    status: ProvidedPort<Status>,
+    net: RequiredPort<Network>,
+    timer: RequiredPort<Timer>,
+    fd: RequiredPort<EventuallyPerfectFd>,
+    self_addr: Address,
+    config: RingConfig,
+    predecessor: Option<Address>,
+    successors: Vec<Address>,
+    joined: bool,
+    monitored: Vec<Address>,
+    stabilizations: u64,
+}
+
+impl CatsRing {
+    /// Creates the ring component for the node at `self_addr`.
+    pub fn new(self_addr: Address, config: RingConfig) -> Self {
+        let ctx = ComponentContext::new();
+        let ring: ProvidedPort<RingPort> = ProvidedPort::new();
+        let status: ProvidedPort<Status> = ProvidedPort::new();
+        let net: RequiredPort<Network> = RequiredPort::new();
+        let timer: RequiredPort<Timer> = RequiredPort::new();
+        let fd: RequiredPort<EventuallyPerfectFd> = RequiredPort::new();
+
+        ring.subscribe(|this: &mut CatsRing, join: &RingJoin| {
+            this.handle_join_request(&join.seeds);
+        });
+        net.subscribe(|this: &mut CatsRing, msg: &JoinLookupMsg| {
+            this.handle_join_lookup(msg);
+        });
+        net.subscribe(|this: &mut CatsRing, msg: &JoinReplyMsg| {
+            this.handle_join_reply(msg);
+        });
+        net.subscribe(|this: &mut CatsRing, msg: &GetPredMsg| {
+            let reply = PredReplyMsg {
+                base: msg.base.reply(),
+                predecessor: this.predecessor,
+                successors: this.successors.clone(),
+            };
+            this.net.trigger(reply);
+        });
+        net.subscribe(|this: &mut CatsRing, msg: &PredReplyMsg| {
+            this.handle_pred_reply(msg);
+        });
+        net.subscribe(|this: &mut CatsRing, msg: &NotifyMsg| {
+            let candidate = msg.base.source;
+            let adopt = match this.predecessor {
+                None => true,
+                Some(pred) => RingKey(candidate.id)
+                    .in_interval(RingKey(pred.id), RingKey(this.self_addr.id))
+                    && candidate.id != this.self_addr.id,
+            };
+            if adopt && this.predecessor.map(|p| p.id) != Some(candidate.id) {
+                this.predecessor = Some(candidate);
+                this.publish_neighbors();
+            }
+        });
+        fd.subscribe(|this: &mut CatsRing, suspect: &Suspect| {
+            this.handle_suspect(suspect.peer);
+        });
+        fd.subscribe(|_this: &mut CatsRing, _restore: &Restore| {
+            // Stabilization re-learns restored nodes; nothing to do eagerly.
+        });
+        timer.subscribe(|this: &mut CatsRing, _t: &StabilizeTick| {
+            this.stabilize();
+        });
+        status.subscribe(|this: &mut CatsRing, req: &StatusRequest| {
+            let succ = this
+                .successors
+                .iter()
+                .map(|a| a.id.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            this.status.trigger(StatusResponse {
+                tag: req.tag,
+                component: "CatsRing".into(),
+                entries: vec![
+                    ("joined".into(), this.joined.to_string()),
+                    (
+                        "predecessor".into(),
+                        this.predecessor.map(|p| p.id.to_string()).unwrap_or_default(),
+                    ),
+                    ("successors".into(), succ),
+                    ("stabilizations".into(), this.stabilizations.to_string()),
+                ],
+            });
+        });
+        ctx.subscribe_control(|this: &mut CatsRing, _s: &Start| {
+            let id = TimeoutId::fresh();
+            this.timer.trigger(SchedulePeriodicTimeout::new(
+                this.config.stabilize_period,
+                this.config.stabilize_period,
+                id,
+                Arc::new(StabilizeTick { base: Timeout { id } }),
+            ));
+        });
+
+        CatsRing {
+            ctx,
+            ring,
+            status,
+            net,
+            timer,
+            fd,
+            self_addr,
+            config,
+            predecessor: None,
+            successors: Vec::new(),
+            joined: false,
+            monitored: Vec::new(),
+            stabilizations: 0,
+        }
+    }
+
+    /// Current successor list (introspection hook).
+    pub fn successors(&self) -> &[Address] {
+        &self.successors
+    }
+
+    /// Current predecessor (introspection hook).
+    pub fn predecessor(&self) -> Option<Address> {
+        self.predecessor
+    }
+
+    /// Whether the join protocol has completed.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    fn key(&self) -> RingKey {
+        RingKey(self.self_addr.id)
+    }
+
+    fn handle_join_request(&mut self, seeds: &[Address]) {
+        let seeds: Vec<Address> =
+            seeds.iter().copied().filter(|s| s.id != self.self_addr.id).collect();
+        match seeds.first() {
+            None => {
+                // Found a new ring.
+                self.successors.clear();
+                self.predecessor = None;
+                self.joined = true;
+                self.ring.trigger(JoinCompleted { node: self.self_addr });
+                self.publish_neighbors();
+            }
+            Some(seed) => {
+                self.net.trigger(JoinLookupMsg {
+                    base: Message::new(self.self_addr, *seed),
+                    joiner: self.self_addr,
+                    hops: 0,
+                });
+            }
+        }
+    }
+
+    fn successor(&self) -> Option<Address> {
+        self.successors.first().copied()
+    }
+
+    fn handle_join_lookup(&mut self, msg: &JoinLookupMsg) {
+        if msg.hops > self.config.max_join_hops {
+            return; // give up; the joiner retries via its own timeout/user
+        }
+        let joiner_key = RingKey(msg.joiner.id);
+        match self.successor() {
+            None => {
+                // Alone on the ring: the joiner's successor is this node.
+                let mut successors = vec![self.self_addr];
+                successors.extend(self.successors.iter().copied());
+                self.net.trigger(JoinReplyMsg {
+                    base: Message::new(self.self_addr, msg.joiner),
+                    successors,
+                });
+                // Optimistically adopt the joiner as our successor.
+                self.adopt_successor(msg.joiner);
+            }
+            Some(succ) if joiner_key.in_interval(self.key(), RingKey(succ.id)) => {
+                // The joiner lands between us and our successor: its
+                // successor is ours, and it becomes ours.
+                let mut successors = vec![succ];
+                successors
+                    .extend(self.successors.iter().skip(1).copied());
+                successors.truncate(self.config.successor_list_len);
+                self.net.trigger(JoinReplyMsg {
+                    base: Message::new(self.self_addr, msg.joiner),
+                    successors,
+                });
+                self.adopt_successor(msg.joiner);
+            }
+            Some(succ) => {
+                // Forward around the ring.
+                self.net.trigger(JoinLookupMsg {
+                    base: Message::new(self.self_addr, succ),
+                    joiner: msg.joiner,
+                    hops: msg.hops + 1,
+                });
+            }
+        }
+    }
+
+    fn adopt_successor(&mut self, node: Address) {
+        if node.id == self.self_addr.id {
+            return;
+        }
+        let adopt = match self.successor() {
+            None => true,
+            Some(succ) => {
+                RingKey(node.id).in_interval(self.key(), RingKey(succ.id))
+                    && node.id != succ.id
+            }
+        };
+        if adopt {
+            self.successors.insert(0, node);
+            self.dedup_successors();
+            self.publish_neighbors();
+        }
+    }
+
+    fn handle_join_reply(&mut self, msg: &JoinReplyMsg) {
+        if self.joined {
+            return;
+        }
+        self.successors = msg
+            .successors
+            .iter()
+            .copied()
+            .filter(|a| a.id != self.self_addr.id)
+            .collect();
+        self.successors.truncate(self.config.successor_list_len);
+        self.joined = true;
+        if let Some(succ) = self.successor() {
+            self.net
+                .trigger(NotifyMsg { base: Message::new(self.self_addr, succ) });
+        }
+        self.ring.trigger(JoinCompleted { node: self.self_addr });
+        self.publish_neighbors();
+    }
+
+    fn handle_pred_reply(&mut self, msg: &PredReplyMsg) {
+        let Some(succ) = self.successor() else { return };
+        if msg.base.source.id != succ.id {
+            return; // stale reply from a former successor
+        }
+        // Chord stabilization: if our successor's predecessor sits between
+        // us and the successor, it is our better successor.
+        if let Some(p) = msg.predecessor {
+            if p.id != self.self_addr.id
+                && p.id != succ.id
+                && RingKey(p.id).in_interval(self.key(), RingKey(succ.id))
+            {
+                self.successors.insert(0, p);
+            }
+        }
+        // Adopt the successor's list, shifted behind our successor.
+        let head = self.successor().expect("non-empty");
+        let mut list = vec![head];
+        if head.id == succ.id {
+            list.extend(msg.successors.iter().copied());
+        } else {
+            list.push(succ);
+            list.extend(msg.successors.iter().copied());
+        }
+        self.successors = list;
+        self.dedup_successors();
+        if let Some(new_succ) = self.successor() {
+            self.net
+                .trigger(NotifyMsg { base: Message::new(self.self_addr, new_succ) });
+        }
+        self.publish_neighbors();
+    }
+
+    fn dedup_successors(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        let self_id = self.self_addr.id;
+        self.successors.retain(|a| a.id != self_id && seen.insert(a.id));
+        self.successors.truncate(self.config.successor_list_len);
+    }
+
+    fn handle_suspect(&mut self, peer: Address) {
+        let mut changed = false;
+        if self.successors.iter().any(|a| a.id == peer.id) {
+            self.successors.retain(|a| a.id != peer.id);
+            changed = true;
+        }
+        if self.predecessor.map(|p| p.id) == Some(peer.id) {
+            self.predecessor = None;
+            changed = true;
+        }
+        if changed {
+            self.publish_neighbors();
+        }
+    }
+
+    fn stabilize(&mut self) {
+        if !self.joined {
+            return;
+        }
+        self.stabilizations += 1;
+        if let Some(succ) = self.successor() {
+            self.net
+                .trigger(GetPredMsg { base: Message::new(self.self_addr, succ) });
+        }
+        self.update_monitoring();
+    }
+
+    /// Keeps the failure detector watching exactly the current neighbors.
+    fn update_monitoring(&mut self) {
+        let mut wanted: Vec<Address> = self.successors.clone();
+        if let Some(p) = self.predecessor {
+            if !wanted.iter().any(|a| a.id == p.id) {
+                wanted.push(p);
+            }
+        }
+        for peer in &wanted {
+            if !self.monitored.iter().any(|a| a.id == peer.id) {
+                self.fd.trigger(StartMonitoring { peer: *peer });
+            }
+        }
+        for peer in &self.monitored.clone() {
+            if !wanted.iter().any(|a| a.id == peer.id) {
+                self.fd.trigger(StopMonitoring { peer: *peer });
+            }
+        }
+        self.monitored = wanted;
+    }
+
+    fn publish_neighbors(&mut self) {
+        self.ring.trigger(RingNeighbors {
+            node: self.self_addr,
+            predecessor: self.predecessor,
+            successors: self.successors.clone(),
+        });
+    }
+}
+
+impl ComponentDefinition for CatsRing {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "CatsRing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn ring_port_direction_rules() {
+        assert!(RingPort::allows(&RingJoin { seeds: vec![] }, Direction::Negative));
+        assert!(RingPort::allows(
+            &RingNeighbors {
+                node: Address::sim(1),
+                predecessor: None,
+                successors: vec![]
+            },
+            Direction::Positive
+        ));
+        assert!(RingPort::allows(
+            &JoinCompleted { node: Address::sim(1) },
+            Direction::Positive
+        ));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = RingConfig::default();
+        assert!(c.successor_list_len >= 1);
+        assert!(c.stabilize_period > Duration::ZERO);
+    }
+}

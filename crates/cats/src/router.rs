@@ -1,0 +1,179 @@
+//! The One-Hop Router: resolves any key to its replication group in one
+//! hop, from a full-membership view.
+//!
+//! The view is assembled from two gossip sources, exactly as in the paper's
+//! Figure 11: the ring's own neighborhood ([`RingNeighbors`] indications)
+//! and the Cyclon node-sampling service (random [`Sample`]s whose addresses
+//! carry ring ids). Failure-detector suspicions evict entries; restores
+//! re-admit them.
+
+use std::collections::BTreeMap;
+
+use kompics_core::prelude::*;
+use kompics_network::Address;
+use kompics_protocols::cyclon::{NodeSampling, Sample};
+use kompics_protocols::fd::{EventuallyPerfectFd, Restore, Suspect};
+use kompics_protocols::monitor::{Status, StatusRequest, StatusResponse};
+
+use crate::key::{replication_group, RingKey};
+use crate::ring::{RingNeighbors, RingPort};
+
+// ---------------------------------------------------------------------------
+// Port type and events
+// ---------------------------------------------------------------------------
+
+/// Request: resolve the replication group of `key`.
+#[derive(Debug, Clone)]
+pub struct FindGroup {
+    /// Correlates the [`GroupFound`] answer.
+    pub reqid: u64,
+    /// The key to resolve.
+    pub key: RingKey,
+}
+impl_event!(FindGroup);
+
+/// Indication: the resolved replication group (nearest responsible node
+/// first). Empty if the view knows no nodes yet.
+#[derive(Debug, Clone)]
+pub struct GroupFound {
+    /// Echoed request id.
+    pub reqid: u64,
+    /// Echoed key.
+    pub key: RingKey,
+    /// The replication group.
+    pub group: Vec<Address>,
+}
+impl_event!(GroupFound);
+
+port_type! {
+    /// The routing abstraction provided by [`OneHopRouter`].
+    pub struct Routing {
+        indication: GroupFound;
+        request: FindGroup;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Component
+// ---------------------------------------------------------------------------
+
+/// The router component: provides [`Routing`] and [`Status`]; requires
+/// [`RingPort`], [`NodeSampling`] and the failure detector.
+pub struct OneHopRouter {
+    ctx: ComponentContext,
+    routing: ProvidedPort<Routing>,
+    status: ProvidedPort<Status>,
+    #[allow(dead_code)] // keeps the port pair alive
+    ring: RequiredPort<RingPort>,
+    #[allow(dead_code)] // keeps the port pair alive
+    sampling: RequiredPort<NodeSampling>,
+    #[allow(dead_code)] // keeps the port pair alive
+    fd: RequiredPort<EventuallyPerfectFd>,
+    #[allow(dead_code)] // keeps the port pair alive
+    self_addr: Address,
+    replication_degree: usize,
+    view: BTreeMap<u64, Address>,
+    lookups: u64,
+}
+
+impl OneHopRouter {
+    /// Creates the router for the node at `self_addr`, resolving groups of
+    /// `replication_degree` replicas.
+    pub fn new(self_addr: Address, replication_degree: usize) -> Self {
+        let ctx = ComponentContext::new();
+        let routing: ProvidedPort<Routing> = ProvidedPort::new();
+        let status: ProvidedPort<Status> = ProvidedPort::new();
+        let ring: RequiredPort<RingPort> = RequiredPort::new();
+        let sampling: RequiredPort<NodeSampling> = RequiredPort::new();
+        let fd: RequiredPort<EventuallyPerfectFd> = RequiredPort::new();
+
+        routing.subscribe(|this: &mut OneHopRouter, req: &FindGroup| {
+            this.lookups += 1;
+            let members: Vec<u64> = this.view.keys().copied().collect();
+            let ids = replication_group(&members, req.key, this.replication_degree);
+            let group = ids.into_iter().map(|id| this.view[&id]).collect();
+            this.routing.trigger(GroupFound { reqid: req.reqid, key: req.key, group });
+        });
+        ring.subscribe(|this: &mut OneHopRouter, n: &RingNeighbors| {
+            if let Some(p) = n.predecessor {
+                this.view.insert(p.id, p);
+            }
+            for s in &n.successors {
+                this.view.insert(s.id, *s);
+            }
+        });
+        sampling.subscribe(|this: &mut OneHopRouter, sample: &Sample| {
+            for peer in &sample.peers {
+                this.view.insert(peer.id, *peer);
+            }
+        });
+        fd.subscribe(|this: &mut OneHopRouter, s: &Suspect| {
+            this.view.remove(&s.peer.id);
+        });
+        fd.subscribe(|this: &mut OneHopRouter, r: &Restore| {
+            this.view.insert(r.peer.id, r.peer);
+        });
+        status.subscribe(|this: &mut OneHopRouter, req: &StatusRequest| {
+            this.status.trigger(StatusResponse {
+                tag: req.tag,
+                component: "OneHopRouter".into(),
+                entries: vec![
+                    ("view_size".into(), this.view.len().to_string()),
+                    ("lookups".into(), this.lookups.to_string()),
+                ],
+            });
+        });
+
+        let mut view = BTreeMap::new();
+        view.insert(self_addr.id, self_addr);
+        OneHopRouter {
+            ctx,
+            routing,
+            status,
+            ring,
+            sampling,
+            fd,
+            self_addr,
+            replication_degree,
+            view,
+            lookups: 0,
+        }
+    }
+
+    /// Size of the membership view (introspection hook).
+    pub fn view_size(&self) -> usize {
+        self.view.len()
+    }
+
+    /// The membership view's node ids (introspection hook).
+    pub fn view_ids(&self) -> Vec<u64> {
+        self.view.keys().copied().collect()
+    }
+}
+
+impl ComponentDefinition for OneHopRouter {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "OneHopRouter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn routing_port_direction_rules() {
+        assert!(Routing::allows(
+            &FindGroup { reqid: 1, key: RingKey(2) },
+            Direction::Negative
+        ));
+        assert!(Routing::allows(
+            &GroupFound { reqid: 1, key: RingKey(2), group: vec![] },
+            Direction::Positive
+        ));
+    }
+}

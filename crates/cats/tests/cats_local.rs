@@ -1,0 +1,161 @@
+//! The local interactive stress-test architecture (Figure 12, right): the
+//! same CATS node assemblies, over the in-process network with real timers,
+//! executed in real time by the multi-core work-stealing scheduler.
+
+use std::time::Duration;
+
+use cats::abd::AbdConfig;
+use cats::key::RingKey;
+use cats::local::{LocalCatsCluster, OpOutcome};
+use cats::node::CatsConfig;
+use cats::ring::RingConfig;
+use kompics_core::prelude::*;
+use kompics_protocols::cyclon::CyclonConfig;
+use kompics_protocols::fd::FdConfig;
+
+fn fast_config() -> CatsConfig {
+    CatsConfig {
+        replication: Some(3),
+        ring: RingConfig {
+            stabilize_period: Duration::from_millis(50),
+            ..RingConfig::default()
+        },
+        fd: FdConfig {
+            initial_delay: Duration::from_millis(200),
+            delta: Duration::from_millis(100),
+        },
+        cyclon: CyclonConfig { period: Duration::from_millis(100), ..CyclonConfig::default() },
+        abd: AbdConfig { op_timeout: Duration::from_millis(500), max_retries: 6, ..AbdConfig::default() },
+    }
+}
+
+#[test]
+fn local_cluster_serves_puts_and_gets_in_real_time() {
+    let mut cluster =
+        LocalCatsCluster::new(Config::default().workers(4), fast_config());
+    for id in [100u64, 200, 300, 400, 500] {
+        cluster.add_node(id);
+    }
+    assert!(
+        cluster.await_converged(Duration::from_secs(20)),
+        "cluster did not converge"
+    );
+
+    let timeout = Duration::from_secs(10);
+    assert_eq!(
+        cluster.put(100, RingKey(42), b"hello".to_vec(), timeout),
+        OpOutcome::Put
+    );
+    assert_eq!(
+        cluster.get(400, RingKey(42), timeout),
+        OpOutcome::Got(Some(b"hello".to_vec()))
+    );
+    assert_eq!(cluster.get(300, RingKey(9_999), timeout), OpOutcome::Got(None));
+
+    // Overwrite and read back from yet another coordinator.
+    assert_eq!(
+        cluster.put(200, RingKey(42), b"world".to_vec(), timeout),
+        OpOutcome::Put
+    );
+    assert_eq!(
+        cluster.get(500, RingKey(42), timeout),
+        OpOutcome::Got(Some(b"world".to_vec()))
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn local_cluster_tolerates_a_node_failure() {
+    let mut cluster =
+        LocalCatsCluster::new(Config::default().workers(4), fast_config());
+    for id in [100u64, 200, 300, 400, 500] {
+        cluster.add_node(id);
+    }
+    assert!(cluster.await_converged(Duration::from_secs(20)));
+
+    let timeout = Duration::from_secs(10);
+    for i in 0..5u64 {
+        assert_eq!(
+            cluster.put(100, RingKey(1000 + i), vec![i as u8; 8], timeout),
+            OpOutcome::Put
+        );
+    }
+    cluster.kill_node(300);
+    // Give detectors a moment to converge, then everything must still work.
+    std::thread::sleep(Duration::from_millis(800));
+    for i in 0..5u64 {
+        assert_eq!(
+            cluster.get(500, RingKey(1000 + i), timeout),
+            OpOutcome::Got(Some(vec![i as u8; 8])),
+            "key {} lost after failure",
+            1000 + i
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn node_web_page_served_over_http() {
+    use kompics_core::channel::connect;
+    use kompics_protocols::web::{HttpServer, Web};
+    use std::io::{Read, Write};
+
+    let mut cluster =
+        LocalCatsCluster::new(Config::default().workers(2), fast_config());
+    cluster.add_node(100);
+    assert!(cluster.await_converged(Duration::from_secs(20)));
+
+    // Attach an HTTP frontend to the node's Web port.
+    let (port, listener) = HttpServer::bind(0).unwrap();
+    let http = cluster
+        .system()
+        .create(move || HttpServer::new(port, listener, Duration::from_secs(3)));
+    // Reach into the cluster for the node's Web port.
+    let system = cluster.system().clone();
+    let node_web = {
+        // The only node has id 100.
+        let ids = cluster.node_ids();
+        assert_eq!(ids, vec![100]);
+        cluster.node_web_ref(100).expect("node web port")
+    };
+    connect(&node_web, &http.required_ref::<Web>().unwrap()).unwrap();
+    system.start(&http);
+    std::thread::sleep(Duration::from_millis(100));
+
+    let http_get = |path: &str| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        (status, response.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+    };
+
+    let (status, body) = http_get("/status");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"CatsRing\""), "body: {body}");
+    assert!(body.contains("\"OneHopRouter\""));
+    assert!(body.contains("\"ConsistentAbd\""));
+
+    // The paper's interactive commands: put and get through the browser.
+    let (status, body) = http_get("/put/42/hello");
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"stored\":true"));
+    let (status, body) = http_get("/get/42");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"value\":\"hello\""), "body: {body}");
+    let (status, body) = http_get("/get/777");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"value\":null"), "body: {body}");
+    cluster.shutdown();
+}

@@ -1,0 +1,133 @@
+//! Byte-oriented run-length compression.
+//!
+//! Substitutes for the Zlib pass the paper's deployments apply to network
+//! payloads (see DESIGN.md §4): cheap, allocation-light, and effective on
+//! the highly repetitive values used by the benchmarks (e.g. 1 KiB constant
+//! payloads), while exercising the same compress-before-send /
+//! decompress-after-receive code path.
+//!
+//! Format: a sequence of chunks. A chunk starts with a control byte `c`:
+//! `c < 0x80` ⇒ copy the next `c + 1` literal bytes; `c >= 0x80` ⇒ repeat
+//! the next byte `c - 0x80 + 2` times (runs of 2–129).
+
+use crate::error::CodecError;
+
+const MAX_LITERAL: usize = 128;
+const MAX_RUN: usize = 129;
+
+/// Compresses `input`. The output of an empty input is empty.
+pub fn rle_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 4 + 8);
+    let mut literal_start = 0;
+    let mut i = 0;
+    while i < input.len() {
+        // Measure the run starting at i.
+        let byte = input[i];
+        let mut run = 1;
+        while i + run < input.len() && input[i + run] == byte && run < MAX_RUN {
+            run += 1;
+        }
+        if run >= 2 {
+            flush_literals(&mut out, &input[literal_start..i]);
+            out.push(0x80 + (run - 2) as u8);
+            out.push(byte);
+            i += run;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &input[literal_start..]);
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
+    while !literals.is_empty() {
+        let n = literals.len().min(MAX_LITERAL);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&literals[..n]);
+        literals = &literals[n..];
+    }
+}
+
+/// Decompresses data produced by [`rle_compress`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::CorruptCompression`] on truncated chunks.
+pub fn rle_decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut i = 0;
+    while i < input.len() {
+        let control = input[i];
+        i += 1;
+        if control < 0x80 {
+            let n = control as usize + 1;
+            let literals =
+                input.get(i..i + n).ok_or(CodecError::CorruptCompression)?;
+            out.extend_from_slice(literals);
+            i += n;
+        } else {
+            let n = (control - 0x80) as usize + 2;
+            let &byte = input.get(i).ok_or(CodecError::CorruptCompression)?;
+            i += 1;
+            out.resize(out.len() + n, byte);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let compressed = rle_compress(data);
+        let back = rle_decompress(&compressed).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rle_compress(&[]).is_empty());
+        assert_eq!(rle_decompress(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn constant_payload_compresses_well() {
+        let data = vec![0xAB; 1024];
+        let compressed = rle_compress(&data);
+        assert!(compressed.len() < 20, "1 KiB of one byte → {} bytes", compressed.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"header");
+        data.extend(std::iter::repeat_n(0u8, 300));
+        data.extend_from_slice(b"trailer");
+        data.extend(std::iter::repeat_n(7u8, 2));
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_literal_spans_chunks() {
+        let data: Vec<u8> = (0..200u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_run_is_corrupt() {
+        // Control byte promising a run, but no value byte follows.
+        assert_eq!(rle_decompress(&[0x85]), Err(CodecError::CorruptCompression));
+        // Control byte promising 4 literals, only 2 present.
+        assert_eq!(rle_decompress(&[3, 1, 2]), Err(CodecError::CorruptCompression));
+    }
+}

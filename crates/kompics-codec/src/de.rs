@@ -1,0 +1,447 @@
+//! The serde [`Deserializer`] for the compact binary format.
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+
+use crate::error::CodecError;
+use crate::varint::{read_u64, zigzag_decode};
+
+/// Decodes a value of type `T` from `bytes`, requiring the input to be fully
+/// consumed.
+///
+/// # Errors
+///
+/// Any [`CodecError`] from malformed input, including
+/// [`CodecError::TrailingBytes`] when the value does not cover the whole
+/// input.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut de = Deserializer::new(bytes);
+    let value = T::deserialize(&mut de)?;
+    if de.input.is_empty() {
+        Ok(value)
+    } else {
+        Err(CodecError::TrailingBytes(de.input.len()))
+    }
+}
+
+/// Deserializer reading the compact binary format from a byte slice.
+pub struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    /// Creates a deserializer over `input`.
+    pub fn new(input: &'de [u8]) -> Self {
+        Deserializer { input }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    fn read_byte(&mut self) -> Result<u8, CodecError> {
+        let (&b, rest) = self.input.split_first().ok_or(CodecError::UnexpectedEof)?;
+        self.input = rest;
+        Ok(b)
+    }
+
+    fn read_exact(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn read_varint(&mut self) -> Result<u64, CodecError> {
+        read_u64(&mut self.input)
+    }
+
+    fn read_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.read_varint()?;
+        usize::try_from(len).map_err(|_| CodecError::VarintOverflow)
+    }
+}
+
+struct SeqAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for SeqAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for SeqAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let index = self.de.read_varint()?;
+        let index = u32::try_from(index).map_err(|_| CodecError::VarintOverflow)?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(SeqAccess { de: self.de, remaining: len })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(SeqAccess { de: self.de, remaining: fields.len() })
+    }
+}
+
+macro_rules! deserialize_signed {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let raw = zigzag_decode(self.read_varint()?);
+            let value = <$ty>::try_from(raw)
+                .map_err(|_| CodecError::Message(format!("integer {raw} out of range")))?;
+            visitor.$visit(value)
+        }
+    };
+}
+
+macro_rules! deserialize_unsigned {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let raw = self.read_varint()?;
+            let value = <$ty>::try_from(raw)
+                .map_err(|_| CodecError::Message(format!("integer {raw} out of range")))?;
+            visitor.$visit(value)
+        }
+    };
+}
+
+impl<'a, 'de> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.read_byte()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(CodecError::InvalidTag(b)),
+        }
+    }
+
+    deserialize_signed!(deserialize_i8, visit_i8, i8);
+    deserialize_signed!(deserialize_i16, visit_i16, i16);
+    deserialize_signed!(deserialize_i32, visit_i32, i32);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_i64(zigzag_decode(self.read_varint()?))
+    }
+
+    deserialize_unsigned!(deserialize_u8, visit_u8, u8);
+    deserialize_unsigned!(deserialize_u16, visit_u16, u16);
+    deserialize_unsigned!(deserialize_u32, visit_u32, u32);
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u64(self.read_varint()?)
+    }
+
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let bytes = self.read_exact(16)?;
+        visitor.visit_u128(u128::from_le_bytes(bytes.try_into().expect("16 bytes")))
+    }
+
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let bytes = self.read_exact(16)?;
+        visitor.visit_i128(i128::from_le_bytes(bytes.try_into().expect("16 bytes")))
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let bytes = self.read_exact(4)?;
+        visitor.visit_f32(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let bytes = self.read_exact(8)?;
+        visitor.visit_f64(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let raw = self.read_varint()?;
+        let raw = u32::try_from(raw).map_err(|_| CodecError::VarintOverflow)?;
+        let c = char::from_u32(raw).ok_or(CodecError::InvalidChar(raw))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.read_len()?;
+        let bytes = self.read_exact(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.read_len()?;
+        let bytes = self.read_exact(len)?;
+        visitor.visit_borrowed_bytes(bytes)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.read_byte()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(CodecError::InvalidTag(b)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.read_len()?;
+        visitor.visit_seq(SeqAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(SeqAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(SeqAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.read_len()?;
+        visitor.visit_map(SeqAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(SeqAccess { de: self, remaining: fields.len() })
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(
+        self,
+        _visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        Err(CodecError::NotSelfDescribing)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::to_bytes;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Op {
+        Get { key: u64 },
+        Put { key: u64, value: Vec<u8> },
+        Nop,
+        Pair(u8, u8),
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Envelope {
+        source: (u32, u16),
+        ops: Vec<Op>,
+        meta: BTreeMap<String, i64>,
+        tag: Option<char>,
+        ratio: f64,
+    }
+
+    #[test]
+    fn roundtrip_nested_structures() {
+        let value = Envelope {
+            source: (0x7f000001, 8080),
+            ops: vec![
+                Op::Get { key: 1 },
+                Op::Put { key: 2, value: vec![1, 2, 3] },
+                Op::Nop,
+                Op::Pair(4, 5),
+            ],
+            meta: [("lat".to_string(), -12i64), ("n".to_string(), 99)].into(),
+            tag: Some('λ'),
+            ratio: -0.25,
+        };
+        let bytes = to_bytes(&value).unwrap();
+        let back: Envelope = from_bytes(&bytes).unwrap();
+        assert_eq!(value, back);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&42u64).unwrap();
+        bytes.push(0);
+        let err = from_bytes::<u64>(&bytes).unwrap_err();
+        assert_eq!(err, CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&"hello world").unwrap();
+        let err = from_bytes::<String>(&bytes[..4]).unwrap_err();
+        assert_eq!(err, CodecError::UnexpectedEof);
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        let err = from_bytes::<bool>(&[7]).unwrap_err();
+        assert_eq!(err, CodecError::InvalidTag(7));
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        let bytes = to_bytes(&0xD800u32).unwrap();
+        let err = from_bytes::<char>(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidChar(_)));
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        let bytes = to_bytes(&300u64).unwrap();
+        assert!(from_bytes::<u8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v = u128::MAX - 12345;
+        let bytes = to_bytes(&v).unwrap();
+        assert_eq!(from_bytes::<u128>(&bytes).unwrap(), v);
+    }
+}

@@ -1,0 +1,74 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Custom message from serde.
+    Message(String),
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A varint ran over its maximum width.
+    VarintOverflow,
+    /// An invalid byte where a bool/option tag was expected.
+    InvalidTag(u8),
+    /// Invalid UTF-8 in a decoded string.
+    InvalidUtf8,
+    /// Invalid scalar value for a char.
+    InvalidChar(u32),
+    /// The format is not self-describing; `deserialize_any` is unsupported.
+    NotSelfDescribing,
+    /// Trailing bytes remained after decoding a complete value.
+    TrailingBytes(usize),
+    /// A sequence serializer was given no length and buffering failed.
+    UnknownLength,
+    /// Corrupt compressed data.
+    CorruptCompression,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Message(m) => write!(f, "{m}"),
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds maximum width"),
+            CodecError::InvalidTag(b) => write!(f, "invalid tag byte {b:#04x}"),
+            CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            CodecError::InvalidChar(v) => write!(f, "invalid char scalar {v:#x}"),
+            CodecError::NotSelfDescribing => {
+                write!(f, "format is not self-describing; a concrete type is required")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            CodecError::UnknownLength => write!(f, "sequence length must be known"),
+            CodecError::CorruptCompression => write!(f, "corrupt compressed payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl serde::ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CodecError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert!(CodecError::InvalidTag(0xff).to_string().contains("0xff"));
+        assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,394 @@
+//! The serde [`Serializer`] for the compact binary format.
+
+use serde::ser::{self, Serialize};
+
+use crate::error::CodecError;
+use crate::varint::{write_u64, zigzag_encode};
+
+/// Encodes `value` into a fresh byte vector.
+///
+/// # Errors
+///
+/// Returns any [`CodecError`] raised by the value's `Serialize`
+/// implementation.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    to_writer(&mut out, value)?;
+    Ok(out)
+}
+
+/// Encodes `value`, appending to `out`.
+///
+/// # Errors
+///
+/// See [`to_bytes`].
+pub fn to_writer<T: Serialize + ?Sized>(
+    out: &mut Vec<u8>,
+    value: &T,
+) -> Result<(), CodecError> {
+    let mut serializer = Serializer { out };
+    value.serialize(&mut serializer)
+}
+
+/// Serializer writing the compact binary format into a `Vec<u8>`.
+pub struct Serializer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> Serializer<'a> {
+    /// Creates a serializer appending to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        Serializer { out }
+    }
+}
+
+/// Compound serializer for sequences and maps. When the length is known
+/// up-front it is written immediately; otherwise elements are buffered and
+/// counted, and the length prefix is emitted at `end`.
+pub struct Compound<'a> {
+    out: &'a mut Vec<u8>,
+    mode: CompoundMode,
+}
+
+enum CompoundMode {
+    Direct,
+    Buffered { buffer: Vec<u8>, count: u64 },
+}
+
+impl<'a> ser::SerializeSeq for Compound<'a> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        match &mut self.mode {
+            CompoundMode::Direct => value.serialize(&mut Serializer { out: self.out }),
+            CompoundMode::Buffered { buffer, count } => {
+                *count += 1;
+                value.serialize(&mut Serializer { out: buffer })
+            }
+        }
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        if let CompoundMode::Buffered { buffer, count } = self.mode {
+            write_u64(self.out, count);
+            self.out.extend_from_slice(&buffer);
+        }
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeMap for Compound<'a> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        match &mut self.mode {
+            CompoundMode::Direct => key.serialize(&mut Serializer { out: self.out }),
+            CompoundMode::Buffered { buffer, count } => {
+                *count += 1;
+                key.serialize(&mut Serializer { out: buffer })
+            }
+        }
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        match &mut self.mode {
+            CompoundMode::Direct => value.serialize(&mut Serializer { out: self.out }),
+            CompoundMode::Buffered { buffer, .. } => {
+                value.serialize(&mut Serializer { out: buffer })
+            }
+        }
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+macro_rules! fixed_compound {
+    ($trait:ident, $elem:ident) => {
+        impl<'a> ser::$trait for Compound<'a> {
+            type Ok = ();
+            type Error = CodecError;
+
+            fn $elem<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut Serializer { out: self.out })
+            }
+
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+fixed_compound!(SerializeTuple, serialize_element);
+fixed_compound!(SerializeTupleStruct, serialize_field);
+fixed_compound!(SerializeTupleVariant, serialize_field);
+
+impl<'a> ser::SerializeStruct for Compound<'a> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut Serializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for Compound<'a> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut Serializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        write_u64(self.out, zigzag_encode(v));
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        write_u64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.serialize_bytes(v.as_bytes())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        write_u64(self.out, v.len() as u64);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        write_u64(self.out, variant_index as u64);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        write_u64(self.out, variant_index as u64);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        match len {
+            Some(len) => {
+                write_u64(self.out, len as u64);
+                Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+            }
+            None => Ok(Compound {
+                out: self.out,
+                mode: CompoundMode::Buffered { buffer: Vec::new(), count: 0 },
+            }),
+        }
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        write_u64(self.out, variant_index as u64);
+        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        self.serialize_seq(len)
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        write_u64(self.out, variant_index as u64);
+        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_struct_is_compact() {
+        #[derive(serde::Serialize)]
+        struct S {
+            a: u64,
+            b: bool,
+        }
+        let bytes = to_bytes(&S { a: 5, b: true }).unwrap();
+        assert_eq!(bytes, vec![5, 1]);
+    }
+
+    #[test]
+    fn option_encoding() {
+        assert_eq!(to_bytes(&Option::<u8>::None).unwrap(), vec![0]);
+        assert_eq!(to_bytes(&Some(7u8)).unwrap(), vec![1, 7]);
+    }
+
+    #[test]
+    fn str_is_length_prefixed() {
+        assert_eq!(to_bytes("hi").unwrap(), vec![2, b'h', b'i']);
+    }
+
+    #[test]
+    fn unknown_length_iterator_buffers_and_counts() {
+        // serde_json-style collect_seq with unknown length.
+        struct Unknown;
+        impl Serialize for Unknown {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use serde::ser::SerializeSeq;
+                let mut seq = s.serialize_seq(None)?;
+                for i in 0..3u8 {
+                    seq.serialize_element(&i)?;
+                }
+                seq.end()
+            }
+        }
+        assert_eq!(to_bytes(&Unknown).unwrap(), vec![3, 0, 1, 2]);
+    }
+}

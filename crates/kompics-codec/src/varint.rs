@@ -1,0 +1,98 @@
+//! LEB128 varints and zigzag transforms.
+
+use crate::error::CodecError;
+
+/// Appends `value` as an LEB128 varint (1–10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint, advancing `input`.
+///
+/// # Errors
+///
+/// [`CodecError::UnexpectedEof`] if the input ends mid-varint and
+/// [`CodecError::VarintOverflow`] if more than 10 bytes carry continuation
+/// bits.
+pub fn read_u64(input: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or(CodecError::UnexpectedEof)?;
+        *input = rest;
+        if shift >= 64 {
+            return Err(CodecError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed integer to an unsigned one with small absolute values
+/// staying small (zigzag).
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(read_u64(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn eof_mid_varint() {
+        let mut slice: &[u8] = &[0x80];
+        assert_eq!(read_u64(&mut slice), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let bytes = [0xffu8; 11];
+        let mut slice = bytes.as_slice();
+        assert_eq!(read_u64(&mut slice), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -300, 300] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+}

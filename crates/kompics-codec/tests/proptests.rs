@@ -1,0 +1,122 @@
+//! Property-based tests: every encodable value must decode to itself, and
+//! compression must be lossless on arbitrary byte strings.
+
+use std::collections::{BTreeMap, HashMap};
+
+use kompics_codec::{from_bytes, rle_compress, rle_decompress, to_bytes};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum WireOp {
+    Get(u64),
+    Put { key: u64, value: Vec<u8> },
+    Batch(Vec<WireOp>),
+    Tagged(Option<String>, i32),
+    Nothing,
+}
+
+fn arb_op() -> impl Strategy<Value = WireOp> {
+    let leaf = prop_oneof![
+        any::<u64>().prop_map(WireOp::Get),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(key, value)| WireOp::Put { key, value }),
+        (proptest::option::of(".*"), any::<i32>())
+            .prop_map(|(t, n)| WireOp::Tagged(t, n)),
+        Just(WireOp::Nothing),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(WireOp::Batch)
+    })
+}
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct WireEnvelope {
+    source: (u8, u8, u8, u8, u16),
+    seq: u64,
+    ops: Vec<WireOp>,
+    floats: Vec<f64>,
+    table: BTreeMap<u32, String>,
+    hash: HashMap<u16, bool>,
+    big: u128,
+    signed: (i8, i16, i32, i64),
+    ch: char,
+}
+
+prop_compose! {
+    fn arb_envelope()(
+        source in any::<(u8, u8, u8, u8, u16)>(),
+        seq in any::<u64>(),
+        ops in proptest::collection::vec(arb_op(), 0..8),
+        floats in proptest::collection::vec(any::<f64>(), 0..8),
+        table in proptest::collection::btree_map(any::<u32>(), ".*", 0..8),
+        hash in proptest::collection::hash_map(any::<u16>(), any::<bool>(), 0..8),
+        big in any::<u128>(),
+        signed in any::<(i8, i16, i32, i64)>(),
+        ch in any::<char>(),
+    ) -> WireEnvelope {
+        WireEnvelope { source, seq, ops, floats, table, hash, big, signed, ch }
+    }
+}
+
+proptest! {
+    #[test]
+    fn envelope_roundtrips(env in arb_envelope()) {
+        let bytes = to_bytes(&env).unwrap();
+        let back: WireEnvelope = from_bytes(&bytes).unwrap();
+        // NaN-safe comparison: compare through bits for floats.
+        prop_assert_eq!(env.floats.len(), back.floats.len());
+        for (a, b) in env.floats.iter().zip(back.floats.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (mut env, mut back) = (env, back);
+        env.floats.clear();
+        back.floats.clear();
+        prop_assert_eq!(env, back);
+    }
+
+    #[test]
+    fn unsigned_varints_roundtrip(v in any::<u64>()) {
+        let bytes = to_bytes(&v).unwrap();
+        prop_assert_eq!(from_bytes::<u64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn signed_varints_roundtrip(v in any::<i64>()) {
+        let bytes = to_bytes(&v).unwrap();
+        prop_assert_eq!(from_bytes::<i64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_roundtrip(s in ".*") {
+        let bytes = to_bytes(&s).unwrap();
+        prop_assert_eq!(from_bytes::<String>(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Ok or Err, never panic or loop.
+        let _ = from_bytes::<WireEnvelope>(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<(bool, char, f32)>(&bytes);
+    }
+
+    #[test]
+    fn rle_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let compressed = rle_compress(&bytes);
+        prop_assert_eq!(rle_decompress(&compressed).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rle_decompress_arbitrary_input_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = rle_decompress(&bytes);
+    }
+
+    #[test]
+    fn runs_compress(byte in any::<u8>(), len in 2usize..4096) {
+        let data = vec![byte; len];
+        let compressed = rle_compress(&data);
+        prop_assert!(compressed.len() <= data.len() / 2 + 8);
+        prop_assert_eq!(rle_decompress(&compressed).unwrap(), data);
+    }
+}

@@ -1,0 +1,364 @@
+//! Channels: first-class bindings between complementary port halves.
+//!
+//! A channel connects a positive-sign half to a negative-sign half of the
+//! same port type and forwards events in both directions in FIFO order (per
+//! producer). Channels support the four reconfiguration commands of the
+//! paper's §2.6:
+//!
+//! * [`hold`](ChannelRef::hold) — stop forwarding, queue events in both
+//!   directions;
+//! * [`resume`](ChannelRef::resume) — first flush all queued events in
+//!   order, then forward normally;
+//! * [`unplug`](ChannelRef::unplug_positive) — detach one end from its port;
+//! * [`plug`](ChannelRef::plug) — attach the unplugged end to a (possibly
+//!   different) port.
+//!
+//! Channels may carry a *selector* (or a *key* when the port has a
+//! [key extractor](crate::port::PortRef::set_key_extractor)) to filter which
+//! events they forward — the mechanism a network emulator uses to route each
+//! message only toward its destination node.
+
+use std::any::TypeId;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::error::CoreError;
+use crate::event::{Event, EventRef};
+use crate::port::{Direction, PortCore, PortRef, PortType};
+use crate::types::{ChannelId, PortId};
+
+static NEXT_CHANNEL_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_channel_id() -> ChannelId {
+    ChannelId(NEXT_CHANNEL_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Decides whether a channel forwards a given event in a given direction.
+pub type ChannelSelector = Arc<dyn Fn(&dyn Event, Direction) -> bool + Send + Sync>;
+
+struct End {
+    port_id: PortId,
+    half: Weak<PortCore>,
+}
+
+struct ChannelState {
+    /// `ends[0]` is plugged into a positive-sign half, `ends[1]` into a
+    /// negative-sign half.
+    ends: [Option<End>; 2],
+    held: bool,
+    /// Queued while held: (destination end index, direction, event).
+    buffer: VecDeque<(usize, Direction, EventRef)>,
+}
+
+/// The shared state of a channel. Users interact through [`ChannelRef`].
+pub struct Channel {
+    id: ChannelId,
+    port_type: TypeId,
+    type_name: &'static str,
+    selector: Option<ChannelSelector>,
+    key: Option<u64>,
+    state: Mutex<ChannelState>,
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Channel")
+            .field("id", &self.id)
+            .field("type", &self.type_name)
+            .field("key", &self.key)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Channel {
+    /// Forwards an event that exited at the half identified by
+    /// (`source_port`, `source_sign`) to the opposite end.
+    pub(crate) fn forward_from(
+        self: &Arc<Self>,
+        source_port: PortId,
+        source_sign: Direction,
+        dir: Direction,
+        event: EventRef,
+    ) {
+        if let Some(selector) = &self.selector {
+            if !selector(event.as_ref(), dir) {
+                return;
+            }
+        }
+        let source_idx = match source_sign {
+            Direction::Positive => 0,
+            Direction::Negative => 1,
+        };
+        let dest = {
+            let mut state = self.state.lock();
+            match &state.ends[source_idx] {
+                Some(end) if end.port_id == source_port => {}
+                // The source half was unplugged concurrently; drop.
+                _ => return,
+            }
+            let dest_idx = 1 - source_idx;
+            if state.held {
+                state.buffer.push_back((dest_idx, dir, event));
+                return;
+            }
+            match &state.ends[dest_idx] {
+                Some(end) => end.half.upgrade(),
+                None => None,
+            }
+        };
+        if let Some(dest) = dest {
+            // Delivered outside the lock: FIFO per producer still holds
+            // because forwarding is synchronous on the producing thread.
+            let _ = dest.trigger_in(dir, event);
+        }
+    }
+
+    fn end_index_for_sign(sign: Direction) -> usize {
+        match sign {
+            Direction::Positive => 0,
+            Direction::Negative => 1,
+        }
+    }
+}
+
+/// A handle to a channel, supporting the dynamic-reconfiguration commands.
+#[derive(Clone)]
+pub struct ChannelRef {
+    channel: Arc<Channel>,
+}
+
+impl fmt::Debug for ChannelRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChannelRef({:?})", self.channel)
+    }
+}
+
+impl ChannelRef {
+    pub(crate) fn from_arc(channel: Arc<Channel>) -> ChannelRef {
+        ChannelRef { channel }
+    }
+
+    /// The channel's id.
+    pub fn id(&self) -> ChannelId {
+        self.channel.id
+    }
+
+    /// Puts the channel on hold: it stops forwarding events and queues them
+    /// in both directions until [`resume`](ChannelRef::resume).
+    pub fn hold(&self) {
+        self.channel.state.lock().held = true;
+    }
+
+    /// Resumes the channel: first forwards all queued events, in order, then
+    /// keeps forwarding as usual.
+    pub fn resume(&self) {
+        loop {
+            let next = {
+                let mut state = self.channel.state.lock();
+                match state.buffer.pop_front() {
+                    Some(entry) => {
+                        let dest = state.ends[entry.0]
+                            .as_ref()
+                            .and_then(|e| e.half.upgrade());
+                        Some((dest, entry.1, entry.2))
+                    }
+                    None => {
+                        state.held = false;
+                        None
+                    }
+                }
+            };
+            match next {
+                Some((Some(dest), dir, event)) => {
+                    let _ = dest.trigger_in(dir, event);
+                }
+                Some((None, _, _)) => {} // destination end unplugged: drop
+                None => break,
+            }
+        }
+    }
+
+    /// Whether the channel is currently held.
+    pub fn is_held(&self) -> bool {
+        self.channel.state.lock().held
+    }
+
+    /// Number of events currently queued while held.
+    pub fn queued_len(&self) -> usize {
+        self.channel.state.lock().buffer.len()
+    }
+
+    /// Unplugs the end connected to the **positive-sign** half (e.g. the
+    /// provided port's outside half in a sibling wiring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ChannelEndEmpty`] if that end is not plugged.
+    pub fn unplug_positive(&self) -> Result<(), CoreError> {
+        self.unplug_index(0)
+    }
+
+    /// Unplugs the end connected to the **negative-sign** half (e.g. the
+    /// required port's outside half in a sibling wiring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ChannelEndEmpty`] if that end is not plugged.
+    pub fn unplug_negative(&self) -> Result<(), CoreError> {
+        self.unplug_index(1)
+    }
+
+    /// Unplugs the end connected to the half with the given sign.
+    pub(crate) fn unplug_sign(&self, sign: Direction) -> Result<(), CoreError> {
+        self.unplug_index(Channel::end_index_for_sign(sign))
+    }
+
+    /// Type-erased plug, used by dynamic reconfiguration.
+    pub(crate) fn plug_core(&self, half: &Arc<PortCore>) -> Result<(), CoreError> {
+        if half.port_type != self.channel.port_type {
+            return Err(CoreError::PortTypeMismatch {
+                left: self.channel.type_name,
+                right: half.type_name,
+            });
+        }
+        let idx = Channel::end_index_for_sign(half.sign);
+        {
+            let mut state = self.channel.state.lock();
+            if state.ends[idx].is_some() {
+                return Err(CoreError::ChannelEndOccupied { channel: self.channel.id });
+            }
+            state.ends[idx] = Some(End {
+                port_id: half.port_id(),
+                half: Arc::downgrade(half),
+            });
+        }
+        half.attach_channel(self.channel.id, self.channel.key, Arc::clone(&self.channel));
+        Ok(())
+    }
+
+    fn unplug_index(&self, idx: usize) -> Result<(), CoreError> {
+        let end = {
+            let mut state = self.channel.state.lock();
+            state.ends[idx].take()
+        };
+        match end {
+            Some(end) => {
+                if let Some(half) = end.half.upgrade() {
+                    half.detach_channel(self.channel.id);
+                }
+                Ok(())
+            }
+            None => Err(CoreError::ChannelEndEmpty { channel: self.channel.id }),
+        }
+    }
+
+    /// Plugs the unconnected end of the channel into `port`. The end is
+    /// chosen by the sign of `port`'s half.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::PortTypeMismatch`] if `port` is of a different port
+    ///   type than the channel.
+    /// * [`CoreError::ChannelEndOccupied`] if the matching end is already
+    ///   plugged.
+    pub fn plug<P: PortType>(&self, port: &PortRef<P>) -> Result<(), CoreError> {
+        self.plug_core(port.core())
+    }
+
+    /// Disconnects the channel entirely: unplugs both ends. Queued events
+    /// are dropped.
+    pub fn disconnect(&self) {
+        let _ = self.unplug_index(0);
+        let _ = self.unplug_index(1);
+        self.channel.state.lock().buffer.clear();
+    }
+}
+
+fn connect_impl<P: PortType>(
+    a: &PortRef<P>,
+    b: &PortRef<P>,
+    selector: Option<ChannelSelector>,
+    key: Option<u64>,
+) -> Result<ChannelRef, CoreError> {
+    let (ha, hb) = (a.core(), b.core());
+    if ha.port_type != hb.port_type {
+        return Err(CoreError::PortTypeMismatch {
+            left: ha.type_name,
+            right: hb.type_name,
+        });
+    }
+    if ha.sign == hb.sign {
+        return Err(CoreError::SamePolarity { port: ha.type_name });
+    }
+    let channel = Arc::new(Channel {
+        id: fresh_channel_id(),
+        port_type: ha.port_type,
+        type_name: ha.type_name,
+        selector,
+        key,
+        state: Mutex::new(ChannelState {
+            ends: [None, None],
+            held: false,
+            buffer: VecDeque::new(),
+        }),
+    });
+    let r = ChannelRef { channel };
+    r.plug(a)?;
+    r.plug(b)?;
+    Ok(r)
+}
+
+/// Connects two complementary port halves of the same type with a new
+/// channel.
+///
+/// # Errors
+///
+/// Returns [`CoreError::SamePolarity`] if both halves have the same sign
+/// (e.g. two provided ports' outside halves) and
+/// [`CoreError::PortTypeMismatch`] if the halves disagree on port type
+/// (impossible through the typed API, checked anyway for defence in depth).
+///
+/// # Examples
+///
+/// See the [crate-level quickstart](crate#quickstart) and
+/// [`ChannelRef::hold`].
+pub fn connect<P: PortType>(a: &PortRef<P>, b: &PortRef<P>) -> Result<ChannelRef, CoreError> {
+    connect_impl(a, b, None, None)
+}
+
+/// Connects two halves with a filtering channel: only events for which
+/// `selector` returns `true` are forwarded (in either direction).
+///
+/// # Errors
+///
+/// Same as [`connect`].
+pub fn connect_with_selector<P: PortType>(
+    a: &PortRef<P>,
+    b: &PortRef<P>,
+    selector: ChannelSelector,
+) -> Result<ChannelRef, CoreError> {
+    connect_impl(a, b, Some(selector), None)
+}
+
+/// Connects two halves with a *keyed* channel: on a port with a
+/// [key extractor](crate::port::PortRef::set_key_extractor) installed, the
+/// channel only receives events whose extracted key equals `key`. On ports
+/// without an extractor the key has no effect.
+///
+/// This is the constant-time fan-out used by the network emulator, which
+/// indexes per-node channels by destination address.
+///
+/// # Errors
+///
+/// Same as [`connect`].
+pub fn connect_keyed<P: PortType>(
+    a: &PortRef<P>,
+    b: &PortRef<P>,
+    key: u64,
+) -> Result<ChannelRef, CoreError> {
+    connect_impl(a, b, None, Some(key))
+}

@@ -1,0 +1,1009 @@
+//! Components: event-driven state machines that execute concurrently and
+//! communicate asynchronously by message passing.
+//!
+//! A component definition is a plain struct holding the component's local
+//! state, its [`ComponentContext`], and its port fields
+//! ([`ProvidedPort`]/[`RequiredPort`]). Handlers are subscribed on the port
+//! fields (usually in the constructor) and receive `&mut self`, so component
+//! state needs no locking: the execution model guarantees that the handlers
+//! of one component instance are mutually exclusive.
+//!
+//! Components form a containment hierarchy: a component creates
+//! subcomponents with [`ComponentContext::create`], and activation,
+//! passivation and destruction recurse over the subtree
+//! (see [`lifecycle`](crate::lifecycle)).
+//!
+//! [`ProvidedPort`]: crate::port::ProvidedPort
+//! [`RequiredPort`]: crate::port::RequiredPort
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use crate::error::CoreError;
+use crate::event::{Event, EventRef};
+use crate::fault::Fault;
+use crate::lifecycle::{ControlPort, Kill, Start, Started, Stop, Stopped};
+use crate::port::{
+    erase_handler, erase_handler_shared, fresh_handler_id, Direction, PortCore, PortRef,
+    PortType, Subscription,
+};
+use crate::system::SystemCore;
+use crate::types::{ComponentId, HandlerId};
+
+/// User-facing component behaviour: implemented by every component
+/// definition struct.
+///
+/// Only two methods are required; the state-transfer hooks have no-op
+/// defaults and are used by
+/// [dynamic reconfiguration](crate::reconfig::replace_component).
+pub trait ComponentDefinition: Any + Send {
+    /// Access to the component's context field.
+    fn context(&self) -> &ComponentContext;
+
+    /// The definition's type name, used in component names and diagnostics.
+    fn type_name(&self) -> &'static str;
+
+    /// Extracts this component's transferable state, for handing over to a
+    /// replacement component. Returns `None` if the component does not
+    /// support state transfer (the default).
+    fn extract_state(&mut self) -> Option<Box<dyn Any + Send>> {
+        None
+    }
+
+    /// Installs state extracted from a predecessor component. The default
+    /// implementation ignores it.
+    fn install_state(&mut self, _state: Box<dyn Any + Send>) {}
+}
+
+/// Life-cycle state of a component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LifecycleState {
+    /// Created but not yet started: events queue but do not execute
+    /// (control events do execute).
+    Passive = 0,
+    /// Executing events normally.
+    Active = 1,
+    /// A handler panicked; the component no longer executes events.
+    Faulty = 2,
+    /// Destroyed; events toward it are discarded.
+    Destroyed = 3,
+}
+
+impl LifecycleState {
+    fn from_u8(v: u8) -> LifecycleState {
+        match v {
+            0 => LifecycleState::Passive,
+            1 => LifecycleState::Active,
+            2 => LifecycleState::Faulty,
+            _ => LifecycleState::Destroyed,
+        }
+    }
+}
+
+/// One unit of queued work: an event delivered at a port half for this
+/// component's subscribed handlers.
+pub(crate) struct WorkItem {
+    pub(crate) half: Arc<PortCore>,
+    pub(crate) direction: Direction,
+    pub(crate) event: EventRef,
+}
+
+/// Result of one scheduled execution slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecuteResult {
+    /// No more work (or another scheduling already claimed it).
+    Done,
+    /// More work remains and this execution re-claimed the scheduling flag;
+    /// the scheduler should run the component again.
+    Reschedule,
+}
+
+// ---------------------------------------------------------------------------
+// Construction frames: how `ProvidedPort::new()` / `RequiredPort::new()`
+// register ports with the component whose constructor is running.
+// ---------------------------------------------------------------------------
+
+pub(crate) struct PortRecord {
+    pub(crate) port_type: TypeId,
+    pub(crate) provided: bool,
+    pub(crate) inside: Arc<PortCore>,
+    pub(crate) outside: Arc<PortCore>,
+}
+
+struct ConstructionFrame {
+    system: Weak<SystemCore>,
+    ports: Vec<PortRecord>,
+    /// Children created during the constructor; their parent link is fixed
+    /// up once the parent's core exists.
+    deferred_children: Vec<Arc<ComponentCore>>,
+}
+
+thread_local! {
+    static CONSTRUCTION: RefCell<Vec<ConstructionFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Called by port constructors to register with the component under
+/// construction.
+///
+/// # Panics
+///
+/// Panics when no component constructor is running on this thread.
+pub(crate) fn construction_frame_attach(
+    inside: Arc<PortCore>,
+    outside: Arc<PortCore>,
+    provided: bool,
+) {
+    CONSTRUCTION.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let frame = stack.last_mut().expect(
+            "ProvidedPort::new/RequiredPort::new must be called inside a \
+             component constructor closure passed to `create`",
+        );
+        frame.ports.push(PortRecord {
+            port_type: inside.port_type,
+            provided,
+            inside,
+            outside,
+        });
+    });
+}
+
+fn current_frame_system() -> Option<Weak<SystemCore>> {
+    CONSTRUCTION.with(|stack| stack.borrow().last().map(|f| f.system.clone()))
+}
+
+fn current_frame_defer_child(child: Arc<ComponentCore>) {
+    CONSTRUCTION.with(|stack| {
+        if let Some(frame) = stack.borrow_mut().last_mut() {
+            frame.deferred_children.push(child);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// ComponentContext
+// ---------------------------------------------------------------------------
+
+struct CtxInner {
+    id: ComponentId,
+    core: Weak<ComponentCore>,
+    system: Weak<SystemCore>,
+}
+
+/// The component's link to the runtime: every component definition holds one
+/// as a field and returns it from [`ComponentDefinition::context`].
+///
+/// Construct it with [`ComponentContext::new`] in the component constructor;
+/// the runtime binds it when the component is created.
+pub struct ComponentContext {
+    inner: OnceLock<CtxInner>,
+    pending_control: Mutex<Vec<Arc<Subscription>>>,
+}
+
+impl fmt::Debug for ComponentContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.get() {
+            Some(inner) => write!(f, "ComponentContext({})", inner.id),
+            None => write!(f, "ComponentContext(unbound)"),
+        }
+    }
+}
+
+impl Default for ComponentContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComponentContext {
+    /// Creates an unbound context; the runtime binds it during `create`.
+    pub fn new() -> Self {
+        ComponentContext {
+            inner: OnceLock::new(),
+            pending_control: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn bound(&self) -> &CtxInner {
+        self.inner.get().expect("component context not yet bound")
+    }
+
+    /// This component's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the component is created (i.e. from within
+    /// the constructor).
+    pub fn id(&self) -> ComponentId {
+        self.bound().id
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn system(&self) -> Result<Arc<SystemCore>, CoreError> {
+        self.bound()
+            .system
+            .upgrade()
+            .ok_or(CoreError::Defunct { what: "system" })
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn core(&self) -> Result<Arc<ComponentCore>, CoreError> {
+        self.bound()
+            .core
+            .upgrade()
+            .ok_or(CoreError::Defunct { what: "component" })
+    }
+
+    /// Creates a subcomponent of this component. The child is created
+    /// passive; it is activated when this component starts (if already
+    /// created) or when [`start`](ComponentContext::start_child) is invoked.
+    ///
+    /// Also callable from within a component constructor, where the new
+    /// component becomes a child of the component under construction.
+    pub fn create<D, F>(&self, f: F) -> Component<D>
+    where
+        D: ComponentDefinition,
+        F: FnOnce() -> D,
+    {
+        if let Some(inner) = self.inner.get() {
+            let system = inner.system.upgrade().expect("system gone");
+            let parent = inner.core.upgrade();
+            create_in_system(&system, parent, f)
+        } else {
+            // Constructor-time creation: the parent core does not exist yet,
+            // so create the child unparented and let `create_in_system` fix
+            // up the link once the parent core is allocated.
+            let system_weak = current_frame_system().expect(
+                "ComponentContext::create outside both a bound component and \
+                 a component constructor",
+            );
+            let system = system_weak.upgrade().expect("system gone");
+            let child = create_in_system(&system, None, f);
+            current_frame_defer_child(Arc::clone(&child.core));
+            child
+        }
+    }
+
+    /// Triggers [`Start`] on a child's control port.
+    pub fn start_child<D>(&self, child: &Component<D>) {
+        let _ = child
+            .core
+            .control_outside
+            .trigger_in(Direction::Negative, Arc::new(Start));
+    }
+
+    /// Triggers [`Stop`] on a child's control port.
+    pub fn stop_child<D>(&self, child: &Component<D>) {
+        let _ = child
+            .core
+            .control_outside
+            .trigger_in(Direction::Negative, Arc::new(Stop));
+    }
+
+    /// Triggers [`Kill`] on a child's control port.
+    pub fn kill_child<D>(&self, child: &Component<D>) {
+        let _ = child
+            .core
+            .control_outside
+            .trigger_in(Direction::Negative, Arc::new(Kill));
+    }
+
+    /// Subscribes a handler (owned by *this* component) on an arbitrary port
+    /// half — typically a port of an immediate subcomponent, e.g. a `Fault`
+    /// handler on a child's control port.
+    pub fn subscribe<C, E, P, F>(&self, port: &PortRef<P>, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        P: PortType,
+        F: Fn(&mut C, &E) + Send + Sync + 'static,
+    {
+        let inner = self.bound();
+        let id = fresh_handler_id();
+        let sub = Arc::new(Subscription {
+            id,
+            event_type: TypeId::of::<E>(),
+            event_type_name: std::any::type_name::<E>(),
+            subscriber: OnceLock::new(),
+            handler: erase_handler(f),
+        });
+        sub.subscriber
+            .set((inner.id, inner.core.clone()))
+            .expect("fresh subscription");
+        port.core().subscribe_raw(sub);
+        id
+    }
+
+    /// Like [`subscribe`](ComponentContext::subscribe), but the handler
+    /// receives the shared, type-erased event (still filtered to `E`
+    /// instances) — see
+    /// [`ProvidedPort::subscribe_shared`](crate::port::ProvidedPort::subscribe_shared).
+    pub fn subscribe_shared<C, E, P, F>(&self, port: &PortRef<P>, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        P: PortType,
+        F: Fn(&mut C, &EventRef) + Send + Sync + 'static,
+    {
+        let inner = self.bound();
+        let id = fresh_handler_id();
+        let sub = Arc::new(Subscription {
+            id,
+            event_type: TypeId::of::<E>(),
+            event_type_name: std::any::type_name::<E>(),
+            subscriber: OnceLock::new(),
+            handler: erase_handler_shared(f),
+        });
+        sub.subscriber
+            .set((inner.id, inner.core.clone()))
+            .expect("fresh subscription");
+        port.core().subscribe_raw(sub);
+        id
+    }
+
+    /// Removes a subscription previously made with
+    /// [`subscribe`](ComponentContext::subscribe).
+    pub fn unsubscribe<P: PortType>(&self, port: &PortRef<P>, id: HandlerId) -> bool {
+        port.core().unsubscribe_raw(id)
+    }
+
+    /// Subscribes a handler on this component's **own control port**, for
+    /// [`Init`](crate::lifecycle::Init) subtypes, [`Start`], [`Stop`] or
+    /// [`Kill`]. Usable from the component constructor.
+    pub fn subscribe_control<C, E, F>(&self, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        F: Fn(&mut C, &E) + Send + Sync + 'static,
+    {
+        let id = fresh_handler_id();
+        let sub = Arc::new(Subscription {
+            id,
+            event_type: TypeId::of::<E>(),
+            event_type_name: std::any::type_name::<E>(),
+            subscriber: OnceLock::new(),
+            handler: erase_handler(f),
+        });
+        match self.inner.get() {
+            Some(inner) => {
+                sub.subscriber
+                    .set((inner.id, inner.core.clone()))
+                    .expect("fresh subscription");
+                if let Some(core) = inner.core.upgrade() {
+                    core.control_inside.subscribe_raw(sub);
+                }
+            }
+            None => self.pending_control.lock().push(sub),
+        }
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ComponentCore
+// ---------------------------------------------------------------------------
+
+/// The runtime half of a component: queues, life-cycle state, hierarchy
+/// links and the boxed definition. Users interact through [`Component`] /
+/// [`ComponentRef`] handles.
+pub struct ComponentCore {
+    id: ComponentId,
+    name: String,
+    system: Weak<SystemCore>,
+    pub(crate) definition: Mutex<Option<Box<dyn ComponentDefinition>>>,
+    lifecycle: AtomicU8,
+    scheduled: AtomicBool,
+    executing: AtomicBool,
+    control_queue: SegQueue<WorkItem>,
+    work_queue: SegQueue<WorkItem>,
+    control_pending: AtomicUsize,
+    work_pending: AtomicUsize,
+    pub(crate) ports: Mutex<Vec<PortRecord>>,
+    pub(crate) control_inside: Arc<PortCore>,
+    pub(crate) control_outside: Arc<PortCore>,
+    parent: Mutex<Option<Weak<ComponentCore>>>,
+    children: Mutex<Vec<Arc<ComponentCore>>>,
+}
+
+impl fmt::Debug for ComponentCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentCore")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("state", &self.lifecycle())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ComponentCore {
+    /// The component's id.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// The component's name: definition type name plus id.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current life-cycle state.
+    pub fn lifecycle(&self) -> LifecycleState {
+        LifecycleState::from_u8(self.lifecycle.load(Ordering::SeqCst))
+    }
+
+    fn set_lifecycle(&self, s: LifecycleState) {
+        self.lifecycle.store(s as u8, Ordering::SeqCst);
+    }
+
+    /// Number of events currently queued at this component.
+    pub fn pending(&self) -> usize {
+        self.control_pending.load(Ordering::SeqCst) + self.work_pending.load(Ordering::SeqCst)
+    }
+
+    /// Whether an execution slice is currently running.
+    pub(crate) fn is_executing(&self) -> bool {
+        self.executing.load(Ordering::SeqCst)
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn system(&self) -> Option<Arc<SystemCore>> {
+        self.system.upgrade()
+    }
+
+    fn runnable(&self) -> bool {
+        match self.lifecycle() {
+            LifecycleState::Passive => self.control_pending.load(Ordering::SeqCst) > 0,
+            LifecycleState::Active => self.pending() > 0,
+            // Dead components still get scheduled to drain their queues.
+            LifecycleState::Faulty | LifecycleState::Destroyed => self.pending() > 0,
+        }
+    }
+
+    pub(crate) fn enqueue_work(self: &Arc<Self>, item: WorkItem) {
+        let Some(system) = self.system.upgrade() else { return };
+        let is_control = item.half.port_type == TypeId::of::<ControlPort>();
+        if is_control {
+            self.control_pending.fetch_add(1, Ordering::SeqCst);
+            system.pending_inc();
+            self.control_queue.push(item);
+        } else {
+            self.work_pending.fetch_add(1, Ordering::SeqCst);
+            system.pending_inc();
+            self.work_queue.push(item);
+        }
+        self.try_schedule(&system);
+    }
+
+    fn try_schedule(self: &Arc<Self>, system: &Arc<SystemCore>) {
+        if self.runnable()
+            && self
+                .scheduled
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            system.scheduler().schedule(Arc::clone(self));
+        }
+    }
+
+    /// Executes up to the system's throughput worth of queued events.
+    /// Called by schedulers only.
+    pub fn execute(self: &Arc<Self>) -> ExecuteResult {
+        let Some(system) = self.system.upgrade() else {
+            self.scheduled.store(false, Ordering::SeqCst);
+            return ExecuteResult::Done;
+        };
+        self.executing.store(true, Ordering::SeqCst);
+        let throughput = system.throughput().max(1);
+        let mut executed = 0;
+        while executed < throughput {
+            let state = self.lifecycle();
+            if matches!(state, LifecycleState::Faulty | LifecycleState::Destroyed) {
+                self.drain_queues(&system);
+                break;
+            }
+            let item = if let Some(i) = self.control_queue.pop() {
+                self.control_pending.fetch_sub(1, Ordering::SeqCst);
+                Some(i)
+            } else if state == LifecycleState::Active {
+                self.work_queue.pop().inspect(|_| {
+                    self.work_pending.fetch_sub(1, Ordering::SeqCst);
+                })
+            } else {
+                None
+            };
+            let Some(item) = item else { break };
+            self.handle_item(item);
+            system.pending_dec();
+            executed += 1;
+        }
+        self.executing.store(false, Ordering::SeqCst);
+        // Unschedule, then re-check for work that raced in.
+        self.scheduled.store(false, Ordering::SeqCst);
+        if self.runnable()
+            && self
+                .scheduled
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            ExecuteResult::Reschedule
+        } else {
+            ExecuteResult::Done
+        }
+    }
+
+    fn drain_queues(&self, system: &Arc<SystemCore>) {
+        while self.control_queue.pop().is_some() {
+            self.control_pending.fetch_sub(1, Ordering::SeqCst);
+            system.pending_dec();
+        }
+        while self.work_queue.pop().is_some() {
+            self.work_pending.fetch_sub(1, Ordering::SeqCst);
+            system.pending_dec();
+        }
+    }
+
+    fn handle_item(self: &Arc<Self>, item: WorkItem) {
+        let is_own_control = Arc::ptr_eq(&item.half, &self.control_inside);
+        let concrete = item.event.as_any().type_id();
+
+        // Pre-handler life-cycle transitions.
+        if is_own_control && item.direction == Direction::Negative {
+            if concrete == TypeId::of::<Start>() {
+                if self.lifecycle() == LifecycleState::Passive {
+                    self.set_lifecycle(LifecycleState::Active);
+                }
+            } else if concrete == TypeId::of::<Stop>() {
+                if self.lifecycle() == LifecycleState::Active {
+                    self.set_lifecycle(LifecycleState::Passive);
+                }
+            }
+        }
+
+        // User handlers, with fault isolation.
+        let panic_msg = {
+            let mut guard = self.definition.lock();
+            match guard.as_mut() {
+                Some(def) => {
+                    let def = def.as_mut();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        item.half.execute_handlers(self.id, def, &item.event);
+                    }));
+                    result.err().map(panic_message)
+                }
+                None => None,
+            }
+        };
+        if let Some(msg) = panic_msg {
+            self.fault(msg);
+            return;
+        }
+
+        // Post-handler life-cycle propagation.
+        if is_own_control && item.direction == Direction::Negative {
+            if concrete == TypeId::of::<Start>() {
+                for child in self.children_snapshot() {
+                    let _ = child
+                        .control_outside
+                        .trigger_in(Direction::Negative, Arc::new(Start));
+                }
+                let _ = self
+                    .control_inside
+                    .trigger_in(Direction::Positive, Arc::new(Started));
+            } else if concrete == TypeId::of::<Stop>() {
+                for child in self.children_snapshot() {
+                    let _ = child
+                        .control_outside
+                        .trigger_in(Direction::Negative, Arc::new(Stop));
+                }
+                let _ = self
+                    .control_inside
+                    .trigger_in(Direction::Positive, Arc::new(Stopped));
+            } else if concrete == TypeId::of::<Kill>() {
+                for child in self.children_snapshot() {
+                    let _ = child
+                        .control_outside
+                        .trigger_in(Direction::Negative, Arc::new(Kill));
+                }
+                self.destroy_now();
+            }
+        }
+    }
+
+    fn children_snapshot(&self) -> Vec<Arc<ComponentCore>> {
+        self.children.lock().clone()
+    }
+
+    pub(crate) fn parent(&self) -> Option<Arc<ComponentCore>> {
+        self.parent.lock().as_ref().and_then(Weak::upgrade)
+    }
+
+    fn destroy_now(self: &Arc<Self>) {
+        self.set_lifecycle(LifecycleState::Destroyed);
+        if let Some(parent) = self.parent() {
+            parent.children.lock().retain(|c| c.id != self.id);
+        }
+        // Drop the definition (and with it the port field Arcs).
+        let def = self.definition.lock().take();
+        drop(def);
+        self.ports.lock().clear();
+        if let Some(system) = self.system.upgrade() {
+            self.drain_queues(&system);
+            system.forget_root(self.id);
+        }
+    }
+
+    fn fault(self: &Arc<Self>, error: String) {
+        self.set_lifecycle(LifecycleState::Faulty);
+        if let Some(system) = self.system.upgrade() {
+            self.drain_queues(&system);
+        }
+        let fault = Fault {
+            component: self.id,
+            component_name: self.name.clone(),
+            error,
+        };
+        let event: EventRef = Arc::new(fault.clone());
+        // Escalate: find the nearest ancestor with a live Fault subscription
+        // on the (original) faulty component's chain of control ports.
+        let mut current = Arc::clone(self);
+        loop {
+            if current.control_outside_has_fault_handler() {
+                current
+                    .control_outside
+                    .dispatch(Direction::Positive, Arc::clone(&event));
+                return;
+            }
+            match current.parent() {
+                Some(p) => current = p,
+                None => {
+                    if let Some(system) = self.system.upgrade() {
+                        system.unhandled_fault(fault);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn control_outside_has_fault_handler(&self) -> bool {
+        let inner = self.control_outside.inner.lock();
+        inner.subscriptions.iter().any(|s| {
+            s.event_type == TypeId::of::<Fault>()
+                && s.subscriber
+                    .get()
+                    .is_some_and(|(_, w)| w.upgrade().is_some())
+        })
+    }
+
+    fn find_port(
+        &self,
+        port_type: TypeId,
+        provided: bool,
+    ) -> Option<(Arc<PortCore>, Arc<PortCore>)> {
+        self.ports
+            .lock()
+            .iter()
+            .find(|r| r.port_type == port_type && r.provided == provided)
+            .map(|r| (Arc::clone(&r.inside), Arc::clone(&r.outside)))
+    }
+
+    /// Looks up one half of a port by type-erased port type; used by
+    /// dynamic reconfiguration.
+    pub(crate) fn find_port_half(
+        &self,
+        port_type: TypeId,
+        provided: bool,
+        inside: bool,
+    ) -> Option<Arc<PortCore>> {
+        self.find_port(port_type, provided)
+            .map(|(i, o)| if inside { i } else { o })
+    }
+}
+
+fn panic_message(p: Box<dyn Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "handler panicked with a non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Creation
+// ---------------------------------------------------------------------------
+
+/// Creates a component in `system`, optionally under `parent`. Used by
+/// [`KompicsSystem::create`](crate::system::KompicsSystem::create) and
+/// [`ComponentContext::create`].
+pub(crate) fn create_in_system<C, F>(
+    system: &Arc<SystemCore>,
+    parent: Option<Arc<ComponentCore>>,
+    f: F,
+) -> Component<C>
+where
+    C: ComponentDefinition,
+    F: FnOnce() -> C,
+{
+    // Run the constructor inside a fresh construction frame so the port
+    // fields (and nested `create` calls) register themselves.
+    CONSTRUCTION.with(|stack| {
+        stack.borrow_mut().push(ConstructionFrame {
+            system: Arc::downgrade(system),
+            ports: Vec::new(),
+            deferred_children: Vec::new(),
+        })
+    });
+    let definition = f();
+    let frame = CONSTRUCTION
+        .with(|stack| stack.borrow_mut().pop())
+        .expect("construction frame pushed above");
+
+    let id = system.next_component_id();
+    let name = format!("{} {}", definition.type_name(), id);
+    let (control_inside, control_outside) = PortCore::new_pair::<ControlPort>(true);
+
+    let core = Arc::new(ComponentCore {
+        id,
+        name,
+        system: Arc::downgrade(system),
+        definition: Mutex::new(None),
+        lifecycle: AtomicU8::new(LifecycleState::Passive as u8),
+        scheduled: AtomicBool::new(false),
+        executing: AtomicBool::new(false),
+        control_queue: SegQueue::new(),
+        work_queue: SegQueue::new(),
+        control_pending: AtomicUsize::new(0),
+        work_pending: AtomicUsize::new(0),
+        ports: Mutex::new(frame.ports),
+        control_inside,
+        control_outside,
+        parent: Mutex::new(parent.as_ref().map(Arc::downgrade)),
+        children: Mutex::new(Vec::new()),
+    });
+    let weak = Arc::downgrade(&core);
+
+    // Bind port ownership and constructor-time subscriptions.
+    {
+        let ports = core.ports.lock();
+        for record in ports.iter() {
+            for half in [&record.inside, &record.outside] {
+                let _ = half.owner.set((id, weak.clone()));
+                let inner = half.inner.lock();
+                for sub in inner.subscriptions.iter() {
+                    let _ = sub.subscriber.set((id, weak.clone()));
+                }
+            }
+        }
+    }
+    let _ = core.control_inside.owner.set((id, weak.clone()));
+    let _ = core.control_outside.owner.set((id, weak.clone()));
+
+    // Register the runtime's always-on life-cycle subscriptions so Start /
+    // Stop / Kill get enqueued even without user handlers.
+    for ty in [
+        (TypeId::of::<Start>(), "Start"),
+        (TypeId::of::<Stop>(), "Stop"),
+        (TypeId::of::<Kill>(), "Kill"),
+    ] {
+        let sub = Arc::new(Subscription {
+            id: fresh_handler_id(),
+            event_type: ty.0,
+            event_type_name: ty.1,
+            subscriber: OnceLock::new(),
+            handler: Arc::new(|_: &mut dyn ComponentDefinition, _: &EventRef| {}),
+        });
+        let _ = sub.subscriber.set((id, weak.clone()));
+        core.control_inside.subscribe_raw(sub);
+    }
+
+    // Bind the context and drain its pending control subscriptions.
+    let ctx = definition.context();
+    ctx.inner
+        .set(CtxInner {
+            id,
+            core: weak.clone(),
+            system: Arc::downgrade(system),
+        })
+        .unwrap_or_else(|_| {
+            panic!("ComponentContext reused across component instances")
+        });
+    for sub in ctx.pending_control.lock().drain(..) {
+        let _ = sub.subscriber.set((id, weak.clone()));
+        core.control_inside.subscribe_raw(sub);
+    }
+
+    // Fix up children created during the constructor.
+    for child in frame.deferred_children {
+        *child.parent.lock() = Some(weak.clone());
+        core.children.lock().push(child);
+    }
+
+    *core.definition.lock() = Some(Box::new(definition));
+
+    match parent {
+        Some(p) => p.children.lock().push(Arc::clone(&core)),
+        None => system.register_root(Arc::clone(&core)),
+    }
+
+    Component { core, _marker: std::marker::PhantomData }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A typed handle to a created component.
+pub struct Component<C> {
+    pub(crate) core: Arc<ComponentCore>,
+    _marker: std::marker::PhantomData<fn() -> C>,
+}
+
+impl<C> Clone for Component<C> {
+    fn clone(&self) -> Self {
+        Component { core: Arc::clone(&self.core), _marker: std::marker::PhantomData }
+    }
+}
+
+impl<C> fmt::Debug for Component<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Component({:?})", self.core)
+    }
+}
+
+impl<C> Component<C> {
+    /// The component's id.
+    pub fn id(&self) -> ComponentId {
+        self.core.id
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        self.core.name()
+    }
+
+    /// Current life-cycle state.
+    pub fn lifecycle(&self) -> LifecycleState {
+        self.core.lifecycle()
+    }
+
+    /// A type-erased handle to the same component.
+    pub fn erased(&self) -> ComponentRef {
+        ComponentRef { core: Arc::clone(&self.core) }
+    }
+
+    /// The outside half of the component's provided port of type `P`, for
+    /// connecting channels or triggering requests at it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchPort`] if the component declares no such
+    /// provided port.
+    pub fn provided_ref<P: PortType>(&self) -> Result<PortRef<P>, CoreError> {
+        self.erased().provided_ref()
+    }
+
+    /// The outside half of the component's required port of type `P`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchPort`] if the component declares no such
+    /// required port.
+    pub fn required_ref<P: PortType>(&self) -> Result<PortRef<P>, CoreError> {
+        self.erased().required_ref()
+    }
+
+    /// The outside half of the component's control port.
+    pub fn control_ref(&self) -> PortRef<ControlPort> {
+        PortRef::new(Arc::clone(&self.core.control_outside))
+    }
+
+    /// Runs a closure with exclusive access to the component definition —
+    /// for configuration and test inspection.
+    ///
+    /// Must not be called from within one of this component's own handlers
+    /// (the definition is locked during handler execution, so that would
+    /// deadlock).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Defunct`] if the component was destroyed.
+    pub fn on_definition<R>(&self, f: impl FnOnce(&mut C) -> R) -> Result<R, CoreError>
+    where
+        C: ComponentDefinition,
+    {
+        let mut guard = self.core.definition.lock();
+        let def = guard
+            .as_mut()
+            .ok_or(CoreError::Defunct { what: "component definition" })?;
+        let any: &mut dyn Any = def.as_mut();
+        let concrete = any
+            .downcast_mut::<C>()
+            .expect("Component handle with mismatched definition type");
+        Ok(f(concrete))
+    }
+}
+
+/// A type-erased handle to a created component.
+#[derive(Clone)]
+pub struct ComponentRef {
+    pub(crate) core: Arc<ComponentCore>,
+}
+
+impl fmt::Debug for ComponentRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ComponentRef({:?})", self.core)
+    }
+}
+
+impl ComponentRef {
+    /// The component's id.
+    pub fn id(&self) -> ComponentId {
+        self.core.id
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        self.core.name()
+    }
+
+    /// Current life-cycle state.
+    pub fn lifecycle(&self) -> LifecycleState {
+        self.core.lifecycle()
+    }
+
+    /// Number of events currently queued at this component.
+    pub fn pending(&self) -> usize {
+        self.core.pending()
+    }
+
+    /// See [`Component::provided_ref`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchPort`] if no such provided port exists.
+    pub fn provided_ref<P: PortType>(&self) -> Result<PortRef<P>, CoreError> {
+        self.core
+            .find_port(TypeId::of::<P>(), true)
+            .map(|(_, outside)| PortRef::new(outside))
+            .ok_or(CoreError::NoSuchPort {
+                component: self.core.id,
+                port_type: TypeId::of::<P>(),
+                provided: true,
+            })
+    }
+
+    /// See [`Component::required_ref`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchPort`] if no such required port exists.
+    pub fn required_ref<P: PortType>(&self) -> Result<PortRef<P>, CoreError> {
+        self.core
+            .find_port(TypeId::of::<P>(), false)
+            .map(|(_, outside)| PortRef::new(outside))
+            .ok_or(CoreError::NoSuchPort {
+                component: self.core.id,
+                port_type: TypeId::of::<P>(),
+                provided: false,
+            })
+    }
+
+    /// The outside half of the component's control port.
+    pub fn control_ref(&self) -> PortRef<ControlPort> {
+        PortRef::new(Arc::clone(&self.core.control_outside))
+    }
+
+    pub(crate) fn core(&self) -> &Arc<ComponentCore> {
+        &self.core
+    }
+}

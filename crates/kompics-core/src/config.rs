@@ -1,0 +1,124 @@
+//! Runtime configuration.
+
+use crate::fault::FaultPolicy;
+
+/// Configuration for a [`KompicsSystem`](crate::system::KompicsSystem).
+///
+/// ```rust
+/// use kompics_core::config::Config;
+///
+/// let config = Config::default().workers(4).throughput(1);
+/// assert_eq!(config.worker_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Config {
+    workers: usize,
+    throughput: usize,
+    fault_policy: FaultPolicy,
+    steal_batch: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: 0,
+            throughput: 25,
+            fault_policy: FaultPolicy::default(),
+            steal_batch: true,
+        }
+    }
+}
+
+impl Config {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of scheduler worker threads. `0` (the default) means
+    /// one per available CPU.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the maximum number of events one component executes per
+    /// scheduling (the scheduler's fairness/throughput trade-off). The
+    /// paper's model executes one event per scheduling; larger values
+    /// amortize scheduling overhead.
+    pub fn throughput(mut self, throughput: usize) -> Self {
+        self.throughput = throughput.max(1);
+        self
+    }
+
+    /// Sets what happens to faults no component handles.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Enables (default) or disables *batch* work stealing. When disabled,
+    /// thieves steal a single ready component at a time — the baseline the
+    /// paper compares batching against.
+    pub fn steal_batch(mut self, batch: bool) -> Self {
+        self.steal_batch = batch;
+        self
+    }
+
+    /// The configured number of workers, resolving `0` to the number of
+    /// available CPUs.
+    pub fn worker_count(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+
+    /// The events-per-scheduling throughput value.
+    pub fn throughput_value(&self) -> usize {
+        self.throughput
+    }
+
+    /// The configured fault policy.
+    pub fn fault_policy_value(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Whether batch work stealing is enabled.
+    pub fn steal_batch_value(&self) -> bool {
+        self.steal_batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_resolves_workers() {
+        let c = Config::default();
+        assert!(c.worker_count() >= 1);
+        assert_eq!(c.throughput_value(), 25);
+        assert!(c.steal_batch_value());
+    }
+
+    #[test]
+    fn throughput_is_at_least_one() {
+        let c = Config::default().throughput(0);
+        assert_eq!(c.throughput_value(), 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = Config::new()
+            .workers(2)
+            .throughput(7)
+            .fault_policy(FaultPolicy::Collect)
+            .steal_batch(false);
+        assert_eq!(c.worker_count(), 2);
+        assert_eq!(c.throughput_value(), 7);
+        assert_eq!(c.fault_policy_value(), FaultPolicy::Collect);
+        assert!(!c.steal_batch_value());
+    }
+}

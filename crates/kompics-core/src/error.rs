@@ -1,0 +1,125 @@
+//! Error types returned by runtime operations.
+
+use std::any::TypeId;
+use std::error::Error;
+use std::fmt;
+
+use crate::port::Direction;
+use crate::types::{ChannelId, ComponentId};
+
+/// Errors produced by component, port, and channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The event type is not allowed to pass the port in the given direction.
+    EventNotAllowed {
+        /// Name of the rejected event type.
+        event: &'static str,
+        /// Name of the port type that rejected it.
+        port: &'static str,
+        /// Direction in which the event attempted to pass.
+        direction: Direction,
+    },
+    /// Attempted to connect two port halves with incompatible types.
+    PortTypeMismatch {
+        /// Port type name of the first half.
+        left: &'static str,
+        /// Port type name of the second half.
+        right: &'static str,
+    },
+    /// Attempted to connect two port halves of the same polarity.
+    SamePolarity {
+        /// Port type name of the halves.
+        port: &'static str,
+    },
+    /// The component has no port of the requested type/orientation.
+    NoSuchPort {
+        /// The component that was queried.
+        component: ComponentId,
+        /// `TypeId` of the requested port type.
+        port_type: TypeId,
+        /// Whether a provided (`true`) or required (`false`) port was asked for.
+        provided: bool,
+    },
+    /// The channel end was already plugged, or plugging failed validation.
+    ChannelEndOccupied {
+        /// The channel in question.
+        channel: ChannelId,
+    },
+    /// The channel end is not currently plugged anywhere.
+    ChannelEndEmpty {
+        /// The channel in question.
+        channel: ChannelId,
+    },
+    /// The component (or its system) has already been destroyed or shut down.
+    Defunct {
+        /// Human-readable description of the defunct entity.
+        what: &'static str,
+    },
+    /// State transfer between components failed (wrong state type, or the
+    /// source component does not support extraction).
+    StateTransferFailed {
+        /// Why the transfer failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EventNotAllowed { event, port, direction } => write!(
+                f,
+                "event `{event}` is not allowed through port `{port}` in the {direction} direction"
+            ),
+            CoreError::PortTypeMismatch { left, right } => {
+                write!(f, "cannot connect ports of different types `{left}` and `{right}`")
+            }
+            CoreError::SamePolarity { port } => write!(
+                f,
+                "cannot connect two `{port}` halves of the same polarity; \
+                 a channel joins a positive half to a negative half"
+            ),
+            CoreError::NoSuchPort { component, provided, .. } => write!(
+                f,
+                "component {component} has no {} port of the requested type",
+                if *provided { "provided" } else { "required" }
+            ),
+            CoreError::ChannelEndOccupied { channel } => {
+                write!(f, "channel {channel} end is already plugged into a port")
+            }
+            CoreError::ChannelEndEmpty { channel } => {
+                write!(f, "channel {channel} end is not plugged into any port")
+            }
+            CoreError::Defunct { what } => write!(f, "{what} is no longer alive"),
+            CoreError::StateTransferFailed { reason } => {
+                write!(f, "component state transfer failed: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = CoreError::Defunct { what: "component" };
+        assert_eq!(err.to_string(), "component is no longer alive");
+        let err = CoreError::EventNotAllowed {
+            event: "Ping",
+            port: "PingPort",
+            direction: Direction::Positive,
+        };
+        assert!(err.to_string().contains("Ping"));
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

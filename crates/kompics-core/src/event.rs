@@ -1,0 +1,213 @@
+//! Events: passive, immutable, typed message objects.
+//!
+//! Events in the paper are Java classes with subtype polymorphism: a handler
+//! subscribed for `Message` also handles `DataMessage ⊆ Message`. Rust has no
+//! struct inheritance, so the ancestor chain is *declared*: a "subtype" embeds
+//! its parent event as a field and the [`impl_event!`] macro generates an
+//! [`Event`] implementation whose [`Event::is_instance_of`] and
+//! [`Event::view_as`] walk the chain. A handler subscribed for the parent type
+//! receives a reference to the embedded parent value.
+//!
+//! ```rust
+//! use kompics_core::event::{event_as, Event};
+//! use kompics_core::impl_event;
+//!
+//! #[derive(Debug, Clone)]
+//! pub struct Message { pub source: u64, pub destination: u64 }
+//! impl_event!(Message);
+//!
+//! #[derive(Debug, Clone)]
+//! pub struct DataMessage { pub base: Message, pub sequence_number: u32 }
+//! impl_event!(DataMessage, extends Message, via base);
+//!
+//! let dm = DataMessage { base: Message { source: 1, destination: 2 }, sequence_number: 7 };
+//! let as_event: &dyn Event = &dm;
+//! // A `Message` view of a `DataMessage`:
+//! let msg: &Message = event_as::<Message>(as_event).unwrap();
+//! assert_eq!(msg.destination, 2);
+//! // And the concrete view still works:
+//! assert_eq!(event_as::<DataMessage>(as_event).unwrap().sequence_number, 7);
+//! ```
+
+use std::any::{Any, TypeId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, type-erased event as it travels through ports and channels.
+///
+/// Events are broadcast: one trigger may fan out through several channels to
+/// several handlers, so they are reference-counted rather than cloned.
+pub type EventRef = Arc<dyn Event>;
+
+/// A passive, immutable, typed object passed between components.
+///
+/// Implement this via [`impl_event!`](crate::impl_event) rather than by hand;
+/// the macro encodes the declared ancestor chain used for subtype-aware
+/// publish-subscribe filtering.
+pub trait Event: Any + Send + Sync + fmt::Debug {
+    /// Returns `self` as [`Any`] for downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// A human-readable name of the concrete event type (for diagnostics).
+    fn event_name(&self) -> &'static str;
+
+    /// Returns `true` if this event's concrete type is `id` or has `id` in
+    /// its declared ancestor chain.
+    fn is_instance_of(&self, id: TypeId) -> bool {
+        id == self.as_any().type_id()
+    }
+
+    /// Returns a view of this event as the type identified by `id`: the event
+    /// itself if `id` is the concrete type, or the embedded ancestor value if
+    /// `id` is a declared ancestor.
+    fn view_as(&self, id: TypeId) -> Option<&dyn Any> {
+        if id == self.as_any().type_id() {
+            Some(self.as_any())
+        } else {
+            None
+        }
+    }
+}
+
+/// Extracts a typed view of a type-erased event, honouring the declared
+/// subtype chain: asking for an ancestor type of the concrete event yields
+/// the embedded ancestor value.
+///
+/// Returns `None` if `E` is neither the concrete type nor a declared
+/// ancestor.
+pub fn event_as<E: Event>(event: &dyn Event) -> Option<&E> {
+    event.view_as(TypeId::of::<E>()).and_then(|any| any.downcast_ref::<E>())
+}
+
+/// Implements [`Event`] for a type, optionally declaring its parent event.
+///
+/// Two forms:
+///
+/// * `impl_event!(Foo);` — a root event type.
+/// * `impl_event!(Bar, extends Foo, via base);` — `Bar` is a declared subtype
+///   of `Foo`; `Bar` must have a field `base: Foo` (the embedded parent).
+///   Transitivity follows automatically from the parent's own chain.
+#[macro_export]
+macro_rules! impl_event {
+    ($ty:ty) => {
+        impl $crate::event::Event for $ty {
+            fn as_any(&self) -> &dyn ::std::any::Any {
+                self
+            }
+            fn event_name(&self) -> &'static str {
+                ::std::any::type_name::<$ty>()
+            }
+        }
+    };
+    ($ty:ty, extends $parent:ty, via $field:ident) => {
+        impl $crate::event::Event for $ty {
+            fn as_any(&self) -> &dyn ::std::any::Any {
+                self
+            }
+            fn event_name(&self) -> &'static str {
+                ::std::any::type_name::<$ty>()
+            }
+            fn is_instance_of(&self, id: ::std::any::TypeId) -> bool {
+                id == ::std::any::TypeId::of::<$ty>()
+                    || $crate::event::Event::is_instance_of(&self.$field, id)
+            }
+            fn view_as(
+                &self,
+                id: ::std::any::TypeId,
+            ) -> ::std::option::Option<&dyn ::std::any::Any> {
+                if id == ::std::any::TypeId::of::<$ty>() {
+                    ::std::option::Option::Some(self as &dyn ::std::any::Any)
+                } else {
+                    $crate::event::Event::view_as(&self.$field, id)
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Message {
+        destination: u64,
+    }
+    impl_event!(Message);
+
+    #[derive(Debug, Clone)]
+    struct DataMessage {
+        base: Message,
+        seq: u32,
+    }
+    impl_event!(DataMessage, extends Message, via base);
+
+    #[derive(Debug, Clone)]
+    struct AckMessage {
+        base: DataMessage,
+    }
+    impl_event!(AckMessage, extends DataMessage, via base);
+
+    #[derive(Debug)]
+    struct Unrelated;
+    impl_event!(Unrelated);
+
+    #[test]
+    fn root_event_is_instance_of_itself_only() {
+        let m = Message { destination: 1 };
+        assert!(m.is_instance_of(TypeId::of::<Message>()));
+        assert!(!m.is_instance_of(TypeId::of::<DataMessage>()));
+        assert!(!m.is_instance_of(TypeId::of::<Unrelated>()));
+    }
+
+    #[test]
+    fn subtype_is_instance_of_ancestors() {
+        let dm = DataMessage { base: Message { destination: 2 }, seq: 9 };
+        assert!(dm.is_instance_of(TypeId::of::<DataMessage>()));
+        assert!(dm.is_instance_of(TypeId::of::<Message>()));
+        assert!(!dm.is_instance_of(TypeId::of::<Unrelated>()));
+    }
+
+    #[test]
+    fn transitive_chain_via_grandparent() {
+        let ack = AckMessage {
+            base: DataMessage { base: Message { destination: 3 }, seq: 1 },
+        };
+        assert!(ack.is_instance_of(TypeId::of::<AckMessage>()));
+        assert!(ack.is_instance_of(TypeId::of::<DataMessage>()));
+        assert!(ack.is_instance_of(TypeId::of::<Message>()));
+    }
+
+    #[test]
+    fn view_as_returns_embedded_ancestor() {
+        let dm = DataMessage { base: Message { destination: 4 }, seq: 2 };
+        let dyn_event: &dyn Event = &dm;
+        let as_msg = event_as::<Message>(dyn_event).expect("message view");
+        assert_eq!(as_msg.destination, 4);
+        let as_dm = event_as::<DataMessage>(dyn_event).expect("concrete view");
+        assert_eq!(as_dm.seq, 2);
+        assert!(event_as::<Unrelated>(dyn_event).is_none());
+    }
+
+    #[test]
+    fn parent_view_of_grandchild() {
+        let ack = AckMessage {
+            base: DataMessage { base: Message { destination: 5 }, seq: 6 },
+        };
+        let dyn_event: &dyn Event = &ack;
+        assert_eq!(event_as::<Message>(dyn_event).unwrap().destination, 5);
+        assert_eq!(event_as::<DataMessage>(dyn_event).unwrap().seq, 6);
+    }
+
+    #[test]
+    fn event_name_is_type_name() {
+        let m = Message { destination: 0 };
+        assert!(m.event_name().ends_with("Message"));
+    }
+
+    #[test]
+    fn event_ref_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EventRef>();
+    }
+}

@@ -1,0 +1,67 @@
+//! Fault isolation and management, inspired by Erlang supervision.
+//!
+//! A panic raised (and not caught) inside an event handler is caught by the
+//! runtime, wrapped into a [`Fault`] event, and published on the faulty
+//! component's control port. A parent that subscribed a `Fault` handler on
+//! the child's control port (see
+//! [`ComponentContext::subscribe`](crate::component::ComponentContext::subscribe))
+//! can then replace the faulty child through dynamic reconfiguration or take
+//! other action. If no ancestor handles the fault it escalates to the
+//! system-level [`FaultPolicy`].
+//!
+//! A faulty component stops executing events: anything queued or later
+//! triggered toward it is discarded until it is destroyed and replaced.
+
+use crate::impl_event;
+use crate::types::ComponentId;
+
+/// Notification that a component's handler panicked. Published in the
+/// positive direction on the faulty component's control port and escalated
+/// toward the root until some ancestor handles it.
+#[derive(Debug, Clone)]
+pub struct Fault {
+    /// The faulty component.
+    pub component: ComponentId,
+    /// The faulty component's name (type name plus id).
+    pub component_name: String,
+    /// A rendering of the panic payload.
+    pub error: String,
+}
+impl_event!(Fault);
+
+/// What the system does with a fault that no ancestor component handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Print the fault to standard error and continue (the default).
+    #[default]
+    Log,
+    /// Record the fault; retrieve with
+    /// [`KompicsSystem::collected_faults`](crate::system::KompicsSystem::collected_faults).
+    /// Useful in tests.
+    Collect,
+    /// Print the fault to standard error and abort the process, like the
+    /// paper's default system fault handler.
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn fault_is_an_event() {
+        let f = Fault {
+            component: ComponentId(3),
+            component_name: "Worker c3".into(),
+            error: "boom".into(),
+        };
+        assert!(f.is_instance_of(std::any::TypeId::of::<Fault>()));
+        assert!(f.event_name().ends_with("Fault"));
+    }
+
+    #[test]
+    fn default_policy_is_log() {
+        assert_eq!(FaultPolicy::default(), FaultPolicy::Log);
+    }
+}

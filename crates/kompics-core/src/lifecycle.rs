@@ -1,0 +1,101 @@
+//! Component life-cycle: the control port and its events.
+//!
+//! Every component implicitly provides a **control port** used for
+//! initialization, life-cycle and fault management. A component is created
+//! *passive*: it accepts events (they queue at its ports) but does not
+//! execute them until activated by a [`Start`] request. [`Stop`] passivates
+//! it again, and [`Kill`] destroys it. Activation and passivation recurse
+//! over the component's subtree.
+//!
+//! [`Init`] is the base type for component-specific initialization events:
+//! define `MyInit` embedding [`Init`] via
+//! [`impl_event!`](crate::impl_event) and subscribe a handler with
+//! [`ComponentContext::subscribe_control`]. Because control events execute
+//! before any other event while a component is passive, an `Init` triggered
+//! before `Start` is guaranteed to be handled first.
+//!
+//! [`ComponentContext::subscribe_control`]: crate::component::ComponentContext::subscribe_control
+
+use crate::fault::Fault;
+use crate::{impl_event, port_type};
+
+/// Activation request: delivered on the control port to make a passive
+/// component active. Recursively starts subcomponents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Start;
+impl_event!(Start);
+
+/// Passivation request: the component stops executing non-control events
+/// (they keep queueing). Recursively stops subcomponents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stop;
+impl_event!(Stop);
+
+/// Destruction request: passivates, then destroys the component and its
+/// subtree. After the kill executes, remaining and future events to the
+/// component are discarded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kill;
+impl_event!(Kill);
+
+/// Base type for component-specific initialization events. An `Init`
+/// subtype is guaranteed to be handled before any non-control event if
+/// triggered before [`Start`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Init;
+impl_event!(Init);
+
+/// Indication that the component has executed its [`Start`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Started;
+impl_event!(Started);
+
+/// Indication that the component has executed its [`Stop`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stopped;
+impl_event!(Stopped);
+
+port_type! {
+    /// The control port provided by every component.
+    ///
+    /// Requests: [`Init`] (and subtypes), [`Start`], [`Stop`], [`Kill`].
+    /// Indications: [`Started`], [`Stopped`], [`Fault`].
+    pub struct ControlPort {
+        indication: Started, Stopped, Fault;
+        request: Init, Start, Stop, Kill;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::port::{Direction, PortType};
+
+    #[test]
+    fn control_port_direction_rules() {
+        assert!(ControlPort::allows(&Start, Direction::Negative));
+        assert!(ControlPort::allows(&Stop, Direction::Negative));
+        assert!(ControlPort::allows(&Kill, Direction::Negative));
+        assert!(ControlPort::allows(&Init, Direction::Negative));
+        assert!(!ControlPort::allows(&Start, Direction::Positive));
+        assert!(ControlPort::allows(&Started, Direction::Positive));
+        assert!(ControlPort::allows(&Stopped, Direction::Positive));
+        assert!(!ControlPort::allows(&Started, Direction::Negative));
+    }
+
+    #[derive(Debug)]
+    struct MyInit {
+        base: Init,
+        parameter: u32,
+    }
+    impl_event!(MyInit, extends Init, via base);
+
+    #[test]
+    fn init_subtypes_pass_as_init() {
+        let my = MyInit { base: Init, parameter: 42 };
+        assert!(my.is_instance_of(std::any::TypeId::of::<Init>()));
+        assert!(ControlPort::allows(&my, Direction::Negative));
+        assert_eq!(my.parameter, 42);
+    }
+}

@@ -1,0 +1,788 @@
+//! Ports: bidirectional, event-based component interfaces.
+//!
+//! A port is a gate through which a component communicates with its
+//! environment. A *port type* specifies which event types may pass in the
+//! **positive** (indication/response) and **negative** (request) directions.
+//! By convention a component *provides* a port representing an abstraction it
+//! implements (requests flow in, indications flow out) and *requires* a port
+//! for each abstraction it uses (requests flow out, indications flow in).
+//!
+//! ## Implementation model
+//!
+//! Like the Java runtime the paper describes, every logical port is a **pair
+//! of halves**: an *inside* half (in the scope of the declaring component)
+//! and an *outside* half (in the scope of the parent). Triggering an event on
+//! one half makes it *exit* through the pair half, where it is delivered to
+//! that half's subscriptions and forwarded into that half's channels. This
+//! single rule yields all the paper's composition patterns:
+//!
+//! * sibling wiring — channels between two components' outside halves,
+//! * parents handling events of immediate children — subscriptions on a
+//!   child's outside half,
+//! * hierarchical pass-through — a channel from a composite's own inside half
+//!   to a child's outside half.
+//!
+//! Each half has a *sign*: the direction of events that are delivered to
+//! subscribers **at** that half. For a provided port the inside half has
+//! negative sign (the owner handles requests) and the outside half positive
+//! sign (the world handles indications); for a required port it is the
+//! reverse.
+
+use std::any::TypeId;
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::Mutex;
+
+use crate::channel::Channel;
+use crate::component::{
+    construction_frame_attach, ComponentCore, ComponentDefinition, WorkItem,
+};
+use crate::error::CoreError;
+use crate::event::{event_as, Event, EventRef};
+use crate::types::{ChannelId, ComponentId, HandlerId, PortId};
+
+static NEXT_PORT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_HANDLER_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_port_id() -> PortId {
+    PortId(NEXT_PORT_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+pub(crate) fn fresh_handler_id() -> HandlerId {
+    HandlerId(NEXT_HANDLER_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The direction in which an event traverses a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Indications and responses; flows *out of* a provided port.
+    Positive,
+    /// Requests; flows *into* a provided port.
+    Negative,
+}
+
+impl Direction {
+    /// Returns the opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Positive => Direction::Negative,
+            Direction::Negative => Direction::Positive,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Positive => write!(f, "positive"),
+            Direction::Negative => write!(f, "negative"),
+        }
+    }
+}
+
+/// A port type: a service or protocol abstraction with an event-based
+/// interface, specifying the event types allowed in each direction.
+///
+/// Define port types with the [`port_type!`](crate::port_type) macro. There
+/// is no subtyping relationship between port types, but the direction checks
+/// honour the *event* subtype chains declared with
+/// [`impl_event!`](crate::impl_event).
+pub trait PortType: Sized + Send + Sync + 'static {
+    /// May `event` pass in the positive (indication) direction?
+    fn allows_positive(event: &dyn Event) -> bool;
+    /// May `event` pass in the negative (request) direction?
+    fn allows_negative(event: &dyn Event) -> bool;
+    /// The port type's name, for diagnostics.
+    fn port_name() -> &'static str;
+
+    /// May `event` pass in direction `dir`?
+    fn allows(event: &dyn Event, dir: Direction) -> bool {
+        match dir {
+            Direction::Positive => Self::allows_positive(event),
+            Direction::Negative => Self::allows_negative(event),
+        }
+    }
+}
+
+/// Defines a [`PortType`]: a unit struct plus the positive/negative event
+/// sets.
+///
+/// ```rust
+/// use kompics_core::{impl_event, port_type};
+///
+/// #[derive(Debug)] pub struct ScheduleTimeout(pub u64);
+/// impl_event!(ScheduleTimeout);
+/// #[derive(Debug)] pub struct CancelTimeout(pub u64);
+/// impl_event!(CancelTimeout);
+/// #[derive(Debug)] pub struct Timeout(pub u64);
+/// impl_event!(Timeout);
+///
+/// port_type! {
+///     /// The timer abstraction.
+///     pub struct Timer {
+///         indication: Timeout;
+///         request: ScheduleTimeout, CancelTimeout;
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! port_type {
+    ($(#[$meta:meta])* pub struct $name:ident {
+        indication: $($pos:ty),* $(,)? ;
+        request: $($neg:ty),* $(,)? ;
+    }) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name;
+
+        impl $crate::port::PortType for $name {
+            fn allows_positive(event: &dyn $crate::event::Event) -> bool {
+                $(
+                    if event.is_instance_of(::std::any::TypeId::of::<$pos>()) {
+                        return true;
+                    }
+                )*
+                let _ = event;
+                false
+            }
+            fn allows_negative(event: &dyn $crate::event::Event) -> bool {
+                $(
+                    if event.is_instance_of(::std::any::TypeId::of::<$neg>()) {
+                        return true;
+                    }
+                )*
+                let _ = event;
+                false
+            }
+            fn port_name() -> &'static str {
+                ::std::stringify!($name)
+            }
+        }
+    };
+}
+
+/// The type-erased handler invoked for a delivered event: downcasts the
+/// component definition and the event, then calls the user function.
+pub(crate) type HandlerFn =
+    Arc<dyn Fn(&mut dyn ComponentDefinition, &EventRef) + Send + Sync>;
+
+/// One handler subscription at a port half.
+pub(crate) struct Subscription {
+    pub(crate) id: HandlerId,
+    pub(crate) event_type: TypeId,
+    pub(crate) event_type_name: &'static str,
+    /// The component whose handler this is. Filled in at component creation
+    /// for subscriptions made in the component constructor.
+    pub(crate) subscriber: OnceLock<(ComponentId, Weak<ComponentCore>)>,
+    pub(crate) handler: HandlerFn,
+}
+
+impl fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .field("event_type", &self.event_type_name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Extracts a routing key from an event, used by keyed channel dispatch
+/// (e.g. a network emulator indexing channels by destination address).
+pub type KeyExtractor = Arc<dyn Fn(&dyn Event, Direction) -> Option<u64> + Send + Sync>;
+
+pub(crate) struct ChannelAttachment {
+    pub(crate) id: ChannelId,
+    pub(crate) key: Option<u64>,
+    pub(crate) channel: Arc<Channel>,
+}
+
+#[derive(Default)]
+pub(crate) struct PortInner {
+    pub(crate) subscriptions: Vec<Arc<Subscription>>,
+    pub(crate) channels: Vec<ChannelAttachment>,
+    pub(crate) key_extractor: Option<KeyExtractor>,
+    /// Channel ids by key, maintained when a key extractor is installed.
+    pub(crate) keyed: HashMap<u64, Vec<ChannelId>>,
+}
+
+/// One half of a port pair. See the module documentation for the event-flow
+/// rules.
+pub struct PortCore {
+    pub(crate) id: PortId,
+    pub(crate) port_type: TypeId,
+    pub(crate) type_name: &'static str,
+    /// Sign of events delivered to subscribers at this half.
+    pub(crate) sign: Direction,
+    /// Whether the logical port is provided (`true`) or required.
+    pub(crate) provided: bool,
+    /// Whether this is the inside half (owner scope).
+    pub(crate) inside: bool,
+    pub(crate) allows: fn(&dyn Event, Direction) -> bool,
+    pub(crate) owner: OnceLock<(ComponentId, Weak<ComponentCore>)>,
+    pub(crate) pair: OnceLock<Weak<PortCore>>,
+    pub(crate) inner: Mutex<PortInner>,
+}
+
+impl fmt::Debug for PortCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PortCore")
+            .field("id", &self.id)
+            .field("type", &self.type_name)
+            .field("sign", &self.sign)
+            .field("provided", &self.provided)
+            .field("inside", &self.inside)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PortCore {
+    /// Creates the (inside, outside) pair for a logical port.
+    pub(crate) fn new_pair<P: PortType>(provided: bool) -> (Arc<PortCore>, Arc<PortCore>) {
+        let id = fresh_port_id();
+        // Provided: owner handles requests (inside sign −), world handles
+        // indications (outside sign +). Required: the reverse.
+        let inside_sign =
+            if provided { Direction::Negative } else { Direction::Positive };
+        let make = |sign: Direction, inside: bool| {
+            Arc::new(PortCore {
+                id,
+                port_type: TypeId::of::<P>(),
+                type_name: P::port_name(),
+                sign,
+                provided,
+                inside,
+                allows: P::allows,
+                owner: OnceLock::new(),
+                pair: OnceLock::new(),
+                inner: Mutex::new(PortInner::default()),
+            })
+        };
+        let inside = make(inside_sign, true);
+        let outside = make(inside_sign.opposite(), false);
+        inside
+            .pair
+            .set(Arc::downgrade(&outside))
+            .expect("fresh port pair");
+        outside
+            .pair
+            .set(Arc::downgrade(&inside))
+            .expect("fresh port pair");
+        (inside, outside)
+    }
+
+    /// The id shared by both halves of the pair.
+    pub fn port_id(&self) -> PortId {
+        self.id
+    }
+
+    /// Installs a key extractor used to index channels by a routing key.
+    pub(crate) fn set_key_extractor(&self, extractor: KeyExtractor) {
+        let mut inner = self.inner.lock();
+        inner.key_extractor = Some(extractor);
+    }
+
+    /// An event *enters* this half: triggered on it by a component in this
+    /// half's scope, or delivered by a channel plugged into this half. It
+    /// exits through the pair half.
+    pub(crate) fn trigger_in(&self, dir: Direction, event: EventRef) -> Result<(), CoreError> {
+        if !(self.allows)(event.as_ref(), dir) {
+            return Err(CoreError::EventNotAllowed {
+                event: event.event_name(),
+                port: self.type_name,
+                direction: dir,
+            });
+        }
+        if let Some(pair) = self.pair.get().and_then(Weak::upgrade) {
+            pair.dispatch(dir, event);
+        }
+        Ok(())
+    }
+
+    /// An event *exits* via this half: deliver to this half's subscriptions
+    /// (if the direction matches this half's sign) and forward into this
+    /// half's channels.
+    pub(crate) fn dispatch(self: &Arc<Self>, dir: Direction, event: EventRef) {
+        let (subscribers, channels) = {
+            let inner = self.inner.lock();
+            let mut subscribers: Vec<Arc<ComponentCore>> = Vec::new();
+            if dir == self.sign {
+                for sub in &inner.subscriptions {
+                    if !event.is_instance_of(sub.event_type) {
+                        continue;
+                    }
+                    if let Some((cid, weak)) = sub.subscriber.get() {
+                        if let Some(core) = weak.upgrade() {
+                            if !subscribers.iter().any(|c| c.id() == *cid) {
+                                subscribers.push(core);
+                            }
+                        }
+                    }
+                }
+            }
+            let channels = select_channels(&inner, event.as_ref(), dir);
+            (subscribers, channels)
+        };
+        for component in subscribers {
+            component.enqueue_work(WorkItem {
+                half: Arc::clone(self),
+                direction: dir,
+                event: Arc::clone(&event),
+            });
+        }
+        for channel in channels {
+            channel.forward_from(self.id, self.sign, dir, Arc::clone(&event));
+        }
+    }
+
+    /// Adds a subscription at this half.
+    ///
+    /// Returns an error if `event_type` cannot pass in this half's sign
+    /// direction (checked with a probe at subscribe time is impossible for
+    /// type-level sets, so the check happens per-event at trigger time; here
+    /// we only record the subscription).
+    pub(crate) fn subscribe_raw(&self, sub: Arc<Subscription>) {
+        self.inner.lock().subscriptions.push(sub);
+    }
+
+    /// Removes the subscription with the given id. Returns `true` if found.
+    pub(crate) fn unsubscribe_raw(&self, id: HandlerId) -> bool {
+        let mut inner = self.inner.lock();
+        let before = inner.subscriptions.len();
+        inner.subscriptions.retain(|s| s.id != id);
+        inner.subscriptions.len() != before
+    }
+
+    pub(crate) fn attach_channel(
+        &self,
+        id: ChannelId,
+        key: Option<u64>,
+        channel: Arc<Channel>,
+    ) {
+        let mut inner = self.inner.lock();
+        if let Some(k) = key {
+            inner.keyed.entry(k).or_default().push(id);
+        }
+        inner.channels.push(ChannelAttachment { id, key, channel });
+    }
+
+    /// Snapshot of the channels attached to this half.
+    pub(crate) fn attached_channels(&self) -> Vec<Arc<Channel>> {
+        self.inner
+            .lock()
+            .channels
+            .iter()
+            .map(|a| Arc::clone(&a.channel))
+            .collect()
+    }
+
+    pub(crate) fn detach_channel(&self, id: ChannelId) -> bool {
+        let mut inner = self.inner.lock();
+        let before = inner.channels.len();
+        if let Some(att) = inner.channels.iter().find(|a| a.id == id) {
+            if let Some(k) = att.key {
+                if let Some(ids) = inner.keyed.get_mut(&k) {
+                    ids.retain(|cid| *cid != id);
+                }
+            }
+        }
+        inner.channels.retain(|a| a.id != id);
+        inner.channels.len() != before
+    }
+
+    /// Runs all matching handlers of `owner_def` (belonging to component
+    /// `component`) for a delivered event, in subscription order. Returns the
+    /// number of handlers executed.
+    ///
+    /// Matching is re-evaluated at execution time so that `unsubscribe`
+    /// performed by an earlier event takes effect for queued events, exactly
+    /// as in the paper's reply-once example.
+    pub(crate) fn execute_handlers(
+        &self,
+        component: ComponentId,
+        owner_def: &mut dyn ComponentDefinition,
+        event: &EventRef,
+    ) -> usize {
+        let matching: Vec<HandlerFn> = {
+            let inner = self.inner.lock();
+            inner
+                .subscriptions
+                .iter()
+                .filter(|s| {
+                    s.subscriber.get().is_some_and(|(cid, _)| *cid == component)
+                        && event.is_instance_of(s.event_type)
+                })
+                .map(|s| Arc::clone(&s.handler))
+                .collect()
+        };
+        let count = matching.len();
+        for handler in matching {
+            handler(owner_def, event);
+        }
+        count
+    }
+}
+
+fn select_channels(inner: &PortInner, event: &dyn Event, dir: Direction) -> Vec<Arc<Channel>> {
+    if inner.channels.is_empty() {
+        return Vec::new();
+    }
+    let key = inner
+        .key_extractor
+        .as_ref()
+        .and_then(|extract| extract(event, dir));
+    match key {
+        Some(k) => {
+            let keyed_ids: &[ChannelId] =
+                inner.keyed.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+            inner
+                .channels
+                .iter()
+                .filter(|a| a.key.is_none() || keyed_ids.contains(&a.id))
+                .map(|a| Arc::clone(&a.channel))
+                .collect()
+        }
+        None => inner.channels.iter().map(|a| Arc::clone(&a.channel)).collect(),
+    }
+}
+
+/// Builds the type-erased wrapper around a typed handler function.
+pub(crate) fn erase_handler<C, E, F>(f: F) -> HandlerFn
+where
+    C: ComponentDefinition,
+    E: Event,
+    F: Fn(&mut C, &E) + Send + Sync + 'static,
+{
+    Arc::new(move |def: &mut dyn ComponentDefinition, event: &EventRef| {
+        let any_def: &mut dyn std::any::Any = def;
+        let concrete = any_def
+            .downcast_mut::<C>()
+            .expect("handler subscribed on a component of a different type");
+        let view = event_as::<E>(event.as_ref())
+            .expect("event delivered to handler of incompatible type");
+        f(concrete, view);
+    })
+}
+
+/// Builds a wrapper for a handler that receives the *shared, type-erased*
+/// event instead of a typed view — used by transports that must re-serialize
+/// or re-trigger the concrete event (filtering still honours the subscribed
+/// event type `E`).
+pub(crate) fn erase_handler_shared<C, F>(f: F) -> HandlerFn
+where
+    C: ComponentDefinition,
+    F: Fn(&mut C, &EventRef) + Send + Sync + 'static,
+{
+    Arc::new(move |def: &mut dyn ComponentDefinition, event: &EventRef| {
+        let any_def: &mut dyn std::any::Any = def;
+        let concrete = any_def
+            .downcast_mut::<C>()
+            .expect("handler subscribed on a component of a different type");
+        f(concrete, event);
+    })
+}
+
+/// A shareable reference to one port half, used for connecting channels,
+/// triggering events from outside the owner (e.g. a parent sending lifecycle
+/// requests), and subscribing parent handlers on child ports.
+pub struct PortRef<P: PortType> {
+    pub(crate) half: Arc<PortCore>,
+    pub(crate) _marker: PhantomData<P>,
+}
+
+impl<P: PortType> Clone for PortRef<P> {
+    fn clone(&self) -> Self {
+        PortRef { half: Arc::clone(&self.half), _marker: PhantomData }
+    }
+}
+
+impl<P: PortType> fmt::Debug for PortRef<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortRef<{}>({:?})", P::port_name(), self.half)
+    }
+}
+
+impl<P: PortType> PortRef<P> {
+    pub(crate) fn new(half: Arc<PortCore>) -> Self {
+        PortRef { half, _marker: PhantomData }
+    }
+
+    /// The id of the underlying port pair.
+    pub fn port_id(&self) -> PortId {
+        self.half.port_id()
+    }
+
+    /// Triggers an event *into* this half. The event travels in the
+    /// direction opposite to the half's sign: triggering on the outside half
+    /// of a provided port sends a request in; triggering on the inside half
+    /// of a required port sends a request out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EventNotAllowed`] if the port type does not allow
+    /// the event in that direction.
+    pub fn trigger(&self, event: impl Event) -> Result<(), CoreError> {
+        self.trigger_shared(Arc::new(event))
+    }
+
+    /// Like [`PortRef::trigger`] but takes an already-shared event.
+    pub fn trigger_shared(&self, event: EventRef) -> Result<(), CoreError> {
+        self.half.trigger_in(self.half.sign.opposite(), event)
+    }
+
+    /// Installs a key extractor on this half, enabling keyed channel
+    /// dispatch: channels connected with
+    /// [`connect_keyed`](crate::channel::connect_keyed) whose key does not
+    /// match an event's extracted key are skipped.
+    pub fn set_key_extractor(&self, extractor: KeyExtractor) {
+        self.half.set_key_extractor(extractor);
+    }
+
+    pub(crate) fn core(&self) -> &Arc<PortCore> {
+        &self.half
+    }
+}
+
+/// Common implementation of the owner-facing port fields.
+struct OwnedPort<P: PortType> {
+    inside: Arc<PortCore>,
+    outside: Arc<PortCore>,
+    _marker: PhantomData<P>,
+}
+
+impl<P: PortType> OwnedPort<P> {
+    fn new(provided: bool) -> Self {
+        let (inside, outside) = PortCore::new_pair::<P>(provided);
+        construction_frame_attach(Arc::clone(&inside), Arc::clone(&outside), provided);
+        OwnedPort { inside, outside, _marker: PhantomData }
+    }
+
+    fn trigger(&self, event: impl Event) {
+        self.trigger_shared(Arc::new(event));
+    }
+
+    fn trigger_shared(&self, event: EventRef) {
+        let dir = self.inside.sign.opposite();
+        if let Err(err) = self.inside.trigger_in(dir, event) {
+            // A disallowed event type is a programming error, mirroring the
+            // Java runtime exception; inside a handler this panics into the
+            // fault-handling machinery.
+            panic!("{err}");
+        }
+    }
+
+    fn subscribe<C, E, F>(&self, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        F: Fn(&mut C, &E) + Send + Sync + 'static,
+    {
+        let id = fresh_handler_id();
+        let sub = Arc::new(Subscription {
+            id,
+            event_type: TypeId::of::<E>(),
+            event_type_name: std::any::type_name::<E>(),
+            subscriber: OnceLock::new(),
+            handler: erase_handler(f),
+        });
+        self.inside.subscribe_raw(sub);
+        id
+    }
+
+    fn subscribe_shared<C, E, F>(&self, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        F: Fn(&mut C, &EventRef) + Send + Sync + 'static,
+    {
+        let id = fresh_handler_id();
+        let sub = Arc::new(Subscription {
+            id,
+            event_type: TypeId::of::<E>(),
+            event_type_name: std::any::type_name::<E>(),
+            subscriber: OnceLock::new(),
+            handler: erase_handler_shared(f),
+        });
+        self.inside.subscribe_raw(sub);
+        id
+    }
+
+    fn unsubscribe(&self, id: HandlerId) -> bool {
+        self.inside.unsubscribe_raw(id)
+    }
+}
+
+impl<P: PortType> fmt::Debug for OwnedPort<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Port<{}>({})", P::port_name(), self.inside.id)
+    }
+}
+
+/// A **provided** port field: declare one in a component definition for each
+/// abstraction the component implements.
+///
+/// Construct it with [`ProvidedPort::new`] *inside the component's
+/// constructor closure* passed to
+/// [`KompicsSystem::create`](crate::system::KompicsSystem::create) or
+/// [`ComponentContext::create`](crate::component::ComponentContext::create);
+/// the runtime registers it with the component under construction.
+pub struct ProvidedPort<P: PortType> {
+    port: OwnedPort<P>,
+}
+
+impl<P: PortType> ProvidedPort<P> {
+    /// Creates (and registers with the component under construction) a
+    /// provided port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a component constructor closure.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        ProvidedPort { port: OwnedPort::new(true) }
+    }
+
+    /// Triggers an indication (positive) event out through this port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port type does not allow the event in the positive
+    /// direction — a programming error, which inside a handler becomes a
+    /// component [`Fault`](crate::fault::Fault).
+    pub fn trigger(&self, event: impl Event) {
+        self.port.trigger(event);
+    }
+
+    /// Like [`ProvidedPort::trigger`] with an already-shared event.
+    pub fn trigger_shared(&self, event: EventRef) {
+        self.port.trigger_shared(event);
+    }
+
+    /// Subscribes a handler for request events arriving at this port. The
+    /// handler belongs to the declaring component `C`.
+    pub fn subscribe<C, E, F>(&self, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        F: Fn(&mut C, &E) + Send + Sync + 'static,
+    {
+        self.port.subscribe(f)
+    }
+
+    /// Like [`ProvidedPort::subscribe`] but the handler receives the shared,
+    /// type-erased event (still filtered to `E` instances) — for transports
+    /// that re-serialize or re-trigger the concrete event.
+    pub fn subscribe_shared<C, E, F>(&self, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        F: Fn(&mut C, &EventRef) + Send + Sync + 'static,
+    {
+        self.port.subscribe_shared::<C, E, F>(f)
+    }
+
+    /// Removes a subscription made with [`ProvidedPort::subscribe`].
+    /// Returns `true` if the handler was subscribed.
+    pub fn unsubscribe(&self, id: HandlerId) -> bool {
+        self.port.unsubscribe(id)
+    }
+
+    /// The outside half, for wiring by the parent.
+    pub fn share(&self) -> PortRef<P> {
+        PortRef::new(Arc::clone(&self.port.outside))
+    }
+
+    /// The inside half, for hierarchical pass-through: connect a composite's
+    /// own provided port (inside) to a child's provided port (outside).
+    pub fn inside_ref(&self) -> PortRef<P> {
+        PortRef::new(Arc::clone(&self.port.inside))
+    }
+}
+
+impl<P: PortType> fmt::Debug for ProvidedPort<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Provided{:?}", self.port)
+    }
+}
+
+/// A **required** port field: declare one in a component definition for each
+/// lower-level abstraction the component uses.
+///
+/// See [`ProvidedPort`] for construction rules.
+pub struct RequiredPort<P: PortType> {
+    port: OwnedPort<P>,
+}
+
+impl<P: PortType> RequiredPort<P> {
+    /// Creates (and registers with the component under construction) a
+    /// required port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside a component constructor closure.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        RequiredPort { port: OwnedPort::new(false) }
+    }
+
+    /// Triggers a request (negative) event out through this port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port type does not allow the event in the negative
+    /// direction (see [`ProvidedPort::trigger`]).
+    pub fn trigger(&self, event: impl Event) {
+        self.port.trigger(event);
+    }
+
+    /// Like [`RequiredPort::trigger`] with an already-shared event.
+    pub fn trigger_shared(&self, event: EventRef) {
+        self.port.trigger_shared(event);
+    }
+
+    /// Subscribes a handler for indication events arriving at this port.
+    pub fn subscribe<C, E, F>(&self, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        F: Fn(&mut C, &E) + Send + Sync + 'static,
+    {
+        self.port.subscribe(f)
+    }
+
+    /// Like [`RequiredPort::subscribe`] but the handler receives the shared,
+    /// type-erased event (still filtered to `E` instances).
+    pub fn subscribe_shared<C, E, F>(&self, f: F) -> HandlerId
+    where
+        C: ComponentDefinition,
+        E: Event,
+        F: Fn(&mut C, &EventRef) + Send + Sync + 'static,
+    {
+        self.port.subscribe_shared::<C, E, F>(f)
+    }
+
+    /// Removes a subscription made with [`RequiredPort::subscribe`].
+    /// Returns `true` if the handler was subscribed.
+    pub fn unsubscribe(&self, id: HandlerId) -> bool {
+        self.port.unsubscribe(id)
+    }
+
+    /// The outside half, for wiring by the parent.
+    pub fn share(&self) -> PortRef<P> {
+        PortRef::new(Arc::clone(&self.port.outside))
+    }
+
+    /// The inside half, for hierarchical pass-through of required ports.
+    pub fn inside_ref(&self) -> PortRef<P> {
+        PortRef::new(Arc::clone(&self.port.inside))
+    }
+}
+
+impl<P: PortType> fmt::Debug for RequiredPort<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Required{:?}", self.port)
+    }
+}

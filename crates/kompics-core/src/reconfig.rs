@@ -1,0 +1,178 @@
+//! Dynamic reconfiguration: replacing components at runtime without
+//! dropping events (§2.6 of the paper).
+//!
+//! The paper's recipe to replace a component `c1` with `c2` (with similar
+//! ports):
+//!
+//! 1. `c1`'s parent puts **on hold** and **unplugs** all channels connected
+//!    to `c1`'s ports;
+//! 2. it passivates `c1`, creates `c2`, **plugs** the channels into `c2`'s
+//!    matching ports and **resumes** them;
+//! 3. `c2` is initialized with the state dumped by `c1` and activated;
+//! 4. `c1` is destroyed.
+//!
+//! [`replace_component`] packages the recipe; the individual steps are also
+//! available through [`ChannelRef`](crate::channel::ChannelRef)
+//! (`hold`/`resume`/`plug`/`unplug_*`) for custom protocols.
+
+use std::time::{Duration, Instant};
+
+use crate::channel::ChannelRef;
+use crate::component::ComponentRef;
+use crate::error::CoreError;
+use crate::lifecycle::{Kill, Start, Stop};
+use crate::port::Direction;
+
+/// Options for [`replace_component`].
+#[derive(Debug, Clone)]
+pub struct ReplaceOptions {
+    /// Transfer state from the old to the new component via
+    /// [`ComponentDefinition::extract_state`] /
+    /// [`ComponentDefinition::install_state`] (default `true`).
+    ///
+    /// [`ComponentDefinition::extract_state`]: crate::component::ComponentDefinition::extract_state
+    /// [`ComponentDefinition::install_state`]: crate::component::ComponentDefinition::install_state
+    pub transfer_state: bool,
+    /// How long to wait for the old component to finish executing its
+    /// already-queued events (default 5 s).
+    pub drain_timeout: Duration,
+    /// Whether to start the replacement component (default `true`).
+    pub start_replacement: bool,
+}
+
+impl Default for ReplaceOptions {
+    fn default() -> Self {
+        ReplaceOptions {
+            transfer_state: true,
+            drain_timeout: Duration::from_secs(5),
+            start_replacement: true,
+        }
+    }
+}
+
+/// Replaces `old` with `new`, re-plugging every channel connected to `old`'s
+/// (non-control) outside port halves into `new`'s matching ports. Events
+/// triggered during the swap are buffered by the held channels and flushed
+/// afterwards, so none are dropped.
+///
+/// `new` must declare at least the port types (with matching orientation)
+/// that have channels connected on `old`.
+///
+/// This function blocks while the old component drains; call it from
+/// outside the component being replaced — under a threaded scheduler from
+/// any non-worker thread, or under a sequential scheduler after driving the
+/// system to quiescence.
+///
+/// # Errors
+///
+/// * [`CoreError::NoSuchPort`] if `new` lacks a port that `old` has channels
+///   on;
+/// * [`CoreError::StateTransferFailed`] if the old component does not drain
+///   within the timeout;
+/// * any error from re-plugging channels.
+pub fn replace_component(
+    old: &ComponentRef,
+    new: &ComponentRef,
+    options: ReplaceOptions,
+) -> Result<(), CoreError> {
+    // 1. Hold every channel attached to old's outside halves.
+    struct HeldChannel {
+        channel: ChannelRef,
+        sign: Direction,
+        port_type: std::any::TypeId,
+        provided: bool,
+    }
+    let mut held: Vec<HeldChannel> = Vec::new();
+    {
+        let records = old.core().ports.lock();
+        for record in records.iter() {
+            for arc in record.outside.attached_channels() {
+                let channel = ChannelRef::from_arc(arc);
+                channel.hold();
+                held.push(HeldChannel {
+                    channel,
+                    sign: record.outside.sign,
+                    port_type: record.port_type,
+                    provided: record.provided,
+                });
+            }
+        }
+    }
+
+    // 2. Wait for old to finish its already-queued events (no new ones can
+    //    arrive through the held channels), then passivate it. The order
+    //    matters: `Stop` is a control event and would execute *before*
+    //    queued work items, stranding them in a passive component.
+    let deadline = Instant::now() + options.drain_timeout;
+    let drain = |until: Instant| -> Result<(), CoreError> {
+        loop {
+            let core = old.core();
+            if core.pending() == 0 && !core.is_executing() {
+                return Ok(());
+            }
+            if Instant::now() > until {
+                return Err(CoreError::StateTransferFailed {
+                    reason: "old component did not drain in time",
+                });
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+    let drained = drain(deadline).and_then(|()| {
+        let _ = old
+            .control_ref()
+            .trigger_shared(std::sync::Arc::new(Stop) as crate::event::EventRef);
+        drain(deadline)
+    });
+    if let Err(err) = drained {
+        for h in &held {
+            h.channel.resume();
+        }
+        return Err(err);
+    }
+
+    // 3. Transfer state.
+    if options.transfer_state {
+        let state = {
+            let mut guard = old.core().definition.lock();
+            guard.as_mut().and_then(|def| def.extract_state())
+        };
+        if let Some(state) = state {
+            let mut guard = new.core().definition.lock();
+            if let Some(def) = guard.as_mut() {
+                def.install_state(state);
+            }
+        }
+    }
+
+    // 4. Re-plug the held channels into new's matching ports and resume.
+    for h in &held {
+        let new_half = new
+            .core()
+            .find_port_half(h.port_type, h.provided, false)
+            .ok_or(CoreError::NoSuchPort {
+                component: new.id(),
+                port_type: h.port_type,
+                provided: h.provided,
+            })?;
+        h.channel.unplug_sign(h.sign)?;
+        h.channel.plug_core(&new_half)?;
+    }
+
+    // 5. Activate the replacement, then flush the buffered events.
+    if options.start_replacement {
+        let _ = new
+            .control_ref()
+            .trigger_shared(std::sync::Arc::new(Start) as crate::event::EventRef);
+    }
+    for h in &held {
+        h.channel.resume();
+    }
+
+    // 6. Destroy the old component.
+    let _ = old
+        .control_ref()
+        .trigger_shared(std::sync::Arc::new(Kill) as crate::event::EventRef);
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Component schedulers.
+//!
+//! The execution model is decoupled from component code: a component that
+//! has events waiting is handed to a [`Scheduler`], which decides *where and
+//! when* the component's [`execute`](crate::component::ComponentCore::execute)
+//! slice runs. The same unchanged component code therefore runs under:
+//!
+//! * [`work_stealing::WorkStealingScheduler`] — a pool of workers with
+//!   per-worker ready queues and batch work stealing, for parallel
+//!   multi-core execution (the production mode); and
+//! * [`sequential::SequentialScheduler`] — a single-threaded FIFO run loop
+//!   driven externally, for deterministic simulation.
+
+pub mod sequential;
+pub mod work_stealing;
+
+use std::sync::Arc;
+
+use crate::component::ComponentCore;
+
+/// Decides where and when ready components execute.
+///
+/// An implementation must eventually call
+/// [`ComponentCore::execute`](crate::component::ComponentCore::execute) for
+/// every scheduled component (until [`shutdown`](Scheduler::shutdown)), and
+/// must re-run components whose `execute` returns
+/// [`ExecuteResult::Reschedule`](crate::component::ExecuteResult::Reschedule).
+pub trait Scheduler: Send + Sync + 'static {
+    /// Hands a ready component to the scheduler. The component has already
+    /// claimed its *scheduled* flag; it will be handed over exactly once
+    /// until its next `execute` completes.
+    fn schedule(&self, component: Arc<ComponentCore>);
+
+    /// Stops the scheduler; pending components are dropped.
+    fn shutdown(&self);
+
+    /// A short name for diagnostics.
+    fn describe(&self) -> &'static str;
+}

@@ -1,0 +1,70 @@
+//! The deterministic single-threaded scheduler (simulation mode).
+//!
+//! Ready components are kept in one FIFO queue and executed only when the
+//! owner of the scheduler drives it with
+//! [`run_until_quiescent`](SequentialScheduler::run_until_quiescent) — in
+//! simulation, between advances of the simulated clock. Because everything
+//! runs on the caller's thread in FIFO order, executions are deterministic
+//! and reproducible (given deterministic component code and a seeded RNG).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::component::{ComponentCore, ExecuteResult};
+use crate::sched::Scheduler;
+
+/// Single-threaded FIFO scheduler; see the module documentation.
+#[derive(Default)]
+pub struct SequentialScheduler {
+    queue: Mutex<VecDeque<Arc<ComponentCore>>>,
+}
+
+impl SequentialScheduler {
+    /// Creates an empty sequential scheduler.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SequentialScheduler { queue: Mutex::new(VecDeque::new()) })
+    }
+
+    /// Executes ready components (FIFO) until none remain ready. Returns the
+    /// number of execution slices run.
+    ///
+    /// Call this from a single driving thread. Components executed may
+    /// schedule more components; the loop continues until the system is
+    /// quiescent.
+    pub fn run_until_quiescent(&self) -> u64 {
+        let mut slices = 0;
+        loop {
+            let next = self.queue.lock().pop_front();
+            match next {
+                Some(component) => {
+                    if component.execute() == ExecuteResult::Reschedule {
+                        self.queue.lock().push_back(component);
+                    }
+                    slices += 1;
+                }
+                None => return slices,
+            }
+        }
+    }
+
+    /// Number of components currently ready.
+    pub fn ready_len(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+impl Scheduler for SequentialScheduler {
+    fn schedule(&self, component: Arc<ComponentCore>) {
+        self.queue.lock().push_back(component);
+    }
+
+    fn shutdown(&self) {
+        self.queue.lock().clear();
+    }
+
+    fn describe(&self) -> &'static str {
+        "sequential (simulation)"
+    }
+}

@@ -1,0 +1,234 @@
+//! The multi-core work-stealing scheduler (production mode).
+//!
+//! Design, following §3 of the paper:
+//!
+//! * a pool of worker threads executes ready components;
+//! * every worker has a dedicated lock-free ready queue
+//!   ([`crossbeam::deque`]);
+//! * components scheduled from a worker thread go to that worker's own
+//!   queue; components scheduled from outside the pool go to a shared
+//!   injector queue;
+//! * a worker that runs out of ready components becomes a *thief*: it steals
+//!   a **batch** of roughly half the ready components from a victim's queue
+//!   (the paper reports that batching considerably outperforms stealing
+//!   single components — reproduce this with experiment E3);
+//! * idle workers park and are unparked by new scheduling activity.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use crossbeam::sync::{Parker, Unparker};
+use parking_lot::Mutex;
+
+use crate::component::{ComponentCore, ExecuteResult};
+use crate::sched::Scheduler;
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (pool id, pointer to this worker's deque) — lets `schedule` push to
+    /// the local queue when called from one of this pool's workers.
+    static LOCAL: std::cell::Cell<Option<(u64, *const Deque<Arc<ComponentCore>>)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+struct Pool {
+    id: u64,
+    injector: Injector<Arc<ComponentCore>>,
+    stealers: Vec<Stealer<Arc<ComponentCore>>>,
+    unparkers: Vec<Unparker>,
+    sleepers: AtomicUsize,
+    next_unpark: AtomicUsize,
+    steal_attempts: AtomicU64,
+    steal_successes: AtomicU64,
+    shutdown: AtomicBool,
+    steal_batch: bool,
+}
+
+/// A pool of worker threads with per-worker ready queues and batch work
+/// stealing. See the module documentation.
+pub struct WorkStealingScheduler {
+    pool: Arc<Pool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl WorkStealingScheduler {
+    /// Creates a scheduler with `workers` threads and batch stealing
+    /// enabled.
+    pub fn new(workers: usize) -> Arc<Self> {
+        Self::with_options(workers, true)
+    }
+
+    /// Creates a scheduler choosing batch (`true`) or single-component
+    /// (`false`) stealing — the knob for ablation experiment E3.
+    pub fn with_options(workers: usize, steal_batch: bool) -> Arc<Self> {
+        let workers = workers.max(1);
+        let deques: Vec<Deque<Arc<ComponentCore>>> =
+            (0..workers).map(|_| Deque::new_fifo()).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        let parkers: Vec<Parker> = (0..workers).map(|_| Parker::new()).collect();
+        let unparkers = parkers.iter().map(Parker::unparker).cloned().collect();
+        let pool = Arc::new(Pool {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            injector: Injector::new(),
+            stealers,
+            unparkers,
+            sleepers: AtomicUsize::new(0),
+            next_unpark: AtomicUsize::new(0),
+            steal_attempts: AtomicU64::new(0),
+            steal_successes: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            steal_batch,
+        });
+        let mut threads = Vec::with_capacity(workers);
+        for (index, (deque, parker)) in
+            deques.into_iter().zip(parkers.into_iter()).enumerate()
+        {
+            let pool = Arc::clone(&pool);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("kompics-worker-{index}"))
+                    .spawn(move || worker_loop(pool, deque, parker, index))
+                    .expect("spawn scheduler worker"),
+            );
+        }
+        Arc::new(WorkStealingScheduler { pool, threads: Mutex::new(threads), workers })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// (attempted, successful) steal operations so far — scheduler
+    /// introspection for the benchmarks.
+    pub fn steal_stats(&self) -> (u64, u64) {
+        (
+            self.pool.steal_attempts.load(Ordering::Relaxed),
+            self.pool.steal_successes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn worker_loop(
+    pool: Arc<Pool>,
+    local: Deque<Arc<ComponentCore>>,
+    parker: Parker,
+    index: usize,
+) {
+    LOCAL.with(|slot| slot.set(Some((pool.id, &local as *const _))));
+    while !pool.shutdown.load(Ordering::Acquire) {
+        match find_task(&pool, &local, index) {
+            Some(component) => {
+                if component.execute() == ExecuteResult::Reschedule {
+                    local.push(component);
+                }
+            }
+            None => {
+                pool.sleepers.fetch_add(1, Ordering::SeqCst);
+                if pool.injector.is_empty() && !pool.shutdown.load(Ordering::Acquire) {
+                    // Timed park: a bounded race window with `schedule` can
+                    // lose a wakeup; the timeout caps the damage.
+                    parker.park_timeout(Duration::from_millis(10));
+                }
+                pool.sleepers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    LOCAL.with(|slot| slot.set(None));
+}
+
+fn find_task(
+    pool: &Pool,
+    local: &Deque<Arc<ComponentCore>>,
+    index: usize,
+) -> Option<Arc<ComponentCore>> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match pool.injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    // Steal from a sibling; start at a rotating victim to spread contention.
+    let n = pool.stealers.len();
+    if n > 1 {
+        pool.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            loop {
+                let result = if pool.steal_batch {
+                    pool.stealers[victim].steal_batch_and_pop(local)
+                } else {
+                    pool.stealers[victim].steal()
+                };
+                match result {
+                    Steal::Success(task) => {
+                        pool.steal_successes.fetch_add(1, Ordering::Relaxed);
+                        return Some(task);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+    }
+    None
+}
+
+impl Scheduler for WorkStealingScheduler {
+    fn schedule(&self, component: Arc<ComponentCore>) {
+        let pushed_locally = LOCAL.with(|slot| match slot.get() {
+            Some((pool_id, deque)) if pool_id == self.pool.id => {
+                // Safety: the pointer targets the deque owned by *this*
+                // thread's worker loop, which outlives every `schedule` call
+                // made from this thread (it clears the slot before exiting).
+                unsafe { (*deque).push(Arc::clone(&component)) };
+                true
+            }
+            _ => false,
+        });
+        if !pushed_locally {
+            self.pool.injector.push(component);
+        }
+        if self.pool.sleepers.load(Ordering::SeqCst) > 0 {
+            let i = self.pool.next_unpark.fetch_add(1, Ordering::Relaxed)
+                % self.pool.unparkers.len();
+            self.pool.unparkers[i].unpark();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.pool.shutdown.store(true, Ordering::Release);
+        for unparker in &self.pool.unparkers {
+            unparker.unpark();
+        }
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        let current = std::thread::current().id();
+        for handle in handles {
+            if handle.thread().id() != current {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn describe(&self) -> &'static str {
+        if self.pool.steal_batch {
+            "work-stealing (batch)"
+        } else {
+            "work-stealing (single)"
+        }
+    }
+}
+
+impl Drop for WorkStealingScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

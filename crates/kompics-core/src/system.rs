@@ -1,0 +1,224 @@
+//! The runtime system: component creation, life-cycle entry points,
+//! quiescence detection and system-level fault handling.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::component::{create_in_system, Component, ComponentDefinition};
+use crate::config::Config;
+use crate::fault::{Fault, FaultPolicy};
+use crate::lifecycle::{Kill, Start, Stop};
+use crate::sched::sequential::SequentialScheduler;
+use crate::sched::work_stealing::WorkStealingScheduler;
+use crate::sched::Scheduler;
+use crate::types::ComponentId;
+
+/// Internal shared state of a [`KompicsSystem`].
+pub struct SystemCore {
+    scheduler: Arc<dyn Scheduler>,
+    config: Config,
+    pending: AtomicUsize,
+    quiesce_mutex: Mutex<()>,
+    quiesce_cv: Condvar,
+    faults: Mutex<Vec<Fault>>,
+    next_component: AtomicU64,
+    roots: Mutex<Vec<Arc<crate::component::ComponentCore>>>,
+    shut_down: AtomicBool,
+}
+
+impl SystemCore {
+    pub(crate) fn scheduler(&self) -> &Arc<dyn Scheduler> {
+        &self.scheduler
+    }
+
+    pub(crate) fn throughput(&self) -> usize {
+        self.config.throughput_value()
+    }
+
+    pub(crate) fn next_component_id(&self) -> ComponentId {
+        ComponentId(self.next_component.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn pending_inc(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn pending_dec(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.quiesce_mutex.lock();
+            self.quiesce_cv.notify_all();
+        }
+    }
+
+    pub(crate) fn register_root(&self, core: Arc<crate::component::ComponentCore>) {
+        self.roots.lock().push(core);
+    }
+
+    pub(crate) fn forget_root(&self, id: ComponentId) {
+        self.roots.lock().retain(|c| c.id() != id);
+    }
+
+    pub(crate) fn unhandled_fault(&self, fault: Fault) {
+        match self.config.fault_policy_value() {
+            FaultPolicy::Log => {
+                eprintln!(
+                    "kompics: unhandled fault in {}: {}",
+                    fault.component_name, fault.error
+                );
+            }
+            FaultPolicy::Collect => self.faults.lock().push(fault),
+            FaultPolicy::Halt => {
+                eprintln!(
+                    "kompics: unhandled fault in {}: {} — halting",
+                    fault.component_name, fault.error
+                );
+                std::process::abort();
+            }
+        }
+    }
+}
+
+/// A Kompics runtime instance: owns the scheduler and the root components.
+///
+/// Cheap to clone (all clones share the same runtime). See the
+/// [crate-level example](crate#quickstart).
+#[derive(Clone)]
+pub struct KompicsSystem {
+    core: Arc<SystemCore>,
+}
+
+impl std::fmt::Debug for KompicsSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KompicsSystem")
+            .field("scheduler", &self.core.scheduler.describe())
+            .field("pending", &self.core.pending.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl KompicsSystem {
+    /// Creates a system with the multi-core work-stealing scheduler
+    /// (production mode).
+    pub fn new(config: Config) -> Self {
+        let scheduler = WorkStealingScheduler::with_options(
+            config.worker_count(),
+            config.steal_batch_value(),
+        );
+        Self::with_scheduler(config, scheduler)
+    }
+
+    /// Creates a system with a deterministic single-threaded scheduler and
+    /// returns both; drive execution with
+    /// [`SequentialScheduler::run_until_quiescent`].
+    pub fn sequential(config: Config) -> (Self, Arc<SequentialScheduler>) {
+        let scheduler = SequentialScheduler::new();
+        let system = Self::with_scheduler(config, Arc::clone(&scheduler) as _);
+        (system, scheduler)
+    }
+
+    /// Creates a system with any custom [`Scheduler`].
+    pub fn with_scheduler(config: Config, scheduler: Arc<dyn Scheduler>) -> Self {
+        KompicsSystem {
+            core: Arc::new(SystemCore {
+                scheduler,
+                config,
+                pending: AtomicUsize::new(0),
+                quiesce_mutex: Mutex::new(()),
+                quiesce_cv: Condvar::new(),
+                faults: Mutex::new(Vec::new()),
+                next_component: AtomicU64::new(1),
+                roots: Mutex::new(Vec::new()),
+                shut_down: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &Config {
+        &self.core.config
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn core(&self) -> &Arc<SystemCore> {
+        &self.core
+    }
+
+    /// Creates a top-level component from its constructor closure. The
+    /// component is created **passive**; activate it with
+    /// [`start`](KompicsSystem::start).
+    pub fn create<C, F>(&self, f: F) -> Component<C>
+    where
+        C: ComponentDefinition,
+        F: FnOnce() -> C,
+    {
+        create_in_system(&self.core, None, f)
+    }
+
+    /// Triggers [`Start`] on the component's control port, activating it and
+    /// (recursively) its subtree.
+    pub fn start<C>(&self, component: &Component<C>) {
+        let _ = component
+            .control_ref()
+            .trigger_shared(Arc::new(Start) as crate::event::EventRef);
+    }
+
+    /// Triggers [`Stop`] on the component's control port.
+    pub fn stop<C>(&self, component: &Component<C>) {
+        let _ = component
+            .control_ref()
+            .trigger_shared(Arc::new(Stop) as crate::event::EventRef);
+    }
+
+    /// Triggers [`Kill`] on the component's control port: the component and
+    /// its subtree are destroyed after their queued control events execute.
+    pub fn kill<C>(&self, component: &Component<C>) {
+        let _ = component
+            .control_ref()
+            .trigger_shared(Arc::new(Kill) as crate::event::EventRef);
+    }
+
+    /// Number of events currently queued (or executing) across the whole
+    /// system.
+    pub fn pending(&self) -> usize {
+        self.core.pending.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until no events are queued or executing anywhere in the
+    /// system.
+    ///
+    /// Only meaningful under a threaded scheduler; with a
+    /// [`SequentialScheduler`] drive execution with
+    /// [`run_until_quiescent`](SequentialScheduler::run_until_quiescent)
+    /// instead.
+    pub fn await_quiescence(&self) {
+        loop {
+            if self.core.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let mut guard = self.core.quiesce_mutex.lock();
+            if self.core.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // Timed wait bounds any notify race.
+            self.core
+                .quiesce_cv
+                .wait_for(&mut guard, Duration::from_millis(20));
+        }
+    }
+
+    /// Faults recorded under [`FaultPolicy::Collect`].
+    pub fn collected_faults(&self) -> Vec<Fault> {
+        self.core.faults.lock().clone()
+    }
+
+    /// Stops the scheduler. Components are not individually killed; their
+    /// queues simply stop executing.
+    pub fn shutdown(&self) {
+        if !self.core.shut_down.swap(true, Ordering::SeqCst) {
+            self.core.scheduler.shutdown();
+        }
+    }
+}

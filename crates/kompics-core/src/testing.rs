@@ -1,0 +1,148 @@
+//! Test utilities: an event probe for asserting on port traffic.
+//!
+//! [`EventProbe`] is a component that subscribes to events on arbitrary
+//! port halves and records them, with blocking waits for use from test
+//! threads. It replaces the ad-hoc "recorder component + `Arc<Mutex<Vec>>`"
+//! pattern:
+//!
+//! ```rust
+//! use kompics_core::prelude::*;
+//! use kompics_core::testing::EventProbe;
+//! # use std::time::Duration;
+//!
+//! #[derive(Debug, Clone)]
+//! pub struct Beep(pub u64);
+//! impl_event!(Beep);
+//!
+//! port_type! {
+//!     pub struct Beeper {
+//!         indication: Beep;
+//!         request: ;
+//!     }
+//! }
+//!
+//! # struct Src { ctx: ComponentContext, out: ProvidedPort<Beeper> }
+//! # impl Src { fn new() -> Self { Src { ctx: ComponentContext::new(), out: ProvidedPort::new() } } }
+//! # impl ComponentDefinition for Src {
+//! #     fn context(&self) -> &ComponentContext { &self.ctx }
+//! #     fn type_name(&self) -> &'static str { "Src" }
+//! # }
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = KompicsSystem::new(Config::default());
+//! let source = system.create(Src::new);
+//! let probe = EventProbe::create(&system);
+//! probe.watch::<Beep, Beeper>(&source.provided_ref::<Beeper>()?);
+//! system.start(&source);
+//!
+//! source.on_definition(|s| s.out.trigger(Beep(7)))?;
+//! assert!(probe.await_count(1, Duration::from_secs(1)));
+//! assert_eq!(probe.typed::<Beep>(0).unwrap().0, 7);
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::component::{Component, ComponentContext, ComponentDefinition};
+use crate::event::{event_as, Event, EventRef};
+use crate::port::{PortRef, PortType};
+use crate::system::KompicsSystem;
+
+/// The probe's component definition. Use through the [`Probe`] handle
+/// returned by [`EventProbe::create`].
+pub struct EventProbe {
+    ctx: ComponentContext,
+    // Shared with the `Probe` handle; handlers capture their own clone.
+    #[allow(dead_code)]
+    recorded: Arc<Mutex<Vec<EventRef>>>,
+}
+
+impl EventProbe {
+    /// Creates and starts a probe on `system`.
+    pub fn create(system: &KompicsSystem) -> Probe {
+        let recorded: Arc<Mutex<Vec<EventRef>>> = Arc::new(Mutex::new(Vec::new()));
+        let component = system.create({
+            let recorded = Arc::clone(&recorded);
+            move || EventProbe { ctx: ComponentContext::new(), recorded }
+        });
+        system.start(&component);
+        Probe { component, recorded }
+    }
+}
+
+impl ComponentDefinition for EventProbe {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "EventProbe"
+    }
+}
+
+/// Handle to a created [`EventProbe`].
+#[derive(Clone)]
+pub struct Probe {
+    component: Component<EventProbe>,
+    recorded: Arc<Mutex<Vec<EventRef>>>,
+}
+
+impl Probe {
+    /// Subscribes the probe for events of type `E` arriving at `port`
+    /// (subtype filtering applies, exactly like a normal handler). The
+    /// shared, concrete event is recorded, so [`Probe::typed`] can recover
+    /// both the concrete type and declared ancestors.
+    pub fn watch<E: Event, P: PortType>(&self, port: &PortRef<P>) {
+        let recorded = Arc::clone(&self.recorded);
+        self.component
+            .on_definition(move |probe| {
+                probe.ctx.subscribe_shared::<EventProbe, E, P, _>(
+                    port,
+                    move |_this: &mut EventProbe, event: &EventRef| {
+                        recorded.lock().push(Arc::clone(event));
+                    },
+                );
+            })
+            .expect("probe alive");
+    }
+
+    /// Number of recorded events.
+    pub fn count(&self) -> usize {
+        self.recorded.lock().len()
+    }
+
+    /// Blocks until at least `n` events were recorded or `timeout` elapsed.
+    /// Returns whether the target was reached.
+    pub fn await_count(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.count() >= n {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.count() >= n
+    }
+
+    /// A snapshot of the recorded events.
+    pub fn events(&self) -> Vec<EventRef> {
+        self.recorded.lock().clone()
+    }
+
+    /// The `i`-th recorded event viewed as `E` (concrete type or declared
+    /// ancestor).
+    pub fn typed<E: Event + Clone>(&self, i: usize) -> Option<E> {
+        self.recorded
+            .lock()
+            .get(i)
+            .and_then(|e| event_as::<E>(e.as_ref()).cloned())
+    }
+
+    /// Clears the recording.
+    pub fn clear(&self) {
+        self.recorded.lock().clear();
+    }
+}

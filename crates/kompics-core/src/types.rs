@@ -1,0 +1,78 @@
+//! Identifier newtypes used throughout the runtime.
+//!
+//! Every runtime entity (component, port, channel, handler subscription) is
+//! identified by a small copyable id. Ids are allocated from per-system
+//! monotonic counters and are unique within one [`KompicsSystem`].
+//!
+//! [`KompicsSystem`]: crate::system::KompicsSystem
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw numeric id.
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_newtype! {
+    /// Identifies a component instance.
+    ComponentId, "c"
+}
+id_newtype! {
+    /// Identifies one port *pair* (both the inside and outside half share it).
+    PortId, "p"
+}
+id_newtype! {
+    /// Identifies a channel.
+    ChannelId, "ch"
+}
+id_newtype! {
+    /// Identifies a handler subscription; used to unsubscribe.
+    HandlerId, "h"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(ComponentId(7).to_string(), "c7");
+        assert_eq!(PortId(3).to_string(), "p3");
+        assert_eq!(ChannelId(1).to_string(), "ch1");
+        assert_eq!(HandlerId(9).to_string(), "h9");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let id = ComponentId::from(42);
+        assert_eq!(id.raw(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ComponentId(1) < ComponentId(2));
+        assert_eq!(HandlerId::default(), HandlerId(0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Node addresses.
+
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+use serde::{Deserialize, Serialize};
+
+/// The address of a node in a distributed system: an IPv4 endpoint plus a
+/// logical node id (e.g. the node's ring identifier in CATS).
+///
+/// Transports route by the endpoint; overlays and the simulator route by
+/// [`Address::routing_key`], which is derived from the logical id.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Address {
+    /// IPv4 address octets.
+    pub ip: [u8; 4],
+    /// Transport port.
+    pub port: u16,
+    /// Logical node id.
+    pub id: u64,
+}
+
+impl Address {
+    /// Creates an address from endpoint parts and a logical id.
+    pub fn new(ip: Ipv4Addr, port: u16, id: u64) -> Address {
+        Address { ip: ip.octets(), port, id }
+    }
+
+    /// A loopback address with the given port and id — the common case for
+    /// in-process clusters.
+    pub fn local(port: u16, id: u64) -> Address {
+        Address { ip: [127, 0, 0, 1], port, id }
+    }
+
+    /// A purely logical address (no real endpoint), as used in simulation.
+    pub fn sim(id: u64) -> Address {
+        Address { ip: [0, 0, 0, 0], port: 0, id }
+    }
+
+    /// The IPv4 form of the endpoint.
+    pub fn ip_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.ip)
+    }
+
+    /// The socket address of the endpoint.
+    pub fn socket_addr(&self) -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(self.ip_addr(), self.port))
+    }
+
+    /// The key used by keyed channel dispatch (emulator/local network
+    /// routing): the logical node id.
+    pub fn routing_key(&self) -> u64 {
+        self.id
+    }
+
+    /// Same transport endpoint (ip and port), ignoring the logical id.
+    pub fn same_endpoint(&self, other: &Address) -> bool {
+        self.ip == other.ip && self.port == other.port
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}:{}/{}",
+            self.ip[0], self.ip[1], self.ip[2], self.ip[3], self.port, self.id
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let a = Address::local(8080, 42);
+        assert_eq!(a.to_string(), "127.0.0.1:8080/42");
+    }
+
+    #[test]
+    fn socket_addr_roundtrip() {
+        let a = Address::new(Ipv4Addr::new(10, 1, 2, 3), 9000, 7);
+        assert_eq!(a.socket_addr().to_string(), "10.1.2.3:9000");
+        assert_eq!(a.ip_addr(), Ipv4Addr::new(10, 1, 2, 3));
+    }
+
+    #[test]
+    fn routing_key_is_logical_id() {
+        assert_eq!(Address::sim(99).routing_key(), 99);
+    }
+
+    #[test]
+    fn endpoint_comparison_ignores_id() {
+        let a = Address::local(1000, 1);
+        let b = Address::local(1000, 2);
+        assert!(a.same_endpoint(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Address::new(Ipv4Addr::new(192, 168, 0, 1), 4040, 123);
+        let bytes = kompics_codec::to_bytes(&a).unwrap();
+        let back: Address = kompics_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! Network error type.
+
+use std::fmt;
+
+/// Errors surfaced by transports and the message registry.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// The concrete message type was not registered for serialization.
+    UnregisteredType(&'static str),
+    /// No decoder registered for a received wire tag.
+    UnknownTag(u64),
+    /// A tag was registered twice with different types.
+    DuplicateTag(u64),
+    /// Encoding or decoding failed.
+    Codec(kompics_codec::CodecError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A received frame violated the framing rules.
+    BadFrame(&'static str),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnregisteredType(name) => {
+                write!(f, "message type `{name}` is not registered for the wire")
+            }
+            NetworkError::UnknownTag(tag) => write!(f, "unknown wire tag {tag}"),
+            NetworkError::DuplicateTag(tag) => write!(f, "wire tag {tag} registered twice"),
+            NetworkError::Codec(e) => write!(f, "codec failure: {e}"),
+            NetworkError::Io(e) => write!(f, "socket failure: {e}"),
+            NetworkError::BadFrame(what) => write!(f, "bad frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Codec(e) => Some(e),
+            NetworkError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kompics_codec::CodecError> for NetworkError {
+    fn from(e: kompics_codec::CodecError) -> Self {
+        NetworkError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for NetworkError {
+    fn from(e: std::io::Error) -> Self {
+        NetworkError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(NetworkError::UnknownTag(7).to_string().contains('7'));
+        assert!(NetworkError::UnregisteredType("Ping").to_string().contains("Ping"));
+    }
+}

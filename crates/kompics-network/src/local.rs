@@ -1,0 +1,212 @@
+//! In-process network: routes messages between nodes hosted in one OS
+//! process, in real time, with no serialization.
+//!
+//! This serves the paper's *local interactive stress-test* execution mode
+//! (§4.3): the same node components that would deploy onto separate machines
+//! are all connected to one `LocalNetwork`, each through a **keyed** channel
+//! whose key is the node's [`Address::routing_key`]; the network re-emits
+//! every received message as an indication, and keyed dispatch delivers it
+//! only on the destination's channel.
+
+use std::sync::Arc;
+
+use kompics_core::channel::{connect_keyed, ChannelRef};
+use kompics_core::component::Component;
+use kompics_core::event::{event_as, EventRef};
+use kompics_core::port::{Direction, PortRef};
+use kompics_core::prelude::*;
+
+use crate::address::Address;
+use crate::net::{Message, Network};
+
+/// The in-process transport. See the module documentation.
+///
+/// ```rust,no_run
+/// use kompics_core::prelude::*;
+/// use kompics_network::{Address, LocalNetwork, Network};
+///
+/// # struct Node { ctx: ComponentContext, net: RequiredPort<Network> }
+/// # impl Node { fn new() -> Self { Node { ctx: ComponentContext::new(), net: RequiredPort::new() } } }
+/// # impl ComponentDefinition for Node {
+/// #     fn context(&self) -> &ComponentContext { &self.ctx }
+/// #     fn type_name(&self) -> &'static str { "Node" }
+/// # }
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let system = KompicsSystem::new(Config::default());
+/// let lan = system.create(LocalNetwork::new);
+/// let node = system.create(Node::new);
+/// let addr = Address::local(0, 1);
+/// LocalNetwork::attach(&lan, &node.required_ref::<Network>()?, addr)?;
+/// system.start(&lan);
+/// # Ok(())
+/// # }
+/// ```
+pub struct LocalNetwork {
+    ctx: ComponentContext,
+    net: ProvidedPort<Network>,
+    delivered: u64,
+}
+
+impl LocalNetwork {
+    /// Creates the network component (inside a `create` closure).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let net: ProvidedPort<Network> = ProvidedPort::new();
+        // Route indications by destination id; requests (inbound) unkeyed.
+        net.share().set_key_extractor(Arc::new(|event, dir| {
+            if dir != Direction::Positive {
+                return None;
+            }
+            event_as::<Message>(event).map(|m| m.destination.routing_key())
+        }));
+        net.subscribe_shared::<LocalNetwork, Message, _>(
+            |this: &mut LocalNetwork, event: &EventRef| {
+                this.delivered += 1;
+                // Re-emit the concrete event as an indication; keyed
+                // dispatch sends it only down the destination's channel.
+                this.net.trigger_shared(Arc::clone(event));
+            },
+        );
+        LocalNetwork { ctx: ComponentContext::new(), net, delivered: 0 }
+    }
+
+    /// Number of messages routed so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Connects a node's required [`Network`] port to this network with a
+    /// channel keyed by the node's address, so the node receives exactly the
+    /// messages destined to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors from the runtime.
+    pub fn attach(
+        lan: &Component<LocalNetwork>,
+        node_port: &PortRef<Network>,
+        addr: Address,
+    ) -> Result<ChannelRef, CoreError> {
+        let provided = lan.provided_ref::<Network>()?;
+        connect_keyed(&provided, node_port, addr.routing_key())
+    }
+}
+
+impl ComponentDefinition for LocalNetwork {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "LocalNetwork"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug, Clone)]
+    struct Ping {
+        base: Message,
+        round: u32,
+    }
+    kompics_core::impl_event!(Ping, extends Message, via base);
+
+    /// Echo node: receives Ping, replies with Ping round+1 until round 3.
+    struct Node {
+        ctx: ComponentContext,
+        net: RequiredPort<Network>,
+        addr: Address,
+        received: Arc<Mutex<Vec<(u64, u32)>>>,
+        count: Arc<AtomicUsize>,
+    }
+    impl Node {
+        fn new(
+            addr: Address,
+            received: Arc<Mutex<Vec<(u64, u32)>>>,
+            count: Arc<AtomicUsize>,
+        ) -> Self {
+            let net = RequiredPort::new();
+            net.subscribe(|this: &mut Node, ping: &Ping| {
+                this.received.lock().push((this.addr.id, ping.round));
+                this.count.fetch_add(1, Ordering::SeqCst);
+                if ping.round < 3 {
+                    this.net.trigger(Ping {
+                        base: ping.base.reply(),
+                        round: ping.round + 1,
+                    });
+                }
+            });
+            Node { ctx: ComponentContext::new(), net, addr, received, count }
+        }
+    }
+    impl ComponentDefinition for Node {
+        fn context(&self) -> &ComponentContext {
+            &self.ctx
+        }
+        fn type_name(&self) -> &'static str {
+            "Node"
+        }
+    }
+
+    #[test]
+    fn routes_by_destination_and_supports_ping_pong() {
+        let system = KompicsSystem::new(Config::default().workers(2));
+        let lan = system.create(LocalNetwork::new);
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let count = Arc::new(AtomicUsize::new(0));
+        let a1 = Address::sim(1);
+        let a2 = Address::sim(2);
+        let n1 = system.create({
+            let (r, c) = (received.clone(), count.clone());
+            move || Node::new(a1, r, c)
+        });
+        let n2 = system.create({
+            let (r, c) = (received.clone(), count.clone());
+            move || Node::new(a2, r, c)
+        });
+        LocalNetwork::attach(&lan, &n1.required_ref::<Network>().unwrap(), a1).unwrap();
+        LocalNetwork::attach(&lan, &n2.required_ref::<Network>().unwrap(), a2).unwrap();
+        system.start(&lan);
+        system.start(&n1);
+        system.start(&n2);
+
+        // Kick off: node 1 sends round-0 ping to node 2; they alternate
+        // until round 3: deliveries at 2(r0), 1(r1), 2(r2), 1(r3).
+        n1.on_definition(|n| {
+            n.net.trigger(Ping { base: Message::new(a1, a2), round: 0 })
+        })
+        .unwrap();
+        system.await_quiescence();
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+        assert_eq!(*received.lock(), vec![(2, 0), (1, 1), (2, 2), (1, 3)]);
+        let routed = lan.on_definition(|l| l.delivered()).unwrap();
+        assert_eq!(routed, 4);
+        system.shutdown();
+    }
+
+    #[test]
+    fn message_to_unattached_destination_is_dropped() {
+        let system = KompicsSystem::new(Config::default().workers(2));
+        let lan = system.create(LocalNetwork::new);
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let count = Arc::new(AtomicUsize::new(0));
+        let a1 = Address::sim(1);
+        let n1 = system.create({
+            let (r, c) = (received.clone(), count.clone());
+            move || Node::new(a1, r, c)
+        });
+        LocalNetwork::attach(&lan, &n1.required_ref::<Network>().unwrap(), a1).unwrap();
+        system.start(&lan);
+        system.start(&n1);
+        n1.on_definition(|n| {
+            n.net.trigger(Ping { base: Message::new(a1, Address::sim(99)), round: 0 })
+        })
+        .unwrap();
+        system.await_quiescence();
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        system.shutdown();
+    }
+}

@@ -1,0 +1,114 @@
+//! The Network port type and base message event.
+
+use kompics_core::{impl_event, port_type};
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+
+/// Base type for all network messages: carries source and destination
+/// addresses. Protocol messages are declared as subtypes:
+///
+/// ```rust
+/// use kompics_core::impl_event;
+/// use kompics_network::{Address, Message};
+/// use serde::{Deserialize, Serialize};
+///
+/// #[derive(Debug, Clone, Serialize, Deserialize)]
+/// struct DataMessage {
+///     base: Message,
+///     sequence_number: u32,
+/// }
+/// impl_event!(DataMessage, extends Message, via base);
+///
+/// let m = DataMessage {
+///     base: Message::new(Address::local(1, 1), Address::local(2, 2)),
+///     sequence_number: 9,
+/// };
+/// assert_eq!(m.base.destination.id, 2);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Message {
+    /// The sending node.
+    pub source: Address,
+    /// The receiving node.
+    pub destination: Address,
+}
+impl_event!(Message);
+
+impl Message {
+    /// Creates a message header.
+    pub fn new(source: Address, destination: Address) -> Message {
+        Message { source, destination }
+    }
+
+    /// A reply header: source and destination swapped.
+    pub fn reply(&self) -> Message {
+        Message { source: self.destination, destination: self.source }
+    }
+}
+
+/// Indication that a message could not be delivered (unknown message tag,
+/// connection failure after retries, or unroutable destination). Transports
+/// emit it on their provided [`Network`] port.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The header of the undeliverable message.
+    pub message: Message,
+    /// Why delivery failed.
+    pub reason: String,
+}
+impl_event!(DeadLetter);
+
+port_type! {
+    /// The network abstraction: accepts [`Message`]s (and subtypes) at the
+    /// sending node, delivers them at the destination. [`DeadLetter`]s
+    /// surface delivery failures.
+    pub struct Network {
+        indication: Message, DeadLetter;
+        request: Message;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::event::Event;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn network_port_allows_messages_both_ways() {
+        let m = Message::new(Address::local(1, 1), Address::local(2, 2));
+        assert!(Network::allows(&m, Direction::Positive));
+        assert!(Network::allows(&m, Direction::Negative));
+    }
+
+    #[test]
+    fn dead_letters_are_indications_only() {
+        let dl = DeadLetter {
+            message: Message::new(Address::sim(1), Address::sim(2)),
+            reason: "no route".into(),
+        };
+        assert!(Network::allows(&dl, Direction::Positive));
+        assert!(!Network::allows(&dl, Direction::Negative));
+    }
+
+    #[test]
+    fn reply_swaps_endpoints() {
+        let m = Message::new(Address::sim(1), Address::sim(2));
+        let r = m.reply();
+        assert_eq!(r.source.id, 2);
+        assert_eq!(r.destination.id, 1);
+    }
+
+    #[test]
+    fn subtypes_pass_the_port() {
+        #[derive(Debug, Clone)]
+        struct Ping {
+            base: Message,
+        }
+        kompics_core::impl_event!(Ping, extends Message, via base);
+        let p = Ping { base: Message::new(Address::sim(1), Address::sim(2)) };
+        assert!(p.is_instance_of(std::any::TypeId::of::<Message>()));
+        assert!(Network::allows(&p, Direction::Negative));
+    }
+}

@@ -1,0 +1,216 @@
+//! Message (de)serialization registry.
+//!
+//! A transport must turn a type-erased event back into bytes and vice versa.
+//! Each wire-crossing message type is registered once under a stable numeric
+//! tag; the registry then provides `encode` (concrete type → tag + bytes)
+//! and `decode` (tag + bytes → shared event). This substitutes for the
+//! paper's Kryo setup, where classes are likewise registered with ids.
+
+use std::any::TypeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kompics_core::event::{event_as, Event, EventRef};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::NetworkError;
+
+type EncodeFn = Box<dyn Fn(&dyn Event) -> Result<Vec<u8>, NetworkError> + Send + Sync>;
+type DecodeFn = Box<dyn Fn(&[u8]) -> Result<EventRef, NetworkError> + Send + Sync>;
+
+struct Entry {
+    tag: u64,
+    type_name: &'static str,
+    encode: EncodeFn,
+}
+
+/// Maps message types to wire tags and codecs. Build one per deployment and
+/// share it (via `Arc`) among all transports.
+///
+/// ```rust
+/// use kompics_network::{Address, Message, MessageRegistry};
+/// use serde::{Deserialize, Serialize};
+///
+/// #[derive(Debug, Clone, Serialize, Deserialize)]
+/// struct Ping { base: Message, round: u32 }
+/// kompics_core::impl_event!(Ping, extends Message, via base);
+///
+/// # fn main() -> Result<(), kompics_network::NetworkError> {
+/// let mut registry = MessageRegistry::new();
+/// registry.register::<Ping>(1)?;
+/// let ping = Ping { base: Message::new(Address::sim(1), Address::sim(2)), round: 3 };
+/// let (tag, bytes) = registry.encode(&ping)?;
+/// assert_eq!(tag, 1);
+/// let event = registry.decode(tag, &bytes)?;
+/// assert!(kompics_core::event_as::<Ping>(event.as_ref()).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct MessageRegistry {
+    by_type: HashMap<TypeId, Entry>,
+    by_tag: HashMap<u64, DecodeFn>,
+}
+
+impl MessageRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers message type `T` under `tag`. Both sides of a connection
+    /// must register the same types under the same tags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::DuplicateTag`] if `tag` is already taken.
+    pub fn register<T>(&mut self, tag: u64) -> Result<(), NetworkError>
+    where
+        T: Event + Serialize + DeserializeOwned + 'static,
+    {
+        if self.by_tag.contains_key(&tag) {
+            return Err(NetworkError::DuplicateTag(tag));
+        }
+        self.by_type.insert(
+            TypeId::of::<T>(),
+            Entry {
+                tag,
+                type_name: std::any::type_name::<T>(),
+                encode: Box::new(|event: &dyn Event| {
+                    let concrete = event_as::<T>(event).ok_or(
+                        NetworkError::UnregisteredType("event/type mismatch"),
+                    )?;
+                    Ok(kompics_codec::to_bytes(concrete)?)
+                }),
+            },
+        );
+        self.by_tag.insert(
+            tag,
+            Box::new(|bytes: &[u8]| {
+                let value: T = kompics_codec::from_bytes(bytes)?;
+                Ok(Arc::new(value) as EventRef)
+            }),
+        );
+        Ok(())
+    }
+
+    /// Encodes a type-erased event whose *concrete* type was registered.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnregisteredType`] if the concrete type is unknown,
+    /// or a codec error.
+    pub fn encode(&self, event: &dyn Event) -> Result<(u64, Vec<u8>), NetworkError> {
+        let type_id = event.as_any().type_id();
+        let entry = self
+            .by_type
+            .get(&type_id)
+            .ok_or(NetworkError::UnregisteredType(event.event_name()))?;
+        let bytes = (entry.encode)(event)?;
+        Ok((entry.tag, bytes))
+    }
+
+    /// Decodes a received frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownTag`] for unregistered tags, or a codec error.
+    pub fn decode(&self, tag: u64, bytes: &[u8]) -> Result<EventRef, NetworkError> {
+        let decode = self.by_tag.get(&tag).ok_or(NetworkError::UnknownTag(tag))?;
+        decode(bytes)
+    }
+
+    /// Whether the concrete type of `event` is registered.
+    pub fn can_encode(&self, event: &dyn Event) -> bool {
+        self.by_type.contains_key(&event.as_any().type_id())
+    }
+
+    /// Number of registered message types.
+    pub fn len(&self) -> usize {
+        self.by_tag.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_tag.is_empty()
+    }
+
+    /// The type names registered, for diagnostics.
+    pub fn registered_types(&self) -> Vec<&'static str> {
+        self.by_type.values().map(|e| e.type_name).collect()
+    }
+}
+
+impl std::fmt::Debug for MessageRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageRegistry").field("types", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::net::Message;
+    use serde::Deserialize;
+
+    #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+    struct Ping {
+        base: Message,
+        round: u32,
+    }
+    kompics_core::impl_event!(Ping, extends Message, via base);
+
+    #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+    struct Pong {
+        base: Message,
+    }
+    kompics_core::impl_event!(Pong, extends Message, via base);
+
+    fn ping() -> Ping {
+        Ping { base: Message::new(Address::sim(1), Address::sim(2)), round: 7 }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut r = MessageRegistry::new();
+        r.register::<Ping>(10).unwrap();
+        r.register::<Pong>(11).unwrap();
+        let p = ping();
+        let (tag, bytes) = r.encode(&p).unwrap();
+        assert_eq!(tag, 10);
+        let back = r.decode(tag, &bytes).unwrap();
+        let back = event_as::<Ping>(back.as_ref()).unwrap();
+        assert_eq!(*back, p);
+    }
+
+    #[test]
+    fn unregistered_type_rejected() {
+        let r = MessageRegistry::new();
+        let err = r.encode(&ping()).unwrap_err();
+        assert!(matches!(err, NetworkError::UnregisteredType(_)));
+        assert!(!r.can_encode(&ping()));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let r = MessageRegistry::new();
+        assert!(matches!(r.decode(99, &[]), Err(NetworkError::UnknownTag(99))));
+    }
+
+    #[test]
+    fn duplicate_tag_rejected() {
+        let mut r = MessageRegistry::new();
+        r.register::<Ping>(1).unwrap();
+        assert!(matches!(r.register::<Pong>(1), Err(NetworkError::DuplicateTag(1))));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_body_is_codec_error() {
+        let mut r = MessageRegistry::new();
+        r.register::<Ping>(1).unwrap();
+        assert!(matches!(r.decode(1, &[0xff]), Err(NetworkError::Codec(_))));
+    }
+}

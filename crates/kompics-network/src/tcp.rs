@@ -1,0 +1,430 @@
+//! Real TCP transport over `std::net`.
+//!
+//! Substitutes for the paper's pluggable Java NIO frameworks (Grizzly /
+//! Netty / MINA — see DESIGN.md §4): a `TcpNetwork` component provides the
+//! same [`Network`] port as every other transport and implements
+//!
+//! * automatic connection management — connections are opened on first send
+//!   to an endpoint, kept in a table, re-established on failure;
+//! * message serialization via the [`MessageRegistry`] and the
+//!   `kompics-codec` wire format;
+//! * optional payload compression above a size threshold (the Zlib
+//!   substitute);
+//! * length-prefixed framing: `[u32 len][u8 flags][varint tag][body]`.
+//!
+//! Per endpoint there is one writer thread draining a send queue and, on the
+//! receiving side, one reader thread per accepted connection; decoded
+//! messages are triggered as indications on the provided port (the runtime
+//! then queues them at the destination components).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kompics_core::event::{event_as, EventRef};
+use kompics_core::port::PortRef;
+use kompics_core::prelude::*;
+use parking_lot::Mutex;
+
+use crate::address::Address;
+use crate::error::NetworkError;
+use crate::net::{DeadLetter, Message, Network};
+use crate::registry::MessageRegistry;
+
+const FLAG_COMPRESSED: u8 = 0b0000_0001;
+
+/// Transport tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Compress frame bodies larger than this many bytes; `None` disables
+    /// compression. Default: 512.
+    pub compress_threshold: Option<usize>,
+    /// Connection attempts before a send fails. Default: 3.
+    pub connect_retries: u32,
+    /// Delay between connection attempts. Default: 50 ms.
+    pub connect_retry_delay: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            compress_threshold: Some(512),
+            connect_retries: 3,
+            connect_retry_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+struct Outgoing {
+    header: Message,
+    frame: Vec<u8>,
+}
+
+struct Shared {
+    registry: Arc<MessageRegistry>,
+    config: TcpConfig,
+    connections: Mutex<HashMap<([u8; 4], u16), Sender<Outgoing>>>,
+    shutdown: AtomicBool,
+    sent: AtomicU64,
+    received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+/// The TCP transport component. See the module documentation.
+pub struct TcpNetwork {
+    ctx: ComponentContext,
+    net: ProvidedPort<Network>,
+    self_addr: Address,
+    listener: Option<TcpListener>,
+    shared: Arc<Shared>,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpNetwork {
+    /// Binds a listener for the transport. Use port `0` to let the OS pick;
+    /// the returned [`Address`] carries the actual port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: Address) -> Result<(Address, TcpListener), NetworkError> {
+        let listener = TcpListener::bind(addr.socket_addr())?;
+        let actual = listener.local_addr()?;
+        let bound = Address { ip: addr.ip, port: actual.port(), id: addr.id };
+        Ok((bound, listener))
+    }
+
+    /// Creates the transport component around a pre-bound listener (obtain
+    /// one with [`TcpNetwork::bind`]); call inside a `create` closure.
+    pub fn new(
+        self_addr: Address,
+        listener: TcpListener,
+        registry: Arc<MessageRegistry>,
+        config: TcpConfig,
+    ) -> Self {
+        let net: ProvidedPort<Network> = ProvidedPort::new();
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            connections: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        });
+
+        net.subscribe_shared::<TcpNetwork, Message, _>(
+            |this: &mut TcpNetwork, event: &EventRef| {
+                this.send(event);
+            },
+        );
+        let ctx = ComponentContext::new();
+        ctx.subscribe_control(|this: &mut TcpNetwork, _s: &Start| {
+            this.ensure_listener();
+        });
+
+        TcpNetwork { ctx, net, self_addr, listener: Some(listener), shared, listener_thread: None }
+    }
+
+    /// The transport's own (bound) address.
+    pub fn self_addr(&self) -> Address {
+        self.self_addr
+    }
+
+    /// (messages sent, messages received) so far.
+    pub fn message_stats(&self) -> (u64, u64) {
+        (
+            self.shared.sent.load(Ordering::Relaxed),
+            self.shared.received.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (bytes sent, bytes received) so far, counting frame bodies.
+    pub fn byte_stats(&self) -> (u64, u64) {
+        (
+            self.shared.bytes_sent.load(Ordering::Relaxed),
+            self.shared.bytes_received.load(Ordering::Relaxed),
+        )
+    }
+
+    fn send(&mut self, event: &EventRef) {
+        let Some(header) = event_as::<Message>(event.as_ref()).copied() else {
+            return;
+        };
+        match encode_frame(&self.shared, event.as_ref()) {
+            Ok(frame) => {
+                let endpoint = (header.destination.ip, header.destination.port);
+                let sender = {
+                    let mut table = self.shared.connections.lock();
+                    table
+                        .entry(endpoint)
+                        .or_insert_with(|| {
+                            spawn_writer(
+                                Arc::clone(&self.shared),
+                                header.destination,
+                                self.net.inside_ref(),
+                            )
+                        })
+                        .clone()
+                };
+                self.shared.sent.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .bytes_sent
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                if sender.send(Outgoing { header, frame }).is_err() {
+                    // Writer died; drop it so the next send reconnects.
+                    self.shared.connections.lock().remove(&endpoint);
+                    self.net.trigger(DeadLetter {
+                        message: header,
+                        reason: "connection writer terminated".into(),
+                    });
+                }
+            }
+            Err(err) => {
+                self.net.trigger(DeadLetter { message: header, reason: err.to_string() });
+            }
+        }
+    }
+
+    fn ensure_listener(&mut self) {
+        if self.listener_thread.is_some() {
+            return;
+        }
+        let Some(listener) = self.listener.take() else { return };
+        listener.set_nonblocking(true).expect("set listener nonblocking");
+        let shared = Arc::clone(&self.shared);
+        let port = self.net.inside_ref();
+        let self_addr = self.self_addr;
+        let handle = std::thread::Builder::new()
+            .name(format!("tcp-accept-{}", self.self_addr.port))
+            .spawn(move || accept_loop(listener, shared, port, self_addr))
+            .expect("spawn acceptor");
+        self.listener_thread = Some(handle);
+    }
+}
+
+fn encode_frame(shared: &Shared, event: &dyn kompics_core::event::Event) -> Result<Vec<u8>, NetworkError> {
+    let (tag, body) = shared.registry.encode(event)?;
+    let mut flags = 0u8;
+    let body = match shared.config.compress_threshold {
+        Some(threshold) if body.len() > threshold => {
+            let compressed = kompics_codec::rle_compress(&body);
+            if compressed.len() < body.len() {
+                flags |= FLAG_COMPRESSED;
+                compressed
+            } else {
+                body
+            }
+        }
+        _ => body,
+    };
+    let mut payload = Vec::with_capacity(body.len() + 12);
+    payload.push(flags);
+    kompics_codec::varint::write_u64(&mut payload, tag);
+    payload.extend_from_slice(&body);
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+fn decode_frame(shared: &Shared, payload: &[u8]) -> Result<EventRef, NetworkError> {
+    let mut input = payload;
+    let (&flags, rest) = input
+        .split_first()
+        .ok_or(NetworkError::BadFrame("empty payload"))?;
+    input = rest;
+    let tag = kompics_codec::varint::read_u64(&mut input)?;
+    if flags & FLAG_COMPRESSED != 0 {
+        let body = kompics_codec::rle_decompress(input)?;
+        shared.registry.decode(tag, &body)
+    } else {
+        shared.registry.decode(tag, input)
+    }
+}
+
+fn spawn_writer(
+    shared: Arc<Shared>,
+    destination: Address,
+    port: PortRef<Network>,
+) -> Sender<Outgoing> {
+    let (tx, rx) = unbounded::<Outgoing>();
+    std::thread::Builder::new()
+        .name(format!("tcp-writer-{}", destination.port))
+        .spawn(move || writer_loop(shared, destination, rx, port))
+        .expect("spawn writer");
+    tx
+}
+
+fn try_connect(shared: &Shared, destination: Address) -> Option<TcpStream> {
+    for attempt in 0..shared.config.connect_retries.max(1) {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        match TcpStream::connect(destination.socket_addr()) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+            Err(_) if attempt + 1 < shared.config.connect_retries.max(1) => {
+                std::thread::sleep(shared.config.connect_retry_delay);
+            }
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+fn writer_loop(
+    shared: Arc<Shared>,
+    destination: Address,
+    rx: Receiver<Outgoing>,
+    port: PortRef<Network>,
+) {
+    let mut stream: Option<TcpStream> = None;
+    while let Ok(outgoing) = rx.recv() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // (Re)establish and write; one reconnect attempt per message.
+        let mut delivered = false;
+        for _ in 0..2 {
+            if stream.is_none() {
+                stream = try_connect(&shared, destination);
+            }
+            match stream.as_mut() {
+                Some(s) => match s.write_all(&outgoing.frame) {
+                    Ok(()) => {
+                        delivered = true;
+                        break;
+                    }
+                    Err(_) => stream = None,
+                },
+                None => break,
+            }
+        }
+        if !delivered {
+            let _ = port.trigger(DeadLetter {
+                message: outgoing.header,
+                reason: format!("cannot reach {destination}"),
+            });
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    port: PortRef<Network>,
+    self_addr: Address,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                let port = port.clone();
+                std::thread::Builder::new()
+                    .name(format!("tcp-reader-{}", self_addr.port))
+                    .spawn(move || reader_loop(stream, shared, port, self_addr))
+                    .expect("spawn reader");
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    port: PortRef<Network>,
+    self_addr: Address,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut len_buf = [0u8; 4];
+    let mut payload = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match read_exact_retry(&mut stream, &mut len_buf, &shared) {
+            Ok(true) => {}
+            _ => return,
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        payload.resize(len, 0);
+        match read_exact_retry(&mut stream, &mut payload, &shared) {
+            Ok(true) => {}
+            _ => return,
+        }
+        shared.received.fetch_add(1, Ordering::Relaxed);
+        shared
+            .bytes_received
+            .fetch_add((len + 4) as u64, Ordering::Relaxed);
+        match decode_frame(&shared, &payload) {
+            Ok(event) => {
+                let _ = port.trigger_shared(event);
+            }
+            Err(err) => {
+                let _ = port.trigger(DeadLetter {
+                    message: Message::new(Address::sim(0), self_addr),
+                    reason: format!("undecodable frame: {err}"),
+                });
+            }
+        }
+    }
+}
+
+/// Reads exactly `buf` bytes, retrying on timeouts while not shut down.
+/// Returns `Ok(false)` on clean EOF before any byte.
+fn read_exact_retry(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+impl ComponentDefinition for TcpNetwork {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "TcpNetwork"
+    }
+}
+
+impl Drop for TcpNetwork {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.connections.lock().clear();
+        if let Some(handle) = self.listener_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}

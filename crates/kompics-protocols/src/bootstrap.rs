@@ -1,0 +1,397 @@
+//! Bootstrap service (paper §4.1).
+//!
+//! A `BootstrapServer` maintains a list of online nodes for a system
+//! instance. Every node embeds a `BootstrapClient` providing the
+//! [`Bootstrap`] port: a [`BootstrapRequest`] retrieves a list of alive
+//! nodes from the server ([`BootstrapResponse`]); after the node finishes
+//! its join protocol it triggers [`BootstrapDone`], upon which the client
+//! sends periodic keep-alives. The server evicts nodes whose keep-alives
+//! stop.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::prelude::*;
+use kompics_network::{Address, Message, MessageRegistry, Network, NetworkError};
+use kompics_timer::{ScheduleTimeout, SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
+use serde::{Deserialize, Serialize};
+
+use crate::web::{Web, WebRequest, WebResponse};
+
+// ---------------------------------------------------------------------------
+// Port type and events
+// ---------------------------------------------------------------------------
+
+/// Request: fetch alive nodes from the bootstrap server.
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapRequest;
+impl_event!(BootstrapRequest);
+
+/// Indication: alive nodes returned by the server.
+#[derive(Debug, Clone)]
+pub struct BootstrapResponse {
+    /// A sample of currently alive nodes (possibly empty for the first
+    /// node).
+    pub peers: Vec<Address>,
+}
+impl_event!(BootstrapResponse);
+
+/// Request: the node finished joining; start advertising it via
+/// keep-alives.
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapDone;
+impl_event!(BootstrapDone);
+
+port_type! {
+    /// The bootstrap abstraction provided by [`BootstrapClient`].
+    pub struct Bootstrap {
+        indication: BootstrapResponse;
+        request: BootstrapRequest, BootstrapDone;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// Client → server: request the node list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GetNodesMsg {
+    /// Message header.
+    pub base: Message,
+}
+impl_event!(GetNodesMsg, extends Message, via base);
+
+/// Server → client: the node list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodesMsg {
+    /// Message header.
+    pub base: Message,
+    /// Alive nodes known to the server.
+    pub peers: Vec<Address>,
+}
+impl_event!(NodesMsg, extends Message, via base);
+
+/// Client → server: the node is (still) alive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeepAliveMsg {
+    /// Message header.
+    pub base: Message,
+}
+impl_event!(KeepAliveMsg, extends Message, via base);
+
+/// Registers the bootstrap wire messages under `base_tag .. base_tag + 2`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError::DuplicateTag`].
+pub fn register_messages(
+    registry: &mut MessageRegistry,
+    base_tag: u64,
+) -> Result<(), NetworkError> {
+    registry.register::<GetNodesMsg>(base_tag)?;
+    registry.register::<NodesMsg>(base_tag + 1)?;
+    registry.register::<KeepAliveMsg>(base_tag + 2)
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BootstrapServerConfig {
+    /// Eviction check period. Default 1 s.
+    pub eviction_period: Duration,
+    /// A node is evicted if silent for this long. Default 5 s.
+    pub eviction_timeout: Duration,
+    /// Maximum peers returned per request. Default 16.
+    pub sample_size: usize,
+}
+
+impl Default for BootstrapServerConfig {
+    fn default() -> Self {
+        BootstrapServerConfig {
+            eviction_period: Duration::from_secs(1),
+            eviction_timeout: Duration::from_secs(5),
+            sample_size: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EvictTick {
+    base: Timeout,
+}
+impl_event!(EvictTick, extends Timeout, via base);
+
+/// Tracks alive nodes; answers [`GetNodesMsg`]; evicts silent nodes.
+/// Requires `Network` and `Timer`.
+pub struct BootstrapServer {
+    ctx: ComponentContext,
+    net: RequiredPort<Network>,
+    timer: RequiredPort<Timer>,
+    web: ProvidedPort<Web>,
+    self_addr: Address,
+    config: BootstrapServerConfig,
+    /// node id → (address, silent-for rounds counter reset by keep-alives).
+    nodes: BTreeMap<u64, (Address, Duration)>,
+    requests_served: u64,
+}
+
+impl BootstrapServer {
+    /// Creates the server listening at `self_addr`.
+    pub fn new(self_addr: Address, config: BootstrapServerConfig) -> Self {
+        let ctx = ComponentContext::new();
+        let net: RequiredPort<Network> = RequiredPort::new();
+        let timer: RequiredPort<Timer> = RequiredPort::new();
+
+        net.subscribe(|this: &mut BootstrapServer, req: &GetNodesMsg| {
+            this.requests_served += 1;
+            let peers: Vec<Address> = this
+                .nodes
+                .values()
+                .map(|(a, _)| *a)
+                .filter(|a| a.id != req.base.source.id)
+                .take(this.config.sample_size)
+                .collect();
+            this.net.trigger(NodesMsg { base: req.base.reply(), peers });
+            // A node asking to join is itself alive.
+            this.touch(req.base.source);
+        });
+        net.subscribe(|this: &mut BootstrapServer, ka: &KeepAliveMsg| {
+            this.touch(ka.base.source);
+        });
+        timer.subscribe(|this: &mut BootstrapServer, _t: &EvictTick| {
+            let period = this.config.eviction_period;
+            let timeout = this.config.eviction_timeout;
+            this.nodes.retain(|_, (_, silent)| {
+                *silent += period;
+                *silent <= timeout
+            });
+        });
+        ctx.subscribe_control(|this: &mut BootstrapServer, _s: &Start| {
+            let id = TimeoutId::fresh();
+            this.timer.trigger(SchedulePeriodicTimeout::new(
+                this.config.eviction_period,
+                this.config.eviction_period,
+                id,
+                Arc::new(EvictTick { base: Timeout { id } }),
+            ));
+        });
+
+        let web: ProvidedPort<Web> = ProvidedPort::new();
+        web.subscribe(|this: &mut BootstrapServer, req: &WebRequest| {
+            let mut body = String::from("{\"nodes\":[");
+            for (i, (addr, _)) in this.nodes.values().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("\"{addr}\""));
+            }
+            body.push_str("]}");
+            this.web.trigger(WebResponse { id: req.id, status: 200, body });
+        });
+        BootstrapServer {
+            ctx,
+            net,
+            timer,
+            web,
+            self_addr,
+            config,
+            nodes: BTreeMap::new(),
+            requests_served: 0,
+        }
+    }
+
+    fn touch(&mut self, addr: Address) {
+        self.nodes.insert(addr.id, (addr, Duration::ZERO));
+    }
+
+    /// Currently known alive nodes (test/introspection hook).
+    pub fn alive_nodes(&self) -> Vec<Address> {
+        self.nodes.values().map(|(a, _)| *a).collect()
+    }
+
+    /// Number of bootstrap requests answered.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// The server's address.
+    pub fn self_addr(&self) -> Address {
+        self.self_addr
+    }
+}
+
+impl ComponentDefinition for BootstrapServer {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "BootstrapServer"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BootstrapClientConfig {
+    /// Address of the bootstrap server.
+    pub server: Address,
+    /// Keep-alive period after [`BootstrapDone`]. Default 1 s.
+    pub keep_alive_period: Duration,
+    /// Retry period while a request is unanswered. Default 1 s.
+    pub retry_period: Duration,
+}
+
+impl BootstrapClientConfig {
+    /// Config with default periods.
+    pub fn new(server: Address) -> Self {
+        BootstrapClientConfig {
+            server,
+            keep_alive_period: Duration::from_secs(1),
+            retry_period: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct KeepAliveTick {
+    base: Timeout,
+}
+impl_event!(KeepAliveTick, extends Timeout, via base);
+
+#[derive(Debug, Clone)]
+struct RetryTick {
+    base: Timeout,
+}
+impl_event!(RetryTick, extends Timeout, via base);
+
+/// Provides [`Bootstrap`] to the node; requires `Network` and `Timer`.
+pub struct BootstrapClient {
+    ctx: ComponentContext,
+    bootstrap: ProvidedPort<Bootstrap>,
+    net: RequiredPort<Network>,
+    timer: RequiredPort<Timer>,
+    self_addr: Address,
+    config: BootstrapClientConfig,
+    awaiting_response: bool,
+    keep_alive_running: bool,
+}
+
+impl BootstrapClient {
+    /// Creates the client for the node at `self_addr`.
+    pub fn new(self_addr: Address, config: BootstrapClientConfig) -> Self {
+        let ctx = ComponentContext::new();
+        let bootstrap: ProvidedPort<Bootstrap> = ProvidedPort::new();
+        let net: RequiredPort<Network> = RequiredPort::new();
+        let timer: RequiredPort<Timer> = RequiredPort::new();
+
+        bootstrap.subscribe(|this: &mut BootstrapClient, _req: &BootstrapRequest| {
+            this.awaiting_response = true;
+            this.request_nodes();
+            this.schedule_retry();
+        });
+        bootstrap.subscribe(|this: &mut BootstrapClient, _done: &BootstrapDone| {
+            if !this.keep_alive_running {
+                this.keep_alive_running = true;
+                let id = TimeoutId::fresh();
+                this.timer.trigger(SchedulePeriodicTimeout::new(
+                    this.config.keep_alive_period,
+                    this.config.keep_alive_period,
+                    id,
+                    Arc::new(KeepAliveTick { base: Timeout { id } }),
+                ));
+            }
+        });
+        net.subscribe(|this: &mut BootstrapClient, nodes: &NodesMsg| {
+            if this.awaiting_response {
+                this.awaiting_response = false;
+                this.bootstrap.trigger(BootstrapResponse { peers: nodes.peers.clone() });
+            }
+        });
+        timer.subscribe(|this: &mut BootstrapClient, _t: &KeepAliveTick| {
+            let msg = KeepAliveMsg {
+                base: Message::new(this.self_addr, this.config.server),
+            };
+            this.net.trigger(msg);
+        });
+        timer.subscribe(|this: &mut BootstrapClient, _t: &RetryTick| {
+            if this.awaiting_response {
+                this.request_nodes();
+                this.schedule_retry();
+            }
+        });
+
+        BootstrapClient {
+            ctx,
+            bootstrap,
+            net,
+            timer,
+            self_addr,
+            config,
+            awaiting_response: false,
+            keep_alive_running: false,
+        }
+    }
+
+    fn request_nodes(&mut self) {
+        self.net.trigger(GetNodesMsg {
+            base: Message::new(self.self_addr, self.config.server),
+        });
+    }
+
+    fn schedule_retry(&mut self) {
+        let id = TimeoutId::fresh();
+        self.timer.trigger(ScheduleTimeout::new(
+            self.config.retry_period,
+            id,
+            Arc::new(RetryTick { base: Timeout { id } }),
+        ));
+    }
+}
+
+impl ComponentDefinition for BootstrapClient {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "BootstrapClient"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn bootstrap_port_direction_rules() {
+        assert!(Bootstrap::allows(&BootstrapRequest, Direction::Negative));
+        assert!(Bootstrap::allows(&BootstrapDone, Direction::Negative));
+        assert!(Bootstrap::allows(
+            &BootstrapResponse { peers: vec![] },
+            Direction::Positive
+        ));
+        assert!(!Bootstrap::allows(&BootstrapRequest, Direction::Positive));
+    }
+
+    #[test]
+    fn wire_messages_roundtrip() {
+        let mut registry = MessageRegistry::new();
+        register_messages(&mut registry, 200).unwrap();
+        let msg = NodesMsg {
+            base: Message::new(Address::sim(0), Address::sim(5)),
+            peers: vec![Address::sim(1), Address::sim(2)],
+        };
+        let (tag, bytes) = registry.encode(&msg).unwrap();
+        let back = registry.decode(tag, &bytes).unwrap();
+        let back = kompics_core::event_as::<NodesMsg>(back.as_ref()).unwrap();
+        assert_eq!(back.peers.len(), 2);
+    }
+}

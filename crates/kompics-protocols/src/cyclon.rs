@@ -1,0 +1,354 @@
+//! Cyclon random overlay (peer sampling service).
+//!
+//! Maintains a fixed-size cache of peer descriptors with ages and
+//! periodically *shuffles* a random subset with the oldest peer, yielding a
+//! continuously-mixing random graph. Provides the node-sampling abstraction
+//! the paper's One-Hop Router consumes ("a node sampling service called
+//! Cyclon Overlay to periodically provide random samples of nodes").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::prelude::*;
+use kompics_network::{Address, Message, MessageRegistry, Network, NetworkError};
+use kompics_timer::{SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
+
+use crate::monitor::{Status, StatusRequest, StatusResponse};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Port type and events
+// ---------------------------------------------------------------------------
+
+/// Request: join the overlay through the given seed nodes.
+#[derive(Debug, Clone)]
+pub struct JoinOverlay {
+    /// Initial peers (e.g. from the bootstrap service).
+    pub seeds: Vec<Address>,
+}
+impl_event!(JoinOverlay);
+
+/// Request: ask for a fresh random sample (an unsolicited [`Sample`] is also
+/// published after every shuffle).
+#[derive(Debug, Clone, Default)]
+pub struct SampleRequest;
+impl_event!(SampleRequest);
+
+/// Indication: a random sample of alive peers.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Sampled peer addresses (cache contents).
+    pub peers: Vec<Address>,
+}
+impl_event!(Sample);
+
+port_type! {
+    /// The node-sampling abstraction provided by [`CyclonOverlay`].
+    pub struct NodeSampling {
+        indication: Sample;
+        request: JoinOverlay, SampleRequest;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// A peer descriptor: address plus age in shuffle rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Descriptor {
+    /// The peer.
+    pub addr: Address,
+    /// Rounds since this descriptor was created.
+    pub age: u32,
+}
+
+/// Shuffle request carrying a subset of the sender's cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShuffleRequest {
+    /// Message header.
+    pub base: Message,
+    /// Offered descriptors (includes the sender with age 0).
+    pub entries: Vec<Descriptor>,
+}
+impl_event!(ShuffleRequest, extends Message, via base);
+
+/// Shuffle reply carrying a subset of the receiver's cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShuffleResponse {
+    /// Message header.
+    pub base: Message,
+    /// Offered descriptors.
+    pub entries: Vec<Descriptor>,
+}
+impl_event!(ShuffleResponse, extends Message, via base);
+
+/// Registers the Cyclon wire messages under `base_tag` and `base_tag + 1`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError::DuplicateTag`].
+pub fn register_messages(
+    registry: &mut MessageRegistry,
+    base_tag: u64,
+) -> Result<(), NetworkError> {
+    registry.register::<ShuffleRequest>(base_tag)?;
+    registry.register::<ShuffleResponse>(base_tag + 1)
+}
+
+// ---------------------------------------------------------------------------
+// Component
+// ---------------------------------------------------------------------------
+
+/// Protocol parameters.
+#[derive(Debug, Clone)]
+pub struct CyclonConfig {
+    /// Cache capacity (`c`). Default 20.
+    pub cache_size: usize,
+    /// Descriptors exchanged per shuffle (`l`). Default 8.
+    pub shuffle_length: usize,
+    /// Shuffle period. Default 1 s.
+    pub period: Duration,
+    /// RNG seed for this node's random choices.
+    pub seed: u64,
+}
+
+impl Default for CyclonConfig {
+    fn default() -> Self {
+        CyclonConfig {
+            cache_size: 20,
+            shuffle_length: 8,
+            period: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ShuffleTick {
+    base: Timeout,
+}
+impl_event!(ShuffleTick, extends Timeout, via base);
+
+/// The Cyclon overlay component: provides [`NodeSampling`], requires
+/// `Network` and `Timer`.
+pub struct CyclonOverlay {
+    ctx: ComponentContext,
+    sampling: ProvidedPort<NodeSampling>,
+    status: ProvidedPort<Status>,
+    net: RequiredPort<Network>,
+    timer: RequiredPort<Timer>,
+    self_addr: Address,
+    config: CyclonConfig,
+    cache: Vec<Descriptor>,
+    /// Descriptors sent in the round-trip shuffle in flight, eligible for
+    /// replacement when the response arrives.
+    pending_sent: Vec<Descriptor>,
+    rng: StdRng,
+    shuffles: u64,
+}
+
+impl CyclonOverlay {
+    /// Creates the overlay component for the node at `self_addr`.
+    pub fn new(self_addr: Address, config: CyclonConfig) -> Self {
+        let ctx = ComponentContext::new();
+        let sampling: ProvidedPort<NodeSampling> = ProvidedPort::new();
+        let net: RequiredPort<Network> = RequiredPort::new();
+        let timer: RequiredPort<Timer> = RequiredPort::new();
+
+        sampling.subscribe(|this: &mut CyclonOverlay, join: &JoinOverlay| {
+            for seed in &join.seeds {
+                if seed.id != this.self_addr.id {
+                    this.insert(Descriptor { addr: *seed, age: 0 });
+                }
+            }
+        });
+        sampling.subscribe(|this: &mut CyclonOverlay, _req: &SampleRequest| {
+            this.publish_sample();
+        });
+        net.subscribe(|this: &mut CyclonOverlay, req: &ShuffleRequest| {
+            // Respond with a random subset of our cache, then merge theirs.
+            let subset = this.random_subset(this.config.shuffle_length);
+            this.net
+                .trigger(ShuffleResponse { base: req.base.reply(), entries: subset.clone() });
+            this.merge(&req.entries, &subset);
+        });
+        net.subscribe(|this: &mut CyclonOverlay, resp: &ShuffleResponse| {
+            let sent = std::mem::take(&mut this.pending_sent);
+            this.merge(&resp.entries, &sent);
+            this.publish_sample();
+        });
+        timer.subscribe(|this: &mut CyclonOverlay, _t: &ShuffleTick| {
+            this.shuffle();
+        });
+        ctx.subscribe_control(|this: &mut CyclonOverlay, _s: &Start| {
+            let id = TimeoutId::fresh();
+            this.timer.trigger(SchedulePeriodicTimeout::new(
+                this.config.period,
+                this.config.period,
+                id,
+                Arc::new(ShuffleTick { base: Timeout { id } }),
+            ));
+        });
+
+        let status: ProvidedPort<Status> = ProvidedPort::new();
+        status.subscribe(|this: &mut CyclonOverlay, req: &StatusRequest| {
+            this.status.trigger(StatusResponse {
+                tag: req.tag,
+                component: "CyclonOverlay".into(),
+                entries: vec![
+                    ("cache_size".into(), this.cache.len().to_string()),
+                    ("shuffles".into(), this.shuffles.to_string()),
+                ],
+            });
+        });
+
+        let rng = StdRng::seed_from_u64(config.seed ^ self_addr.id);
+        CyclonOverlay {
+            ctx,
+            sampling,
+            status,
+            net,
+            timer,
+            self_addr,
+            config,
+            cache: Vec::new(),
+            pending_sent: Vec::new(),
+            rng,
+            shuffles: 0,
+        }
+    }
+
+    /// Current cache contents (test/introspection hook).
+    pub fn cache(&self) -> Vec<Address> {
+        self.cache.iter().map(|d| d.addr).collect()
+    }
+
+    /// Completed shuffle initiations.
+    pub fn shuffles(&self) -> u64 {
+        self.shuffles
+    }
+
+    fn publish_sample(&mut self) {
+        let peers = self.cache();
+        self.sampling.trigger(Sample { peers });
+    }
+
+    fn insert(&mut self, d: Descriptor) {
+        if d.addr.id == self.self_addr.id {
+            return;
+        }
+        if let Some(existing) = self.cache.iter_mut().find(|e| e.addr.id == d.addr.id) {
+            existing.age = existing.age.min(d.age);
+            return;
+        }
+        if self.cache.len() < self.config.cache_size {
+            self.cache.push(d);
+        }
+    }
+
+    fn random_subset(&mut self, n: usize) -> Vec<Descriptor> {
+        let mut indices: Vec<usize> = (0..self.cache.len()).collect();
+        indices.shuffle(&mut self.rng);
+        indices.truncate(n);
+        indices.into_iter().map(|i| self.cache[i]).collect()
+    }
+
+    /// Merges `received` into the cache, preferring to evict the entries in
+    /// `sent` (standard Cyclon replacement rule).
+    fn merge(&mut self, received: &[Descriptor], sent: &[Descriptor]) {
+        for d in received {
+            if d.addr.id == self.self_addr.id {
+                continue;
+            }
+            if let Some(existing) =
+                self.cache.iter_mut().find(|e| e.addr.id == d.addr.id)
+            {
+                existing.age = existing.age.min(d.age);
+                continue;
+            }
+            if self.cache.len() < self.config.cache_size {
+                self.cache.push(*d);
+                continue;
+            }
+            // Cache full: replace one of the entries we sent away, else a
+            // random entry.
+            let victim = self
+                .cache
+                .iter()
+                .position(|e| sent.iter().any(|s| s.addr.id == e.addr.id))
+                .unwrap_or_else(|| self.rng.gen_range(0..self.cache.len()));
+            self.cache[victim] = *d;
+        }
+    }
+
+    fn shuffle(&mut self) {
+        if self.cache.is_empty() {
+            return;
+        }
+        for d in &mut self.cache {
+            d.age += 1;
+        }
+        // Contact the oldest peer. Unlike textbook Cyclon we keep the
+        // target in the cache with its age reset (it stays *replaceable* by
+        // the response via `pending_sent`): removing it outright would
+        // disconnect a freshly-bootstrapped node whose only contact answers
+        // with an empty cache.
+        let (idx, _) = self
+            .cache
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, d)| d.age)
+            .expect("cache not empty");
+        self.cache[idx].age = 0;
+        let target = self.cache[idx];
+        let mut subset = self.random_subset(self.config.shuffle_length - 1);
+        subset.push(Descriptor { addr: self.self_addr, age: 0 });
+        self.pending_sent = subset.clone();
+        self.pending_sent.push(target);
+        self.net.trigger(ShuffleRequest {
+            base: Message::new(self.self_addr, target.addr),
+            entries: subset,
+        });
+        self.shuffles += 1;
+    }
+}
+
+impl ComponentDefinition for CyclonOverlay {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "CyclonOverlay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn sampling_port_direction_rules() {
+        assert!(NodeSampling::allows(&JoinOverlay { seeds: vec![] }, Direction::Negative));
+        assert!(NodeSampling::allows(&SampleRequest, Direction::Negative));
+        assert!(NodeSampling::allows(&Sample { peers: vec![] }, Direction::Positive));
+    }
+
+    #[test]
+    fn shuffle_messages_roundtrip() {
+        let mut registry = MessageRegistry::new();
+        register_messages(&mut registry, 300).unwrap();
+        let req = ShuffleRequest {
+            base: Message::new(Address::sim(1), Address::sim(2)),
+            entries: vec![Descriptor { addr: Address::sim(3), age: 4 }],
+        };
+        let (tag, bytes) = registry.encode(&req).unwrap();
+        let back = registry.decode(tag, &bytes).unwrap();
+        let back = kompics_core::event_as::<ShuffleRequest>(back.as_ref()).unwrap();
+        assert_eq!(back.entries[0].age, 4);
+    }
+}

@@ -1,0 +1,323 @@
+//! Eventually-perfect ping failure detector.
+//!
+//! Implements the classic ◇P algorithm over the `Network` and `Timer`
+//! abstractions: every round the detector pings all monitored peers and
+//! checks which answered during the previous round. A silent peer is
+//! *suspected*; a pong from a suspected peer *restores* it and increases
+//! the round delay (adapting to the real network latency, so suspicions are
+//! eventually accurate in partially synchronous networks).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::prelude::*;
+use kompics_network::{Address, Message, MessageRegistry, Network, NetworkError};
+use kompics_timer::{ScheduleTimeout, Timeout, TimeoutId, Timer};
+use serde::{Deserialize, Serialize};
+
+use crate::monitor::{Status, StatusRequest, StatusResponse};
+
+// ---------------------------------------------------------------------------
+// Port type and events
+// ---------------------------------------------------------------------------
+
+/// Request: begin monitoring a peer.
+#[derive(Debug, Clone)]
+pub struct StartMonitoring {
+    /// The peer to monitor.
+    pub peer: Address,
+}
+impl_event!(StartMonitoring);
+
+/// Request: stop monitoring a peer.
+#[derive(Debug, Clone)]
+pub struct StopMonitoring {
+    /// The peer to forget.
+    pub peer: Address,
+}
+impl_event!(StopMonitoring);
+
+/// Indication: the peer is suspected to have crashed.
+#[derive(Debug, Clone)]
+pub struct Suspect {
+    /// The suspected peer.
+    pub peer: Address,
+}
+impl_event!(Suspect);
+
+/// Indication: a previously suspected peer answered again.
+#[derive(Debug, Clone)]
+pub struct Restore {
+    /// The restored peer.
+    pub peer: Address,
+}
+impl_event!(Restore);
+
+port_type! {
+    /// The eventually-perfect failure detector abstraction (◇P).
+    pub struct EventuallyPerfectFd {
+        indication: Suspect, Restore;
+        request: StartMonitoring, StopMonitoring;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// Heartbeat request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FdPing {
+    /// Message header.
+    pub base: Message,
+    /// Round number, echoed in the pong.
+    pub seq: u64,
+}
+impl_event!(FdPing, extends Message, via base);
+
+/// Heartbeat reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FdPong {
+    /// Message header.
+    pub base: Message,
+    /// Echoed round number.
+    pub seq: u64,
+}
+impl_event!(FdPong, extends Message, via base);
+
+/// Registers the detector's wire messages under `base_tag` and
+/// `base_tag + 1`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError::DuplicateTag`].
+pub fn register_messages(
+    registry: &mut MessageRegistry,
+    base_tag: u64,
+) -> Result<(), NetworkError> {
+    registry.register::<FdPing>(base_tag)?;
+    registry.register::<FdPong>(base_tag + 1)
+}
+
+// ---------------------------------------------------------------------------
+// Component
+// ---------------------------------------------------------------------------
+
+/// Timing parameters.
+#[derive(Debug, Clone)]
+pub struct FdConfig {
+    /// Initial round delay. Default 500 ms.
+    pub initial_delay: Duration,
+    /// Added to the delay whenever a suspicion proves premature.
+    /// Default 250 ms.
+    pub delta: Duration,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        FdConfig {
+            initial_delay: Duration::from_millis(500),
+            delta: Duration::from_millis(250),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FdTick {
+    base: Timeout,
+}
+impl_event!(FdTick, extends Timeout, via base);
+
+/// The ping failure detector component: provides
+/// [`EventuallyPerfectFd`], requires `Network` and `Timer`.
+pub struct PingFailureDetector {
+    ctx: ComponentContext,
+    fd: ProvidedPort<EventuallyPerfectFd>,
+    status: ProvidedPort<Status>,
+    net: RequiredPort<Network>,
+    timer: RequiredPort<Timer>,
+    self_addr: Address,
+    config: FdConfig,
+    delay: Duration,
+    monitored: BTreeMap<u64, Address>,
+    alive: BTreeSet<u64>,
+    suspected: BTreeSet<u64>,
+    seq: u64,
+    running: bool,
+}
+
+impl PingFailureDetector {
+    /// Creates the detector for the node at `self_addr`.
+    pub fn new(self_addr: Address, config: FdConfig) -> Self {
+        let ctx = ComponentContext::new();
+        let fd: ProvidedPort<EventuallyPerfectFd> = ProvidedPort::new();
+        let net: RequiredPort<Network> = RequiredPort::new();
+        let timer: RequiredPort<Timer> = RequiredPort::new();
+
+        fd.subscribe(|this: &mut PingFailureDetector, req: &StartMonitoring| {
+            this.monitored.insert(req.peer.id, req.peer);
+            // Give the new peer a first round to answer before suspecting.
+            this.alive.insert(req.peer.id);
+            this.ping(req.peer);
+        });
+        fd.subscribe(|this: &mut PingFailureDetector, req: &StopMonitoring| {
+            this.monitored.remove(&req.peer.id);
+            this.alive.remove(&req.peer.id);
+            this.suspected.remove(&req.peer.id);
+        });
+        net.subscribe(|this: &mut PingFailureDetector, ping: &FdPing| {
+            this.net.trigger(FdPong { base: ping.base.reply(), seq: ping.seq });
+        });
+        net.subscribe(|this: &mut PingFailureDetector, pong: &FdPong| {
+            if pong.seq == this.seq {
+                this.alive.insert(pong.base.source.id);
+            }
+        });
+        timer.subscribe(|this: &mut PingFailureDetector, _tick: &FdTick| {
+            this.round();
+        });
+        ctx.subscribe_control(|this: &mut PingFailureDetector, _s: &Start| {
+            this.running = true;
+            this.schedule_tick();
+        });
+        ctx.subscribe_control(|this: &mut PingFailureDetector, _s: &Stop| {
+            this.running = false;
+        });
+        let status: ProvidedPort<Status> = ProvidedPort::new();
+        status.subscribe(|this: &mut PingFailureDetector, req: &StatusRequest| {
+            this.status.trigger(StatusResponse {
+                tag: req.tag,
+                component: "PingFailureDetector".into(),
+                entries: vec![
+                    ("monitored".into(), this.monitored.len().to_string()),
+                    ("suspected".into(), this.suspected.len().to_string()),
+                    ("delay_ms".into(), this.delay.as_millis().to_string()),
+                ],
+            });
+        });
+
+        let delay = config.initial_delay;
+        PingFailureDetector {
+            ctx,
+            fd,
+            status,
+            net,
+            timer,
+            self_addr,
+            config,
+            delay,
+            monitored: BTreeMap::new(),
+            alive: BTreeSet::new(),
+            suspected: BTreeSet::new(),
+            seq: 0,
+            running: false,
+        }
+    }
+
+    /// Currently suspected peers (test/introspection hook).
+    pub fn suspected(&self) -> Vec<Address> {
+        self.monitored
+            .iter()
+            .filter(|(id, _)| self.suspected.contains(id))
+            .map(|(_, addr)| *addr)
+            .collect()
+    }
+
+    /// The current (adaptive) round delay.
+    pub fn current_delay(&self) -> Duration {
+        self.delay
+    }
+
+    fn ping(&mut self, peer: Address) {
+        self.net
+            .trigger(FdPing { base: Message::new(self.self_addr, peer), seq: self.seq });
+    }
+
+    fn schedule_tick(&mut self) {
+        let id = TimeoutId::fresh();
+        self.timer.trigger(ScheduleTimeout::new(
+            self.delay,
+            id,
+            Arc::new(FdTick { base: Timeout { id } }),
+        ));
+    }
+
+    fn round(&mut self) {
+        if !self.running {
+            return;
+        }
+        // A premature suspicion (peer both alive and suspected) means the
+        // delay was too short: adapt.
+        if self.monitored.keys().any(|id| self.alive.contains(id) && self.suspected.contains(id))
+        {
+            self.delay += self.config.delta;
+        }
+        let peers: Vec<(u64, Address)> =
+            self.monitored.iter().map(|(id, a)| (*id, *a)).collect();
+        for (id, addr) in peers {
+            if !self.alive.contains(&id) && !self.suspected.contains(&id) {
+                self.suspected.insert(id);
+                self.fd.trigger(Suspect { peer: addr });
+            } else if self.alive.contains(&id) && self.suspected.contains(&id) {
+                self.suspected.remove(&id);
+                self.fd.trigger(Restore { peer: addr });
+            }
+        }
+        self.alive.clear();
+        self.seq += 1;
+        let peers: Vec<Address> = self.monitored.values().copied().collect();
+        for peer in peers {
+            self.ping(peer);
+        }
+        self.schedule_tick();
+    }
+}
+
+impl ComponentDefinition for PingFailureDetector {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "PingFailureDetector"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn fd_port_direction_rules() {
+        let peer = Address::sim(1);
+        assert!(EventuallyPerfectFd::allows(
+            &StartMonitoring { peer },
+            Direction::Negative
+        ));
+        assert!(EventuallyPerfectFd::allows(&Suspect { peer }, Direction::Positive));
+        assert!(!EventuallyPerfectFd::allows(&Suspect { peer }, Direction::Negative));
+    }
+
+    #[test]
+    fn messages_register_and_roundtrip() {
+        let mut registry = MessageRegistry::new();
+        register_messages(&mut registry, 100).unwrap();
+        let ping = FdPing {
+            base: Message::new(Address::sim(1), Address::sim(2)),
+            seq: 42,
+        };
+        let (tag, bytes) = registry.encode(&ping).unwrap();
+        assert_eq!(tag, 100);
+        let back = registry.decode(tag, &bytes).unwrap();
+        let back = kompics_core::event_as::<FdPing>(back.as_ref()).unwrap();
+        assert_eq!(back.seq, 42);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = FdConfig::default();
+        assert!(c.initial_delay > Duration::ZERO);
+        assert!(c.delta > Duration::ZERO);
+    }
+}

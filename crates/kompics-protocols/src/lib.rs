@@ -1,0 +1,30 @@
+//! # kompics-protocols
+//!
+//! The reusable protocol component library from the paper's §4.1: the
+//! building blocks "reusable in many large-scale distributed systems (such
+//! as our key-value store or a peer-to-peer system)".
+//!
+//! * [`fd`] — an eventually-perfect **ping failure detector** with adaptive
+//!   timeouts;
+//! * [`bootstrap`] — a **bootstrap server** tracking alive nodes and the
+//!   per-node **bootstrap client** with keep-alives and eviction;
+//! * [`cyclon`] — the **Cyclon random-overlay** protocol providing a node
+//!   sampling service;
+//! * [`monitor`] — a distributed **monitoring service**: per-node clients
+//!   periodically collect component status and report to an aggregation
+//!   server with a global view;
+//! * [`trace`] — a transparent **network tap** recording all network
+//!   events for distributed tracing (the paper's Dapper-style hook);
+//! * [`web`] — the **Web port abstraction** and a minimal HTTP status
+//!   server (the Jetty substitute, DESIGN.md §4).
+//!
+//! Every component here only requires `Network` and `Timer` ports, so it
+//! runs identically over the TCP transport with real timers and over the
+//! simulation emulator in virtual time.
+
+pub mod bootstrap;
+pub mod cyclon;
+pub mod fd;
+pub mod monitor;
+pub mod trace;
+pub mod web;

@@ -1,0 +1,305 @@
+//! Distributed monitoring service (paper §4.1).
+//!
+//! Every functional component can provide a [`Status`] port. A per-node
+//! [`MonitorClient`] periodically broadcasts a [`StatusRequest`] to all
+//! connected status providers, gathers their [`StatusResponse`]s, and ships
+//! the bundle to a [`MonitorServer`], which aggregates a global view of the
+//! system (rendered by the web layer, queried directly in tests).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::prelude::*;
+use kompics_network::{Address, Message, MessageRegistry, Network, NetworkError};
+use kompics_timer::{SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
+use serde::{Deserialize, Serialize};
+
+use crate::web::{Web, WebRequest, WebResponse};
+
+// ---------------------------------------------------------------------------
+// Port type and events
+// ---------------------------------------------------------------------------
+
+/// Request: report your status. The `tag` correlates responses with the
+/// requester (several requesters may poll the same providers).
+#[derive(Debug, Clone, Default)]
+pub struct StatusRequest {
+    /// Correlation tag, echoed in [`StatusResponse::tag`].
+    pub tag: u64,
+}
+impl_event!(StatusRequest);
+
+/// Indication: one component's status snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// Echo of [`StatusRequest::tag`].
+    pub tag: u64,
+    /// Which component reports (e.g. "CatsRing").
+    pub component: String,
+    /// Key/value status entries.
+    pub entries: Vec<(String, String)>,
+}
+impl_event!(StatusResponse);
+
+port_type! {
+    /// The status abstraction provided by inspectable components.
+    pub struct Status {
+        indication: StatusResponse;
+        request: StatusRequest;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire message
+// ---------------------------------------------------------------------------
+
+/// Client → server: one node's collected component statuses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorReportMsg {
+    /// Message header.
+    pub base: Message,
+    /// Collected per-component statuses since the last report.
+    pub statuses: Vec<StatusResponse>,
+}
+impl_event!(MonitorReportMsg, extends Message, via base);
+
+/// Registers the monitoring wire message under `base_tag`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError::DuplicateTag`].
+pub fn register_messages(
+    registry: &mut MessageRegistry,
+    base_tag: u64,
+) -> Result<(), NetworkError> {
+    registry.register::<MonitorReportMsg>(base_tag)
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct ReportTick {
+    base: Timeout,
+}
+impl_event!(ReportTick, extends Timeout, via base);
+
+/// Per-node monitoring client: requires [`Status`] (connect it to every
+/// inspectable component), `Network` and `Timer`.
+pub struct MonitorClient {
+    ctx: ComponentContext,
+    status: RequiredPort<Status>,
+    net: RequiredPort<Network>,
+    timer: RequiredPort<Timer>,
+    self_addr: Address,
+    server: Address,
+    period: Duration,
+    window: Vec<StatusResponse>,
+}
+
+impl MonitorClient {
+    /// Creates a client reporting to `server` every `period`.
+    pub fn new(self_addr: Address, server: Address, period: Duration) -> Self {
+        let ctx = ComponentContext::new();
+        let status: RequiredPort<Status> = RequiredPort::new();
+        let net: RequiredPort<Network> = RequiredPort::new();
+        let timer: RequiredPort<Timer> = RequiredPort::new();
+
+        status.subscribe(|this: &mut MonitorClient, resp: &StatusResponse| {
+            this.window.push(resp.clone());
+        });
+        timer.subscribe(|this: &mut MonitorClient, _t: &ReportTick| {
+            // Ship what the previous round collected, then poll again.
+            let statuses = std::mem::take(&mut this.window);
+            if !statuses.is_empty() {
+                this.net.trigger(MonitorReportMsg {
+                    base: Message::new(this.self_addr, this.server),
+                    statuses,
+                });
+            }
+            this.status.trigger(StatusRequest { tag: 0 });
+        });
+        ctx.subscribe_control(|this: &mut MonitorClient, _s: &Start| {
+            let id = TimeoutId::fresh();
+            this.timer.trigger(SchedulePeriodicTimeout::new(
+                this.period,
+                this.period,
+                id,
+                Arc::new(ReportTick { base: Timeout { id } }),
+            ));
+        });
+
+        MonitorClient {
+            ctx,
+            status,
+            net,
+            timer,
+            self_addr,
+            server,
+            period,
+            window: Vec::new(),
+        }
+    }
+}
+
+impl ComponentDefinition for MonitorClient {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "MonitorClient"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Aggregates node reports into a global view. Requires `Network`;
+/// provides [`Web`] — a GET against the attached HTTP frontend returns the
+/// global view as JSON, "presenting a global view of the system on a web
+/// page" as in the paper's §4.1.
+pub struct MonitorServer {
+    ctx: ComponentContext,
+    // Only subscribed on, never triggered; the field keeps the port alive.
+    #[allow(dead_code)]
+    net: RequiredPort<Network>,
+    web: ProvidedPort<Web>,
+    /// node id → (node address, component → status entries).
+    view: BTreeMap<u64, (Address, BTreeMap<String, Vec<(String, String)>>)>,
+    reports: u64,
+}
+
+impl MonitorServer {
+    /// Creates the aggregation server.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let ctx = ComponentContext::new();
+        let net: RequiredPort<Network> = RequiredPort::new();
+        net.subscribe(|this: &mut MonitorServer, report: &MonitorReportMsg| {
+            this.reports += 1;
+            let entry = this
+                .view
+                .entry(report.base.source.id)
+                .or_insert_with(|| (report.base.source, BTreeMap::new()));
+            for status in &report.statuses {
+                entry.1.insert(status.component.clone(), status.entries.clone());
+            }
+        });
+        let web: ProvidedPort<Web> = ProvidedPort::new();
+        web.subscribe(|this: &mut MonitorServer, req: &WebRequest| {
+            this.web.trigger(WebResponse {
+                id: req.id,
+                status: 200,
+                body: this.render_json(),
+            });
+        });
+        MonitorServer { ctx, net, web, view: BTreeMap::new(), reports: 0 }
+    }
+
+    /// The aggregated global view: node id → component → entries.
+    pub fn global_view(
+        &self,
+    ) -> &BTreeMap<u64, (Address, BTreeMap<String, Vec<(String, String)>>)> {
+        &self.view
+    }
+
+    /// Total reports received.
+    pub fn reports_received(&self) -> u64 {
+        self.reports
+    }
+
+    /// Renders the global view as a JSON document (served by the web
+    /// layer).
+    pub fn render_json(&self) -> String {
+        render_view(&self.view)
+    }
+}
+
+/// Renders a global view as a JSON document.
+pub fn render_view(
+    view: &BTreeMap<u64, (Address, BTreeMap<String, Vec<(String, String)>>)>,
+) -> String {
+    let mut out = String::from("{");
+    for (i, (id, (addr, components))) in view.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"node{id}\":{{\"address\":\"{addr}\""));
+        for (component, entries) in components {
+            out.push_str(&format!(",\"{component}\":{{"));
+            for (j, (k, v)) in entries.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":\"{v}\""));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+impl ComponentDefinition for MonitorServer {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "MonitorServer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn status_port_direction_rules() {
+        assert!(Status::allows(&StatusRequest { tag: 0 }, Direction::Negative));
+        assert!(Status::allows(
+            &StatusResponse { tag: 0, component: "x".into(), entries: vec![] },
+            Direction::Positive
+        ));
+    }
+
+    #[test]
+    fn report_message_roundtrips() {
+        let mut registry = MessageRegistry::new();
+        register_messages(&mut registry, 400).unwrap();
+        let report = MonitorReportMsg {
+            base: Message::new(Address::sim(1), Address::sim(0)),
+            statuses: vec![StatusResponse {
+                tag: 0,
+                component: "Ring".into(),
+                entries: vec![("successors".into(), "3".into())],
+            }],
+        };
+        let (tag, bytes) = registry.encode(&report).unwrap();
+        let back = registry.decode(tag, &bytes).unwrap();
+        let back = kompics_core::event_as::<MonitorReportMsg>(back.as_ref()).unwrap();
+        assert_eq!(back.statuses[0].component, "Ring");
+    }
+
+    #[test]
+    fn render_json_shape() {
+        let mut view = BTreeMap::new();
+        view.insert(
+            1,
+            (
+                Address::sim(1),
+                [("Ring".to_string(), vec![("n".to_string(), "5".to_string())])]
+                    .into_iter()
+                    .collect(),
+            ),
+        );
+        let json = render_view(&view);
+        assert!(json.contains("\"node1\""));
+        assert!(json.contains("\"Ring\""));
+        assert!(json.contains("\"n\":\"5\""));
+    }
+}

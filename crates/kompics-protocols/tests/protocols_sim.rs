@@ -1,0 +1,393 @@
+//! Protocol integration tests, run in deterministic simulation: the same
+//! component code that deploys over TCP runs here over the emulator with
+//! virtual timers — the paper's core development workflow.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::channel::connect;
+use kompics_core::component::Component;
+use kompics_core::prelude::*;
+use kompics_network::{Address, Network};
+use kompics_protocols::bootstrap::{
+    Bootstrap, BootstrapClient, BootstrapClientConfig, BootstrapDone, BootstrapRequest,
+    BootstrapResponse, BootstrapServer, BootstrapServerConfig,
+};
+use kompics_protocols::cyclon::{CyclonConfig, CyclonOverlay, JoinOverlay, NodeSampling};
+use kompics_protocols::fd::{
+    EventuallyPerfectFd, FdConfig, PingFailureDetector, Restore, StartMonitoring, Suspect,
+};
+use kompics_protocols::monitor::{
+    MonitorClient, MonitorServer, Status, StatusRequest, StatusResponse,
+};
+use kompics_simulation::{
+    EmulatorConfig, LatencyModel, NetworkEmulator, SimTimer, Simulation,
+};
+use kompics_timer::Timer;
+use parking_lot::Mutex;
+
+/// Simulation fixture: one emulator shared by all nodes, plus — exactly as
+/// in the paper's Figure 10 deployment architecture — a *per-node* timer
+/// component, so one node's timeouts are never broadcast to another node.
+struct SimNet {
+    sim: Simulation,
+    emulator: Component<NetworkEmulator>,
+}
+
+impl SimNet {
+    fn new(seed: u64, config: EmulatorConfig) -> Self {
+        let sim = Simulation::new(seed);
+        let des = sim.des().clone();
+        let rng = sim.rng().clone();
+        let emulator = sim.system().create({
+            let (d, r) = (des.clone(), rng);
+            move || NetworkEmulator::new(d, r, config)
+        });
+        sim.system().start(&emulator);
+        SimNet { sim, emulator }
+    }
+
+    fn wire<C: ComponentDefinition>(&self, node: &Component<C>, addr: Address) {
+        if let Ok(net) = node.required_ref::<Network>() {
+            NetworkEmulator::attach(&self.emulator, &net, addr).unwrap();
+        }
+        if let Ok(timer_port) = node.required_ref::<Timer>() {
+            let des = self.sim.des().clone();
+            let timer = self.sim.system().create(move || SimTimer::new(des));
+            connect(&timer.provided_ref::<Timer>().unwrap(), &timer_port).unwrap();
+            self.sim.system().start(&timer);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure detector
+// ---------------------------------------------------------------------------
+
+type FdEvents = Arc<Mutex<Vec<(u64, &'static str, u64)>>>;
+
+/// Observer that monitors peers through the FD port.
+struct FdUser {
+    ctx: ComponentContext,
+    fd: RequiredPort<EventuallyPerfectFd>,
+    events: FdEvents,
+    des: Arc<kompics_simulation::Des>,
+}
+impl FdUser {
+    fn new(events: FdEvents, des: Arc<kompics_simulation::Des>) -> Self {
+        let fd = RequiredPort::new();
+        fd.subscribe(|this: &mut FdUser, s: &Suspect| {
+            this.events.lock().push((this.des.now() / 1_000_000, "suspect", s.peer.id));
+        });
+        fd.subscribe(|this: &mut FdUser, r: &Restore| {
+            this.events.lock().push((this.des.now() / 1_000_000, "restore", r.peer.id));
+        });
+        FdUser { ctx: ComponentContext::new(), fd, events, des }
+    }
+}
+impl ComponentDefinition for FdUser {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "FdUser"
+    }
+}
+
+#[test]
+fn fd_suspects_partitioned_peer_and_restores_after_heal() {
+    let net = SimNet::new(
+        1,
+        EmulatorConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(10)),
+            ..EmulatorConfig::default()
+        },
+    );
+    let a1 = Address::sim(1);
+    let a2 = Address::sim(2);
+    let fd1 = net
+        .sim
+        .system()
+        .create(move || PingFailureDetector::new(a1, FdConfig::default()));
+    let fd2 = net
+        .sim
+        .system()
+        .create(move || PingFailureDetector::new(a2, FdConfig::default()));
+    net.wire(&fd1, a1);
+    net.wire(&fd2, a2);
+
+    let events: FdEvents = Arc::new(Mutex::new(Vec::new()));
+    let user = net.sim.system().create({
+        let (e, d) = (events.clone(), net.sim.des().clone());
+        move || FdUser::new(e, d)
+    });
+    connect(
+        &fd1.provided_ref::<EventuallyPerfectFd>().unwrap(),
+        &user.required_ref::<EventuallyPerfectFd>().unwrap(),
+    )
+    .unwrap();
+
+    net.sim.system().start(&fd1);
+    net.sim.system().start(&fd2);
+    net.sim.system().start(&user);
+    user.on_definition(|u| u.fd.trigger(StartMonitoring { peer: a2 })).unwrap();
+
+    // Healthy for 5 s: no suspicions.
+    net.sim.run_for(Duration::from_secs(5));
+    assert!(events.lock().is_empty(), "no false suspicion while healthy");
+
+    // Partition node 2 away; the detector must suspect it.
+    net.emulator
+        .on_definition(|e| e.set_partition([(2u64, 1u32)]))
+        .unwrap();
+    net.sim.run_for(Duration::from_secs(5));
+    {
+        let events = events.lock();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].1, events[0].2), ("suspect", 2));
+    }
+
+    // Heal; the detector must restore.
+    net.emulator.on_definition(|e| e.heal_partition()).unwrap();
+    net.sim.run_for(Duration::from_secs(5));
+    {
+        let events = events.lock();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[1].1, events[1].2), ("restore", 2));
+    }
+    // Premature suspicion must have increased the delay (adaptivity).
+    let delay = fd1.on_definition(|f| f.current_delay()).unwrap();
+    assert!(delay > FdConfig::default().initial_delay);
+    net.sim.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+// ---------------------------------------------------------------------------
+
+/// Node logic around the bootstrap client: requests peers, records the
+/// response, declares itself joined.
+struct Joiner {
+    ctx: ComponentContext,
+    bootstrap: RequiredPort<Bootstrap>,
+    peers_seen: Arc<Mutex<Option<Vec<Address>>>>,
+}
+impl Joiner {
+    fn new(peers_seen: Arc<Mutex<Option<Vec<Address>>>>) -> Self {
+        let bootstrap = RequiredPort::new();
+        bootstrap.subscribe(|this: &mut Joiner, resp: &BootstrapResponse| {
+            *this.peers_seen.lock() = Some(resp.peers.clone());
+            this.bootstrap.trigger(BootstrapDone);
+        });
+        Joiner { ctx: ComponentContext::new(), bootstrap, peers_seen }
+    }
+}
+impl ComponentDefinition for Joiner {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Joiner"
+    }
+}
+
+#[test]
+fn bootstrap_flow_returns_alive_nodes_and_evicts_silent_ones() {
+    let net = SimNet::new(2, EmulatorConfig::default());
+    let server_addr = Address::sim(1000);
+    let server = net
+        .sim
+        .system()
+        .create(move || BootstrapServer::new(server_addr, BootstrapServerConfig::default()));
+    net.wire(&server, server_addr);
+    net.sim.system().start(&server);
+
+    // Three nodes join one after another.
+    let mut clients = Vec::new();
+    let mut seen = Vec::new();
+    for id in 1..=3u64 {
+        let addr = Address::sim(id);
+        let client = net.sim.system().create(move || {
+            BootstrapClient::new(addr, BootstrapClientConfig::new(server_addr))
+        });
+        net.wire(&client, addr);
+        let peers_seen = Arc::new(Mutex::new(None));
+        let joiner = net.sim.system().create({
+            let p = peers_seen.clone();
+            move || Joiner::new(p)
+        });
+        connect(
+            &client.provided_ref::<Bootstrap>().unwrap(),
+            &joiner.required_ref::<Bootstrap>().unwrap(),
+        )
+        .unwrap();
+        net.sim.system().start(&client);
+        net.sim.system().start(&joiner);
+        joiner
+            .on_definition(|j| j.bootstrap.trigger(BootstrapRequest))
+            .unwrap();
+        net.sim.run_for(Duration::from_secs(2));
+        clients.push((client, joiner));
+        seen.push(peers_seen);
+    }
+
+    // First node got an empty list, third saw the two earlier nodes.
+    assert_eq!(seen[0].lock().clone().unwrap().len(), 0);
+    let third = seen[2].lock().clone().unwrap();
+    let mut ids: Vec<u64> = third.iter().map(|a| a.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 2]);
+
+    // All three keep-alive for a while: server knows all of them.
+    net.sim.run_for(Duration::from_secs(3));
+    assert_eq!(server.on_definition(|s| s.alive_nodes().len()).unwrap(), 3);
+
+    // Kill node 2's client: its keep-alives stop and it gets evicted.
+    net.sim.system().kill(&clients[1].0);
+    net.sim.run_for(Duration::from_secs(10));
+    let alive = server.on_definition(|s| s.alive_nodes()).unwrap();
+    let mut ids: Vec<u64> = alive.iter().map(|a| a.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 3], "silent node evicted");
+    net.sim.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Cyclon
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cyclon_caches_fill_and_mix_across_the_overlay() {
+    let net = SimNet::new(
+        3,
+        EmulatorConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(5)),
+            ..EmulatorConfig::default()
+        },
+    );
+    const N: u64 = 20;
+    let config = CyclonConfig {
+        cache_size: 8,
+        shuffle_length: 4,
+        period: Duration::from_millis(500),
+        seed: 7,
+    };
+    let mut overlays = Vec::new();
+    for id in 1..=N {
+        let addr = Address::sim(id);
+        let overlay = net.sim.system().create({
+            let config = config.clone();
+            move || CyclonOverlay::new(addr, config)
+        });
+        net.wire(&overlay, addr);
+        net.sim.system().start(&overlay);
+        overlays.push(overlay);
+    }
+    // Star bootstrap: everyone starts knowing only node 1.
+    for overlay in overlays.iter().skip(1) {
+        overlay
+            .provided_ref::<NodeSampling>()
+            .unwrap()
+            .trigger(JoinOverlay { seeds: vec![Address::sim(1)] })
+            .unwrap();
+    }
+    net.sim.run_for(Duration::from_secs(60));
+
+    // Caches are full and knowledge has spread beyond the star center.
+    let mut total_distinct = std::collections::HashSet::new();
+    for (i, overlay) in overlays.iter().enumerate() {
+        let cache = overlay.on_definition(|o| o.cache()).unwrap();
+        if i > 0 {
+            assert!(
+                cache.len() >= config.cache_size / 2,
+                "node {} cache only {} entries",
+                i + 1,
+                cache.len()
+            );
+        }
+        for a in &cache {
+            assert_ne!(a.id, (i + 1) as u64, "no self-loops in cache");
+            total_distinct.insert(a.id);
+        }
+    }
+    assert!(
+        total_distinct.len() as u64 >= N - 2,
+        "most nodes referenced somewhere, got {}",
+        total_distinct.len()
+    );
+    net.sim.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring
+// ---------------------------------------------------------------------------
+
+/// A component exposing a status page.
+struct Reporter {
+    ctx: ComponentContext,
+    status: ProvidedPort<Status>,
+    value: u64,
+}
+impl Reporter {
+    fn new(value: u64) -> Self {
+        let status: ProvidedPort<Status> = ProvidedPort::new();
+        status.subscribe(|this: &mut Reporter, req: &StatusRequest| {
+            this.status.trigger(StatusResponse {
+                tag: req.tag,
+                component: "Reporter".into(),
+                entries: vec![("value".into(), this.value.to_string())],
+            });
+        });
+        Reporter { ctx: ComponentContext::new(), status, value }
+    }
+}
+impl ComponentDefinition for Reporter {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Reporter"
+    }
+}
+
+#[test]
+fn monitor_aggregates_node_statuses_at_the_server() {
+    let net = SimNet::new(4, EmulatorConfig::default());
+    let server_addr = Address::sim(1000);
+    let server = net.sim.system().create(MonitorServer::new);
+    net.wire(&server, server_addr);
+    net.sim.system().start(&server);
+
+    for id in 1..=3u64 {
+        let addr = Address::sim(id);
+        let client = net.sim.system().create(move || {
+            MonitorClient::new(addr, server_addr, Duration::from_secs(1))
+        });
+        net.wire(&client, addr);
+        let reporter = net.sim.system().create(move || Reporter::new(id * 100));
+        connect(
+            &reporter.provided_ref::<Status>().unwrap(),
+            &client.required_ref::<Status>().unwrap(),
+        )
+        .unwrap();
+        net.sim.system().start(&client);
+        net.sim.system().start(&reporter);
+    }
+    net.sim.run_for(Duration::from_secs(10));
+
+    server
+        .on_definition(|s| {
+            let view = s.global_view();
+            assert_eq!(view.len(), 3, "all nodes reported");
+            for id in 1..=3u64 {
+                let (_, components) = &view[&id];
+                let entries = &components["Reporter"];
+                assert_eq!(entries[0], ("value".to_string(), (id * 100).to_string()));
+            }
+            assert!(s.reports_received() >= 3);
+            let json = s.render_json();
+            assert!(json.contains("\"node1\""));
+        })
+        .unwrap();
+    net.sim.shutdown();
+}

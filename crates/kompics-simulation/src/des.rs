@@ -1,0 +1,258 @@
+//! The discrete-event core: a virtual clock plus a deterministic queue of
+//! timed actions.
+//!
+//! Actions are ordered by `(time, insertion sequence)`, so two actions at
+//! the same virtual instant execute in insertion order — a requirement for
+//! reproducibility.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Virtual time in **nanoseconds** since simulation start.
+pub type SimTime = u64;
+
+/// One nanosecond-denominated millisecond, for conversions.
+pub const MILLIS: SimTime = 1_000_000;
+
+/// Identifies a scheduled action, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesEventId(u64);
+
+type Action = Box<dyn FnOnce() + Send>;
+
+struct Timed {
+    at: SimTime,
+    seq: u64,
+    id: DesEventId,
+    action: Action,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Default)]
+struct Queue {
+    heap: BinaryHeap<Reverse<Timed>>,
+    cancelled: HashSet<DesEventId>,
+}
+
+/// The discrete-event simulator: virtual clock + timed-action queue.
+///
+/// Shared (via `Arc`) between the simulation driver, the simulated timer,
+/// the network emulator and the scenario interpreter.
+#[derive(Default)]
+pub struct Des {
+    now: AtomicU64,
+    seq: AtomicU64,
+    queue: Mutex<Queue>,
+    executed: AtomicU64,
+}
+
+impl Des {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Des::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Current virtual time as a `Duration` since simulation start.
+    pub fn now_duration(&self) -> Duration {
+        Duration::from_nanos(self.now())
+    }
+
+    /// Number of timed actions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Schedules `action` to run `delay` after the current virtual time.
+    pub fn schedule_in(&self, delay: Duration, action: impl FnOnce() + Send + 'static) -> DesEventId {
+        self.schedule_at(self.now().saturating_add(delay.as_nanos() as u64), action)
+    }
+
+    /// Schedules `action` at absolute virtual time `at` (clamped to now).
+    pub fn schedule_at(&self, at: SimTime, action: impl FnOnce() + Send + 'static) -> DesEventId {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let id = DesEventId(seq);
+        let at = at.max(self.now());
+        self.queue.lock().heap.push(Reverse(Timed {
+            at,
+            seq,
+            id,
+            action: Box::new(action),
+        }));
+        id
+    }
+
+    /// Cancels a scheduled action. Idempotent; has no effect if the action
+    /// already ran.
+    pub fn cancel(&self, id: DesEventId) {
+        self.queue.lock().cancelled.insert(id);
+    }
+
+    /// Virtual time of the earliest pending action, if any.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        let mut queue = self.queue.lock();
+        loop {
+            match queue.heap.peek() {
+                Some(Reverse(t)) if queue.cancelled.contains(&t.id) => {
+                    let id = t.id;
+                    queue.heap.pop();
+                    queue.cancelled.remove(&id);
+                }
+                Some(Reverse(t)) => return Some(t.at),
+                None => return None,
+            }
+        }
+    }
+
+    /// Pops and executes the single earliest action, advancing the clock to
+    /// its timestamp. Returns the new time, or `None` if the queue is empty.
+    pub fn step(&self) -> Option<SimTime> {
+        let timed = {
+            let mut queue = self.queue.lock();
+            loop {
+                match queue.heap.pop() {
+                    Some(Reverse(t)) if queue.cancelled.contains(&t.id) => {
+                        queue.cancelled.remove(&t.id);
+                    }
+                    Some(Reverse(t)) => break Some(t),
+                    None => break None,
+                }
+            }
+        }?;
+        self.now.store(timed.at, Ordering::SeqCst);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        (timed.action)();
+        Some(timed.at)
+    }
+
+    /// Advances the clock to `t` if `t` is in the future (used to finish a
+    /// bounded run at its exact deadline).
+    pub fn advance_to(&self, t: SimTime) {
+        self.now.fetch_max(t, Ordering::SeqCst);
+    }
+
+    /// Whether no (non-cancelled) actions remain.
+    pub fn is_empty(&self) -> bool {
+        self.peek_next_time().is_none()
+    }
+
+    /// Number of pending entries (including not-yet-collected cancelled
+    /// ones).
+    pub fn pending(&self) -> usize {
+        self.queue.lock().heap.len()
+    }
+}
+
+impl std::fmt::Debug for Des {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Des")
+            .field("now_ns", &self.now())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn actions_run_in_time_order() {
+        let des = Des::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (delay, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = Arc::clone(&log);
+            des.schedule_in(Duration::from_millis(delay), move || log.lock().push(tag));
+        }
+        while des.step().is_some() {}
+        assert_eq!(*log.lock(), vec!['a', 'b', 'c']);
+        assert_eq!(des.now(), 30 * MILLIS);
+    }
+
+    #[test]
+    fn same_time_actions_run_in_insertion_order() {
+        let des = Des::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in 0..5 {
+            let log = Arc::clone(&log);
+            des.schedule_at(100, move || log.lock().push(tag));
+        }
+        while des.step().is_some() {}
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancelled_actions_do_not_run() {
+        let des = Des::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let id = {
+            let ran = Arc::clone(&ran);
+            des.schedule_in(Duration::from_millis(1), move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        des.cancel(id);
+        assert!(des.is_empty());
+        assert!(des.step().is_none());
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn actions_can_schedule_more_actions() {
+        let des = Arc::new(Des::new());
+        let count = Arc::new(AtomicUsize::new(0));
+        fn tick(des: Arc<Des>, count: Arc<AtomicUsize>, left: usize) {
+            if left == 0 {
+                return;
+            }
+            count.fetch_add(1, Ordering::SeqCst);
+            let d2 = Arc::clone(&des);
+            des.schedule_in(Duration::from_millis(10), move || {
+                tick(Arc::clone(&d2), count, left - 1)
+            });
+        }
+        tick(Arc::clone(&des), Arc::clone(&count), 5);
+        while des.step().is_some() {}
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+        // Ticks run at t=0 (inline), 10, 20, 30, 40; the final (no-op)
+        // scheduled action still advances the clock to 50 ms.
+        assert_eq!(des.now(), 5 * 10 * MILLIS);
+        assert_eq!(des.executed(), 5);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let des = Des::new();
+        des.schedule_at(50, || {});
+        des.step();
+        assert_eq!(des.now(), 50);
+        des.schedule_at(10, || {});
+        assert_eq!(des.peek_next_time(), Some(50));
+    }
+}

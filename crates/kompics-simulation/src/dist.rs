@@ -1,0 +1,161 @@
+//! Parameter and inter-arrival-time distributions for experiments.
+//!
+//! `rand_distr` is not available offline, so the samplers are implemented
+//! directly: exponential via inverse-CDF, normal via Box–Muller.
+
+use rand::Rng;
+
+/// A distribution over non-negative reals, sampled with the experiment's
+/// seeded RNG. All parameters are in the caller's unit (the scenario DSL
+//  uses milliseconds for times).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always `value`.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound (must exceed `lo`).
+        hi: f64,
+    },
+    /// Exponential with the given mean (`µ = 1/λ`).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Normal, truncated at zero.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+}
+
+impl Dist {
+    /// Uniform over `[0, 2^bits)` — the paper's `uniform(16)` notation for
+    /// identifier spaces.
+    pub fn uniform_bits(bits: u32) -> Dist {
+        Dist::Uniform { lo: 0.0, hi: (1u64 << bits) as f64 }
+    }
+
+    /// Draws one sample (clamped at zero).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Dist::Exponential { mean } => {
+                // Inverse CDF; guard the log away from zero.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            Dist::Normal { mean, std_dev } => {
+                // Box–Muller transform.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std_dev * z
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Draws one sample rounded to a `u64` (e.g. a ring key or millisecond
+    /// count).
+    pub fn sample_u64<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sample(rng) as u64
+    }
+
+    /// The distribution's mean, used for sanity checks and reporting.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => mean,
+            Dist::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(dist: &Dist, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dist::Constant(5.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_centers() {
+        let d = Dist::Uniform { lo: 10.0, hi: 20.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((10.0..20.0).contains(&v));
+        }
+        let m = sample_mean(&d, 20_000);
+        assert!((m - 15.0).abs() < 0.2, "uniform mean ≈ 15, got {m}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Dist::Exponential { mean: 2000.0 };
+        let m = sample_mean(&d, 50_000);
+        assert!((m - 2000.0).abs() < 50.0, "exponential mean ≈ 2000, got {m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Dist::Normal { mean: 50.0, std_dev: 10.0 };
+        let m = sample_mean(&d, 50_000);
+        assert!((m - 50.0).abs() < 0.5, "normal mean ≈ 50, got {m}");
+        let mut rng = StdRng::seed_from_u64(3);
+        let within: usize = (0..10_000)
+            .filter(|_| (d.sample(&mut rng) - 50.0).abs() < 10.0)
+            .count();
+        // ~68% within one standard deviation.
+        assert!((6_300..7_300).contains(&within), "got {within}");
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let d = Dist::Exponential { mean: 10.0 };
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn uniform_bits_matches_paper_notation() {
+        let d = Dist::uniform_bits(16);
+        assert_eq!(d, Dist::Uniform { lo: 0.0, hi: 65536.0 });
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(d.sample_u64(&mut rng) < 65536);
+        }
+    }
+
+    #[test]
+    fn negative_normal_samples_clamp_to_zero() {
+        let d = Dist::Normal { mean: 0.0, std_dev: 100.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+}

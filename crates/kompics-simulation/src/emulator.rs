@@ -1,0 +1,207 @@
+//! The network emulator: serves the `Network` port in simulation, routing
+//! messages between in-process nodes with configurable latency, loss and
+//! partitions, all in virtual time drawn from the simulation's seeded RNG.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::channel::{connect_keyed, ChannelRef};
+use kompics_core::component::Component;
+use kompics_core::event::{event_as, EventRef};
+use kompics_core::port::{Direction, PortRef};
+use kompics_core::prelude::*;
+use kompics_network::{Address, Message, Network};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::des::Des;
+use crate::dist::Dist;
+
+/// One-way message latency models, in milliseconds.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Fixed latency.
+    Constant(Duration),
+    /// Any [`Dist`], interpreted in milliseconds.
+    Distribution(Dist),
+}
+
+impl LatencyModel {
+    fn sample_nanos(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            LatencyModel::Constant(d) => d.as_nanos() as u64,
+            LatencyModel::Distribution(dist) => {
+                (dist.sample(rng) * 1_000_000.0).round().max(0.0) as u64
+            }
+        }
+    }
+}
+
+/// Emulator behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct EmulatorConfig {
+    /// One-way latency model. Default: uniform 2–10 ms.
+    pub latency: LatencyModel,
+    /// Probability a message is silently dropped. Default: 0.
+    pub loss_probability: f64,
+    /// Preserve per-link (source, destination) FIFO order even when sampled
+    /// latencies would reorder. Default: true (TCP-like links).
+    pub fifo_links: bool,
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        EmulatorConfig {
+            latency: LatencyModel::Distribution(Dist::Uniform { lo: 2.0, hi: 10.0 }),
+            loss_probability: 0.0,
+            fifo_links: true,
+        }
+    }
+}
+
+/// The network emulator component. Attach every node with
+/// [`NetworkEmulator::attach`]; control partitions via
+/// [`NetworkEmulator::set_partition`] / [`heal_partition`].
+///
+/// [`heal_partition`]: NetworkEmulator::heal_partition
+pub struct NetworkEmulator {
+    ctx: ComponentContext,
+    net: ProvidedPort<Network>,
+    des: Arc<Des>,
+    rng: Arc<Mutex<StdRng>>,
+    config: EmulatorConfig,
+    /// Node id → partition group; missing ⇒ group 0.
+    groups: HashMap<u64, u32>,
+    /// Explicitly blocked unordered node pairs.
+    blocked: HashSet<(u64, u64)>,
+    /// Per-link earliest next delivery time, for FIFO links.
+    link_clock: HashMap<(u64, u64), u64>,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl NetworkEmulator {
+    /// Creates the emulator (inside a `create` closure), sharing the
+    /// simulation's event queue and RNG.
+    pub fn new(des: Arc<Des>, rng: Arc<Mutex<StdRng>>, config: EmulatorConfig) -> Self {
+        let net: ProvidedPort<Network> = ProvidedPort::new();
+        net.share().set_key_extractor(Arc::new(|event, dir| {
+            if dir != Direction::Positive {
+                return None;
+            }
+            event_as::<Message>(event).map(|m| m.destination.routing_key())
+        }));
+        net.subscribe_shared::<NetworkEmulator, Message, _>(
+            |this: &mut NetworkEmulator, event: &EventRef| {
+                this.route(event);
+            },
+        );
+        NetworkEmulator {
+            ctx: ComponentContext::new(),
+            net,
+            des,
+            rng,
+            config,
+            groups: HashMap::new(),
+            blocked: HashSet::new(),
+            link_clock: HashMap::new(),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    fn route(&mut self, event: &EventRef) {
+        let Some(header) = event_as::<Message>(event.as_ref()).copied() else {
+            return;
+        };
+        let (src, dst) = (header.source.routing_key(), header.destination.routing_key());
+        if self.is_blocked(src, dst) {
+            self.dropped += 1;
+            return;
+        }
+        let mut rng = self.rng.lock();
+        if self.config.loss_probability > 0.0
+            && rng.gen_range(0.0..1.0) < self.config.loss_probability
+        {
+            drop(rng);
+            self.dropped += 1;
+            return;
+        }
+        let delay = self.config.latency.sample_nanos(&mut rng);
+        drop(rng);
+        let mut at = self.des.now().saturating_add(delay);
+        if self.config.fifo_links {
+            let link = self.link_clock.entry((src, dst)).or_insert(0);
+            at = at.max(*link + 1);
+            *link = at;
+        }
+        let port = self.net.inside_ref();
+        let event = Arc::clone(event);
+        self.des.schedule_at(at, move || {
+            let _ = port.trigger_shared(event);
+        });
+        self.delivered += 1;
+    }
+
+    fn is_blocked(&self, a: u64, b: u64) -> bool {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        if self.blocked.contains(&pair) {
+            return true;
+        }
+        let ga = self.groups.get(&a).copied().unwrap_or(0);
+        let gb = self.groups.get(&b).copied().unwrap_or(0);
+        ga != gb
+    }
+
+    /// Assigns nodes to partition groups; nodes in different groups cannot
+    /// communicate. Unlisted nodes are in group 0.
+    pub fn set_partition(&mut self, assignment: impl IntoIterator<Item = (u64, u32)>) {
+        self.groups = assignment.into_iter().collect();
+    }
+
+    /// Removes all partition groups (but not blocked pairs).
+    pub fn heal_partition(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Blocks the (bidirectional) link between two nodes.
+    pub fn block_link(&mut self, a: u64, b: u64) {
+        self.blocked.insert(if a <= b { (a, b) } else { (b, a) });
+    }
+
+    /// Unblocks a link blocked with [`NetworkEmulator::block_link`].
+    pub fn unblock_link(&mut self, a: u64, b: u64) {
+        self.blocked.remove(&if a <= b { (a, b) } else { (b, a) });
+    }
+
+    /// (scheduled deliveries, dropped messages) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.delivered, self.dropped)
+    }
+
+    /// Connects a node's required [`Network`] port with a channel keyed by
+    /// its address, exactly like `LocalNetwork::attach`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors from the runtime.
+    pub fn attach(
+        emulator: &Component<NetworkEmulator>,
+        node_port: &PortRef<Network>,
+        addr: Address,
+    ) -> Result<ChannelRef, CoreError> {
+        let provided = emulator.provided_ref::<Network>()?;
+        connect_keyed(&provided, node_port, addr.routing_key())
+    }
+}
+
+impl ComponentDefinition for NetworkEmulator {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "NetworkEmulator"
+    }
+}

@@ -1,0 +1,443 @@
+//! The experiment-scenario DSL (paper §4.4).
+//!
+//! A *scenario* is a parallel and/or sequential composition of *stochastic
+//! processes*; each process is a finite random sequence of operations with a
+//! specified distribution of inter-arrival times. The same scenario object
+//! can drive a deterministic simulation (via a shared [`Des`]) or a
+//! real-time local execution.
+//!
+//! The paper's example translates almost verbatim:
+//!
+//! ```rust
+//! use kompics_simulation::{Dist, Scenario, StochasticProcess};
+//!
+//! #[derive(Debug, Clone)]
+//! enum CatsOp { Join(u64), Fail(u64), Lookup { node: u64, key: u64 } }
+//!
+//! let boot = StochasticProcess::new("boot")
+//!     .event_inter_arrival_time(Dist::Exponential { mean: 2000.0 })
+//!     .raise(1000, |rng| CatsOp::Join(Dist::uniform_bits(16).sample_u64(rng)));
+//! let churn = StochasticProcess::new("churn")
+//!     .event_inter_arrival_time(Dist::Exponential { mean: 500.0 })
+//!     .raise(500, |rng| CatsOp::Join(Dist::uniform_bits(16).sample_u64(rng)))
+//!     .raise(500, |rng| CatsOp::Fail(Dist::uniform_bits(16).sample_u64(rng)));
+//! let lookups = StochasticProcess::new("lookups")
+//!     .event_inter_arrival_time(Dist::Normal { mean: 50.0, std_dev: 10.0 })
+//!     .raise(5000, |rng| CatsOp::Lookup {
+//!         node: Dist::uniform_bits(16).sample_u64(rng),
+//!         key: Dist::uniform_bits(14).sample_u64(rng),
+//!     });
+//!
+//! let scenario = Scenario::new()
+//!     .start(boot)
+//!     .start_after_termination_of(2000, "boot", churn)
+//!     .start_after_start_of(3000, "churn", lookups)
+//!     .terminate_after_termination_of(1000, "lookups");
+//! assert_eq!(scenario.total_operations(), 7000);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::des::Des;
+use crate::dist::Dist;
+
+type GenFn<Op> = Arc<dyn Fn(&mut StdRng) -> Op + Send + Sync>;
+
+struct Batch<Op> {
+    count: u64,
+    generate: GenFn<Op>,
+}
+
+/// A finite random sequence of operations with a distribution of
+/// inter-arrival times. Multiple [`raise`](StochasticProcess::raise) batches
+/// are randomly interleaved (weighted by remaining counts), matching the
+/// paper's churn example of joins interleaved with failures.
+pub struct StochasticProcess<Op> {
+    name: String,
+    inter_arrival: Dist,
+    batches: Vec<Batch<Op>>,
+}
+
+impl<Op> StochasticProcess<Op> {
+    /// Creates a named, empty process with constant zero inter-arrival time.
+    pub fn new(name: impl Into<String>) -> Self {
+        StochasticProcess {
+            name: name.into(),
+            inter_arrival: Dist::Constant(0.0),
+            batches: Vec::new(),
+        }
+    }
+
+    /// Sets the inter-arrival-time distribution, in milliseconds.
+    pub fn event_inter_arrival_time(mut self, dist: Dist) -> Self {
+        self.inter_arrival = dist;
+        self
+    }
+
+    /// Adds `count` operations produced by `generate` (which draws its
+    /// parameters from the experiment RNG).
+    pub fn raise(
+        mut self,
+        count: u64,
+        generate: impl Fn(&mut StdRng) -> Op + Send + Sync + 'static,
+    ) -> Self {
+        self.batches.push(Batch { count, generate: Arc::new(generate) });
+        self
+    }
+
+    /// Total operations this process will raise.
+    pub fn total_operations(&self) -> u64 {
+        self.batches.iter().map(|b| b.count).sum()
+    }
+}
+
+/// When a process starts, relative to the others.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartRule {
+    /// At scenario start.
+    Immediately,
+    /// `delay_ms` after the named process **starts** (parallel
+    /// composition).
+    AfterStartOf {
+        /// The process whose start is awaited.
+        process: String,
+        /// Delay in (virtual) milliseconds.
+        delay_ms: u64,
+    },
+    /// `delay_ms` after the named process **terminates** (sequential
+    /// composition).
+    AfterTerminationOf {
+        /// The process whose termination is awaited.
+        process: String,
+        /// Delay in (virtual) milliseconds.
+        delay_ms: u64,
+    },
+}
+
+/// A composition of stochastic processes. See the module documentation.
+pub struct Scenario<Op> {
+    processes: Vec<(StochasticProcess<Op>, StartRule)>,
+    terminate_after: Option<(String, u64)>,
+}
+
+impl<Op> Default for Scenario<Op> {
+    fn default() -> Self {
+        Scenario { processes: Vec::new(), terminate_after: None }
+    }
+}
+
+impl<Op: Send + 'static> Scenario<Op> {
+    /// Creates an empty scenario.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a process starting at scenario start.
+    pub fn start(mut self, process: StochasticProcess<Op>) -> Self {
+        self.processes.push((process, StartRule::Immediately));
+        self
+    }
+
+    /// Adds a process starting `delay_ms` after `of` starts (parallel
+    /// composition).
+    pub fn start_after_start_of(
+        mut self,
+        delay_ms: u64,
+        of: &str,
+        process: StochasticProcess<Op>,
+    ) -> Self {
+        self.processes.push((
+            process,
+            StartRule::AfterStartOf { process: of.into(), delay_ms },
+        ));
+        self
+    }
+
+    /// Adds a process starting `delay_ms` after `of` terminates (sequential
+    /// composition).
+    pub fn start_after_termination_of(
+        mut self,
+        delay_ms: u64,
+        of: &str,
+        process: StochasticProcess<Op>,
+    ) -> Self {
+        self.processes.push((
+            process,
+            StartRule::AfterTerminationOf { process: of.into(), delay_ms },
+        ));
+        self
+    }
+
+    /// Declares the whole experiment terminated `delay_ms` after `of`
+    /// terminates (join synchronization).
+    pub fn terminate_after_termination_of(mut self, delay_ms: u64, of: &str) -> Self {
+        self.terminate_after = Some((of.into(), delay_ms));
+        self
+    }
+
+    /// Total operations across all processes.
+    pub fn total_operations(&self) -> u64 {
+        self.processes.iter().map(|(p, _)| p.total_operations()).sum()
+    }
+
+    /// Interprets the scenario on a discrete-event queue: every operation is
+    /// delivered to `driver` at its virtual occurrence time. Returns a
+    /// handle exposing progress and completion.
+    ///
+    /// The caller drives time (e.g. `Simulation::step`); with a dedicated
+    /// seeded RNG the produced operation sequence is deterministic.
+    pub fn execute(
+        self,
+        des: &Arc<Des>,
+        rng: Arc<Mutex<StdRng>>,
+        driver: impl FnMut(Op) + Send + 'static,
+    ) -> ScenarioHandle {
+        let run = Arc::new(Run {
+            des: Arc::clone(des),
+            rng,
+            driver: Mutex::new(Box::new(driver)),
+            procs: self
+                .processes
+                .iter()
+                .map(|(p, _)| {
+                    Mutex::new(ProcState {
+                        remaining: p.batches.iter().map(|b| b.count).collect(),
+                        started: false,
+                        terminated: false,
+                    })
+                })
+                .collect(),
+            specs: self
+                .processes
+                .into_iter()
+                .map(|(p, rule)| (p, rule))
+                .collect(),
+            handle: ScenarioHandle::new(),
+        });
+        // Kick off immediate processes; a scenario with none completes
+        // immediately.
+        let mut any = false;
+        for idx in 0..run.specs.len() {
+            if run.specs[idx].1 == StartRule::Immediately {
+                any = true;
+                start_process(&run, idx, 0);
+            }
+        }
+        if !any {
+            run.handle.completed.store(true, Ordering::SeqCst);
+        }
+        // Wire the termination rule.
+        if let Some((name, delay)) = self.terminate_after {
+            let idx = run
+                .specs
+                .iter()
+                .position(|(p, _)| p.name == name)
+                .unwrap_or_else(|| panic!("terminate_after references unknown process `{name}`"));
+            run.terminate_rule.lock().replace((idx, delay));
+        }
+        run.handle.clone()
+    }
+
+    /// Executes the scenario in **real time** on the calling thread: a
+    /// private event queue is drained with wall-clock sleeps, delivering
+    /// each operation to `driver` at (approximately) its sampled instant.
+    /// Used for the paper's local interactive stress-test mode. Returns the
+    /// number of operations delivered.
+    pub fn execute_realtime(self, seed: u64, driver: impl FnMut(Op) + Send + 'static) -> u64 {
+        let des = Arc::new(Des::new());
+        let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
+        let handle = self.execute(&des, rng, driver);
+        let started = Instant::now();
+        while let Some(t) = des.peek_next_time() {
+            let target = Duration::from_nanos(t);
+            let elapsed = started.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+            des.step();
+            if handle.is_completed() {
+                break;
+            }
+        }
+        handle.operations_fired()
+    }
+}
+
+struct ProcState {
+    remaining: Vec<u64>,
+    started: bool,
+    terminated: bool,
+}
+
+struct Run<Op> {
+    des: Arc<Des>,
+    rng: Arc<Mutex<StdRng>>,
+    driver: Mutex<Box<dyn FnMut(Op) + Send>>,
+    procs: Vec<Mutex<ProcState>>,
+    specs: Vec<(StochasticProcess<Op>, StartRule)>,
+    handle: ScenarioHandle,
+}
+
+impl<Op> Run<Op> {
+    fn terminate_rule(&self) -> &Mutex<Option<(usize, u64)>> {
+        &self.handle.terminate_rule
+    }
+}
+
+// The rule cell lives in the handle so `Run` needs no extra field wiring.
+impl<Op> std::ops::Deref for Run<Op> {
+    type Target = ScenarioHandle;
+    fn deref(&self) -> &ScenarioHandle {
+        &self.handle
+    }
+}
+
+fn start_process<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize, delay_ms: u64) {
+    let run2 = Arc::clone(run);
+    run.des.schedule_in(Duration::from_millis(delay_ms), move || {
+        {
+            let mut state = run2.procs[idx].lock();
+            if state.started {
+                return;
+            }
+            state.started = true;
+        }
+        // Parallel composition: dependents of our *start*.
+        for (dep, (_, rule)) in run2.specs.iter().enumerate() {
+            if let StartRule::AfterStartOf { process, delay_ms } = rule {
+                if *process == run2.specs[idx].0.name {
+                    start_process(&run2, dep, *delay_ms);
+                }
+            }
+        }
+        schedule_next_op(&run2, idx);
+    });
+}
+
+fn schedule_next_op<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize) {
+    let delay_ms = {
+        let mut rng = run.rng.lock();
+        run.specs[idx].0.inter_arrival.sample(&mut *rng)
+    };
+    let run2 = Arc::clone(run);
+    run.des
+        .schedule_in(Duration::from_secs_f64(delay_ms / 1000.0), move || {
+            fire_op(&run2, idx);
+        });
+}
+
+fn fire_op<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize) {
+    if run.handle.is_completed() {
+        return;
+    }
+    // Pick a batch weighted by remaining counts (random interleaving).
+    let generate = {
+        let mut state = run.procs[idx].lock();
+        let total: u64 = state.remaining.iter().sum();
+        if total == 0 {
+            // A process declared with zero operations terminates at once.
+            state.terminated = true;
+            drop(state);
+            on_process_terminated(run, idx);
+            return;
+        }
+        let mut pick = {
+            let mut rng = run.rng.lock();
+            rng.gen_range(0..total)
+        };
+        let mut chosen = 0;
+        for (i, remaining) in state.remaining.iter().enumerate() {
+            if pick < *remaining {
+                chosen = i;
+                break;
+            }
+            pick -= *remaining;
+        }
+        state.remaining[chosen] -= 1;
+        Arc::clone(&run.specs[idx].0.batches[chosen].generate)
+    };
+    let op = {
+        let mut rng = run.rng.lock();
+        generate(&mut *rng)
+    };
+    (run.driver.lock())(op);
+    run.handle.fired.fetch_add(1, Ordering::SeqCst);
+
+    let finished = {
+        let mut state = run.procs[idx].lock();
+        let done = state.remaining.iter().sum::<u64>() == 0;
+        if done {
+            state.terminated = true;
+        }
+        done
+    };
+    if finished {
+        on_process_terminated(run, idx);
+    } else {
+        schedule_next_op(run, idx);
+    }
+}
+
+fn on_process_terminated<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize) {
+    // Sequential composition: dependents of our *termination*.
+    for (dep, (_, rule)) in run.specs.iter().enumerate() {
+        if let StartRule::AfterTerminationOf { process, delay_ms } = rule {
+            if *process == run.specs[idx].0.name {
+                start_process(run, dep, *delay_ms);
+            }
+        }
+    }
+    // Experiment termination.
+    let rule = *run.terminate_rule().lock();
+    if let Some((t_idx, delay_ms)) = rule {
+        if t_idx == idx {
+            let run2 = Arc::clone(run);
+            run.des.schedule_in(Duration::from_millis(delay_ms), move || {
+                run2.handle.completed.store(true, Ordering::SeqCst);
+            });
+        }
+    }
+}
+
+/// Progress/completion handle for an executing scenario.
+#[derive(Clone)]
+pub struct ScenarioHandle {
+    fired: Arc<AtomicU64>,
+    completed: Arc<AtomicBool>,
+    terminate_rule: Arc<Mutex<Option<(usize, u64)>>>,
+}
+
+impl ScenarioHandle {
+    fn new() -> Self {
+        ScenarioHandle {
+            fired: Arc::new(AtomicU64::new(0)),
+            completed: Arc::new(AtomicBool::new(false)),
+            terminate_rule: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Operations delivered to the driver so far.
+    pub fn operations_fired(&self) -> u64 {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Whether the scenario's termination condition has been reached.
+    pub fn is_completed(&self) -> bool {
+        self.completed.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for ScenarioHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioHandle")
+            .field("fired", &self.operations_fired())
+            .field("completed", &self.is_completed())
+            .finish()
+    }
+}

@@ -1,0 +1,172 @@
+//! The simulation driver: couples a [`KompicsSystem`] running under the
+//! sequential scheduler with the discrete-event core.
+//!
+//! Execution alternates two phases, exactly as in the paper's simulation
+//! mode: (1) execute ready components until the system is quiescent; (2)
+//! hand control to the event queue, which advances virtual time to the next
+//! timed occurrence (a timeout firing, an emulated message arriving, a
+//! scenario operation) and executes it. A run is a deterministic function of
+//! the seed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::config::Config;
+use kompics_core::sched::sequential::SequentialScheduler;
+use kompics_core::system::KompicsSystem;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::des::{Des, SimTime};
+
+/// A deterministic simulation of a kompics system. See the module docs.
+///
+/// ```rust
+/// use kompics_simulation::Simulation;
+/// use std::time::Duration;
+///
+/// let sim = Simulation::new(42);
+/// // ... create components via sim.system(), wire SimTimer/NetworkEmulator ...
+/// sim.run_for(Duration::from_secs(10)); // 10 s of *virtual* time
+/// assert_eq!(sim.now(), Duration::from_secs(10));
+/// ```
+pub struct Simulation {
+    system: KompicsSystem,
+    scheduler: Arc<SequentialScheduler>,
+    des: Arc<Des>,
+    rng: Arc<Mutex<StdRng>>,
+    seed: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation with the given RNG seed and a default
+    /// configuration.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, Config::default())
+    }
+
+    /// Creates a simulation with an explicit system configuration (the
+    /// worker count is ignored; simulation is single-threaded).
+    pub fn with_config(seed: u64, config: Config) -> Self {
+        let (system, scheduler) = KompicsSystem::sequential(config);
+        Simulation {
+            system,
+            scheduler,
+            des: Arc::new(Des::new()),
+            rng: Arc::new(Mutex::new(StdRng::seed_from_u64(seed))),
+            seed,
+        }
+    }
+
+    /// The underlying system; create and wire components through it.
+    pub fn system(&self) -> &KompicsSystem {
+        &self.system
+    }
+
+    /// The discrete-event core, shared with `SimTimer` / `NetworkEmulator` /
+    /// scenarios.
+    pub fn des(&self) -> &Arc<Des> {
+        &self.des
+    }
+
+    /// The simulation's seeded RNG, shared with the emulator and scenarios.
+    pub fn rng(&self) -> &Arc<Mutex<StdRng>> {
+        &self.rng
+    }
+
+    /// The seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.des.now_duration()
+    }
+
+    /// Executes ready components until quiescent, without advancing time.
+    /// Returns the number of execution slices run.
+    pub fn settle(&self) -> u64 {
+        self.scheduler.run_until_quiescent()
+    }
+
+    /// Runs one simulation step: settle components, then execute the next
+    /// timed action. Returns `false` when no timed actions remain.
+    pub fn step(&self) -> bool {
+        self.settle();
+        let advanced = self.des.step().is_some();
+        if advanced {
+            self.settle();
+        }
+        advanced
+    }
+
+    /// Runs until virtual time reaches `deadline` (absolute, nanoseconds) or
+    /// the event queue empties, whichever comes first; the clock ends at
+    /// `deadline` in either case.
+    pub fn run_until(&self, deadline: SimTime) {
+        loop {
+            self.settle();
+            match self.des.peek_next_time() {
+                Some(t) if t <= deadline => {
+                    self.des.step();
+                }
+                _ => break,
+            }
+        }
+        self.des.advance_to(deadline);
+        self.settle();
+    }
+
+    /// Runs `duration` of virtual time from the current instant.
+    pub fn run_for(&self, duration: Duration) {
+        self.run_until(self.des.now().saturating_add(duration.as_nanos() as u64));
+    }
+
+    /// Runs until `condition` holds (checked after every timed action), the
+    /// event queue empties, or virtual time reaches `deadline`. Returns
+    /// whether the condition was met — the "global view" termination check
+    /// of simulation experiments.
+    pub fn run_until_condition(
+        &self,
+        deadline: SimTime,
+        mut condition: impl FnMut() -> bool,
+    ) -> bool {
+        loop {
+            self.settle();
+            if condition() {
+                return true;
+            }
+            match self.des.peek_next_time() {
+                Some(t) if t <= deadline => {
+                    self.des.step();
+                }
+                _ => return condition(),
+            }
+        }
+    }
+
+    /// Runs until both the component system and the event queue are
+    /// exhausted. Returns the final virtual time.
+    pub fn run_to_completion(&self) -> Duration {
+        while self.step() {}
+        self.settle();
+        self.now()
+    }
+
+    /// Shuts the underlying system down.
+    pub fn shutdown(&self) {
+        self.system.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("seed", &self.seed)
+            .field("now", &self.now())
+            .field("pending_actions", &self.des.pending())
+            .finish()
+    }
+}

@@ -1,0 +1,122 @@
+//! The simulated Timer implementation: serves the `Timer` port from the
+//! virtual clock, so timeouts fire in simulated time with zero wall-clock
+//! waiting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::event::EventRef;
+use kompics_core::port::PortRef;
+use kompics_core::prelude::*;
+use kompics_timer::{
+    CancelPeriodicTimeout, CancelTimeout, ScheduleTimeout, SchedulePeriodicTimeout,
+    TimeoutId, Timer,
+};
+use parking_lot::Mutex;
+
+use crate::des::{Des, DesEventId};
+
+type Registry = Arc<Mutex<HashMap<TimeoutId, DesEventId>>>;
+
+/// Provides [`Timer`] from the discrete-event clock. Drop-in replacement for
+/// `ThreadTimer` in simulation architectures.
+pub struct SimTimer {
+    ctx: ComponentContext,
+    timer: ProvidedPort<Timer>,
+    des: Arc<Des>,
+    active: Registry,
+}
+
+impl SimTimer {
+    /// Creates the component around a shared event queue (call inside a
+    /// `create` closure, passing `simulation.des().clone()`).
+    pub fn new(des: Arc<Des>) -> Self {
+        let timer: ProvidedPort<Timer> = ProvidedPort::new();
+        timer.subscribe(|this: &mut SimTimer, req: &ScheduleTimeout| {
+            let port = this.timer.inside_ref();
+            let event = req.timeout.clone();
+            let tid = req.id;
+            let registry = Arc::clone(&this.active);
+            let id = this.des.schedule_in(req.delay, move || {
+                if registry.lock().remove(&tid).is_some() {
+                    let _ = port.trigger_shared(event);
+                }
+            });
+            this.active.lock().insert(tid, id);
+        });
+        timer.subscribe(|this: &mut SimTimer, req: &SchedulePeriodicTimeout| {
+            schedule_periodic(
+                &this.des,
+                this.timer.inside_ref(),
+                req.delay,
+                req.period,
+                req.id,
+                req.timeout.clone(),
+                Arc::clone(&this.active),
+            );
+        });
+        timer.subscribe(|this: &mut SimTimer, req: &CancelTimeout| {
+            this.cancel(req.id);
+        });
+        timer.subscribe(|this: &mut SimTimer, req: &CancelPeriodicTimeout| {
+            this.cancel(req.id);
+        });
+        SimTimer {
+            ctx: ComponentContext::new(),
+            timer,
+            des,
+            active: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn cancel(&self, id: TimeoutId) {
+        if let Some(des_id) = self.active.lock().remove(&id) {
+            self.des.cancel(des_id);
+        }
+    }
+
+    /// Number of currently scheduled (not yet fired or cancelled) timeouts.
+    pub fn active_timeouts(&self) -> usize {
+        self.active.lock().len()
+    }
+}
+
+fn schedule_periodic(
+    des: &Arc<Des>,
+    port: PortRef<Timer>,
+    delay: Duration,
+    period: Duration,
+    tid: TimeoutId,
+    event: EventRef,
+    registry: Registry,
+) {
+    let des_clone = Arc::clone(des);
+    let registry_clone = Arc::clone(&registry);
+    let id = des.schedule_in(delay, move || {
+        // Still registered? (Cancellation removes the entry.)
+        if !registry_clone.lock().contains_key(&tid) {
+            return;
+        }
+        let _ = port.trigger_shared(event.clone());
+        schedule_periodic(
+            &des_clone,
+            port.clone(),
+            period,
+            period,
+            tid,
+            event,
+            Arc::clone(&registry_clone),
+        );
+    });
+    registry.lock().insert(tid, id);
+}
+
+impl ComponentDefinition for SimTimer {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "SimTimer"
+    }
+}

@@ -1,0 +1,523 @@
+//! Whole-system simulation tests: virtual-time timers, emulated networking,
+//! scenario composition, and — most importantly — determinism: the same
+//! seed must produce the identical execution, and simulated time must be
+//! decoupled from wall-clock time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::channel::connect;
+use kompics_core::prelude::*;
+use kompics_network::{Address, Message, Network};
+use kompics_simulation::{
+    Dist, EmulatorConfig, LatencyModel, NetworkEmulator, Scenario, SimTimer, Simulation,
+    StochasticProcess,
+};
+use kompics_timer::{ScheduleTimeout, SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
+use parking_lot::Mutex;
+
+type Trace = Arc<Mutex<Vec<(u64, String)>>>;
+
+// ---------------------------------------------------------------------------
+// Simulated timer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Tick {
+    base: Timeout,
+    tag: u32,
+}
+impl_event!(Tick, extends Timeout, via base);
+
+struct TimerUser {
+    ctx: ComponentContext,
+    timer: RequiredPort<Timer>,
+    trace: Trace,
+    now: Arc<kompics_simulation::Des>,
+}
+impl TimerUser {
+    fn new(trace: Trace, now: Arc<kompics_simulation::Des>) -> Self {
+        let timer = RequiredPort::new();
+        timer.subscribe(|this: &mut TimerUser, t: &Tick| {
+            let at_ms = this.now.now() / 1_000_000;
+            this.trace.lock().push((at_ms, format!("tick{}", t.tag)));
+        });
+        TimerUser { ctx: ComponentContext::new(), timer, trace, now }
+    }
+}
+impl ComponentDefinition for TimerUser {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "TimerUser"
+    }
+}
+
+#[test]
+fn sim_timer_fires_in_virtual_time() {
+    let sim = Simulation::new(1);
+    let des = sim.des().clone();
+    let timer = sim.system().create({
+        let des = des.clone();
+        move || SimTimer::new(des)
+    });
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+    let user = sim.system().create({
+        let (t, d) = (trace.clone(), des.clone());
+        move || TimerUser::new(t, d)
+    });
+    connect(
+        &timer.provided_ref::<Timer>().unwrap(),
+        &user.required_ref::<Timer>().unwrap(),
+    )
+    .unwrap();
+    sim.system().start(&timer);
+    sim.system().start(&user);
+
+    user.on_definition(|u| {
+        for (delay, tag) in [(5_000u64, 2), (1_000, 1), (60_000, 3)] {
+            let id = TimeoutId::fresh();
+            u.timer.trigger(ScheduleTimeout::new(
+                Duration::from_millis(delay),
+                id,
+                Arc::new(Tick { base: Timeout { id }, tag }),
+            ));
+        }
+    })
+    .unwrap();
+
+    let wall = std::time::Instant::now();
+    sim.run_for(Duration::from_secs(120));
+    assert!(wall.elapsed() < Duration::from_secs(2), "no wall-clock waiting");
+    assert_eq!(
+        *trace.lock(),
+        vec![
+            (1_000, "tick1".to_string()),
+            (5_000, "tick2".to_string()),
+            (60_000, "tick3".to_string())
+        ]
+    );
+    assert_eq!(sim.now(), Duration::from_secs(120));
+    sim.shutdown();
+}
+
+#[test]
+fn sim_periodic_timer_fires_until_cancelled() {
+    let sim = Simulation::new(2);
+    let des = sim.des().clone();
+    let timer = sim.system().create({
+        let des = des.clone();
+        move || SimTimer::new(des)
+    });
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+    let user = sim.system().create({
+        let (t, d) = (trace.clone(), des.clone());
+        move || TimerUser::new(t, d)
+    });
+    connect(
+        &timer.provided_ref::<Timer>().unwrap(),
+        &user.required_ref::<Timer>().unwrap(),
+    )
+    .unwrap();
+    sim.system().start(&timer);
+    sim.system().start(&user);
+
+    let id = TimeoutId::fresh();
+    user.on_definition(|u| {
+        u.timer.trigger(SchedulePeriodicTimeout::new(
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            id,
+            Arc::new(Tick { base: Timeout { id }, tag: 9 }),
+        ));
+    })
+    .unwrap();
+    sim.run_for(Duration::from_millis(550));
+    assert_eq!(trace.lock().len(), 5, "fires at 100..500 ms");
+
+    user.on_definition(|u| u.timer.trigger(kompics_timer::CancelPeriodicTimeout { id }))
+        .unwrap();
+    sim.run_for(Duration::from_secs(10));
+    assert!(trace.lock().len() <= 6, "at most one in-flight firing after cancel");
+    sim.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Network emulator
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Ping {
+    base: Message,
+    round: u32,
+}
+impl_event!(Ping, extends Message, via base);
+
+struct Node {
+    ctx: ComponentContext,
+    net: RequiredPort<Network>,
+    addr: Address,
+    max_round: u32,
+    trace: Trace,
+    des: Arc<kompics_simulation::Des>,
+    received: Arc<AtomicUsize>,
+}
+impl Node {
+    fn new(
+        addr: Address,
+        max_round: u32,
+        trace: Trace,
+        des: Arc<kompics_simulation::Des>,
+        received: Arc<AtomicUsize>,
+    ) -> Self {
+        let net = RequiredPort::new();
+        net.subscribe(|this: &mut Node, ping: &Ping| {
+            let at_ms = this.des.now() / 1_000_000;
+            this.trace
+                .lock()
+                .push((at_ms, format!("n{}r{}", this.addr.id, ping.round)));
+            this.received.fetch_add(1, Ordering::SeqCst);
+            if ping.round < this.max_round {
+                this.net.trigger(Ping { base: ping.base.reply(), round: ping.round + 1 });
+            }
+        });
+        Node { ctx: ComponentContext::new(), net, addr, max_round, trace, des, received }
+    }
+}
+impl ComponentDefinition for Node {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Node"
+    }
+}
+
+struct EmuNet {
+    sim: Simulation,
+    emulator: kompics_core::component::Component<NetworkEmulator>,
+    nodes: Vec<kompics_core::component::Component<Node>>,
+    trace: Trace,
+    received: Arc<AtomicUsize>,
+}
+
+fn emulated_pair(seed: u64, config: EmulatorConfig, max_round: u32) -> EmuNet {
+    let sim = Simulation::new(seed);
+    let des = sim.des().clone();
+    let rng = sim.rng().clone();
+    let emulator = sim.system().create({
+        let (d, r, c) = (des.clone(), rng.clone(), config);
+        move || NetworkEmulator::new(d, r, c)
+    });
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+    let received = Arc::new(AtomicUsize::new(0));
+    let mut nodes = Vec::new();
+    for id in 1..=2u64 {
+        let addr = Address::sim(id);
+        let node = sim.system().create({
+            let (t, d, r) = (trace.clone(), des.clone(), received.clone());
+            move || Node::new(addr, max_round, t, d, r)
+        });
+        NetworkEmulator::attach(&emulator, &node.required_ref::<Network>().unwrap(), addr)
+            .unwrap();
+        sim.system().start(&node);
+        nodes.push(node);
+    }
+    sim.system().start(&emulator);
+    EmuNet { sim, emulator, nodes, trace, received }
+}
+
+#[test]
+fn emulator_delivers_with_constant_latency() {
+    let net = emulated_pair(
+        3,
+        EmulatorConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(25)),
+            ..EmulatorConfig::default()
+        },
+        3,
+    );
+    net.nodes[0]
+        .on_definition(|n| {
+            n.net
+                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+        })
+        .unwrap();
+    net.sim.run_for(Duration::from_secs(1));
+    // One hop every 25 ms: n2@25, n1@50, n2@75, n1@100.
+    assert_eq!(
+        *net.trace.lock(),
+        vec![
+            (25, "n2r0".to_string()),
+            (50, "n1r1".to_string()),
+            (75, "n2r2".to_string()),
+            (100, "n1r3".to_string())
+        ]
+    );
+    net.sim.shutdown();
+}
+
+#[test]
+fn emulator_loss_drops_everything_at_probability_one() {
+    let net = emulated_pair(
+        4,
+        EmulatorConfig { loss_probability: 1.0, ..EmulatorConfig::default() },
+        3,
+    );
+    net.nodes[0]
+        .on_definition(|n| {
+            n.net
+                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+        })
+        .unwrap();
+    net.sim.run_for(Duration::from_secs(1));
+    assert_eq!(net.received.load(Ordering::SeqCst), 0);
+    let (delivered, dropped) = net.emulator.on_definition(|e| e.stats()).unwrap();
+    assert_eq!((delivered, dropped), (0, 1));
+    net.sim.shutdown();
+}
+
+#[test]
+fn emulator_partition_blocks_and_heals() {
+    let net = emulated_pair(5, EmulatorConfig::default(), 0);
+    net.emulator
+        .on_definition(|e| e.set_partition([(1u64, 0u32), (2, 1)]))
+        .unwrap();
+    net.nodes[0]
+        .on_definition(|n| {
+            n.net
+                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+        })
+        .unwrap();
+    net.sim.run_for(Duration::from_secs(1));
+    assert_eq!(net.received.load(Ordering::SeqCst), 0, "partitioned");
+
+    net.emulator.on_definition(|e| e.heal_partition()).unwrap();
+    net.nodes[0]
+        .on_definition(|n| {
+            n.net
+                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+        })
+        .unwrap();
+    net.sim.run_for(Duration::from_secs(1));
+    assert_eq!(net.received.load(Ordering::SeqCst), 1, "healed");
+    net.sim.shutdown();
+}
+
+#[test]
+fn emulator_fifo_links_preserve_order_under_random_latency() {
+    let net = emulated_pair(
+        6,
+        EmulatorConfig {
+            latency: LatencyModel::Distribution(Dist::Exponential { mean: 20.0 }),
+            fifo_links: true,
+            ..EmulatorConfig::default()
+        },
+        0,
+    );
+    net.nodes[0]
+        .on_definition(|n| {
+            for i in 0..50 {
+                n.net.trigger(Ping {
+                    base: Message::new(n.addr, Address::sim(2)),
+                    round: 100 + i,
+                });
+            }
+        })
+        .unwrap();
+    net.sim.run_for(Duration::from_secs(10));
+    let trace = net.trace.lock();
+    let rounds: Vec<u32> = trace
+        .iter()
+        .map(|(_, s)| s.trim_start_matches("n2r").parse().unwrap())
+        .collect();
+    let expected: Vec<u32> = (0..50).map(|i| 100 + i).collect();
+    assert_eq!(rounds, expected, "per-link FIFO despite random latencies");
+    net.sim.shutdown();
+}
+
+#[test]
+fn identical_seeds_produce_identical_executions() {
+    fn run(seed: u64) -> Vec<(u64, String)> {
+        let net = emulated_pair(
+            seed,
+            EmulatorConfig {
+                latency: LatencyModel::Distribution(Dist::Exponential { mean: 10.0 }),
+                ..EmulatorConfig::default()
+            },
+            20,
+        );
+        net.nodes[0]
+            .on_definition(|n| {
+                n.net
+                    .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+            })
+            .unwrap();
+        net.sim.run_for(Duration::from_secs(60));
+        let result = net.trace.lock().clone();
+        net.sim.shutdown();
+        result
+    }
+    let a = run(42);
+    let b = run(42);
+    let c = run(43);
+    assert_eq!(a.len(), 21);
+    assert_eq!(a, b, "same seed ⇒ identical trace (times and order)");
+    assert_ne!(a, c, "different seed ⇒ different latencies");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario DSL
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Join(u64),
+    Fail(u64),
+    Lookup(u64, u64),
+}
+
+fn paper_scenario(joins: u64, churn: u64, lookups: u64) -> Scenario<Op> {
+    let boot = StochasticProcess::new("boot")
+        .event_inter_arrival_time(Dist::Exponential { mean: 20.0 })
+        .raise(joins, |rng| Op::Join(Dist::uniform_bits(16).sample_u64(rng)));
+    let churn_p = StochasticProcess::new("churn")
+        .event_inter_arrival_time(Dist::Exponential { mean: 5.0 })
+        .raise(churn / 2, |rng| Op::Join(Dist::uniform_bits(16).sample_u64(rng)))
+        .raise(churn / 2, |rng| Op::Fail(Dist::uniform_bits(16).sample_u64(rng)));
+    let lookups_p = StochasticProcess::new("lookups")
+        .event_inter_arrival_time(Dist::Normal { mean: 5.0, std_dev: 1.0 })
+        .raise(lookups, |rng| {
+            Op::Lookup(
+                Dist::uniform_bits(16).sample_u64(rng),
+                Dist::uniform_bits(14).sample_u64(rng),
+            )
+        });
+    Scenario::new()
+        .start(boot)
+        .start_after_termination_of(20, "boot", churn_p)
+        .start_after_start_of(30, "churn", lookups_p)
+        .terminate_after_termination_of(10, "lookups")
+}
+
+#[test]
+fn scenario_delivers_all_operations_and_completes() {
+    let sim = Simulation::new(7);
+    let ops: Arc<Mutex<Vec<(u64, Op)>>> = Arc::new(Mutex::new(Vec::new()));
+    let handle = paper_scenario(100, 100, 200).execute(sim.des(), sim.rng().clone(), {
+        let ops = ops.clone();
+        let des = sim.des().clone();
+        move |op| ops.lock().push((des.now(), op))
+    });
+    sim.run_to_completion();
+    assert!(handle.is_completed());
+    assert_eq!(handle.operations_fired(), 400);
+    let ops = ops.lock();
+    assert_eq!(ops.len(), 400);
+    // Monotone virtual timestamps.
+    assert!(ops.windows(2).all(|w| w[0].0 <= w[1].0));
+    sim.shutdown();
+}
+
+#[test]
+fn scenario_sequential_composition_orders_processes() {
+    let sim = Simulation::new(8);
+    let ops: Arc<Mutex<Vec<Op>>> = Arc::new(Mutex::new(Vec::new()));
+    let _handle = paper_scenario(50, 50, 50).execute(sim.des(), sim.rng().clone(), {
+        let ops = ops.clone();
+        move |op| ops.lock().push(op)
+    });
+    sim.run_to_completion();
+    let ops = ops.lock();
+    // The first 50 operations are all boot joins (churn starts strictly
+    // after boot terminates).
+    assert!(ops[..50].iter().all(|op| matches!(op, Op::Join(_))));
+    // Churn contains failures.
+    assert!(ops[50..].iter().any(|op| matches!(op, Op::Fail(_))));
+    sim.shutdown();
+}
+
+#[test]
+fn scenario_is_deterministic_per_seed() {
+    fn run(seed: u64) -> Vec<(u64, Op)> {
+        let sim = Simulation::new(seed);
+        let ops: Arc<Mutex<Vec<(u64, Op)>>> = Arc::new(Mutex::new(Vec::new()));
+        paper_scenario(50, 50, 100).execute(sim.des(), sim.rng().clone(), {
+            let ops = ops.clone();
+            let des = sim.des().clone();
+            move |op| ops.lock().push((des.now(), op))
+        });
+        sim.run_to_completion();
+        let result = ops.lock().clone();
+        sim.shutdown();
+        result
+    }
+    assert_eq!(run(11), run(11));
+    assert_ne!(run(11), run(12));
+}
+
+#[test]
+fn scenario_realtime_mode_delivers_everything() {
+    let fast = StochasticProcess::new("fast")
+        .event_inter_arrival_time(Dist::Constant(1.0))
+        .raise(20, |_rng| Op::Join(1));
+    let scenario = Scenario::new().start(fast).terminate_after_termination_of(0, "fast");
+    let seen = Arc::new(AtomicUsize::new(0));
+    let fired = scenario.execute_realtime(9, {
+        let seen = seen.clone();
+        move |_op| {
+            seen.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    assert_eq!(fired, 20);
+    assert_eq!(seen.load(Ordering::SeqCst), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Time compression (the property behind Table 1)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn simulated_time_is_compressed_for_light_workloads() {
+    let sim = Simulation::new(10);
+    let des = sim.des().clone();
+    let timer = sim.system().create({
+        let des = des.clone();
+        move || SimTimer::new(des)
+    });
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+    let user = sim.system().create({
+        let (t, d) = (trace.clone(), des.clone());
+        move || TimerUser::new(t, d)
+    });
+    connect(
+        &timer.provided_ref::<Timer>().unwrap(),
+        &user.required_ref::<Timer>().unwrap(),
+    )
+    .unwrap();
+    sim.system().start(&timer);
+    sim.system().start(&user);
+    let id = TimeoutId::fresh();
+    user.on_definition(|u| {
+        u.timer.trigger(SchedulePeriodicTimeout::new(
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            id,
+            Arc::new(Tick { base: Timeout { id }, tag: 0 }),
+        ));
+    })
+    .unwrap();
+
+    let wall = std::time::Instant::now();
+    sim.run_for(Duration::from_secs(3600)); // one hour of virtual time
+    let wall_elapsed = wall.elapsed();
+    assert_eq!(trace.lock().len(), 3600);
+    let compression = 3600.0 / wall_elapsed.as_secs_f64();
+    assert!(
+        compression > 50.0,
+        "1 h simulated in {wall_elapsed:?} (compression {compression:.0}x)"
+    );
+    sim.shutdown();
+}

@@ -1,0 +1,167 @@
+//! The Timer port type and its request/indication events.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use kompics_core::event::EventRef;
+use kompics_core::{impl_event, port_type};
+
+static NEXT_TIMEOUT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Identifies one scheduled timeout, for cancellation and matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeoutId(pub u64);
+
+impl TimeoutId {
+    /// Allocates a fresh, process-unique timeout id.
+    pub fn fresh() -> TimeoutId {
+        TimeoutId(NEXT_TIMEOUT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Display for TimeoutId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Base indication for expired timeouts. Protocols define subtypes carrying
+/// their own data (see the [crate example](crate)).
+#[derive(Debug, Clone)]
+pub struct Timeout {
+    /// Matches the [`ScheduleTimeout::id`] that scheduled it.
+    pub id: TimeoutId,
+}
+impl_event!(Timeout);
+
+impl Timeout {
+    /// Creates a timeout indication with a fresh id.
+    pub fn fresh() -> Timeout {
+        Timeout { id: TimeoutId::fresh() }
+    }
+}
+
+/// Request: deliver `timeout` once, `delay` from now.
+#[derive(Debug, Clone)]
+pub struct ScheduleTimeout {
+    /// Id of the schedule (use it to cancel). Must equal the id embedded in
+    /// the `timeout` event if the payload is a [`Timeout`] subtype.
+    pub id: TimeoutId,
+    /// How long from now the timeout fires.
+    pub delay: Duration,
+    /// The indication to deliver on expiry; must be allowed in the positive
+    /// direction of [`Timer`], i.e. a [`Timeout`] (subtype) instance.
+    pub timeout: EventRef,
+}
+impl_event!(ScheduleTimeout);
+
+impl ScheduleTimeout {
+    /// Schedules `timeout` (a [`Timeout`] subtype event) to fire after
+    /// `delay`. Returns the request; its `id` field identifies the schedule.
+    pub fn new(delay: Duration, id: TimeoutId, timeout: EventRef) -> Self {
+        ScheduleTimeout { id, delay, timeout }
+    }
+
+    /// Convenience: schedule a plain [`Timeout`] with a fresh id after
+    /// `delay`. Returns the request.
+    pub fn plain(delay: Duration) -> Self {
+        let timeout = Timeout::fresh();
+        let id = timeout.id;
+        ScheduleTimeout { id, delay, timeout: std::sync::Arc::new(timeout) }
+    }
+}
+
+/// Request: deliver `timeout` after `delay`, then every `period`, until
+/// cancelled with [`CancelPeriodicTimeout`].
+#[derive(Debug, Clone)]
+pub struct SchedulePeriodicTimeout {
+    /// Id of the schedule.
+    pub id: TimeoutId,
+    /// Delay before the first firing.
+    pub delay: Duration,
+    /// Interval between subsequent firings.
+    pub period: Duration,
+    /// The indication delivered on every firing.
+    pub timeout: EventRef,
+}
+impl_event!(SchedulePeriodicTimeout);
+
+impl SchedulePeriodicTimeout {
+    /// Schedules a periodic timeout.
+    pub fn new(delay: Duration, period: Duration, id: TimeoutId, timeout: EventRef) -> Self {
+        SchedulePeriodicTimeout { id, delay, period, timeout }
+    }
+}
+
+/// Request: cancel the one-shot schedule with the given id. A timeout whose
+/// cancellation races its expiry may still be delivered.
+#[derive(Debug, Clone, Copy)]
+pub struct CancelTimeout {
+    /// The schedule to cancel.
+    pub id: TimeoutId,
+}
+impl_event!(CancelTimeout);
+
+/// Request: cancel the periodic schedule with the given id.
+#[derive(Debug, Clone, Copy)]
+pub struct CancelPeriodicTimeout {
+    /// The schedule to cancel.
+    pub id: TimeoutId,
+}
+impl_event!(CancelPeriodicTimeout);
+
+port_type! {
+    /// The timer abstraction: schedule/cancel requests in, timeout
+    /// indications out.
+    pub struct Timer {
+        indication: Timeout;
+        request: ScheduleTimeout, SchedulePeriodicTimeout, CancelTimeout,
+                 CancelPeriodicTimeout;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_core::event::Event;
+    use kompics_core::port::{Direction, PortType};
+
+    #[test]
+    fn timer_port_direction_rules() {
+        let schedule = ScheduleTimeout::plain(Duration::from_millis(1));
+        assert!(Timer::allows(&schedule, Direction::Negative));
+        assert!(!Timer::allows(&schedule, Direction::Positive));
+        let timeout = Timeout::fresh();
+        assert!(Timer::allows(&timeout, Direction::Positive));
+        assert!(!Timer::allows(&timeout, Direction::Negative));
+        assert!(Timer::allows(&CancelTimeout { id: TimeoutId(1) }, Direction::Negative));
+    }
+
+    #[test]
+    fn timeout_subtypes_pass_positive() {
+        #[derive(Debug, Clone)]
+        struct MyTimeout {
+            base: Timeout,
+        }
+        kompics_core::impl_event!(MyTimeout, extends Timeout, via base);
+        let t = MyTimeout { base: Timeout::fresh() };
+        assert!(t.is_instance_of(std::any::TypeId::of::<Timeout>()));
+        assert!(Timer::allows(&t, Direction::Positive));
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = TimeoutId::fresh();
+        let b = TimeoutId::fresh();
+        assert_ne!(a, b);
+        assert_eq!(format!("{a}"), format!("t{}", a.0));
+    }
+
+    #[test]
+    fn plain_schedule_embeds_matching_id() {
+        let s = ScheduleTimeout::plain(Duration::from_secs(1));
+        let embedded =
+            kompics_core::event::event_as::<Timeout>(s.timeout.as_ref()).unwrap();
+        assert_eq!(embedded.id, s.id);
+    }
+}

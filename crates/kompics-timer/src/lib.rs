@@ -1,0 +1,39 @@
+//! # kompics-timer
+//!
+//! The **Timer** abstraction from the paper's component library: a port type
+//! that accepts [`ScheduleTimeout`] / [`SchedulePeriodicTimeout`] /
+//! [`CancelTimeout`] requests and delivers [`Timeout`] indications, plus a
+//! real-time implementation ([`ThreadTimer`]) backed by a dedicated timer
+//! thread.
+//!
+//! Components that need timeouts *require* a [`Timer`] port; what serves
+//! that port — this crate's [`ThreadTimer`] in production or the simulated
+//! timer in `kompics-simulation` — is decided by the enclosing architecture,
+//! which is exactly how the same protocol code runs unchanged in deployment
+//! and in deterministic simulation.
+//!
+//! Custom timeout payloads are expressed as [`Timeout`] subtypes:
+//!
+//! ```rust
+//! use kompics_core::impl_event;
+//! use kompics_timer::Timeout;
+//!
+//! #[derive(Debug, Clone)]
+//! struct PingTimeout {
+//!     base: Timeout,
+//!     peer: u64,
+//! }
+//! impl_event!(PingTimeout, extends Timeout, via base);
+//!
+//! let t = PingTimeout { base: Timeout::fresh(), peer: 42 };
+//! assert_eq!(t.peer, 42);
+//! ```
+
+pub mod events;
+pub mod thread_timer;
+
+pub use events::{
+    CancelPeriodicTimeout, CancelTimeout, ScheduleTimeout, SchedulePeriodicTimeout, Timeout,
+    TimeoutId, Timer,
+};
+pub use thread_timer::ThreadTimer;

@@ -1,0 +1,344 @@
+//! `ThreadTimer`: the real-time Timer implementation.
+//!
+//! A dedicated thread sleeps until the earliest deadline in a binary heap
+//! and triggers the scheduled [`Timeout`] indications on the component's
+//! provided [`Timer`] port. One-shot and periodic schedules are supported;
+//! cancellation is lazy (cancelled entries are skipped when they surface).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kompics_core::event::EventRef;
+use kompics_core::port::PortRef;
+use kompics_core::prelude::*;
+use parking_lot::{Condvar, Mutex};
+
+use crate::events::{
+    CancelPeriodicTimeout, CancelTimeout, ScheduleTimeout, SchedulePeriodicTimeout,
+    TimeoutId, Timer,
+};
+
+struct Entry {
+    deadline: Instant,
+    id: TimeoutId,
+    event: EventRef,
+    period: Option<Duration>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.id == other.id
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deadline.cmp(&other.deadline).then(self.id.cmp(&other.id))
+    }
+}
+
+#[derive(Default)]
+struct TimerState {
+    heap: BinaryHeap<Reverse<Entry>>,
+    cancelled: HashSet<TimeoutId>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+/// Real-time timer component: provides [`Timer`], backed by a timer thread.
+///
+/// The thread is spawned lazily when the component handles its [`Start`] and
+/// shut down when the component is dropped.
+pub struct ThreadTimer {
+    ctx: ComponentContext,
+    timer: ProvidedPort<Timer>,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadTimer {
+    /// Creates the timer component (call inside a `create` closure).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let ctx = ComponentContext::new();
+        let timer: ProvidedPort<Timer> = ProvidedPort::new();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(TimerState::default()),
+            cv: Condvar::new(),
+        });
+
+        timer.subscribe(|this: &mut ThreadTimer, req: &ScheduleTimeout| {
+            this.schedule(req.id, req.delay, None, req.timeout.clone());
+        });
+        timer.subscribe(|this: &mut ThreadTimer, req: &SchedulePeriodicTimeout| {
+            this.schedule(req.id, req.delay, Some(req.period), req.timeout.clone());
+        });
+        timer.subscribe(|this: &mut ThreadTimer, req: &CancelTimeout| {
+            this.cancel(req.id);
+        });
+        timer.subscribe(|this: &mut ThreadTimer, req: &CancelPeriodicTimeout| {
+            this.cancel(req.id);
+        });
+        ctx.subscribe_control(|this: &mut ThreadTimer, _start: &Start| {
+            this.ensure_thread();
+        });
+
+        ThreadTimer { ctx, timer, shared, thread: None }
+    }
+
+    fn schedule(
+        &mut self,
+        id: TimeoutId,
+        delay: Duration,
+        period: Option<Duration>,
+        event: EventRef,
+    ) {
+        {
+            let mut state = self.shared.state.lock();
+            state.cancelled.remove(&id);
+            state.heap.push(Reverse(Entry {
+                deadline: Instant::now() + delay,
+                id,
+                event,
+                period,
+            }));
+        }
+        self.shared.cv.notify_all();
+    }
+
+    fn cancel(&mut self, id: TimeoutId) {
+        self.shared.state.lock().cancelled.insert(id);
+        self.shared.cv.notify_all();
+    }
+
+    fn ensure_thread(&mut self) {
+        if self.thread.is_some() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        // The inside half of the provided port: triggering on it sends
+        // positive (indication) events out, exactly like the owner would.
+        let port: PortRef<Timer> = self.timer.inside_ref();
+        let handle = std::thread::Builder::new()
+            .name("kompics-timer".into())
+            .spawn(move || timer_loop(shared, port))
+            .expect("spawn timer thread");
+        self.thread = Some(handle);
+    }
+}
+
+fn timer_loop(shared: Arc<Shared>, port: PortRef<Timer>) {
+    loop {
+        let due: Option<Entry> = {
+            let mut state = shared.state.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                match state.heap.peek() {
+                    None => {
+                        shared.cv.wait(&mut state);
+                    }
+                    Some(Reverse(next)) => {
+                        let now = Instant::now();
+                        if next.deadline <= now {
+                            break Some(state.heap.pop().expect("peeked").0);
+                        }
+                        let wait = next.deadline - now;
+                        shared.cv.wait_for(&mut state, wait);
+                    }
+                }
+            }
+        };
+        if let Some(entry) = due {
+            // A cancelled entry is dropped here (and the tombstone with it).
+            let cancelled = shared.state.lock().cancelled.remove(&entry.id);
+            if cancelled {
+                continue;
+            }
+            let _ = port.trigger_shared(entry.event.clone());
+            if let Some(period) = entry.period {
+                let mut state = shared.state.lock();
+                state.heap.push(Reverse(Entry {
+                    deadline: Instant::now() + period,
+                    id: entry.id,
+                    event: entry.event,
+                    period: Some(period),
+                }));
+            }
+        }
+    }
+}
+
+impl ComponentDefinition for ThreadTimer {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "ThreadTimer"
+    }
+}
+
+impl Drop for ThreadTimer {
+    fn drop(&mut self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Timeout;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug, Clone)]
+    struct TestTimeout {
+        base: Timeout,
+        tag: u64,
+    }
+    kompics_core::impl_event!(TestTimeout, extends Timeout, via base);
+
+    /// Requires Timer; counts received timeouts per tag.
+    struct TimerUser {
+        ctx: ComponentContext,
+        timer: RequiredPort<Timer>,
+        fired: Arc<Mutex<Vec<u64>>>,
+        count: Arc<AtomicUsize>,
+    }
+    impl TimerUser {
+        fn new(fired: Arc<Mutex<Vec<u64>>>, count: Arc<AtomicUsize>) -> Self {
+            let timer = RequiredPort::new();
+            timer.subscribe(|this: &mut TimerUser, t: &TestTimeout| {
+                this.fired.lock().push(t.tag);
+                this.count.fetch_add(1, Ordering::SeqCst);
+            });
+            TimerUser { ctx: ComponentContext::new(), timer, fired, count }
+        }
+        fn schedule(&self, delay_ms: u64, tag: u64) -> TimeoutId {
+            let id = TimeoutId::fresh();
+            let timeout = TestTimeout { base: Timeout { id }, tag };
+            self.timer.trigger(ScheduleTimeout::new(
+                Duration::from_millis(delay_ms),
+                id,
+                Arc::new(timeout),
+            ));
+            id
+        }
+    }
+    impl ComponentDefinition for TimerUser {
+        fn context(&self) -> &ComponentContext {
+            &self.ctx
+        }
+        fn type_name(&self) -> &'static str {
+            "TimerUser"
+        }
+    }
+
+    fn setup() -> (
+        KompicsSystem,
+        Component<ThreadTimer>,
+        Component<TimerUser>,
+        Arc<Mutex<Vec<u64>>>,
+        Arc<AtomicUsize>,
+    ) {
+        let system = KompicsSystem::new(Config::default().workers(2));
+        let timer = system.create(ThreadTimer::new);
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let count = Arc::new(AtomicUsize::new(0));
+        let user = system.create({
+            let (f, c) = (fired.clone(), count.clone());
+            move || TimerUser::new(f, c)
+        });
+        kompics_core::channel::connect(
+            &timer.provided_ref::<Timer>().unwrap(),
+            &user.required_ref::<Timer>().unwrap(),
+        )
+        .unwrap();
+        system.start(&timer);
+        system.start(&user);
+        (system, timer, user, fired, count)
+    }
+
+    fn wait_for(count: &AtomicUsize, target: usize, timeout_ms: u64) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+        while Instant::now() < deadline {
+            if count.load(Ordering::SeqCst) >= target {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    #[test]
+    fn one_shot_timeout_fires() {
+        let (system, _timer, user, fired, count) = setup();
+        user.on_definition(|u| u.schedule(10, 7)).unwrap();
+        assert!(wait_for(&count, 1, 2_000));
+        assert_eq!(*fired.lock(), vec![7]);
+        system.shutdown();
+    }
+
+    #[test]
+    fn timeouts_fire_in_deadline_order() {
+        let (system, _timer, user, fired, count) = setup();
+        user.on_definition(|u| {
+            u.schedule(60, 2);
+            u.schedule(10, 1);
+        })
+        .unwrap();
+        assert!(wait_for(&count, 2, 2_000));
+        assert_eq!(*fired.lock(), vec![1, 2]);
+        system.shutdown();
+    }
+
+    #[test]
+    fn cancelled_timeout_does_not_fire() {
+        let (system, _timer, user, fired, count) = setup();
+        let id = user.on_definition(|u| u.schedule(80, 9)).unwrap();
+        user.on_definition(|u| u.timer.trigger(CancelTimeout { id })).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        assert!(fired.lock().is_empty());
+        system.shutdown();
+    }
+
+    #[test]
+    fn periodic_timeout_fires_repeatedly_until_cancelled() {
+        let (system, _timer, user, _fired, count) = setup();
+        let id = TimeoutId::fresh();
+        user.on_definition(|u| {
+            let timeout = TestTimeout { base: Timeout { id }, tag: 1 };
+            u.timer.trigger(SchedulePeriodicTimeout::new(
+                Duration::from_millis(5),
+                Duration::from_millis(5),
+                id,
+                Arc::new(timeout),
+            ));
+        })
+        .unwrap();
+        assert!(wait_for(&count, 3, 2_000));
+        user.on_definition(|u| u.timer.trigger(CancelPeriodicTimeout { id })).unwrap();
+        system.await_quiescence();
+        let settled = count.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(100));
+        // At most one in-flight firing may land after the cancel.
+        assert!(count.load(Ordering::SeqCst) <= settled + 1);
+        system.shutdown();
+    }
+}

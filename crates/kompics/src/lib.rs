@@ -1,0 +1,28 @@
+//! # kompics
+//!
+//! Facade crate re-exporting the complete reproduction of
+//! *Message-Passing Concurrency for Scalable, Stateful, Reconfigurable
+//! Middleware* (MIDDLEWARE 2012):
+//!
+//! * [`core`] — the component model and schedulers;
+//! * [`timer`] — the Timer abstraction and real-time implementation;
+//! * [`codec`] — the binary wire format and compression;
+//! * [`network`] — the Network abstraction and transports;
+//! * [`simulation`] — deterministic simulation and the scenario DSL;
+//! * [`protocols`] — failure detector, bootstrap, Cyclon, monitoring, web;
+//! * [`cats`] — the CATS key-value store case study.
+//!
+//! For a guided tour start at [`core`] and the repository's `examples/`.
+
+pub use cats;
+pub use kompics_codec as codec;
+pub use kompics_core as core;
+pub use kompics_network as network;
+pub use kompics_protocols as protocols;
+pub use kompics_simulation as simulation;
+pub use kompics_timer as timer;
+
+/// Commonly used items across all crates.
+pub mod prelude {
+    pub use kompics_core::prelude::*;
+}

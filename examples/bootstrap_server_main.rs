@@ -1,0 +1,53 @@
+//! `BootstrapServerMain` (paper Figure 10, left): a standalone bootstrap
+//! server over real TCP, with its node list browsable over HTTP.
+//!
+//! ```text
+//! cargo run --release --example bootstrap_server_main -- [tcp-port] [http-port]
+//! ```
+//!
+//! Defaults: TCP 7000, HTTP 7080. Point `cats_node_main` instances at it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics::cats::deployment::standard_registry;
+use kompics::core::channel::connect;
+use kompics::network::{Address, Network, TcpConfig, TcpNetwork};
+use kompics::prelude::*;
+use kompics::protocols::bootstrap::{BootstrapServer, BootstrapServerConfig};
+use kompics::protocols::web::{HttpServer, Web};
+use kompics::timer::{ThreadTimer, Timer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let tcp_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(7_000);
+    let http_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(7_080);
+
+    let system = KompicsSystem::new(Config::default());
+    let registry = Arc::new(standard_registry()?);
+    let (addr, listener) = TcpNetwork::bind(Address::local(tcp_port, 9_000_000))?;
+    let tcp = system.create({
+        let registry = Arc::clone(&registry);
+        move || TcpNetwork::new(addr, listener, registry, TcpConfig::default())
+    });
+    let timer = system.create(ThreadTimer::new);
+    let server =
+        system.create(move || BootstrapServer::new(addr, BootstrapServerConfig::default()));
+    connect(&tcp.provided_ref::<Network>()?, &server.required_ref::<Network>()?)?;
+    connect(&timer.provided_ref::<Timer>()?, &server.required_ref::<Timer>()?)?;
+
+    let (http_port, http_listener) = HttpServer::bind(http_port)?;
+    let http = system
+        .create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(3)));
+    connect(&server.provided_ref::<Web>()?, &http.required_ref::<Web>()?)?;
+
+    system.start(&tcp);
+    system.start(&timer);
+    system.start(&server);
+    system.start(&http);
+    println!("bootstrap server on {addr}; node list at http://127.0.0.1:{http_port}/");
+    println!("press ctrl-c to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,72 @@
+//! An interactive-style CATS cluster in one process (the paper's local
+//! stress-test execution mode): five nodes over the in-process network with
+//! real timers, serving linearizable puts and gets, surviving a node crash.
+//!
+//! Run with `cargo run --example cats_cluster`.
+
+use std::time::{Duration, Instant};
+
+use kompics::cats::abd::AbdConfig;
+use kompics::cats::key::RingKey;
+use kompics::cats::local::{LocalCatsCluster, OpOutcome};
+use kompics::cats::node::CatsConfig;
+use kompics::cats::ring::RingConfig;
+use kompics::prelude::*;
+use kompics::protocols::cyclon::CyclonConfig;
+use kompics::protocols::fd::FdConfig;
+
+fn main() {
+    let config = CatsConfig {
+        replication: Some(3),
+        ring: RingConfig { stabilize_period: Duration::from_millis(50), ..RingConfig::default() },
+        fd: FdConfig {
+            initial_delay: Duration::from_millis(200),
+            delta: Duration::from_millis(100),
+        },
+        cyclon: CyclonConfig { period: Duration::from_millis(100), ..CyclonConfig::default() },
+        abd: AbdConfig { op_timeout: Duration::from_millis(500), max_retries: 6, ..AbdConfig::default() },
+    };
+    let mut cluster = LocalCatsCluster::new(Config::default(), config);
+
+    println!("booting 5 nodes...");
+    for id in [100u64, 200, 300, 400, 500] {
+        cluster.add_node(id);
+    }
+    assert!(cluster.await_converged(Duration::from_secs(30)), "convergence timed out");
+    println!("converged: nodes {:?}", cluster.node_ids());
+
+    let timeout = Duration::from_secs(5);
+    let value = vec![7u8; 1024]; // 1 KiB values, as in the paper's evaluation
+
+    let started = Instant::now();
+    const OPS: u64 = 200;
+    for i in 0..OPS {
+        let outcome = cluster.put(i * 37, RingKey(i), value.clone(), timeout);
+        assert_eq!(outcome, OpOutcome::Put, "put {i}");
+    }
+    for i in 0..OPS {
+        match cluster.get(i * 91, RingKey(i), timeout) {
+            OpOutcome::Got(Some(v)) => assert_eq!(v.len(), 1024),
+            other => panic!("get {i}: {other:?}"),
+        }
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "{} ops in {:?} ({:.0} ops/s end-to-end, incl. quorum rounds)",
+        2 * OPS,
+        elapsed,
+        (2 * OPS) as f64 / elapsed.as_secs_f64()
+    );
+
+    println!("crashing node 300...");
+    cluster.kill_node(300);
+    std::thread::sleep(Duration::from_millis(800));
+    let mut recovered = 0;
+    for i in 0..OPS {
+        if matches!(cluster.get(i * 13, RingKey(i), timeout), OpOutcome::Got(Some(_))) {
+            recovered += 1;
+        }
+    }
+    println!("{recovered}/{OPS} keys readable after the crash");
+    cluster.shutdown();
+}

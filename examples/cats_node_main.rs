@@ -1,0 +1,144 @@
+//! `CatsNodeMain` (paper Figure 10, right): one deployable CATS node — its
+//! own TCP transport, thread timer, bootstrap client, monitoring client and
+//! HTTP status frontend. Run several (plus `bootstrap_server_main` and
+//! optionally `monitor_server_main`) to operate a real distributed
+//! key-value store on one or more machines:
+//!
+//! ```text
+//! cargo run --release --example bootstrap_server_main &
+//! cargo run --release --example cats_node_main -- 1 0 7000 8081 &
+//! cargo run --release --example cats_node_main -- 2 0 7000 8082 &
+//! cargo run --release --example cats_node_main -- 3 0 7000 8083 &
+//! curl http://127.0.0.1:8081/put/42/hello
+//! curl http://127.0.0.1:8082/get/42
+//! curl http://127.0.0.1:8083/status
+//! ```
+//!
+//! Arguments: `<ring-id> [tcp-port] [bootstrap-tcp-port] [http-port] [monitor-tcp-port]`
+//! (tcp-port 0 = OS-assigned).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics::cats::deployment::{deploy_node, standard_registry};
+use kompics::cats::node::{CatsConfig, CatsNode};
+use kompics::core::channel::connect;
+use kompics::network::{Address, Network, TcpConfig};
+use kompics::prelude::*;
+use kompics::protocols::bootstrap::{
+    Bootstrap, BootstrapClient, BootstrapClientConfig, BootstrapDone, BootstrapRequest,
+    BootstrapResponse,
+};
+use kompics::protocols::monitor::{MonitorClient, Status};
+use kompics::protocols::web::{HttpServer, Web};
+use kompics::timer::Timer;
+use parking_lot::Mutex;
+
+/// Forwards the bootstrap response as join seeds, then reports done.
+struct JoinGlue {
+    ctx: ComponentContext,
+    bootstrap: RequiredPort<Bootstrap>,
+    seeds: Arc<Mutex<Option<Vec<Address>>>>,
+}
+impl JoinGlue {
+    fn new(seeds: Arc<Mutex<Option<Vec<Address>>>>) -> Self {
+        let bootstrap = RequiredPort::new();
+        bootstrap.subscribe(|this: &mut JoinGlue, resp: &BootstrapResponse| {
+            *this.seeds.lock() = Some(resp.peers.clone());
+            this.bootstrap.trigger(BootstrapDone);
+        });
+        JoinGlue { ctx: ComponentContext::new(), bootstrap, seeds }
+    }
+}
+impl ComponentDefinition for JoinGlue {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "JoinGlue"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let ring_id: u64 = args.next().ok_or("usage: cats_node_main <ring-id> [tcp-port] \
+        [bootstrap-tcp-port] [http-port] [monitor-tcp-port]")?.parse()?;
+    let tcp_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0);
+    let bootstrap_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(7_000);
+    let http_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0);
+    let monitor_port: Option<u16> = args.next().map(|a| a.parse()).transpose()?;
+
+    let system = KompicsSystem::new(Config::default());
+    let registry = Arc::new(standard_registry()?);
+    let deployed = deploy_node(
+        &system,
+        Address::local(tcp_port, ring_id),
+        Arc::clone(&registry),
+        TcpConfig::default(),
+        CatsConfig::default(),
+    )?;
+    println!("node {ring_id} listening on {}", deployed.addr);
+
+    // Bootstrap client (shares the node's transport and timer).
+    let bootstrap_addr = Address::local(bootstrap_port, 9_000_000);
+    let client = {
+        let addr = deployed.addr;
+        system.create(move || BootstrapClient::new(addr, BootstrapClientConfig::new(bootstrap_addr)))
+    };
+    connect(
+        &deployed.tcp.provided_ref::<Network>()?,
+        &client.required_ref::<Network>()?,
+    )?;
+    connect(&deployed.timer.provided_ref::<Timer>()?, &client.required_ref::<Timer>()?)?;
+    let seeds = Arc::new(Mutex::new(None));
+    let glue = system.create({
+        let s = Arc::clone(&seeds);
+        move || JoinGlue::new(s)
+    });
+    connect(&client.provided_ref::<Bootstrap>()?, &glue.required_ref::<Bootstrap>()?)?;
+    system.start(&client);
+    system.start(&glue);
+    glue.on_definition(|g| g.bootstrap.trigger(BootstrapRequest))?;
+
+    // Wait for the seed list, then join the ring.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let seed_list = loop {
+        if let Some(list) = seeds.lock().clone() {
+            break list;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err("bootstrap server did not answer".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    println!("joining via {} seed(s)", seed_list.len());
+    CatsNode::join(&deployed.node, seed_list);
+
+    // Optional monitoring client.
+    if let Some(port) = monitor_port {
+        let monitor_addr = Address::local(port, 9_000_001);
+        let addr = deployed.addr;
+        let monitor = system
+            .create(move || MonitorClient::new(addr, monitor_addr, Duration::from_secs(2)));
+        connect(
+            &deployed.tcp.provided_ref::<Network>()?,
+            &monitor.required_ref::<Network>()?,
+        )?;
+        connect(&deployed.timer.provided_ref::<Timer>()?, &monitor.required_ref::<Timer>()?)?;
+        connect(&deployed.node.provided_ref::<Status>()?, &monitor.required_ref::<Status>()?)?;
+        system.start(&monitor);
+        println!("reporting status to monitor at {monitor_addr}");
+    }
+
+    // HTTP frontend: /status, /get/<key>, /put/<key>/<value>.
+    let (http_port, http_listener) = HttpServer::bind(http_port)?;
+    let http = system
+        .create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(5)));
+    connect(&deployed.node.provided_ref::<Web>()?, &http.required_ref::<Web>()?)?;
+    system.start(&http);
+    println!("web interface at http://127.0.0.1:{http_port}/status");
+    println!("press ctrl-c to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

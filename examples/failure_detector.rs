@@ -1,0 +1,101 @@
+//! The paper's running example: a failure detector over Network and Timer
+//! abstractions — here in *deterministic simulation*, injecting a network
+//! partition and watching suspect/restore indications in virtual time.
+//!
+//! Run with `cargo run --example failure_detector`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics::core::channel::connect;
+use kompics::network::{Address, Network};
+use kompics::prelude::*;
+use kompics::protocols::fd::{
+    EventuallyPerfectFd, FdConfig, PingFailureDetector, Restore, StartMonitoring, Suspect,
+};
+use kompics::simulation::{Des, EmulatorConfig, NetworkEmulator, SimTimer, Simulation};
+use kompics::timer::Timer;
+
+/// Prints the failure detector's indications with virtual timestamps.
+struct Observer {
+    ctx: ComponentContext,
+    fd: RequiredPort<EventuallyPerfectFd>,
+    des: Arc<Des>,
+}
+
+impl Observer {
+    fn new(des: Arc<Des>) -> Self {
+        let fd = RequiredPort::new();
+        fd.subscribe(|this: &mut Observer, s: &Suspect| {
+            println!("[{:>6} ms] SUSPECT node {}", this.des.now() / 1_000_000, s.peer.id);
+        });
+        fd.subscribe(|this: &mut Observer, r: &Restore| {
+            println!("[{:>6} ms] RESTORE node {}", this.des.now() / 1_000_000, r.peer.id);
+        });
+        Observer { ctx: ComponentContext::new(), fd, des }
+    }
+}
+
+impl ComponentDefinition for Observer {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Observer"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = Simulation::new(7);
+    let des = sim.des().clone();
+    let rng = sim.rng().clone();
+    let emulator = sim.system().create({
+        let (d, r) = (des.clone(), rng);
+        move || NetworkEmulator::new(d, r, EmulatorConfig::default())
+    });
+    sim.system().start(&emulator);
+
+    // Two failure detectors monitoring each other, each with its own timer.
+    let addrs = [Address::sim(1), Address::sim(2)];
+    let mut detectors = Vec::new();
+    for addr in addrs {
+        let fd = sim
+            .system()
+            .create(move || PingFailureDetector::new(addr, FdConfig::default()));
+        NetworkEmulator::attach(&emulator, &fd.required_ref::<Network>()?, addr)?;
+        let timer = sim.system().create({
+            let des = des.clone();
+            move || SimTimer::new(des)
+        });
+        connect(&timer.provided_ref::<Timer>()?, &fd.required_ref::<Timer>()?)?;
+        sim.system().start(&timer);
+        sim.system().start(&fd);
+        detectors.push(fd);
+    }
+    let observer = sim.system().create({
+        let des = des.clone();
+        move || Observer::new(des)
+    });
+    connect(
+        &detectors[0].provided_ref::<EventuallyPerfectFd>()?,
+        &observer.required_ref::<EventuallyPerfectFd>()?,
+    )?;
+    sim.system().start(&observer);
+    observer.on_definition(|o| o.fd.trigger(StartMonitoring { peer: addrs[1] }))?;
+
+    println!("healthy for 5 s of virtual time...");
+    sim.run_for(Duration::from_secs(5));
+
+    println!("partitioning node 2 away...");
+    emulator.on_definition(|e| e.set_partition([(2u64, 1u32)]))?;
+    sim.run_for(Duration::from_secs(5));
+
+    println!("healing the partition...");
+    emulator.on_definition(|e| e.heal_partition())?;
+    sim.run_for(Duration::from_secs(5));
+
+    let delay = detectors[0].on_definition(|f| f.current_delay())?;
+    println!("final adaptive round delay: {delay:?}");
+    sim.shutdown();
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! `MonitorServerMain` (paper Figure 10, left): a standalone monitoring
+//! server over real TCP, aggregating node reports and presenting the
+//! global view of the system on a web page.
+//!
+//! ```text
+//! cargo run --release --example monitor_server_main -- [tcp-port] [http-port]
+//! ```
+//!
+//! Defaults: TCP 7001, HTTP 7081.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics::cats::deployment::standard_registry;
+use kompics::core::channel::connect;
+use kompics::network::{Address, Network, TcpConfig, TcpNetwork};
+use kompics::prelude::*;
+use kompics::protocols::monitor::MonitorServer;
+use kompics::protocols::web::{HttpServer, Web};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let tcp_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(7_001);
+    let http_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(7_081);
+
+    let system = KompicsSystem::new(Config::default());
+    let registry = Arc::new(standard_registry()?);
+    let (addr, listener) = TcpNetwork::bind(Address::local(tcp_port, 9_000_001))?;
+    let tcp = system.create({
+        let registry = Arc::clone(&registry);
+        move || TcpNetwork::new(addr, listener, registry, TcpConfig::default())
+    });
+    let server = system.create(MonitorServer::new);
+    connect(&tcp.provided_ref::<Network>()?, &server.required_ref::<Network>()?)?;
+
+    let (http_port, http_listener) = HttpServer::bind(http_port)?;
+    let http = system
+        .create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(3)));
+    connect(&server.provided_ref::<Web>()?, &http.required_ref::<Web>()?)?;
+
+    system.start(&tcp);
+    system.start(&server);
+    system.start(&http);
+    println!("monitor server on {addr}; global view at http://127.0.0.1:{http_port}/");
+    println!("press ctrl-c to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,97 @@
+//! Quickstart: two components talking through a typed port and a channel,
+//! executed by the multi-core work-stealing scheduler.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use kompics::prelude::*;
+
+/// A request carrying a number.
+#[derive(Debug, Clone)]
+pub struct Ping(pub u64);
+impl_event!(Ping);
+
+/// The matching response.
+#[derive(Debug, Clone)]
+pub struct Pong(pub u64);
+impl_event!(Pong);
+
+port_type! {
+    /// A toy request/response abstraction.
+    pub struct PingPong {
+        indication: Pong;
+        request: Ping;
+    }
+}
+
+/// Answers every `Ping(n)` with `Pong(n * 2)`.
+struct Ponger {
+    ctx: ComponentContext,
+    port: ProvidedPort<PingPong>,
+}
+
+impl Ponger {
+    fn new() -> Self {
+        let port = ProvidedPort::new();
+        port.subscribe(|this: &mut Ponger, ping: &Ping| {
+            this.port.trigger(Pong(ping.0 * 2));
+        });
+        Ponger { ctx: ComponentContext::new(), port }
+    }
+}
+
+impl ComponentDefinition for Ponger {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Ponger"
+    }
+}
+
+/// Sends pings on start and prints the pongs.
+struct Pinger {
+    ctx: ComponentContext,
+    port: RequiredPort<PingPong>,
+    rounds: u64,
+}
+
+impl Pinger {
+    fn new(rounds: u64) -> Self {
+        let ctx = ComponentContext::new();
+        let port: RequiredPort<PingPong> = RequiredPort::new();
+        port.subscribe(|_this: &mut Pinger, pong: &Pong| {
+            println!("received Pong({})", pong.0);
+        });
+        ctx.subscribe_control(|this: &mut Pinger, _start: &Start| {
+            for i in 1..=this.rounds {
+                this.port.trigger(Ping(i));
+            }
+        });
+        Pinger { ctx, port, rounds }
+    }
+}
+
+impl ComponentDefinition for Pinger {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Pinger"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = KompicsSystem::new(Config::default());
+    let ponger = system.create(Ponger::new);
+    let pinger = system.create(|| Pinger::new(5));
+    kompics::core::channel::connect(
+        &ponger.provided_ref::<PingPong>()?,
+        &pinger.required_ref::<PingPong>()?,
+    )?;
+    system.start(&ponger);
+    system.start(&pinger);
+    system.await_quiescence();
+    println!("quiescent; shutting down");
+    system.shutdown();
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Workspace-root helper crate: hosts the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/`. The
+//! library itself only re-exports the [`kompics`] facade.
+
+pub use kompics::*;

@@ -1,0 +1,240 @@
+//! The service composition of the paper's Figure 10: a bootstrap server
+//! assisting joins, a monitoring server aggregating per-node component
+//! statuses, and CATS nodes — all in deterministic simulation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics::cats::node::{CatsConfig, CatsNode};
+use kompics::cats::ring::RingConfig;
+use kompics::core::channel::connect;
+use kompics::core::component::Component;
+use kompics::network::{Address, Network};
+use kompics::prelude::*;
+use kompics::protocols::bootstrap::{
+    Bootstrap, BootstrapClient, BootstrapClientConfig, BootstrapDone, BootstrapRequest,
+    BootstrapResponse, BootstrapServer, BootstrapServerConfig,
+};
+use kompics::protocols::monitor::{MonitorClient, MonitorServer, Status};
+use kompics::protocols::web::{Web, WebRequest, WebResponse};
+use kompics::simulation::{EmulatorConfig, NetworkEmulator, SimTimer, Simulation};
+use kompics::timer::Timer;
+use parking_lot::Mutex;
+
+/// Captures web responses for assertions.
+struct WebProbe {
+    ctx: ComponentContext,
+    #[allow(dead_code)] // keeps the port pair alive
+    web: RequiredPort<Web>,
+    pages: Arc<Mutex<Vec<(u64, String)>>>,
+}
+impl WebProbe {
+    fn new(pages: Arc<Mutex<Vec<(u64, String)>>>) -> Self {
+        let web = RequiredPort::new();
+        web.subscribe(|this: &mut WebProbe, resp: &WebResponse| {
+            this.pages.lock().push((resp.id, resp.body.clone()));
+        });
+        WebProbe { ctx: ComponentContext::new(), web, pages }
+    }
+}
+impl ComponentDefinition for WebProbe {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "WebProbe"
+    }
+}
+
+/// Glue component: asks the bootstrap client for peers and joins the CATS
+/// node with them (in a deployment this logic lives in the node's main).
+struct JoinGlue {
+    ctx: ComponentContext,
+    bootstrap: RequiredPort<Bootstrap>,
+    seeds_out: Arc<Mutex<Option<Vec<Address>>>>,
+}
+impl JoinGlue {
+    fn new(seeds_out: Arc<Mutex<Option<Vec<Address>>>>) -> Self {
+        let bootstrap = RequiredPort::new();
+        bootstrap.subscribe(|this: &mut JoinGlue, resp: &BootstrapResponse| {
+            *this.seeds_out.lock() = Some(resp.peers.clone());
+            this.bootstrap.trigger(BootstrapDone);
+        });
+        JoinGlue { ctx: ComponentContext::new(), bootstrap, seeds_out }
+    }
+}
+impl ComponentDefinition for JoinGlue {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "JoinGlue"
+    }
+}
+
+struct Fixture {
+    sim: Simulation,
+    emulator: Component<NetworkEmulator>,
+}
+
+impl Fixture {
+    fn wire<C: ComponentDefinition>(&self, component: &Component<C>, addr: Address) {
+        if let Ok(net) = component.required_ref::<Network>() {
+            NetworkEmulator::attach(&self.emulator, &net, addr).unwrap();
+        }
+        if let Ok(timer_port) = component.required_ref::<Timer>() {
+            let des = self.sim.des().clone();
+            let timer = self.sim.system().create(move || SimTimer::new(des));
+            connect(&timer.provided_ref::<Timer>().unwrap(), &timer_port).unwrap();
+            self.sim.system().start(&timer);
+        }
+    }
+}
+
+#[test]
+fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
+    let sim = Simulation::new(17);
+    let des = sim.des().clone();
+    let rng = sim.rng().clone();
+    let emulator = sim.system().create({
+        let (d, r) = (des, rng);
+        move || NetworkEmulator::new(d, r, EmulatorConfig::default())
+    });
+    sim.system().start(&emulator);
+    let f = Fixture { sim, emulator };
+
+    // Infrastructure servers.
+    let bootstrap_addr = Address::sim(9_000);
+    let monitor_addr = Address::sim(9_001);
+    let bootstrap_server = f.sim.system().create(move || {
+        BootstrapServer::new(bootstrap_addr, BootstrapServerConfig::default())
+    });
+    f.wire(&bootstrap_server, bootstrap_addr);
+    f.sim.system().start(&bootstrap_server);
+    let monitor_server = f.sim.system().create(MonitorServer::new);
+    f.wire(&monitor_server, monitor_addr);
+    f.sim.system().start(&monitor_server);
+
+    let node_config = CatsConfig {
+        ring: RingConfig { stabilize_period: Duration::from_millis(250), ..RingConfig::default() },
+        ..CatsConfig::default()
+    };
+
+    // Three CATS nodes joining through the bootstrap service, each with a
+    // monitoring client reporting to the monitor server.
+    let mut nodes = Vec::new();
+    for id in [100u64, 200, 300] {
+        let addr = Address::sim(id);
+        let node = f.sim.system().create({
+            let config = node_config.clone();
+            move || CatsNode::new(addr, config)
+        });
+        f.wire(&node, addr);
+
+        let client = f.sim.system().create(move || {
+            BootstrapClient::new(addr, BootstrapClientConfig::new(bootstrap_addr))
+        });
+        f.wire(&client, addr);
+        let seeds_out = Arc::new(Mutex::new(None));
+        let glue = f.sim.system().create({
+            let s = seeds_out.clone();
+            move || JoinGlue::new(s)
+        });
+        connect(
+            &client.provided_ref::<Bootstrap>().unwrap(),
+            &glue.required_ref::<Bootstrap>().unwrap(),
+        )
+        .unwrap();
+        f.sim.system().start(&client);
+        f.sim.system().start(&glue);
+
+        let monitor_client = f.sim.system().create(move || {
+            MonitorClient::new(addr, monitor_addr, Duration::from_secs(1))
+        });
+        f.wire(&monitor_client, addr);
+        connect(
+            &node.provided_ref::<Status>().unwrap(),
+            &monitor_client.required_ref::<Status>().unwrap(),
+        )
+        .unwrap();
+        f.sim.system().start(&monitor_client);
+
+        // Fetch seeds from the bootstrap server, then join the ring.
+        glue.on_definition(|g| g.bootstrap.trigger(BootstrapRequest)).unwrap();
+        f.sim.run_for(Duration::from_secs(2));
+        let seeds = seeds_out.lock().clone().expect("bootstrap answered");
+        CatsNode::join(&node, seeds);
+        f.sim.run_for(Duration::from_secs(2));
+        nodes.push(node);
+    }
+
+    f.sim.run_for(Duration::from_secs(15));
+
+    // Every node joined through bootstrap-provided seeds.
+    for node in &nodes {
+        assert_eq!(node.on_definition(|n| n.is_joined()).unwrap().unwrap(), true);
+        assert!(node.on_definition(|n| n.view_size()).unwrap().unwrap() >= 3);
+    }
+    // The bootstrap server tracked all three via keep-alives.
+    assert_eq!(
+        bootstrap_server.on_definition(|s| s.alive_nodes().len()).unwrap(),
+        3
+    );
+    // The monitoring server aggregated ring/router/ABD status per node.
+    monitor_server
+        .on_definition(|s| {
+            let view = s.global_view();
+            assert_eq!(view.len(), 3, "all nodes reported to the monitor");
+            for (_, (_, components)) in view.iter() {
+                assert!(components.contains_key("CatsRing"));
+                assert!(components.contains_key("OneHopRouter"));
+                assert!(components.contains_key("ConsistentAbd"));
+            }
+            let json = s.render_json();
+            assert!(json.contains("\"node100\""));
+        })
+        .unwrap();
+
+    // Both servers expose web pages through the Web abstraction (Fig. 10's
+    // "user-friendly web interface for troubleshooting").
+    let pages = Arc::new(Mutex::new(Vec::new()));
+    let probe = f.sim.system().create({
+        let p = pages.clone();
+        move || WebProbe::new(p)
+    });
+    connect(
+        &monitor_server.provided_ref::<Web>().unwrap(),
+        &probe.required_ref::<Web>().unwrap(),
+    )
+    .unwrap();
+    f.sim.system().start(&probe);
+    monitor_server
+        .provided_ref::<Web>()
+        .unwrap()
+        .trigger(WebRequest { id: 1, path: "/".into() })
+        .unwrap();
+    bootstrap_server
+        .provided_ref::<Web>()
+        .unwrap()
+        .trigger(WebRequest { id: 2, path: "/".into() })
+        .unwrap();
+    // The bootstrap server's page goes to a second probe channel.
+    connect(
+        &bootstrap_server.provided_ref::<Web>().unwrap(),
+        &probe.required_ref::<Web>().unwrap(),
+    )
+    .unwrap();
+    bootstrap_server
+        .provided_ref::<Web>()
+        .unwrap()
+        .trigger(WebRequest { id: 3, path: "/".into() })
+        .unwrap();
+    f.sim.run_for(Duration::from_secs(1));
+    let pages = pages.lock();
+    let monitor_page = pages.iter().find(|(id, _)| *id == 1).expect("monitor page");
+    assert!(monitor_page.1.contains("\"CatsRing\""));
+    let bootstrap_page = pages.iter().find(|(id, _)| *id == 3).expect("bootstrap page");
+    assert!(bootstrap_page.1.contains("\"nodes\""));
+    assert!(bootstrap_page.1.contains("/100"), "page lists node 100: {}", bootstrap_page.1);
+    f.sim.shutdown();
+}
