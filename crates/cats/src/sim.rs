@@ -279,6 +279,50 @@ impl CatsSimulator {
         }
     }
 
+    /// Handle to the node component currently registered under `id`, for
+    /// supervision or fault injection.
+    pub fn node_component(&self, id: u64) -> Option<kompics_core::component::ComponentRef> {
+        self.nodes.get(&id).map(|e| e.node.erased())
+    }
+
+    /// The shared network emulator, for fault-plan targets.
+    pub fn emulator_component(&self) -> kompics_core::component::Component<NetworkEmulator> {
+        self.emulator.clone()
+    }
+
+    /// Re-registers a node after a supervised restart: swaps the stored
+    /// handle and request port to the replacement instance and re-issues the
+    /// ring join with the currently alive seeds. Intended as the supervisor's
+    /// `on_restart` hook; the restart machinery itself already re-plugged the
+    /// node's network/timer channels and migrated this simulator's response
+    /// subscriptions onto the replacement's ports.
+    ///
+    /// The replacement rejoins with empty storage — authentic CATS recovery,
+    /// where a reborn replica is repaired by read-impose and consistent
+    /// quorums rather than by state transfer.
+    pub fn adopt_restarted_node(
+        &mut self,
+        id: u64,
+        replacement: &kompics_core::component::ComponentRef,
+    ) {
+        let Some(node) = replacement.downcast::<CatsNode>() else { return };
+        if !self.nodes.contains_key(&id) {
+            return;
+        }
+        let seeds: Vec<Address> = self
+            .nodes
+            .values()
+            .map(|e| e.addr)
+            .filter(|a| a.id != id)
+            .take(3)
+            .collect();
+        let put_get = node.provided_ref::<PutGet>().expect("replacement provides put-get");
+        CatsNode::join(&node, seeds);
+        let entry = self.nodes.get_mut(&id).expect("checked above");
+        entry.node = node;
+        entry.put_get = put_get;
+    }
+
     /// The alive node nearest at-or-after `id` on the ring.
     fn nearest(&self, id: u64) -> Option<u64> {
         self.nodes

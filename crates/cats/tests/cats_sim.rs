@@ -9,12 +9,17 @@ use cats::key::RingKey;
 use cats::lin::check_linearizable;
 use cats::node::CatsConfig;
 use cats::ring::RingConfig;
+use cats::node::CatsNode;
 use cats::sim::CatsSimulator;
 use kompics_core::component::Component;
 use kompics_core::port::PortRef;
+use kompics_core::supervision::{supervise, SupervisionAction, SuperviseOptions, SupervisorConfig};
+use kompics_network::Address;
 use kompics_protocols::cyclon::CyclonConfig;
 use kompics_protocols::fd::FdConfig;
-use kompics_simulation::{Dist, EmulatorConfig, LatencyModel, Simulation};
+use kompics_simulation::{
+    Dist, EmulatorConfig, FaultPlan, FaultTargets, LatencyModel, Simulation,
+};
 
 struct Fixture {
     sim: Simulation,
@@ -388,6 +393,143 @@ fn without_repair_full_group_replacement_loses_data() {
         })
         .unwrap();
     f.sim.shutdown();
+}
+
+#[test]
+fn supervised_replica_crashes_mid_operation_stay_linearizable_and_reproducible() {
+    // The tentpole scenario: replica nodes crash *mid-ABD-operation* via a
+    // deterministic fault plan, a supervisor rebuilds each from its factory
+    // (empty storage — CATS repairs amnesiac replicas through read-impose
+    // and quorum intersection, not state transfer), and the completed
+    // history must still be linearizable per key. Run twice with the same
+    // seed, the whole execution — stats, latencies, fault trace, supervision
+    // log — must be identical.
+    #[allow(clippy::type_complexity)]
+    fn run(seed: u64) -> (u64, u64, u64, Vec<u64>, Vec<(u64, String)>, Vec<String>, usize) {
+        let f = fixture(seed);
+        boot_nodes(&f, &[100, 200, 300, 400, 500, 600, 700], 12_000);
+
+        // Put the two victims under supervision with factories that rebuild
+        // them at the same ring address, and an adoption hook that swaps the
+        // simulator's stored handle/port and re-issues the ring join.
+        let sup = f.sim.create_supervisor(SupervisorConfig::default());
+        for id in [200u64, 500] {
+            let node_ref = f
+                .simulator
+                .on_definition(|s| s.node_component(id))
+                .unwrap()
+                .expect("victim node exists");
+            let addr = Address::sim(id);
+            let config = cats_config();
+            let sim_handle = f.simulator.clone();
+            supervise(
+                &sup,
+                &node_ref,
+                SuperviseOptions::default()
+                    .with_factory(move || Box::new(CatsNode::new(addr, config.clone())))
+                    .with_on_restart(move |new_ref| {
+                        let _ = sim_handle.on_definition(|s| s.adopt_restarted_node(id, new_ref));
+                    }),
+            )
+            .expect("supervise victim");
+        }
+
+        // Crashes land 3 ms after a put is issued — with 1–5 ms one-way
+        // latency the quorum round is still in flight, so the fault hits a
+        // replica mid-operation.
+        let t0 = f.sim.now();
+        let victim = |id: u64| {
+            f.simulator
+                .on_definition(|s| s.node_component(id))
+                .unwrap()
+                .expect("victim node exists")
+        };
+        let plan = FaultPlan::new()
+            .crash_at(t0 + Duration::from_millis(3), "replica-200", "injected crash")
+            .crash_at(t0 + Duration::from_millis(4_803), "replica-500", "injected crash");
+        let targets = FaultTargets::new()
+            .component("replica-200", victim(200))
+            .component("replica-500", victim(500));
+        let installed = plan.install(&f.sim, targets).expect("plan installs");
+
+        for round in 0..12u64 {
+            let key = RingKey(round % 3);
+            f.op(CatsOp::Put {
+                node: (round * 131) % 800,
+                key,
+                value: vec![round as u8 + 1; 4],
+            });
+            f.run_ms(400);
+            f.op(CatsOp::Get { node: (round * 57) % 800, key });
+            f.run_ms(400);
+        }
+        // Tail long enough for the reborn replicas to rejoin the ring and
+        // for every pending operation to complete or time out.
+        f.run_ms(15_000);
+
+        let log: Vec<String> = sup
+            .on_definition(|s| s.log())
+            .unwrap()
+            .iter()
+            .map(|e| format!("{:?} {} {:?}", e.at, e.component_name, e.action))
+            .collect();
+        let restarted = sup
+            .on_definition(|s| {
+                s.log()
+                    .iter()
+                    .filter(|e| matches!(e.action, SupervisionAction::Restarted { .. }))
+                    .count()
+            })
+            .unwrap();
+        assert_eq!(restarted, 2, "both crashed replicas restarted: {log:?}");
+
+        let result = f
+            .simulator
+            .on_definition(|s| {
+                assert_eq!(s.node_count(), 7, "membership is intact after recovery");
+                assert!(
+                    s.all_joined(),
+                    "reborn replicas rejoined the ring within the tail"
+                );
+                let stats = s.stats();
+                assert!(
+                    stats.completed >= stats.issued * 8 / 10,
+                    "most ops complete despite two mid-operation crashes ({}/{})",
+                    stats.completed,
+                    stats.issued
+                );
+                for key in 0..3u64 {
+                    let records: Vec<_> = s
+                        .history()
+                        .iter()
+                        .filter(|h| h.key == RingKey(key))
+                        .map(|h| h.record)
+                        .collect();
+                    assert!(
+                        check_linearizable(&records),
+                        "history for key {key} not linearizable across supervised \
+                         crashes: {records:?}"
+                    );
+                }
+                (
+                    stats.issued,
+                    stats.completed,
+                    stats.failed,
+                    stats.latencies_ns.clone(),
+                    s.history().len(),
+                )
+            })
+            .unwrap();
+        f.sim.shutdown();
+        (result.0, result.1, result.2, result.3, installed.trace(), log, result.4)
+    }
+
+    let a = run(9);
+    let b = run(9);
+    assert_eq!(
+        a, b,
+        "same (seed, fault plan) ⇒ identical stats, fault trace and supervision log"
+    );
 }
 
 #[test]

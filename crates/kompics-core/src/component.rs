@@ -60,6 +60,16 @@ pub trait ComponentDefinition: Any + Send {
     /// Installs state extracted from a predecessor component. The default
     /// implementation ignores it.
     fn install_state(&mut self, _state: Box<dyn Any + Send>) {}
+
+    /// Builds a fresh definition to replace this one after a fault, used by
+    /// [supervision](crate::supervision) when no explicit factory was given.
+    /// Like a constructor, implementations may call `ProvidedPort::new` /
+    /// `RequiredPort::new` / `ComponentContext::create` — the runtime calls
+    /// this inside a construction frame. Returns `None` if the component
+    /// cannot be recreated (the default).
+    fn recreate(&self) -> Option<Box<dyn ComponentDefinition>> {
+        None
+    }
 }
 
 /// Life-cycle state of a component instance.
@@ -506,7 +516,17 @@ impl ComponentCore {
         while executed < throughput {
             let state = self.lifecycle();
             if matches!(state, LifecycleState::Faulty | LifecycleState::Destroyed) {
-                self.drain_queues(&system);
+                // Faulty components no longer execute handlers, but a `Kill`
+                // must still take effect so a faulted subtree can be reaped.
+                let saw_kill = self.drain_queues_noting_kill(&system);
+                if saw_kill && state == LifecycleState::Faulty {
+                    for child in self.children_snapshot() {
+                        let _ = child
+                            .control_outside
+                            .trigger_in(Direction::Negative, Arc::new(Kill));
+                    }
+                    self.destroy_now();
+                }
                 break;
             }
             let item = if let Some(i) = self.control_queue.pop() {
@@ -540,14 +560,32 @@ impl ComponentCore {
     }
 
     fn drain_queues(&self, system: &Arc<SystemCore>) {
-        while self.control_queue.pop().is_some() {
+        let _ = self.drain_queues_noting_kill(system);
+    }
+
+    /// Discards all queued items, reporting whether a [`Kill`] addressed to
+    /// this component's own control port was among them.
+    fn drain_queues_noting_kill(&self, system: &Arc<SystemCore>) -> bool {
+        let mut saw_kill = false;
+        let mut note = |item: &WorkItem| {
+            if Arc::ptr_eq(&item.half, &self.control_inside)
+                && item.direction == Direction::Negative
+                && item.event.as_any().type_id() == TypeId::of::<Kill>()
+            {
+                saw_kill = true;
+            }
+        };
+        while let Some(item) = self.control_queue.pop() {
+            note(&item);
             self.control_pending.fetch_sub(1, Ordering::SeqCst);
             system.pending_dec();
         }
-        while self.work_queue.pop().is_some() {
+        while let Some(item) = self.work_queue.pop() {
+            note(&item);
             self.work_pending.fetch_sub(1, Ordering::SeqCst);
             system.pending_dec();
         }
+        saw_kill
     }
 
     fn handle_item(self: &Arc<Self>, item: WorkItem) {
@@ -617,12 +655,39 @@ impl ComponentCore {
         }
     }
 
-    fn children_snapshot(&self) -> Vec<Arc<ComponentCore>> {
+    pub(crate) fn children_snapshot(&self) -> Vec<Arc<ComponentCore>> {
         self.children.lock().clone()
     }
 
     pub(crate) fn parent(&self) -> Option<Arc<ComponentCore>> {
         self.parent.lock().as_ref().and_then(Weak::upgrade)
+    }
+
+    /// Destroys this component and (recursively) its children immediately,
+    /// without going through control-port `Kill` delivery. Used by
+    /// supervision to reap a [`LifecycleState::Faulty`] subtree, whose
+    /// members no longer execute control events.
+    pub(crate) fn destroy_subtree(self: &Arc<Self>) {
+        for child in self.children_snapshot() {
+            child.destroy_subtree();
+        }
+        self.destroy_now();
+    }
+
+    /// Returns a [`LifecycleState::Faulty`] component to
+    /// [`LifecycleState::Active`] (the supervision `Resume` strategy). The
+    /// events queued at fault time were already discarded; execution resumes
+    /// with whatever arrives next.
+    pub(crate) fn resume_from_fault(self: &Arc<Self>) {
+        let _ = self.lifecycle.compare_exchange(
+            LifecycleState::Faulty as u8,
+            LifecycleState::Active as u8,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        if let Some(system) = self.system.upgrade() {
+            self.try_schedule(&system);
+        }
     }
 
     fn destroy_now(self: &Arc<Self>) {
@@ -640,7 +705,7 @@ impl ComponentCore {
         }
     }
 
-    fn fault(self: &Arc<Self>, error: String) {
+    pub(crate) fn fault(self: &Arc<Self>, error: String) {
         self.set_lifecycle(LifecycleState::Faulty);
         if let Some(system) = self.system.upgrade() {
             self.drain_queues(&system);
@@ -650,9 +715,20 @@ impl ComponentCore {
             component_name: self.name.clone(),
             error,
         };
+        self.deliver_fault_upward(fault);
+    }
+
+    /// Walks the ancestor chain starting at `self` looking for the nearest
+    /// component with a live [`Fault`] subscription on its control port's
+    /// outside half, and dispatches the fault there; at the root, hands the
+    /// fault to the system's [`FaultPolicy`](crate::fault::FaultPolicy).
+    ///
+    /// [`ComponentCore::fault`] starts the walk at the faulty component;
+    /// supervision re-enters here at the *parent* of a supervised component
+    /// whose restart budget is exhausted, so the exhausted supervisor's own
+    /// subscription is skipped.
+    pub(crate) fn deliver_fault_upward(self: &Arc<Self>, fault: Fault) {
         let event: EventRef = Arc::new(fault.clone());
-        // Escalate: find the nearest ancestor with a live Fault subscription
-        // on the (original) faulty component's chain of control ports.
         let mut current = Arc::clone(self);
         loop {
             if current.control_outside_has_fault_handler() {
@@ -664,7 +740,7 @@ impl ComponentCore {
             match current.parent() {
                 Some(p) => current = p,
                 None => {
-                    if let Some(system) = self.system.upgrade() {
+                    if let Some(system) = current.system.upgrade() {
                         system.unhandled_fault(fault);
                     }
                     return;
@@ -734,6 +810,26 @@ where
     C: ComponentDefinition,
     F: FnOnce() -> C,
 {
+    let erased = try_create_erased_in_system(system, parent, || {
+        Some(Box::new(f()) as Box<dyn ComponentDefinition>)
+    })
+    .expect("constructor returned a definition");
+    Component { core: erased.core, _marker: std::marker::PhantomData }
+}
+
+/// Type-erased component creation, used by supervision to instantiate a
+/// replacement from a `Box<dyn ComponentDefinition>` factory or a
+/// [`ComponentDefinition::recreate`] hook. The closure runs inside a
+/// construction frame (so port constructors work); returning `None` aborts
+/// the creation and discards the frame.
+pub(crate) fn try_create_erased_in_system<F>(
+    system: &Arc<SystemCore>,
+    parent: Option<Arc<ComponentCore>>,
+    f: F,
+) -> Option<ComponentRef>
+where
+    F: FnOnce() -> Option<Box<dyn ComponentDefinition>>,
+{
     // Run the constructor inside a fresh construction frame so the port
     // fields (and nested `create` calls) register themselves.
     CONSTRUCTION.with(|stack| {
@@ -747,6 +843,7 @@ where
     let frame = CONSTRUCTION
         .with(|stack| stack.borrow_mut().pop())
         .expect("construction frame pushed above");
+    let definition = definition?;
 
     let id = system.next_component_id();
     let name = format!("{} {}", definition.type_name(), id);
@@ -828,14 +925,14 @@ where
         core.children.lock().push(child);
     }
 
-    *core.definition.lock() = Some(Box::new(definition));
+    *core.definition.lock() = Some(definition);
 
     match parent {
         Some(p) => p.children.lock().push(Arc::clone(&core)),
         None => system.register_root(Arc::clone(&core)),
     }
 
-    Component { core, _marker: std::marker::PhantomData }
+    Some(ComponentRef { core })
 }
 
 // ---------------------------------------------------------------------------
@@ -1001,6 +1098,27 @@ impl ComponentRef {
     /// The outside half of the component's control port.
     pub fn control_ref(&self) -> PortRef<ControlPort> {
         PortRef::new(Arc::clone(&self.core.control_outside))
+    }
+
+    pub(crate) fn from_core(core: Arc<ComponentCore>) -> ComponentRef {
+        ComponentRef { core }
+    }
+
+    /// Recovers a typed handle if the underlying definition is a `C`.
+    ///
+    /// Returns `None` while the component is executing (the definition is
+    /// checked out) or if the definition is of a different type.
+    pub fn downcast<C: ComponentDefinition>(&self) -> Option<Component<C>> {
+        let guard = self.core.definition.lock();
+        let def = guard.as_ref()?;
+        if (def.as_ref() as &dyn Any).is::<C>() {
+            Some(Component {
+                core: Arc::clone(&self.core),
+                _marker: std::marker::PhantomData,
+            })
+        } else {
+            None
+        }
     }
 
     pub(crate) fn core(&self) -> &Arc<ComponentCore> {

@@ -83,6 +83,7 @@ pub mod lifecycle;
 pub mod port;
 pub mod reconfig;
 pub mod sched;
+pub mod supervision;
 pub mod system;
 pub mod testing;
 pub mod types;
@@ -100,6 +101,10 @@ pub mod prelude {
     pub use crate::lifecycle::{Init, Kill, Start, Started, Stop, Stopped};
     pub use crate::port::{
         Direction, PortRef, PortType, ProvidedPort, RequiredPort,
+    };
+    pub use crate::supervision::{
+        inject_fault, supervise, RestartStrategy, SuperviseOptions, SupervisionAction,
+        SupervisionEvent, Supervisor, SupervisorConfig,
     };
     pub use crate::system::KompicsSystem;
     pub use crate::types::{ChannelId, ComponentId, HandlerId, PortId};

@@ -147,17 +147,47 @@ pub fn replace_component(
     }
 
     // 4. Re-plug the held channels into new's matching ports and resume.
+    //    Validate *every* target half before unplugging anything: failing
+    //    midway would leave the earlier channels moved and — worse — every
+    //    channel still on hold, silently buffering events forever. On any
+    //    error, resume all held channels (still attached to `old`) and
+    //    reactivate `old` so the system keeps running with the original
+    //    component.
+    let bail = |held: &[HeldChannel], err: CoreError| -> CoreError {
+        for h in held {
+            h.channel.resume();
+        }
+        let _ = old
+            .control_ref()
+            .trigger_shared(std::sync::Arc::new(Start) as crate::event::EventRef);
+        err
+    };
+    let mut targets = Vec::with_capacity(held.len());
     for h in &held {
-        let new_half = new
-            .core()
-            .find_port_half(h.port_type, h.provided, false)
-            .ok_or(CoreError::NoSuchPort {
-                component: new.id(),
-                port_type: h.port_type,
-                provided: h.provided,
-            })?;
-        h.channel.unplug_sign(h.sign)?;
-        h.channel.plug_core(&new_half)?;
+        match new.core().find_port_half(h.port_type, h.provided, false) {
+            Some(half) => targets.push(half),
+            None => {
+                return Err(bail(
+                    &held,
+                    CoreError::NoSuchPort {
+                        component: new.id(),
+                        port_type: h.port_type,
+                        provided: h.provided,
+                    },
+                ))
+            }
+        }
+    }
+    for (h, new_half) in held.iter().zip(&targets) {
+        if let Err(err) = h
+            .channel
+            .unplug_sign(h.sign)
+            .and_then(|()| h.channel.plug_core(new_half))
+        {
+            // Some channels may already be moved; resuming everything at
+            // least unblocks event flow on both components.
+            return Err(bail(&held, err));
+        }
     }
 
     // 5. Activate the replacement, then flush the buffered events.

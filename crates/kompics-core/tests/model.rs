@@ -726,6 +726,68 @@ fn replace_component_without_dropping_events() {
     system.shutdown();
 }
 
+/// Declares only a `Pump` port — no `Net` — so it can never receive the
+/// channels of a `Net`-connected component.
+struct WrongPorts {
+    ctx: ComponentContext,
+    pump: RequiredPort<Pump>,
+}
+impl WrongPorts {
+    fn new() -> Self {
+        WrongPorts { ctx: ComponentContext::new(), pump: RequiredPort::new() }
+    }
+}
+impl ComponentDefinition for WrongPorts {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "WrongPorts"
+    }
+}
+
+#[test]
+fn failed_replace_resumes_channels_and_reactivates_old() {
+    // Regression test: a replacement missing a port used to leave every held
+    // channel buffering forever (and the old component passivated), silently
+    // swallowing all traffic. A failed swap must now be a clean no-op.
+    let system = collect_system();
+    let delivered = Arc::new(AtomicUsize::new(0));
+    let echo = system.create(Echo::new);
+    let old = system.create({
+        let d = delivered.clone();
+        move || CountingConsumer::new(d)
+    });
+    let provided = echo.provided_ref::<Net>().unwrap();
+    connect(&provided, &old.required_ref::<Net>().unwrap()).unwrap();
+    system.start(&echo);
+    system.start(&old);
+
+    provided.trigger(Message { destination: 0, payload: 1 }).unwrap();
+    system.await_quiescence();
+    assert_eq!(delivered.load(Ordering::SeqCst), 1);
+
+    let new = system.create(WrongPorts::new);
+    system.start(&new);
+    let result = replace_component(&old.erased(), &new.erased(), ReplaceOptions::default());
+    assert!(
+        matches!(result, Err(CoreError::NoSuchPort { .. })),
+        "swap must be rejected, got {result:?}"
+    );
+
+    // The held channel was resumed and the passivated original reactivated:
+    // traffic still flows to the old component as if nothing happened.
+    provided.trigger(Message { destination: 0, payload: 2 }).unwrap();
+    system.await_quiescence();
+    assert_eq!(
+        delivered.load(Ordering::SeqCst),
+        2,
+        "events still reach the original component after a failed swap"
+    );
+    assert_eq!(old.lifecycle(), LifecycleState::Active);
+    system.shutdown();
+}
+
 #[test]
 fn selector_channels_filter_events() {
     let system = collect_system();

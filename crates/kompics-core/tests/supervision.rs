@@ -1,0 +1,321 @@
+//! Supervision-tree integration tests: fault escalation through nested
+//! composites, restart-budget exhaustion reaching the system fault policy,
+//! and concurrent faults under the work-stealing scheduler.
+
+#![allow(dead_code)] // port fields exist to keep the halves alive
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use kompics_core::component::{Component, LifecycleState};
+use kompics_core::prelude::*;
+
+#[derive(Debug, Clone)]
+pub struct Poke(pub u64);
+impl_event!(Poke);
+
+port_type! {
+    /// Pokes in, pokes out.
+    pub struct Work {
+        indication: Poke;
+        request: Poke;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nested composite: Outer ▷ Mid ▷ Leaf, where the leaf detonates on Start
+// while its fuse burns. Faults escalate from the grandchild through both
+// composite layers to whoever subscribed on Outer's control port.
+// ---------------------------------------------------------------------------
+
+/// Panics during `Start` as long as `fuse > 0` (each detonation burns one
+/// charge), so a restarted instance repeats the fault until the fuse is out.
+struct Leaf {
+    ctx: ComponentContext,
+    fuse: Arc<AtomicUsize>,
+    started: Arc<AtomicUsize>,
+}
+
+impl Leaf {
+    fn new(fuse: Arc<AtomicUsize>, started: Arc<AtomicUsize>) -> Self {
+        let ctx = ComponentContext::new();
+        ctx.subscribe_control(|this: &mut Leaf, _s: &Start| {
+            if this
+                .fuse
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| f.checked_sub(1))
+                .is_ok()
+            {
+                panic!("leaf detonated on start");
+            }
+            this.started.fetch_add(1, Ordering::SeqCst);
+        });
+        Leaf { ctx, fuse, started }
+    }
+}
+
+impl ComponentDefinition for Leaf {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Leaf"
+    }
+}
+
+struct Mid {
+    ctx: ComponentContext,
+    leaf: Component<Leaf>,
+}
+
+impl Mid {
+    fn new(fuse: Arc<AtomicUsize>, started: Arc<AtomicUsize>) -> Self {
+        let ctx = ComponentContext::new();
+        let leaf = ctx.create(move || Leaf::new(fuse, started));
+        Mid { ctx, leaf }
+    }
+}
+
+impl ComponentDefinition for Mid {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Mid"
+    }
+}
+
+struct Outer {
+    ctx: ComponentContext,
+    mid: Component<Mid>,
+}
+
+impl Outer {
+    fn new(fuse: Arc<AtomicUsize>, started: Arc<AtomicUsize>) -> Self {
+        let ctx = ComponentContext::new();
+        let mid = ctx.create(move || Mid::new(fuse, started));
+        Outer { ctx, mid }
+    }
+}
+
+impl ComponentDefinition for Outer {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Outer"
+    }
+}
+
+fn collect_system(workers: usize) -> KompicsSystem {
+    KompicsSystem::new(Config::default().workers(workers).fault_policy(FaultPolicy::Collect))
+}
+
+#[test]
+fn grandchild_panic_escalates_through_composites_and_restart_heals() {
+    let system = collect_system(2);
+    let fuse = Arc::new(AtomicUsize::new(1)); // exactly one detonation
+    let started = Arc::new(AtomicUsize::new(0));
+    let outer = system.create({
+        let (f, s) = (fuse.clone(), started.clone());
+        move || Outer::new(f, s)
+    });
+    let sup = system.create(|| Supervisor::new(SupervisorConfig::default()));
+    system.start(&sup);
+    supervise(
+        &sup,
+        &outer.erased(),
+        SuperviseOptions::default().with_factory({
+            let (f, s) = (fuse.clone(), started.clone());
+            move || Box::new(Outer::new(f.clone(), s.clone()))
+        }),
+    )
+    .unwrap();
+
+    system.start(&outer);
+    system.await_quiescence();
+
+    // The grandchild's panic crossed two composite layers to the supervisor,
+    // which rebuilt the whole subtree; the replacement's leaf started clean.
+    let log = sup.on_definition(|s| s.log()).unwrap();
+    assert_eq!(log.len(), 1, "one supervision action: {log:?}");
+    assert!(
+        log[0].component_name.starts_with("Leaf"),
+        "the *grandchild* faulted: {:?}",
+        log[0].component_name
+    );
+    assert!(matches!(log[0].action, SupervisionAction::Restarted { attempt: 1 }));
+    assert_eq!(started.load(Ordering::SeqCst), 1, "replacement leaf started");
+    assert!(system.collected_faults().is_empty(), "fault fully handled");
+
+    let children = sup.on_definition(|s| s.supervised_children()).unwrap();
+    assert_eq!(children.len(), 1);
+    let replacement = children[0].downcast::<Outer>().expect("replacement is an Outer");
+    let leaf_state = replacement
+        .on_definition(|o| o.mid.on_definition(|m| m.leaf.lifecycle()).unwrap())
+        .unwrap();
+    assert_eq!(leaf_state, LifecycleState::Active);
+    system.shutdown();
+}
+
+#[test]
+fn budget_exhaustion_escalates_to_the_root_fault_policy() {
+    let system = collect_system(2);
+    let fuse = Arc::new(AtomicUsize::new(usize::MAX)); // never stops detonating
+    let started = Arc::new(AtomicUsize::new(0));
+    let outer = system.create({
+        let (f, s) = (fuse.clone(), started.clone());
+        move || Outer::new(f, s)
+    });
+    let sup = system.create(|| {
+        Supervisor::new(SupervisorConfig { max_restarts: 2, ..SupervisorConfig::default() })
+    });
+    system.start(&sup);
+    supervise(
+        &sup,
+        &outer.erased(),
+        SuperviseOptions::default().with_factory({
+            let (f, s) = (fuse.clone(), started.clone());
+            move || Box::new(Outer::new(f.clone(), s.clone()))
+        }),
+    )
+    .unwrap();
+
+    system.start(&outer);
+    system.await_quiescence();
+
+    // Fault #1 and #2 are absorbed by restarts; fault #3 exhausts the window
+    // and escalates past the (root-level) supervised component to the
+    // system's Collect policy.
+    let log = sup.on_definition(|s| s.log()).unwrap();
+    let restarts = log
+        .iter()
+        .filter(|e| matches!(e.action, SupervisionAction::Restarted { .. }))
+        .count();
+    let escalations: Vec<_> = log
+        .iter()
+        .filter_map(|e| match &e.action {
+            SupervisionAction::Escalated { reason } => Some(reason.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(restarts, 2, "budget allowed two restarts: {log:?}");
+    assert_eq!(escalations.len(), 1, "third fault escalated: {log:?}");
+    assert!(
+        escalations[0].contains("budget"),
+        "escalation names the exhausted budget: {escalations:?}"
+    );
+    let faults = system.collected_faults();
+    assert_eq!(faults.len(), 1, "exactly the escalated fault reached the root");
+    assert!(faults[0].error.contains("leaf detonated"));
+    assert_eq!(
+        sup.on_definition(|s| s.supervised_count()).unwrap(),
+        0,
+        "the entry is dropped after escalation"
+    );
+    system.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent faults under the work-stealing scheduler.
+// ---------------------------------------------------------------------------
+
+/// Counts pokes; panics on the poison value.
+struct PokeWorker {
+    ctx: ComponentContext,
+    work: ProvidedPort<Work>,
+    handled: Arc<AtomicUsize>,
+}
+
+impl PokeWorker {
+    fn new(handled: Arc<AtomicUsize>) -> Self {
+        let work: ProvidedPort<Work> = ProvidedPort::new();
+        work.subscribe(|this: &mut PokeWorker, poke: &Poke| {
+            if poke.0 == u64::MAX {
+                panic!("worker poisoned");
+            }
+            this.handled.fetch_add(1, Ordering::SeqCst);
+        });
+        PokeWorker { ctx: ComponentContext::new(), work, handled }
+    }
+}
+
+impl ComponentDefinition for PokeWorker {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "PokeWorker"
+    }
+}
+
+#[test]
+fn concurrent_faults_under_work_stealing_scheduler_all_restart() {
+    const WORKERS: usize = 8;
+    let system = collect_system(4);
+    let handled = Arc::new(AtomicUsize::new(0));
+    let sup = system.create(|| {
+        // Generous budget: all the concurrent faults land in one window.
+        Supervisor::new(SupervisorConfig { max_restarts: WORKERS, ..SupervisorConfig::default() })
+    });
+    system.start(&sup);
+
+    let mut ports = Vec::new();
+    for _ in 0..WORKERS {
+        let worker = system.create({
+            let h = handled.clone();
+            move || PokeWorker::new(h)
+        });
+        supervise(
+            &sup,
+            &worker.erased(),
+            SuperviseOptions::default().with_factory({
+                let h = handled.clone();
+                move || Box::new(PokeWorker::new(h.clone()))
+            }),
+        )
+        .unwrap();
+        system.start(&worker);
+        ports.push(worker.provided_ref::<Work>().unwrap());
+    }
+    system.await_quiescence();
+
+    // Poison every worker at once from several threads: the faults race
+    // through the work-stealing scheduler and the supervisor must serialize
+    // and absorb all of them.
+    let threads: Vec<_> = ports
+        .into_iter()
+        .map(|port| {
+            std::thread::spawn(move || {
+                port.trigger(Poke(u64::MAX)).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    system.await_quiescence();
+
+    let log = sup.on_definition(|s| s.log()).unwrap();
+    let restarts = log
+        .iter()
+        .filter(|e| matches!(e.action, SupervisionAction::Restarted { .. }))
+        .count();
+    assert_eq!(restarts, WORKERS, "every poisoned worker restarted: {log:?}");
+    assert!(system.collected_faults().is_empty());
+
+    // The replacements are live: poke each one (through re-resolved refs —
+    // the old PortRefs point at destroyed instances) and count the handling.
+    let children = sup.on_definition(|s| s.supervised_children()).unwrap();
+    assert_eq!(children.len(), WORKERS);
+    for child in &children {
+        let worker = child.downcast::<PokeWorker>().expect("replacement worker");
+        worker.provided_ref::<Work>().unwrap().trigger(Poke(7)).unwrap();
+    }
+    system.await_quiescence();
+    assert_eq!(
+        handled.load(Ordering::SeqCst),
+        WORKERS,
+        "all replacements handle traffic"
+    );
+    system.shutdown();
+}

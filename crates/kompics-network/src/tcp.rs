@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use kompics_core::event::{event_as, EventRef};
 use kompics_core::port::PortRef;
 use kompics_core::prelude::*;
@@ -45,8 +45,23 @@ pub struct TcpConfig {
     pub compress_threshold: Option<usize>,
     /// Connection attempts before a send fails. Default: 3.
     pub connect_retries: u32,
-    /// Delay between connection attempts. Default: 50 ms.
+    /// Delay before the *first* reconnection attempt; subsequent attempts
+    /// back off exponentially (doubling, with jitter) up to
+    /// [`connect_backoff_cap`](TcpConfig::connect_backoff_cap). Default:
+    /// 50 ms.
     pub connect_retry_delay: Duration,
+    /// Upper bound on the backoff delay between connection attempts.
+    /// Default: 2 s.
+    pub connect_backoff_cap: Duration,
+    /// Fraction of the backoff delay randomized away (0.25 ⇒ the actual
+    /// delay is 75–100% of the nominal one), de-synchronizing reconnection
+    /// storms across writers. Default: 0.25.
+    pub connect_jitter: f64,
+    /// Capacity of each per-connection outbound queue. When a slow or dead
+    /// peer lets the queue fill up, further sends fail fast as
+    /// [`DeadLetter`]s instead of growing the heap without bound.
+    /// Default: 1024 messages.
+    pub outbound_queue: usize,
 }
 
 impl Default for TcpConfig {
@@ -55,6 +70,9 @@ impl Default for TcpConfig {
             compress_threshold: Some(512),
             connect_retries: 3,
             connect_retry_delay: Duration::from_millis(50),
+            connect_backoff_cap: Duration::from_secs(2),
+            connect_jitter: 0.25,
+            outbound_queue: 1024,
         }
     }
 }
@@ -177,13 +195,28 @@ impl TcpNetwork {
                 self.shared
                     .bytes_sent
                     .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                if sender.send(Outgoing { header, frame }).is_err() {
-                    // Writer died; drop it so the next send reconnects.
-                    self.shared.connections.lock().remove(&endpoint);
-                    self.net.trigger(DeadLetter {
-                        message: header,
-                        reason: "connection writer terminated".into(),
-                    });
+                match sender.try_send(Outgoing { header, frame }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // Back-pressure: the peer is slow or unreachable and
+                        // the bounded queue is full. Fail the send fast; the
+                        // writer (and its queue) stay up.
+                        self.net.trigger(DeadLetter {
+                            message: header,
+                            reason: format!(
+                                "outbound queue full ({} messages) for {}",
+                                self.shared.config.outbound_queue, header.destination
+                            ),
+                        });
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        // Writer died; drop it so the next send reconnects.
+                        self.shared.connections.lock().remove(&endpoint);
+                        self.net.trigger(DeadLetter {
+                            message: header,
+                            reason: "connection writer terminated".into(),
+                        });
+                    }
                 }
             }
             Err(err) => {
@@ -254,12 +287,39 @@ fn spawn_writer(
     destination: Address,
     port: PortRef<Network>,
 ) -> Sender<Outgoing> {
-    let (tx, rx) = unbounded::<Outgoing>();
+    let (tx, rx) = bounded::<Outgoing>(shared.config.outbound_queue.max(1));
     std::thread::Builder::new()
         .name(format!("tcp-writer-{}", destination.port))
         .spawn(move || writer_loop(shared, destination, rx, port))
         .expect("spawn writer");
     tx
+}
+
+/// The delay before reconnection attempt `attempt` (0-based): exponential
+/// from [`TcpConfig::connect_retry_delay`], capped at
+/// [`TcpConfig::connect_backoff_cap`], shortened by up to
+/// [`TcpConfig::connect_jitter`] of itself. Jitter comes from a splitmix64
+/// hash of (destination, attempt) — no RNG state, but different writers (and
+/// successive attempts) spread out instead of reconnecting in lock-step.
+fn backoff_delay(config: &TcpConfig, destination: Address, attempt: u32) -> Duration {
+    let nominal = config
+        .connect_retry_delay
+        .checked_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX))
+        .map_or(config.connect_backoff_cap, |d| d.min(config.connect_backoff_cap));
+    let jitter = config.connect_jitter.clamp(0.0, 1.0);
+    if jitter == 0.0 {
+        return nominal;
+    }
+    let mut x = destination
+        .routing_key()
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(destination.port) << 32)
+        .wrapping_add(u64::from(attempt));
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // uniform in [0, 1)
+    nominal.mul_f64(1.0 - jitter * unit)
 }
 
 fn try_connect(shared: &Shared, destination: Address) -> Option<TcpStream> {
@@ -273,7 +333,7 @@ fn try_connect(shared: &Shared, destination: Address) -> Option<TcpStream> {
                 return Some(stream);
             }
             Err(_) if attempt + 1 < shared.config.connect_retries.max(1) => {
-                std::thread::sleep(shared.config.connect_retry_delay);
+                std::thread::sleep(backoff_delay(&shared.config, destination, attempt));
             }
             Err(_) => return None,
         }
@@ -426,5 +486,62 @@ impl Drop for TcpNetwork {
         if let Some(handle) = self.listener_thread.take() {
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(base_ms: u64, cap_ms: u64, jitter: f64) -> TcpConfig {
+        TcpConfig {
+            connect_retry_delay: Duration::from_millis(base_ms),
+            connect_backoff_cap: Duration::from_millis(cap_ms),
+            connect_jitter: jitter,
+            ..TcpConfig::default()
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_without_jitter() {
+        let cfg = config(50, 2_000, 0.0);
+        let dest = Address::local(9000, 1);
+        let delays: Vec<Duration> =
+            (0..8).map(|a| backoff_delay(&cfg, dest, a)).collect();
+        assert_eq!(delays[0], Duration::from_millis(50));
+        assert_eq!(delays[1], Duration::from_millis(100));
+        assert_eq!(delays[2], Duration::from_millis(200));
+        assert_eq!(delays[5], Duration::from_millis(1_600));
+        assert_eq!(delays[6], Duration::from_millis(2_000), "capped");
+        assert_eq!(delays[7], Duration::from_millis(2_000), "stays capped");
+    }
+
+    #[test]
+    fn backoff_survives_extreme_attempts_and_bases() {
+        // Shift/multiply overflow on huge attempt counts must saturate at
+        // the cap, not wrap around to tiny delays.
+        let cfg = config(500, 3_000, 0.0);
+        assert_eq!(backoff_delay(&cfg, Address::local(1, 1), 31), Duration::from_secs(3));
+        assert_eq!(backoff_delay(&cfg, Address::local(1, 1), u32::MAX), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_deterministic() {
+        let cfg = config(1_000, 10_000, 0.25);
+        for attempt in 0..6 {
+            let nominal = backoff_delay(&config(1_000, 10_000, 0.0), Address::local(1, 7), attempt);
+            let jittered = backoff_delay(&cfg, Address::local(1, 7), attempt);
+            assert!(jittered <= nominal, "jitter only shortens");
+            assert!(
+                jittered >= nominal.mul_f64(0.75),
+                "at most 25% shaved: {jittered:?} vs {nominal:?}"
+            );
+            // Same (destination, attempt) ⇒ same delay; different
+            // destinations de-synchronize.
+            assert_eq!(jittered, backoff_delay(&cfg, Address::local(1, 7), attempt));
+        }
+        let a = backoff_delay(&cfg, Address::local(1, 7), 3);
+        let b = backoff_delay(&cfg, Address::local(2, 8), 3);
+        assert_ne!(a, b, "different endpoints draw different jitter");
     }
 }

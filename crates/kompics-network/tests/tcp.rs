@@ -216,6 +216,45 @@ fn unreachable_destination_yields_dead_letter() {
 }
 
 #[test]
+fn full_outbound_queue_dead_letters_instead_of_growing_unbounded() {
+    let system = KompicsSystem::new(Config::default().workers(2));
+    // A tiny bounded queue and a writer pinned down in long reconnection
+    // backoff: the queue must fill and further sends must fail fast.
+    let config = TcpConfig {
+        connect_retries: 10,
+        connect_retry_delay: Duration::from_millis(200),
+        connect_backoff_cap: Duration::from_secs(1),
+        outbound_queue: 4,
+        ..TcpConfig::default()
+    };
+    let a = make_node(&system, 1, config);
+    let bogus = Address::local(1, 99); // nothing listens on loopback:1
+    const N: usize = 20;
+    a.node
+        .on_definition(move |n| {
+            for i in 0..N as u32 {
+                n.net.trigger(Ping { base: Message::new(n.addr, bogus), round: 100 + i });
+            }
+        })
+        .unwrap();
+    // At most 4 queued + 1 in the writer's hands; the rest overflow.
+    assert!(
+        wait_for(&a.count, N - 5, 5_000),
+        "overflowing sends dead-letter promptly, got {}",
+        a.count.load(Ordering::SeqCst)
+    );
+    let dead = a.dead.lock();
+    let full = dead.iter().filter(|r| r.contains("outbound queue full")).count();
+    assert!(
+        full >= N - 5,
+        "expected ≥{} queue-full dead letters, got {full}: {dead:?}",
+        N - 5
+    );
+    drop(dead);
+    system.shutdown();
+}
+
+#[test]
 fn many_messages_preserve_per_sender_fifo() {
     let system = KompicsSystem::new(Config::default().workers(2));
     let a = make_node(&system, 1, TcpConfig::default());

@@ -61,6 +61,30 @@ impl Default for EmulatorConfig {
     }
 }
 
+/// Degraded-link behaviour, installed per (unordered) node pair with
+/// [`NetworkEmulator::set_link_fault`] — typically via a
+/// `FaultPlan`(crate::fault_plan::FaultPlan).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkFault {
+    /// Extra probability that a message on this link is dropped (applied on
+    /// top of the global [`EmulatorConfig::loss_probability`]).
+    pub drop_probability: f64,
+    /// Added to every sampled latency on this link.
+    pub extra_delay: Duration,
+    /// Probability a message is delivered twice (the duplicate follows the
+    /// original, respecting FIFO links).
+    pub duplicate_probability: f64,
+}
+
+impl LinkFault {
+    /// A link that drops everything — equivalent to
+    /// [`NetworkEmulator::block_link`] but expressible in the same plan
+    /// vocabulary as partial faults.
+    pub fn lossy(drop_probability: f64) -> Self {
+        LinkFault { drop_probability, ..Default::default() }
+    }
+}
+
 /// The network emulator component. Attach every node with
 /// [`NetworkEmulator::attach`]; control partitions via
 /// [`NetworkEmulator::set_partition`] / [`heal_partition`].
@@ -76,6 +100,8 @@ pub struct NetworkEmulator {
     groups: HashMap<u64, u32>,
     /// Explicitly blocked unordered node pairs.
     blocked: HashSet<(u64, u64)>,
+    /// Per-link degradation (drop/delay/duplication), unordered pairs.
+    link_faults: HashMap<(u64, u64), LinkFault>,
     /// Per-link earliest next delivery time, for FIFO links.
     link_clock: HashMap<(u64, u64), u64>,
     delivered: u64,
@@ -106,6 +132,7 @@ impl NetworkEmulator {
             config,
             groups: HashMap::new(),
             blocked: HashSet::new(),
+            link_faults: HashMap::new(),
             link_clock: HashMap::new(),
             delivered: 0,
             dropped: 0,
@@ -121,6 +148,9 @@ impl NetworkEmulator {
             self.dropped += 1;
             return;
         }
+        // Fixed RNG draw order — global loss, link drop, latency, duplicate
+        // — so a given (seed, fault plan) always consumes the same stream.
+        let fault = self.link_faults.get(&Self::pair(src, dst)).cloned();
         let mut rng = self.rng.lock();
         if self.config.loss_probability > 0.0
             && rng.gen_range(0.0..1.0) < self.config.loss_probability
@@ -129,20 +159,45 @@ impl NetworkEmulator {
             self.dropped += 1;
             return;
         }
-        let delay = self.config.latency.sample_nanos(&mut rng);
-        drop(rng);
-        let mut at = self.des.now().saturating_add(delay);
-        if self.config.fifo_links {
-            let link = self.link_clock.entry((src, dst)).or_insert(0);
-            at = at.max(*link + 1);
-            *link = at;
+        if let Some(f) = &fault {
+            if f.drop_probability > 0.0 && rng.gen_range(0.0..1.0) < f.drop_probability {
+                drop(rng);
+                self.dropped += 1;
+                return;
+            }
         }
-        let port = self.net.inside_ref();
-        let event = Arc::clone(event);
-        self.des.schedule_at(at, move || {
-            let _ = port.trigger_shared(event);
+        let mut delay = self.config.latency.sample_nanos(&mut rng);
+        let duplicate = fault.as_ref().is_some_and(|f| {
+            f.duplicate_probability > 0.0
+                && rng.gen_range(0.0..1.0) < f.duplicate_probability
         });
-        self.delivered += 1;
+        drop(rng);
+        if let Some(f) = &fault {
+            delay = delay.saturating_add(f.extra_delay.as_nanos() as u64);
+        }
+        let copies = if duplicate { 2 } else { 1 };
+        for _ in 0..copies {
+            let mut at = self.des.now().saturating_add(delay);
+            if self.config.fifo_links {
+                let link = self.link_clock.entry((src, dst)).or_insert(0);
+                at = at.max(*link + 1);
+                *link = at;
+            }
+            let port = self.net.inside_ref();
+            let event = Arc::clone(event);
+            self.des.schedule_at(at, move || {
+                let _ = port.trigger_shared(event);
+            });
+            self.delivered += 1;
+        }
+    }
+
+    fn pair(a: u64, b: u64) -> (u64, u64) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
     }
 
     fn is_blocked(&self, a: u64, b: u64) -> bool {
@@ -174,6 +229,17 @@ impl NetworkEmulator {
     /// Unblocks a link blocked with [`NetworkEmulator::block_link`].
     pub fn unblock_link(&mut self, a: u64, b: u64) {
         self.blocked.remove(&if a <= b { (a, b) } else { (b, a) });
+    }
+
+    /// Installs (or replaces) a [`LinkFault`] on the (bidirectional) link
+    /// between two nodes.
+    pub fn set_link_fault(&mut self, a: u64, b: u64, fault: LinkFault) {
+        self.link_faults.insert(Self::pair(a, b), fault);
+    }
+
+    /// Removes the [`LinkFault`] on a link, restoring healthy behaviour.
+    pub fn clear_link_fault(&mut self, a: u64, b: u64) {
+        self.link_faults.remove(&Self::pair(a, b));
     }
 
     /// (scheduled deliveries, dropped messages) so far.

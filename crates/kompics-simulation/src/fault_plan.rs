@@ -1,0 +1,333 @@
+//! Deterministic fault injection for simulation experiments.
+//!
+//! A [`FaultPlan`] is a declarative schedule of faults — component crashes,
+//! network partitions, and per-link degradation — expressed against *named*
+//! targets and *virtual* times. [`FaultPlan::install`] binds the names to
+//! concrete components/nodes through a [`FaultTargets`] map and schedules
+//! every operation on the simulation's discrete-event queue. Because the
+//! queue, the emulator's RNG draws, and the sequential scheduler are all
+//! deterministic, the same `(seed, plan)` pair always produces the same
+//! execution — crashes land between the same two component executions,
+//! drops hit the same messages.
+//!
+//! ```text
+//! let plan = FaultPlan::new()
+//!     .crash_at(secs(5), "node-2", "simulated crash")
+//!     .partition_at(secs(8), [vec!["node-0"], vec!["node-1", "node-2"]])
+//!     .heal_at(secs(12))
+//!     .link_fault_at(secs(15), "node-0", "node-1",
+//!                    LinkFault { drop_probability: 0.3, ..Default::default() });
+//! let installed = plan.install(&sim, targets)?;
+//! sim.run_for(secs(30));
+//! installed.trace(); // [(5s, "crash node-2"), (8s, "partition ..."), ...]
+//! ```
+//!
+//! Crashes use [`inject_fault`], so a crashed component goes through the
+//! full fault path: queues drained, fault escalated to the nearest
+//! [`Supervisor`](kompics_core::supervision::Supervisor) or the system
+//! fault policy. Pair a plan with a supervisor (see
+//! [`Simulation::create_supervisor`](crate::Simulation::create_supervisor))
+//! to exercise recovery, or run without one to test fail-stop behaviour.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::component::{Component, ComponentRef};
+use kompics_core::supervision::inject_fault;
+use parking_lot::Mutex;
+
+use crate::des::SimTime;
+use crate::emulator::{LinkFault, NetworkEmulator};
+use crate::sim::Simulation;
+
+/// One scheduled fault operation.
+#[derive(Debug, Clone)]
+pub enum FaultOp {
+    /// Mark the named component faulty, as if a handler had panicked.
+    Crash { node: String, error: String },
+    /// Split the named nodes into isolated groups (unlisted nodes form
+    /// group 0; see [`NetworkEmulator::set_partition`]).
+    Partition { groups: Vec<Vec<String>> },
+    /// Remove all partition groups.
+    Heal,
+    /// Block the link between two named nodes entirely.
+    DropLink { a: String, b: String },
+    /// Restore a link blocked by [`FaultOp::DropLink`].
+    RestoreLink { a: String, b: String },
+    /// Degrade the link between two named nodes.
+    LinkFault { a: String, b: String, fault: LinkFault },
+    /// Remove the degradation installed by [`FaultOp::LinkFault`].
+    ClearLinkFault { a: String, b: String },
+}
+
+impl FaultOp {
+    fn describe(&self) -> String {
+        match self {
+            FaultOp::Crash { node, error } => format!("crash {node}: {error}"),
+            FaultOp::Partition { groups } => format!("partition {groups:?}"),
+            FaultOp::Heal => "heal partition".to_string(),
+            FaultOp::DropLink { a, b } => format!("drop link {a} <-> {b}"),
+            FaultOp::RestoreLink { a, b } => format!("restore link {a} <-> {b}"),
+            FaultOp::LinkFault { a, b, fault } => {
+                format!("degrade link {a} <-> {b}: {fault:?}")
+            }
+            FaultOp::ClearLinkFault { a, b } => format!("clear link fault {a} <-> {b}"),
+        }
+    }
+
+    /// Names this operation refers to, for validation at install time.
+    fn referenced_names(&self) -> Vec<&str> {
+        match self {
+            FaultOp::Crash { node, .. } => vec![node],
+            FaultOp::Partition { groups } => {
+                groups.iter().flatten().map(String::as_str).collect()
+            }
+            FaultOp::Heal => vec![],
+            FaultOp::DropLink { a, b }
+            | FaultOp::RestoreLink { a, b }
+            | FaultOp::LinkFault { a, b, .. }
+            | FaultOp::ClearLinkFault { a, b } => vec![a, b],
+        }
+    }
+
+    fn needs_emulator(&self) -> bool {
+        !matches!(self, FaultOp::Crash { .. })
+    }
+}
+
+/// A schedule of [`FaultOp`]s at absolute virtual times. Build with the
+/// `*_at` methods, then [`install`](FaultPlan::install).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    ops: Vec<(SimTime, FaultOp)>,
+}
+
+fn nanos(at: Duration) -> SimTime {
+    at.as_nanos() as SimTime
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary [`FaultOp`] at `at` (virtual time since simulation
+    /// start).
+    pub fn op_at(mut self, at: Duration, op: FaultOp) -> Self {
+        self.ops.push((nanos(at), op));
+        self
+    }
+
+    /// Crashes the named component at `at`.
+    pub fn crash_at(
+        self,
+        at: Duration,
+        node: impl Into<String>,
+        error: impl Into<String>,
+    ) -> Self {
+        self.op_at(at, FaultOp::Crash { node: node.into(), error: error.into() })
+    }
+
+    /// Partitions the named nodes into isolated groups at `at`.
+    pub fn partition_at<G, N>(self, at: Duration, groups: G) -> Self
+    where
+        G: IntoIterator<Item = Vec<N>>,
+        N: Into<String>,
+    {
+        let groups = groups
+            .into_iter()
+            .map(|g| g.into_iter().map(Into::into).collect())
+            .collect();
+        self.op_at(at, FaultOp::Partition { groups })
+    }
+
+    /// Heals all partitions at `at`.
+    pub fn heal_at(self, at: Duration) -> Self {
+        self.op_at(at, FaultOp::Heal)
+    }
+
+    /// Blocks a link at `at`.
+    pub fn drop_link_at(self, at: Duration, a: impl Into<String>, b: impl Into<String>) -> Self {
+        self.op_at(at, FaultOp::DropLink { a: a.into(), b: b.into() })
+    }
+
+    /// Restores a dropped link at `at`.
+    pub fn restore_link_at(
+        self,
+        at: Duration,
+        a: impl Into<String>,
+        b: impl Into<String>,
+    ) -> Self {
+        self.op_at(at, FaultOp::RestoreLink { a: a.into(), b: b.into() })
+    }
+
+    /// Degrades a link at `at`.
+    pub fn link_fault_at(
+        self,
+        at: Duration,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        fault: LinkFault,
+    ) -> Self {
+        self.op_at(at, FaultOp::LinkFault { a: a.into(), b: b.into(), fault })
+    }
+
+    /// Clears a link degradation at `at`.
+    pub fn clear_link_fault_at(
+        self,
+        at: Duration,
+        a: impl Into<String>,
+        b: impl Into<String>,
+    ) -> Self {
+        self.op_at(at, FaultOp::ClearLinkFault { a: a.into(), b: b.into() })
+    }
+
+    /// The scheduled operations (time-ordered as added).
+    pub fn ops(&self) -> &[(SimTime, FaultOp)] {
+        &self.ops
+    }
+
+    /// Binds names and schedules every operation on `sim`'s event queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found — an operation
+    /// referencing a name missing from `targets`, or a network operation
+    /// without an emulator — *before* anything is scheduled, so a failed
+    /// install has no side effects.
+    pub fn install(
+        &self,
+        sim: &Simulation,
+        targets: FaultTargets,
+    ) -> Result<InstalledFaultPlan, String> {
+        for (_, op) in &self.ops {
+            for name in op.referenced_names() {
+                let known = match op {
+                    FaultOp::Crash { .. } => targets.components.contains_key(name),
+                    _ => targets.nodes.contains_key(name),
+                };
+                if !known {
+                    return Err(format!(
+                        "fault plan references unknown target {name:?} in: {}",
+                        op.describe()
+                    ));
+                }
+            }
+            if op.needs_emulator() && targets.emulator.is_none() {
+                return Err(format!(
+                    "fault plan has a network operation but no emulator: {}",
+                    op.describe()
+                ));
+            }
+        }
+
+        let trace: Arc<Mutex<Vec<(SimTime, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let targets = Arc::new(targets);
+        for (at, op) in &self.ops {
+            let op = op.clone();
+            let targets = Arc::clone(&targets);
+            let trace_entry = Arc::clone(&trace);
+            let at = *at;
+            sim.des().schedule_at(at, move || {
+                trace_entry.lock().push((at, op.describe()));
+                apply_op(&op, &targets);
+            });
+        }
+        Ok(InstalledFaultPlan { trace })
+    }
+}
+
+fn apply_op(op: &FaultOp, targets: &FaultTargets) {
+    let key = |name: &str| targets.nodes.get(name).copied().expect("validated at install");
+    let with_emulator = |f: &dyn Fn(&mut NetworkEmulator)| {
+        if let Some(emulator) = &targets.emulator {
+            let _ = emulator.on_definition(|e| f(e));
+        }
+    };
+    match op {
+        FaultOp::Crash { node, error } => {
+            if let Some(target) = targets.components.get(node) {
+                inject_fault(target, error.clone());
+            }
+        }
+        FaultOp::Partition { groups } => {
+            let assignment: Vec<(u64, u32)> = groups
+                .iter()
+                .enumerate()
+                .flat_map(|(i, group)| {
+                    group.iter().map(move |name| (key(name), i as u32))
+                })
+                .collect();
+            with_emulator(&|e| e.set_partition(assignment.clone()));
+        }
+        FaultOp::Heal => with_emulator(&|e| e.heal_partition()),
+        FaultOp::DropLink { a, b } => with_emulator(&|e| e.block_link(key(a), key(b))),
+        FaultOp::RestoreLink { a, b } => with_emulator(&|e| e.unblock_link(key(a), key(b))),
+        FaultOp::LinkFault { a, b, fault } => {
+            with_emulator(&|e| e.set_link_fault(key(a), key(b), fault.clone()));
+        }
+        FaultOp::ClearLinkFault { a, b } => {
+            with_emulator(&|e| e.clear_link_fault(key(a), key(b)));
+        }
+    }
+}
+
+/// Binds the names a [`FaultPlan`] uses to concrete simulation objects.
+#[derive(Default)]
+pub struct FaultTargets {
+    components: HashMap<String, ComponentRef>,
+    nodes: HashMap<String, u64>,
+    emulator: Option<Component<NetworkEmulator>>,
+}
+
+impl FaultTargets {
+    /// An empty target map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a component as a crash target.
+    pub fn component(mut self, name: impl Into<String>, target: ComponentRef) -> Self {
+        self.components.insert(name.into(), target);
+        self
+    }
+
+    /// Names a network node (routing key) as a partition/link target.
+    pub fn node(mut self, name: impl Into<String>, routing_key: u64) -> Self {
+        self.nodes.insert(name.into(), routing_key);
+        self
+    }
+
+    /// Provides the emulator that network operations act on.
+    pub fn with_emulator(mut self, emulator: Component<NetworkEmulator>) -> Self {
+        self.emulator = Some(emulator);
+        self
+    }
+}
+
+impl std::fmt::Debug for FaultTargets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultTargets")
+            .field("components", &self.components.keys().collect::<Vec<_>>())
+            .field("nodes", &self.nodes)
+            .field("emulator", &self.emulator.is_some())
+            .finish()
+    }
+}
+
+/// Handle to a plan scheduled by [`FaultPlan::install`].
+#[derive(Debug, Clone)]
+pub struct InstalledFaultPlan {
+    trace: Arc<Mutex<Vec<(SimTime, String)>>>,
+}
+
+impl InstalledFaultPlan {
+    /// The operations executed so far, in virtual-time order: the canonical
+    /// artifact for asserting that two runs of the same `(seed, plan)` are
+    /// identical.
+    pub fn trace(&self) -> Vec<(SimTime, String)> {
+        self.trace.lock().clone()
+    }
+}

@@ -21,16 +21,25 @@
 //! in parallel — are expressed with the [`scenario`] DSL, mirroring the
 //! paper's §4.4 Java DSL.
 
+//!
+//! Fault-injection experiments — crashing components, partitioning the
+//! emulated network, degrading links, all at scripted virtual times — are
+//! expressed with the [`fault_plan`] DSL and pair with the supervision
+//! module of `kompics-core` via
+//! [`Simulation::create_supervisor`](sim::Simulation::create_supervisor).
+
 pub mod des;
 pub mod dist;
 pub mod emulator;
+pub mod fault_plan;
 pub mod scenario;
 pub mod sim;
 pub mod sim_timer;
 
 pub use des::{Des, DesEventId, SimTime};
 pub use dist::Dist;
-pub use emulator::{EmulatorConfig, LatencyModel, NetworkEmulator};
+pub use emulator::{EmulatorConfig, LatencyModel, LinkFault, NetworkEmulator};
+pub use fault_plan::{FaultOp, FaultPlan, FaultTargets, InstalledFaultPlan};
 pub use scenario::{Scenario, StartRule, StochasticProcess};
 pub use sim::Simulation;
 pub use sim_timer::SimTimer;

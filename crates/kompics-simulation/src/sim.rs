@@ -11,8 +11,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use kompics_core::component::Component;
 use kompics_core::config::Config;
 use kompics_core::sched::sequential::SequentialScheduler;
+use kompics_core::supervision::{Supervisor, SupervisorConfig};
 use kompics_core::system::KompicsSystem;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -153,6 +155,27 @@ impl Simulation {
         while self.step() {}
         self.settle();
         self.now()
+    }
+
+    /// Creates and starts a [`Supervisor`] whose restart window and backoff
+    /// timer both run on **virtual time**: the rolling restart-intensity
+    /// window reads the simulated clock, and deferred (backoff) restarts are
+    /// scheduled on the event queue instead of a sleeper thread. This keeps
+    /// supervised-restart experiments fully deterministic.
+    pub fn create_supervisor(&self, config: SupervisorConfig) -> Component<Supervisor> {
+        let clock_des = Arc::clone(&self.des);
+        let defer_des = Arc::clone(&self.des);
+        let supervisor = self.system.create(move || {
+            Supervisor::with_hooks(
+                config,
+                Arc::new(move || clock_des.now_duration()),
+                Arc::new(move |delay, f: Box<dyn FnOnce() + Send>| {
+                    defer_des.schedule_in(delay, f);
+                }),
+            )
+        });
+        self.system.start(&supervisor);
+        supervisor
     }
 
     /// Shuts the underlying system down.

@@ -1,0 +1,163 @@
+//! Supervision trees (DESIGN.md §8): a flaky service panics on a poison
+//! request, its supervisor rebuilds it via the `recreate()` hook, and
+//! traffic keeps flowing to the replacement — while a restart-intensity
+//! budget guards against a service that never stops crashing.
+//!
+//! Run with `cargo run --example supervised_restart`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kompics::prelude::*;
+
+#[derive(Debug, Clone)]
+pub struct Add(pub u64);
+impl_event!(Add);
+
+#[derive(Debug, Clone)]
+pub struct Total(pub u64);
+impl_event!(Total);
+
+port_type! {
+    /// Additions in, running totals out.
+    pub struct Adder {
+        indication: Total;
+        request: Add;
+    }
+}
+
+/// Accumulates additions; panics on the poison value `u64::MAX`. The
+/// in-memory total is lost on restart (`recreate()` builds a blank
+/// instance) — exactly the crash-amnesia a supervisor trades for liveness.
+struct Counter {
+    ctx: ComponentContext,
+    port: ProvidedPort<Adder>,
+    total: u64,
+}
+
+impl Counter {
+    fn new() -> Self {
+        let port: ProvidedPort<Adder> = ProvidedPort::new();
+        port.subscribe(|this: &mut Counter, add: &Add| {
+            if add.0 == u64::MAX {
+                panic!("counter poisoned");
+            }
+            this.total += add.0;
+            this.port.trigger(Total(this.total));
+        });
+        Counter { ctx: ComponentContext::new(), port, total: 0 }
+    }
+}
+
+impl ComponentDefinition for Counter {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Counter"
+    }
+    // No factory needed in `SuperviseOptions`: the supervisor rebuilds the
+    // component through this hook.
+    fn recreate(&self) -> Option<Box<dyn ComponentDefinition>> {
+        Some(Box::new(Counter::new()))
+    }
+}
+
+/// Records every total the counter publishes.
+struct Auditor {
+    ctx: ComponentContext,
+    // Keeps the required half alive for the channel.
+    #[allow(dead_code)]
+    port: RequiredPort<Adder>,
+    last: Arc<AtomicU64>,
+}
+
+impl Auditor {
+    fn new(last: Arc<AtomicU64>) -> Self {
+        let port: RequiredPort<Adder> = RequiredPort::new();
+        port.subscribe(|this: &mut Auditor, total: &Total| {
+            this.last.store(total.0, Ordering::SeqCst);
+        });
+        Auditor { ctx: ComponentContext::new(), port, last }
+    }
+}
+
+impl ComponentDefinition for Auditor {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Auditor"
+    }
+}
+
+fn main() {
+    let system = KompicsSystem::new(
+        Config::default().workers(2).fault_policy(FaultPolicy::Collect),
+    );
+
+    let counter = system.create(Counter::new);
+    let last = Arc::new(AtomicU64::new(0));
+    let auditor = system.create({
+        let l = last.clone();
+        move || Auditor::new(l)
+    });
+    kompics::core::channel::connect(
+        &counter.provided_ref::<Adder>().expect("counter provides Adder"),
+        &auditor.required_ref::<Adder>().expect("auditor requires Adder"),
+    )
+    .expect("wire auditor");
+
+    // A supervisor with a tight restart budget: two restarts per minute.
+    let sup = system.create(|| {
+        Supervisor::new(SupervisorConfig { max_restarts: 2, ..SupervisorConfig::default() })
+    });
+    system.start(&sup);
+    supervise(&sup, &counter.erased(), SuperviseOptions::default())
+        .expect("supervise counter");
+
+    system.start(&counter);
+    system.start(&auditor);
+
+    let port = counter.provided_ref::<Adder>().expect("counter provides Adder");
+    port.trigger(Add(10)).unwrap();
+    port.trigger(Add(5)).unwrap();
+    system.await_quiescence();
+    println!("before crash: total = {}", last.load(Ordering::SeqCst));
+
+    // Poison the counter: the handler panics, the component is isolated as
+    // faulty, and the supervisor rebuilds it via `Counter::recreate()`. The
+    // auditor's channel is re-plugged onto the replacement automatically.
+    port.trigger(Add(u64::MAX)).unwrap();
+    system.await_quiescence();
+
+    // The old `port` ref points at the destroyed instance — re-resolve the
+    // live one through the supervisor.
+    let replacement = sup
+        .on_definition(|s| s.supervised_children())
+        .expect("supervisor state")
+        .into_iter()
+        .next()
+        .expect("counter still supervised")
+        .downcast::<Counter>()
+        .expect("replacement is a Counter");
+    let port = replacement.provided_ref::<Adder>().expect("replacement port");
+    port.trigger(Add(7)).unwrap();
+    system.await_quiescence();
+    println!(
+        "after restart: total = {} (state was lost, service was not)",
+        last.load(Ordering::SeqCst)
+    );
+
+    for event in sup.on_definition(|s| s.log()).expect("supervision log") {
+        println!(
+            "supervision: t={:?} {} -> {:?}",
+            event.at, event.component_name, event.action
+        );
+    }
+    println!(
+        "unhandled faults at the root: {}",
+        system.collected_faults().len()
+    );
+    system.shutdown();
+}

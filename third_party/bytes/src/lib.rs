@@ -1,0 +1,69 @@
+//! Offline stand-in for the `bytes` crate. The workspace declares the
+//! dependency but does not currently use it in code; this shim exists only
+//! so dependency resolution succeeds without a registry. A thin `Vec<u8>`
+//! wrapper is provided should future code need the basic types.
+
+use std::ops::Deref;
+
+/// A cheaply cloneable contiguous byte buffer (here: an `Arc<[u8]>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    inner: std::sync::Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes { inner: std::sync::Arc::from(&[][..]) }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { inner: std::sync::Arc::from(data) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { inner: std::sync::Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+/// A growable byte buffer.
+pub type BytesMut = Vec<u8>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(&*b, &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Work-stealing deques: per-worker [`Worker`] queues with [`Stealer`]
+//! handles and a shared [`Injector`]. Batch stealing moves roughly half of
+//! the victim's queue, like the real crate.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One task was stolen (and possibly a batch moved alongside it).
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Takes up to half (at least one) of `src`'s tasks; the first is returned,
+/// the rest land in `dest`.
+fn steal_half<T>(src: &Mutex<VecDeque<T>>, dest: &Mutex<VecDeque<T>>) -> Steal<T> {
+    let batch: Vec<T> = {
+        let mut q = lock(src);
+        if q.is_empty() {
+            return Steal::Empty;
+        }
+        let take = q.len().div_ceil(2);
+        q.drain(..take).collect()
+    };
+    let mut iter = batch.into_iter();
+    let first = iter.next().expect("batch is non-empty");
+    let mut d = lock(dest);
+    d.extend(iter);
+    Steal::Success(first)
+}
+
+/// The owner side of a work-stealing queue.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Enqueues a task on this worker's queue.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Dequeues the next local task.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.inner).pop_front()
+    }
+
+    /// Whether the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued local tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Creates a stealer handle onto this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// A handle for stealing tasks from another worker's queue.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals a single task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals roughly half of the victim's tasks, moving all but the first
+    /// into `dest` and returning the first.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        if Arc::ptr_eq(&self.inner, &dest.inner) {
+            return match lock(&self.inner).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            };
+        }
+        steal_half(&self.inner, &dest.inner)
+    }
+
+    /// Whether the victim's queue is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+}
+
+/// A shared injection queue for tasks scheduled from outside the pool.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub const fn new() -> Self {
+        Injector { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Whether no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Steals a single task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals roughly half of the queued tasks into `dest`, returning the
+    /// first.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        steal_half(&self.inner, &dest.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn batch_steal_moves_half() {
+        let victim = Worker::new_fifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let thief = Worker::new_fifo();
+        let got = victim.stealer().steal_batch_and_pop(&thief);
+        assert_eq!(got, Steal::Success(0));
+        assert_eq!(thief.len(), 3); // half of 8 minus the popped one
+        assert_eq!(victim.len(), 4);
+        assert_eq!(thief.pop(), Some(1));
+    }
+
+    #[test]
+    fn injector_feeds_workers() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success("a"));
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success("b"));
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crate registry, so the workspace patches
+//! `crossbeam` to this shim (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It reproduces the *semantics* of the subset the workspace
+//! uses — MPMC channels, [`queue::SegQueue`], the work-stealing
+//! [`deque`] types, and [`sync::Parker`] — with straightforward
+//! mutex-and-condvar implementations. The lock-free performance
+//! characteristics of the real crate are not reproduced; correctness and
+//! API compatibility are.
+
+pub mod channel;
+pub mod deque;
+pub mod queue;
+pub mod sync;

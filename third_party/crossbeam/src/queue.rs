@@ -1,0 +1,66 @@
+//! Unbounded MPMC queue (`SegQueue`).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// An unbounded multi-producer multi-consumer FIFO queue.
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        SegQueue { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends `value` at the back.
+    pub fn push(&self, value: T) {
+        self.lock().push_back(value);
+    }
+
+    /// Removes the front element, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Thread parking: [`Parker`] / [`Unparker`] with a single-token protocol,
+//! matching `crossbeam::sync` semantics (an unpark before a park is not
+//! lost).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct State {
+    token: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The parking side; owned by one thread.
+pub struct Parker {
+    state: Arc<State>,
+    unparker: Unparker,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Parker::new()
+    }
+}
+
+impl Parker {
+    /// Creates a parker with its paired [`Unparker`].
+    pub fn new() -> Self {
+        let state = Arc::new(State { token: Mutex::new(false), cv: Condvar::new() });
+        let unparker = Unparker { state: Arc::clone(&state) };
+        Parker { state, unparker }
+    }
+
+    /// Blocks until unparked; consumes a pending token immediately.
+    pub fn park(&self) {
+        let mut token = lock(&self.state.token);
+        while !*token {
+            token = match self.state.cv.wait(token) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        *token = false;
+    }
+
+    /// Blocks until unparked or `timeout` elapses.
+    pub fn park_timeout(&self, timeout: Duration) {
+        let mut token = lock(&self.state.token);
+        if !*token {
+            let (guard, _) = match self.state.cv.wait_timeout(token, timeout) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            token = guard;
+        }
+        *token = false;
+    }
+
+    /// The paired unparker (cheaply cloneable).
+    pub fn unparker(&self) -> &Unparker {
+        &self.unparker
+    }
+}
+
+fn lock(m: &Mutex<bool>) -> std::sync::MutexGuard<'_, bool> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Wakes the paired [`Parker`].
+pub struct Unparker {
+    state: Arc<State>,
+}
+
+impl Clone for Unparker {
+    fn clone(&self) -> Self {
+        Unparker { state: Arc::clone(&self.state) }
+    }
+}
+
+impl Unparker {
+    /// Deposits a token and wakes the parker if it is parked.
+    pub fn unpark(&self) {
+        *lock(&self.state.token) = true;
+        self.state.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpark_before_park_is_not_lost() {
+        let p = Parker::new();
+        p.unparker().unpark();
+        p.park(); // returns immediately thanks to the stored token
+    }
+
+    #[test]
+    fn park_timeout_returns() {
+        let p = Parker::new();
+        p.park_timeout(Duration::from_millis(5));
+    }
+
+    #[test]
+    fn cross_thread_unpark() {
+        let p = Parker::new();
+        let u = p.unparker().clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            u.unpark();
+        });
+        p.park();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,972 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so the workspace patches
+//! `proptest` to this shim. It keeps the same front-end surface the tests
+//! use — [`Strategy`], `any`, `Just`, `prop_oneof!`, `prop_compose!`,
+//! `proptest!`, the assert/assume macros, and the `collection`/`option`
+//! modules — but generation is a plain deterministic PRNG walk with **no
+//! shrinking**: a failing case panics with the failing assertion message
+//! only. Each test function seeds its RNG from its own module path, so runs
+//! are reproducible.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic xoshiro256++ generator used for all value generation.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test's module path + name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 to fill the state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = z ^ (z >> 31);
+        }
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-case outcomes and config
+// ---------------------------------------------------------------------------
+
+/// Outcome of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case did not meet a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Mirror of proptest's `test_runner` module paths.
+pub mod test_runner {
+    pub use crate::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values; non-matching cases are rejected.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, reason }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, `f` wraps an inner
+    /// strategy into the recursive case. `depth` bounds the nesting; the
+    /// other two hints are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth.max(1) {
+            strat = Union::weighted(vec![(2, leaf.clone()), (1, f(strat).boxed())]).boxed();
+        }
+        strat
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`]. Retries
+/// generation a bounded number of times rather than rejecting the case.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 1000 candidates in a row", self.reason)
+    }
+}
+
+/// Weighted choice between boxed strategies (what `prop_oneof!` builds).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union picking each arm with probability `weight / total`.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>();
+        assert!(total > 0, "prop_oneof! needs at least one arm with nonzero weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum mismatch")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+/// Full-range strategy for a primitive type (what `any::<T>()` returns).
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> ArbitraryStrategy<T> {
+    fn new() -> Self {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+}
+
+/// Types with a canonical [`Strategy`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for ArbitraryStrategy<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+        impl Arbitrary for $ty {
+            type Strategy = ArbitraryStrategy<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                ArbitraryStrategy::new()
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! arbitrary_128 {
+    ($($ty:ty),*) => {$(
+        impl Strategy for ArbitraryStrategy<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $ty
+            }
+        }
+        impl Arbitrary for $ty {
+            type Strategy = ArbitraryStrategy<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                ArbitraryStrategy::new()
+            }
+        }
+    )*};
+}
+
+arbitrary_128!(u128, i128);
+
+impl Strategy for ArbitraryStrategy<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = ArbitraryStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        ArbitraryStrategy::new()
+    }
+}
+
+impl Strategy for ArbitraryStrategy<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Bias toward ASCII, but exercise the full scalar-value range too.
+        if rng.below(4) != 0 {
+            (b' ' + rng.below(95) as u8) as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = ArbitraryStrategy<char>;
+    fn arbitrary() -> Self::Strategy {
+        ArbitraryStrategy::new()
+    }
+}
+
+macro_rules! arbitrary_float {
+    ($($ty:ty, $bits:ty, $from:ident;)*) => {$(
+        impl Strategy for ArbitraryStrategy<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                // Raw-bit floats: infinities and NaNs included, as upstream.
+                <$ty>::$from(rng.next_u64() as $bits)
+            }
+        }
+        impl Arbitrary for $ty {
+            type Strategy = ArbitraryStrategy<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                ArbitraryStrategy::new()
+            }
+        }
+    )*};
+}
+
+arbitrary_float! {
+    f32, u32, from_bits;
+    f64, u64, from_bits;
+}
+
+impl Strategy for ArbitraryStrategy<String> {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        ".*".generate(rng)
+    }
+}
+
+impl Arbitrary for String {
+    type Strategy = ArbitraryStrategy<String>;
+    fn arbitrary() -> Self::Strategy {
+        ArbitraryStrategy::new()
+    }
+}
+
+/// Regex-shaped string strategy. This shim ignores the pattern and emits a
+/// short mixed ASCII/Unicode string, which is what the workspace's `".*"`
+/// uses it for.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(9) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = if rng.below(8) == 0 {
+                char::from_u32(0x100 + rng.below(0x500) as u32).unwrap_or('ß')
+            } else {
+                (b' ' + rng.below(95) as u8) as char
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $ty
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $ty
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+    (A, B, C, D, E, F, G, H, I);
+    (A, B, C, D, E, F, G, H, I, J);
+}
+
+macro_rules! tuple_arbitrary {
+    ($(($($name:ident),+);)+) => {$(
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            type Strategy = ($($name::Strategy,)+);
+            fn arbitrary() -> Self::Strategy {
+                ($($name::arbitrary(),)+)
+            }
+        }
+    )+};
+}
+
+tuple_arbitrary! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Strategies for containers of generated elements.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Accepted size specifications for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { start: *r.start(), end: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Generates `Vec`s of elements from an inner strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeMap`s from key/value strategies.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Map strategy with an entry count drawn from `size` (duplicate keys
+    /// may land it below the sampled count).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = std::collections::BTreeMap::new();
+            for _ in 0..target * 4 + 4 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Generates `HashMap`s from key/value strategies.
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Hash-map strategy with an entry count drawn from `size`.
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V>
+    where
+        K::Value: std::hash::Hash + Eq,
+    {
+        HashMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = std::collections::HashMap::new();
+            for _ in 0..target * 4 + 4 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Generates `BTreeSet`s from an element strategy.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Set strategy with a cardinality drawn from `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = std::collections::BTreeSet::new();
+            for _ in 0..target * 4 + 4 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Generates `HashSet`s from an element strategy.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Hash-set strategy with a cardinality drawn from `size`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = std::collections::HashSet::new();
+            for _ in 0..target * 4 + 4 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Strategies for optional values.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Generates `Option`s: ~20% `None`, otherwise `Some` of the inner value.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option` strategy over `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(5) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests: each `fn` runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;) => {};
+    (
+        config = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let __strategy = ($($strat,)+);
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __passed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __config.cases.saturating_mul(64).saturating_add(1024),
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                let ($($pat,)+) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!("proptest case failed in {}: {}", stringify!($name), __msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+}
+
+/// Defines a named function returning a composed strategy.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($fnargs:tt)*)
+        ($($pat:pat in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($fnargs)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(($($strat,)+), move |($($pat,)+)| $body)
+        }
+    };
+}
+
+/// Chooses between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// the whole process) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}: `{:?} == {:?}`",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Node {
+        Leaf(u8),
+        Branch(Vec<Node>),
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u64..10, b in 10u64..20) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds and assumptions reject.
+        #[test]
+        fn ranges_and_assume(x in 0u64..30, y in 1usize..8) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 30, "x out of range: {x}");
+            prop_assert!((1..8).contains(&y));
+        }
+
+        #[test]
+        fn composed_pairs((a, b) in arb_pair()) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            v in crate::collection::vec(any::<u8>(), 0..8),
+            s in crate::collection::btree_set(any::<u64>(), 1..5),
+            o in crate::option::of(".*"),
+            node in prop_oneof![
+                3 => any::<u8>().prop_map(Node::Leaf),
+                1 => Just(Node::Branch(vec![])),
+            ].prop_recursive(2, 8, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Node::Branch)
+            }),
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(!s.is_empty() && s.len() < 5);
+            if let Some(text) = &o {
+                prop_assert!(text.chars().count() <= 8);
+            }
+            match node {
+                Node::Leaf(_) | Node::Branch(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = crate::TestRng::from_name("seed");
+        let mut b = crate::TestRng::from_name("seed");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,802 @@
+//! Deserialization half of the data model: [`Deserialize`],
+//! [`Deserializer`], [`Visitor`], the access traits, and impls for std
+//! types.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value constructible from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Reads this value from `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful deserialization driver (the stateless case is
+/// `PhantomData<T>`).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Reads the value from `deserializer`.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// Drives element-by-element access to a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type shared with the deserializer.
+    type Error: Error;
+    /// Reads the next element through `seed`, or `None` at the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Reads the next element, or `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_element_seed(PhantomData)
+    }
+    /// Number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Drives entry-by-entry access to a map.
+pub trait MapAccess<'de> {
+    /// Error type shared with the deserializer.
+    type Error: Error;
+    /// Reads the next key through `seed`, or `None` at the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Reads the value paired with the previous key.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads the next key, or `None` at the end.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_key_seed(PhantomData)
+    }
+    /// Reads the value paired with the previous key.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_value_seed(PhantomData)
+    }
+    /// Reads the next entry, or `None` at the end.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error>
+    where
+        Self: Sized,
+    {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+    /// Number of remaining entries, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Drives access to an enum: first the variant tag, then its content.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type shared with the deserializer.
+    type Error: Error;
+    /// Accessor for the variant's content.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Reads the variant tag through `seed`.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Reads the variant tag.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Drives access to one enum variant's content.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type shared with the deserializer.
+    type Error: Error;
+    /// Consumes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// Reads a newtype variant's value through `seed`.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    /// Reads a newtype variant's value.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// Reads a tuple variant's fields.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads a struct variant's fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+macro_rules! visit_default {
+    ($($method:ident : $ty:ty),* $(,)?) => {$(
+        /// Receives one value of the corresponding type.
+        fn $method<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+            Err(Error::custom(format_args!(
+                "unexpected {}, expecting {}",
+                stringify!($method),
+                Expecting(&self)
+            )))
+        }
+    )*};
+}
+
+struct Expecting<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// Receives values from a [`Deserializer`] and builds `Self::Value`.
+pub trait Visitor<'de>: Sized {
+    /// The value being built.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    visit_default! {
+        visit_bool: bool,
+        visit_i128: i128,
+        visit_u128: u128,
+        visit_char: char,
+    }
+
+    /// Receives an `i8`.
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Receives an `i16`.
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Receives an `i32`.
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Receives an `i64`.
+    fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected integer, expecting {}", Expecting(&self))))
+    }
+    /// Receives a `u8`.
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Receives a `u16`.
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Receives a `u32`.
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Receives a `u64`.
+    fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!(
+            "unexpected unsigned integer, expecting {}",
+            Expecting(&self)
+        )))
+    }
+    /// Receives an `f32`.
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    /// Receives an `f64`.
+    fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected float, expecting {}", Expecting(&self))))
+    }
+    /// Receives a borrowed string.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected string, expecting {}", Expecting(&self))))
+    }
+    /// Receives a string borrowed from the input itself.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Receives an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Receives borrowed bytes.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected bytes, expecting {}", Expecting(&self))))
+    }
+    /// Receives bytes borrowed from the input itself.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Receives an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Receives `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected none, expecting {}", Expecting(&self))))
+    }
+    /// Receives `Option::Some`, with the value still in `deserializer`.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(Error::custom(format_args!("unexpected some, expecting {}", Expecting(&self))))
+    }
+    /// Receives `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(format_args!("unexpected unit, expecting {}", Expecting(&self))))
+    }
+    /// Receives a newtype struct, with the value still in `deserializer`.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(Error::custom(format_args!(
+            "unexpected newtype struct, expecting {}",
+            Expecting(&self)
+        )))
+    }
+    /// Receives a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom(format_args!("unexpected sequence, expecting {}", Expecting(&self))))
+    }
+    /// Receives a map.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom(format_args!("unexpected map, expecting {}", Expecting(&self))))
+    }
+    /// Receives an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom(format_args!("unexpected enum, expecting {}", Expecting(&self))))
+    }
+}
+
+/// A serde data format's decoder.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Asks a self-describing format for whatever comes next.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips whatever comes next.
+    fn deserialize_ignored_any<V: Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an `i128` (optional; errors by default).
+    fn deserialize_i128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Error::custom("i128 is not supported"))
+    }
+    /// Reads a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a `u128` (optional; errors by default).
+    fn deserialize_u128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Error::custom("u128 is not supported"))
+    }
+    /// Reads an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads raw bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a fixed-arity tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Reads a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Reads a field or variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(
+        self,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable (`true` by default).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IntoDeserializer (used for enum variant indices)
+// ---------------------------------------------------------------------------
+
+/// Conversion of a plain value into a [`Deserializer`] over itself.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The resulting deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wraps `self`.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// A deserializer holding one `u32`.
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer { value: self, marker: PhantomData }
+    }
+}
+
+macro_rules! forward_to_visit_u32 {
+    ($($method:ident),* $(,)?) => {$(
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    )*};
+}
+
+impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+
+    forward_to_visit_u32! {
+        deserialize_any, deserialize_ignored_any, deserialize_bool,
+        deserialize_i8, deserialize_i16, deserialize_i32, deserialize_i64,
+        deserialize_i128, deserialize_u8, deserialize_u16, deserialize_u32,
+        deserialize_u64, deserialize_u128, deserialize_f32, deserialize_f64,
+        deserialize_char, deserialize_str, deserialize_string,
+        deserialize_bytes, deserialize_byte_buf, deserialize_option,
+        deserialize_unit, deserialize_seq, deserialize_map,
+        deserialize_identifier,
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Std impls
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty, $deserialize:ident, $visit:ident, $expect:literal;)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        f.write_str($expect)
+                    }
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$deserialize(V)
+            }
+        }
+    )*};
+}
+
+primitive_deserialize! {
+    bool, deserialize_bool, visit_bool, "a bool";
+    i8, deserialize_i8, visit_i8, "an i8";
+    i16, deserialize_i16, visit_i16, "an i16";
+    i32, deserialize_i32, visit_i32, "an i32";
+    i64, deserialize_i64, visit_i64, "an i64";
+    i128, deserialize_i128, visit_i128, "an i128";
+    u8, deserialize_u8, visit_u8, "a u8";
+    u16, deserialize_u16, visit_u16, "a u16";
+    u32, deserialize_u32, visit_u32, "a u32";
+    u64, deserialize_u64, visit_u64, "a u64";
+    u128, deserialize_u128, visit_u128, "a u128";
+    f32, deserialize_f32, visit_f32, "an f32";
+    f64, deserialize_f64, visit_f64, "an f64";
+    char, deserialize_char, visit_char, "a char";
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        usize::try_from(v).map_err(|_| Error::custom("usize out of range"))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = i64::deserialize(deserializer)?;
+        isize::try_from(v).map_err(|_| Error::custom("isize out of range"))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(element) = seq.next_element()? {
+                    out.push(element);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Into::into)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for i in 0..N {
+                    match seq.next_element()? {
+                        Some(element) => out.push(element),
+                        None => {
+                            return Err(Error::custom(format_args!(
+                                "array needs {N} elements, got {i}"
+                            )))
+                        }
+                    }
+                }
+                out.try_into()
+                    .map_err(|_| Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, V::<T, N>(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::collections::HashSet<T>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+struct MapVisitor<M>(PhantomData<M>);
+
+impl<'de, K, V> Visitor<'de> for MapVisitor<std::collections::BTreeMap<K, V>>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    type Value = std::collections::BTreeMap<K, V>;
+    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        f.write_str("a map")
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let mut out = std::collections::BTreeMap::new();
+        while let Some((key, value)) = map.next_entry()? {
+            out.insert(key, value);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .deserialize_map(MapVisitor::<std::collections::BTreeMap<K, V>>(PhantomData))
+    }
+}
+
+impl<'de, K, V> Visitor<'de> for MapVisitor<std::collections::HashMap<K, V>>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+{
+    type Value = std::collections::HashMap<K, V>;
+    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        f.write_str("a map")
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        let mut out =
+            std::collections::HashMap::with_capacity(map.size_hint().unwrap_or(0).min(4096));
+        while let Some((key, value)) = map.next_entry()? {
+            out.insert(key, value);
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .deserialize_map(MapVisitor::<std::collections::HashMap<K, V>>(PhantomData))
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($($name:ident),+) len $len:expr;)+) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                struct V<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        $(
+                            let $name = match seq.next_element()? {
+                                Some(value) => value,
+                                None => return Err(Error::custom("tuple ended early")),
+                            };
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(PhantomData))
+            }
+        }
+    )+};
+}
+
+tuple_deserialize! {
+    (A) len 1;
+    (A, B) len 2;
+    (A, B, C) len 3;
+    (A, B, C, D) len 4;
+    (A, B, C, D, E) len 5;
+    (A, B, C, D, E, F) len 6;
+    (A, B, C, D, E, F, G) len 7;
+    (A, B, C, D, E, F, G, H) len 8;
+    (A, B, C, D, E, F, G, H, I) len 9;
+    (A, B, C, D, E, F, G, H, I, J) len 10;
+}

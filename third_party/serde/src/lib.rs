@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crate registry, so the workspace patches
+//! `serde` to this shim (see `[patch.crates-io]` in the root `Cargo.toml`).
+//! It reimplements the serde *data model* — the [`ser`] and [`de`] trait
+//! families plus impls for the std types the workspace serializes — with the
+//! same method names, signatures, and calling conventions the real crate
+//! defines, so format crates written against real serde (like
+//! `kompics-codec`) compile and behave identically. The `derive` feature
+//! re-exports the hand-written derive macros from the sibling
+//! `serde_derive` shim.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

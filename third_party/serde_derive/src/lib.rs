@@ -1,0 +1,501 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` without
+//! syn/quote: the item is parsed directly from the raw [`TokenStream`] and
+//! the impls are generated as source strings. Supported shapes are the ones
+//! this workspace derives on — non-generic named structs, tuple/newtype/unit
+//! structs, and enums with unit/newtype/tuple/struct variants. No
+//! `#[serde(...)]` attributes are honored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Advances past any outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on commas outside angle brackets.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field names from a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive shim: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive shim: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let fields = match seg.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                None => VariantFields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantFields::Unit,
+                other => panic!("serde derive shim: unexpected token in variant: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim: generic types are not supported");
+        }
+    }
+    let data = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde derive shim: unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive shim: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive shim: cannot derive for `{other}` items"),
+    };
+    Input { name, data }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+/// Wraps generated impls in an anonymous const with serde aliased, mirroring
+/// the real derive's hygiene trick.
+fn wrap(body: String) -> TokenStream {
+    format!(
+        "#[allow(nonstandard_style, unused, clippy::all)]\n\
+         const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         {body}\n\
+         }};"
+    )
+    .parse()
+    .expect("serde derive shim: generated code failed to parse")
+}
+
+fn str_slice_literal(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+/// Emits a `visit_seq` body reading fields in order into the given bindings
+/// and finishing with `ok_expr`.
+fn gen_visit_seq(value_ty: &str, bindings: &[String], ok_expr: &str, what: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fn visit_seq<__A: _serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> ::core::result::Result<{value_ty}, __A::Error> {{\n"
+    ));
+    for b in bindings {
+        out.push_str(&format!(
+            "let {b} = match _serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             _serde::de::Error::custom(\"{what}: not enough elements\")),\n\
+             }};\n"
+        ));
+    }
+    out.push_str(&format!("::core::result::Result::Ok({ok_expr})\n}}\n"));
+    out
+}
+
+fn gen_visitor(visitor_name: &str, value_ty: &str, expecting: &str, methods: &str) -> String {
+    format!(
+        "struct {visitor_name};\n\
+         impl<'de> _serde::de::Visitor<'de> for {visitor_name} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         __f.write_str(\"{expecting}\")\n\
+         }}\n\
+         {methods}\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, data } = parse_input(input);
+    let mut body = String::new();
+    body.push_str(&format!(
+        "impl _serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: _serde::ser::Serializer>(&self, __s: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n"
+    ));
+    match &data {
+        Data::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "let mut __st = _serde::ser::Serializer::serialize_struct(__s, \"{name}\", {})?;\n",
+                fields.len()
+            ));
+            for f in fields {
+                body.push_str(&format!(
+                    "_serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("_serde::ser::SerializeStruct::end(__st)\n");
+        }
+        Data::TupleStruct(1) => {
+            body.push_str(&format!(
+                "_serde::ser::Serializer::serialize_newtype_struct(__s, \"{name}\", &self.0)\n"
+            ));
+        }
+        Data::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let mut __st = _serde::ser::Serializer::serialize_tuple_struct(__s, \"{name}\", {n})?;\n"
+            ));
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "_serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("_serde::ser::SerializeTupleStruct::end(__st)\n");
+        }
+        Data::UnitStruct => {
+            body.push_str(&format!(
+                "_serde::ser::Serializer::serialize_unit_struct(__s, \"{name}\")\n"
+            ));
+        }
+        Data::Enum(variants) if variants.is_empty() => {
+            body.push_str("match *self {}\n");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => body.push_str(&format!(
+                        "{name}::{vname} => _serde::ser::Serializer::serialize_unit_variant(\
+                         __s, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantFields::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vname}(__f0) => _serde::ser::Serializer::serialize_newtype_variant(\
+                         __s, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __st = _serde::ser::Serializer::serialize_tuple_variant(\
+                             __s, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binds.join(", ")
+                        ));
+                        for b in &binds {
+                            body.push_str(&format!(
+                                "_serde::ser::SerializeTupleVariant::serialize_field(&mut __st, {b})?;\n"
+                            ));
+                        }
+                        body.push_str("_serde::ser::SerializeTupleVariant::end(__st)\n}\n");
+                    }
+                    VariantFields::Named(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __st = _serde::ser::Serializer::serialize_struct_variant(\
+                             __s, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        ));
+                        for f in fields {
+                            body.push_str(&format!(
+                                "_serde::ser::SerializeStructVariant::serialize_field(&mut __st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        body.push_str("_serde::ser::SerializeStructVariant::end(__st)\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    body.push_str("}\n}\n");
+    wrap(body)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Deserialize` for non-generic structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, data } = parse_input(input);
+    let mut body = String::new();
+    body.push_str(&format!(
+        "impl<'de> _serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: _serde::de::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n"
+    ));
+    match &data {
+        Data::NamedStruct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| format!("__field_{f}")).collect();
+            let ctor_fields: Vec<String> = fields
+                .iter()
+                .zip(&binds)
+                .map(|(f, b)| format!("{f}: {b}"))
+                .collect();
+            let visit = gen_visit_seq(
+                &name,
+                &binds,
+                &format!("{name} {{ {} }}", ctor_fields.join(", ")),
+                &format!("struct {name}"),
+            );
+            body.push_str(&gen_visitor("__Visitor", &name, &format!("struct {name}"), &visit));
+            body.push_str(&format!(
+                "_serde::de::Deserializer::deserialize_struct(__d, \"{name}\", {}, __Visitor)\n",
+                str_slice_literal(fields)
+            ));
+        }
+        Data::TupleStruct(1) => {
+            let visit = format!(
+                "fn visit_newtype_struct<__D2: _serde::de::Deserializer<'de>>(self, __d2: __D2) \
+                 -> ::core::result::Result<{name}, __D2::Error> {{\n\
+                 ::core::result::Result::Ok({name}(_serde::de::Deserialize::deserialize(__d2)?))\n\
+                 }}\n"
+            );
+            body.push_str(&gen_visitor(
+                "__Visitor",
+                &name,
+                &format!("newtype struct {name}"),
+                &visit,
+            ));
+            body.push_str(&format!(
+                "_serde::de::Deserializer::deserialize_newtype_struct(__d, \"{name}\", __Visitor)\n"
+            ));
+        }
+        Data::TupleStruct(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let visit = gen_visit_seq(
+                &name,
+                &binds,
+                &format!("{name}({})", binds.join(", ")),
+                &format!("tuple struct {name}"),
+            );
+            body.push_str(&gen_visitor(
+                "__Visitor",
+                &name,
+                &format!("tuple struct {name}"),
+                &visit,
+            ));
+            body.push_str(&format!(
+                "_serde::de::Deserializer::deserialize_tuple_struct(__d, \"{name}\", {n}, __Visitor)\n"
+            ));
+        }
+        Data::UnitStruct => {
+            let visit = format!(
+                "fn visit_unit<__E: _serde::de::Error>(self) \
+                 -> ::core::result::Result<{name}, __E> {{\n\
+                 ::core::result::Result::Ok({name})\n\
+                 }}\n"
+            );
+            body.push_str(&gen_visitor(
+                "__Visitor",
+                &name,
+                &format!("unit struct {name}"),
+                &visit,
+            ));
+            body.push_str(&format!(
+                "_serde::de::Deserializer::deserialize_unit_struct(__d, \"{name}\", __Visitor)\n"
+            ));
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                         _serde::de::VariantAccess::unit_variant(__var)?;\n\
+                         ::core::result::Result::Ok({name}::{vname})\n\
+                         }}\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                         _serde::de::VariantAccess::newtype_variant(__var)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = format!("__Variant{idx}");
+                        let visit = gen_visit_seq(
+                            &name,
+                            &binds,
+                            &format!("{name}::{vname}({})", binds.join(", ")),
+                            &format!("variant {name}::{vname}"),
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{}\
+                             _serde::de::VariantAccess::tuple_variant(__var, {n}, {inner})\n\
+                             }}\n",
+                            gen_visitor(&inner, &name, &format!("variant {name}::{vname}"), &visit)
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("__field_{f}")).collect();
+                        let ctor_fields: Vec<String> = fields
+                            .iter()
+                            .zip(&binds)
+                            .map(|(f, b)| format!("{f}: {b}"))
+                            .collect();
+                        let inner = format!("__Variant{idx}");
+                        let visit = gen_visit_seq(
+                            &name,
+                            &binds,
+                            &format!("{name}::{vname} {{ {} }}", ctor_fields.join(", ")),
+                            &format!("variant {name}::{vname}"),
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{}\
+                             _serde::de::VariantAccess::struct_variant(__var, {}, {inner})\n\
+                             }}\n",
+                            gen_visitor(&inner, &name, &format!("variant {name}::{vname}"), &visit),
+                            str_slice_literal(fields)
+                        ));
+                    }
+                }
+            }
+            let variant_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+            let visit = format!(
+                "fn visit_enum<__A: _serde::de::EnumAccess<'de>>(self, __a: __A) \
+                 -> ::core::result::Result<{name}, __A::Error> {{\n\
+                 let (__idx, __var) = _serde::de::EnumAccess::variant::<u32>(__a)?;\n\
+                 match __idx {{\n\
+                 {arms}\
+                 _ => ::core::result::Result::Err(_serde::de::Error::custom(\
+                 \"invalid variant index for enum {name}\")),\n\
+                 }}\n\
+                 }}\n"
+            );
+            body.push_str(&gen_visitor("__Visitor", &name, &format!("enum {name}"), &visit));
+            body.push_str(&format!(
+                "_serde::de::Deserializer::deserialize_enum(__d, \"{name}\", {}, __Visitor)\n",
+                str_slice_literal(&variant_names)
+            ));
+        }
+    }
+    body.push_str("}\n}\n");
+    wrap(body)
+}
