@@ -28,32 +28,83 @@ pub struct OpRecord {
     pub op: RegisterOp,
 }
 
-/// Checks whether `history` (operations on **one** register) is
-/// linearizable. Exponential in the worst case but fast for the dozens of
-/// operations per key the tests produce (memoized on the set of linearized
+/// The witness returned for a non-linearizable history: the shortest prefix
+/// (in the order the history was given, usually invocation order) that
+/// already admits no valid linearization. Everything after the prefix is
+/// irrelevant to the violation, so failure reports stay small even for
+/// histories with thousands of operations.
+#[derive(Debug, Clone)]
+pub struct NonLinearizable {
+    /// Length of the minimal failing prefix.
+    pub prefix_len: usize,
+    /// The failing prefix itself.
+    pub prefix: Vec<OpRecord>,
+}
+
+impl std::fmt::Display for NonLinearizable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "history is not linearizable; minimal failing prefix ({} ops):",
+            self.prefix_len
+        )?;
+        for (i, op) in self.prefix.iter().enumerate() {
+            writeln!(f, "  {i}: [{}, {}] {:?}", op.invoke, op.response, op.op)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for NonLinearizable {}
+
+/// Checks whether `history` (operations on **one** register, any length) is
+/// linearizable. Exponential in the worst case but fast in practice for the
+/// histories the tests produce (memoized on the set of linearized
 /// operations plus the register value).
-pub fn check_linearizable(history: &[OpRecord]) -> bool {
-    assert!(
-        history.len() <= 63,
-        "checker supports at most 63 operations per key"
-    );
+///
+/// # Errors
+///
+/// Returns the minimal non-linearizable prefix of the history as a witness.
+pub fn check_linearizable(history: &[OpRecord]) -> Result<(), NonLinearizable> {
+    if linearizable(history) {
+        return Ok(());
+    }
+    // The full history fails, so a minimal failing prefix exists; find it by
+    // growing the prefix until the checker first rejects. Only paid on
+    // failure — the passing path runs the search exactly once.
+    for k in 1..=history.len() {
+        if !linearizable(&history[..k]) {
+            return Err(NonLinearizable { prefix_len: k, prefix: history[..k].to_vec() });
+        }
+    }
+    unreachable!("the full history was rejected above");
+}
+
+fn linearizable(history: &[OpRecord]) -> bool {
     if history.is_empty() {
         return true;
     }
+    // Growable bitset over operation indices: no cap on history length.
+    let mut done = vec![0u64; history.len().div_ceil(64)];
     let mut seen = HashSet::new();
-    search(history, 0, None, &mut seen)
+    search(history, &mut done, history.len(), None, &mut seen)
+}
+
+fn bit(mask: &[u64], i: usize) -> bool {
+    mask[i / 64] & (1 << (i % 64)) != 0
 }
 
 fn search(
     history: &[OpRecord],
-    done_mask: u64,
+    done: &mut Vec<u64>,
+    pending: usize,
     value: Option<u64>,
-    seen: &mut HashSet<(u64, Option<u64>)>,
+    seen: &mut HashSet<(Vec<u64>, Option<u64>)>,
 ) -> bool {
-    if done_mask == (1u64 << history.len()) - 1 {
+    if pending == 0 {
         return true;
     }
-    if !seen.insert((done_mask, value)) {
+    if !seen.insert((done.clone(), value)) {
         return false;
     }
     // The earliest response among un-linearized operations bounds which
@@ -62,28 +113,28 @@ fn search(
     let min_pending_response = history
         .iter()
         .enumerate()
-        .filter(|(i, _)| done_mask & (1 << i) == 0)
+        .filter(|(i, _)| !bit(done, *i))
         .map(|(_, r)| r.response)
         .min()
         .expect("not all done");
     for (i, record) in history.iter().enumerate() {
-        if done_mask & (1 << i) != 0 || record.invoke > min_pending_response {
+        if bit(done, i) || record.invoke > min_pending_response {
             continue;
         }
-        match record.op {
-            RegisterOp::Write(v) => {
-                if search(history, done_mask | (1 << i), Some(v), seen) {
-                    return true;
-                }
-            }
+        let next_value = match record.op {
+            RegisterOp::Write(v) => Some(v),
             RegisterOp::Read(observed) => {
-                if observed == value
-                    && search(history, done_mask | (1 << i), value, seen)
-                {
-                    return true;
+                if observed != value {
+                    continue;
                 }
+                value
             }
+        };
+        done[i / 64] |= 1 << (i % 64);
+        if search(history, done, pending - 1, next_value, seen) {
+            return true;
         }
+        done[i / 64] &= !(1 << (i % 64));
     }
     false
 }
@@ -101,24 +152,24 @@ mod tests {
 
     #[test]
     fn empty_and_single_histories() {
-        assert!(check_linearizable(&[]));
-        assert!(check_linearizable(&[w(0, 1, 5)]));
-        assert!(check_linearizable(&[r(0, 1, None)]));
-        assert!(!check_linearizable(&[r(0, 1, Some(5))]), "read of unwritten value");
+        assert!(check_linearizable(&[]).is_ok());
+        assert!(check_linearizable(&[w(0, 1, 5)]).is_ok());
+        assert!(check_linearizable(&[r(0, 1, None)]).is_ok());
+        assert!(check_linearizable(&[r(0, 1, Some(5))]).is_err(), "read of unwritten value");
     }
 
     #[test]
     fn sequential_write_then_read() {
-        assert!(check_linearizable(&[w(0, 1, 5), r(2, 3, Some(5))]));
-        assert!(!check_linearizable(&[w(0, 1, 5), r(2, 3, None)]), "stale read");
-        assert!(!check_linearizable(&[w(0, 1, 5), r(2, 3, Some(6))]));
+        assert!(check_linearizable(&[w(0, 1, 5), r(2, 3, Some(5))]).is_ok());
+        assert!(check_linearizable(&[w(0, 1, 5), r(2, 3, None)]).is_err(), "stale read");
+        assert!(check_linearizable(&[w(0, 1, 5), r(2, 3, Some(6))]).is_err());
     }
 
     #[test]
     fn concurrent_write_and_read_allows_both_orders() {
         // Read overlaps the write: may see either the old or the new value.
-        assert!(check_linearizable(&[w(0, 10, 5), r(1, 9, None)]));
-        assert!(check_linearizable(&[w(0, 10, 5), r(1, 9, Some(5))]));
+        assert!(check_linearizable(&[w(0, 10, 5), r(1, 9, None)]).is_ok());
+        assert!(check_linearizable(&[w(0, 10, 5), r(1, 9, Some(5))]).is_ok());
     }
 
     #[test]
@@ -126,24 +177,24 @@ mod tests {
         // w(5) completes, then two sequential reads: second read cannot see
         // an older value than the first observed.
         let history = [w(0, 1, 5), w(2, 3, 6), r(4, 5, Some(6)), r(6, 7, Some(5))];
-        assert!(!check_linearizable(&history), "new-old read inversion");
+        assert!(check_linearizable(&history).is_err(), "new-old read inversion");
     }
 
     #[test]
     fn concurrent_writes_resolve_in_some_order() {
         let history = [w(0, 10, 1), w(0, 10, 2), r(11, 12, Some(1))];
-        assert!(check_linearizable(&history));
+        assert!(check_linearizable(&history).is_ok());
         let history = [w(0, 10, 1), w(0, 10, 2), r(11, 12, Some(2))];
-        assert!(check_linearizable(&history));
+        assert!(check_linearizable(&history).is_ok());
         let history = [w(0, 10, 1), w(0, 10, 2), r(11, 12, Some(3))];
-        assert!(!check_linearizable(&history));
+        assert!(check_linearizable(&history).is_err());
     }
 
     #[test]
     fn real_time_order_is_respected_for_writes() {
         // w(1) completes before w(2) starts; a later read must not see 1.
         let history = [w(0, 1, 1), w(2, 3, 2), r(4, 5, Some(1))];
-        assert!(!check_linearizable(&history));
+        assert!(check_linearizable(&history).is_err());
     }
 
     #[test]
@@ -151,9 +202,46 @@ mod tests {
         // r1 sees the new value while a later (but still concurrent with the
         // write) r2 sees it too — fine. The inversion case is separate.
         let history = [w(0, 100, 7), r(1, 2, None), r(3, 4, Some(7)), r(5, 6, Some(7))];
-        assert!(check_linearizable(&history));
+        assert!(check_linearizable(&history).is_ok());
         // Inversion inside the write window is still illegal.
         let history = [w(0, 100, 7), r(1, 2, Some(7)), r(3, 4, None)];
-        assert!(!check_linearizable(&history));
+        assert!(check_linearizable(&history).is_err());
+    }
+
+    #[test]
+    fn histories_longer_than_63_ops_are_supported() {
+        // The former bitmask implementation asserted `len <= 63`; the
+        // growable bitset handles hundreds of sequential ops.
+        let mut history = Vec::new();
+        for i in 0..100u64 {
+            history.push(w(4 * i, 4 * i + 1, i));
+            history.push(r(4 * i + 2, 4 * i + 3, Some(i)));
+        }
+        assert_eq!(history.len(), 200);
+        assert!(check_linearizable(&history).is_ok());
+
+        // Same shape with one stale read far into the history still fails —
+        // and the witness stops right at the violation.
+        history[151] = r(302, 303, Some(0)); // should have read 75
+        let err = check_linearizable(&history).unwrap_err();
+        assert_eq!(err.prefix_len, 152, "prefix ends at the stale read");
+    }
+
+    #[test]
+    fn witness_is_the_minimal_failing_prefix() {
+        let history = [
+            w(0, 1, 1),
+            r(2, 3, Some(1)),
+            w(4, 5, 2),
+            r(6, 7, Some(1)), // stale: the violation
+            w(8, 9, 3),
+            r(10, 11, Some(3)),
+        ];
+        let err = check_linearizable(&history).unwrap_err();
+        assert_eq!(err.prefix_len, 4);
+        assert_eq!(err.prefix.len(), 4);
+        assert!(check_linearizable(&err.prefix[..3]).is_ok(), "one shorter passes");
+        let rendered = err.to_string();
+        assert!(rendered.contains("minimal failing prefix (4 ops)"), "got: {rendered}");
     }
 }

@@ -269,10 +269,9 @@ fn history_under_churn_is_linearizable_per_key() {
                     .filter(|h| h.key == RingKey(key))
                     .map(|h| h.record)
                     .collect();
-                assert!(
-                    check_linearizable(&records),
-                    "history for key {key} not linearizable: {records:?}"
-                );
+                if let Err(witness) = check_linearizable(&records) {
+                    panic!("history for key {key} not linearizable: {witness}");
+                }
             }
         })
         .unwrap();
@@ -505,11 +504,12 @@ fn supervised_replica_crashes_mid_operation_stay_linearizable_and_reproducible()
                         .filter(|h| h.key == RingKey(key))
                         .map(|h| h.record)
                         .collect();
-                    assert!(
-                        check_linearizable(&records),
-                        "history for key {key} not linearizable across supervised \
-                         crashes: {records:?}"
-                    );
+                    if let Err(witness) = check_linearizable(&records) {
+                        panic!(
+                            "history for key {key} not linearizable across supervised \
+                             crashes: {witness}"
+                        );
+                    }
                 }
                 (
                     stats.issued,
@@ -580,10 +580,9 @@ fn operations_complete_and_stay_linearizable_under_message_loss() {
                     .filter(|h| h.key == RingKey(key))
                     .map(|h| h.record)
                     .collect();
-                assert!(
-                    cats::lin::check_linearizable(&records),
-                    "history for key {key} not linearizable under loss: {records:?}"
-                );
+                if let Err(witness) = cats::lin::check_linearizable(&records) {
+                    panic!("history for key {key} not linearizable under loss: {witness}");
+                }
             }
         })
         .unwrap();

@@ -1,0 +1,267 @@
+//! Per-component protocol specs for CATS, written in the `kompics-testing`
+//! event-stream DSL.
+//!
+//! These migrate assertions that previously only existed as whole-cluster
+//! properties in the simulation suite (`cats_sim.rs`) down to the single
+//! component responsible for them, where a violation points directly at the
+//! offending handler:
+//!
+//! 1. the ABD **put** coordinator's write phase imposes tag
+//!    `(max_seen.seq + 1, self)` on the whole replication group and answers
+//!    the client only after a majority of acks;
+//! 2. the ABD **get** coordinator *read-imposes*: phase 2 writes back the
+//!    maximum `(tag, value)` it read, unchanged, before answering;
+//! 3. the one-hop router folds ring/gossip/failure-detector events into its
+//!    view and resolves keys against the live membership.
+//!
+//! Every spec runs under both the threaded scheduler and the deterministic
+//! simulation via `check_both_modes`.
+
+use std::time::Duration;
+
+use cats::abd::{AbdConfig, ConsistentAbd, GetRequest, GetResponse, PutGet, PutRequest, PutResponse};
+use cats::key::RingKey;
+use cats::msgs::{ReadQueryMsg, ReadReplyMsg, Tag, WriteAckMsg, WriteQueryMsg};
+use cats::ring::{RingNeighbors, RingPort};
+use cats::router::{FindGroup, GroupFound, OneHopRouter, Routing};
+use kompics_network::{Address, Message, Network};
+use kompics_protocols::cyclon::{NodeSampling, Sample};
+use kompics_protocols::fd::{EventuallyPerfectFd, Restore, Suspect};
+use kompics_testing::{check_both_modes, Matcher, Observed, PortHandle, SpecBuilder};
+
+/// The coordinator under test.
+const COORD: u64 = 1;
+
+fn coordinator() -> ConsistentAbd {
+    // Repair disabled: the spec scripts every network message, and the
+    // anti-entropy timer would add unscripted traffic.
+    ConsistentAbd::new(
+        Address::sim(COORD),
+        AbdConfig { repair_period: None, ..AbdConfig::default() },
+    )
+}
+
+fn group() -> Vec<Address> {
+    vec![Address::sim(2), Address::sim(3), Address::sim(4)]
+}
+
+/// A `ReadQueryMsg` for `key` addressed to replica `dest`.
+fn read_query_to(
+    net: &PortHandle<Network>,
+    dest: u64,
+    key: u64,
+) -> Matcher<Observed> {
+    net.out_where::<ReadQueryMsg>(format!("ReadQueryMsg(k{key}) to {dest}"), move |q| {
+        q.base.destination.id == dest && q.key.0 == key && q.base.source.id == COORD
+    })
+}
+
+/// A `WriteQueryMsg` to replica `dest` imposing exactly `tag`/`value`.
+fn write_query_to(
+    net: &PortHandle<Network>,
+    dest: u64,
+    tag: Tag,
+    value: &[u8],
+) -> Matcher<Observed> {
+    let value = value.to_vec();
+    net.out_where::<WriteQueryMsg>(
+        format!("WriteQueryMsg(tag {}:{}) to {dest}", tag.seq, tag.writer),
+        move |w| {
+            w.base.destination.id == dest
+                && w.tag == tag
+                && w.value.as_deref() == Some(value.as_slice())
+        },
+    )
+}
+
+fn read_reply(from: u64, rid: u64, tag: Tag, value: Option<&[u8]>) -> ReadReplyMsg {
+    ReadReplyMsg {
+        base: Message::new(Address::sim(from), Address::sim(COORD)),
+        rid,
+        tag,
+        value: value.map(<[u8]>::to_vec),
+    }
+}
+
+fn write_ack(from: u64, rid: u64) -> WriteAckMsg {
+    WriteAckMsg { base: Message::new(Address::sim(from), Address::sim(COORD)), rid }
+}
+
+// ---------------------------------------------------------------------------
+// 1. ABD put: write phase imposes (max.seq + 1, self) on the whole group
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abd_put_imposes_incremented_tag_on_majority() {
+    check_both_modes(coordinator, |t| {
+        let put_get = t.provided::<PutGet>();
+        let net = t.required::<Network>();
+        let routing = t.required::<Routing>();
+        t.answer_request::<FindGroup, GroupFound, _>(&routing, |fg| GroupFound {
+            reqid: fg.reqid,
+            key: fg.key,
+            group: group(),
+        });
+
+        t.trigger(put_get.inject(PutRequest { id: 9, key: RingKey(10), value: b"new".to_vec() }));
+        // Phase 1: the read query goes to *every* group member (rid 1: the
+        // coordinator's first operation).
+        t.unordered(vec![
+            read_query_to(&net, 2, 10),
+            read_query_to(&net, 3, 10),
+            read_query_to(&net, 4, 10),
+        ]);
+        // A majority (2 of 3) answers; the highest tag seen is (4, 3).
+        t.trigger(net.inject(read_reply(2, 1, Tag { seq: 4, writer: 3 }, Some(b"old"))));
+        t.trigger(net.inject(read_reply(3, 1, Tag::default(), None)));
+        // Phase 2: the write must impose (5, COORD) — one past the maximum,
+        // tie-broken by the writer id — on the whole group.
+        let imposed = Tag { seq: 5, writer: COORD };
+        t.unordered(vec![
+            write_query_to(&net, 2, imposed, b"new"),
+            write_query_to(&net, 3, imposed, b"new"),
+            write_query_to(&net, 4, imposed, b"new"),
+        ]);
+        // No client answer until a majority acks: the first ack alone must
+        // not produce a PutResponse (it would be an unexpected event before
+        // the second ack's injection is even reached... so assert order by
+        // expecting the response only after both acks).
+        t.trigger(net.inject(write_ack(2, 1)));
+        t.trigger(net.inject(write_ack(4, 1)));
+        t.expect(put_get.out_where::<PutResponse>("PutResponse(9)", |r| r.id == 9));
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 2. ABD get: phase 2 writes back the max (tag, value) unchanged
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abd_get_read_imposes_the_maximum_tag_value_pair() {
+    check_both_modes(coordinator, |t| {
+        let put_get = t.provided::<PutGet>();
+        let net = t.required::<Network>();
+        let routing = t.required::<Routing>();
+        t.answer_request::<FindGroup, GroupFound, _>(&routing, |fg| GroupFound {
+            reqid: fg.reqid,
+            key: fg.key,
+            group: group(),
+        });
+
+        t.trigger(put_get.inject(GetRequest { id: 7, key: RingKey(77) }));
+        t.unordered(vec![
+            read_query_to(&net, 2, 77),
+            read_query_to(&net, 3, 77),
+            read_query_to(&net, 4, 77),
+        ]);
+        // Replica 2 is ahead of replica 3: the read must return replica 2's
+        // value, and the write-back must carry replica 2's tag *unchanged*
+        // (a get never mints a new tag).
+        let newest = Tag { seq: 3, writer: 2 };
+        t.trigger(net.inject(read_reply(2, 1, newest, Some(b"winner"))));
+        t.trigger(net.inject(read_reply(3, 1, Tag { seq: 1, writer: 3 }, Some(b"loser"))));
+        t.unordered(vec![
+            write_query_to(&net, 2, newest, b"winner"),
+            write_query_to(&net, 3, newest, b"winner"),
+            write_query_to(&net, 4, newest, b"winner"),
+        ]);
+        t.trigger(net.inject(write_ack(3, 1)));
+        t.trigger(net.inject(write_ack(2, 1)));
+        t.expect(put_get.out_where::<GetResponse>("GetResponse(winner)", |r| {
+            r.id == 7 && r.value.as_deref() == Some(b"winner")
+        }));
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 3. Router: view maintenance across ring, gossip and failure detection
+// ---------------------------------------------------------------------------
+
+fn group_ids(g: &GroupFound) -> Vec<u64> {
+    g.group.iter().map(|a| a.id).collect()
+}
+
+#[test]
+fn router_resolves_against_the_live_view() {
+    check_both_modes(
+        || OneHopRouter::new(Address::sim(10), 3),
+        |t| {
+            let routing = t.provided::<Routing>();
+            let ring = t.required::<RingPort>();
+            let sampling = t.required::<NodeSampling>();
+            let fd = t.required::<EventuallyPerfectFd>();
+
+            // Ring neighborhood: view becomes {5, 10, 20, 30}.
+            t.trigger(ring.inject(RingNeighbors {
+                node: Address::sim(10),
+                predecessor: Some(Address::sim(5)),
+                successors: vec![Address::sim(20), Address::sim(30)],
+            }));
+            // Key 11: first member clockwise is 20, then the two successors.
+            t.trigger(routing.inject(FindGroup { reqid: 1, key: RingKey(11) }));
+            t.expect(routing.out_where::<GroupFound>("group [20,30,5]", |g| {
+                g.reqid == 1 && group_ids(g) == [20, 30, 5]
+            }));
+
+            // A suspicion evicts node 20 from the view.
+            t.trigger(fd.inject(Suspect { peer: Address::sim(20) }));
+            t.trigger(routing.inject(FindGroup { reqid: 2, key: RingKey(11) }));
+            t.expect(routing.out_where::<GroupFound>("group [30,5,10]", |g| {
+                g.reqid == 2 && group_ids(g) == [30, 5, 10]
+            }));
+
+            // A restore re-admits it.
+            t.trigger(fd.inject(Restore { peer: Address::sim(20) }));
+            t.trigger(routing.inject(FindGroup { reqid: 3, key: RingKey(11) }));
+            t.expect(routing.out_where::<GroupFound>("group [20,30,5]", |g| {
+                g.reqid == 3 && group_ids(g) == [20, 30, 5]
+            }));
+
+            // Cyclon samples extend the view: {5, 10, 20, 30, 40}.
+            t.trigger(sampling.inject(Sample { peers: vec![Address::sim(40)] }));
+            t.trigger(routing.inject(FindGroup { reqid: 4, key: RingKey(35) }));
+            t.expect(routing.out_where::<GroupFound>("group [40,5,10]", |g| {
+                g.reqid == 4 && group_ids(g) == [40, 5, 10]
+            }));
+        },
+    )
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Negative spec: the coordinator must not answer before a majority acks
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abd_put_does_not_answer_on_a_single_ack() {
+    let mut t = kompics_testing::TestContext::simulated(11, coordinator);
+    let put_get = t.provided::<PutGet>();
+    let net = t.required::<Network>();
+    let routing = t.required::<Routing>();
+    t.answer_request::<FindGroup, GroupFound, _>(&routing, |fg| GroupFound {
+        reqid: fg.reqid,
+        key: fg.key,
+        group: group(),
+    });
+    t.allow(net.out::<ReadQueryMsg>());
+    t.allow(net.out::<WriteQueryMsg>());
+    t.disallow(put_get.out::<PutResponse>());
+    t.within(Duration::from_millis(500));
+
+    t.trigger(put_get.inject(PutRequest { id: 1, key: RingKey(1), value: b"x".to_vec() }));
+    t.trigger(net.inject(read_reply(2, 1, Tag::default(), None)));
+    t.trigger(net.inject(read_reply(3, 1, Tag::default(), None)));
+    // Only ONE ack — short of the majority of {2,3,4}.
+    t.trigger(net.inject(write_ack(2, 1)));
+    t.expect(put_get.out::<PutResponse>()); // never satisfied
+    match t.check() {
+        // The disallow would catch a premature answer; absent one, the
+        // (virtual-time) deadline fires with the response still pending.
+        Err(kompics_testing::SpecError::Timeout { expected, .. }) => {
+            assert!(expected.iter().any(|e| e.contains("PutResponse")), "got {expected:?}");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}

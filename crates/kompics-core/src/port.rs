@@ -194,6 +194,11 @@ impl fmt::Debug for Subscription {
 /// (e.g. a network emulator indexing channels by destination address).
 pub type KeyExtractor = Arc<dyn Fn(&dyn Event, Direction) -> Option<u64> + Send + Sync>;
 
+/// A tap callback: observes every event that *exits* via a port half,
+/// without participating in routing. Installed with [`PortRef::tap`];
+/// the testing harness uses taps to record a component's event stream.
+pub type TapFn = Arc<dyn Fn(Direction, &EventRef) + Send + Sync>;
+
 pub(crate) struct ChannelAttachment {
     pub(crate) id: ChannelId,
     pub(crate) key: Option<u64>,
@@ -207,6 +212,8 @@ pub(crate) struct PortInner {
     pub(crate) key_extractor: Option<KeyExtractor>,
     /// Channel ids by key, maintained when a key extractor is installed.
     pub(crate) keyed: HashMap<u64, Vec<ChannelId>>,
+    /// Observation taps, invoked on every dispatch through this half.
+    pub(crate) taps: Vec<(HandlerId, TapFn)>,
 }
 
 /// One half of a port pair. See the module documentation for the event-flow
@@ -306,6 +313,15 @@ impl PortCore {
     /// (if the direction matches this half's sign) and forward into this
     /// half's channels.
     pub(crate) fn dispatch(self: &Arc<Self>, dir: Direction, event: EventRef) {
+        let taps: Vec<TapFn> = {
+            let inner = self.inner.lock();
+            inner.taps.iter().map(|(_, t)| Arc::clone(t)).collect()
+        };
+        // Taps observe before subscriber work is enqueued, so a recorded
+        // stream orders an event ahead of anything its handlers emit.
+        for tap in taps {
+            tap(dir, &event);
+        }
         let (subscribers, channels) = {
             let inner = self.inner.lock();
             let mut subscribers: Vec<Arc<ComponentCore>> = Vec::new();
@@ -539,6 +555,53 @@ impl<P: PortType> PortRef<P> {
     /// match an event's extracted key are skipped.
     pub fn set_key_extractor(&self, extractor: KeyExtractor) {
         self.half.set_key_extractor(extractor);
+    }
+
+    /// Installs an observation tap on this half: `f` is invoked, with the
+    /// travel direction and the shared event, for every event that exits via
+    /// this half — before the event is handed to subscribers or channels.
+    ///
+    /// Taps observe without altering routing: they cannot consume, reorder
+    /// or mutate events, and an event with no subscribers is still seen.
+    /// Tapping the *outside* half of a component's port records everything
+    /// the component emits through it; tapping the *inside* half records
+    /// everything the environment sends in. This is the primitive behind
+    /// the `kompics-testing` event-stream harness.
+    ///
+    /// Returns a handle for [`PortRef::untap`]. Taps run synchronously on
+    /// the triggering thread and must not trigger into the same port.
+    pub fn tap(&self, f: impl Fn(Direction, &EventRef) + Send + Sync + 'static) -> HandlerId {
+        let id = fresh_handler_id();
+        self.half.inner.lock().taps.push((id, Arc::new(f)));
+        id
+    }
+
+    /// Removes a tap installed with [`PortRef::tap`]. Returns whether it was
+    /// present.
+    pub fn untap(&self, id: HandlerId) -> bool {
+        let mut inner = self.half.inner.lock();
+        let before = inner.taps.len();
+        inner.taps.retain(|(tid, _)| *tid != id);
+        inner.taps.len() != before
+    }
+
+    /// The other half of this port pair, if still alive.
+    pub fn pair_ref(&self) -> Option<PortRef<P>> {
+        self.half
+            .pair
+            .get()
+            .and_then(Weak::upgrade)
+            .map(PortRef::new)
+    }
+
+    /// Whether this is the inside (owner-scope) half.
+    pub fn is_inside(&self) -> bool {
+        self.half.inside
+    }
+
+    /// The sign of events delivered to subscribers at this half.
+    pub fn sign(&self) -> Direction {
+        self.half.sign
     }
 
     pub(crate) fn core(&self) -> &Arc<PortCore> {

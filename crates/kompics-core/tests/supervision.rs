@@ -319,3 +319,117 @@ fn concurrent_faults_under_work_stealing_scheduler_all_restart() {
     );
     system.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Edge cases: the Escalate strategy, and supervisor health after a
+// budget-exhaustion escalation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn escalate_strategy_forwards_the_fault_without_restarting() {
+    let system = collect_system(2);
+    let fuse = Arc::new(AtomicUsize::new(1));
+    let started = Arc::new(AtomicUsize::new(0));
+    let outer = system.create({
+        let (f, s) = (fuse.clone(), started.clone());
+        move || Outer::new(f, s)
+    });
+    let sup = system.create(|| Supervisor::new(SupervisorConfig::default()));
+    system.start(&sup);
+    // No factory on purpose: Escalate must never need one.
+    supervise(&sup, &outer.erased(), SuperviseOptions::strategy(RestartStrategy::Escalate))
+        .unwrap();
+
+    system.start(&outer);
+    system.await_quiescence();
+
+    let log = sup.on_definition(|s| s.log()).unwrap();
+    assert_eq!(log.len(), 1, "one supervision action: {log:?}");
+    assert!(
+        matches!(&log[0].action,
+                 SupervisionAction::Escalated { reason } if reason.contains("Escalate")),
+        "the strategy escalates unconditionally: {log:?}"
+    );
+    // The fault passed the supervisor untouched and reached the root policy.
+    let faults = system.collected_faults();
+    assert_eq!(faults.len(), 1);
+    assert!(faults[0].error.contains("leaf detonated"));
+    // Nothing was rebuilt, and the (faulty) child is still supervised —
+    // Escalate destroys nothing.
+    assert_eq!(started.load(Ordering::SeqCst), 0, "no replacement started");
+    assert_eq!(sup.on_definition(|s| s.supervised_count()).unwrap(), 1);
+    system.shutdown();
+}
+
+#[test]
+fn supervisor_remains_usable_after_budget_exhaustion_escalates() {
+    let system = collect_system(2);
+    let sup = system.create(|| {
+        Supervisor::new(SupervisorConfig { max_restarts: 1, ..SupervisorConfig::default() })
+    });
+    system.start(&sup);
+
+    // Child 1 never stops detonating: one restart, then the exhausted
+    // budget escalates and the entry is evicted.
+    let fuse1 = Arc::new(AtomicUsize::new(usize::MAX));
+    let started1 = Arc::new(AtomicUsize::new(0));
+    let child1 = system.create({
+        let (f, s) = (fuse1.clone(), started1.clone());
+        move || Outer::new(f, s)
+    });
+    supervise(
+        &sup,
+        &child1.erased(),
+        SuperviseOptions::default().with_factory({
+            let (f, s) = (fuse1.clone(), started1.clone());
+            move || Box::new(Outer::new(f.clone(), s.clone()))
+        }),
+    )
+    .unwrap();
+    system.start(&child1);
+    system.await_quiescence();
+
+    let log = sup.on_definition(|s| s.log()).unwrap();
+    let restarts = |log: &[SupervisionEvent]| {
+        log.iter()
+            .filter(|e| matches!(e.action, SupervisionAction::Restarted { .. }))
+            .count()
+    };
+    assert_eq!(restarts(&log), 1, "budget of one: {log:?}");
+    assert_eq!(system.collected_faults().len(), 1, "second fault escalated");
+    assert_eq!(sup.on_definition(|s| s.supervised_count()).unwrap(), 0, "entry evicted");
+
+    // Child 2 detonates once: the *same* supervisor — after its escalation —
+    // must still absorb the fault and heal the newcomer.
+    let fuse2 = Arc::new(AtomicUsize::new(1));
+    let started2 = Arc::new(AtomicUsize::new(0));
+    let child2 = system.create({
+        let (f, s) = (fuse2.clone(), started2.clone());
+        move || Outer::new(f, s)
+    });
+    supervise(
+        &sup,
+        &child2.erased(),
+        SuperviseOptions::default().with_factory({
+            let (f, s) = (fuse2.clone(), started2.clone());
+            move || Box::new(Outer::new(f.clone(), s.clone()))
+        }),
+    )
+    .unwrap();
+    system.start(&child2);
+    system.await_quiescence();
+
+    let log = sup.on_definition(|s| s.log()).unwrap();
+    assert_eq!(restarts(&log), 2, "child 2 restarted by the same supervisor: {log:?}");
+    assert_eq!(system.collected_faults().len(), 1, "no new root-level faults");
+    assert_eq!(started2.load(Ordering::SeqCst), 1, "child 2's replacement started");
+    assert_eq!(sup.on_definition(|s| s.supervised_count()).unwrap(), 1);
+
+    let children = sup.on_definition(|s| s.supervised_children()).unwrap();
+    let replacement = children[0].downcast::<Outer>().expect("replacement is an Outer");
+    let leaf_state = replacement
+        .on_definition(|o| o.mid.on_definition(|m| m.leaf.lifecycle()).unwrap())
+        .unwrap();
+    assert_eq!(leaf_state, LifecycleState::Active);
+    system.shutdown();
+}

@@ -126,6 +126,28 @@ impl Simulation {
         self.run_until(self.des.now().saturating_add(duration.as_nanos() as u64));
     }
 
+    /// Settles the system, then advances virtual time to the next timed
+    /// action **only if** it is due at or before `deadline` (absolute,
+    /// nanoseconds). Returns whether a step was taken; `false` means the
+    /// system is quiescent and nothing more happens by the deadline.
+    ///
+    /// This is the primitive behind virtual-time deadlines in
+    /// `kompics-testing`: a spec waiting for the next observation calls this
+    /// in a loop, and a `false` return is a deterministic timeout — the same
+    /// spec that would block on a wall clock under the threaded scheduler
+    /// instead fails (or passes) identically on every run.
+    pub fn advance_within(&self, deadline: SimTime) -> bool {
+        self.settle();
+        match self.des.peek_next_time() {
+            Some(t) if t <= deadline => {
+                self.des.step();
+                self.settle();
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Runs until `condition` holds (checked after every timed action), the
     /// event queue empties, or virtual time reaches `deadline`. Returns
     /// whether the condition was met — the "global view" termination check

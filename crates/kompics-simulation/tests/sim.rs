@@ -657,3 +657,113 @@ fn same_seed_and_plan_produce_identical_faulted_executions() {
     assert_eq!(a, b, "same (seed, plan) ⇒ identical trace");
     assert_ne!(a.1, c.1, "different seed ⇒ different drops/latencies");
 }
+
+// ---------------------------------------------------------------------------
+// Fault plan vs. an in-flight restart: a second crash lands in the window
+// between a fault and its DES-deferred (backoff) restart.
+// ---------------------------------------------------------------------------
+
+/// Counts its `Start`s; otherwise inert.
+struct Startable {
+    ctx: ComponentContext,
+    started: Arc<AtomicUsize>,
+}
+impl Startable {
+    fn new(started: Arc<AtomicUsize>) -> Self {
+        let ctx = ComponentContext::new();
+        ctx.subscribe_control(|this: &mut Startable, _s: &Start| {
+            this.started.fetch_add(1, Ordering::SeqCst);
+        });
+        Startable { ctx, started }
+    }
+}
+impl ComponentDefinition for Startable {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Startable"
+    }
+}
+
+fn mid_restart_run(seed: u64) -> (Vec<(u64, String)>, Vec<(u64, String)>, usize) {
+    let sim = Simulation::new(seed);
+    let started = Arc::new(AtomicUsize::new(0));
+    let target = sim.system().create({
+        let s = started.clone();
+        move || Startable::new(s)
+    });
+    sim.system().start(&target);
+    sim.settle();
+
+    // A 50 ms backoff defers every restart onto the event queue, opening a
+    // window in which the old instance is faulty-but-not-yet-replaced.
+    let supervisor = sim.create_supervisor(SupervisorConfig {
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(50),
+        ..SupervisorConfig::default()
+    });
+    supervise(
+        &supervisor,
+        &target.erased(),
+        SuperviseOptions::default().with_factory({
+            let s = started.clone();
+            move || Box::new(Startable::new(s.clone()))
+        }),
+    )
+    .unwrap();
+
+    // Crash at 100 ms ⇒ restart deferred to 150 ms; the second crash at
+    // 120 ms targets the component *mid-restart*.
+    let plan = FaultPlan::new()
+        .crash_at(Duration::from_millis(100), "t", "first crash")
+        .crash_at(Duration::from_millis(120), "t", "crash during restart window");
+    let installed = plan
+        .install(&sim, FaultTargets::new().component("t", target.erased()))
+        .unwrap();
+    sim.run_for(Duration::from_secs(1));
+
+    let log: Vec<(u64, String)> = supervisor
+        .on_definition(|s| s.log())
+        .unwrap()
+        .into_iter()
+        .map(|e| (e.at.as_nanos() as u64, format!("{:?}", e.action)))
+        .collect();
+
+    // Whatever the interleaving, the supervisor must end with exactly one
+    // live, Active supervised instance.
+    let children = supervisor.on_definition(|s| s.supervised_children()).unwrap();
+    assert_eq!(children.len(), 1, "one supervised entry: {log:?}");
+    let state = children[0]
+        .downcast::<Startable>()
+        .expect("replacement is a Startable")
+        .lifecycle();
+    assert_eq!(state, kompics_core::component::LifecycleState::Active, "log: {log:?}");
+
+    let result = (installed.trace(), log, started.load(Ordering::SeqCst));
+    sim.shutdown();
+    result
+}
+
+#[test]
+fn crash_landing_mid_restart_is_absorbed_and_heals() {
+    let (plan_trace, log, started) = mid_restart_run(55);
+    assert_eq!(plan_trace.len(), 2, "both crashes executed: {plan_trace:?}");
+    assert!(
+        log.iter().any(|(_, a)| a.contains("Restarted")),
+        "at least one restart completed: {log:?}"
+    );
+    assert!(
+        log.iter().any(|(at, a)| *at == 120_000_000 && a.contains("Backoff")
+            || a.contains("Restarted") || a.contains("Resumed")),
+        "the mid-window crash was handled, not lost: {log:?}"
+    );
+    assert!(started >= 1, "a replacement instance started");
+}
+
+#[test]
+fn mid_restart_crashes_are_deterministic_across_runs() {
+    let a = mid_restart_run(91);
+    let b = mid_restart_run(91);
+    assert_eq!(a, b, "same (seed, plan) ⇒ identical supervision handling");
+}

@@ -1,0 +1,811 @@
+//! # kompics-testing
+//!
+//! Event-stream unit testing for kompics components, after *KompicsTesting:
+//! Unit Testing Event Streams* (Ubah et al.): a [`TestContext`] wraps a
+//! single component under test (CUT) inside a harness composite, taps all
+//! of its ports, and matches the **observed event stream** against a
+//! scripted specification. The spec language covers:
+//!
+//! * [`expect`](SpecBuilder::expect) — the next observed event must match;
+//! * [`trigger`](SpecBuilder::trigger) — the environment injects an event
+//!   into the CUT;
+//! * [`either`](SpecBuilder::either)/or — branch on observed behaviour;
+//! * [`unordered`](SpecBuilder::unordered) — a set of events in any order;
+//! * [`repeat`](SpecBuilder::repeat) / [`kleene`](SpecBuilder::kleene) —
+//!   bounded and Kleene-star repetition;
+//! * [`allow`](TestContext::allow) / [`disallow`](TestContext::disallow) /
+//!   [`drop_matching`](TestContext::drop_matching) — whitelist rules for
+//!   traffic the spec does not script step-by-step;
+//! * [`answer_request`](TestContext::answer_request) — script the
+//!   environment side of a request/response protocol.
+//!
+//! The spec compiles to an NFA (see [`nfa`]) and executes with a deadline
+//! driven by either the real (work-stealing) scheduler and the wall clock
+//! ([`TestContext::threaded`]) or the deterministic simulation scheduler
+//! and the DES virtual clock ([`TestContext::simulated`]). The same spec
+//! closure runs unchanged in both modes — the unit-test analogue of the
+//! paper's claim that unchanged component code runs in deployment and in
+//! simulation.
+//!
+//! ```rust
+//! use kompics_core::prelude::*;
+//! use kompics_testing::{SpecBuilder, TestContext};
+//!
+//! #[derive(Debug, Clone)] pub struct Ping(pub u64);
+//! impl_event!(Ping);
+//! #[derive(Debug, Clone)] pub struct Pong(pub u64);
+//! impl_event!(Pong);
+//! port_type! {
+//!     pub struct PingPong {
+//!         indication: Pong;
+//!         request: Ping;
+//!     }
+//! }
+//!
+//! pub struct Echo { ctx: ComponentContext, port: ProvidedPort<PingPong> }
+//! impl Echo {
+//!     pub fn new() -> Self {
+//!         let ctx = ComponentContext::new();
+//!         let port: ProvidedPort<PingPong> = ProvidedPort::new();
+//!         port.subscribe(|this: &mut Echo, p: &Ping| this.port.trigger(Pong(p.0)));
+//!         Echo { ctx, port }
+//!     }
+//! }
+//! impl ComponentDefinition for Echo {
+//!     fn context(&self) -> &ComponentContext { &self.ctx }
+//!     fn type_name(&self) -> &'static str { "Echo" }
+//! }
+//!
+//! fn spec(t: &mut TestContext<Echo>) {
+//!     let pp = t.provided::<PingPong>();
+//!     t.trigger(pp.inject(Ping(7)));
+//!     t.expect(pp.out_where::<Pong>("Pong(7)", |p| p.0 == 7));
+//! }
+//!
+//! // The same spec, both execution modes:
+//! let mut t = TestContext::threaded(Echo::new);
+//! spec(&mut t);
+//! t.check().unwrap();
+//! let mut t = TestContext::simulated(42, Echo::new);
+//! spec(&mut t);
+//! t.check().unwrap();
+//! ```
+
+pub mod nfa;
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kompics_core::component::{Component, ComponentContext, ComponentDefinition};
+use kompics_core::config::Config;
+use kompics_core::event::{event_as, Event, EventRef};
+use kompics_core::fault::Fault;
+use kompics_core::lifecycle::ControlPort;
+use kompics_core::port::{PortRef, PortType};
+use kompics_core::system::KompicsSystem;
+use kompics_core::types::PortId;
+use kompics_simulation::Simulation;
+use parking_lot::Mutex;
+
+pub use nfa::{Action, Ast, Matcher};
+
+/// Which way an observed event crossed the CUT's port boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventDir {
+    /// Into the CUT (injected by the spec or an answer rule).
+    In,
+    /// Out of the CUT (emitted by the component under test).
+    Out,
+}
+
+impl fmt::Display for EventDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventDir::In => write!(f, "<-"),
+            EventDir::Out => write!(f, "->"),
+        }
+    }
+}
+
+/// One event observed at the CUT's port boundary.
+#[derive(Clone)]
+pub struct Observed {
+    /// The tapped port pair.
+    pub port_id: PortId,
+    /// The port type's name.
+    pub port_name: &'static str,
+    /// Boundary direction.
+    pub dir: EventDir,
+    /// The shared event.
+    pub event: EventRef,
+}
+
+impl Observed {
+    /// Human-readable rendering for failure reports.
+    pub fn describe(&self) -> String {
+        format!("{} {} {}", self.port_name, self.dir, self.event.event_name())
+    }
+}
+
+impl fmt::Debug for Observed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Observed({})", self.describe())
+    }
+}
+
+fn short_type_name(full: &str) -> &str {
+    full.rsplit("::").next().unwrap_or(full)
+}
+
+// ---------------------------------------------------------------------------
+// Port handles
+// ---------------------------------------------------------------------------
+
+/// A handle to one proxied port of the CUT: builds matchers over the
+/// observed stream and injection actions for the spec.
+pub struct PortHandle<P: PortType> {
+    outside: PortRef<P>,
+}
+
+impl<P: PortType> Clone for PortHandle<P> {
+    fn clone(&self) -> Self {
+        PortHandle { outside: self.outside.clone() }
+    }
+}
+
+impl<P: PortType> PortHandle<P> {
+    /// Matches any outgoing `E` (or subtype) on this port.
+    pub fn out<E: Event>(&self) -> Matcher<Observed> {
+        let pid = self.outside.port_id();
+        Matcher::new(
+            format!("{} -> {}", P::port_name(), short_type_name(std::any::type_name::<E>())),
+            move |o: &Observed| {
+                o.port_id == pid
+                    && o.dir == EventDir::Out
+                    && event_as::<E>(o.event.as_ref()).is_some()
+            },
+        )
+    }
+
+    /// Matches an outgoing `E` on this port satisfying `pred`. `desc` names
+    /// the expectation in failure reports.
+    pub fn out_where<E: Event>(
+        &self,
+        desc: impl Into<String>,
+        pred: impl Fn(&E) -> bool + Send + Sync + 'static,
+    ) -> Matcher<Observed> {
+        let pid = self.outside.port_id();
+        Matcher::new(
+            format!("{} -> {}", P::port_name(), desc.into()),
+            move |o: &Observed| {
+                o.port_id == pid
+                    && o.dir == EventDir::Out
+                    && event_as::<E>(o.event.as_ref()).is_some_and(&pred)
+            },
+        )
+    }
+
+    /// Matches an *incoming* `E` on this port — an event the spec itself
+    /// injected, useful for asserting its order relative to outputs.
+    pub fn incoming<E: Event>(&self) -> Matcher<Observed> {
+        let pid = self.outside.port_id();
+        Matcher::new(
+            format!("{} <- {}", P::port_name(), short_type_name(std::any::type_name::<E>())),
+            move |o: &Observed| {
+                o.port_id == pid
+                    && o.dir == EventDir::In
+                    && event_as::<E>(o.event.as_ref()).is_some()
+            },
+        )
+    }
+
+    /// An action injecting `event` into the CUT through this port, in the
+    /// environment's direction: a request into a provided port, an
+    /// indication into a required port.
+    pub fn inject(&self, event: impl Event) -> Action {
+        let port = self.outside.clone();
+        let ev: EventRef = Arc::new(event);
+        Action::new(
+            format!("inject {} into {}", ev.event_name(), P::port_name()),
+            move || {
+                if let Err(err) = port.trigger_shared(Arc::clone(&ev)) {
+                    panic!("spec injected a disallowed event: {err}");
+                }
+            },
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harness composite
+// ---------------------------------------------------------------------------
+
+/// The harness composite: parent of the CUT, so the CUT sits in a proper
+/// component hierarchy (lifecycle cascades, faults escalate here instead of
+/// reaching the system policy).
+pub struct Harness<C: ComponentDefinition> {
+    ctx: ComponentContext,
+    cut: Component<C>,
+}
+
+impl<C: ComponentDefinition> Harness<C> {
+    fn new(build: impl FnOnce() -> C) -> Self {
+        let ctx = ComponentContext::new();
+        let cut = ctx.create(build);
+        Harness { ctx, cut }
+    }
+}
+
+impl<C: ComponentDefinition> ComponentDefinition for Harness<C> {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "TestHarness"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spec building
+// ---------------------------------------------------------------------------
+
+/// Statement-level spec construction, shared by [`TestContext`] (top level)
+/// and [`Block`] (inside `either`/`repeat`/`kleene` bodies).
+pub trait SpecBuilder {
+    /// The statement list under construction.
+    fn stmts_mut(&mut self) -> &mut Vec<Ast<Observed>>;
+
+    /// The next observed event must match `m`.
+    fn expect(&mut self, m: Matcher<Observed>) -> &mut Self
+    where
+        Self: Sized,
+    {
+        self.stmts_mut().push(Ast::Expect(m));
+        self
+    }
+
+    /// Perform an environment action (usually [`PortHandle::inject`]).
+    fn trigger(&mut self, a: Action) -> &mut Self
+    where
+        Self: Sized,
+    {
+        self.stmts_mut().push(Ast::Do(a));
+        self
+    }
+
+    /// The observed stream continues with either branch.
+    fn either(
+        &mut self,
+        a: impl FnOnce(&mut Block),
+        b: impl FnOnce(&mut Block),
+    ) -> &mut Self
+    where
+        Self: Sized,
+    {
+        let mut left = Block::default();
+        a(&mut left);
+        let mut right = Block::default();
+        b(&mut right);
+        self.stmts_mut().push(Ast::Either(left.stmts, right.stmts));
+        self
+    }
+
+    /// One event per matcher, in any order.
+    fn unordered(&mut self, ms: Vec<Matcher<Observed>>) -> &mut Self
+    where
+        Self: Sized,
+    {
+        self.stmts_mut().push(Ast::Unordered(ms));
+        self
+    }
+
+    /// The body exactly `n` times (unrolled; actions fire once per
+    /// iteration).
+    fn repeat(&mut self, n: usize, body: impl FnOnce(&mut Block)) -> &mut Self
+    where
+        Self: Sized,
+    {
+        let mut b = Block::default();
+        body(&mut b);
+        self.stmts_mut().push(Ast::Repeat(n, b.stmts));
+        self
+    }
+
+    /// The (action-free) body zero or more times.
+    fn kleene(&mut self, body: impl FnOnce(&mut Block)) -> &mut Self
+    where
+        Self: Sized,
+    {
+        let mut b = Block::default();
+        body(&mut b);
+        self.stmts_mut().push(Ast::Kleene(b.stmts));
+        self
+    }
+}
+
+/// A nested statement list (an `either` branch or a loop body).
+#[derive(Default)]
+pub struct Block {
+    stmts: Vec<Ast<Observed>>,
+}
+
+impl SpecBuilder for Block {
+    fn stmts_mut(&mut self) -> &mut Vec<Ast<Observed>> {
+        &mut self.stmts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whitelist / environment rules
+// ---------------------------------------------------------------------------
+
+enum Rule {
+    Disallow(Matcher<Observed>),
+    Drop(Matcher<Observed>),
+    /// The responder returns whether it consumed the event.
+    Answer(Arc<dyn Fn(&Observed) -> bool + Send + Sync>),
+    Allow(Matcher<Observed>),
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a spec failed.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The spec itself is ill-formed (e.g. an action inside `kleene`).
+    BadSpec(String),
+    /// An observed event matched no active expectation and no rule.
+    Unexpected {
+        /// The offending event.
+        observed: String,
+        /// What the matcher was waiting for.
+        expected: Vec<String>,
+        /// Everything observed up to the failure.
+        log: Vec<String>,
+    },
+    /// An observed event matched a `disallow` rule.
+    Disallowed {
+        /// The offending event.
+        observed: String,
+        /// Everything observed up to the failure.
+        log: Vec<String>,
+    },
+    /// The deadline (wall clock or virtual) passed before the spec matched.
+    Timeout {
+        /// What the matcher was still waiting for.
+        expected: Vec<String>,
+        /// Everything observed before the deadline.
+        log: Vec<String>,
+    },
+    /// The CUT (or a descendant) faulted during the run.
+    Faulted {
+        /// Collected fault descriptions.
+        faults: Vec<String>,
+        /// Everything observed up to the failure.
+        log: Vec<String>,
+    },
+}
+
+fn render_list(f: &mut fmt::Formatter<'_>, header: &str, items: &[String]) -> fmt::Result {
+    writeln!(f, "  {header}:")?;
+    if items.is_empty() {
+        writeln!(f, "    (none)")?;
+    }
+    for (i, item) in items.iter().enumerate() {
+        writeln!(f, "    {}. {item}", i + 1)?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadSpec(msg) => writeln!(f, "spec error: {msg}"),
+            SpecError::Unexpected { observed, expected, log } => {
+                writeln!(f, "spec failed: unexpected event {observed}")?;
+                render_list(f, "expected one of", expected)?;
+                render_list(f, "observed stream", log)
+            }
+            SpecError::Disallowed { observed, log } => {
+                writeln!(f, "spec failed: disallowed event {observed}")?;
+                render_list(f, "observed stream", log)
+            }
+            SpecError::Timeout { expected, log } => {
+                writeln!(f, "spec failed: deadline passed")?;
+                render_list(f, "still waiting for", expected)?;
+                render_list(f, "observed stream", log)
+            }
+            SpecError::Faulted { faults, log } => {
+                writeln!(f, "spec failed: component under test faulted")?;
+                render_list(f, "faults", faults)?;
+                render_list(f, "observed stream", log)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------------
+// TestContext
+// ---------------------------------------------------------------------------
+
+enum Backend {
+    Threaded(KompicsSystem),
+    Sim(Simulation),
+}
+
+/// The testing harness: owns the execution backend, the CUT (inside a
+/// [`Harness`] composite), the observed-event queue, and the spec under
+/// construction. Build the spec with the [`SpecBuilder`] methods plus the
+/// rule methods here, then [`check`](TestContext::check) it.
+pub struct TestContext<C: ComponentDefinition> {
+    backend: Backend,
+    harness: Component<Harness<C>>,
+    queue: Arc<Mutex<VecDeque<Observed>>>,
+    log: Arc<Mutex<Vec<String>>>,
+    faults: Arc<Mutex<Vec<String>>>,
+    script: Vec<Ast<Observed>>,
+    rules: Vec<Rule>,
+    timeout: Duration,
+    tapped: HashSet<PortId>,
+}
+
+impl<C: ComponentDefinition> SpecBuilder for TestContext<C> {
+    fn stmts_mut(&mut self) -> &mut Vec<Ast<Observed>> {
+        &mut self.script
+    }
+}
+
+impl<C: ComponentDefinition> TestContext<C> {
+    /// A harness on the production (work-stealing) scheduler; the spec
+    /// deadline is the wall clock.
+    pub fn threaded(build: impl FnOnce() -> C) -> Self {
+        Self::with_backend(Backend::Threaded(KompicsSystem::new(Config::default())), build)
+    }
+
+    /// A harness inside a deterministic [`Simulation`]; the spec deadline is
+    /// the DES virtual clock, so a run (including its failures) is a pure
+    /// function of the seed.
+    pub fn simulated(seed: u64, build: impl FnOnce() -> C) -> Self {
+        Self::with_backend(Backend::Sim(Simulation::new(seed)), build)
+    }
+
+    fn with_backend(backend: Backend, build: impl FnOnce() -> C) -> Self {
+        let system = match &backend {
+            Backend::Threaded(system) => system,
+            Backend::Sim(sim) => sim.system(),
+        };
+        let harness = system.create(move || Harness::new(build));
+        let faults: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        // A Fault subscription on the CUT's control port makes the harness
+        // the CUT's supervisor-of-last-resort: the escalation walk stops
+        // here, and the engine fails the spec instead of timing out.
+        harness
+            .on_definition(|h| {
+                let sink = Arc::clone(&faults);
+                let control = h.cut.control_ref();
+                h.ctx.subscribe::<Harness<C>, Fault, ControlPort, _>(
+                    &control,
+                    move |_this, fault: &Fault| {
+                        sink.lock()
+                            .push(format!("{}: {}", fault.component_name, fault.error));
+                    },
+                );
+            })
+            .expect("fresh harness is alive");
+        TestContext {
+            backend,
+            harness,
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            log: Arc::new(Mutex::new(Vec::new())),
+            faults,
+            script: Vec::new(),
+            rules: Vec::new(),
+            timeout: Duration::from_secs(5),
+            tapped: HashSet::new(),
+        }
+    }
+
+    /// Handle to a **provided** port of the CUT; taps it for observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CUT declares no provided port of type `P`.
+    pub fn provided<P: PortType>(&mut self) -> PortHandle<P> {
+        let outside = self
+            .harness
+            .on_definition(|h| h.cut.provided_ref::<P>())
+            .expect("harness alive")
+            .unwrap_or_else(|e| panic!("CUT has no provided {}: {e}", P::port_name()));
+        self.install_taps(&outside);
+        PortHandle { outside }
+    }
+
+    /// Handle to a **required** port of the CUT; taps it for observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CUT declares no required port of type `P`.
+    pub fn required<P: PortType>(&mut self) -> PortHandle<P> {
+        let outside = self
+            .harness
+            .on_definition(|h| h.cut.required_ref::<P>())
+            .expect("harness alive")
+            .unwrap_or_else(|e| panic!("CUT has no required {}: {e}", P::port_name()));
+        self.install_taps(&outside);
+        PortHandle { outside }
+    }
+
+    fn install_taps<P: PortType>(&mut self, outside: &PortRef<P>) {
+        if !self.tapped.insert(outside.port_id()) {
+            return;
+        }
+        let record = |queue: &Arc<Mutex<VecDeque<Observed>>>,
+                      log: &Arc<Mutex<Vec<String>>>,
+                      dir: EventDir| {
+            let queue = Arc::clone(queue);
+            let log = Arc::clone(log);
+            let pid = outside.port_id();
+            move |_core_dir, event: &EventRef| {
+                let obs = Observed {
+                    port_id: pid,
+                    port_name: P::port_name(),
+                    dir,
+                    event: Arc::clone(event),
+                };
+                log.lock().push(obs.describe());
+                queue.lock().push_back(obs);
+            }
+        };
+        // Outside half: events the CUT emits. Inside half: events the
+        // environment (this spec) injects.
+        outside.tap(record(&self.queue, &self.log, EventDir::Out));
+        if let Some(inside) = outside.pair_ref() {
+            inside.tap(record(&self.queue, &self.log, EventDir::In));
+        }
+    }
+
+    /// Events matching `m` may occur anywhere; the matcher skips them.
+    pub fn allow(&mut self, m: Matcher<Observed>) -> &mut Self {
+        self.rules.push(Rule::Allow(m));
+        self
+    }
+
+    /// Events matching `m` must not occur; one fails the spec immediately.
+    pub fn disallow(&mut self, m: Matcher<Observed>) -> &mut Self {
+        self.rules.push(Rule::Disallow(m));
+        self
+    }
+
+    /// Events matching `m` are swallowed silently — like [`allow`]
+    /// (TestContext::allow), but checked *before* answer rules, so matching
+    /// requests are also withheld from [`answer_request`]
+    /// (TestContext::answer_request) responders (e.g. to script an
+    /// unresponsive environment).
+    pub fn drop_matching(&mut self, m: Matcher<Observed>) -> &mut Self {
+        self.rules.push(Rule::Drop(m));
+        self
+    }
+
+    /// Scripts the environment side of a request/response protocol: every
+    /// otherwise-unmatched outgoing `Req` on `port` is consumed and answered
+    /// by injecting `f(req)` back through the same port.
+    pub fn answer_request<Req: Event, Resp: Event, P: PortType>(
+        &mut self,
+        port: &PortHandle<P>,
+        f: impl Fn(&Req) -> Resp + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.answer_request_with(port, move |req| Some(f(req)))
+    }
+
+    /// Like [`answer_request`](TestContext::answer_request), but `f` may
+    /// decline (`None`), letting the event fall through to later rules.
+    pub fn answer_request_with<Req: Event, Resp: Event, P: PortType>(
+        &mut self,
+        port: &PortHandle<P>,
+        f: impl Fn(&Req) -> Option<Resp> + Send + Sync + 'static,
+    ) -> &mut Self {
+        let pid = port.outside.port_id();
+        let back = port.outside.clone();
+        self.rules.push(Rule::Answer(
+            Arc::new(move |o: &Observed| {
+                if o.port_id != pid || o.dir != EventDir::Out {
+                    return false;
+                }
+                let Some(req) = event_as::<Req>(o.event.as_ref()) else { return false };
+                let Some(resp) = f(req) else { return false };
+                back.trigger_shared(Arc::new(resp))
+                    .expect("answer_request response not allowed by port type");
+                true
+            }),
+        ));
+        self
+    }
+
+    /// Sets the spec deadline (default 5 s): wall clock under
+    /// [`threaded`](TestContext::threaded), virtual time under
+    /// [`simulated`](TestContext::simulated).
+    pub fn within(&mut self, timeout: Duration) -> &mut Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Runs `f` against the component under test's definition, for state
+    /// assertions after (or between) spec runs.
+    pub fn inspect<R>(&self, f: impl FnOnce(&mut C) -> R) -> R {
+        self.harness
+            .on_definition(|h| h.cut.on_definition(f))
+            .expect("harness alive")
+            .expect("CUT alive")
+    }
+
+    /// The underlying simulation, in [`simulated`](TestContext::simulated)
+    /// mode.
+    pub fn simulation(&self) -> Option<&Simulation> {
+        match &self.backend {
+            Backend::Sim(sim) => Some(sim),
+            Backend::Threaded(_) => None,
+        }
+    }
+
+    /// Executes the spec against the observed stream and shuts the backend
+    /// down.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation: an unexpected or disallowed event, a
+    /// component fault, a deadline, or an ill-formed spec.
+    pub fn check(mut self) -> Result<(), SpecError> {
+        let result = self.execute();
+        match &self.backend {
+            Backend::Threaded(system) => system.shutdown(),
+            Backend::Sim(sim) => sim.shutdown(),
+        }
+        result
+    }
+
+    /// [`check`](TestContext::check), panicking with the full report on
+    /// failure — the convenient form inside `#[test]` functions.
+    pub fn run(self) {
+        if let Err(err) = self.check() {
+            panic!("{err}");
+        }
+    }
+
+    fn execute(&mut self) -> Result<(), SpecError> {
+        let script = std::mem::take(&mut self.script);
+        let nfa = nfa::compile(&script).map_err(SpecError::BadSpec)?;
+        match &self.backend {
+            Backend::Threaded(system) => system.start(&self.harness),
+            Backend::Sim(sim) => {
+                sim.system().start(&self.harness);
+                sim.settle();
+            }
+        }
+        // Leading actions fire here.
+        let mut run = nfa::Run::new(&nfa);
+        let wall_deadline = Instant::now() + self.timeout;
+        let virtual_deadline = match &self.backend {
+            Backend::Sim(sim) => sim
+                .des()
+                .now()
+                .saturating_add(self.timeout.as_nanos() as u64),
+            Backend::Threaded(_) => 0,
+        };
+        loop {
+            if let Backend::Sim(sim) = &self.backend {
+                sim.settle();
+            }
+            // NB: pop under a scoped lock — `process` can fire actions whose
+            // taps push back into the queue on this very thread.
+            loop {
+                let popped = self.queue.lock().pop_front();
+                let Some(obs) = popped else { break };
+                self.process(&mut run, obs)?;
+                // An action or answer fired by the match may have queued
+                // work; in simulation it must run now so its observations
+                // keep stream order.
+                if let Backend::Sim(sim) = &self.backend {
+                    sim.settle();
+                }
+            }
+            let faults = self.faults.lock().clone();
+            if !faults.is_empty() {
+                return Err(SpecError::Faulted { faults, log: self.log.lock().clone() });
+            }
+            if run.accepted() {
+                return Ok(());
+            }
+            match &self.backend {
+                Backend::Threaded(_) => {
+                    if Instant::now() > wall_deadline {
+                        return Err(SpecError::Timeout {
+                            expected: run.expected(),
+                            log: self.log.lock().clone(),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Backend::Sim(sim) => {
+                    sim.settle();
+                    if !self.queue.lock().is_empty() {
+                        continue;
+                    }
+                    // Quiescent with nothing observed: the only way forward
+                    // is virtual time.
+                    if !sim.advance_within(virtual_deadline)
+                        && self.queue.lock().is_empty()
+                    {
+                        return Err(SpecError::Timeout {
+                            expected: run.expected(),
+                            log: self.log.lock().clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn process(&self, run: &mut nfa::Run<'_, Observed>, obs: Observed) -> Result<(), SpecError> {
+        // Precedence: disallow, the spec itself, implicit pass for injected
+        // inputs, drop, answer, allow — and otherwise the event is an error.
+        for rule in &self.rules {
+            if let Rule::Disallow(m) = rule {
+                if m.matches(&obs) {
+                    return Err(SpecError::Disallowed {
+                        observed: obs.describe(),
+                        log: self.log.lock().clone(),
+                    });
+                }
+            }
+        }
+        if run.step(&obs) {
+            return Ok(());
+        }
+        if obs.dir == EventDir::In {
+            // Injected by the spec (a trigger or an answer rule); only an
+            // explicit `incoming` expectation consumes it from the NFA.
+            return Ok(());
+        }
+        for rule in &self.rules {
+            match rule {
+                Rule::Drop(m) if m.matches(&obs) => return Ok(()),
+                Rule::Answer(respond) if respond(&obs) => return Ok(()),
+                Rule::Allow(m) if m.matches(&obs) => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(SpecError::Unexpected {
+            observed: obs.describe(),
+            expected: run.expected(),
+            log: self.log.lock().clone(),
+        })
+    }
+}
+
+/// Runs the same spec closure under **both** execution backends — the
+/// threaded scheduler with a wall-clock deadline, then the deterministic
+/// simulation with a virtual-time deadline — and fails if either run
+/// fails. This is the dual-execution check in unit-test form.
+///
+/// # Errors
+///
+/// Propagates the first failing mode's [`SpecError`].
+pub fn check_both_modes<C, B, S>(build: B, spec: S) -> Result<(), SpecError>
+where
+    C: ComponentDefinition,
+    B: Fn() -> C + Clone + 'static,
+    S: Fn(&mut TestContext<C>),
+{
+    let mut t = TestContext::threaded(build.clone());
+    spec(&mut t);
+    t.check()?;
+    let mut t = TestContext::simulated(0xC0FFEE, build);
+    spec(&mut t);
+    t.check()
+}

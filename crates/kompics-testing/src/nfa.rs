@@ -1,0 +1,505 @@
+//! The spec matcher: a small NFA over an observed item stream.
+//!
+//! A specification is a sequence of [`Ast`] statements. [`compile`] turns it
+//! into a Thompson-style NFA ([`Nfa`]); [`Run`] executes the NFA over a
+//! stream of observed items, one [`Run::step`] per item. The matcher is
+//! generic over the item type so it can be tested in isolation (property
+//! tests drive it with plain symbols) and reused by the harness with real
+//! port observations.
+//!
+//! ## Semantics
+//!
+//! * [`Ast::Expect`] consumes exactly one item matching the matcher.
+//! * [`Ast::Do`] is an ε-transition with a side effect (e.g. triggering an
+//!   event into the component under test). Each *occurrence* in the compiled
+//!   program fires at most once, the first time the NFA frontier reaches it.
+//!   An action inside both arms of an [`Ast::Either`] fires eagerly when the
+//!   branch point is reached — put an `Expect` first in a branch to gate an
+//!   action on an observation.
+//! * [`Ast::Either`] matches if either branch (followed by the rest of the
+//!   spec) matches.
+//! * [`Ast::Unordered`] consumes one item per matcher, in any order.
+//! * [`Ast::Kleene`] matches its body zero or more times. The body must be
+//!   action-free and must not be able to match the empty stream (both are
+//!   rejected at compile time), since a repeated side effect or an empty
+//!   loop has no well-defined meaning.
+//! * [`Ast::Repeat`] matches its body exactly `n` times; the body is
+//!   unrolled at compile time, so each iteration's actions are distinct
+//!   occurrences and fire once each.
+//!
+//! An item no active thread can consume is *not* an error at this layer:
+//! [`Run::step`] returns `false` and leaves the thread set untouched, and
+//! the caller decides (the harness consults its allow/disallow/drop/answer
+//! rules before declaring failure).
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+/// A predicate over observed items, with a human-readable description used
+/// in failure reports.
+pub struct Matcher<T> {
+    desc: String,
+    pred: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+}
+
+impl<T> Clone for Matcher<T> {
+    fn clone(&self) -> Self {
+        Matcher { desc: self.desc.clone(), pred: Arc::clone(&self.pred) }
+    }
+}
+
+impl<T> Matcher<T> {
+    /// Creates a matcher.
+    pub fn new(desc: impl Into<String>, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Self {
+        Matcher { desc: desc.into(), pred: Arc::new(pred) }
+    }
+
+    /// The description, for failure reports.
+    pub fn describe(&self) -> &str {
+        &self.desc
+    }
+
+    /// Whether `item` matches.
+    pub fn matches(&self, item: &T) -> bool {
+        (self.pred)(item)
+    }
+}
+
+impl<T> std::fmt::Debug for Matcher<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matcher({})", self.desc)
+    }
+}
+
+/// A scripted side effect (ε-transition payload).
+pub struct Action {
+    desc: String,
+    effect: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl Clone for Action {
+    fn clone(&self) -> Self {
+        Action { desc: self.desc.clone(), effect: Arc::clone(&self.effect) }
+    }
+}
+
+impl Action {
+    /// Creates an action.
+    pub fn new(desc: impl Into<String>, effect: impl Fn() + Send + Sync + 'static) -> Self {
+        Action { desc: desc.into(), effect: Arc::new(effect) }
+    }
+
+    /// The description, for failure reports.
+    pub fn describe(&self) -> &str {
+        &self.desc
+    }
+
+    fn run(&self) {
+        (self.effect)()
+    }
+}
+
+impl std::fmt::Debug for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Action({})", self.desc)
+    }
+}
+
+/// One specification statement. See the module docs for semantics.
+#[derive(Debug)]
+pub enum Ast<T> {
+    /// Consume one item matching the matcher.
+    Expect(Matcher<T>),
+    /// Perform a side effect, consuming nothing.
+    Do(Action),
+    /// Match either branch.
+    Either(Vec<Ast<T>>, Vec<Ast<T>>),
+    /// Consume one item per matcher, in any order (at most 64 matchers).
+    Unordered(Vec<Matcher<T>>),
+    /// Match the (action-free, non-empty-matching) body zero or more times.
+    Kleene(Vec<Ast<T>>),
+    /// Match the body exactly `n` times (unrolled at compile time).
+    Repeat(usize, Vec<Ast<T>>),
+}
+
+impl<T> Clone for Ast<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Ast::Expect(m) => Ast::Expect(m.clone()),
+            Ast::Do(a) => Ast::Do(a.clone()),
+            Ast::Either(a, b) => Ast::Either(a.clone(), b.clone()),
+            Ast::Unordered(ms) => Ast::Unordered(ms.clone()),
+            Ast::Kleene(body) => Ast::Kleene(body.clone()),
+            Ast::Repeat(n, body) => Ast::Repeat(*n, body.clone()),
+        }
+    }
+}
+
+enum Node<T> {
+    Match(Matcher<T>, usize),
+    Act(Action, usize),
+    Split(usize, usize),
+    Unordered(Vec<Matcher<T>>, usize),
+    Accept,
+}
+
+/// A compiled specification.
+pub struct Nfa<T> {
+    nodes: Vec<Node<T>>,
+    start: usize,
+}
+
+/// Compiles a statement sequence into an [`Nfa`].
+///
+/// # Errors
+///
+/// Returns a description of the offending construct for a `Kleene` body that
+/// contains actions or can match the empty stream, or an `Unordered` with
+/// more than 64 matchers.
+pub fn compile<T>(spec: &[Ast<T>]) -> Result<Nfa<T>, String> {
+    let mut nodes: Vec<Node<T>> = Vec::new();
+    nodes.push(Node::Accept);
+    let start = compile_seq(&mut nodes, spec, 0)?;
+    Ok(Nfa { nodes, start })
+}
+
+/// Compiles `seq` so that it continues at node `next`; returns the entry
+/// node. Built back-to-front.
+fn compile_seq<T>(
+    nodes: &mut Vec<Node<T>>,
+    seq: &[Ast<T>],
+    next: usize,
+) -> Result<usize, String> {
+    let mut next = next;
+    for stmt in seq.iter().rev() {
+        next = match stmt {
+            Ast::Expect(m) => {
+                nodes.push(Node::Match(m.clone(), next));
+                nodes.len() - 1
+            }
+            Ast::Do(a) => {
+                nodes.push(Node::Act(a.clone(), next));
+                nodes.len() - 1
+            }
+            Ast::Either(a, b) => {
+                let left = compile_seq(nodes, a, next)?;
+                let right = compile_seq(nodes, b, next)?;
+                nodes.push(Node::Split(left, right));
+                nodes.len() - 1
+            }
+            Ast::Unordered(ms) => {
+                if ms.len() > 64 {
+                    return Err(format!(
+                        "unordered block has {} matchers (max 64)",
+                        ms.len()
+                    ));
+                }
+                if ms.is_empty() {
+                    next
+                } else {
+                    nodes.push(Node::Unordered(ms.clone(), next));
+                    nodes.len() - 1
+                }
+            }
+            Ast::Kleene(body) => {
+                if has_actions(body) {
+                    return Err(
+                        "kleene body contains actions; a repeated side effect is \
+                         ill-defined — use repeat(n, ..) for a bounded loop"
+                            .to_string(),
+                    );
+                }
+                if matches_empty(body) {
+                    return Err(
+                        "kleene body can match the empty stream, which would loop \
+                         forever"
+                            .to_string(),
+                    );
+                }
+                // Placeholder split, patched once the body (which loops back
+                // to it) is compiled.
+                nodes.push(Node::Split(usize::MAX, usize::MAX));
+                let split = nodes.len() - 1;
+                let body_start = compile_seq(nodes, body, split)?;
+                nodes[split] = Node::Split(body_start, next);
+                split
+            }
+            Ast::Repeat(n, body) => {
+                let mut entry = next;
+                for _ in 0..*n {
+                    entry = compile_seq(nodes, body, entry)?;
+                }
+                entry
+            }
+        };
+    }
+    Ok(next)
+}
+
+fn has_actions<T>(seq: &[Ast<T>]) -> bool {
+    seq.iter().any(|s| match s {
+        Ast::Do(_) => true,
+        Ast::Either(a, b) => has_actions(a) || has_actions(b),
+        Ast::Kleene(body) | Ast::Repeat(_, body) => has_actions(body),
+        Ast::Expect(_) | Ast::Unordered(_) => false,
+    })
+}
+
+/// Whether the sequence can match without consuming any item.
+fn matches_empty<T>(seq: &[Ast<T>]) -> bool {
+    seq.iter().all(|s| match s {
+        Ast::Expect(_) => false,
+        Ast::Do(_) => true,
+        Ast::Either(a, b) => matches_empty(a) || matches_empty(b),
+        Ast::Unordered(ms) => ms.is_empty(),
+        Ast::Kleene(_) => true,
+        Ast::Repeat(n, body) => *n == 0 || matches_empty(body),
+    })
+}
+
+/// One NFA execution: a set of active threads, advanced one observed item at
+/// a time. Actions fire during ε-closure (see module docs).
+pub struct Run<'a, T> {
+    nfa: &'a Nfa<T>,
+    /// Active threads: `(node, unordered-progress mask)`.
+    threads: BTreeSet<(usize, u64)>,
+    /// Action occurrences (node ids) that already fired.
+    fired: HashSet<usize>,
+}
+
+impl<'a, T> Run<'a, T> {
+    /// Starts a run; leading actions fire immediately.
+    pub fn new(nfa: &'a Nfa<T>) -> Self {
+        let mut run = Run { nfa, threads: BTreeSet::new(), fired: HashSet::new() };
+        let initial = [(nfa.start, 0u64)].into_iter().collect();
+        run.threads = run.closure(initial);
+        run
+    }
+
+    /// ε-closure: expand splits, fire unfired actions, stop at consuming
+    /// nodes (`Match`/`Unordered`) and `Accept`.
+    fn closure(&mut self, set: BTreeSet<(usize, u64)>) -> BTreeSet<(usize, u64)> {
+        let mut out = BTreeSet::new();
+        let mut work: Vec<(usize, u64)> = set.into_iter().collect();
+        let mut visited: HashSet<(usize, u64)> = HashSet::new();
+        while let Some((node, mask)) = work.pop() {
+            if !visited.insert((node, mask)) {
+                continue;
+            }
+            match &self.nfa.nodes[node] {
+                Node::Split(a, b) => {
+                    work.push((*a, mask));
+                    work.push((*b, mask));
+                }
+                Node::Act(action, next) => {
+                    if self.fired.insert(node) {
+                        action.run();
+                    }
+                    work.push((*next, mask));
+                }
+                Node::Match(..) | Node::Unordered(..) | Node::Accept => {
+                    out.insert((node, mask));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the spec has fully matched.
+    pub fn accepted(&self) -> bool {
+        self.threads
+            .iter()
+            .any(|(n, _)| matches!(self.nfa.nodes[*n], Node::Accept))
+    }
+
+    /// Feeds one observed item. Returns whether any thread consumed it; if
+    /// none did, the thread set is left unchanged so the caller can apply
+    /// its own fallback rules.
+    pub fn step(&mut self, item: &T) -> bool {
+        let mut advanced: BTreeSet<(usize, u64)> = BTreeSet::new();
+        for &(node, mask) in &self.threads {
+            match &self.nfa.nodes[node] {
+                Node::Match(m, next) => {
+                    if m.matches(item) {
+                        advanced.insert((*next, 0));
+                    }
+                }
+                Node::Unordered(ms, next) => {
+                    let full = (1u64 << ms.len()) - 1;
+                    for (i, m) in ms.iter().enumerate() {
+                        if mask & (1 << i) == 0 && m.matches(item) {
+                            let nm = mask | (1 << i);
+                            if nm == full {
+                                advanced.insert((*next, 0));
+                            } else {
+                                advanced.insert((node, nm));
+                            }
+                        }
+                    }
+                }
+                Node::Split(..) | Node::Act(..) | Node::Accept => {}
+            }
+        }
+        if advanced.is_empty() {
+            return false;
+        }
+        self.threads = self.closure(advanced);
+        true
+    }
+
+    /// Descriptions of the matchers the run is currently waiting on, for
+    /// failure reports.
+    pub fn expected(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for &(node, mask) in &self.threads {
+            match &self.nfa.nodes[node] {
+                Node::Match(m, _) => out.push(m.describe().to_string()),
+                Node::Unordered(ms, _) => {
+                    for (i, m) in ms.iter().enumerate() {
+                        if mask & (1 << i) == 0 {
+                            out.push(format!("(unordered) {}", m.describe()));
+                        }
+                    }
+                }
+                Node::Accept => out.push("<end of spec>".to_string()),
+                Node::Split(..) | Node::Act(..) => {}
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl<T> Nfa<T> {
+    /// Pure acceptance check over a complete stream: every item must be
+    /// consumed and the spec must end accepted. Intended for action-free
+    /// specs (property tests); actions would fire as usual.
+    pub fn matches(&self, items: &[T]) -> bool {
+        let mut run = Run::new(self);
+        for item in items {
+            if !run.step(item) {
+                return false;
+            }
+        }
+        run.accepted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: u8) -> Matcher<u8> {
+        Matcher::new(format!("{s}"), move |x: &u8| *x == s)
+    }
+
+    #[test]
+    fn sequence_matches_in_order_only() {
+        let nfa = compile(&[Ast::Expect(sym(1)), Ast::Expect(sym(2))]).unwrap();
+        assert!(nfa.matches(&[1, 2]));
+        assert!(!nfa.matches(&[2, 1]));
+        assert!(!nfa.matches(&[1]));
+        assert!(!nfa.matches(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn unordered_matches_any_permutation() {
+        let nfa =
+            compile(&[Ast::Unordered(vec![sym(1), sym(2), sym(3)])]).unwrap();
+        assert!(nfa.matches(&[1, 2, 3]));
+        assert!(nfa.matches(&[3, 1, 2]));
+        assert!(!nfa.matches(&[1, 2]));
+        assert!(!nfa.matches(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn either_accepts_both_branches() {
+        let nfa = compile(&[
+            Ast::Either(vec![Ast::Expect(sym(1))], vec![Ast::Expect(sym(2))]),
+            Ast::Expect(sym(9)),
+        ])
+        .unwrap();
+        assert!(nfa.matches(&[1, 9]));
+        assert!(nfa.matches(&[2, 9]));
+        assert!(!nfa.matches(&[3, 9]));
+        assert!(!nfa.matches(&[9]));
+    }
+
+    #[test]
+    fn kleene_matches_zero_or_more() {
+        let nfa = compile(&[
+            Ast::Kleene(vec![Ast::Expect(sym(7))]),
+            Ast::Expect(sym(8)),
+        ])
+        .unwrap();
+        assert!(nfa.matches(&[8]));
+        assert!(nfa.matches(&[7, 8]));
+        assert!(nfa.matches(&[7, 7, 7, 8]));
+        assert!(!nfa.matches(&[7, 7]));
+    }
+
+    #[test]
+    fn repeat_unrolls_exactly_n_times() {
+        let nfa = compile(&[Ast::Repeat(3, vec![Ast::Expect(sym(4))])]).unwrap();
+        assert!(nfa.matches(&[4, 4, 4]));
+        assert!(!nfa.matches(&[4, 4]));
+        assert!(!nfa.matches(&[4, 4, 4, 4]));
+    }
+
+    #[test]
+    fn kleene_rejects_ill_formed_bodies() {
+        assert!(
+            compile(&[Ast::<u8>::Kleene(vec![Ast::Do(Action::new("a", || ()))])]).is_err()
+        );
+        assert!(compile::<u8>(&[Ast::Kleene(vec![])]).is_err());
+        assert!(compile(&[Ast::Kleene(vec![Ast::Kleene(vec![Ast::Expect(sym(1))])])])
+            .is_err());
+    }
+
+    #[test]
+    fn actions_fire_once_per_occurrence() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = Arc::new(AtomicUsize::new(0));
+        let act = {
+            let count = Arc::clone(&count);
+            Action::new("bump", move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let nfa = compile(&[Ast::Repeat(
+            2,
+            vec![Ast::Do(act), Ast::Expect(sym(1))],
+        )])
+        .unwrap();
+        let mut run = Run::new(&nfa);
+        assert_eq!(count.load(Ordering::SeqCst), 1, "first occurrence fires at start");
+        assert!(run.step(&1));
+        assert_eq!(count.load(Ordering::SeqCst), 2, "second occurrence fires after first match");
+        assert!(run.step(&1));
+        assert!(run.accepted());
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn unmatched_item_leaves_threads_untouched() {
+        let nfa = compile(&[Ast::Expect(sym(1)), Ast::Expect(sym(2))]).unwrap();
+        let mut run = Run::new(&nfa);
+        assert!(!run.step(&5));
+        assert!(run.step(&1));
+        assert!(!run.step(&1));
+        assert!(run.step(&2));
+        assert!(run.accepted());
+    }
+
+    #[test]
+    fn expected_reports_frontier_matchers() {
+        let nfa = compile(&[Ast::Either(
+            vec![Ast::Expect(sym(1))],
+            vec![Ast::Expect(sym(2))],
+        )])
+        .unwrap();
+        let run = Run::new(&nfa);
+        assert_eq!(run.expected(), vec!["1".to_string(), "2".to_string()]);
+    }
+}

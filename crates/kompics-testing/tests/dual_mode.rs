@@ -1,0 +1,408 @@
+//! Integration tests for the event-stream testing DSL.
+//!
+//! The headline property (the acceptance criterion for the crate): the
+//! *same spec closure* runs unchanged under the threaded work-stealing
+//! scheduler (wall-clock deadline) and under the deterministic simulation
+//! (virtual-time deadline). `check_both_modes` runs every passing spec in
+//! both.
+
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use kompics_core::prelude::*;
+use kompics_testing::{check_both_modes, SpecBuilder, SpecError, TestContext};
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct Ping(pub u64);
+impl_event!(Ping);
+
+#[derive(Debug, Clone)]
+pub struct Pong(pub u64);
+impl_event!(Pong);
+
+#[derive(Debug, Clone)]
+pub struct Query(pub u64);
+impl_event!(Query);
+
+#[derive(Debug, Clone)]
+pub struct Reply(pub u64);
+impl_event!(Reply);
+
+port_type! {
+    /// Requests in, replies out.
+    pub struct PingPongPort {
+        indication: Pong;
+        request: Ping;
+    }
+}
+
+port_type! {
+    /// An environment-facing backend the CUT depends on.
+    pub struct StoragePort {
+        indication: Reply;
+        request: Query;
+    }
+}
+
+/// Answers `Ping(n)` with `Pong(n)`.
+struct Echo {
+    ctx: ComponentContext,
+    port: ProvidedPort<PingPongPort>,
+}
+
+impl Echo {
+    fn new() -> Self {
+        let port = ProvidedPort::new();
+        port.subscribe(|this: &mut Echo, p: &Ping| this.port.trigger(Pong(p.0)));
+        Echo { ctx: ComponentContext::new(), port }
+    }
+}
+
+impl ComponentDefinition for Echo {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Echo"
+    }
+}
+
+/// Answers `Ping(n)` with `Pong(0) .. Pong(n-1)` followed by `Pong(999)`.
+struct Burst {
+    ctx: ComponentContext,
+    port: ProvidedPort<PingPongPort>,
+}
+
+impl Burst {
+    fn new() -> Self {
+        let port = ProvidedPort::new();
+        port.subscribe(|this: &mut Burst, p: &Ping| {
+            for i in 0..p.0 {
+                this.port.trigger(Pong(i));
+            }
+            this.port.trigger(Pong(999));
+        });
+        Burst { ctx: ComponentContext::new(), port }
+    }
+}
+
+impl ComponentDefinition for Burst {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Burst"
+    }
+}
+
+/// Forwards `Ping(n)` to its storage backend as `Query(n)` and turns the
+/// backend's `Reply(v)` into `Pong(v)` — a request/response dependency the
+/// spec must script with `answer_request`.
+struct Forwarder {
+    ctx: ComponentContext,
+    port: ProvidedPort<PingPongPort>,
+    storage: RequiredPort<StoragePort>,
+}
+
+impl Forwarder {
+    fn new() -> Self {
+        let port = ProvidedPort::new();
+        port.subscribe(|this: &mut Forwarder, p: &Ping| this.storage.trigger(Query(p.0)));
+        let storage = RequiredPort::new();
+        storage.subscribe(|this: &mut Forwarder, r: &Reply| this.port.trigger(Pong(r.0)));
+        Forwarder { ctx: ComponentContext::new(), port, storage }
+    }
+}
+
+impl ComponentDefinition for Forwarder {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Forwarder"
+    }
+}
+
+/// Panics on any `Ping` — for the fault fast-fail path.
+struct Bomb {
+    ctx: ComponentContext,
+    port: ProvidedPort<PingPongPort>,
+}
+
+impl Bomb {
+    fn new() -> Self {
+        let port = ProvidedPort::new();
+        port.subscribe(|_this: &mut Bomb, _p: &Ping| panic!("boom"));
+        Bomb { ctx: ComponentContext::new(), port }
+    }
+}
+
+impl ComponentDefinition for Bomb {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Bomb"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Same spec, both execution modes (the acceptance criterion)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn same_spec_passes_under_threaded_scheduler_and_simulation() {
+    check_both_modes(Echo::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        t.trigger(pp.inject(Ping(7)));
+        t.expect(pp.out_where::<Pong>("Pong(7)", |p| p.0 == 7));
+        t.trigger(pp.inject(Ping(8)));
+        t.expect(pp.out_where::<Pong>("Pong(8)", |p| p.0 == 8));
+    })
+    .unwrap();
+}
+
+#[test]
+fn unordered_matches_emissions_in_any_order() {
+    check_both_modes(Burst::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        t.trigger(pp.inject(Ping(3)));
+        // The component emits 0, 1, 2 in order; the spec deliberately lists
+        // them backwards.
+        t.unordered(vec![
+            pp.out_where::<Pong>("Pong(2)", |p| p.0 == 2),
+            pp.out_where::<Pong>("Pong(1)", |p| p.0 == 1),
+            pp.out_where::<Pong>("Pong(0)", |p| p.0 == 0),
+        ]);
+        t.expect(pp.out_where::<Pong>("Pong(999)", |p| p.0 == 999));
+    })
+    .unwrap();
+}
+
+#[test]
+fn either_takes_the_branch_that_matches() {
+    check_both_modes(Echo::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        t.trigger(pp.inject(Ping(1)));
+        t.either(
+            |yes| {
+                yes.expect(pp.out_where::<Pong>("Pong(1)", |p| p.0 == 1));
+            },
+            |no| {
+                no.expect(pp.out_where::<Pong>("Pong(2)", |p| p.0 == 2));
+                no.expect(pp.out_where::<Pong>("Pong(3)", |p| p.0 == 3));
+            },
+        );
+    })
+    .unwrap();
+}
+
+#[test]
+fn kleene_absorbs_a_burst_of_unknown_length() {
+    check_both_modes(Burst::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        t.trigger(pp.inject(Ping(5)));
+        t.kleene(|body| {
+            body.expect(pp.out_where::<Pong>("Pong(≠999)", |p| p.0 != 999));
+        });
+        t.expect(pp.out_where::<Pong>("Pong(999)", |p| p.0 == 999));
+    })
+    .unwrap();
+}
+
+#[test]
+fn repeat_runs_trigger_expect_pairs_n_times() {
+    check_both_modes(Echo::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        t.repeat(3, |body| {
+            body.trigger(pp.inject(Ping(42)));
+            body.expect(pp.out_where::<Pong>("Pong(42)", |p| p.0 == 42));
+        });
+    })
+    .unwrap();
+}
+
+#[test]
+fn answer_request_scripts_the_environment_side() {
+    check_both_modes(Forwarder::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        let st = t.required::<StoragePort>();
+        t.answer_request::<Query, Reply, _>(&st, |q| Reply(q.0 * 10));
+        t.trigger(pp.inject(Ping(4)));
+        // The answer rule consumes the Query ambiently (it only answers
+        // requests the spec does not script); the injected Reply and the
+        // resulting Pong are still observable in order.
+        t.expect(st.incoming::<Reply>());
+        t.expect(pp.out_where::<Pong>("Pong(40)", |p| p.0 == 40));
+    })
+    .unwrap();
+}
+
+#[test]
+fn incoming_expectations_order_injections_against_outputs() {
+    check_both_modes(Echo::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        t.trigger(pp.inject(Ping(1)));
+        t.expect(pp.incoming::<Ping>());
+        t.expect(pp.out::<Pong>());
+    })
+    .unwrap();
+}
+
+#[test]
+fn allow_skips_unscripted_noise() {
+    check_both_modes(Burst::new, |t| {
+        let pp = t.provided::<PingPongPort>();
+        t.allow(pp.out_where::<Pong>("noise", |p| p.0 != 999));
+        t.trigger(pp.inject(Ping(4)));
+        t.expect(pp.out_where::<Pong>("Pong(999)", |p| p.0 == 999));
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Failure paths (simulated mode: deterministic, instant timeouts)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disallowed_event_fails_the_spec() {
+    let mut t = TestContext::simulated(1, Echo::new);
+    let pp = t.provided::<PingPongPort>();
+    t.disallow(pp.out::<Pong>());
+    t.trigger(pp.inject(Ping(1)));
+    // Keep the spec otherwise waiting so the Pong is ambient traffic.
+    t.expect(pp.out_where::<Pong>("never", |_| false));
+    match t.check() {
+        Err(SpecError::Disallowed { observed, .. }) => {
+            assert!(observed.contains("Pong"), "got {observed}")
+        }
+        other => panic!("expected Disallowed, got {other:?}"),
+    }
+}
+
+#[test]
+fn unexpected_event_reports_the_frontier() {
+    let mut t = TestContext::simulated(2, Echo::new);
+    let pp = t.provided::<PingPongPort>();
+    t.trigger(pp.inject(Ping(5)));
+    t.expect(pp.out_where::<Pong>("Pong(6)", |p| p.0 == 6));
+    match t.check() {
+        Err(SpecError::Unexpected { observed, expected, .. }) => {
+            assert!(observed.contains("Pong"), "got {observed}");
+            assert!(
+                expected.iter().any(|e| e.contains("Pong(6)")),
+                "frontier should name the unmet expectation: {expected:?}"
+            );
+        }
+        other => panic!("expected Unexpected, got {other:?}"),
+    }
+}
+
+#[test]
+fn virtual_time_deadline_fails_deterministically() {
+    let mut t = TestContext::simulated(3, Echo::new);
+    let pp = t.provided::<PingPongPort>();
+    t.within(Duration::from_secs(3600));
+    // Never pinged, so the Pong never comes — but no wall-clock hour passes:
+    // the DES queue is empty, so the virtual deadline is hit immediately.
+    t.expect(pp.out::<Pong>());
+    match t.check() {
+        Err(SpecError::Timeout { expected, .. }) => {
+            assert!(expected.iter().any(|e| e.contains("Pong")), "got {expected:?}")
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn wall_clock_deadline_fails_under_the_threaded_scheduler() {
+    let mut t = TestContext::threaded(Echo::new);
+    let pp = t.provided::<PingPongPort>();
+    t.within(Duration::from_millis(100));
+    t.expect(pp.out::<Pong>());
+    match t.check() {
+        Err(SpecError::Timeout { .. }) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn cut_fault_fails_the_spec_instead_of_timing_out() {
+    let mut t = TestContext::simulated(4, Bomb::new);
+    let pp = t.provided::<PingPongPort>();
+    t.trigger(pp.inject(Ping(1)));
+    t.expect(pp.out::<Pong>());
+    match t.check() {
+        Err(SpecError::Faulted { faults, .. }) => {
+            assert!(faults.iter().any(|f| f.contains("boom")), "got {faults:?}")
+        }
+        other => panic!("expected Faulted, got {other:?}"),
+    }
+}
+
+#[test]
+fn cut_fault_fails_fast_under_the_threaded_scheduler_too() {
+    let mut t = TestContext::threaded(Bomb::new);
+    let pp = t.provided::<PingPongPort>();
+    t.within(Duration::from_secs(30));
+    t.trigger(pp.inject(Ping(1)));
+    t.expect(pp.out::<Pong>());
+    let start = std::time::Instant::now();
+    match t.check() {
+        Err(SpecError::Faulted { .. }) => {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "fault should beat the 30 s deadline"
+            );
+        }
+        other => panic!("expected Faulted, got {other:?}"),
+    }
+}
+
+#[test]
+fn drop_matching_withholds_requests_from_answer_rules() {
+    let mut t = TestContext::simulated(5, Forwarder::new);
+    let pp = t.provided::<PingPongPort>();
+    let st = t.required::<StoragePort>();
+    // The backend is scripted but unreachable: drops win over answers.
+    t.drop_matching(st.out::<Query>());
+    t.answer_request::<Query, Reply, _>(&st, |q| Reply(q.0));
+    t.trigger(pp.inject(Ping(9)));
+    t.expect(pp.out::<Pong>());
+    match t.check() {
+        Err(SpecError::Timeout { .. }) => {}
+        other => panic!("expected Timeout (backend dropped), got {other:?}"),
+    }
+}
+
+#[test]
+fn ill_formed_kleene_is_rejected_before_running() {
+    let mut t = TestContext::simulated(6, Echo::new);
+    let pp = t.provided::<PingPongPort>();
+    t.kleene(|body| {
+        body.trigger(pp.inject(Ping(1)));
+        body.expect(pp.out::<Pong>());
+    });
+    match t.check() {
+        Err(SpecError::BadSpec(msg)) => assert!(msg.contains("kleene"), "got {msg}"),
+        other => panic!("expected BadSpec, got {other:?}"),
+    }
+}
+
+#[test]
+fn inspect_reads_cut_state_after_the_spec() {
+    let mut t = TestContext::simulated(7, Echo::new);
+    let pp = t.provided::<PingPongPort>();
+    t.trigger(pp.inject(Ping(11)));
+    t.expect(pp.out_where::<Pong>("Pong(11)", |p| p.0 == 11));
+    // `check` consumes the context, so inspect before; the spec has not run
+    // yet, which is exactly what this asserts.
+    let name = t.inspect(|echo| echo.type_name());
+    assert_eq!(name, "Echo");
+    t.check().unwrap();
+}

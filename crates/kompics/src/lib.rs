@@ -9,6 +9,7 @@
 //! * [`codec`] — the binary wire format and compression;
 //! * [`network`] — the Network abstraction and transports;
 //! * [`simulation`] — deterministic simulation and the scenario DSL;
+//! * [`testing`] — the event-stream unit-testing DSL for components;
 //! * [`protocols`] — failure detector, bootstrap, Cyclon, monitoring, web;
 //! * [`cats`] — the CATS key-value store case study.
 //!
@@ -20,6 +21,7 @@ pub use kompics_core as core;
 pub use kompics_network as network;
 pub use kompics_protocols as protocols;
 pub use kompics_simulation as simulation;
+pub use kompics_testing as testing;
 pub use kompics_timer as timer;
 
 /// Commonly used items across all crates.

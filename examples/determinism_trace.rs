@@ -1,0 +1,138 @@
+//! Prints one canonical fingerprint line for a seeded CATS simulation run:
+//! the seed, the operation counters, and an FNV-1a hash over every recorded
+//! latency and history record.
+//!
+//! CI runs this twice per seed (for a small matrix of seeds) and diffs the
+//! output: any nondeterminism in the scheduler, the network emulator's draw
+//! order, or the fault paths shows up as a divergent fingerprint.
+//!
+//! ```bash
+//! cargo run --release --example determinism_trace -- 42
+//! KOMPICS_SEED=1337 cargo run --release --example determinism_trace
+//! ```
+
+use std::time::Duration;
+
+use kompics::cats::abd::AbdConfig;
+use kompics::cats::experiments::{CatsOp, ExperimentOp};
+use kompics::cats::key::RingKey;
+use kompics::cats::node::CatsConfig;
+use kompics::cats::ring::RingConfig;
+use kompics::cats::sim::CatsSimulator;
+use kompics::protocols::cyclon::CyclonConfig;
+use kompics::protocols::fd::FdConfig;
+use kompics::simulation::{Dist, EmulatorConfig, LatencyModel, Simulation};
+
+/// FNV-1a over a stream of u64 words: stable across runs, platforms and
+/// toolchains (unlike `DefaultHasher`, which may be randomly keyed).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("KOMPICS_SEED").ok())
+        .map(|s| s.parse::<u64>().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    let sim = Simulation::new(seed);
+    let des = sim.des().clone();
+    let rng = sim.rng().clone();
+    let simulator = sim.system().create(move || {
+        CatsSimulator::new(
+            des,
+            rng,
+            EmulatorConfig {
+                latency: LatencyModel::Distribution(Dist::Uniform { lo: 1.0, hi: 5.0 }),
+                ..EmulatorConfig::default()
+            },
+            CatsConfig {
+                replication: Some(3),
+                ring: RingConfig {
+                    stabilize_period: Duration::from_millis(250),
+                    ..RingConfig::default()
+                },
+                fd: FdConfig {
+                    initial_delay: Duration::from_millis(400),
+                    delta: Duration::from_millis(200),
+                },
+                cyclon: CyclonConfig {
+                    period: Duration::from_millis(500),
+                    ..CyclonConfig::default()
+                },
+                abd: AbdConfig {
+                    op_timeout: Duration::from_millis(750),
+                    max_retries: 4,
+                    ..AbdConfig::default()
+                },
+            },
+        )
+    });
+    sim.system().start(&simulator);
+    let port = simulator
+        .provided_ref::<kompics::cats::experiments::CatsExperiment>()
+        .expect("experiment port");
+    let op = |op: CatsOp| port.trigger(ExperimentOp(op)).expect("experiment op");
+    let run_ms = |ms: u64| sim.run_for(Duration::from_millis(ms));
+
+    // A fixed workload: boot five nodes, interleave puts and gets, let the
+    // tail of in-flight operations drain.
+    for id in [100u64, 200, 300, 400, 500] {
+        op(CatsOp::Join(id));
+        run_ms(200);
+    }
+    run_ms(8_000);
+    for i in 0..10u64 {
+        op(CatsOp::Put { node: i * 97, key: RingKey(i), value: vec![i as u8; 8] });
+        run_ms(250);
+        op(CatsOp::Get { node: i * 43, key: RingKey(i) });
+        run_ms(250);
+    }
+    run_ms(5_000);
+
+    let line = simulator
+        .on_definition(|s| {
+            let mut h = Fnv::new();
+            for ns in &s.stats().latencies_ns {
+                h.word(*ns);
+            }
+            for entry in s.history() {
+                h.word(entry.key.0);
+                h.word(entry.record.invoke);
+                h.word(entry.record.response);
+                match entry.record.op {
+                    kompics::cats::lin::RegisterOp::Write(v) => {
+                        h.word(1);
+                        h.word(v);
+                    }
+                    kompics::cats::lin::RegisterOp::Read(v) => {
+                        h.word(2);
+                        h.word(v.map_or(u64::MAX, |x| x));
+                    }
+                }
+            }
+            format!(
+                "seed={} issued={} completed={} failed={} history={} fingerprint={:#018x}",
+                seed,
+                s.stats().issued,
+                s.stats().completed,
+                s.stats().failed,
+                s.history().len(),
+                h.0,
+            )
+        })
+        .expect("simulator alive");
+    sim.shutdown();
+    println!("{line}");
+}
