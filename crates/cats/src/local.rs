@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
 use kompics_core::channel::connect;
@@ -92,11 +92,19 @@ pub struct LocalCatsCluster {
     nodes: BTreeMap<u64, LocalNode>,
     pending: PendingMap,
     next_op: AtomicU64,
+    clock: ClockRef,
 }
 
 impl LocalCatsCluster {
-    /// Creates an empty cluster on a fresh multi-core system.
+    /// Creates an empty cluster on a fresh multi-core system, timing
+    /// convergence waits against the real-time [`SystemClock`].
     pub fn new(system_config: Config, config: CatsConfig) -> Self {
+        Self::with_clock(system_config, config, SystemClock::shared())
+    }
+
+    /// Like [`new`](LocalCatsCluster::new) but with an injected time source,
+    /// so harnesses (and tests) control how deadlines advance.
+    pub fn with_clock(system_config: Config, config: CatsConfig, clock: ClockRef) -> Self {
         let system = KompicsSystem::new(system_config);
         let lan = system.create(LocalNetwork::new);
         let pending: PendingMap = Arc::new(Mutex::new(std::collections::HashMap::new()));
@@ -114,6 +122,7 @@ impl LocalCatsCluster {
             nodes: BTreeMap::new(),
             pending,
             next_op: AtomicU64::new(1),
+            clock,
         }
     }
 
@@ -180,9 +189,9 @@ impl LocalCatsCluster {
     /// Waits until every node's ring join completed and every router view
     /// covers the full membership; returns `false` on timeout.
     pub fn await_converged(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.clock.now() + timeout;
         let total = self.nodes.len();
-        while Instant::now() < deadline {
+        while self.clock.now() < deadline {
             let ready = self.nodes.values().all(|n| {
                 n.node
                     .on_definition(|d| {
@@ -194,6 +203,7 @@ impl LocalCatsCluster {
             if ready {
                 return true;
             }
+            // komlint: allow(blocking-sleep) reason="poll backoff on the caller's thread; the scheduler workers keep running underneath"
             std::thread::sleep(Duration::from_millis(10));
         }
         false
@@ -225,6 +235,7 @@ impl LocalCatsCluster {
         let (tx, rx) = bounded(1);
         self.pending.lock().insert(opid, tx);
         f(opid, &self.nodes[&target].put_get);
+        // komlint: allow(blocking-recv) reason="this IS the blocking client API; it runs on the caller's thread, never inside a handler"
         match rx.recv_timeout(timeout) {
             Ok(outcome) => outcome,
             Err(_) => {

@@ -16,7 +16,7 @@ use kompics_protocols::fd::{EventuallyPerfectFd, Restore, Suspect};
 use kompics_protocols::monitor::{Status, StatusRequest, StatusResponse};
 
 use crate::key::{replication_group, RingKey};
-use crate::ring::{RingNeighbors, RingPort};
+use crate::ring::{JoinCompleted, RingNeighbors, RingPort};
 
 // ---------------------------------------------------------------------------
 // Port type and events
@@ -74,6 +74,7 @@ pub struct OneHopRouter {
     replication_degree: usize,
     view: BTreeMap<u64, Address>,
     lookups: u64,
+    joined: bool,
 }
 
 impl OneHopRouter {
@@ -102,6 +103,10 @@ impl OneHopRouter {
                 this.view.insert(s.id, *s);
             }
         });
+        ring.subscribe(|this: &mut OneHopRouter, j: &JoinCompleted| {
+            this.joined = true;
+            this.view.insert(j.node.id, j.node);
+        });
         sampling.subscribe(|this: &mut OneHopRouter, sample: &Sample| {
             for peer in &sample.peers {
                 this.view.insert(peer.id, *peer);
@@ -120,6 +125,7 @@ impl OneHopRouter {
                 entries: vec![
                     ("view_size".into(), this.view.len().to_string()),
                     ("lookups".into(), this.lookups.to_string()),
+                    ("joined".into(), this.joined.to_string()),
                 ],
             });
         });
@@ -137,6 +143,7 @@ impl OneHopRouter {
             replication_degree,
             view,
             lookups: 0,
+            joined: false,
         }
     }
 

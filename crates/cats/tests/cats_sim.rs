@@ -68,7 +68,9 @@ fn fixture_full(seed: u64, config: CatsConfig, emulator: EmulatorConfig) -> Fixt
     let simulator = sim.system().create(move || {
         CatsSimulator::new(des, rng, emulator, config)
     });
-    sim.system().start(&simulator);
+    // `Simulation::start` (unlike `KompicsSystem::start`) first runs graph
+    // analysis and refuses error-severity findings in debug builds.
+    sim.start(&simulator);
     let port = simulator.provided_ref().expect("experiment port");
     Fixture { sim, simulator, port }
 }
@@ -586,5 +588,27 @@ fn operations_complete_and_stay_linearizable_under_message_loss() {
             }
         })
         .unwrap();
+    f.sim.shutdown();
+}
+
+#[test]
+fn assembled_deployment_passes_graph_analysis() {
+    // The ISSUE-level guarantee: a fully booted CATS deployment — simulator,
+    // per-node stacks (router, failure detector, cyclon, ABD, store), and all
+    // the channels between them — yields zero findings from the graph
+    // analyzer. Any dangling port, dead event, or duplicate wiring in the
+    // real assembly fails this test.
+    let f = fixture(7);
+    boot_nodes(&f, &[100, 200, 300], 10_000);
+    let findings = f.sim.analyze();
+    assert!(
+        findings.is_empty(),
+        "expected a clean graph, found:\n  {}",
+        findings
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
     f.sim.shutdown();
 }

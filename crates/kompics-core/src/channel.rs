@@ -123,6 +123,40 @@ impl Channel {
             Direction::Negative => 1,
         }
     }
+
+    // Read-only views used by the graph analyzer and the duplicate-connect
+    // check.
+
+    pub(crate) fn channel_id(&self) -> ChannelId {
+        self.id
+    }
+
+    pub(crate) fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    pub(crate) fn is_unfiltered(&self) -> bool {
+        self.selector.is_none()
+    }
+
+    pub(crate) fn key(&self) -> Option<u64> {
+        self.key
+    }
+
+    /// The halves currently plugged at (positive, negative); `None` for an
+    /// unplugged or dropped end.
+    pub(crate) fn end_halves(&self) -> [Option<Arc<PortCore>>; 2] {
+        let state = self.state.lock();
+        [
+            state.ends[0].as_ref().and_then(|e| e.half.upgrade()),
+            state.ends[1].as_ref().and_then(|e| e.half.upgrade()),
+        ]
+    }
+
+    pub(crate) fn held_info(&self) -> (bool, usize) {
+        let state = self.state.lock();
+        (state.held, state.buffer.len())
+    }
 }
 
 /// A handle to a channel, supporting the dynamic-reconfiguration commands.
@@ -293,6 +327,30 @@ fn connect_impl<P: PortType>(
     }
     if ha.sign == hb.sign {
         return Err(CoreError::SamePolarity { port: ha.type_name });
+    }
+    // Reject a second identical (unfiltered, same-key) channel between the
+    // same two halves: it would deliver every crossing event twice. Filtered
+    // (selector) channels are exempt — partitioned fan-out over several
+    // selective channels between the same halves is legitimate.
+    if selector.is_none() {
+        for existing in ha.attached_channels() {
+            if !existing.is_unfiltered() || existing.key() != key {
+                continue;
+            }
+            let joins_same_halves = existing
+                .end_halves()
+                .iter()
+                .flatten()
+                .any(|half| Arc::ptr_eq(half, hb));
+            if joins_same_halves {
+                return Err(CoreError::DuplicateChannel {
+                    port: ha.type_name,
+                    left: ha.port_id(),
+                    right: hb.port_id(),
+                    existing: existing.channel_id(),
+                });
+            }
+        }
     }
     let channel = Arc::new(Channel {
         id: fresh_channel_id(),

@@ -1,0 +1,128 @@
+//! Sim-aware time sources for component and harness code.
+//!
+//! The paper's central promise — the *same unchanged component code* runs
+//! under the multi-core scheduler and under deterministic discrete-event
+//! simulation — breaks the moment code reads ambient wall-clock time
+//! (`Instant::now`). This module provides the abstraction that keeps time
+//! reads injectable: production assemblies pass a [`SystemClock`], the
+//! simulation crate substitutes a virtual clock backed by the discrete-event
+//! queue, and tests can drive a [`ManualClock`] by hand.
+//!
+//! The `komlint` static-analysis tool (`tools/komlint`) flags ambient
+//! `Instant::now`/`SystemTime::now` in component code and points offenders
+//! here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source measuring elapsed time since its own origin.
+///
+/// Implementations must be cheap and never go backwards.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// A shareable clock handle.
+pub type ClockRef = Arc<dyn Clock>;
+
+/// The real-time clock: wall-clock time elapsed since construction.
+///
+/// This is the single sanctioned wall-clock read for harness code; all other
+/// component/harness code should take a [`ClockRef`] so simulation can
+/// substitute virtual time.
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is the moment of construction.
+    pub fn new() -> Self {
+        // komlint: allow(wall-clock) reason="this is the runtime's sanctioned wall-clock source; everything else injects a ClockRef"
+        SystemClock { origin: Instant::now() }
+    }
+
+    /// A shareable handle to a fresh system clock.
+    pub fn shared() -> ClockRef {
+        Arc::new(SystemClock::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A clock advanced explicitly by the test driving it.
+#[derive(Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shareable handle to a fresh manual clock, plus a typed handle for
+    /// advancing it.
+    pub fn shared() -> (Arc<ManualClock>, ClockRef) {
+        let clock = Arc::new(ManualClock::new());
+        let as_ref: ClockRef = Arc::clone(&clock) as ClockRef;
+        (clock, as_ref)
+    }
+
+    /// Moves the clock forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.nanos.fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute reading.
+    pub fn set(&self, at: Duration) {
+        self.nanos.store(at.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_only_on_demand() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+        clock.set(Duration::from_secs(2));
+        assert_eq!(clock.now(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn clock_ref_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClockRef>();
+    }
+}

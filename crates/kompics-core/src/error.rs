@@ -51,6 +51,24 @@ pub enum CoreError {
         /// The channel in question.
         channel: ChannelId,
     },
+    /// An identical channel (unfiltered, same key) already joins the same
+    /// two port halves; connecting another would deliver every event twice.
+    DuplicateChannel {
+        /// The port type name shared by both halves.
+        port: &'static str,
+        /// Port id of the first half passed to `connect`.
+        left: crate::types::PortId,
+        /// Port id of the second half passed to `connect`.
+        right: crate::types::PortId,
+        /// The already-connected channel.
+        existing: ChannelId,
+    },
+    /// A [`ReconfigPlan`](crate::reconfig::ReconfigPlan) failed validation
+    /// (e.g. it holds a channel without ever resuming it).
+    InvalidReconfigPlan {
+        /// The error-severity finding that rejected the plan.
+        reason: String,
+    },
     /// The component (or its system) has already been destroyed or shut down.
     Defunct {
         /// Human-readable description of the defunct entity.
@@ -89,6 +107,14 @@ impl fmt::Display for CoreError {
             }
             CoreError::ChannelEndEmpty { channel } => {
                 write!(f, "channel {channel} end is not plugged into any port")
+            }
+            CoreError::DuplicateChannel { port, left, right, existing } => write!(
+                f,
+                "channel {existing} already connects `{port}` ports {left} and {right}; \
+                 a duplicate channel would deliver every event twice"
+            ),
+            CoreError::InvalidReconfigPlan { reason } => {
+                write!(f, "reconfiguration plan rejected: {reason}")
             }
             CoreError::Defunct { what } => write!(f, "{what} is no longer alive"),
             CoreError::StateTransferFailed { reason } => {

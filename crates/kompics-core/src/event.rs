@@ -67,6 +67,21 @@ pub trait Event: Any + Send + Sync + fmt::Debug {
             None
         }
     }
+
+    /// The declared *proper* ancestor chain of this event type, nearest
+    /// parent first — the static counterpart of [`Event::is_instance_of`],
+    /// used by the graph analyzer to reason about subtype-aware
+    /// subscriptions without an event instance in hand.
+    ///
+    /// The default (an empty chain) is correct for root event types;
+    /// [`impl_event!`](crate::impl_event) overrides it for declared
+    /// subtypes.
+    fn ancestors() -> Vec<(TypeId, &'static str)>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
 }
 
 /// Extracts a typed view of a type-erased event, honouring the declared
@@ -106,6 +121,14 @@ macro_rules! impl_event {
             }
             fn event_name(&self) -> &'static str {
                 ::std::any::type_name::<$ty>()
+            }
+            fn ancestors() -> ::std::vec::Vec<(::std::any::TypeId, &'static str)> {
+                let mut chain = ::std::vec![(
+                    ::std::any::TypeId::of::<$parent>(),
+                    ::std::any::type_name::<$parent>(),
+                )];
+                chain.extend(<$parent as $crate::event::Event>::ancestors());
+                chain
             }
             fn is_instance_of(&self, id: ::std::any::TypeId) -> bool {
                 id == ::std::any::TypeId::of::<$ty>()
@@ -197,6 +220,19 @@ mod tests {
         let dyn_event: &dyn Event = &ack;
         assert_eq!(event_as::<Message>(dyn_event).unwrap().destination, 5);
         assert_eq!(event_as::<DataMessage>(dyn_event).unwrap().seq, 6);
+    }
+
+    #[test]
+    fn ancestor_chain_is_declared_statically() {
+        assert!(Message::ancestors().is_empty());
+        let dm = DataMessage::ancestors();
+        assert_eq!(dm.len(), 1);
+        assert_eq!(dm[0].0, TypeId::of::<Message>());
+        let ack = AckMessage::ancestors();
+        assert_eq!(
+            ack.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![TypeId::of::<DataMessage>(), TypeId::of::<Message>()]
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@
 //! # }
 //! ```
 
+pub mod analyze;
 pub mod channel;
+pub mod clock;
 pub mod component;
 pub mod config;
 pub mod error;
@@ -90,7 +92,9 @@ pub mod types;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
+    pub use crate::analyze::{Finding, FindingKind, Severity};
     pub use crate::channel::{ChannelRef, ChannelSelector};
+    pub use crate::clock::{Clock, ClockRef, ManualClock, SystemClock};
     pub use crate::component::{
         Component, ComponentContext, ComponentDefinition, ComponentRef,
     };

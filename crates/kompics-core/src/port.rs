@@ -84,6 +84,29 @@ impl fmt::Display for Direction {
     }
 }
 
+/// Static description of one event type admitted by a port direction,
+/// including its declared ancestor chain — the data the
+/// [`analyze`](crate::analyze) graph passes reason over.
+#[derive(Debug, Clone)]
+pub struct EventTypeInfo {
+    /// The concrete event type.
+    pub id: TypeId,
+    /// Its type name, for diagnostics.
+    pub name: &'static str,
+    /// Declared proper ancestors, nearest parent first (see
+    /// [`Event::ancestors`]).
+    pub ancestors: Vec<(TypeId, &'static str)>,
+}
+
+impl EventTypeInfo {
+    /// Whether a subscription for `subscribed` would match instances of this
+    /// event type: true when `subscribed` is the type itself or a declared
+    /// ancestor of it.
+    pub fn matched_by(&self, subscribed: TypeId) -> bool {
+        self.id == subscribed || self.ancestors.iter().any(|(id, _)| *id == subscribed)
+    }
+}
+
 /// A port type: a service or protocol abstraction with an event-based
 /// interface, specifying the event types allowed in each direction.
 ///
@@ -105,6 +128,17 @@ pub trait PortType: Sized + Send + Sync + 'static {
             Direction::Positive => Self::allows_positive(event),
             Direction::Negative => Self::allows_negative(event),
         }
+    }
+
+    /// The declared event set for direction `dir`, when statically known.
+    ///
+    /// `None` means "unknown" — the analyzer must not draw per-event-type
+    /// conclusions for this port. The [`port_type!`](crate::port_type) macro
+    /// generates `Some(...)`; only hand-written implementations fall back to
+    /// the default.
+    fn event_catalog(dir: Direction) -> Option<Vec<EventTypeInfo>> {
+        let _ = dir;
+        None
     }
 }
 
@@ -160,6 +194,34 @@ macro_rules! port_type {
             }
             fn port_name() -> &'static str {
                 ::std::stringify!($name)
+            }
+            fn event_catalog(
+                dir: $crate::port::Direction,
+            ) -> ::std::option::Option<::std::vec::Vec<$crate::port::EventTypeInfo>> {
+                let mut catalog = ::std::vec::Vec::new();
+                match dir {
+                    $crate::port::Direction::Positive => {
+                        $(
+                            catalog.push($crate::port::EventTypeInfo {
+                                id: ::std::any::TypeId::of::<$pos>(),
+                                name: ::std::any::type_name::<$pos>(),
+                                ancestors:
+                                    <$pos as $crate::event::Event>::ancestors(),
+                            });
+                        )*
+                    }
+                    $crate::port::Direction::Negative => {
+                        $(
+                            catalog.push($crate::port::EventTypeInfo {
+                                id: ::std::any::TypeId::of::<$neg>(),
+                                name: ::std::any::type_name::<$neg>(),
+                                ancestors:
+                                    <$neg as $crate::event::Event>::ancestors(),
+                            });
+                        )*
+                    }
+                }
+                ::std::option::Option::Some(catalog)
             }
         }
     };
@@ -229,6 +291,8 @@ pub struct PortCore {
     /// Whether this is the inside half (owner scope).
     pub(crate) inside: bool,
     pub(crate) allows: fn(&dyn Event, Direction) -> bool,
+    /// Static event catalog per direction, for the graph analyzer.
+    pub(crate) catalog: fn(Direction) -> Option<Vec<EventTypeInfo>>,
     pub(crate) owner: OnceLock<(ComponentId, Weak<ComponentCore>)>,
     pub(crate) pair: OnceLock<Weak<PortCore>>,
     pub(crate) inner: Mutex<PortInner>,
@@ -263,6 +327,7 @@ impl PortCore {
                 provided,
                 inside,
                 allows: P::allows,
+                catalog: P::event_catalog,
                 owner: OnceLock::new(),
                 pair: OnceLock::new(),
                 inner: Mutex::new(PortInner::default()),

@@ -15,13 +15,17 @@
 //! available through [`ChannelRef`](crate::channel::ChannelRef)
 //! (`hold`/`resume`/`plug`/`unplug_*`) for custom protocols.
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::analyze::{Finding, FindingKind, Severity};
 use crate::channel::ChannelRef;
 use crate::component::ComponentRef;
 use crate::error::CoreError;
 use crate::lifecycle::{Kill, Start, Stop};
-use crate::port::Direction;
+use crate::port::{Direction, PortCore, PortRef, PortType};
+use crate::types::ChannelId;
 
 /// Options for [`replace_component`].
 #[derive(Debug, Clone)]
@@ -103,6 +107,7 @@ pub fn replace_component(
     //    arrive through the held channels), then passivate it. The order
     //    matters: `Stop` is a control event and would execute *before*
     //    queued work items, stranding them in a passive component.
+    // komlint: allow(wall-clock) reason="drain timeout for a blocking reconfiguration call on a non-worker thread; simulation reconfigures via held channels after driving to quiescence instead"
     let deadline = Instant::now() + options.drain_timeout;
     let drain = |until: Instant| -> Result<(), CoreError> {
         loop {
@@ -110,12 +115,14 @@ pub fn replace_component(
             if core.pending() == 0 && !core.is_executing() {
                 return Ok(());
             }
+            // komlint: allow(wall-clock) reason="pairs with the drain_timeout deadline above"
             if Instant::now() > until {
                 return Err(CoreError::StateTransferFailed {
                     reason: "old component did not drain in time",
                 });
             }
             std::thread::yield_now();
+            // komlint: allow(blocking-sleep) reason="poll backoff on the caller's (non-worker) thread while the old component drains"
             std::thread::sleep(Duration::from_millis(1));
         }
     };
@@ -205,4 +212,161 @@ pub fn replace_component(
         .control_ref()
         .trigger_shared(std::sync::Arc::new(Kill) as crate::event::EventRef);
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scripted reconfiguration plans
+// ---------------------------------------------------------------------------
+
+/// One step of a [`ReconfigPlan`].
+#[derive(Clone)]
+pub enum ReconfigStep {
+    /// Put the channel on hold (queue instead of forward).
+    Hold(ChannelRef),
+    /// Flush the channel's queue and resume forwarding.
+    Resume(ChannelRef),
+    /// Unplug the end connected to the positive-sign half.
+    UnplugPositive(ChannelRef),
+    /// Unplug the end connected to the negative-sign half.
+    UnplugNegative(ChannelRef),
+    /// Plug the channel's free end into a port half.
+    Plug(ChannelRef, Arc<PortCore>),
+}
+
+impl std::fmt::Debug for ReconfigStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigStep::Hold(c) => write!(f, "Hold({})", c.id()),
+            ReconfigStep::Resume(c) => write!(f, "Resume({})", c.id()),
+            ReconfigStep::UnplugPositive(c) => write!(f, "UnplugPositive({})", c.id()),
+            ReconfigStep::UnplugNegative(c) => write!(f, "UnplugNegative({})", c.id()),
+            ReconfigStep::Plug(c, half) => {
+                write!(f, "Plug({}, {})", c.id(), half.port_id())
+            }
+        }
+    }
+}
+
+/// A scripted sequence of the paper's four reconfiguration commands
+/// (`hold` / `resume` / `unplug` / `plug`), validated *before* execution.
+///
+/// The critical invariant: **every held channel must be resumed by a later
+/// step**. A hold without a reachable resume leaves the channel buffering
+/// events forever — the silent-stall failure mode the Fractal
+/// reconfiguration-protocol literature checks statically. Build the plan
+/// with the fluent methods, inspect [`validate`](ReconfigPlan::validate),
+/// then [`execute`](ReconfigPlan::execute) (which refuses unbalanced
+/// plans).
+///
+/// ```rust
+/// # use kompics_core::prelude::*;
+/// # use kompics_core::reconfig::ReconfigPlan;
+/// # use kompics_core::channel::ChannelRef;
+/// # fn demo(ch: ChannelRef) {
+/// let plan = ReconfigPlan::new().hold(&ch).resume(&ch);
+/// assert!(plan.validate().is_empty());
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ReconfigPlan {
+    steps: Vec<ReconfigStep>,
+}
+
+impl ReconfigPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a hold step.
+    pub fn hold(mut self, channel: &ChannelRef) -> Self {
+        self.steps.push(ReconfigStep::Hold(channel.clone()));
+        self
+    }
+
+    /// Appends a resume step.
+    pub fn resume(mut self, channel: &ChannelRef) -> Self {
+        self.steps.push(ReconfigStep::Resume(channel.clone()));
+        self
+    }
+
+    /// Appends an unplug of the positive-sign end.
+    pub fn unplug_positive(mut self, channel: &ChannelRef) -> Self {
+        self.steps.push(ReconfigStep::UnplugPositive(channel.clone()));
+        self
+    }
+
+    /// Appends an unplug of the negative-sign end.
+    pub fn unplug_negative(mut self, channel: &ChannelRef) -> Self {
+        self.steps.push(ReconfigStep::UnplugNegative(channel.clone()));
+        self
+    }
+
+    /// Appends a plug of the channel's free end into `port`.
+    pub fn plug<P: PortType>(mut self, channel: &ChannelRef, port: &PortRef<P>) -> Self {
+        self.steps
+            .push(ReconfigStep::Plug(channel.clone(), Arc::clone(port.core())));
+        self
+    }
+
+    /// The steps in execution order.
+    pub fn steps(&self) -> &[ReconfigStep] {
+        &self.steps
+    }
+
+    /// Statically checks the plan's hold/resume balance: every held channel
+    /// must have a later resume ([`FindingKind::HoldWithoutResume`], an
+    /// error) and resumes should match an earlier hold
+    /// ([`FindingKind::ResumeWithoutHold`], a warning).
+    pub fn validate(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let mut held: BTreeSet<ChannelId> = BTreeSet::new();
+        for step in &self.steps {
+            match step {
+                ReconfigStep::Hold(c) => {
+                    held.insert(c.id());
+                }
+                ReconfigStep::Resume(c) if !held.remove(&c.id()) => {
+                    findings.push(Finding::warning(FindingKind::ResumeWithoutHold {
+                        channel: c.id(),
+                    }));
+                }
+                _ => {}
+            }
+        }
+        for channel in held {
+            findings.push(Finding::error(FindingKind::HoldWithoutResume { channel }));
+        }
+        findings
+    }
+
+    /// Validates, then runs the steps in order. Refuses to start when
+    /// [`validate`](ReconfigPlan::validate) reports an error-severity
+    /// finding; stops at the first failing step otherwise.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidReconfigPlan`] when validation fails;
+    /// * any error from an unplug or plug step.
+    pub fn execute(&self) -> Result<(), CoreError> {
+        if let Some(finding) = self
+            .validate()
+            .iter()
+            .find(|f| f.severity == Severity::Error)
+        {
+            return Err(CoreError::InvalidReconfigPlan {
+                reason: finding.to_string(),
+            });
+        }
+        for step in &self.steps {
+            match step {
+                ReconfigStep::Hold(c) => c.hold(),
+                ReconfigStep::Resume(c) => c.resume(),
+                ReconfigStep::UnplugPositive(c) => c.unplug_positive()?,
+                ReconfigStep::UnplugNegative(c) => c.unplug_negative()?,
+                ReconfigStep::Plug(c, half) => c.plug_core(half)?,
+            }
+        }
+        Ok(())
+    }
 }

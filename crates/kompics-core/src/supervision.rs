@@ -262,12 +262,15 @@ impl Supervisor {
     /// A supervisor with the default wall-clock window and thread-based
     /// backoff timer.
     pub fn new(config: SupervisorConfig) -> Self {
+        // komlint: allow(wall-clock) reason="explicitly the wall-clock default; simulation injects a virtual clock via with_hooks"
         let origin = Instant::now();
         Self::with_hooks(
             config,
             Arc::new(move || origin.elapsed()),
             Arc::new(|delay, f: Box<dyn FnOnce() + Send>| {
+                // komlint: allow(thread-spawn) reason="default backoff timer for production mode; simulation injects a DES-backed defer via with_hooks"
                 std::thread::spawn(move || {
+                    // komlint: allow(blocking-sleep) reason="sleeps on its own dedicated timer thread, never a worker"
                     std::thread::sleep(delay);
                     f();
                 });

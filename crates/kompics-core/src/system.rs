@@ -57,6 +57,10 @@ impl SystemCore {
         self.roots.lock().push(core);
     }
 
+    pub(crate) fn roots_snapshot(&self) -> Vec<Arc<crate::component::ComponentCore>> {
+        self.roots.lock().clone()
+    }
+
     pub(crate) fn forget_root(&self, id: ComponentId) {
         self.roots.lock().retain(|c| c.id() != id);
     }
@@ -212,6 +216,17 @@ impl KompicsSystem {
     /// Faults recorded under [`FaultPolicy::Collect`].
     pub fn collected_faults(&self) -> Vec<Fault> {
         self.core.faults.lock().clone()
+    }
+
+    /// Statically analyzes the assembled component/port/channel/supervision
+    /// graph and returns every problem found — dangling required ports,
+    /// dead events, duplicate subscriptions or channels, held channels and
+    /// supervision escalation cycles. Intended to run after assembly and
+    /// before [`start`](KompicsSystem::start); an empty result means the
+    /// wiring passed every check. See [`analyze`](crate::analyze) for the
+    /// pass catalog and soundness rules.
+    pub fn analyze(&self) -> Vec<crate::analyze::Finding> {
+        crate::analyze::analyze_system(&self.core)
     }
 
     /// Stops the scheduler. Components are not individually killed; their

@@ -117,11 +117,14 @@ impl Probe {
     /// Blocks until at least `n` events were recorded or `timeout` elapsed.
     /// Returns whether the target was reached.
     pub fn await_count(&self, n: usize, timeout: Duration) -> bool {
+        // komlint: allow(wall-clock) reason="test-harness timeout measured on the observing thread, not inside a handler"
         let deadline = Instant::now() + timeout;
+        // komlint: allow(wall-clock) reason="pairs with the deadline above"
         while Instant::now() < deadline {
             if self.count() >= n {
                 return true;
             }
+            // komlint: allow(blocking-sleep) reason="poll backoff on the observing test thread; workers keep running"
             std::thread::sleep(Duration::from_millis(1));
         }
         self.count() >= n

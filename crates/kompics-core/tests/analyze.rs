@@ -1,0 +1,351 @@
+//! Known-bad fixture graphs for every analyzer pass: each fixture wires a
+//! minimal assembly exhibiting exactly one defect and asserts the exact
+//! [`Finding`] the pass reports — plus a clean assembly asserting silence,
+//! and the duplicate-channel rejection at `connect` time.
+
+#![allow(dead_code)] // port fields exist to keep the halves alive
+
+use std::any::type_name;
+
+use kompics_core::channel::{connect, ChannelRef};
+use kompics_core::component::Component;
+use kompics_core::error::CoreError;
+use kompics_core::prelude::*;
+use kompics_core::reconfig::ReconfigPlan;
+use kompics_core::supervision::{supervise, Supervisor, SupervisorConfig, SuperviseOptions};
+
+#[derive(Debug, Clone)]
+pub struct Req(pub u64);
+impl_event!(Req);
+
+#[derive(Debug, Clone)]
+pub struct Ind(pub u64);
+impl_event!(Ind);
+
+#[derive(Debug, Clone)]
+pub struct ReqB(pub u64);
+impl_event!(ReqB);
+
+port_type! {
+    /// Requests down, indications up.
+    pub struct Work {
+        indication: Ind;
+        request: Req;
+    }
+}
+
+port_type! {
+    /// Two request types, so one can go unhandled.
+    pub struct Duo {
+        indication: Ind;
+        request: Req, ReqB;
+    }
+}
+
+struct Provider {
+    ctx: ComponentContext,
+    work: ProvidedPort<Work>,
+}
+
+impl Provider {
+    fn new() -> Self {
+        let work: ProvidedPort<Work> = ProvidedPort::new();
+        work.subscribe(|this: &mut Provider, req: &Req| {
+            this.work.trigger(Ind(req.0));
+        });
+        Provider { ctx: ComponentContext::new(), work }
+    }
+}
+
+impl ComponentDefinition for Provider {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Provider"
+    }
+}
+
+struct Consumer {
+    ctx: ComponentContext,
+    work: RequiredPort<Work>,
+    /// Subscribe the indication handler this many times (1 = correct).
+    subs: usize,
+}
+
+impl Consumer {
+    fn new(subs: usize) -> Self {
+        let work: RequiredPort<Work> = RequiredPort::new();
+        for _ in 0..subs {
+            work.subscribe(|_this: &mut Consumer, _ind: &Ind| {});
+        }
+        Consumer { ctx: ComponentContext::new(), work, subs }
+    }
+}
+
+impl ComponentDefinition for Consumer {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Consumer"
+    }
+}
+
+/// Provides `Duo` but only handles `Req`, leaving `ReqB` dead.
+struct HalfDeaf {
+    ctx: ComponentContext,
+    duo: ProvidedPort<Duo>,
+}
+
+impl HalfDeaf {
+    fn new() -> Self {
+        let duo: ProvidedPort<Duo> = ProvidedPort::new();
+        duo.subscribe(|_this: &mut HalfDeaf, _req: &Req| {});
+        HalfDeaf { ctx: ComponentContext::new(), duo }
+    }
+}
+
+impl ComponentDefinition for HalfDeaf {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "HalfDeaf"
+    }
+}
+
+fn wired_pair(system: &KompicsSystem) -> (Component<Provider>, Component<Consumer>, ChannelRef) {
+    let provider = system.create(Provider::new);
+    let consumer = system.create(|| Consumer::new(1));
+    let channel = connect(
+        &provider.provided_ref::<Work>().unwrap(),
+        &consumer.required_ref::<Work>().unwrap(),
+    )
+    .unwrap();
+    (provider, consumer, channel)
+}
+
+#[test]
+fn clean_assembly_yields_no_findings() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (_p, _c, _ch) = wired_pair(&system);
+    assert_eq!(system.analyze(), Vec::new());
+}
+
+#[test]
+fn dangling_required_port_is_an_error() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let consumer = system.create(|| Consumer::new(1));
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Error,
+            kind: FindingKind::DanglingRequiredPort {
+                component: consumer.id(),
+                component_name: consumer.name().to_string(),
+                port: "Work",
+            },
+        }]
+    );
+}
+
+#[test]
+fn unhandled_catalog_event_is_a_dead_event_warning() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let deaf = system.create(HalfDeaf::new);
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Warning,
+            kind: FindingKind::DeadEvent {
+                component: deaf.id(),
+                component_name: deaf.name().to_string(),
+                port: "Duo",
+                event: type_name::<ReqB>(),
+            },
+        }]
+    );
+}
+
+#[test]
+fn double_subscription_is_an_error() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let provider = system.create(Provider::new);
+    let consumer = system.create(|| Consumer::new(2));
+    connect(
+        &provider.provided_ref::<Work>().unwrap(),
+        &consumer.required_ref::<Work>().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Error,
+            kind: FindingKind::DuplicateSubscription {
+                component: consumer.id(),
+                component_name: consumer.name().to_string(),
+                port: "Work",
+                event: type_name::<Ind>(),
+                count: 2,
+            },
+        }]
+    );
+}
+
+#[test]
+fn connect_rejects_identical_duplicate_channel() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (provider, consumer, first) = wired_pair(&system);
+    let p = provider.provided_ref::<Work>().unwrap();
+    let r = consumer.required_ref::<Work>().unwrap();
+    assert_eq!(
+        connect(&p, &r).err(),
+        Some(CoreError::DuplicateChannel {
+            port: "Work",
+            left: p.port_id(),
+            right: r.port_id(),
+            existing: first.id(),
+        })
+    );
+    // The rejected connect left the graph clean.
+    assert_eq!(system.analyze(), Vec::new());
+}
+
+#[test]
+fn duplicate_channel_via_replug_is_found_by_analysis() {
+    // `connect` refuses duplicates up front, but reconfiguration can still
+    // assemble one: unplug a channel, connect a fresh one, re-plug the old.
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (provider, consumer, first) = wired_pair(&system);
+    let p = provider.provided_ref::<Work>().unwrap();
+    let r = consumer.required_ref::<Work>().unwrap();
+    first.unplug_positive().unwrap();
+    let second = connect(&p, &r).unwrap();
+    first.plug(&p).unwrap();
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Error,
+            kind: FindingKind::DuplicateChannel {
+                port: "Work",
+                left: first.id(),
+                right: second.id(),
+            },
+        }]
+    );
+}
+
+#[test]
+fn held_channel_with_queued_events_is_a_warning() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (provider, _consumer, channel) = wired_pair(&system);
+    channel.hold();
+    // Indications leave the provider, hit the held channel and queue there.
+    provider
+        .on_definition(|p| {
+            p.work.trigger(Ind(1));
+            p.work.trigger(Ind(2));
+        })
+        .unwrap();
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Warning,
+            kind: FindingKind::HeldChannel { channel: channel.id(), queued: 2 },
+        }]
+    );
+    channel.resume();
+    assert_eq!(system.analyze(), Vec::new());
+}
+
+#[test]
+fn plan_hold_without_resume_is_an_error() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (_p, _c, channel) = wired_pair(&system);
+    let plan = ReconfigPlan::new().hold(&channel);
+    assert_eq!(
+        plan.validate(),
+        vec![Finding {
+            severity: Severity::Error,
+            kind: FindingKind::HoldWithoutResume { channel: channel.id() },
+        }]
+    );
+    match plan.execute() {
+        Err(CoreError::InvalidReconfigPlan { reason }) => {
+            assert!(reason.contains("never resumes"), "reason: {reason}");
+        }
+        other => panic!("expected InvalidReconfigPlan, got {other:?}"),
+    }
+}
+
+#[test]
+fn plan_resume_without_hold_is_a_warning_but_executes() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (_p, _c, channel) = wired_pair(&system);
+    let plan = ReconfigPlan::new().resume(&channel);
+    assert_eq!(
+        plan.validate(),
+        vec![Finding {
+            severity: Severity::Warning,
+            kind: FindingKind::ResumeWithoutHold { channel: channel.id() },
+        }]
+    );
+    plan.execute().unwrap();
+}
+
+#[test]
+fn balanced_plan_swaps_a_provider_cleanly() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (_old, consumer, channel) = wired_pair(&system);
+    let replacement = system.create(Provider::new);
+    let plan = ReconfigPlan::new()
+        .hold(&channel)
+        .unplug_positive(&channel)
+        .plug(&channel, &replacement.provided_ref::<Work>().unwrap())
+        .resume(&channel);
+    assert_eq!(plan.validate(), Vec::new());
+    plan.execute().unwrap();
+    // The moved channel neither duplicates nor dangles anything... except
+    // the old provider, whose port is provided and thus not flagged.
+    assert_eq!(system.analyze(), Vec::new());
+    let _ = consumer;
+}
+
+#[test]
+fn mutual_supervision_is_an_escalation_cycle() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let a = system.create(|| Supervisor::new(SupervisorConfig::default()));
+    let b = system.create(|| Supervisor::new(SupervisorConfig::default()));
+    supervise(&a, &b.erased(), SuperviseOptions::default()).unwrap();
+    supervise(&b, &a.erased(), SuperviseOptions::default()).unwrap();
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Error,
+            kind: FindingKind::EscalationCycle {
+                path: vec![
+                    a.name().to_string(),
+                    b.name().to_string(),
+                    a.name().to_string(),
+                ],
+            },
+        }]
+    );
+}
+
+#[test]
+fn self_supervision_is_an_escalation_cycle() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let sup = system.create(|| Supervisor::new(SupervisorConfig::default()));
+    supervise(&sup, &sup.erased(), SuperviseOptions::default()).unwrap();
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Error,
+            kind: FindingKind::EscalationCycle {
+                path: vec![sup.name().to_string(), sup.name().to_string()],
+            },
+        }]
+    );
+}

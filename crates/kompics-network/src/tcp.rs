@@ -333,6 +333,7 @@ fn try_connect(shared: &Shared, destination: Address) -> Option<TcpStream> {
                 return Some(stream);
             }
             Err(_) if attempt + 1 < shared.config.connect_retries.max(1) => {
+                // komlint: allow(blocking-sleep) reason="reconnect backoff on the transport's dedicated writer thread, not a scheduler worker"
                 std::thread::sleep(backoff_delay(&shared.config, destination, attempt));
             }
             Err(_) => return None,
@@ -348,6 +349,7 @@ fn writer_loop(
     port: PortRef<Network>,
 ) {
     let mut stream: Option<TcpStream> = None;
+    // komlint: allow(blocking-recv) reason="this loop IS the dedicated writer thread; it exists to block on the outgoing queue"
     while let Ok(outgoing) = rx.recv() {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
@@ -395,6 +397,7 @@ fn accept_loop(
                     .expect("spawn reader");
             }
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // komlint: allow(blocking-sleep) reason="accept-poll backoff on the transport's dedicated acceptor thread"
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => return,

@@ -13,7 +13,7 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 use kompics_core::event::{event_as, EventRef};
 use kompics_core::prelude::*;
@@ -23,9 +23,9 @@ use parking_lot::Mutex;
 /// One recorded network event.
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
-    /// Wall-clock capture instant (virtual-time tracing can read the
-    /// simulation clock instead when analyzing).
-    pub at: Instant,
+    /// Capture time as read from the tap's injected [`ClockRef`] — real
+    /// elapsed time in production, virtual time under simulation.
+    pub at: Duration,
     /// `true` for messages leaving the tapped component, `false` for
     /// messages delivered to it.
     pub outgoing: bool,
@@ -47,12 +47,20 @@ pub struct NetworkTap {
     upper: ProvidedPort<Network>,
     lower: RequiredPort<Network>,
     sink: TraceSink,
+    clock: ClockRef,
     forwarded: u64,
 }
 
 impl NetworkTap {
-    /// Creates a tap writing into `sink` (inside a `create` closure).
+    /// Creates a tap writing into `sink`, stamping records with real
+    /// elapsed time (inside a `create` closure).
     pub fn new(sink: TraceSink) -> Self {
+        Self::with_clock(sink, SystemClock::shared())
+    }
+
+    /// Like [`new`](NetworkTap::new) but stamping records from an injected
+    /// clock — pass the simulation's virtual clock to trace in virtual time.
+    pub fn with_clock(sink: TraceSink, clock: ClockRef) -> Self {
         let upper: ProvidedPort<Network> = ProvidedPort::new();
         let lower: RequiredPort<Network> = RequiredPort::new();
         // Outgoing: requests from the tapped component pass down.
@@ -69,14 +77,14 @@ impl NetworkTap {
                 this.upper.trigger_shared(Arc::clone(event));
             },
         );
-        NetworkTap { ctx: ComponentContext::new(), upper, lower, sink, forwarded: 0 }
+        NetworkTap { ctx: ComponentContext::new(), upper, lower, sink, clock, forwarded: 0 }
     }
 
     fn record(&mut self, event: &EventRef, outgoing: bool) {
         self.forwarded += 1;
         if let Some(header) = event_as::<Message>(event.as_ref()) {
             self.sink.lock().push(TraceRecord {
-                at: Instant::now(),
+                at: self.clock.now(),
                 outgoing,
                 source: header.source.id,
                 destination: header.destination.id,

@@ -152,9 +152,11 @@ fn http_loop(
             Ok((stream, _)) => {
                 let pending = Arc::clone(&pending);
                 let web = web.clone();
+                // komlint: allow(thread-spawn) reason="one short-lived connection-handler thread per HTTP request; the frontend bridges blocking HTTP onto event triggers"
                 std::thread::spawn(move || handle_http(stream, pending, web, timeout));
             }
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // komlint: allow(blocking-sleep) reason="accept-poll backoff on the frontend's dedicated listener thread"
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => return,
@@ -187,8 +189,8 @@ fn handle_http(
     pending.lock().insert(id, tx);
     let _ = web.trigger(WebRequest { id, path });
 
-    let (status, body) = rx
-        .recv_timeout(timeout)
+    // komlint: allow(blocking-recv) reason="blocks the per-connection HTTP thread awaiting the component's WebResponse, never a scheduler worker"
+    let (status, body) = rx.recv_timeout(timeout)
         .unwrap_or((504, "{\"error\":\"status timeout\"}".to_string()));
     pending.lock().remove(&id);
     let reply = format!(

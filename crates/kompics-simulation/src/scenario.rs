@@ -253,11 +253,13 @@ impl<Op: Send + 'static> Scenario<Op> {
         let des = Arc::new(Des::new());
         let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(seed)));
         let handle = self.execute(&des, rng, driver);
+        // komlint: allow(wall-clock) reason="execute_realtime's contract is pacing virtual events against real time; simulation uses execute() instead"
         let started = Instant::now();
         while let Some(t) = des.peek_next_time() {
             let target = Duration::from_nanos(t);
             let elapsed = started.elapsed();
             if target > elapsed {
+                // komlint: allow(blocking-sleep) reason="paces the caller's own thread to the next event instant; that is the documented real-time mode"
                 std::thread::sleep(target - elapsed);
             }
             des.step();

@@ -11,7 +11,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use kompics_core::component::Component;
+use kompics_core::analyze::Finding;
+use kompics_core::clock::{Clock, ClockRef};
+use kompics_core::component::{Component, ComponentDefinition};
 use kompics_core::config::Config;
 use kompics_core::sched::sequential::SequentialScheduler;
 use kompics_core::supervision::{Supervisor, SupervisorConfig};
@@ -21,6 +23,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::des::{Des, SimTime};
+
+/// A [`Clock`] backed by the simulation's discrete-event queue: `now()`
+/// reads **virtual** time. Hand this to any component or harness that takes
+/// a [`ClockRef`] and its deadlines advance with the simulation instead of
+/// the wall.
+pub struct SimClock {
+    des: Arc<Des>,
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Duration {
+        self.des.now_duration()
+    }
+}
 
 /// A deterministic simulation of a kompics system. See the module docs.
 ///
@@ -80,6 +96,43 @@ impl Simulation {
     /// The seed this simulation was created with.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// A [`ClockRef`] reading the simulation's virtual time, for injection
+    /// into clock-parameterized components ([`SimClock`]).
+    pub fn clock(&self) -> ClockRef {
+        Arc::new(SimClock { des: Arc::clone(&self.des) })
+    }
+
+    /// Statically analyzes the assembled component graph (see
+    /// [`KompicsSystem::analyze`]): dangling required ports, dead events,
+    /// duplicate subscriptions or channels, held channels, supervision
+    /// escalation cycles.
+    pub fn analyze(&self) -> Vec<Finding> {
+        self.system.analyze()
+    }
+
+    /// Starts a component like [`KompicsSystem::start`], but in debug builds
+    /// first runs [`analyze`](Simulation::analyze) and panics on any
+    /// error-severity finding. Simulation is where wiring mistakes are
+    /// cheapest to surface — a dangling required port or duplicate channel
+    /// caught here never reaches a cluster.
+    pub fn start<C: ComponentDefinition>(&self, component: &Component<C>) {
+        #[cfg(debug_assertions)]
+        {
+            let errors: Vec<String> = self
+                .analyze()
+                .iter()
+                .filter(|f| f.severity == kompics_core::analyze::Severity::Error)
+                .map(|f| f.to_string())
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "simulation start refused; graph analysis found errors:\n  {}",
+                errors.join("\n  ")
+            );
+        }
+        self.system.start(component);
     }
 
     /// Current virtual time.

@@ -767,3 +767,55 @@ fn mid_restart_crashes_are_deterministic_across_runs() {
     let b = mid_restart_run(91);
     assert_eq!(a, b, "same (seed, plan) ⇒ identical supervision handling");
 }
+
+// ---------------------------------------------------------------------------
+// Virtual clock injection and start-time graph analysis
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sim_clock_reads_virtual_time() {
+    let sim = Simulation::new(9);
+    let clock = sim.clock();
+    assert_eq!(clock.now(), Duration::ZERO);
+    sim.run_for(Duration::from_millis(1_500));
+    assert_eq!(clock.now(), Duration::from_millis(1_500));
+    sim.shutdown();
+}
+
+#[test]
+fn start_accepts_a_clean_assembly() {
+    let sim = Simulation::new(10);
+    let des = sim.des().clone();
+    let timer = sim.system().create({
+        let des = des.clone();
+        move || SimTimer::new(des)
+    });
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+    let user = sim.system().create({
+        let (t, d) = (trace.clone(), des.clone());
+        move || TimerUser::new(t, d)
+    });
+    connect(
+        &timer.provided_ref::<Timer>().unwrap(),
+        &user.required_ref::<Timer>().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(sim.analyze(), Vec::new());
+    sim.start(&timer);
+    sim.start(&user);
+    sim.settle();
+    sim.shutdown();
+}
+
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "graph analysis found errors"))]
+fn start_refuses_a_miswired_assembly() {
+    let sim = Simulation::new(11);
+    let trace: Trace = Arc::new(Mutex::new(Vec::new()));
+    let des = sim.des().clone();
+    // TimerUser's required Timer port is wired to nothing: its timeout
+    // requests would vanish. The debug assertion in `Simulation::start`
+    // refuses to begin the experiment.
+    let user = sim.system().create(move || TimerUser::new(trace, des));
+    sim.start(&user);
+}

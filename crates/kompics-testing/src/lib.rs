@@ -689,6 +689,7 @@ impl<C: ComponentDefinition> TestContext<C> {
         }
         // Leading actions fire here.
         let mut run = nfa::Run::new(&nfa);
+        // komlint: allow(wall-clock) reason="check() timeout for the threaded backend runs on the test's own thread; the sim backend uses virtual_deadline below"
         let wall_deadline = Instant::now() + self.timeout;
         let virtual_deadline = match &self.backend {
             Backend::Sim(sim) => sim
@@ -723,12 +724,14 @@ impl<C: ComponentDefinition> TestContext<C> {
             }
             match &self.backend {
                 Backend::Threaded(_) => {
+                    // komlint: allow(wall-clock) reason="pairs with wall_deadline above"
                     if Instant::now() > wall_deadline {
                         return Err(SpecError::Timeout {
                             expected: run.expected(),
                             log: self.log.lock().clone(),
                         });
                     }
+                    // komlint: allow(blocking-sleep) reason="poll backoff on the test thread while the threaded scheduler runs"
                     std::thread::sleep(Duration::from_micros(500));
                 }
                 Backend::Sim(sim) => {

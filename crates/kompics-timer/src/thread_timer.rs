@@ -108,6 +108,7 @@ impl ThreadTimer {
             let mut state = self.shared.state.lock();
             state.cancelled.remove(&id);
             state.heap.push(Reverse(Entry {
+                // komlint: allow(wall-clock) reason="ThreadTimer IS the real-time timer implementation; simulation swaps in SimTimer"
                 deadline: Instant::now() + delay,
                 id,
                 event,
@@ -151,6 +152,7 @@ fn timer_loop(shared: Arc<Shared>, port: PortRef<Timer>) {
                         shared.cv.wait(&mut state);
                     }
                     Some(Reverse(next)) => {
+                        // komlint: allow(wall-clock) reason="expiry check on the dedicated timer thread of the real-time timer"
                         let now = Instant::now();
                         if next.deadline <= now {
                             break Some(state.heap.pop().expect("peeked").0);
@@ -171,6 +173,7 @@ fn timer_loop(shared: Arc<Shared>, port: PortRef<Timer>) {
             if let Some(period) = entry.period {
                 let mut state = shared.state.lock();
                 state.heap.push(Reverse(Entry {
+                    // komlint: allow(wall-clock) reason="periodic re-arm on the dedicated timer thread of the real-time timer"
                     deadline: Instant::now() + period,
                     id: entry.id,
                     event: entry.event,

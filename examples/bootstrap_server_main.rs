@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bootstrap server on {addr}; node list at http://127.0.0.1:{http_port}/");
     println!("press ctrl-c to stop");
     loop {
+        // komlint: allow(blocking-sleep) reason="parks the binary's main thread forever while component threads serve"
         std::thread::sleep(Duration::from_secs(3600));
     }
 }

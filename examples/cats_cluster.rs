@@ -38,6 +38,7 @@ fn main() {
     let timeout = Duration::from_secs(5);
     let value = vec![7u8; 1024]; // 1 KiB values, as in the paper's evaluation
 
+    // komlint: allow(wall-clock) reason="the example's whole point is measuring real end-to-end throughput"
     let started = Instant::now();
     const OPS: u64 = 200;
     for i in 0..OPS {
@@ -60,6 +61,7 @@ fn main() {
 
     println!("crashing node 300...");
     cluster.kill_node(300);
+    // komlint: allow(blocking-sleep) reason="gives failure detectors real time to notice the crash; main thread of an interactive example"
     std::thread::sleep(Duration::from_millis(800));
     let mut recovered = 0;
     for i in 0..OPS {

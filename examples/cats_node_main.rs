@@ -101,14 +101,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     glue.on_definition(|g| g.bootstrap.trigger(BootstrapRequest))?;
 
     // Wait for the seed list, then join the ring.
+    // komlint: allow(wall-clock) reason="interactive deployment binary waiting on a real bootstrap server from its main thread"
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
     let seed_list = loop {
         if let Some(list) = seeds.lock().clone() {
             break list;
         }
+        // komlint: allow(wall-clock) reason="pairs with the bootstrap deadline above"
         if std::time::Instant::now() > deadline {
             return Err("bootstrap server did not answer".into());
         }
+        // komlint: allow(blocking-sleep) reason="poll backoff on the binary's main thread"
         std::thread::sleep(Duration::from_millis(50));
     };
     println!("joining via {} seed(s)", seed_list.len());
@@ -139,6 +142,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("web interface at http://127.0.0.1:{http_port}/status");
     println!("press ctrl-c to stop");
     loop {
+        // komlint: allow(blocking-sleep) reason="parks the binary's main thread forever while component threads serve"
         std::thread::sleep(Duration::from_secs(3600));
     }
 }

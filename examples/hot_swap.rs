@@ -100,6 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const TOTAL: u64 = 100_000;
     let feeder = {
         let producer = producer.clone();
+        // komlint: allow(thread-spawn) reason="example load generator feeding the producer from outside the system, like a real client would"
         std::thread::spawn(move || {
             for chunk in 0..(TOTAL / 1_000) {
                 producer
@@ -113,6 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
     };
 
+    // komlint: allow(blocking-sleep) reason="lets the feeder get mid-stream before swapping; main thread of an interactive example"
     std::thread::sleep(std::time::Duration::from_millis(3));
     println!("hot-swapping the consumer mid-stream...");
     let new = system.create({

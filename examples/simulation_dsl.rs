@@ -60,6 +60,7 @@ fn run(seed: u64) -> (u64, u64, u64, Duration, Duration) {
         let _ = port.trigger(ExperimentOp(op));
     });
 
+    // komlint: allow(wall-clock) reason="measures real elapsed time to demonstrate the paper's time-compression ratio; never feeds back into the simulation"
     let wall = Instant::now();
     while !handle.is_completed() && sim.step() {}
     sim.run_for(Duration::from_secs(10)); // drain in-flight operations

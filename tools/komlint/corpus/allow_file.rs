@@ -1,0 +1,10 @@
+// komlint: allow-file(wall-clock) reason="this file IS the wall-clock boundary shim"
+use std::time::Instant;
+
+pub fn first() -> Instant {
+    Instant::now()
+}
+
+pub fn second() -> Instant {
+    Instant::now()
+}

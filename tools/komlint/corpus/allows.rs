@@ -1,0 +1,17 @@
+use std::time::Instant;
+
+pub fn good() -> Instant {
+    // komlint: allow(wall-clock) reason="corpus fixture demonstrating a justified allow"
+    Instant::now()
+}
+
+pub fn bad() -> Instant {
+    // komlint: allow(wall-clock)
+    Instant::now()
+}
+
+// komlint: allow(blocking-sleep) reason="nothing below actually sleeps"
+pub fn idle() {}
+
+// komlint: allow(no-such-rule) reason="rule id has a typo"
+pub fn other() {}

@@ -1,0 +1,9 @@
+use rand::Rng;
+
+pub fn roll() -> u8 {
+    rand::thread_rng().gen_range(1..=6)
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

@@ -1,0 +1,17 @@
+use std::sync::mpsc::Receiver;
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}
+
+pub fn wait(rx: &Receiver<u32>) -> u32 {
+    rx.recv().unwrap()
+}
+
+pub fn wait_some(rx: &Receiver<u32>) -> Option<u32> {
+    rx.recv_timeout(std::time::Duration::from_secs(1)).ok()
+}
+
+pub fn escape() {
+    std::thread::spawn(|| {});
+}

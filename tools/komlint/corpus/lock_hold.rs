@@ -1,0 +1,10 @@
+use parking_lot::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u32>>) {
+    let mut guard = m.lock();
+    guard.clear();
+}
+
+pub fn peek(m: &Mutex<Vec<u32>>) -> usize {
+    m.lock().len()
+}

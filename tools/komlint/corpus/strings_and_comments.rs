@@ -1,0 +1,7 @@
+// Instant::now() in a line comment must not match.
+/* thread::sleep(...) in a block comment must not match either. */
+pub fn literals() -> (&'static str, &'static str, char) {
+    let plain = "Instant::now() and rand::random()";
+    let raw = r#"thread_rng() plus .recv() and "thread::spawn(""#;
+    (plain, raw, 'r')
+}

@@ -1,0 +1,9 @@
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed(start: Instant) -> u128 {
+    Instant::now().duration_since(start).as_millis()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

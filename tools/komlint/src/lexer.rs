@@ -1,0 +1,274 @@
+//! A minimal Rust lexer: just enough to separate *code* from *comments and
+//! literals* so the rule engine never matches a pattern inside a string,
+//! char literal or comment, and so allow-directives can be read back out of
+//! the comments.
+//!
+//! The scrubbed code keeps its column alignment with the original source:
+//! every consumed comment/literal character is replaced by a space, so a
+//! match offset in [`Line::code`] is the column in the file.
+
+/// One source line after scrubbing.
+pub struct Line {
+    /// Code with comments and string/char-literal *contents* blanked out
+    /// (same length and column positions as the original line).
+    pub code: String,
+    /// Text of every comment that starts or continues on this line.
+    pub comments: Vec<String>,
+}
+
+impl Line {
+    /// True when the line has any code besides whitespace.
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+}
+
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+/// Splits `source` into scrubbed [`Line`]s.
+pub fn scrub(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comments: Vec<String> = Vec::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match state {
+                State::LineComment => {
+                    comments.push(std::mem::take(&mut comment));
+                    state = State::Normal;
+                }
+                State::BlockComment(_) => {
+                    if !comment.trim().is_empty() {
+                        comments.push(std::mem::take(&mut comment));
+                    }
+                    comment.clear();
+                }
+                _ => {}
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comments: std::mem::take(&mut comments),
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    code.push_str("  ");
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    code.push_str("  ");
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if (c == 'r' || (c == 'b' && next == Some('r')))
+                    && !code
+                        .chars()
+                        .last()
+                        .is_some_and(|p| p.is_alphanumeric() || p == '_')
+                {
+                    // Possible raw-string prefix: r"…", r#"…"#, br"…".
+                    let mut j = i + if c == 'b' { 2 } else { 1 };
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            code.push(' ');
+                        }
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal ('x', '\n') or lifetime ('a).
+                    if next == Some('\\') {
+                        code.push('\'');
+                        state = State::CharLit;
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                        code.push_str("' '");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    code.push_str("  ");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    code.push_str("  ");
+                    if depth == 1 {
+                        if !comment.trim().is_empty() {
+                            comments.push(std::mem::take(&mut comment));
+                        }
+                        comment.clear();
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                let next = chars.get(i + 1).copied();
+                if c == '\\' && (next == Some('"') || next == Some('\\')) {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                let next = chars.get(i + 1).copied();
+                if c == '\\' && (next == Some('\'') || next == Some('\\')) {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if let State::LineComment = state {
+        comments.push(comment);
+    } else if !comment.trim().is_empty() {
+        comments.push(comment);
+    }
+    if !code.is_empty() || !comments.is_empty() {
+        lines.push(Line { code, comments });
+    }
+    lines
+}
+
+/// Marks each line that falls inside a `#[cfg(test)]` item body (the
+/// `mod tests { … }` block). Test code may use wall clocks and sleeps
+/// freely; the rules skip these lines.
+pub fn test_block_mask(lines: &[Line]) -> Vec<bool> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Normal,
+        /// Saw `#[cfg(test)]`; waiting for the item's `{` (a `;` first
+        /// means the attribute decorated a block-less item — cancel).
+        Seeking,
+        Skipping(u32),
+    }
+    let mut mode = Mode::Normal;
+    let mut mask = vec![false; lines.len()];
+    for (idx, line) in lines.iter().enumerate() {
+        let mut rest: &str = &line.code;
+        loop {
+            match mode {
+                Mode::Normal => {
+                    if let Some(pos) = rest.find("#[cfg(test)]") {
+                        rest = &rest[pos + "#[cfg(test)]".len()..];
+                        mode = Mode::Seeking;
+                    } else {
+                        break;
+                    }
+                }
+                Mode::Seeking => {
+                    let brace = rest.find('{');
+                    let semi = rest.find(';');
+                    match (brace, semi) {
+                        (Some(b), s) if s.is_none_or(|s| b < s) => {
+                            rest = &rest[b + 1..];
+                            mode = Mode::Skipping(1);
+                            mask[idx] = true;
+                        }
+                        (_, Some(s)) => {
+                            rest = &rest[s + 1..];
+                            mode = Mode::Normal;
+                        }
+                        _ => break,
+                    }
+                }
+                Mode::Skipping(ref mut depth) => {
+                    mask[idx] = true;
+                    let mut advanced = None;
+                    for (pos, ch) in rest.char_indices() {
+                        if ch == '{' {
+                            *depth += 1;
+                        } else if ch == '}' {
+                            *depth -= 1;
+                            if *depth == 0 {
+                                advanced = Some(pos + 1);
+                                break;
+                            }
+                        }
+                    }
+                    match advanced {
+                        Some(pos) => {
+                            rest = &rest[pos..];
+                            mode = Mode::Normal;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    mask
+}

@@ -1,0 +1,268 @@
+//! komlint — determinism source lints for kompics component code.
+//!
+//! Scans the workspace's Rust sources for patterns that break the simulation
+//! contract (deterministic replay of a whole system from a seed): ambient
+//! wall-clock reads, ambient randomness, blocking calls on scheduler
+//! workers, raw thread spawns, and lock guards held across handler scopes.
+//!
+//! Suppressions are explicit and audited:
+//!
+//! ```text
+//! // komlint: allow(wall-clock) reason="explains why this one is safe"
+//! // komlint: allow-file(blocking-sleep) reason="whole file is a test harness"
+//! ```
+//!
+//! A directive without a `reason` or one that no longer suppresses anything
+//! is itself a finding, so the allowlist cannot rot.
+//!
+//! Usage: `cargo run -p komlint -- [--deny] [--json] [paths…]`
+//! (default paths: `crates`, `examples`, `src`). `--deny` exits non-zero
+//! when anything is found — that is what CI runs.
+
+mod lexer;
+mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{check_file, Diagnostic};
+
+/// Directory names never descended into: build output, vendored shims, the
+/// linter itself (its corpus is intentionally full of violations), test
+/// trees and benchmark harnesses (both measure wall time legitimately).
+const SKIP_DIRS: &[&str] = &[
+    ".git",
+    "target",
+    "third_party",
+    "tools",
+    "corpus",
+    "tests",
+    "bench",
+    "benches",
+];
+
+/// Component-code path prefixes: rules marked `component_only` (the
+/// handler-discipline heuristics) apply only here, not to runtime
+/// internals that manage their own threads and locks.
+const COMPONENT_CODE: &[&str] = &["crates/cats", "crates/kompics-protocols", "examples"];
+
+fn main() {
+    let mut deny = false;
+    let mut json = false;
+    let mut roots: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: komlint [--deny] [--json] [paths...]");
+                return;
+            }
+            other => roots.push(other.to_string()),
+        }
+    }
+    if roots.is_empty() {
+        roots = vec!["crates".into(), "examples".into(), "src".into()];
+    }
+
+    let mut files = Vec::new();
+    for root in &roots {
+        collect_rust_files(Path::new(root), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let Ok(source) = fs::read_to_string(file) else {
+            eprintln!("komlint: cannot read {}", file.display());
+            continue;
+        };
+        let path = normalize(file);
+        let component_code = COMPONENT_CODE
+            .iter()
+            .any(|prefix| path.starts_with(prefix));
+        findings.extend(check_file(&path, &source, component_code));
+    }
+
+    if json {
+        println!("{}", to_json(&findings, files.len()));
+    } else {
+        for d in &findings {
+            println!("{}:{}:{}: {}: {}", d.path, d.line, d.col, d.rule, d.message);
+            println!("  hint: {}", d.hint);
+        }
+        println!(
+            "komlint: {} finding(s) in {} file(s) scanned",
+            findings.len(),
+            files.len()
+        );
+    }
+    if deny && !findings.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn collect_rust_files(path: &Path, out: &mut Vec<PathBuf>) {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = fs::read_dir(path) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            let name = child.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rust_files(&child, out);
+        } else if child.extension().is_some_and(|e| e == "rs") {
+            out.push(child);
+        }
+    }
+}
+
+fn normalize(path: &Path) -> String {
+    path.to_string_lossy().replace('\\', "/")
+}
+
+fn to_json(findings: &[Diagnostic], files_scanned: usize) -> String {
+    let mut s = String::from("{\"files_scanned\":");
+    s.push_str(&files_scanned.to_string());
+    s.push_str(",\"findings\":[");
+    for (i, d) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            json_str(&d.path),
+            d.line,
+            d.col,
+            json_str(d.rule),
+            json_str(&d.message),
+            json_str(d.hint)
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rules::check_file;
+    use super::to_json;
+
+    fn corpus(name: &str) -> String {
+        let path = format!("{}/corpus/{}", env!("CARGO_MANIFEST_DIR"), name);
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    }
+
+    fn rules_hit(name: &str, component_code: bool) -> Vec<(&'static str, usize)> {
+        check_file(name, &corpus(name), component_code)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_corpus() {
+        assert_eq!(
+            rules_hit("wall_clock.rs", false),
+            vec![("wall-clock", 4), ("wall-clock", 8)]
+        );
+    }
+
+    #[test]
+    fn ambient_rng_corpus() {
+        assert_eq!(
+            rules_hit("ambient_rng.rs", false),
+            vec![("ambient-rng", 4), ("ambient-rng", 8)]
+        );
+    }
+
+    #[test]
+    fn blocking_corpus() {
+        assert_eq!(
+            rules_hit("blocking.rs", false),
+            vec![
+                ("blocking-sleep", 4),
+                ("blocking-recv", 8),
+                ("blocking-recv", 12),
+                ("thread-spawn", 16)
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_hold_only_flags_component_code() {
+        assert_eq!(rules_hit("lock_hold.rs", true), vec![("lock-hold", 4)]);
+        assert_eq!(rules_hit("lock_hold.rs", false), Vec::new());
+    }
+
+    #[test]
+    fn allow_directives_suppress_and_are_audited() {
+        // A reason-less allow still suppresses (line 10 stays quiet) but is
+        // flagged itself, so `--deny` fails until the reason is written.
+        assert_eq!(
+            rules_hit("allows.rs", false),
+            vec![
+                ("missing-reason", 9),
+                ("unused-allow", 13),
+                ("unknown-rule", 16)
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_file_covers_whole_file() {
+        assert_eq!(rules_hit("allow_file.rs", false), Vec::new());
+    }
+
+    #[test]
+    fn strings_and_comments_never_match() {
+        assert_eq!(rules_hit("strings_and_comments.rs", false), Vec::new());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        assert_eq!(rules_hit("cfg_test.rs", false), vec![("wall-clock", 4)]);
+    }
+
+    #[test]
+    fn try_recv_is_not_blocking_recv() {
+        let src = "fn f(rx: &R) { while let Ok(x) = rx.try_recv() { drop(x); } }\n";
+        assert!(check_file("x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let findings = check_file("j.rs", "fn f() { let t = Instant::now(); }\n", false);
+        let json = to_json(&findings, 1);
+        assert!(json.starts_with("{\"files_scanned\":1,"));
+        assert!(json.contains("\"rule\":\"wall-clock\""));
+        assert!(json.contains("\"line\":1"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Rule catalog, allow-directive handling and the per-file check driver.
+
+use crate::lexer::{scrub, test_block_mask, Line};
+
+/// How a rule recognizes a violation on a scrubbed code line.
+pub enum Matcher {
+    /// Any of these substrings appearing in the code.
+    Substring(&'static [&'static str]),
+    /// A `let` binding whose right-hand side *ends* with a lock acquisition
+    /// (`….lock();`), i.e. the guard is bound to a variable and held for the
+    /// rest of the scope instead of scoped to one expression.
+    LockHold,
+}
+
+/// A determinism lint rule.
+pub struct Rule {
+    /// Stable id used in diagnostics and `allow(...)` directives.
+    pub id: &'static str,
+    pub matcher: Matcher,
+    pub message: &'static str,
+    /// Fix-it guidance appended to human-readable diagnostics.
+    pub hint: &'static str,
+    /// When true the rule only applies to component-code crates
+    /// (`cats`, `kompics-protocols`, `examples`), not runtime internals.
+    pub component_only: bool,
+}
+
+/// Every rule komlint knows about, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        matcher: Matcher::Substring(&["Instant::now(", "SystemTime::now("]),
+        message: "ambient wall-clock read",
+        hint: "inject a ClockRef (kompics_core::clock) or accept the time source as a \
+               constructor argument so simulation can virtualize time",
+        component_only: false,
+    },
+    Rule {
+        id: "ambient-rng",
+        matcher: Matcher::Substring(&["thread_rng(", "rand::random"]),
+        message: "ambient randomness",
+        hint: "a thread-seeded RNG breaks deterministic replay; take an explicit seed \
+               (e.g. SmallRng::seed_from_u64) from configuration",
+        component_only: false,
+    },
+    Rule {
+        id: "blocking-sleep",
+        matcher: Matcher::Substring(&["thread::sleep("]),
+        message: "blocking sleep",
+        hint: "handlers must not block a scheduler worker; use a timer port \
+               (kompics-timer) or simulated time instead",
+        component_only: false,
+    },
+    Rule {
+        id: "blocking-recv",
+        matcher: Matcher::Substring(&[".recv()", ".recv_timeout("]),
+        message: "blocking channel receive",
+        hint: "blocking a worker on a channel can deadlock the scheduler; subscribe a \
+               handler for the reply event instead",
+        component_only: false,
+    },
+    Rule {
+        id: "thread-spawn",
+        matcher: Matcher::Substring(&["thread::spawn("]),
+        message: "raw thread spawn",
+        hint: "raw threads escape supervision and deterministic replay; create a \
+               component on the scheduler instead",
+        component_only: false,
+    },
+    Rule {
+        id: "lock-hold",
+        matcher: Matcher::LockHold,
+        message: "lock guard bound to a variable and held across the enclosing scope",
+        hint: "scope the guard to a single expression (`state.lock().field`) or move \
+               the shared state into a component and message it",
+        component_only: true,
+    },
+];
+
+/// One reported problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the match.
+    pub col: usize,
+    pub rule: &'static str,
+    pub message: String,
+    pub hint: &'static str,
+}
+
+struct Directive {
+    rule: String,
+    file_scope: bool,
+    /// 0-based line of the directive comment.
+    at: usize,
+    /// 0-based line whose findings it suppresses (first code line at or
+    /// after the comment); `None` for file scope or trailing-edge comments.
+    target: Option<usize>,
+    has_reason: bool,
+    used: bool,
+}
+
+/// Parses `komlint: allow(rule) reason="…"` / `komlint: allow-file(rule)
+/// reason="…"` out of a comment.
+fn parse_directive(comment: &str, at: usize) -> Option<Directive> {
+    let rest = comment.trim().strip_prefix("komlint:")?.trim_start();
+    let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = &rest[close + 1..];
+    let has_reason = tail
+        .find("reason=\"")
+        .map(|p| p + "reason=\"".len())
+        .is_some_and(|start| tail[start..].find('"').is_some_and(|len| len > 0));
+    Some(Directive {
+        rule,
+        file_scope,
+        at,
+        target: None,
+        has_reason,
+        used: false,
+    })
+}
+
+fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Runs every applicable rule over one file.
+///
+/// `component_code` selects whether `component_only` rules apply —
+/// decided by the caller from the file's path.
+pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnostic> {
+    let lines = scrub(source);
+    let in_test = test_block_mask(&lines);
+    let mut directives = collect_directives(&lines);
+    let mut out = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || !line.has_code() {
+            continue;
+        }
+        for rule in RULES {
+            if rule.component_only && !component_code {
+                continue;
+            }
+            for col in match_rule(rule, &line.code) {
+                if suppressed(&mut directives, rule.id, idx) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    col: col + 1,
+                    rule: rule.id,
+                    message: rule.message.to_string(),
+                    hint: rule.hint,
+                });
+            }
+        }
+    }
+
+    // Directive hygiene: every allow needs a reason and must suppress
+    // something, or it is itself a finding.
+    for d in &directives {
+        if !known_rule(&d.rule) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: d.at + 1,
+                col: 1,
+                rule: "unknown-rule",
+                message: format!("allow directive names unknown rule `{}`", d.rule),
+                hint: "valid rules: wall-clock, ambient-rng, blocking-sleep, \
+                       blocking-recv, thread-spawn, lock-hold",
+            });
+            continue;
+        }
+        if !d.has_reason {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: d.at + 1,
+                col: 1,
+                rule: "missing-reason",
+                message: format!(
+                    "allow({}) directive has no reason=\"...\" justification",
+                    d.rule
+                ),
+                hint: "every suppression must explain why the pattern is safe here",
+            });
+        }
+        if !d.used {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: d.at + 1,
+                col: 1,
+                rule: "unused-allow",
+                message: format!("allow({}) directive suppresses nothing", d.rule),
+                hint: "remove the stale directive (the code it excused has moved or \
+                       been fixed)",
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn collect_directives(lines: &[Line]) -> Vec<Directive> {
+    let mut directives = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        for comment in &line.comments {
+            if let Some(mut d) = parse_directive(comment, idx) {
+                if !d.file_scope {
+                    // Trailing comment covers its own line; a comment-only
+                    // line covers the next line that has code.
+                    d.target = if line.has_code() {
+                        Some(idx)
+                    } else {
+                        (idx + 1..lines.len()).find(|&j| lines[j].has_code())
+                    };
+                }
+                directives.push(d);
+            }
+        }
+    }
+    directives
+}
+
+fn suppressed(directives: &mut [Directive], rule: &str, line: usize) -> bool {
+    // Line-scoped allows take precedence so a file-scoped one is not
+    // spuriously marked used.
+    if let Some(d) = directives
+        .iter_mut()
+        .find(|d| !d.file_scope && d.rule == rule && d.target == Some(line))
+    {
+        d.used = true;
+        return true;
+    }
+    if let Some(d) = directives
+        .iter_mut()
+        .find(|d| d.file_scope && d.rule == rule)
+    {
+        d.used = true;
+        return true;
+    }
+    false
+}
+
+/// Returns the 0-based columns where `rule` matches `code`.
+fn match_rule(rule: &Rule, code: &str) -> Vec<usize> {
+    match rule.matcher {
+        Matcher::Substring(patterns) => {
+            let mut cols = Vec::new();
+            for pat in patterns {
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(pat) {
+                    cols.push(from + pos);
+                    from += pos + pat.len();
+                }
+            }
+            cols.sort_unstable();
+            cols
+        }
+        Matcher::LockHold => {
+            let trimmed = trim_trailing(code);
+            let stmt = trimmed.strip_suffix(';').unwrap_or(trimmed);
+            let is_let = stmt.trim_start().starts_with("let ");
+            if is_let && stmt.ends_with(".lock()") {
+                vec![code.find("let ").unwrap_or(0)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+fn trim_trailing(code: &str) -> &str {
+    code.trim_end()
+}
