@@ -1,6 +1,9 @@
 //! Criterion micro-benchmarks backing the experiments (B1–B4 in
 //! DESIGN.md §5): event trigger/dispatch throughput, channel-chain
-//! forwarding, keyed fan-out, codec round-trips, and RLE compression.
+//! forwarding, keyed fan-out, codec round-trips, and RLE compression —
+//! plus the hot-path scheduler benches (DESIGN.md §11): ping-pong hop
+//! latency, N-producer fan-in, and the E3 batch-vs-single steal ablation
+//! at 1/2/4/8 workers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,7 +38,11 @@ impl Sink {
         input.subscribe(|this: &mut Sink, _t: &Tick| {
             this.seen.fetch_add(1, Ordering::Relaxed);
         });
-        Sink { ctx: ComponentContext::new(), input, seen }
+        Sink {
+            ctx: ComponentContext::new(),
+            input,
+            seen,
+        }
     }
 }
 impl ComponentDefinition for Sink {
@@ -62,7 +69,11 @@ impl Relay {
         input.subscribe(|this: &mut Relay, t: &Tick| {
             this.output.trigger(Tick(t.0));
         });
-        Relay { ctx: ComponentContext::new(), input, output }
+        Relay {
+            ctx: ComponentContext::new(),
+            input,
+            output,
+        }
     }
 }
 impl ComponentDefinition for Relay {
@@ -112,7 +123,11 @@ impl Server {
         input.subscribe(|this: &mut Server, _t: &Tick| {
             this.seen.fetch_add(1, Ordering::Relaxed);
         });
-        Server { ctx: ComponentContext::new(), input, seen }
+        Server {
+            ctx: ComponentContext::new(),
+            input,
+            seen,
+        }
     }
 }
 impl ComponentDefinition for Server {
@@ -130,8 +145,7 @@ fn bench_channel_chain(c: &mut Criterion) {
     // the terminal server; each hop is one channel forward plus one handler
     // execution.
     for depth in [1usize, 4, 16] {
-        let (system, scheduler) =
-            KompicsSystem::sequential(Config::default().throughput(64));
+        let (system, scheduler) = KompicsSystem::sequential(Config::default().throughput(64));
         let seen = Arc::new(AtomicU64::new(0));
         let server = system.create({
             let s = seen.clone();
@@ -154,7 +168,10 @@ fn bench_channel_chain(c: &mut Criterion) {
                 scheduler.run_until_quiescent();
             })
         });
-        assert!(seen.load(Ordering::Relaxed) > 0, "requests reached the server");
+        assert!(
+            seen.load(Ordering::Relaxed) > 0,
+            "requests reached the server"
+        );
         system.shutdown();
     }
     group.finish();
@@ -173,7 +190,10 @@ impl Echo {
         input.subscribe(|this: &mut Echo, t: &Tick| {
             this.input.trigger(Tick(t.0));
         });
-        Echo { ctx: ComponentContext::new(), input }
+        Echo {
+            ctx: ComponentContext::new(),
+            input,
+        }
     }
 }
 impl ComponentDefinition for Echo {
@@ -190,8 +210,7 @@ fn bench_keyed_fanout(c: &mut Criterion) {
     // One provider port with N keyed channels: keyed dispatch should stay
     // ~O(1) in the number of channels.
     for channels in [4usize, 64, 512] {
-        let (system, scheduler) =
-            KompicsSystem::sequential(Config::default().throughput(64));
+        let (system, scheduler) = KompicsSystem::sequential(Config::default().throughput(64));
         let hub = system.create(Echo::new);
         system.start(&hub);
         let provided = hub.provided_ref::<Pipe>().unwrap();
@@ -209,8 +228,7 @@ fn bench_keyed_fanout(c: &mut Criterion) {
                 move || Sink::new(s)
             });
             system.start(&sink);
-            connect_keyed(&provided, &sink.required_ref::<Pipe>().unwrap(), key as u64)
-                .unwrap();
+            connect_keyed(&provided, &sink.required_ref::<Pipe>().unwrap(), key as u64).unwrap();
             sinks.push(sink);
         }
         scheduler.run_until_quiescent();
@@ -225,6 +243,228 @@ fn bench_keyed_fanout(c: &mut Criterion) {
             })
         });
         system.shutdown();
+    }
+    group.finish();
+}
+
+/// Ping-pong player for the threaded scheduler benches: returns the event
+/// (decremented) until it reaches zero, then bumps `done`.
+struct Player {
+    ctx: ComponentContext,
+    #[allow(dead_code)]
+    input: ProvidedPort<Pipe>,
+    #[allow(dead_code)]
+    output: RequiredPort<Pipe>,
+    done: Arc<AtomicU64>,
+}
+impl Player {
+    fn new(done: Arc<AtomicU64>) -> Self {
+        let input: ProvidedPort<Pipe> = ProvidedPort::new();
+        let output: RequiredPort<Pipe> = RequiredPort::new();
+        input.subscribe(|this: &mut Player, t: &Tick| {
+            if t.0 == 0 {
+                this.done.fetch_add(1, Ordering::Release);
+            } else {
+                this.output.trigger(Tick(t.0 - 1));
+            }
+        });
+        Player {
+            ctx: ComponentContext::new(),
+            input,
+            output,
+            done,
+        }
+    }
+}
+impl ComponentDefinition for Player {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Player"
+    }
+}
+
+/// Fans every received tick out to all connected sinks (E3 topology).
+struct Splitter {
+    ctx: ComponentContext,
+    #[allow(dead_code)]
+    input: ProvidedPort<Pipe>,
+    #[allow(dead_code)]
+    output: RequiredPort<Pipe>,
+}
+impl Splitter {
+    fn new() -> Self {
+        let input: ProvidedPort<Pipe> = ProvidedPort::new();
+        let output: RequiredPort<Pipe> = RequiredPort::new();
+        input.subscribe(|this: &mut Splitter, t: &Tick| {
+            this.output.trigger(Tick(t.0));
+        });
+        Splitter {
+            ctx: ComponentContext::new(),
+            input,
+            output,
+        }
+    }
+}
+impl ComponentDefinition for Splitter {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Splitter"
+    }
+}
+
+fn spin_until(counter: &AtomicU64, target: u64) {
+    while counter.load(Ordering::Acquire) < target {
+        std::hint::spin_loop();
+    }
+}
+
+/// Scheduler ping-pong: one event bounced between two components on the
+/// work-stealing scheduler. Every hop crosses the trigger→enqueue→wakeup→
+/// execute pipeline, so this is the end-to-end latency of the lock-free
+/// dispatch path plus the precise sleeper protocol.
+fn bench_scheduler_pingpong(c: &mut Criterion) {
+    const HOPS: u64 = 1_000;
+    let mut group = c.benchmark_group("scheduler_pingpong");
+    group.throughput(Throughput::Elements(HOPS));
+    for workers in [1usize, 2] {
+        let system = KompicsSystem::new(Config::default().workers(workers).throughput(1));
+        let done = Arc::new(AtomicU64::new(0));
+        let a = system.create({
+            let d = done.clone();
+            move || Player::new(d)
+        });
+        let b2 = system.create({
+            let d = done.clone();
+            move || Player::new(d)
+        });
+        connect(
+            &a.provided_ref::<Pipe>().unwrap(),
+            &b2.required_ref::<Pipe>().unwrap(),
+        )
+        .unwrap();
+        connect(
+            &b2.provided_ref::<Pipe>().unwrap(),
+            &a.required_ref::<Pipe>().unwrap(),
+        )
+        .unwrap();
+        system.start(&a);
+        system.start(&b2);
+        system.await_quiescence();
+        let port = a.provided_ref::<Pipe>().unwrap();
+        let mut finished = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(workers), |b| {
+            b.iter(|| {
+                port.trigger(Tick(HOPS)).unwrap();
+                finished += 1;
+                spin_until(&done, finished);
+            })
+        });
+        system.shutdown();
+    }
+    group.finish();
+}
+
+/// N external producer threads hammer one sink component: contended
+/// enqueue (pending-counter increments + queue pushes) plus the scheduler
+/// handoff on every burst.
+fn bench_scheduler_fanin(c: &mut Criterion) {
+    const PER_PRODUCER: u64 = 250;
+    let mut group = c.benchmark_group("scheduler_fanin");
+    for producers in [1usize, 4] {
+        let total = PER_PRODUCER * producers as u64;
+        group.throughput(Throughput::Elements(total));
+        let system = KompicsSystem::new(Config::default().workers(2).throughput(64));
+        let seen = Arc::new(AtomicU64::new(0));
+        let sink = system.create({
+            let s = seen.clone();
+            move || Sink::new(s)
+        });
+        system.start(&sink);
+        system.await_quiescence();
+        let mut delivered = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(producers), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..producers)
+                    .map(|_| {
+                        let port = sink.required_ref::<Pipe>().unwrap();
+                        std::thread::spawn(move || {
+                            for i in 0..PER_PRODUCER {
+                                port.trigger(Tick(i)).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                delivered += total;
+                spin_until(&seen, delivered);
+            })
+        });
+        system.shutdown();
+    }
+    group.finish();
+}
+
+/// E3 ablation (batch vs single steal) at 1/2/4/8 workers: a splitter fans
+/// each round out to 64 sinks from a worker thread, so the ready sinks land
+/// on that worker's local deque and siblings must steal them — the access
+/// pattern where the steal-batch policy matters. The standalone
+/// `dispatch_bench` binary runs the full-size version; this criterion group
+/// tracks the same shape with statistics.
+fn bench_e3_ablation(c: &mut Criterion) {
+    const COMPONENTS: usize = 64;
+    const ROUNDS: u64 = 8;
+    let mut group = c.benchmark_group("e3_steal_ablation");
+    group.throughput(Throughput::Elements(COMPONENTS as u64 * ROUNDS));
+    for workers in [1usize, 2, 4, 8] {
+        for steal_batch in [true, false] {
+            let system = KompicsSystem::new(
+                Config::default()
+                    .workers(workers)
+                    .throughput(16)
+                    .steal_batch(steal_batch),
+            );
+            let seen = Arc::new(AtomicU64::new(0));
+            let splitter = system.create(Splitter::new);
+            system.start(&splitter);
+            let fan_out = splitter.required_ref::<Pipe>().unwrap();
+            let mut sinks = Vec::new();
+            for _ in 0..COMPONENTS {
+                // `Server` counts requests on its provided port — the
+                // receiving end of the splitter's required-port fan-out.
+                let sink = system.create({
+                    let s = seen.clone();
+                    move || Server::new(s)
+                });
+                system.start(&sink);
+                connect(&sink.provided_ref::<Pipe>().unwrap(), &fan_out).unwrap();
+                sinks.push(sink);
+            }
+            system.await_quiescence();
+            let inlet = splitter.provided_ref::<Pipe>().unwrap();
+            let mut delivered = seen.load(Ordering::Acquire);
+            group.bench_function(
+                BenchmarkId::new(
+                    format!("w{workers}"),
+                    if steal_batch { "batch" } else { "single" },
+                ),
+                |b| {
+                    b.iter(|| {
+                        for round in 0..ROUNDS {
+                            inlet.trigger(Tick(round)).unwrap();
+                        }
+                        delivered += COMPONENTS as u64 * ROUNDS;
+                        spin_until(&seen, delivered);
+                    })
+                },
+            );
+            system.shutdown();
+        }
     }
     group.finish();
 }
@@ -262,6 +502,8 @@ fn bench_codec(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_dispatch, bench_channel_chain, bench_keyed_fanout, bench_codec
+    targets = bench_dispatch, bench_channel_chain, bench_keyed_fanout,
+        bench_scheduler_pingpong, bench_scheduler_fanin, bench_e3_ablation,
+        bench_codec
 }
 criterion_main!(benches);

@@ -58,7 +58,11 @@ impl Client {
                 let _ = tx.send(false);
             }
         });
-        Client { ctx: ComponentContext::new(), put_get, pending }
+        Client {
+            ctx: ComponentContext::new(),
+            put_get,
+            pending,
+        }
     }
 }
 impl ComponentDefinition for Client {
@@ -89,13 +93,23 @@ fn main() {
 
     let config = CatsConfig {
         replication: Some(replication),
-        ring: RingConfig { stabilize_period: Duration::from_millis(50), ..RingConfig::default() },
+        ring: RingConfig {
+            stabilize_period: Duration::from_millis(50),
+            ..RingConfig::default()
+        },
         fd: FdConfig {
             initial_delay: Duration::from_millis(300),
             delta: Duration::from_millis(150),
         },
-        cyclon: CyclonConfig { period: Duration::from_millis(100), ..CyclonConfig::default() },
-        abd: AbdConfig { op_timeout: Duration::from_secs(1), max_retries: 5, ..AbdConfig::default() },
+        cyclon: CyclonConfig {
+            period: Duration::from_millis(100),
+            ..CyclonConfig::default()
+        },
+        abd: AbdConfig {
+            op_timeout: Duration::from_secs(1),
+            max_retries: 5,
+            ..AbdConfig::default()
+        },
     };
     let system = KompicsSystem::new(Config::default());
     let registry = registry();
@@ -108,8 +122,7 @@ fn main() {
 
     let mut nodes: Vec<(Component<CatsNode>, PortRef<PutGet>, Address)> = Vec::new();
     for i in 0..NODES {
-        let (addr, listener) =
-            TcpNetwork::bind(Address::local(0, (i as u64 + 1) * 100)).unwrap();
+        let (addr, listener) = TcpNetwork::bind(Address::local(0, (i as u64 + 1) * 100)).unwrap();
         let tcp = system.create({
             let r = Arc::clone(&registry);
             move || TcpNetwork::new(addr, listener, r, TcpConfig::default())
@@ -119,10 +132,16 @@ fn main() {
             let config = config.clone();
             move || CatsNode::new(addr, config)
         });
-        connect(&tcp.provided_ref::<Network>().unwrap(), &node.required_ref().unwrap())
-            .unwrap();
-        connect(&timer.provided_ref::<Timer>().unwrap(), &node.required_ref().unwrap())
-            .unwrap();
+        connect(
+            &tcp.provided_ref::<Network>().unwrap(),
+            &node.required_ref().unwrap(),
+        )
+        .unwrap();
+        connect(
+            &timer.provided_ref::<Timer>().unwrap(),
+            &node.required_ref().unwrap(),
+        )
+        .unwrap();
         let put_get = node.provided_ref::<PutGet>().unwrap();
         connect(&put_get, &client.required_ref::<PutGet>().unwrap()).unwrap();
         system.start(&tcp);
@@ -157,12 +176,18 @@ fn main() {
             let started = Instant::now();
             if is_put {
                 coordinator
-                    .trigger(PutRequest { id, key, value: value.clone() })
+                    .trigger(PutRequest {
+                        id,
+                        key,
+                        value: value.clone(),
+                    })
                     .unwrap();
             } else {
                 coordinator.trigger(GetRequest { id, key }).unwrap();
             }
-            let ok = rx.recv_timeout(Duration::from_secs(10)).expect("op response");
+            let ok = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("op response");
             assert!(ok, "operation failed");
             latencies.push(started.elapsed().as_nanos() as u64);
         }
@@ -181,8 +206,7 @@ fn main() {
             fmt_ns(quantile(sample, 1.0)),
         );
     }
-    let sub_ms =
-        get_lat.iter().filter(|&&ns| ns < 1_000_000).count() as f64 / get_lat.len() as f64;
+    let sub_ms = get_lat.iter().filter(|&&ns| ns < 1_000_000).count() as f64 / get_lat.len() as f64;
     println!(
         "\nShape check (paper §4.1): sub-millisecond end-to-end latency on a LAN — \
          here {:.1}% of gets completed under 1 ms (two quorum round-trips, 4x \

@@ -27,13 +27,23 @@ use kompics::protocols::fd::FdConfig;
 fn config() -> CatsConfig {
     CatsConfig {
         replication: Some(3),
-        ring: RingConfig { stabilize_period: Duration::from_millis(100), ..RingConfig::default() },
+        ring: RingConfig {
+            stabilize_period: Duration::from_millis(100),
+            ..RingConfig::default()
+        },
         fd: FdConfig {
             initial_delay: Duration::from_millis(500),
             delta: Duration::from_millis(250),
         },
-        cyclon: CyclonConfig { period: Duration::from_millis(250), ..CyclonConfig::default() },
-        abd: AbdConfig { op_timeout: Duration::from_secs(2), max_retries: 4, ..AbdConfig::default() },
+        cyclon: CyclonConfig {
+            period: Duration::from_millis(250),
+            ..CyclonConfig::default()
+        },
+        abd: AbdConfig {
+            op_timeout: Duration::from_secs(2),
+            max_retries: 4,
+            ..AbdConfig::default()
+        },
     }
 }
 
@@ -48,7 +58,10 @@ fn main() {
         "E2 — read-intensive throughput (95/5 get/put, 1 KiB values), {clients} closed-loop \
          client threads, {duration:?} measured window per size\n"
     );
-    println!("{:>8} | {:>14} | {:>14} | {:>10}", "Nodes", "reads/s", "writes/s", "failures");
+    println!(
+        "{:>8} | {:>14} | {:>14} | {:>10}",
+        "Nodes", "reads/s", "writes/s", "failures"
+    );
     println!("{:->8}-+-{:->14}-+-{:->14}-+-{:->10}", "", "", "", "");
 
     let mut last_throughput = 0.0;
@@ -65,7 +78,12 @@ fn main() {
         let value = vec![0xEE; 1024];
         for key in 0..256u64 {
             assert_eq!(
-                cluster.put(key * 131, RingKey(key), value.clone(), Duration::from_secs(10)),
+                cluster.put(
+                    key * 131,
+                    RingKey(key),
+                    value.clone(),
+                    Duration::from_secs(10)
+                ),
                 OpOutcome::Put
             );
         }
@@ -90,7 +108,7 @@ fn main() {
                 while stop.load(Ordering::Relaxed) == 0 {
                     let key = RingKey(i % 256);
                     let node = (i * 2_654_435_761) % 100_000;
-                    let outcome = if i % 20 == 0 {
+                    let outcome = if i.is_multiple_of(20) {
                         let r = cluster.put(node, key, value.clone(), Duration::from_secs(5));
                         writes.fetch_add(1, Ordering::Relaxed);
                         r

@@ -64,7 +64,13 @@ impl Player {
                 this.port_r.trigger(Ball(rounds));
             }
         });
-        Player { ctx, port_p, port_r, serves, hops }
+        Player {
+            ctx,
+            port_p,
+            port_r,
+            serves,
+            hops,
+        }
     }
 }
 
@@ -79,7 +85,10 @@ impl ComponentDefinition for Player {
 
 fn run(workers: usize, batch: bool, pairs: u64, rounds: u32) -> (f64, u64) {
     let system = KompicsSystem::new(
-        Config::default().workers(workers).steal_batch(batch).throughput(5),
+        Config::default()
+            .workers(workers)
+            .steal_batch(batch)
+            .throughput(5),
     );
     let hops = Arc::new(AtomicU64::new(0));
     let mut components = Vec::new();
@@ -114,7 +123,9 @@ fn run(workers: usize, batch: bool, pairs: u64, rounds: u32) -> (f64, u64) {
 fn main() {
     let pairs = env_u64("KOMPICS_E3_PAIRS", 256);
     let rounds = env_u64("KOMPICS_E3_ROUNDS", 2_000) as u32;
-    let max_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let worker_counts: Vec<usize> = {
         let mut v = vec![1, 2];
         let mut w = 4;

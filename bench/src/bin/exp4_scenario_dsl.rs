@@ -2,7 +2,7 @@
 //!
 //! The paper's listing: 1000 joins (exp. inter-arrival µ=2 s), then — two
 //! (simulated) seconds after boot terminates — 1000 churn events (500 joins
-//! + 500 failures, µ=500 ms), with 5000 lookups (normal µ=50 ms, σ=10 ms)
+//! plus 500 failures, µ=500 ms), with 5000 lookups (normal µ=50 ms, σ=10 ms)
 //! starting three seconds after churn starts, terminating one second after
 //! the lookups finish. This binary runs that scenario (scaled by
 //! `KOMPICS_E4_SCALE`, default 0.1; set `KOMPICS_E4_SCALE=1` for the
@@ -38,7 +38,12 @@ fn run(seed: u64, scale: f64) -> Outcome {
     let des = sim.des().clone();
     let rng = sim.rng().clone();
     let simulator = sim.system().create(move || {
-        CatsSimulator::new(des, rng, EmulatorConfig::default(), experiment_cats_config(3))
+        CatsSimulator::new(
+            des,
+            rng,
+            EmulatorConfig::default(),
+            experiment_cats_config(3),
+        )
     });
     sim.system().start(&simulator);
     let port = simulator
@@ -47,8 +52,7 @@ fn run(seed: u64, scale: f64) -> Outcome {
 
     // The paper's inter-arrival means, unscaled: the scenario just has
     // fewer events at lower scales.
-    let scenario =
-        boot_churn_lookups_scenario(joins, 2_000.0, churn, 500.0, lookups, 50.0, 16, 14);
+    let scenario = boot_churn_lookups_scenario(joins, 2_000.0, churn, 500.0, lookups, 50.0, 16, 14);
     let handle = scenario.execute(sim.des(), sim.rng().clone(), move |op| {
         let _ = port.trigger(ExperimentOp(op));
     });
@@ -76,9 +80,7 @@ fn run(seed: u64, scale: f64) -> Outcome {
 fn main() {
     let scale = env_f64("KOMPICS_E4_SCALE", 0.1);
     let seed = env_u64("KOMPICS_E4_SEED", 42);
-    println!(
-        "E4 — the §4.4 scenario at scale {scale} (×1000 joins, ×1000 churn, ×5000 lookups)\n"
-    );
+    println!("E4 — the §4.4 scenario at scale {scale} (×1000 joins, ×1000 churn, ×5000 lookups)\n");
     let a = run(seed, scale);
     println!(
         "run 1 (seed {seed}): {} joins, {} failures injected; lookups: {} issued, \
@@ -99,8 +101,26 @@ fn main() {
     );
     let b = run(seed, scale);
     assert_eq!(
-        (a.issued, a.completed, a.failed, a.joins, a.fails, a.p50, a.p99, a.virtual_time),
-        (b.issued, b.completed, b.failed, b.joins, b.fails, b.p50, b.p99, b.virtual_time),
+        (
+            a.issued,
+            a.completed,
+            a.failed,
+            a.joins,
+            a.fails,
+            a.p50,
+            a.p99,
+            a.virtual_time
+        ),
+        (
+            b.issued,
+            b.completed,
+            b.failed,
+            b.joins,
+            b.fails,
+            b.p50,
+            b.p99,
+            b.virtual_time
+        ),
         "same seed must reproduce the identical execution"
     );
     println!("run 2 (seed {seed}): identical — deterministic replay ✓");

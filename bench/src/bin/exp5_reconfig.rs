@@ -36,7 +36,10 @@ struct Producer {
 }
 impl Producer {
     fn new() -> Self {
-        Producer { ctx: ComponentContext::new(), out: ProvidedPort::new() }
+        Producer {
+            ctx: ComponentContext::new(),
+            out: ProvidedPort::new(),
+        }
     }
 }
 impl ComponentDefinition for Producer {
@@ -60,7 +63,11 @@ impl Consumer {
         input.subscribe(|this: &mut Consumer, _item: &Item| {
             this.count += 1;
         });
-        Consumer { ctx: ComponentContext::new(), input, count: 0 }
+        Consumer {
+            ctx: ComponentContext::new(),
+            input,
+            count: 0,
+        }
     }
 }
 impl ComponentDefinition for Consumer {
@@ -122,8 +129,12 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_millis(20));
         let replacement = system.create(Consumer::new);
         let started = Instant::now();
-        replace_component(&consumer.erased(), &replacement.erased(), ReplaceOptions::default())
-            .expect("swap");
+        replace_component(
+            &consumer.erased(),
+            &replacement.erased(),
+            ReplaceOptions::default(),
+        )
+        .expect("swap");
         let duration = started.elapsed();
         println!(
             "{:>6} | {:>14} | {:>16}",

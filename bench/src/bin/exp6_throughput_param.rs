@@ -69,7 +69,11 @@ impl Sink {
         input.subscribe(|this: &mut Sink, _j: &Job| {
             this.seen.fetch_add(1, Ordering::Relaxed);
         });
-        Sink { ctx: ComponentContext::new(), input, seen }
+        Sink {
+            ctx: ComponentContext::new(),
+            input,
+            seen,
+        }
     }
 }
 impl ComponentDefinition for Sink {
@@ -118,7 +122,10 @@ fn main() {
         "E6 — events per scheduling (`throughput`): {sources} sources × {burst} jobs \
          fanning into one consumer\n"
     );
-    println!("{:>12} | {:>12} | {:>14}", "throughput", "wall time", "Mmsg/s");
+    println!(
+        "{:>12} | {:>12} | {:>14}",
+        "throughput", "wall time", "Mmsg/s"
+    );
     println!("{:->12}-+-{:->12}-+-{:->14}", "", "", "");
     let mut baseline = None;
     for &throughput in &[1usize, 5, 25, 100] {

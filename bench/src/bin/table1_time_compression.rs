@@ -38,8 +38,12 @@ fn scenario(peers: u64, sim_secs: u64) -> Scenario<CatsOp> {
     let lookups = (peers * 5).min(50_000);
     let churn_events = (peers / 10).max(2);
     let boot = StochasticProcess::new("boot")
-        .event_inter_arrival_time(Dist::Exponential { mean: boot_ms / peers as f64 })
-        .raise(peers, |rng| CatsOp::Join(Dist::uniform_bits(48).sample_u64(rng)));
+        .event_inter_arrival_time(Dist::Exponential {
+            mean: boot_ms / peers as f64,
+        })
+        .raise(peers, |rng| {
+            CatsOp::Join(Dist::uniform_bits(48).sample_u64(rng))
+        });
     let churn = StochasticProcess::new("churn")
         .event_inter_arrival_time(Dist::Exponential {
             mean: work_ms / churn_events as f64,
@@ -51,7 +55,9 @@ fn scenario(peers: u64, sim_secs: u64) -> Scenario<CatsOp> {
             CatsOp::Fail(Dist::uniform_bits(48).sample_u64(rng))
         });
     let lookups_p = StochasticProcess::new("lookups")
-        .event_inter_arrival_time(Dist::Exponential { mean: work_ms / lookups as f64 })
+        .event_inter_arrival_time(Dist::Exponential {
+            mean: work_ms / lookups as f64,
+        })
         .raise(lookups, |rng| CatsOp::Get {
             node: Dist::uniform_bits(48).sample_u64(rng),
             key: RingKey(Dist::uniform_bits(14).sample_u64(rng)),
@@ -71,7 +77,10 @@ fn main() {
         "{:>8} | {:>12} | {:>12} | {:>12} | {:>10}",
         "Peers", "wall time", "sim events", "lookups ok", "compression"
     );
-    println!("{:->8}-+-{:->12}-+-{:->12}-+-{:->12}-+-{:->10}", "", "", "", "", "");
+    println!(
+        "{:->8}-+-{:->12}-+-{:->12}-+-{:->12}-+-{:->10}",
+        "", "", "", "", ""
+    );
 
     for peers in sizes() {
         let wall = Instant::now();
@@ -79,7 +88,12 @@ fn main() {
         let des = sim.des().clone();
         let rng = sim.rng().clone();
         let simulator = sim.system().create(move || {
-            CatsSimulator::new(des, rng, EmulatorConfig::default(), experiment_cats_config(3))
+            CatsSimulator::new(
+                des,
+                rng,
+                EmulatorConfig::default(),
+                experiment_cats_config(3),
+            )
         });
         sim.system().start(&simulator);
         let port = simulator

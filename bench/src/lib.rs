@@ -13,12 +13,18 @@ use kompics::protocols::fd::FdConfig;
 /// default — the knob for running reduced (CI-friendly) or full
 /// (paper-scale) experiments.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// See [`env_u64`].
 pub fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The CATS configuration used by the experiments: moderately aggressive
@@ -34,8 +40,15 @@ pub fn experiment_cats_config(replication: usize) -> CatsConfig {
             initial_delay: Duration::from_millis(400),
             delta: Duration::from_millis(200),
         },
-        cyclon: CyclonConfig { period: Duration::from_millis(500), ..CyclonConfig::default() },
-        abd: AbdConfig { op_timeout: Duration::from_millis(750), max_retries: 4, ..AbdConfig::default() },
+        cyclon: CyclonConfig {
+            period: Duration::from_millis(500),
+            ..CyclonConfig::default()
+        },
+        abd: AbdConfig {
+            op_timeout: Duration::from_millis(750),
+            max_retries: 4,
+            ..AbdConfig::default()
+        },
     }
 }
 

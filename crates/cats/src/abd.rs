@@ -153,8 +153,13 @@ enum OpKind {
 #[derive(Debug)]
 enum Phase {
     Routing,
-    Query { replies: BTreeMap<u64, (Tag, Option<Vec<u8>>)> },
-    Update { acks: BTreeSet<u64>, result: Option<Vec<u8>> },
+    Query {
+        replies: BTreeMap<u64, (Tag, Option<Vec<u8>>)>,
+    },
+    Update {
+        acks: BTreeSet<u64>,
+        result: Option<Vec<u8>>,
+    },
 }
 
 struct Op {
@@ -222,12 +227,17 @@ impl ConsistentAbd {
             this.handle_read_reply(reply);
         });
         net.subscribe(|this: &mut ConsistentAbd, write: &WriteQueryMsg| {
-            let stored = this.store.entry(write.key.0).or_insert((Tag::default(), None));
+            let stored = this
+                .store
+                .entry(write.key.0)
+                .or_insert((Tag::default(), None));
             if write.tag > stored.0 {
                 *stored = (write.tag, write.value.clone());
             }
-            this.net
-                .trigger(WriteAckMsg { base: write.base.reply(), rid: write.rid });
+            this.net.trigger(WriteAckMsg {
+                base: write.base.reply(),
+                rid: write.rid,
+            });
         });
         net.subscribe(|this: &mut ConsistentAbd, ack: &WriteAckMsg| {
             this.handle_write_ack(ack);
@@ -241,12 +251,15 @@ impl ConsistentAbd {
         ctx.subscribe_control(|this: &mut ConsistentAbd, _s: &Start| {
             if let Some(period) = this.config.repair_period {
                 let id = TimeoutId::fresh();
-                this.timer.trigger(kompics_timer::SchedulePeriodicTimeout::new(
-                    period,
-                    period,
-                    id,
-                    Arc::new(RepairTick { base: Timeout { id } }),
-                ));
+                this.timer
+                    .trigger(kompics_timer::SchedulePeriodicTimeout::new(
+                        period,
+                        period,
+                        id,
+                        Arc::new(RepairTick {
+                            base: Timeout { id },
+                        }),
+                    ));
             }
         });
         status.subscribe(|this: &mut ConsistentAbd, req: &StatusRequest| {
@@ -301,7 +314,14 @@ impl ConsistentAbd {
         self.next_rid += 1;
         self.ops.insert(
             rid,
-            Op { client_id, key, kind, phase: Phase::Routing, group: Vec::new(), retries: 0 },
+            Op {
+                client_id,
+                key,
+                kind,
+                phase: Phase::Routing,
+                group: Vec::new(),
+                retries: 0,
+            },
         );
         self.routing.trigger(FindGroup { reqid: rid, key });
         self.schedule_op_timeout(rid);
@@ -312,7 +332,10 @@ impl ConsistentAbd {
         self.timer.trigger(ScheduleTimeout::new(
             self.config.op_timeout,
             id,
-            Arc::new(OpTimeout { base: Timeout { id }, rid }),
+            Arc::new(OpTimeout {
+                base: Timeout { id },
+                rid,
+            }),
         ));
     }
 
@@ -321,7 +344,9 @@ impl ConsistentAbd {
             self.repair_group_found(found);
             return;
         }
-        let Some(op) = self.ops.get_mut(&found.reqid) else { return };
+        let Some(op) = self.ops.get_mut(&found.reqid) else {
+            return;
+        };
         if !matches!(op.phase, Phase::Routing) {
             return;
         }
@@ -330,7 +355,9 @@ impl ConsistentAbd {
             return;
         }
         op.group = found.group.clone();
-        op.phase = Phase::Query { replies: BTreeMap::new() };
+        op.phase = Phase::Query {
+            replies: BTreeMap::new(),
+        };
         let key = op.key;
         let group = op.group.clone();
         for replica in group {
@@ -347,8 +374,12 @@ impl ConsistentAbd {
     }
 
     fn handle_read_reply(&mut self, reply: &ReadReplyMsg) {
-        let Some(op) = self.ops.get_mut(&reply.rid) else { return };
-        let Phase::Query { replies } = &mut op.phase else { return };
+        let Some(op) = self.ops.get_mut(&reply.rid) else {
+            return;
+        };
+        let Phase::Query { replies } = &mut op.phase else {
+            return;
+        };
         if !op.group.iter().any(|a| a.id == reply.base.source.id) {
             return; // reply from outside the group of this attempt
         }
@@ -365,12 +396,18 @@ impl ConsistentAbd {
         let (tag, value, result) = match &op.kind {
             OpKind::Get => (max_tag, max_value.clone(), max_value),
             OpKind::Put(new_value) => (
-                Tag { seq: max_tag.seq + 1, writer: self.self_addr.id },
+                Tag {
+                    seq: max_tag.seq + 1,
+                    writer: self.self_addr.id,
+                },
                 Some(new_value.clone()),
                 None,
             ),
         };
-        op.phase = Phase::Update { acks: BTreeSet::new(), result };
+        op.phase = Phase::Update {
+            acks: BTreeSet::new(),
+            result,
+        };
         let rid = reply.rid;
         let key = op.key;
         let group = op.group.clone();
@@ -386,8 +423,12 @@ impl ConsistentAbd {
     }
 
     fn handle_write_ack(&mut self, ack: &WriteAckMsg) {
-        let Some(op) = self.ops.get_mut(&ack.rid) else { return };
-        let Phase::Update { acks, .. } = &mut op.phase else { return };
+        let Some(op) = self.ops.get_mut(&ack.rid) else {
+            return;
+        };
+        let Phase::Update { acks, .. } = &mut op.phase else {
+            return;
+        };
         if !op.group.iter().any(|a| a.id == ack.base.source.id) {
             return;
         }
@@ -399,12 +440,20 @@ impl ConsistentAbd {
         self.completed_ops += 1;
         match op.kind {
             OpKind::Get => {
-                let Phase::Update { result, .. } = op.phase else { unreachable!() };
-                self.put_get
-                    .trigger(GetResponse { id: op.client_id, key: op.key, value: result });
+                let Phase::Update { result, .. } = op.phase else {
+                    unreachable!()
+                };
+                self.put_get.trigger(GetResponse {
+                    id: op.client_id,
+                    key: op.key,
+                    value: result,
+                });
             }
             OpKind::Put(_) => {
-                self.put_get.trigger(PutResponse { id: op.client_id, key: op.key });
+                self.put_get.trigger(PutResponse {
+                    id: op.client_id,
+                    key: op.key,
+                });
             }
         }
     }
@@ -427,8 +476,10 @@ impl ConsistentAbd {
         }
         self.repair_cursor = keys.last().map(|k| k.wrapping_add(1)).unwrap_or(0);
         for key in keys {
-            self.routing
-                .trigger(FindGroup { reqid: key | REPAIR_RID_BIT, key: RingKey(key) });
+            self.routing.trigger(FindGroup {
+                reqid: key | REPAIR_RID_BIT,
+                key: RingKey(key),
+            });
         }
     }
 
@@ -436,7 +487,9 @@ impl ConsistentAbd {
     /// current group (fire-and-forget: replicas keep the newest tag, stray
     /// acks are ignored by `handle_write_ack`).
     fn repair_group_found(&mut self, found: &GroupFound) {
-        let Some((tag, value)) = self.store.get(&found.key.0).cloned() else { return };
+        let Some((tag, value)) = self.store.get(&found.key.0).cloned() else {
+            return;
+        };
         for replica in &found.group {
             if replica.id == self.self_addr.id {
                 continue;
@@ -453,7 +506,9 @@ impl ConsistentAbd {
     }
 
     fn handle_op_timeout(&mut self, rid: u64) {
-        let Some(op) = self.ops.get_mut(&rid) else { return };
+        let Some(op) = self.ops.get_mut(&rid) else {
+            return;
+        };
         op.retries += 1;
         if op.retries > self.config.max_retries {
             let op = self.ops.remove(&rid).expect("present above");
@@ -490,18 +545,42 @@ mod tests {
 
     #[test]
     fn put_get_port_direction_rules() {
-        assert!(PutGet::allows(&GetRequest { id: 1, key: RingKey(2) }, Direction::Negative));
         assert!(PutGet::allows(
-            &PutRequest { id: 1, key: RingKey(2), value: vec![] },
+            &GetRequest {
+                id: 1,
+                key: RingKey(2)
+            },
             Direction::Negative
         ));
         assert!(PutGet::allows(
-            &GetResponse { id: 1, key: RingKey(2), value: None },
+            &PutRequest {
+                id: 1,
+                key: RingKey(2),
+                value: vec![]
+            },
+            Direction::Negative
+        ));
+        assert!(PutGet::allows(
+            &GetResponse {
+                id: 1,
+                key: RingKey(2),
+                value: None
+            },
             Direction::Positive
         ));
-        assert!(PutGet::allows(&PutResponse { id: 1, key: RingKey(2) }, Direction::Positive));
         assert!(PutGet::allows(
-            &OpFailed { id: 1, key: RingKey(2), reason: String::new() },
+            &PutResponse {
+                id: 1,
+                key: RingKey(2)
+            },
+            Direction::Positive
+        ));
+        assert!(PutGet::allows(
+            &OpFailed {
+                id: 1,
+                key: RingKey(2),
+                reason: String::new()
+            },
             Direction::Positive
         ));
     }

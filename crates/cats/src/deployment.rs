@@ -61,11 +61,22 @@ pub fn deploy_node(
     let tcp = system.create(move || TcpNetwork::new(addr, listener, registry, tcp_config));
     let timer = system.create(ThreadTimer::new);
     let node = system.create(move || CatsNode::new(addr, config));
-    connect(&tcp.provided_ref::<Network>()?, &node.required_ref::<Network>()?)?;
-    connect(&timer.provided_ref::<Timer>()?, &node.required_ref::<Timer>()?)?;
+    connect(
+        &tcp.provided_ref::<Network>()?,
+        &node.required_ref::<Network>()?,
+    )?;
+    connect(
+        &timer.provided_ref::<Timer>()?,
+        &node.required_ref::<Timer>()?,
+    )?;
     system.start(&tcp);
     system.start(&timer);
-    Ok(DeployedCatsNode { node, tcp, timer, addr })
+    Ok(DeployedCatsNode {
+        node,
+        tcp,
+        timer,
+        addr,
+    })
 }
 
 #[cfg(test)]

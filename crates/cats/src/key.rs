@@ -59,7 +59,9 @@ pub fn replication_group(members: &[u64], key: RingKey, group_size: usize) -> Ve
     debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members sorted");
     let start = members.partition_point(|&m| m < key.0) % members.len();
     let take = group_size.min(members.len());
-    (0..take).map(|i| members[(start + i) % members.len()]).collect()
+    (0..take)
+        .map(|i| members[(start + i) % members.len()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -69,8 +71,14 @@ mod tests {
     #[test]
     fn interval_without_wrap() {
         assert!(RingKey(5).in_interval(RingKey(3), RingKey(7)));
-        assert!(RingKey(7).in_interval(RingKey(3), RingKey(7)), "closed at `to`");
-        assert!(!RingKey(3).in_interval(RingKey(3), RingKey(7)), "open at `from`");
+        assert!(
+            RingKey(7).in_interval(RingKey(3), RingKey(7)),
+            "closed at `to`"
+        );
+        assert!(
+            !RingKey(3).in_interval(RingKey(3), RingKey(7)),
+            "open at `from`"
+        );
         assert!(!RingKey(8).in_interval(RingKey(3), RingKey(7)));
     }
 
@@ -97,9 +105,18 @@ mod tests {
     #[test]
     fn group_starts_at_successor_and_wraps() {
         let members = [10u64, 20, 30, 40];
-        assert_eq!(replication_group(&members, RingKey(15), 3), vec![20, 30, 40]);
-        assert_eq!(replication_group(&members, RingKey(20), 3), vec![20, 30, 40]);
-        assert_eq!(replication_group(&members, RingKey(35), 3), vec![40, 10, 20]);
+        assert_eq!(
+            replication_group(&members, RingKey(15), 3),
+            vec![20, 30, 40]
+        );
+        assert_eq!(
+            replication_group(&members, RingKey(20), 3),
+            vec![20, 30, 40]
+        );
+        assert_eq!(
+            replication_group(&members, RingKey(35), 3),
+            vec![40, 10, 20]
+        );
         assert_eq!(replication_group(&members, RingKey(45), 2), vec![10, 20]);
         assert_eq!(replication_group(&members, RingKey(5), 1), vec![10]);
     }

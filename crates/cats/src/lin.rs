@@ -74,7 +74,10 @@ pub fn check_linearizable(history: &[OpRecord]) -> Result<(), NonLinearizable> {
     // failure — the passing path runs the search exactly once.
     for k in 1..=history.len() {
         if !linearizable(&history[..k]) {
-            return Err(NonLinearizable { prefix_len: k, prefix: history[..k].to_vec() });
+            return Err(NonLinearizable {
+                prefix_len: k,
+                prefix: history[..k].to_vec(),
+            });
         }
     }
     unreachable!("the full history was rejected above");
@@ -144,10 +147,18 @@ mod tests {
     use super::*;
 
     fn w(invoke: u64, response: u64, v: u64) -> OpRecord {
-        OpRecord { invoke, response, op: RegisterOp::Write(v) }
+        OpRecord {
+            invoke,
+            response,
+            op: RegisterOp::Write(v),
+        }
     }
     fn r(invoke: u64, response: u64, v: Option<u64>) -> OpRecord {
-        OpRecord { invoke, response, op: RegisterOp::Read(v) }
+        OpRecord {
+            invoke,
+            response,
+            op: RegisterOp::Read(v),
+        }
     }
 
     #[test]
@@ -155,13 +166,19 @@ mod tests {
         assert!(check_linearizable(&[]).is_ok());
         assert!(check_linearizable(&[w(0, 1, 5)]).is_ok());
         assert!(check_linearizable(&[r(0, 1, None)]).is_ok());
-        assert!(check_linearizable(&[r(0, 1, Some(5))]).is_err(), "read of unwritten value");
+        assert!(
+            check_linearizable(&[r(0, 1, Some(5))]).is_err(),
+            "read of unwritten value"
+        );
     }
 
     #[test]
     fn sequential_write_then_read() {
         assert!(check_linearizable(&[w(0, 1, 5), r(2, 3, Some(5))]).is_ok());
-        assert!(check_linearizable(&[w(0, 1, 5), r(2, 3, None)]).is_err(), "stale read");
+        assert!(
+            check_linearizable(&[w(0, 1, 5), r(2, 3, None)]).is_err(),
+            "stale read"
+        );
         assert!(check_linearizable(&[w(0, 1, 5), r(2, 3, Some(6))]).is_err());
     }
 
@@ -177,7 +194,10 @@ mod tests {
         // w(5) completes, then two sequential reads: second read cannot see
         // an older value than the first observed.
         let history = [w(0, 1, 5), w(2, 3, 6), r(4, 5, Some(6)), r(6, 7, Some(5))];
-        assert!(check_linearizable(&history).is_err(), "new-old read inversion");
+        assert!(
+            check_linearizable(&history).is_err(),
+            "new-old read inversion"
+        );
     }
 
     #[test]
@@ -201,7 +221,12 @@ mod tests {
     fn interleaved_reads_in_both_orders_of_concurrent_write() {
         // r1 sees the new value while a later (but still concurrent with the
         // write) r2 sees it too — fine. The inversion case is separate.
-        let history = [w(0, 100, 7), r(1, 2, None), r(3, 4, Some(7)), r(5, 6, Some(7))];
+        let history = [
+            w(0, 100, 7),
+            r(1, 2, None),
+            r(3, 4, Some(7)),
+            r(5, 6, Some(7)),
+        ];
         assert!(check_linearizable(&history).is_ok());
         // Inversion inside the write window is still illegal.
         let history = [w(0, 100, 7), r(1, 2, Some(7)), r(3, 4, None)];
@@ -240,8 +265,14 @@ mod tests {
         let err = check_linearizable(&history).unwrap_err();
         assert_eq!(err.prefix_len, 4);
         assert_eq!(err.prefix.len(), 4);
-        assert!(check_linearizable(&err.prefix[..3]).is_ok(), "one shorter passes");
+        assert!(
+            check_linearizable(&err.prefix[..3]).is_ok(),
+            "one shorter passes"
+        );
         let rendered = err.to_string();
-        assert!(rendered.contains("minimal failing prefix (4 ops)"), "got: {rendered}");
+        assert!(
+            rendered.contains("minimal failing prefix (4 ops)"),
+            "got: {rendered}"
+        );
     }
 }

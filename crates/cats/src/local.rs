@@ -63,7 +63,11 @@ impl OpCollector {
                 let _ = tx.send(OpOutcome::Failed(fail.reason.clone()));
             }
         });
-        OpCollector { ctx: ComponentContext::new(), put_get, pending }
+        OpCollector {
+            ctx: ComponentContext::new(),
+            put_get,
+            pending,
+        }
     }
 }
 
@@ -150,7 +154,9 @@ impl LocalCatsCluster {
         });
         LocalNetwork::attach(
             &self.lan,
-            &node.required_ref::<Network>().expect("node requires network"),
+            &node
+                .required_ref::<Network>()
+                .expect("node requires network"),
             addr,
         )
         .expect("attach node");
@@ -159,9 +165,14 @@ impl LocalCatsCluster {
             &node.required_ref::<Timer>().expect("node requires timer"),
         )
         .expect("wire timer");
-        let put_get = node.provided_ref::<PutGet>().expect("node provides put-get");
-        connect(&put_get, &self.collector.required_ref::<PutGet>().expect("collector"))
-            .expect("wire collector");
+        let put_get = node
+            .provided_ref::<PutGet>()
+            .expect("node provides put-get");
+        connect(
+            &put_get,
+            &self.collector.required_ref::<PutGet>().expect("collector"),
+        )
+        .expect("wire collector");
 
         let seeds: Vec<Address> = self
             .nodes
@@ -175,7 +186,14 @@ impl LocalCatsCluster {
             .collect();
         self.system.start(&timer);
         CatsNode::join(&node, seeds);
-        self.nodes.insert(id, LocalNode { node, timer, put_get });
+        self.nodes.insert(
+            id,
+            LocalNode {
+                node,
+                timer,
+                put_get,
+            },
+        );
     }
 
     /// Kills the node with the given id (crash-stop).
@@ -195,8 +213,7 @@ impl LocalCatsCluster {
             let ready = self.nodes.values().all(|n| {
                 n.node
                     .on_definition(|d| {
-                        d.is_joined().unwrap_or(false)
-                            && d.view_size().unwrap_or(0) >= total
+                        d.is_joined().unwrap_or(false) && d.view_size().unwrap_or(0) >= total
                     })
                     .unwrap_or(false)
             });
@@ -211,10 +228,7 @@ impl LocalCatsCluster {
 
     /// The outside half of a node's provided `Web` port, for attaching an
     /// HTTP frontend.
-    pub fn node_web_ref(
-        &self,
-        id: u64,
-    ) -> Option<PortRef<kompics_protocols::web::Web>> {
+    pub fn node_web_ref(&self, id: u64) -> Option<PortRef<kompics_protocols::web::Web>> {
         self.nodes.get(&id).and_then(|n| n.node.provided_ref().ok())
     }
 
@@ -227,7 +241,12 @@ impl LocalCatsCluster {
             .map(|(k, _)| *k)
     }
 
-    fn issue(&self, node: u64, timeout: Duration, f: impl FnOnce(u64, &PortRef<PutGet>)) -> OpOutcome {
+    fn issue(
+        &self,
+        node: u64,
+        timeout: Duration,
+        f: impl FnOnce(u64, &PortRef<PutGet>),
+    ) -> OpOutcome {
         let Some(target) = self.nearest(node) else {
             return OpOutcome::Failed("no nodes in cluster".into());
         };
@@ -248,7 +267,11 @@ impl LocalCatsCluster {
     /// Blocking `put` issued at the node nearest `node`.
     pub fn put(&self, node: u64, key: RingKey, value: Vec<u8>, timeout: Duration) -> OpOutcome {
         self.issue(node, timeout, move |opid, port| {
-            let _ = port.trigger(PutRequest { id: opid, key, value });
+            let _ = port.trigger(PutRequest {
+                id: opid,
+                key,
+                value,
+            });
         })
     }
 

@@ -29,8 +29,7 @@ use kompics_protocols::web::{Web, WebRequest, WebResponse};
 use kompics_timer::Timer;
 
 use crate::abd::{
-    AbdConfig, ConsistentAbd, GetRequest, GetResponse, OpFailed, PutGet, PutRequest,
-    PutResponse,
+    AbdConfig, ConsistentAbd, GetRequest, GetResponse, OpFailed, PutGet, PutRequest, PutResponse,
 };
 use crate::key::RingKey;
 use crate::ring::{CatsRing, RingConfig, RingJoin, RingPort};
@@ -191,10 +190,16 @@ impl CatsNode {
         .expect("wire routing");
         // PutGet pass-through to ABD, plus the node's own client connection
         // for interactive web commands.
-        connect(&put_get.inside_ref(), &abd.provided_ref::<PutGet>().expect(expect))
-            .expect("wire put-get");
-        connect(&put_get_in.share(), &abd.provided_ref::<PutGet>().expect(expect))
-            .expect("wire web put-get");
+        connect(
+            &put_get.inside_ref(),
+            &abd.provided_ref::<PutGet>().expect(expect),
+        )
+        .expect("wire put-get");
+        connect(
+            &put_get_in.share(),
+            &abd.provided_ref::<PutGet>().expect(expect),
+        )
+        .expect("wire web put-get");
         // Status pass-through (for the monitoring client) and the internal
         // poller (for the web page).
         for provider in [
@@ -210,8 +215,12 @@ impl CatsNode {
 
         // Join on CatsInit.
         ctx.subscribe_control(|this: &mut CatsNode, init: &CatsInit| {
-            let _ = this.ring_ref.trigger(RingJoin { seeds: init.seeds.clone() });
-            let _ = this.sampling_ref.trigger(JoinOverlay { seeds: init.seeds.clone() });
+            let _ = this.ring_ref.trigger(RingJoin {
+                seeds: init.seeds.clone(),
+            });
+            let _ = this.sampling_ref.trigger(JoinOverlay {
+                seeds: init.seeds.clone(),
+            });
         });
 
         // Web: `/get/<key>` and `/put/<key>/<value>` issue interactive
@@ -234,7 +243,11 @@ impl CatsNode {
                     ),
                     None => format!("{{\"key\":{},\"value\":null}}", resp.key.0),
                 };
-                this.web.trigger(WebResponse { id: web_id, status: 200, body });
+                this.web.trigger(WebResponse {
+                    id: web_id,
+                    status: 200,
+                    body,
+                });
             }
         });
         put_get_in.subscribe(|this: &mut CatsNode, resp: &PutResponse| {
@@ -291,7 +304,9 @@ impl CatsNode {
         node.control_ref()
             .trigger(CatsInit { base: Init, seeds })
             .expect("control port accepts CatsInit");
-        node.control_ref().trigger(Start).expect("control port accepts Start");
+        node.control_ref()
+            .trigger(Start)
+            .expect("control port accepts Start");
     }
 
     /// Whether the ring join has completed (introspection hook; see
@@ -319,7 +334,10 @@ impl CatsNode {
                 if let Ok(key) = key.parse::<u64>() {
                     let op_id = req.id | WEB_OP_BIT;
                     self.pending_ops.insert(op_id, req.id);
-                    self.put_get_in.trigger(GetRequest { id: op_id, key: RingKey(key) });
+                    self.put_get_in.trigger(GetRequest {
+                        id: op_id,
+                        key: RingKey(key),
+                    });
                     return;
                 }
             }
@@ -371,7 +389,11 @@ impl CatsNode {
             body.push('}');
         }
         body.push('}');
-        self.web.trigger(WebResponse { id: pending.web_id, status: 200, body });
+        self.web.trigger(WebResponse {
+            id: pending.web_id,
+            status: 200,
+            body,
+        });
     }
 }
 

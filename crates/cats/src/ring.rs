@@ -12,7 +12,9 @@ use std::time::Duration;
 
 use kompics_core::prelude::*;
 use kompics_network::{Address, Message, Network};
-use kompics_protocols::fd::{EventuallyPerfectFd, Restore, StartMonitoring, StopMonitoring, Suspect};
+use kompics_protocols::fd::{
+    EventuallyPerfectFd, Restore, StartMonitoring, StopMonitoring, Suspect,
+};
 use kompics_protocols::monitor::{Status, StatusRequest, StatusResponse};
 use kompics_timer::{SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
 
@@ -144,9 +146,10 @@ impl CatsRing {
             let candidate = msg.base.source;
             let adopt = match this.predecessor {
                 None => true,
-                Some(pred) => RingKey(candidate.id)
-                    .in_interval(RingKey(pred.id), RingKey(this.self_addr.id))
-                    && candidate.id != this.self_addr.id,
+                Some(pred) => {
+                    RingKey(candidate.id).in_interval(RingKey(pred.id), RingKey(this.self_addr.id))
+                        && candidate.id != this.self_addr.id
+                }
             };
             if adopt && this.predecessor.map(|p| p.id) != Some(candidate.id) {
                 this.predecessor = Some(candidate);
@@ -176,7 +179,9 @@ impl CatsRing {
                     ("joined".into(), this.joined.to_string()),
                     (
                         "predecessor".into(),
-                        this.predecessor.map(|p| p.id.to_string()).unwrap_or_default(),
+                        this.predecessor
+                            .map(|p| p.id.to_string())
+                            .unwrap_or_default(),
                     ),
                     ("successors".into(), succ),
                     ("stabilizations".into(), this.stabilizations.to_string()),
@@ -189,7 +194,9 @@ impl CatsRing {
                 this.config.stabilize_period,
                 this.config.stabilize_period,
                 id,
-                Arc::new(StabilizeTick { base: Timeout { id } }),
+                Arc::new(StabilizeTick {
+                    base: Timeout { id },
+                }),
             ));
         });
 
@@ -230,15 +237,20 @@ impl CatsRing {
     }
 
     fn handle_join_request(&mut self, seeds: &[Address]) {
-        let seeds: Vec<Address> =
-            seeds.iter().copied().filter(|s| s.id != self.self_addr.id).collect();
+        let seeds: Vec<Address> = seeds
+            .iter()
+            .copied()
+            .filter(|s| s.id != self.self_addr.id)
+            .collect();
         match seeds.first() {
             None => {
                 // Found a new ring.
                 self.successors.clear();
                 self.predecessor = None;
                 self.joined = true;
-                self.ring.trigger(JoinCompleted { node: self.self_addr });
+                self.ring.trigger(JoinCompleted {
+                    node: self.self_addr,
+                });
                 self.publish_neighbors();
             }
             Some(seed) => {
@@ -276,8 +288,7 @@ impl CatsRing {
                 // The joiner lands between us and our successor: its
                 // successor is ours, and it becomes ours.
                 let mut successors = vec![succ];
-                successors
-                    .extend(self.successors.iter().skip(1).copied());
+                successors.extend(self.successors.iter().skip(1).copied());
                 successors.truncate(self.config.successor_list_len);
                 self.net.trigger(JoinReplyMsg {
                     base: Message::new(self.self_addr, msg.joiner),
@@ -303,8 +314,7 @@ impl CatsRing {
         let adopt = match self.successor() {
             None => true,
             Some(succ) => {
-                RingKey(node.id).in_interval(self.key(), RingKey(succ.id))
-                    && node.id != succ.id
+                RingKey(node.id).in_interval(self.key(), RingKey(succ.id)) && node.id != succ.id
             }
         };
         if adopt {
@@ -327,10 +337,13 @@ impl CatsRing {
         self.successors.truncate(self.config.successor_list_len);
         self.joined = true;
         if let Some(succ) = self.successor() {
-            self.net
-                .trigger(NotifyMsg { base: Message::new(self.self_addr, succ) });
+            self.net.trigger(NotifyMsg {
+                base: Message::new(self.self_addr, succ),
+            });
         }
-        self.ring.trigger(JoinCompleted { node: self.self_addr });
+        self.ring.trigger(JoinCompleted {
+            node: self.self_addr,
+        });
         self.publish_neighbors();
     }
 
@@ -361,8 +374,9 @@ impl CatsRing {
         self.successors = list;
         self.dedup_successors();
         if let Some(new_succ) = self.successor() {
-            self.net
-                .trigger(NotifyMsg { base: Message::new(self.self_addr, new_succ) });
+            self.net.trigger(NotifyMsg {
+                base: Message::new(self.self_addr, new_succ),
+            });
         }
         self.publish_neighbors();
     }
@@ -370,7 +384,8 @@ impl CatsRing {
     fn dedup_successors(&mut self) {
         let mut seen = std::collections::HashSet::new();
         let self_id = self.self_addr.id;
-        self.successors.retain(|a| a.id != self_id && seen.insert(a.id));
+        self.successors
+            .retain(|a| a.id != self_id && seen.insert(a.id));
         self.successors.truncate(self.config.successor_list_len);
     }
 
@@ -395,8 +410,9 @@ impl CatsRing {
         }
         self.stabilizations += 1;
         if let Some(succ) = self.successor() {
-            self.net
-                .trigger(GetPredMsg { base: Message::new(self.self_addr, succ) });
+            self.net.trigger(GetPredMsg {
+                base: Message::new(self.self_addr, succ),
+            });
         }
         self.update_monitoring();
     }
@@ -447,7 +463,10 @@ mod tests {
 
     #[test]
     fn ring_port_direction_rules() {
-        assert!(RingPort::allows(&RingJoin { seeds: vec![] }, Direction::Negative));
+        assert!(RingPort::allows(
+            &RingJoin { seeds: vec![] },
+            Direction::Negative
+        ));
         assert!(RingPort::allows(
             &RingNeighbors {
                 node: Address::sim(1),
@@ -457,7 +476,9 @@ mod tests {
             Direction::Positive
         ));
         assert!(RingPort::allows(
-            &JoinCompleted { node: Address::sim(1) },
+            &JoinCompleted {
+                node: Address::sim(1)
+            },
             Direction::Positive
         ));
     }

@@ -93,7 +93,11 @@ impl OneHopRouter {
             let members: Vec<u64> = this.view.keys().copied().collect();
             let ids = replication_group(&members, req.key, this.replication_degree);
             let group = ids.into_iter().map(|id| this.view[&id]).collect();
-            this.routing.trigger(GroupFound { reqid: req.reqid, key: req.key, group });
+            this.routing.trigger(GroupFound {
+                reqid: req.reqid,
+                key: req.key,
+                group,
+            });
         });
         ring.subscribe(|this: &mut OneHopRouter, n: &RingNeighbors| {
             if let Some(p) = n.predecessor {
@@ -175,11 +179,18 @@ mod tests {
     #[test]
     fn routing_port_direction_rules() {
         assert!(Routing::allows(
-            &FindGroup { reqid: 1, key: RingKey(2) },
+            &FindGroup {
+                reqid: 1,
+                key: RingKey(2)
+            },
             Direction::Negative
         ));
         assert!(Routing::allows(
-            &GroupFound { reqid: 1, key: RingKey(2), group: vec![] },
+            &GroupFound {
+                reqid: 1,
+                key: RingKey(2),
+                group: vec![]
+            },
             Direction::Positive
         ));
     }

@@ -147,7 +147,10 @@ impl CatsSimulator {
                 entry
                     .node
                     .on_definition(|n| n.view_size())
-                    .map(|r| r.map(|v| v as f64 >= fraction * total as f64).unwrap_or(false))
+                    .map(|r| {
+                        r.map(|v| v as f64 >= fraction * total as f64)
+                            .unwrap_or(false)
+                    })
                     .unwrap_or(false)
             })
             .count()
@@ -177,7 +180,9 @@ impl CatsSimulator {
         });
         NetworkEmulator::attach(
             &self.emulator,
-            &node.required_ref::<Network>().expect("node requires network"),
+            &node
+                .required_ref::<Network>()
+                .expect("node requires network"),
             addr,
         )
         .expect("attach node to emulator");
@@ -188,21 +193,28 @@ impl CatsSimulator {
         .expect("wire node timer");
 
         // Observe the node's put/get responses for statistics.
-        let put_get = node.provided_ref::<PutGet>().expect("node provides put-get");
-        self.ctx.subscribe(&put_get, |this: &mut CatsSimulator, resp: &GetResponse| {
-            let observed = resp.value.as_deref().map(value_fingerprint);
-            this.complete(resp.id, RegisterOp::Read(observed));
-        });
-        self.ctx.subscribe(&put_get, |this: &mut CatsSimulator, resp: &PutResponse| {
-            let Some(pending) = this.issued.get(&resp.id) else { return };
-            let write = pending.write.unwrap_or_default();
-            this.complete(resp.id, RegisterOp::Write(write));
-        });
-        self.ctx.subscribe(&put_get, |this: &mut CatsSimulator, fail: &OpFailed| {
-            if this.issued.remove(&fail.id).is_some() {
-                this.stats.failed += 1;
-            }
-        });
+        let put_get = node
+            .provided_ref::<PutGet>()
+            .expect("node provides put-get");
+        self.ctx
+            .subscribe(&put_get, |this: &mut CatsSimulator, resp: &GetResponse| {
+                let observed = resp.value.as_deref().map(value_fingerprint);
+                this.complete(resp.id, RegisterOp::Read(observed));
+            });
+        self.ctx
+            .subscribe(&put_get, |this: &mut CatsSimulator, resp: &PutResponse| {
+                let Some(pending) = this.issued.get(&resp.id) else {
+                    return;
+                };
+                let write = pending.write.unwrap_or_default();
+                this.complete(resp.id, RegisterOp::Write(write));
+            });
+        self.ctx
+            .subscribe(&put_get, |this: &mut CatsSimulator, fail: &OpFailed| {
+                if this.issued.remove(&fail.id).is_some() {
+                    this.stats.failed += 1;
+                }
+            });
 
         // Seed with the ring-nearest alive node (what a bootstrap service
         // consulting the one-hop routing view would return — keeps join
@@ -215,8 +227,7 @@ impl CatsSimulator {
             }
             // komlint: allow(lock-hold) reason="guard is scoped to this seed-selection block in a single-threaded simulation handler; shuffle needs &mut to the RNG"
             let mut rng = self.rng.lock();
-            let mut candidates: Vec<Address> =
-                self.nodes.values().map(|e| e.addr).collect();
+            let mut candidates: Vec<Address> = self.nodes.values().map(|e| e.addr).collect();
             candidates.shuffle(&mut *rng);
             for c in candidates {
                 if seeds.len() >= 3 {
@@ -231,7 +242,15 @@ impl CatsSimulator {
         self.ctx.start_child(&timer);
         CatsNode::join(&node, seeds);
         self.stats.joins += 1;
-        self.nodes.insert(id, NodeEntry { node, timer, put_get, addr });
+        self.nodes.insert(
+            id,
+            NodeEntry {
+                node,
+                timer,
+                put_get,
+                addr,
+            },
+        );
     }
 
     fn fail(&mut self, id: u64) {
@@ -239,7 +258,9 @@ impl CatsSimulator {
         if self.nodes.len() <= 1 {
             return;
         }
-        let Some(victim) = self.nearest(id) else { return };
+        let Some(victim) = self.nearest(id) else {
+            return;
+        };
         let entry = self.nodes.remove(&victim).expect("nearest exists");
         self.ctx.kill_child(&entry.node);
         self.ctx.kill_child(&entry.timer);
@@ -247,25 +268,45 @@ impl CatsSimulator {
     }
 
     fn get(&mut self, node: u64, key: RingKey) {
-        let Some(target) = self.nearest(node) else { return };
-        let opid = self.next_op;
-        self.next_op += 1;
-        self.issued
-            .insert(opid, PendingOp { at: self.des.now(), key, write: None });
-        self.stats.issued += 1;
-        let _ = self.nodes[&target].put_get.trigger(GetRequest { id: opid, key });
-    }
-
-    fn put(&mut self, node: u64, key: RingKey, value: Vec<u8>) {
-        let Some(target) = self.nearest(node) else { return };
+        let Some(target) = self.nearest(node) else {
+            return;
+        };
         let opid = self.next_op;
         self.next_op += 1;
         self.issued.insert(
             opid,
-            PendingOp { at: self.des.now(), key, write: Some(value_fingerprint(&value)) },
+            PendingOp {
+                at: self.des.now(),
+                key,
+                write: None,
+            },
         );
         self.stats.issued += 1;
-        let _ = self.nodes[&target].put_get.trigger(PutRequest { id: opid, key, value });
+        let _ = self.nodes[&target]
+            .put_get
+            .trigger(GetRequest { id: opid, key });
+    }
+
+    fn put(&mut self, node: u64, key: RingKey, value: Vec<u8>) {
+        let Some(target) = self.nearest(node) else {
+            return;
+        };
+        let opid = self.next_op;
+        self.next_op += 1;
+        self.issued.insert(
+            opid,
+            PendingOp {
+                at: self.des.now(),
+                key,
+                write: Some(value_fingerprint(&value)),
+            },
+        );
+        self.stats.issued += 1;
+        let _ = self.nodes[&target].put_get.trigger(PutRequest {
+            id: opid,
+            key,
+            value,
+        });
     }
 
     fn complete(&mut self, opid: u64, op: RegisterOp) {
@@ -275,7 +316,11 @@ impl CatsSimulator {
             self.stats.latencies_ns.push(now.saturating_sub(pending.at));
             self.history.push(HistoryEntry {
                 key: pending.key,
-                record: OpRecord { invoke: pending.at, response: now, op },
+                record: OpRecord {
+                    invoke: pending.at,
+                    response: now,
+                    op,
+                },
             });
         }
     }
@@ -306,7 +351,9 @@ impl CatsSimulator {
         id: u64,
         replacement: &kompics_core::component::ComponentRef,
     ) {
-        let Some(node) = replacement.downcast::<CatsNode>() else { return };
+        let Some(node) = replacement.downcast::<CatsNode>() else {
+            return;
+        };
         if !self.nodes.contains_key(&id) {
             return;
         }
@@ -317,7 +364,9 @@ impl CatsSimulator {
             .filter(|a| a.id != id)
             .take(3)
             .collect();
-        let put_get = node.provided_ref::<PutGet>().expect("replacement provides put-get");
+        let put_get = node
+            .provided_ref::<PutGet>()
+            .expect("replacement provides put-get");
         CatsNode::join(&node, seeds);
         let entry = self.nodes.get_mut(&id).expect("checked above");
         entry.node = node;

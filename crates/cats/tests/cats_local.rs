@@ -24,15 +24,21 @@ fn fast_config() -> CatsConfig {
             initial_delay: Duration::from_millis(200),
             delta: Duration::from_millis(100),
         },
-        cyclon: CyclonConfig { period: Duration::from_millis(100), ..CyclonConfig::default() },
-        abd: AbdConfig { op_timeout: Duration::from_millis(500), max_retries: 6, ..AbdConfig::default() },
+        cyclon: CyclonConfig {
+            period: Duration::from_millis(100),
+            ..CyclonConfig::default()
+        },
+        abd: AbdConfig {
+            op_timeout: Duration::from_millis(500),
+            max_retries: 6,
+            ..AbdConfig::default()
+        },
     }
 }
 
 #[test]
 fn local_cluster_serves_puts_and_gets_in_real_time() {
-    let mut cluster =
-        LocalCatsCluster::new(Config::default().workers(4), fast_config());
+    let mut cluster = LocalCatsCluster::new(Config::default().workers(4), fast_config());
     for id in [100u64, 200, 300, 400, 500] {
         cluster.add_node(id);
     }
@@ -50,7 +56,10 @@ fn local_cluster_serves_puts_and_gets_in_real_time() {
         cluster.get(400, RingKey(42), timeout),
         OpOutcome::Got(Some(b"hello".to_vec()))
     );
-    assert_eq!(cluster.get(300, RingKey(9_999), timeout), OpOutcome::Got(None));
+    assert_eq!(
+        cluster.get(300, RingKey(9_999), timeout),
+        OpOutcome::Got(None)
+    );
 
     // Overwrite and read back from yet another coordinator.
     assert_eq!(
@@ -66,8 +75,7 @@ fn local_cluster_serves_puts_and_gets_in_real_time() {
 
 #[test]
 fn local_cluster_tolerates_a_node_failure() {
-    let mut cluster =
-        LocalCatsCluster::new(Config::default().workers(4), fast_config());
+    let mut cluster = LocalCatsCluster::new(Config::default().workers(4), fast_config());
     for id in [100u64, 200, 300, 400, 500] {
         cluster.add_node(id);
     }
@@ -100,8 +108,7 @@ fn node_web_page_served_over_http() {
     use kompics_protocols::web::{HttpServer, Web};
     use std::io::{Read, Write};
 
-    let mut cluster =
-        LocalCatsCluster::new(Config::default().workers(2), fast_config());
+    let mut cluster = LocalCatsCluster::new(Config::default().workers(2), fast_config());
     cluster.add_node(100);
     assert!(cluster.await_converged(Duration::from_secs(20)));
 
@@ -138,7 +145,10 @@ fn node_web_page_served_over_http() {
             .unwrap()
             .parse()
             .unwrap();
-        (status, response.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+        (
+            status,
+            response.split("\r\n\r\n").nth(1).unwrap_or("").to_string(),
+        )
     };
 
     let (status, body) = http_get("/status");

@@ -8,18 +8,16 @@ use cats::experiments::{CatsOp, ExperimentOp};
 use cats::key::RingKey;
 use cats::lin::check_linearizable;
 use cats::node::CatsConfig;
-use cats::ring::RingConfig;
 use cats::node::CatsNode;
+use cats::ring::RingConfig;
 use cats::sim::CatsSimulator;
 use kompics_core::component::Component;
 use kompics_core::port::PortRef;
-use kompics_core::supervision::{supervise, SupervisionAction, SuperviseOptions, SupervisorConfig};
+use kompics_core::supervision::{supervise, SuperviseOptions, SupervisionAction, SupervisorConfig};
 use kompics_network::Address;
 use kompics_protocols::cyclon::CyclonConfig;
 use kompics_protocols::fd::FdConfig;
-use kompics_simulation::{
-    Dist, EmulatorConfig, FaultPlan, FaultTargets, LatencyModel, Simulation,
-};
+use kompics_simulation::{Dist, EmulatorConfig, FaultPlan, FaultTargets, LatencyModel, Simulation};
 
 struct Fixture {
     sim: Simulation,
@@ -42,7 +40,11 @@ fn cats_config() -> CatsConfig {
             period: Duration::from_millis(500),
             ..CyclonConfig::default()
         },
-        abd: AbdConfig { op_timeout: Duration::from_millis(750), max_retries: 4, ..AbdConfig::default() },
+        abd: AbdConfig {
+            op_timeout: Duration::from_millis(750),
+            max_retries: 4,
+            ..AbdConfig::default()
+        },
     }
 }
 
@@ -65,14 +67,18 @@ fn fixture_full(seed: u64, config: CatsConfig, emulator: EmulatorConfig) -> Fixt
     let sim = Simulation::new(seed);
     let des = sim.des().clone();
     let rng = sim.rng().clone();
-    let simulator = sim.system().create(move || {
-        CatsSimulator::new(des, rng, emulator, config)
-    });
+    let simulator = sim
+        .system()
+        .create(move || CatsSimulator::new(des, rng, emulator, config));
     // `Simulation::start` (unlike `KompicsSystem::start`) first runs graph
     // analysis and refuses error-severity findings in debug builds.
     sim.start(&simulator);
     let port = simulator.provided_ref().expect("experiment port");
-    Fixture { sim, simulator, port }
+    Fixture {
+        sim,
+        simulator,
+        port,
+    }
 }
 
 impl Fixture {
@@ -115,12 +121,22 @@ fn ring_converges_after_joins() {
 fn put_then_get_returns_the_value() {
     let f = fixture(2);
     boot_nodes(&f, &[100, 200, 300, 400, 500], 10_000);
-    f.op(CatsOp::Put { node: 100, key: RingKey(42), value: b"hello".to_vec() });
+    f.op(CatsOp::Put {
+        node: 100,
+        key: RingKey(42),
+        value: b"hello".to_vec(),
+    });
     f.run_ms(2_000);
     // Read from a *different* coordinator.
-    f.op(CatsOp::Get { node: 400, key: RingKey(42) });
+    f.op(CatsOp::Get {
+        node: 400,
+        key: RingKey(42),
+    });
     // And a key nobody wrote.
-    f.op(CatsOp::Get { node: 200, key: RingKey(7_777) });
+    f.op(CatsOp::Get {
+        node: 200,
+        key: RingKey(7_777),
+    });
     f.run_ms(2_000);
 
     f.simulator
@@ -132,16 +148,14 @@ fn put_then_get_returns_the_value() {
             let history = s.history();
             assert_eq!(history.len(), 3);
             // The written key's history: write then read of that value.
-            let key42: Vec<_> =
-                history.iter().filter(|h| h.key == RingKey(42)).collect();
+            let key42: Vec<_> = history.iter().filter(|h| h.key == RingKey(42)).collect();
             assert_eq!(key42.len(), 2);
             assert!(matches!(
                 key42[1].record.op,
                 cats::lin::RegisterOp::Read(Some(_))
             ));
             // The unwritten key reads None.
-            let key7777: Vec<_> =
-                history.iter().filter(|h| h.key == RingKey(7_777)).collect();
+            let key7777: Vec<_> = history.iter().filter(|h| h.key == RingKey(7_777)).collect();
             assert!(matches!(
                 key7777[0].record.op,
                 cats::lin::RegisterOp::Read(None)
@@ -186,7 +200,11 @@ fn operations_survive_node_failures() {
     boot_nodes(&f, &[100, 200, 300, 400, 500, 600, 700], 12_000);
     // Write 5 keys.
     for i in 0..5u64 {
-        f.op(CatsOp::Put { node: 100, key: RingKey(1000 + i), value: vec![i as u8; 8] });
+        f.op(CatsOp::Put {
+            node: 100,
+            key: RingKey(1000 + i),
+            value: vec![i as u8; 8],
+        });
         f.run_ms(500);
     }
     // Kill two nodes, let the failure detectors and ring react.
@@ -195,7 +213,10 @@ fn operations_survive_node_failures() {
     f.run_ms(8_000);
     // All keys must still be readable.
     for i in 0..5u64 {
-        f.op(CatsOp::Get { node: 700, key: RingKey(1000 + i) });
+        f.op(CatsOp::Get {
+            node: 700,
+            key: RingKey(1000 + i),
+        });
         f.run_ms(500);
     }
     f.run_ms(5_000);
@@ -234,7 +255,10 @@ fn history_under_churn_is_linearizable_per_key() {
             value: vec![round as u8 + 1; 4],
         });
         f.run_ms(400);
-        f.op(CatsOp::Get { node: (round * 57) % 800, key });
+        f.op(CatsOp::Get {
+            node: (round * 57) % 800,
+            key,
+        });
         f.run_ms(400);
         if round == 5 {
             f.op(CatsOp::Fail(200));
@@ -286,9 +310,16 @@ fn simulation_is_reproducible_across_runs() {
         let f = fixture(seed);
         boot_nodes(&f, &[100, 200, 300, 400, 500], 8_000);
         for i in 0..10u64 {
-            f.op(CatsOp::Put { node: i * 97, key: RingKey(i), value: vec![i as u8; 8] });
+            f.op(CatsOp::Put {
+                node: i * 97,
+                key: RingKey(i),
+                value: vec![i as u8; 8],
+            });
             f.run_ms(250);
-            f.op(CatsOp::Get { node: i * 43, key: RingKey(i) });
+            f.op(CatsOp::Get {
+                node: i * 43,
+                key: RingKey(i),
+            });
             f.run_ms(250);
         }
         f.run_ms(5_000);
@@ -323,7 +354,11 @@ fn anti_entropy_repair_migrates_data_to_new_group_members() {
     boot_nodes(&f, &[100, 200, 300, 400, 500], 12_000);
     // Write a key whose group is the successors of 1000 (i.e. wraps to the
     // whole original membership order).
-    f.op(CatsOp::Put { node: 100, key: RingKey(1_000), value: b"survivor".to_vec() });
+    f.op(CatsOp::Put {
+        node: 100,
+        key: RingKey(1_000),
+        value: b"survivor".to_vec(),
+    });
     f.run_ms(2_000);
 
     // New nodes join directly after the key: they become its new group.
@@ -343,7 +378,10 @@ fn anti_entropy_repair_migrates_data_to_new_group_members() {
     f.run_ms(10_000);
 
     // The key must still be readable from the surviving new nodes.
-    f.op(CatsOp::Get { node: 1_001, key: RingKey(1_000) });
+    f.op(CatsOp::Get {
+        node: 1_001,
+        key: RingKey(1_000),
+    });
     f.run_ms(5_000);
     f.simulator
         .on_definition(|s| {
@@ -369,7 +407,11 @@ fn without_repair_full_group_replacement_loses_data() {
     config.abd.repair_period = None;
     let f = fixture_with(7, config);
     boot_nodes(&f, &[100, 200, 300, 400, 500], 12_000);
-    f.op(CatsOp::Put { node: 100, key: RingKey(1_000), value: b"doomed".to_vec() });
+    f.op(CatsOp::Put {
+        node: 100,
+        key: RingKey(1_000),
+        value: b"doomed".to_vec(),
+    });
     f.run_ms(2_000);
     for id in [1_001u64, 1_002, 1_003] {
         f.op(CatsOp::Join(id));
@@ -381,7 +423,10 @@ fn without_repair_full_group_replacement_loses_data() {
         f.run_ms(3_000);
     }
     f.run_ms(10_000);
-    f.op(CatsOp::Get { node: 1_001, key: RingKey(1_000) });
+    f.op(CatsOp::Get {
+        node: 1_001,
+        key: RingKey(1_000),
+    });
     f.run_ms(5_000);
     f.simulator
         .on_definition(|s| {
@@ -406,7 +451,17 @@ fn supervised_replica_crashes_mid_operation_stay_linearizable_and_reproducible()
     // seed, the whole execution — stats, latencies, fault trace, supervision
     // log — must be identical.
     #[allow(clippy::type_complexity)]
-    fn run(seed: u64) -> (u64, u64, u64, Vec<u64>, Vec<(u64, String)>, Vec<String>, usize) {
+    fn run(
+        seed: u64,
+    ) -> (
+        u64,
+        u64,
+        u64,
+        Vec<u64>,
+        Vec<(u64, String)>,
+        Vec<String>,
+        usize,
+    ) {
         let f = fixture(seed);
         boot_nodes(&f, &[100, 200, 300, 400, 500, 600, 700], 12_000);
 
@@ -446,8 +501,16 @@ fn supervised_replica_crashes_mid_operation_stay_linearizable_and_reproducible()
                 .expect("victim node exists")
         };
         let plan = FaultPlan::new()
-            .crash_at(t0 + Duration::from_millis(3), "replica-200", "injected crash")
-            .crash_at(t0 + Duration::from_millis(4_803), "replica-500", "injected crash");
+            .crash_at(
+                t0 + Duration::from_millis(3),
+                "replica-200",
+                "injected crash",
+            )
+            .crash_at(
+                t0 + Duration::from_millis(4_803),
+                "replica-500",
+                "injected crash",
+            );
         let targets = FaultTargets::new()
             .component("replica-200", victim(200))
             .component("replica-500", victim(500));
@@ -461,7 +524,10 @@ fn supervised_replica_crashes_mid_operation_stay_linearizable_and_reproducible()
                 value: vec![round as u8 + 1; 4],
             });
             f.run_ms(400);
-            f.op(CatsOp::Get { node: (round * 57) % 800, key });
+            f.op(CatsOp::Get {
+                node: (round * 57) % 800,
+                key,
+            });
             f.run_ms(400);
         }
         // Tail long enough for the reborn replicas to rejoin the ring and
@@ -523,7 +589,15 @@ fn supervised_replica_crashes_mid_operation_stay_linearizable_and_reproducible()
             })
             .unwrap();
         f.sim.shutdown();
-        (result.0, result.1, result.2, result.3, installed.trace(), log, result.4)
+        (
+            result.0,
+            result.1,
+            result.2,
+            result.3,
+            installed.trace(),
+            log,
+            result.4,
+        )
     }
 
     let a = run(9);
@@ -557,7 +631,10 @@ fn operations_complete_and_stay_linearizable_under_message_loss() {
             value: vec![round as u8 + 1; 4],
         });
         f.run_ms(1_500);
-        f.op(CatsOp::Get { node: (round * 57) % 500, key });
+        f.op(CatsOp::Get {
+            node: (round * 57) % 500,
+            key,
+        });
         f.run_ms(1_500);
     }
     f.run_ms(20_000);

@@ -19,7 +19,9 @@
 
 use std::time::Duration;
 
-use cats::abd::{AbdConfig, ConsistentAbd, GetRequest, GetResponse, PutGet, PutRequest, PutResponse};
+use cats::abd::{
+    AbdConfig, ConsistentAbd, GetRequest, GetResponse, PutGet, PutRequest, PutResponse,
+};
 use cats::key::RingKey;
 use cats::msgs::{ReadQueryMsg, ReadReplyMsg, Tag, WriteAckMsg, WriteQueryMsg};
 use cats::ring::{RingNeighbors, RingPort};
@@ -37,7 +39,10 @@ fn coordinator() -> ConsistentAbd {
     // anti-entropy timer would add unscripted traffic.
     ConsistentAbd::new(
         Address::sim(COORD),
-        AbdConfig { repair_period: None, ..AbdConfig::default() },
+        AbdConfig {
+            repair_period: None,
+            ..AbdConfig::default()
+        },
     )
 }
 
@@ -46,11 +51,7 @@ fn group() -> Vec<Address> {
 }
 
 /// A `ReadQueryMsg` for `key` addressed to replica `dest`.
-fn read_query_to(
-    net: &PortHandle<Network>,
-    dest: u64,
-    key: u64,
-) -> Matcher<Observed> {
+fn read_query_to(net: &PortHandle<Network>, dest: u64, key: u64) -> Matcher<Observed> {
     net.out_where::<ReadQueryMsg>(format!("ReadQueryMsg(k{key}) to {dest}"), move |q| {
         q.base.destination.id == dest && q.key.0 == key && q.base.source.id == COORD
     })
@@ -84,7 +85,10 @@ fn read_reply(from: u64, rid: u64, tag: Tag, value: Option<&[u8]>) -> ReadReplyM
 }
 
 fn write_ack(from: u64, rid: u64) -> WriteAckMsg {
-    WriteAckMsg { base: Message::new(Address::sim(from), Address::sim(COORD)), rid }
+    WriteAckMsg {
+        base: Message::new(Address::sim(from), Address::sim(COORD)),
+        rid,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -103,7 +107,11 @@ fn abd_put_imposes_incremented_tag_on_majority() {
             group: group(),
         });
 
-        t.trigger(put_get.inject(PutRequest { id: 9, key: RingKey(10), value: b"new".to_vec() }));
+        t.trigger(put_get.inject(PutRequest {
+            id: 9,
+            key: RingKey(10),
+            value: b"new".to_vec(),
+        }));
         // Phase 1: the read query goes to *every* group member (rid 1: the
         // coordinator's first operation).
         t.unordered(vec![
@@ -116,7 +124,10 @@ fn abd_put_imposes_incremented_tag_on_majority() {
         t.trigger(net.inject(read_reply(3, 1, Tag::default(), None)));
         // Phase 2: the write must impose (5, COORD) — one past the maximum,
         // tie-broken by the writer id — on the whole group.
-        let imposed = Tag { seq: 5, writer: COORD };
+        let imposed = Tag {
+            seq: 5,
+            writer: COORD,
+        };
         t.unordered(vec![
             write_query_to(&net, 2, imposed, b"new"),
             write_query_to(&net, 3, imposed, b"new"),
@@ -149,7 +160,10 @@ fn abd_get_read_imposes_the_maximum_tag_value_pair() {
             group: group(),
         });
 
-        t.trigger(put_get.inject(GetRequest { id: 7, key: RingKey(77) }));
+        t.trigger(put_get.inject(GetRequest {
+            id: 7,
+            key: RingKey(77),
+        }));
         t.unordered(vec![
             read_query_to(&net, 2, 77),
             read_query_to(&net, 3, 77),
@@ -168,9 +182,11 @@ fn abd_get_read_imposes_the_maximum_tag_value_pair() {
         ]);
         t.trigger(net.inject(write_ack(3, 1)));
         t.trigger(net.inject(write_ack(2, 1)));
-        t.expect(put_get.out_where::<GetResponse>("GetResponse(winner)", |r| {
-            r.id == 7 && r.value.as_deref() == Some(b"winner")
-        }));
+        t.expect(
+            put_get.out_where::<GetResponse>("GetResponse(winner)", |r| {
+                r.id == 7 && r.value.as_deref() == Some(b"winner")
+            }),
+        );
     })
     .unwrap();
 }
@@ -200,28 +216,46 @@ fn router_resolves_against_the_live_view() {
                 successors: vec![Address::sim(20), Address::sim(30)],
             }));
             // Key 11: first member clockwise is 20, then the two successors.
-            t.trigger(routing.inject(FindGroup { reqid: 1, key: RingKey(11) }));
+            t.trigger(routing.inject(FindGroup {
+                reqid: 1,
+                key: RingKey(11),
+            }));
             t.expect(routing.out_where::<GroupFound>("group [20,30,5]", |g| {
                 g.reqid == 1 && group_ids(g) == [20, 30, 5]
             }));
 
             // A suspicion evicts node 20 from the view.
-            t.trigger(fd.inject(Suspect { peer: Address::sim(20) }));
-            t.trigger(routing.inject(FindGroup { reqid: 2, key: RingKey(11) }));
+            t.trigger(fd.inject(Suspect {
+                peer: Address::sim(20),
+            }));
+            t.trigger(routing.inject(FindGroup {
+                reqid: 2,
+                key: RingKey(11),
+            }));
             t.expect(routing.out_where::<GroupFound>("group [30,5,10]", |g| {
                 g.reqid == 2 && group_ids(g) == [30, 5, 10]
             }));
 
             // A restore re-admits it.
-            t.trigger(fd.inject(Restore { peer: Address::sim(20) }));
-            t.trigger(routing.inject(FindGroup { reqid: 3, key: RingKey(11) }));
+            t.trigger(fd.inject(Restore {
+                peer: Address::sim(20),
+            }));
+            t.trigger(routing.inject(FindGroup {
+                reqid: 3,
+                key: RingKey(11),
+            }));
             t.expect(routing.out_where::<GroupFound>("group [20,30,5]", |g| {
                 g.reqid == 3 && group_ids(g) == [20, 30, 5]
             }));
 
             // Cyclon samples extend the view: {5, 10, 20, 30, 40}.
-            t.trigger(sampling.inject(Sample { peers: vec![Address::sim(40)] }));
-            t.trigger(routing.inject(FindGroup { reqid: 4, key: RingKey(35) }));
+            t.trigger(sampling.inject(Sample {
+                peers: vec![Address::sim(40)],
+            }));
+            t.trigger(routing.inject(FindGroup {
+                reqid: 4,
+                key: RingKey(35),
+            }));
             t.expect(routing.out_where::<GroupFound>("group [40,5,10]", |g| {
                 g.reqid == 4 && group_ids(g) == [40, 5, 10]
             }));
@@ -250,7 +284,11 @@ fn abd_put_does_not_answer_on_a_single_ack() {
     t.disallow(put_get.out::<PutResponse>());
     t.within(Duration::from_millis(500));
 
-    t.trigger(put_get.inject(PutRequest { id: 1, key: RingKey(1), value: b"x".to_vec() }));
+    t.trigger(put_get.inject(PutRequest {
+        id: 1,
+        key: RingKey(1),
+        value: b"x".to_vec(),
+    }));
     t.trigger(net.inject(read_reply(2, 1, Tag::default(), None)));
     t.trigger(net.inject(read_reply(3, 1, Tag::default(), None)));
     // Only ONE ack — short of the majority of {2,3,4}.
@@ -260,7 +298,10 @@ fn abd_put_does_not_answer_on_a_single_ack() {
         // The disallow would catch a premature answer; absent one, the
         // (virtual-time) deadline fires with the response still pending.
         Err(kompics_testing::SpecError::Timeout { expected, .. }) => {
-            assert!(expected.iter().any(|e| e.contains("PutResponse")), "got {expected:?}");
+            assert!(
+                expected.iter().any(|e| e.contains("PutResponse")),
+                "got {expected:?}"
+            );
         }
         other => panic!("expected Timeout, got {other:?}"),
     }

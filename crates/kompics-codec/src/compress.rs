@@ -63,8 +63,7 @@ pub fn rle_decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
         i += 1;
         if control < 0x80 {
             let n = control as usize + 1;
-            let literals =
-                input.get(i..i + n).ok_or(CodecError::CorruptCompression)?;
+            let literals = input.get(i..i + n).ok_or(CodecError::CorruptCompression)?;
             out.extend_from_slice(literals);
             i += n;
         } else {
@@ -97,7 +96,11 @@ mod tests {
     fn constant_payload_compresses_well() {
         let data = vec![0xAB; 1024];
         let compressed = rle_compress(&data);
-        assert!(compressed.len() < 20, "1 KiB of one byte → {} bytes", compressed.len());
+        assert!(
+            compressed.len() < 20,
+            "1 KiB of one byte → {} bytes",
+            compressed.len()
+        );
         roundtrip(&data);
     }
 
@@ -128,6 +131,9 @@ mod tests {
         // Control byte promising a run, but no value byte follows.
         assert_eq!(rle_decompress(&[0x85]), Err(CodecError::CorruptCompression));
         // Control byte promising 4 literals, only 2 present.
-        assert_eq!(rle_decompress(&[3, 1, 2]), Err(CodecError::CorruptCompression));
+        assert_eq!(
+            rle_decompress(&[3, 1, 2]),
+            Err(CodecError::CorruptCompression)
+        );
     }
 }

@@ -156,7 +156,10 @@ impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(SeqAccess { de: self.de, remaining: len })
+        visitor.visit_seq(SeqAccess {
+            de: self.de,
+            remaining: len,
+        })
     }
 
     fn struct_variant<V: Visitor<'de>>(
@@ -164,7 +167,10 @@ impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(SeqAccess { de: self.de, remaining: fields.len() })
+        visitor.visit_seq(SeqAccess {
+            de: self.de,
+            remaining: fields.len(),
+        })
     }
 }
 
@@ -190,17 +196,14 @@ macro_rules! deserialize_unsigned {
     };
 }
 
-impl<'a, 'de> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     type Error = CodecError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError::NotSelfDescribing)
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError::NotSelfDescribing)
     }
 
@@ -306,7 +309,10 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_seq(SeqAccess { de: self, remaining: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -314,7 +320,10 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut Deserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(SeqAccess { de: self, remaining: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -323,12 +332,18 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut Deserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(SeqAccess { de: self, remaining: len })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_map(SeqAccess { de: self, remaining: len })
+        visitor.visit_map(SeqAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -337,7 +352,10 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut Deserializer<'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(SeqAccess { de: self, remaining: fields.len() })
+        visitor.visit_seq(SeqAccess {
+            de: self,
+            remaining: fields.len(),
+        })
     }
 
     fn deserialize_enum<V: Visitor<'de>>(
@@ -349,10 +367,7 @@ impl<'a, 'de> de::Deserializer<'de> for &'a mut Deserializer<'de> {
         visitor.visit_enum(EnumAccess { de: self })
     }
 
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError::NotSelfDescribing)
     }
 
@@ -391,7 +406,10 @@ mod tests {
             source: (0x7f000001, 8080),
             ops: vec![
                 Op::Get { key: 1 },
-                Op::Put { key: 2, value: vec![1, 2, 3] },
+                Op::Put {
+                    key: 2,
+                    value: vec![1, 2, 3],
+                },
                 Op::Nop,
                 Op::Pair(4, 5),
             ],

@@ -38,7 +38,10 @@ impl fmt::Display for CodecError {
             CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
             CodecError::InvalidChar(v) => write!(f, "invalid char scalar {v:#x}"),
             CodecError::NotSelfDescribing => {
-                write!(f, "format is not self-describing; a concrete type is required")
+                write!(
+                    f,
+                    "format is not self-describing; a concrete type is required"
+                )
             }
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             CodecError::UnknownLength => write!(f, "sequence length must be known"),
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(CodecError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert_eq!(
+            CodecError::UnexpectedEof.to_string(),
+            "unexpected end of input"
+        );
         assert!(CodecError::InvalidTag(0xff).to_string().contains("0xff"));
         assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
     }

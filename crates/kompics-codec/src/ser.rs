@@ -22,10 +22,7 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError>
 /// # Errors
 ///
 /// See [`to_bytes`].
-pub fn to_writer<T: Serialize + ?Sized>(
-    out: &mut Vec<u8>,
-    value: &T,
-) -> Result<(), CodecError> {
+pub fn to_writer<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<(), CodecError> {
     let mut serializer = Serializer { out };
     value.serialize(&mut serializer)
 }
@@ -289,17 +286,26 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
         match len {
             Some(len) => {
                 write_u64(self.out, len as u64);
-                Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+                Ok(Compound {
+                    out: self.out,
+                    mode: CompoundMode::Direct,
+                })
             }
             None => Ok(Compound {
                 out: self.out,
-                mode: CompoundMode::Buffered { buffer: Vec::new(), count: 0 },
+                mode: CompoundMode::Buffered {
+                    buffer: Vec::new(),
+                    count: 0,
+                },
             }),
         }
     }
 
     fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CodecError> {
-        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+        Ok(Compound {
+            out: self.out,
+            mode: CompoundMode::Direct,
+        })
     }
 
     fn serialize_tuple_struct(
@@ -307,7 +313,10 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
         _name: &'static str,
         _len: usize,
     ) -> Result<Compound<'a>, CodecError> {
-        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+        Ok(Compound {
+            out: self.out,
+            mode: CompoundMode::Direct,
+        })
     }
 
     fn serialize_tuple_variant(
@@ -318,7 +327,10 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
         _len: usize,
     ) -> Result<Compound<'a>, CodecError> {
         write_u64(self.out, variant_index as u64);
-        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+        Ok(Compound {
+            out: self.out,
+            mode: CompoundMode::Direct,
+        })
     }
 
     fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
@@ -330,7 +342,10 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
         _name: &'static str,
         _len: usize,
     ) -> Result<Compound<'a>, CodecError> {
-        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+        Ok(Compound {
+            out: self.out,
+            mode: CompoundMode::Direct,
+        })
     }
 
     fn serialize_struct_variant(
@@ -341,7 +356,10 @@ impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
         _len: usize,
     ) -> Result<Compound<'a>, CodecError> {
         write_u64(self.out, variant_index as u64);
-        Ok(Compound { out: self.out, mode: CompoundMode::Direct })
+        Ok(Compound {
+            out: self.out,
+            mode: CompoundMode::Direct,
+        })
     }
 
     fn is_human_readable(&self) -> bool {

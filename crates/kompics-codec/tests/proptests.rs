@@ -21,8 +21,7 @@ fn arb_op() -> impl Strategy<Value = WireOp> {
         any::<u64>().prop_map(WireOp::Get),
         (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64))
             .prop_map(|(key, value)| WireOp::Put { key, value }),
-        (proptest::option::of(".*"), any::<i32>())
-            .prop_map(|(t, n)| WireOp::Tagged(t, n)),
+        (proptest::option::of(".*"), any::<i32>()).prop_map(|(t, n)| WireOp::Tagged(t, n)),
         Just(WireOp::Nothing),
     ];
     leaf.prop_recursive(3, 32, 8, |inner| {

@@ -159,11 +159,17 @@ pub struct Finding {
 
 impl Finding {
     pub(crate) fn error(kind: FindingKind) -> Finding {
-        Finding { severity: Severity::Error, kind }
+        Finding {
+            severity: Severity::Error,
+            kind,
+        }
     }
 
     pub(crate) fn warning(kind: FindingKind) -> Finding {
-        Finding { severity: Severity::Warning, kind }
+        Finding {
+            severity: Severity::Warning,
+            kind,
+        }
     }
 }
 
@@ -171,12 +177,21 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: ", self.severity)?;
         match &self.kind {
-            FindingKind::DanglingRequiredPort { component, component_name, port } => write!(
+            FindingKind::DanglingRequiredPort {
+                component,
+                component_name,
+                port,
+            } => write!(
                 f,
                 "`{component_name}` ({component}) requires port `{port}` but nothing is \
                  connected to it; requests triggered on it are lost"
             ),
-            FindingKind::DeadEvent { component, component_name, port, event } => write!(
+            FindingKind::DeadEvent {
+                component,
+                component_name,
+                port,
+                event,
+            } => write!(
                 f,
                 "event `{event}` deliverable at `{component_name}` ({component}) port \
                  `{port}` matches no subscription and no channel forwards it"
@@ -295,15 +310,13 @@ fn required_port_is_dangling(inside: &Arc<PortCore>, outside: &Arc<PortCore>) ->
 /// has handlers but no onward channels. Bails out (reports nothing) when the
 /// catalog is unknown or any subscription is unrecognized against it —
 /// an undeclared subtype subscription would make every conclusion unsound.
-fn dead_events_at(
-    comp: &Arc<ComponentCore>,
-    half: &Arc<PortCore>,
-    findings: &mut Vec<Finding>,
-) {
+fn dead_events_at(comp: &Arc<ComponentCore>, half: &Arc<PortCore>, findings: &mut Vec<Finding>) {
     if half.port_type == TypeId::of::<ControlPort>() {
         return;
     }
-    let Some(catalog) = (half.catalog)(half.sign) else { return };
+    let Some(catalog) = (half.catalog)(half.sign) else {
+        return;
+    };
     let inner = half.inner.lock();
     if !inner.channels.is_empty() || inner.subscriptions.is_empty() {
         return;
@@ -342,11 +355,15 @@ fn duplicate_subscriptions_at(half: &Arc<PortCore>, findings: &mut Vec<Finding>)
     let mut counts: BTreeMap<(ComponentId, &'static str), (usize, TypeId, String)> =
         BTreeMap::new();
     for sub in &inner.subscriptions {
-        let Some((cid, weak)) = sub.subscriber.get() else { continue };
+        let Some((cid, weak)) = sub.subscriber.get() else {
+            continue;
+        };
         let Some(core) = weak.upgrade() else { continue };
-        let entry = counts
-            .entry((*cid, sub.event_type_name))
-            .or_insert((0, sub.event_type, core.name().to_string()));
+        let entry = counts.entry((*cid, sub.event_type_name)).or_insert((
+            0,
+            sub.event_type,
+            core.name().to_string(),
+        ));
         if entry.1 == sub.event_type {
             entry.0 += 1;
         }
@@ -368,10 +385,7 @@ fn duplicate_subscriptions_at(half: &Arc<PortCore>, findings: &mut Vec<Finding>)
 type ChannelGroups = HashMap<(usize, usize, Option<u64>), Vec<(ChannelId, &'static str)>>;
 
 /// Flags pairs of unfiltered same-key channels joining the same two halves.
-fn duplicate_channels(
-    channels: &BTreeMap<ChannelId, Arc<Channel>>,
-    findings: &mut Vec<Finding>,
-) {
+fn duplicate_channels(channels: &BTreeMap<ChannelId, Arc<Channel>>, findings: &mut Vec<Finding>) {
     let mut groups: ChannelGroups = HashMap::new();
     for (id, channel) in channels {
         if !channel.is_unfiltered() {
@@ -380,7 +394,11 @@ fn duplicate_channels(
         let [a, b] = channel.end_halves();
         let (Some(a), Some(b)) = (a, b) else { continue };
         groups
-            .entry((Arc::as_ptr(&a) as usize, Arc::as_ptr(&b) as usize, channel.key()))
+            .entry((
+                Arc::as_ptr(&a) as usize,
+                Arc::as_ptr(&b) as usize,
+                channel.key(),
+            ))
             .or_default()
             .push((*id, channel.type_name()));
     }
@@ -411,14 +429,18 @@ fn escalation_cycles(components: &[Arc<ComponentCore>], findings: &mut Vec<Findi
     let mut names: HashMap<ComponentId, String> = HashMap::new();
 
     for comp in components {
-        let Some(children) = supervised_cores(comp) else { continue };
+        let Some(children) = supervised_cores(comp) else {
+            continue;
+        };
         names.insert(comp.id(), comp.name().to_string());
         let targets = edges.entry(comp.id()).or_default();
         for child in children {
             let mut subtree_supervisors = Vec::new();
             collect_supervisors(&child, &mut subtree_supervisors);
             for sup in subtree_supervisors {
-                names.entry(sup.id()).or_insert_with(|| sup.name().to_string());
+                names
+                    .entry(sup.id())
+                    .or_insert_with(|| sup.name().to_string());
                 if !targets.contains(&sup.id()) {
                     targets.push(sup.id());
                 }
@@ -437,7 +459,15 @@ fn escalation_cycles(components: &[Arc<ComponentCore>], findings: &mut Vec<Findi
         }
         let mut stack: Vec<ComponentId> = Vec::new();
         let mut on_stack: HashSet<ComponentId> = HashSet::new();
-        dfs_cycle(start, &edges, &mut stack, &mut on_stack, &mut done, &names, findings);
+        dfs_cycle(
+            start,
+            &edges,
+            &mut stack,
+            &mut on_stack,
+            &mut done,
+            &names,
+            findings,
+        );
     }
 }
 

@@ -29,6 +29,7 @@ use parking_lot::Mutex;
 use crate::error::CoreError;
 use crate::event::{Event, EventRef};
 use crate::port::{Direction, PortCore, PortRef, PortType};
+use crate::rcu::RcuCell;
 use crate::types::{ChannelId, PortId};
 
 static NEXT_CHANNEL_ID: AtomicU64 = AtomicU64::new(1);
@@ -40,6 +41,7 @@ fn fresh_channel_id() -> ChannelId {
 /// Decides whether a channel forwards a given event in a given direction.
 pub type ChannelSelector = Arc<dyn Fn(&dyn Event, Direction) -> bool + Send + Sync>;
 
+#[derive(Clone)]
 struct End {
     port_id: PortId,
     half: Weak<PortCore>,
@@ -54,6 +56,15 @@ struct ChannelState {
     buffer: VecDeque<(usize, Direction, EventRef)>,
 }
 
+/// Lock-free snapshot of the routing-relevant channel state (`ends`, `held`;
+/// the held-buffer stays behind the lock). Read on every
+/// [`Channel::forward_from`]; republished by plug/unplug/hold/resume.
+#[derive(Clone, Default)]
+struct ChanView {
+    ends: [Option<End>; 2],
+    held: bool,
+}
+
 /// The shared state of a channel. Users interact through [`ChannelRef`].
 pub struct Channel {
     id: ChannelId,
@@ -61,7 +72,9 @@ pub struct Channel {
     type_name: &'static str,
     selector: Option<ChannelSelector>,
     key: Option<u64>,
+    /// Canonical state; all mutations republish `view`.
     state: Mutex<ChannelState>,
+    view: RcuCell<ChanView>,
 }
 
 impl fmt::Debug for Channel {
@@ -75,6 +88,19 @@ impl fmt::Debug for Channel {
 }
 
 impl Channel {
+    /// Applies a mutation to the canonical state under the lock, then
+    /// republishes the lock-free routing view. All publishes happen under
+    /// `state`, satisfying [`RcuCell::publish`]'s serialization requirement.
+    fn mutate_state<R>(&self, f: impl FnOnce(&mut ChannelState) -> R) -> R {
+        let mut state = self.state.lock();
+        let out = f(&mut state);
+        self.view.publish(ChanView {
+            ends: state.ends.clone(),
+            held: state.held,
+        });
+        out
+    }
+
     /// Forwards an event that exited at the half identified by
     /// (`source_port`, `source_sign`) to the opposite end.
     pub(crate) fn forward_from(
@@ -93,11 +119,50 @@ impl Channel {
             Direction::Positive => 0,
             Direction::Negative => 1,
         };
+        // Fast path: pin the routing view — no lock while the channel is
+        // flowing. A forwarder that pinned `held == false` just before a
+        // hold() published may still deliver after hold() returns; the old
+        // mutex version had the identical window (delivery happened outside
+        // the lock), so reconfiguration's hold→drain→rewire sequence is
+        // unaffected.
+        let dest = {
+            let view = self.view.pin();
+            match &view.ends[source_idx] {
+                Some(end) if end.port_id == source_port => {}
+                // The source half was unplugged concurrently; drop.
+                _ => return,
+            }
+            if view.held {
+                drop(view);
+                return self.forward_held(source_idx, source_port, dir, event);
+            }
+            match &view.ends[1 - source_idx] {
+                Some(end) => end.half.upgrade(),
+                None => None,
+            }
+        };
+        if let Some(dest) = dest {
+            // Delivered outside the pin: FIFO per producer still holds
+            // because forwarding is synchronous on the producing thread.
+            let _ = dest.trigger_in(dir, event);
+        }
+    }
+
+    /// Slow path for a channel observed held: re-checks `held` under the
+    /// state lock so buffering linearizes with [`ChannelRef::resume`]'s
+    /// flush — without the re-check an event could be buffered *after* the
+    /// final flush and sit there until the next resume.
+    fn forward_held(
+        self: &Arc<Self>,
+        source_idx: usize,
+        source_port: PortId,
+        dir: Direction,
+        event: EventRef,
+    ) {
         let dest = {
             let mut state = self.state.lock();
             match &state.ends[source_idx] {
                 Some(end) if end.port_id == source_port => {}
-                // The source half was unplugged concurrently; drop.
                 _ => return,
             }
             let dest_idx = 1 - source_idx;
@@ -111,8 +176,6 @@ impl Channel {
             }
         };
         if let Some(dest) = dest {
-            // Delivered outside the lock: FIFO per producer still holds
-            // because forwarding is synchronous on the producing thread.
             let _ = dest.trigger_in(dir, event);
         }
     }
@@ -184,28 +247,28 @@ impl ChannelRef {
     /// Puts the channel on hold: it stops forwarding events and queues them
     /// in both directions until [`resume`](ChannelRef::resume).
     pub fn hold(&self) {
-        self.channel.state.lock().held = true;
+        self.channel.mutate_state(|state| state.held = true);
     }
 
     /// Resumes the channel: first forwards all queued events, in order, then
     /// keeps forwarding as usual.
     pub fn resume(&self) {
         loop {
-            let next = {
-                let mut state = self.channel.state.lock();
-                match state.buffer.pop_front() {
+            // mutate_state republishes the view each round; only the final
+            // round (held → false) changes it, but resume is cold and the
+            // publish must stay under the state lock either way.
+            let next = self
+                .channel
+                .mutate_state(|state| match state.buffer.pop_front() {
                     Some(entry) => {
-                        let dest = state.ends[entry.0]
-                            .as_ref()
-                            .and_then(|e| e.half.upgrade());
+                        let dest = state.ends[entry.0].as_ref().and_then(|e| e.half.upgrade());
                         Some((dest, entry.1, entry.2))
                     }
                     None => {
                         state.held = false;
                         None
                     }
-                }
-            };
+                });
             match next {
                 Some((Some(dest), dir, event)) => {
                     let _ = dest.trigger_in(dir, event);
@@ -260,25 +323,24 @@ impl ChannelRef {
             });
         }
         let idx = Channel::end_index_for_sign(half.sign);
-        {
-            let mut state = self.channel.state.lock();
+        self.channel.mutate_state(|state| {
             if state.ends[idx].is_some() {
-                return Err(CoreError::ChannelEndOccupied { channel: self.channel.id });
+                return Err(CoreError::ChannelEndOccupied {
+                    channel: self.channel.id,
+                });
             }
             state.ends[idx] = Some(End {
                 port_id: half.port_id(),
                 half: Arc::downgrade(half),
             });
-        }
+            Ok(())
+        })?;
         half.attach_channel(self.channel.id, self.channel.key, Arc::clone(&self.channel));
         Ok(())
     }
 
     fn unplug_index(&self, idx: usize) -> Result<(), CoreError> {
-        let end = {
-            let mut state = self.channel.state.lock();
-            state.ends[idx].take()
-        };
+        let end = self.channel.mutate_state(|state| state.ends[idx].take());
         match end {
             Some(end) => {
                 if let Some(half) = end.half.upgrade() {
@@ -286,7 +348,9 @@ impl ChannelRef {
                 }
                 Ok(())
             }
-            None => Err(CoreError::ChannelEndEmpty { channel: self.channel.id }),
+            None => Err(CoreError::ChannelEndEmpty {
+                channel: self.channel.id,
+            }),
         }
     }
 
@@ -363,6 +427,7 @@ fn connect_impl<P: PortType>(
             held: false,
             buffer: VecDeque::new(),
         }),
+        view: RcuCell::new(ChanView::default()),
     });
     let r = ChannelRef { channel };
     r.plug(a)?;
@@ -419,4 +484,170 @@ pub fn connect_keyed<P: PortType>(
     key: u64,
 ) -> Result<ChannelRef, CoreError> {
     connect_impl(a, b, None, Some(key))
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentContext, ComponentDefinition};
+    use crate::config::Config;
+    use crate::port::{ProvidedPort, RequiredPort};
+    use crate::system::KompicsSystem;
+    use crate::{impl_event, port_type};
+
+    #[derive(Debug, Clone)]
+    struct Tick(u64);
+    impl_event!(Tick);
+    #[derive(Debug, Clone)]
+    struct Tock(#[allow(dead_code)] u64);
+    impl_event!(Tock);
+
+    port_type! {
+        pub struct Pipe {
+            indication: Tock;
+            request: Tick;
+        }
+    }
+
+    struct Counter {
+        ctx: ComponentContext,
+        port: ProvidedPort<Pipe>,
+        seen: u64,
+    }
+
+    impl Counter {
+        fn new() -> Self {
+            let ctx = ComponentContext::new();
+            let port = ProvidedPort::new();
+            port.subscribe(|this: &mut Counter, tick: &Tick| {
+                this.seen += 1;
+                this.port.trigger(Tock(tick.0));
+            });
+            Counter { ctx, port, seen: 0 }
+        }
+    }
+
+    impl ComponentDefinition for Counter {
+        fn context(&self) -> &ComponentContext {
+            &self.ctx
+        }
+        fn type_name(&self) -> &'static str {
+            "Counter"
+        }
+    }
+
+    struct Listener {
+        ctx: ComponentContext,
+        _port: RequiredPort<Pipe>,
+        seen: u64,
+    }
+
+    impl Listener {
+        fn new() -> Self {
+            let ctx = ComponentContext::new();
+            let port = RequiredPort::new();
+            port.subscribe(|this: &mut Listener, _tock: &Tock| {
+                this.seen += 1;
+            });
+            Listener {
+                ctx,
+                _port: port,
+                seen: 0,
+            }
+        }
+    }
+
+    impl ComponentDefinition for Listener {
+        fn context(&self) -> &ComponentContext {
+            &self.ctx
+        }
+        fn type_name(&self) -> &'static str {
+            "Listener"
+        }
+    }
+
+    /// The acceptance probe for the hot-path overhaul: every port-half
+    /// write mutex on the trigger→dispatch→channel→handler path, plus the
+    /// channel's state mutex, is held by this thread while a hot loop of
+    /// triggers and the full execution drain run to completion. If any part
+    /// of the fan-out fast path acquired one of those locks, this test would
+    /// deadlock (and the harness would time it out) — finishing with the
+    /// right delivery counts proves the fast path is lock-free.
+    #[test]
+    fn dispatch_fast_path_takes_no_port_or_channel_locks() {
+        const N: u64 = 10_000;
+        let (system, sched) = KompicsSystem::sequential(Config::default());
+        let counter = system.create(Counter::new);
+        let listener = system.create(Listener::new);
+        let provided = counter.provided_ref::<Pipe>().unwrap();
+        let required = listener.required_ref::<Pipe>().unwrap();
+        let chan = connect(&provided, &required).unwrap();
+        system.start(&counter);
+        system.start(&listener);
+        sched.run_until_quiescent();
+
+        // Collect every mutex on the dispatch path.
+        let halves = [
+            Arc::clone(provided.core()),
+            provided.core().pair.get().and_then(Weak::upgrade).unwrap(),
+            Arc::clone(required.core()),
+            required.core().pair.get().and_then(Weak::upgrade).unwrap(),
+        ];
+        {
+            let _port_guards: Vec<_> = halves.iter().map(|h| h.inner.lock()).collect();
+            let _chan_guard = chan.channel.state.lock();
+            // The probe sees the locks as held...
+            for half in &halves {
+                assert!(half.inner.is_locked());
+            }
+            assert!(chan.channel.state.is_locked());
+            // ...while the entire hot path runs under them: trigger fan-out,
+            // channel forwarding, and handler execution.
+            for i in 0..N {
+                provided.trigger(Tick(i)).unwrap();
+                sched.run_until_quiescent();
+            }
+        }
+        assert_eq!(counter.on_definition(|c| c.seen).unwrap(), N);
+        assert_eq!(listener.on_definition(|l| l.seen).unwrap(), N);
+    }
+
+    /// Events arriving while a channel is held are buffered and flushed in
+    /// order by resume, even when the hold happens mid-stream.
+    #[test]
+    fn hold_buffers_and_resume_flushes_in_order() {
+        let (system, sched) = KompicsSystem::sequential(Config::default());
+        let counter = system.create(Counter::new);
+        let listener = system.create(Listener::new);
+        let provided = counter.provided_ref::<Pipe>().unwrap();
+        let required = listener.required_ref::<Pipe>().unwrap();
+        let chan = connect(&provided, &required).unwrap();
+        system.start(&counter);
+        system.start(&listener);
+        sched.run_until_quiescent();
+
+        provided.trigger(Tick(0)).unwrap();
+        sched.run_until_quiescent();
+        assert_eq!(listener.on_definition(|l| l.seen).unwrap(), 1);
+
+        chan.hold();
+        for i in 1..=5 {
+            provided.trigger(Tick(i)).unwrap();
+        }
+        sched.run_until_quiescent();
+        // Requests still reach the counter (the channel sits on the
+        // indication side of this wiring), but the indications are parked.
+        assert_eq!(counter.on_definition(|c| c.seen).unwrap(), 6);
+        assert_eq!(listener.on_definition(|l| l.seen).unwrap(), 1);
+        assert_eq!(chan.queued_len(), 5);
+
+        chan.resume();
+        sched.run_until_quiescent();
+        assert_eq!(listener.on_definition(|l| l.seen).unwrap(), 6);
+        assert!(!chan.is_held());
+    }
 }

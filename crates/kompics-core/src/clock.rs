@@ -39,8 +39,10 @@ pub struct SystemClock {
 impl SystemClock {
     /// A clock whose origin is the moment of construction.
     pub fn new() -> Self {
-        // komlint: allow(wall-clock) reason="this is the runtime's sanctioned wall-clock source; everything else injects a ClockRef"
-        SystemClock { origin: Instant::now() }
+        SystemClock {
+            // komlint: allow(wall-clock) reason="this is the runtime's sanctioned wall-clock source; everything else injects a ClockRef"
+            origin: Instant::now(),
+        }
     }
 
     /// A shareable handle to a fresh system clock.
@@ -83,7 +85,8 @@ impl ManualClock {
 
     /// Moves the clock forward by `delta`.
     pub fn advance(&self, delta: Duration) {
-        self.nanos.fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+        self.nanos
+            .fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
     }
 
     /// Sets the clock to an absolute reading.

@@ -31,8 +31,8 @@ use crate::event::{Event, EventRef};
 use crate::fault::Fault;
 use crate::lifecycle::{ControlPort, Kill, Start, Started, Stop, Stopped};
 use crate::port::{
-    erase_handler, erase_handler_shared, fresh_handler_id, Direction, PortCore, PortRef,
-    PortType, Subscription,
+    erase_handler, erase_handler_shared, fresh_handler_id, Direction, PortCore, PortRef, PortType,
+    Subscription,
 };
 use crate::system::SystemCore;
 use crate::types::{ComponentId, HandlerId};
@@ -445,6 +445,12 @@ impl ComponentCore {
     }
 
     /// Current life-cycle state.
+    ///
+    /// Deliberately *not* demoted from SeqCst: `runnable()` combines this
+    /// load with the pending-counter loads in the lost-wakeup recheck, and
+    /// mixing weaker orderings there would void the single-total-order
+    /// argument that makes the recheck sound (a Passive→Active transition
+    /// racing an enqueue could otherwise strand a work item).
     pub fn lifecycle(&self) -> LifecycleState {
         LifecycleState::from_u8(self.lifecycle.load(Ordering::SeqCst))
     }
@@ -460,7 +466,9 @@ impl ComponentCore {
 
     /// Whether an execution slice is currently running.
     pub(crate) fn is_executing(&self) -> bool {
-        self.executing.load(Ordering::SeqCst)
+        // Acquire pairs with the Release stores in `execute`; the flag is
+        // advisory (introspection), so no stronger order is needed.
+        self.executing.load(Ordering::Acquire)
     }
 
     #[allow(dead_code)]
@@ -478,8 +486,14 @@ impl ComponentCore {
     }
 
     pub(crate) fn enqueue_work(self: &Arc<Self>, item: WorkItem) {
-        let Some(system) = self.system.upgrade() else { return };
+        let Some(system) = self.system.upgrade() else {
+            return;
+        };
         let is_control = item.half.port_type == TypeId::of::<ControlPort>();
+        // The increments are SeqCst: they form the producer half of the
+        // Dekker handoff with `execute`'s exit path (store scheduled=false,
+        // then re-read the counters). The counter is bumped *before* the
+        // push so the consumer's counters only ever overstate queued work.
         if is_control {
             self.control_pending.fetch_add(1, Ordering::SeqCst);
             system.pending_inc();
@@ -505,15 +519,27 @@ impl ComponentCore {
 
     /// Executes up to the system's throughput worth of queued events.
     /// Called by schedulers only.
+    ///
+    /// The slice batches its bookkeeping: per-item pops only touch the
+    /// queues, and the pending counters (component-local and system-wide)
+    /// are settled with one `fetch_sub(n)` each at the end of the slice.
+    /// Deferring the decrements is safe because the counters then only ever
+    /// *over*-state the amount of queued work — a concurrent `runnable()` or
+    /// quiescence check may schedule a spurious slice (which pops nothing
+    /// and exits), but can never miss work or report quiescence early.
     pub fn execute(self: &Arc<Self>) -> ExecuteResult {
         let Some(system) = self.system.upgrade() else {
             self.scheduled.store(false, Ordering::SeqCst);
             return ExecuteResult::Done;
         };
-        self.executing.store(true, Ordering::SeqCst);
+        // Release-store / Acquire-load: `executing` is an advisory flag
+        // (introspection + fault reporting); it orders nothing but itself,
+        // and the definition mutex already synchronizes handler state.
+        self.executing.store(true, Ordering::Release);
         let throughput = system.throughput().max(1);
-        let mut executed = 0;
-        while executed < throughput {
+        let mut ctl_popped = 0usize;
+        let mut work_popped = 0usize;
+        while ctl_popped + work_popped < throughput {
             let state = self.lifecycle();
             if matches!(state, LifecycleState::Faulty | LifecycleState::Destroyed) {
                 // Faulty components no longer execute handlers, but a `Kill`
@@ -529,23 +555,47 @@ impl ComponentCore {
                 }
                 break;
             }
-            let item = if let Some(i) = self.control_queue.pop() {
-                self.control_pending.fetch_sub(1, Ordering::SeqCst);
-                Some(i)
-            } else if state == LifecycleState::Active {
-                self.work_queue.pop().inspect(|_| {
-                    self.work_pending.fetch_sub(1, Ordering::SeqCst);
-                })
+            // Counter-guarded pops: skip the queue mutex entirely when the
+            // (possibly overstated) counter says it is empty. Acquire is
+            // enough here — the counter is a hint; missing a just-raced
+            // increment is caught by the post-slice SeqCst recheck below.
+            let item = if self.control_pending.load(Ordering::Acquire) > ctl_popped {
+                // A pop may still come up empty: the producer increments the
+                // counter *before* pushing. Falling through is fine — the
+                // producer's `try_schedule` or our exit recheck picks it up.
+                self.control_queue.pop().inspect(|_| ctl_popped += 1)
             } else {
                 None
             };
+            let item = match item {
+                Some(i) => Some(i),
+                None if state == LifecycleState::Active
+                    && self.work_pending.load(Ordering::Acquire) > work_popped =>
+                {
+                    self.work_queue.pop().inspect(|_| work_popped += 1)
+                }
+                None => None,
+            };
             let Some(item) = item else { break };
             self.handle_item(item);
-            system.pending_dec();
-            executed += 1;
         }
-        self.executing.store(false, Ordering::SeqCst);
-        // Unschedule, then re-check for work that raced in.
+        // Settle the slice: one fetch_sub per counter instead of one per
+        // item. SeqCst so the decrements are ordered before the
+        // scheduled-flag release and the runnable() recheck below.
+        if ctl_popped > 0 {
+            self.control_pending.fetch_sub(ctl_popped, Ordering::SeqCst);
+        }
+        if work_popped > 0 {
+            self.work_pending.fetch_sub(work_popped, Ordering::SeqCst);
+        }
+        system.pending_sub(ctl_popped + work_popped);
+        self.executing.store(false, Ordering::Release);
+        // Unschedule, then re-check for work that raced in. Both the store
+        // and the loads inside `runnable()` are SeqCst: this is the Dekker
+        // handoff with `enqueue_work` (increment pending, then CAS
+        // `scheduled`) — either the enqueuer's CAS succeeds, or we observe
+        // its increment here and reschedule ourselves. Weakening either
+        // side can strand a queued event with no scheduled slice.
         self.scheduled.store(false, Ordering::SeqCst);
         if self.runnable()
             && self
@@ -575,16 +625,24 @@ impl ComponentCore {
                 saw_kill = true;
             }
         };
+        let mut ctl = 0usize;
+        let mut work = 0usize;
         while let Some(item) = self.control_queue.pop() {
             note(&item);
-            self.control_pending.fetch_sub(1, Ordering::SeqCst);
-            system.pending_dec();
+            ctl += 1;
         }
         while let Some(item) = self.work_queue.pop() {
             note(&item);
-            self.work_pending.fetch_sub(1, Ordering::SeqCst);
-            system.pending_dec();
+            work += 1;
         }
+        // Settled in one batch per counter, like the execute slice.
+        if ctl > 0 {
+            self.control_pending.fetch_sub(ctl, Ordering::SeqCst);
+        }
+        if work > 0 {
+            self.work_pending.fetch_sub(work, Ordering::SeqCst);
+        }
+        system.pending_sub(ctl + work);
         saw_kill
     }
 
@@ -598,10 +656,9 @@ impl ComponentCore {
                 if self.lifecycle() == LifecycleState::Passive {
                     self.set_lifecycle(LifecycleState::Active);
                 }
-            } else if concrete == TypeId::of::<Stop>() {
-                if self.lifecycle() == LifecycleState::Active {
-                    self.set_lifecycle(LifecycleState::Passive);
-                }
+            } else if concrete == TypeId::of::<Stop>() && self.lifecycle() == LifecycleState::Active
+            {
+                self.set_lifecycle(LifecycleState::Passive);
             }
         }
 
@@ -814,7 +871,10 @@ where
         Some(Box::new(f()) as Box<dyn ComponentDefinition>)
     })
     .expect("constructor returned a definition");
-    Component { core: erased.core, _marker: std::marker::PhantomData }
+    Component {
+        core: erased.core,
+        _marker: std::marker::PhantomData,
+    }
 }
 
 /// Type-erased component creation, used by supervision to instantiate a
@@ -911,9 +971,7 @@ where
             core: weak.clone(),
             system: Arc::downgrade(system),
         })
-        .unwrap_or_else(|_| {
-            panic!("ComponentContext reused across component instances")
-        });
+        .unwrap_or_else(|_| panic!("ComponentContext reused across component instances"));
     for sub in ctx.pending_control.lock().drain(..) {
         let _ = sub.subscriber.set((id, weak.clone()));
         core.control_inside.subscribe_raw(sub);
@@ -947,7 +1005,10 @@ pub struct Component<C> {
 
 impl<C> Clone for Component<C> {
     fn clone(&self) -> Self {
-        Component { core: Arc::clone(&self.core), _marker: std::marker::PhantomData }
+        Component {
+            core: Arc::clone(&self.core),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -975,7 +1036,9 @@ impl<C> Component<C> {
 
     /// A type-erased handle to the same component.
     pub fn erased(&self) -> ComponentRef {
-        ComponentRef { core: Arc::clone(&self.core) }
+        ComponentRef {
+            core: Arc::clone(&self.core),
+        }
     }
 
     /// The outside half of the component's provided port of type `P`, for
@@ -1019,9 +1082,9 @@ impl<C> Component<C> {
         C: ComponentDefinition,
     {
         let mut guard = self.core.definition.lock();
-        let def = guard
-            .as_mut()
-            .ok_or(CoreError::Defunct { what: "component definition" })?;
+        let def = guard.as_mut().ok_or(CoreError::Defunct {
+            what: "component definition",
+        })?;
         let any: &mut dyn Any = def.as_mut();
         let concrete = any
             .downcast_mut::<C>()

@@ -69,7 +69,9 @@ impl Config {
     /// available CPUs.
     pub fn worker_count(&self) -> usize {
         if self.workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.workers
         }

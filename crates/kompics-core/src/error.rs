@@ -85,19 +85,30 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::EventNotAllowed { event, port, direction } => write!(
+            CoreError::EventNotAllowed {
+                event,
+                port,
+                direction,
+            } => write!(
                 f,
                 "event `{event}` is not allowed through port `{port}` in the {direction} direction"
             ),
             CoreError::PortTypeMismatch { left, right } => {
-                write!(f, "cannot connect ports of different types `{left}` and `{right}`")
+                write!(
+                    f,
+                    "cannot connect ports of different types `{left}` and `{right}`"
+                )
             }
             CoreError::SamePolarity { port } => write!(
                 f,
                 "cannot connect two `{port}` halves of the same polarity; \
                  a channel joins a positive half to a negative half"
             ),
-            CoreError::NoSuchPort { component, provided, .. } => write!(
+            CoreError::NoSuchPort {
+                component,
+                provided,
+                ..
+            } => write!(
                 f,
                 "component {component} has no {} port of the requested type",
                 if *provided { "provided" } else { "required" }
@@ -108,7 +119,12 @@ impl fmt::Display for CoreError {
             CoreError::ChannelEndEmpty { channel } => {
                 write!(f, "channel {channel} end is not plugged into any port")
             }
-            CoreError::DuplicateChannel { port, left, right, existing } => write!(
+            CoreError::DuplicateChannel {
+                port,
+                left,
+                right,
+                existing,
+            } => write!(
                 f,
                 "channel {existing} already connects `{port}` ports {left} and {right}; \
                  a duplicate channel would deliver every event twice"

@@ -91,7 +91,9 @@ pub trait Event: Any + Send + Sync + fmt::Debug {
 /// Returns `None` if `E` is neither the concrete type nor a declared
 /// ancestor.
 pub fn event_as<E: Event>(event: &dyn Event) -> Option<&E> {
-    event.view_as(TypeId::of::<E>()).and_then(|any| any.downcast_ref::<E>())
+    event
+        .view_as(TypeId::of::<E>())
+        .and_then(|any| any.downcast_ref::<E>())
 }
 
 /// Implements [`Event`] for a type, optionally declaring its parent event.
@@ -185,7 +187,10 @@ mod tests {
 
     #[test]
     fn subtype_is_instance_of_ancestors() {
-        let dm = DataMessage { base: Message { destination: 2 }, seq: 9 };
+        let dm = DataMessage {
+            base: Message { destination: 2 },
+            seq: 9,
+        };
         assert!(dm.is_instance_of(TypeId::of::<DataMessage>()));
         assert!(dm.is_instance_of(TypeId::of::<Message>()));
         assert!(!dm.is_instance_of(TypeId::of::<Unrelated>()));
@@ -194,7 +199,10 @@ mod tests {
     #[test]
     fn transitive_chain_via_grandparent() {
         let ack = AckMessage {
-            base: DataMessage { base: Message { destination: 3 }, seq: 1 },
+            base: DataMessage {
+                base: Message { destination: 3 },
+                seq: 1,
+            },
         };
         assert!(ack.is_instance_of(TypeId::of::<AckMessage>()));
         assert!(ack.is_instance_of(TypeId::of::<DataMessage>()));
@@ -203,7 +211,10 @@ mod tests {
 
     #[test]
     fn view_as_returns_embedded_ancestor() {
-        let dm = DataMessage { base: Message { destination: 4 }, seq: 2 };
+        let dm = DataMessage {
+            base: Message { destination: 4 },
+            seq: 2,
+        };
         let dyn_event: &dyn Event = &dm;
         let as_msg = event_as::<Message>(dyn_event).expect("message view");
         assert_eq!(as_msg.destination, 4);
@@ -215,7 +226,10 @@ mod tests {
     #[test]
     fn parent_view_of_grandchild() {
         let ack = AckMessage {
-            base: DataMessage { base: Message { destination: 5 }, seq: 6 },
+            base: DataMessage {
+                base: Message { destination: 5 },
+                seq: 6,
+            },
         };
         let dyn_event: &dyn Event = &ack;
         assert_eq!(event_as::<Message>(dyn_event).unwrap().destination, 5);

@@ -83,6 +83,7 @@ pub mod event;
 pub mod fault;
 pub mod lifecycle;
 pub mod port;
+pub(crate) mod rcu;
 pub mod reconfig;
 pub mod sched;
 pub mod supervision;
@@ -95,17 +96,13 @@ pub mod prelude {
     pub use crate::analyze::{Finding, FindingKind, Severity};
     pub use crate::channel::{ChannelRef, ChannelSelector};
     pub use crate::clock::{Clock, ClockRef, ManualClock, SystemClock};
-    pub use crate::component::{
-        Component, ComponentContext, ComponentDefinition, ComponentRef,
-    };
+    pub use crate::component::{Component, ComponentContext, ComponentDefinition, ComponentRef};
     pub use crate::config::Config;
     pub use crate::error::CoreError;
     pub use crate::event::{event_as, Event, EventRef};
     pub use crate::fault::{Fault, FaultPolicy};
     pub use crate::lifecycle::{Init, Kill, Start, Started, Stop, Stopped};
-    pub use crate::port::{
-        Direction, PortRef, PortType, ProvidedPort, RequiredPort,
-    };
+    pub use crate::port::{Direction, PortRef, PortType, ProvidedPort, RequiredPort};
     pub use crate::supervision::{
         inject_fault, supervise, RestartStrategy, SuperviseOptions, SupervisionAction,
         SupervisionEvent, Supervisor, SupervisorConfig,

@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn init_subtypes_pass_as_init() {
-        let my = MyInit { base: Init, parameter: 42 };
+        let my = MyInit {
+            base: Init,
+            parameter: 42,
+        };
         assert!(my.is_instance_of(std::any::TypeId::of::<Init>()));
         assert!(ControlPort::allows(&my, Direction::Negative));
         assert_eq!(my.parameter, 42);

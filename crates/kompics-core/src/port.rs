@@ -38,11 +38,10 @@ use std::sync::{Arc, OnceLock, Weak};
 use parking_lot::Mutex;
 
 use crate::channel::Channel;
-use crate::component::{
-    construction_frame_attach, ComponentCore, ComponentDefinition, WorkItem,
-};
+use crate::component::{construction_frame_attach, ComponentCore, ComponentDefinition, WorkItem};
 use crate::error::CoreError;
 use crate::event::{event_as, Event, EventRef};
+use crate::rcu::RcuCell;
 use crate::types::{ChannelId, ComponentId, HandlerId, PortId};
 
 static NEXT_PORT_ID: AtomicU64 = AtomicU64::new(1);
@@ -229,8 +228,7 @@ macro_rules! port_type {
 
 /// The type-erased handler invoked for a delivered event: downcasts the
 /// component definition and the event, then calls the user function.
-pub(crate) type HandlerFn =
-    Arc<dyn Fn(&mut dyn ComponentDefinition, &EventRef) + Send + Sync>;
+pub(crate) type HandlerFn = Arc<dyn Fn(&mut dyn ComponentDefinition, &EventRef) + Send + Sync>;
 
 /// One handler subscription at a port half.
 pub(crate) struct Subscription {
@@ -261,13 +259,14 @@ pub type KeyExtractor = Arc<dyn Fn(&dyn Event, Direction) -> Option<u64> + Send 
 /// the testing harness uses taps to record a component's event stream.
 pub type TapFn = Arc<dyn Fn(Direction, &EventRef) + Send + Sync>;
 
+#[derive(Clone)]
 pub(crate) struct ChannelAttachment {
     pub(crate) id: ChannelId,
     pub(crate) key: Option<u64>,
     pub(crate) channel: Arc<Channel>,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub(crate) struct PortInner {
     pub(crate) subscriptions: Vec<Arc<Subscription>>,
     pub(crate) channels: Vec<ChannelAttachment>,
@@ -295,7 +294,12 @@ pub struct PortCore {
     pub(crate) catalog: fn(Direction) -> Option<Vec<EventTypeInfo>>,
     pub(crate) owner: OnceLock<(ComponentId, Weak<ComponentCore>)>,
     pub(crate) pair: OnceLock<Weak<PortCore>>,
+    /// Canonical, writer-side state. Every mutation happens under this lock
+    /// and republishes `snap`; the dispatch fast path never touches it.
     pub(crate) inner: Mutex<PortInner>,
+    /// Lock-free snapshot of `inner` read by [`PortCore::dispatch`] and
+    /// [`PortCore::execute_handlers`] — the trigger fan-out fast path.
+    snap: RcuCell<PortInner>,
 }
 
 impl fmt::Debug for PortCore {
@@ -316,8 +320,11 @@ impl PortCore {
         let id = fresh_port_id();
         // Provided: owner handles requests (inside sign −), world handles
         // indications (outside sign +). Required: the reverse.
-        let inside_sign =
-            if provided { Direction::Negative } else { Direction::Positive };
+        let inside_sign = if provided {
+            Direction::Negative
+        } else {
+            Direction::Positive
+        };
         let make = |sign: Direction, inside: bool| {
             Arc::new(PortCore {
                 id,
@@ -331,6 +338,7 @@ impl PortCore {
                 owner: OnceLock::new(),
                 pair: OnceLock::new(),
                 inner: Mutex::new(PortInner::default()),
+                snap: RcuCell::new(PortInner::default()),
             })
         };
         let inside = make(inside_sign, true);
@@ -351,10 +359,21 @@ impl PortCore {
         self.id
     }
 
+    /// Applies a mutation to the canonical state under the write lock, then
+    /// republishes the lock-free snapshot the dispatch fast path reads.
+    /// In-flight dispatches keep their pinned (pre-mutation) snapshot; the
+    /// next dispatch observes the new one — the same linearization a plain
+    /// mutex would give, without readers ever blocking.
+    pub(crate) fn mutate<R>(&self, f: impl FnOnce(&mut PortInner) -> R) -> R {
+        let mut inner = self.inner.lock();
+        let out = f(&mut inner);
+        self.snap.publish(inner.clone());
+        out
+    }
+
     /// Installs a key extractor used to index channels by a routing key.
     pub(crate) fn set_key_extractor(&self, extractor: KeyExtractor) {
-        let mut inner = self.inner.lock();
-        inner.key_extractor = Some(extractor);
+        self.mutate(|inner| inner.key_extractor = Some(extractor));
     }
 
     /// An event *enters* this half: triggered on it by a component in this
@@ -378,45 +397,49 @@ impl PortCore {
     /// (if the direction matches this half's sign) and forward into this
     /// half's channels.
     pub(crate) fn dispatch(self: &Arc<Self>, dir: Direction, event: EventRef) {
-        let taps: Vec<TapFn> = {
-            let inner = self.inner.lock();
-            inner.taps.iter().map(|(_, t)| Arc::clone(t)).collect()
-        };
+        // Hot path: one RCU pin, zero Mutex acquisitions, zero allocations.
+        // Subscriptions/channels/taps are read from the pinned snapshot;
+        // concurrent subscribe/connect/reconfig publish a fresh snapshot
+        // without invalidating this one.
+        let snap = self.snap.pin();
         // Taps observe before subscriber work is enqueued, so a recorded
         // stream orders an event ahead of anything its handlers emit.
-        for tap in taps {
+        for (_, tap) in &snap.taps {
             tap(dir, &event);
         }
-        let (subscribers, channels) = {
-            let inner = self.inner.lock();
-            let mut subscribers: Vec<Arc<ComponentCore>> = Vec::new();
-            if dir == self.sign {
-                for sub in &inner.subscriptions {
-                    if !event.is_instance_of(sub.event_type) {
-                        continue;
-                    }
-                    if let Some((cid, weak)) = sub.subscriber.get() {
-                        if let Some(core) = weak.upgrade() {
-                            if !subscribers.iter().any(|c| c.id() == *cid) {
-                                subscribers.push(core);
-                            }
-                        }
-                    }
+        if dir == self.sign {
+            let subs = &snap.subscriptions;
+            for (i, sub) in subs.iter().enumerate() {
+                if !event.is_instance_of(sub.event_type) {
+                    continue;
+                }
+                let Some((cid, weak)) = sub.subscriber.get() else {
+                    continue;
+                };
+                // Deliver once per component even when several of its
+                // handlers match: skip if an earlier matching subscription
+                // already enqueued for the same component. The backward scan
+                // replaces the old allocated dedup list; subscription counts
+                // per half are small.
+                let duplicate = subs[..i].iter().any(|prev| {
+                    event.is_instance_of(prev.event_type)
+                        && prev.subscriber.get().is_some_and(|(pcid, _)| pcid == cid)
+                });
+                if duplicate {
+                    continue;
+                }
+                if let Some(core) = weak.upgrade() {
+                    core.enqueue_work(WorkItem {
+                        half: Arc::clone(self),
+                        direction: dir,
+                        event: Arc::clone(&event),
+                    });
                 }
             }
-            let channels = select_channels(&inner, event.as_ref(), dir);
-            (subscribers, channels)
-        };
-        for component in subscribers {
-            component.enqueue_work(WorkItem {
-                half: Arc::clone(self),
-                direction: dir,
-                event: Arc::clone(&event),
-            });
         }
-        for channel in channels {
+        for_each_selected_channel(&snap, event.as_ref(), dir, |channel| {
             channel.forward_from(self.id, self.sign, dir, Arc::clone(&event));
-        }
+        });
     }
 
     /// Adds a subscription at this half.
@@ -426,28 +449,36 @@ impl PortCore {
     /// type-level sets, so the check happens per-event at trigger time; here
     /// we only record the subscription).
     pub(crate) fn subscribe_raw(&self, sub: Arc<Subscription>) {
-        self.inner.lock().subscriptions.push(sub);
+        self.mutate(|inner| inner.subscriptions.push(sub));
     }
 
     /// Removes the subscription with the given id. Returns `true` if found.
     pub(crate) fn unsubscribe_raw(&self, id: HandlerId) -> bool {
-        let mut inner = self.inner.lock();
-        let before = inner.subscriptions.len();
-        inner.subscriptions.retain(|s| s.id != id);
-        inner.subscriptions.len() != before
+        self.mutate(|inner| {
+            let before = inner.subscriptions.len();
+            inner.subscriptions.retain(|s| s.id != id);
+            inner.subscriptions.len() != before
+        })
     }
 
-    pub(crate) fn attach_channel(
-        &self,
-        id: ChannelId,
-        key: Option<u64>,
-        channel: Arc<Channel>,
-    ) {
-        let mut inner = self.inner.lock();
-        if let Some(k) = key {
-            inner.keyed.entry(k).or_default().push(id);
-        }
-        inner.channels.push(ChannelAttachment { id, key, channel });
+    /// Drains all subscriptions from this half (supervision moves them onto
+    /// a restarted replacement).
+    pub(crate) fn take_subscriptions(&self) -> Vec<Arc<Subscription>> {
+        self.mutate(|inner| std::mem::take(&mut inner.subscriptions))
+    }
+
+    /// Appends subscriptions migrated from another half.
+    pub(crate) fn append_subscriptions(&self, subs: Vec<Arc<Subscription>>) {
+        self.mutate(|inner| inner.subscriptions.extend(subs));
+    }
+
+    pub(crate) fn attach_channel(&self, id: ChannelId, key: Option<u64>, channel: Arc<Channel>) {
+        self.mutate(|inner| {
+            if let Some(k) = key {
+                inner.keyed.entry(k).or_default().push(id);
+            }
+            inner.channels.push(ChannelAttachment { id, key, channel });
+        });
     }
 
     /// Snapshot of the channels attached to this half.
@@ -461,17 +492,32 @@ impl PortCore {
     }
 
     pub(crate) fn detach_channel(&self, id: ChannelId) -> bool {
-        let mut inner = self.inner.lock();
-        let before = inner.channels.len();
-        if let Some(att) = inner.channels.iter().find(|a| a.id == id) {
-            if let Some(k) = att.key {
-                if let Some(ids) = inner.keyed.get_mut(&k) {
-                    ids.retain(|cid| *cid != id);
+        self.mutate(|inner| {
+            let before = inner.channels.len();
+            if let Some(att) = inner.channels.iter().find(|a| a.id == id) {
+                if let Some(k) = att.key {
+                    if let Some(ids) = inner.keyed.get_mut(&k) {
+                        ids.retain(|cid| *cid != id);
+                    }
                 }
             }
-        }
-        inner.channels.retain(|a| a.id != id);
-        inner.channels.len() != before
+            inner.channels.retain(|a| a.id != id);
+            inner.channels.len() != before
+        })
+    }
+
+    /// Installs an observation tap. See [`PortRef::tap`].
+    pub(crate) fn add_tap(&self, id: HandlerId, tap: TapFn) {
+        self.mutate(|inner| inner.taps.push((id, tap)));
+    }
+
+    /// Removes a tap. Returns whether it was present.
+    pub(crate) fn remove_tap(&self, id: HandlerId) -> bool {
+        self.mutate(|inner| {
+            let before = inner.taps.len();
+            inner.taps.retain(|(tid, _)| *tid != id);
+            inner.taps.len() != before
+        })
     }
 
     /// Runs all matching handlers of `owner_def` (belonging to component
@@ -487,29 +533,38 @@ impl PortCore {
         owner_def: &mut dyn ComponentDefinition,
         event: &EventRef,
     ) -> usize {
-        let matching: Vec<HandlerFn> = {
-            let inner = self.inner.lock();
-            inner
-                .subscriptions
-                .iter()
-                .filter(|s| {
-                    s.subscriber.get().is_some_and(|(cid, _)| *cid == component)
-                        && event.is_instance_of(s.event_type)
-                })
-                .map(|s| Arc::clone(&s.handler))
-                .collect()
-        };
-        let count = matching.len();
-        for handler in matching {
-            handler(owner_def, event);
+        // Pin once: the snapshot current at execution time decides the
+        // matching set (so unsubscribe by an earlier event takes effect),
+        // and stays valid even if a handler re-subscribes mid-iteration —
+        // exactly the collect-then-run semantics of the old locked version,
+        // minus the lock and the allocation.
+        let snap = self.snap.pin();
+        let mut count = 0;
+        for sub in &snap.subscriptions {
+            if sub
+                .subscriber
+                .get()
+                .is_some_and(|(cid, _)| *cid == component)
+                && event.is_instance_of(sub.event_type)
+            {
+                (sub.handler)(owner_def, event);
+                count += 1;
+            }
         }
         count
     }
 }
 
-fn select_channels(inner: &PortInner, event: &dyn Event, dir: Direction) -> Vec<Arc<Channel>> {
+/// Invokes `f` for each channel the event should be forwarded into,
+/// honouring keyed dispatch when a key extractor is installed.
+fn for_each_selected_channel(
+    inner: &PortInner,
+    event: &dyn Event,
+    dir: Direction,
+    mut f: impl FnMut(&Arc<Channel>),
+) {
     if inner.channels.is_empty() {
-        return Vec::new();
+        return;
     }
     let key = inner
         .key_extractor
@@ -517,16 +572,18 @@ fn select_channels(inner: &PortInner, event: &dyn Event, dir: Direction) -> Vec<
         .and_then(|extract| extract(event, dir));
     match key {
         Some(k) => {
-            let keyed_ids: &[ChannelId] =
-                inner.keyed.get(&k).map(Vec::as_slice).unwrap_or(&[]);
-            inner
-                .channels
-                .iter()
-                .filter(|a| a.key.is_none() || keyed_ids.contains(&a.id))
-                .map(|a| Arc::clone(&a.channel))
-                .collect()
+            let keyed_ids: &[ChannelId] = inner.keyed.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+            for a in &inner.channels {
+                if a.key.is_none() || keyed_ids.contains(&a.id) {
+                    f(&a.channel);
+                }
+            }
         }
-        None => inner.channels.iter().map(|a| Arc::clone(&a.channel)).collect(),
+        None => {
+            for a in &inner.channels {
+                f(&a.channel);
+            }
+        }
     }
 }
 
@@ -542,8 +599,8 @@ where
         let concrete = any_def
             .downcast_mut::<C>()
             .expect("handler subscribed on a component of a different type");
-        let view = event_as::<E>(event.as_ref())
-            .expect("event delivered to handler of incompatible type");
+        let view =
+            event_as::<E>(event.as_ref()).expect("event delivered to handler of incompatible type");
         f(concrete, view);
     })
 }
@@ -576,7 +633,10 @@ pub struct PortRef<P: PortType> {
 
 impl<P: PortType> Clone for PortRef<P> {
     fn clone(&self) -> Self {
-        PortRef { half: Arc::clone(&self.half), _marker: PhantomData }
+        PortRef {
+            half: Arc::clone(&self.half),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -588,7 +648,10 @@ impl<P: PortType> fmt::Debug for PortRef<P> {
 
 impl<P: PortType> PortRef<P> {
     pub(crate) fn new(half: Arc<PortCore>) -> Self {
-        PortRef { half, _marker: PhantomData }
+        PortRef {
+            half,
+            _marker: PhantomData,
+        }
     }
 
     /// The id of the underlying port pair.
@@ -637,17 +700,14 @@ impl<P: PortType> PortRef<P> {
     /// the triggering thread and must not trigger into the same port.
     pub fn tap(&self, f: impl Fn(Direction, &EventRef) + Send + Sync + 'static) -> HandlerId {
         let id = fresh_handler_id();
-        self.half.inner.lock().taps.push((id, Arc::new(f)));
+        self.half.add_tap(id, Arc::new(f));
         id
     }
 
     /// Removes a tap installed with [`PortRef::tap`]. Returns whether it was
     /// present.
     pub fn untap(&self, id: HandlerId) -> bool {
-        let mut inner = self.half.inner.lock();
-        let before = inner.taps.len();
-        inner.taps.retain(|(tid, _)| *tid != id);
-        inner.taps.len() != before
+        self.half.remove_tap(id)
     }
 
     /// The other half of this port pair, if still alive.
@@ -685,7 +745,11 @@ impl<P: PortType> OwnedPort<P> {
     fn new(provided: bool) -> Self {
         let (inside, outside) = PortCore::new_pair::<P>(provided);
         construction_frame_attach(Arc::clone(&inside), Arc::clone(&outside), provided);
-        OwnedPort { inside, outside, _marker: PhantomData }
+        OwnedPort {
+            inside,
+            outside,
+            _marker: PhantomData,
+        }
     }
 
     fn trigger(&self, event: impl Event) {
@@ -770,7 +834,9 @@ impl<P: PortType> ProvidedPort<P> {
     /// Panics if called outside a component constructor closure.
     #[allow(clippy::new_without_default)]
     pub fn new() -> Self {
-        ProvidedPort { port: OwnedPort::new(true) }
+        ProvidedPort {
+            port: OwnedPort::new(true),
+        }
     }
 
     /// Triggers an indication (positive) event out through this port.
@@ -853,7 +919,9 @@ impl<P: PortType> RequiredPort<P> {
     /// Panics if called outside a component constructor closure.
     #[allow(clippy::new_without_default)]
     pub fn new() -> Self {
-        RequiredPort { port: OwnedPort::new(false) }
+        RequiredPort {
+            port: OwnedPort::new(false),
+        }
     }
 
     /// Triggers a request (negative) event out through this port.

@@ -1,0 +1,183 @@
+//! A minimal RCU (read-copy-update) cell for read-mostly runtime state.
+//!
+//! The event-dispatch hot path must read a port's subscriber and channel
+//! lists on **every trigger**, while subscriptions and channel wiring change
+//! only at assembly and reconfiguration time. [`RcuCell`] makes that read
+//! lock-free: writers build a fresh immutable snapshot and publish it with a
+//! single pointer swap; readers pin the current snapshot with one atomic
+//! increment and never block writers (nor vice versa).
+//!
+//! ## Protocol and memory-ordering invariants
+//!
+//! | operation            | ordering | invariant it protects |
+//! |----------------------|----------|------------------------|
+//! | reader `pin` inc     | `SeqCst` | the increment is globally ordered before the subsequent pointer load, so a writer that observes `readers == 0` *after* swapping knows every later reader will load the new pointer |
+//! | reader pointer load  | `SeqCst` | see above (single total order with the writer's swap) |
+//! | reader unpin dec     | `Release`| all reads through the snapshot happen-before a writer observing the count drop |
+//! | writer swap          | `SeqCst` | publication point; pairs with the reader pointer load |
+//! | writer `readers` load| `SeqCst` | grace-period check: may only free retired snapshots when no reader can still hold one |
+//!
+//! Reclamation: a writer retires the previous snapshot into a graveyard and
+//! frees the whole graveyard whenever it observes zero pinned readers. With
+//! readers pinned only for the duration of one dispatch, retired snapshots
+//! are reclaimed by the next mutation in practice; everything left is freed
+//! when the cell drops. Writers must already be serialized by an external
+//! lock (the port's writer mutex) — [`RcuCell::publish`] documents this.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// A lock-free-readable, externally-write-serialized snapshot cell.
+pub(crate) struct RcuCell<T> {
+    /// The current snapshot (`Box::into_raw`; never null).
+    current: AtomicPtr<T>,
+    /// Number of readers currently pinning a snapshot.
+    readers: AtomicUsize,
+    /// Retired snapshots awaiting a grace period. Only touched by writers,
+    /// which the owner serializes with its write mutex.
+    graveyard: parking_lot::Mutex<Vec<*mut T>>,
+}
+
+// Safety: `T` is only ever handed out by shared reference from `pin`, and
+// raw pointers in the graveyard are owned boxes touched under the mutex.
+unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+/// RAII pin on one snapshot. Dereferences to the snapshot; the snapshot
+/// cannot be freed while any pin is live.
+pub(crate) struct RcuGuard<'a, T> {
+    cell: &'a RcuCell<T>,
+    ptr: *const T,
+}
+
+impl<T> std::ops::Deref for RcuGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: `ptr` was current while `readers` was already incremented,
+        // so no writer can have freed it (writers free only after observing
+        // `readers == 0` later in the SeqCst total order).
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for RcuGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release: reads through the snapshot happen-before a writer seeing
+        // the count reach zero.
+        self.cell.readers.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl<T> RcuCell<T> {
+    pub(crate) fn new(initial: T) -> Self {
+        RcuCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(initial))),
+            readers: AtomicUsize::new(0),
+            graveyard: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pins and returns the current snapshot. Never blocks; safe to call
+    /// re-entrantly (a reader that triggers a nested dispatch pins again).
+    #[inline]
+    pub(crate) fn pin(&self) -> RcuGuard<'_, T> {
+        // SeqCst on both the increment and the load: a writer that swaps and
+        // then reads `readers == 0` must be ordered before any reader that
+        // could still load the *old* pointer. See the module table.
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        RcuGuard { cell: self, ptr }
+    }
+
+    /// Publishes a new snapshot, retiring the old one.
+    ///
+    /// Callers must serialize publishes with an external lock (the owner's
+    /// write mutex); concurrent publishes would race on the graveyard sweep.
+    pub(crate) fn publish(&self, next: T) {
+        let next = Box::into_raw(Box::new(next));
+        let old = self.current.swap(next, Ordering::SeqCst);
+        let mut graveyard = self.graveyard.lock();
+        graveyard.push(old);
+        // Grace period: if no reader is pinned *now* (after the swap, in the
+        // SeqCst total order), every future reader sees `next`, so all
+        // retired snapshots are unreachable and can be freed.
+        if self.readers.load(Ordering::SeqCst) == 0 {
+            for ptr in graveyard.drain(..) {
+                // Safety: retired by us, unreachable per the argument above.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl<T> Drop for RcuCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no reader or writer can exist any more.
+        drop(unsafe { Box::from_raw(*self.current.get_mut()) });
+        for ptr in self.graveyard.get_mut().drain(..) {
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_sees_latest_publish() {
+        let cell = RcuCell::new(1u64);
+        assert_eq!(*cell.pin(), 1);
+        cell.publish(2);
+        assert_eq!(*cell.pin(), 2);
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_publish() {
+        let cell = RcuCell::new(vec![1, 2, 3]);
+        let pinned = cell.pin();
+        cell.publish(vec![9]);
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(*cell.pin(), vec![9]);
+        drop(pinned);
+        // Next publish sweeps the graveyard now that readers are gone.
+        cell.publish(vec![10]);
+        assert_eq!(*cell.pin(), vec![10]);
+    }
+
+    #[test]
+    fn nested_pins_are_fine() {
+        let cell = RcuCell::new(7u32);
+        let a = cell.pin();
+        let b = cell.pin();
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cell = Arc::new(RcuCell::new(0usize));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0usize;
+                    while !stop.load(Ordering::Acquire) {
+                        let v = *cell.pin();
+                        assert!(v >= last, "snapshots move forward");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=10_000 {
+            cell.publish(i);
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*cell.pin(), 10_000);
+    }
+}

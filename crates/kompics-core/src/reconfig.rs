@@ -292,13 +292,15 @@ impl ReconfigPlan {
 
     /// Appends an unplug of the positive-sign end.
     pub fn unplug_positive(mut self, channel: &ChannelRef) -> Self {
-        self.steps.push(ReconfigStep::UnplugPositive(channel.clone()));
+        self.steps
+            .push(ReconfigStep::UnplugPositive(channel.clone()));
         self
     }
 
     /// Appends an unplug of the negative-sign end.
     pub fn unplug_negative(mut self, channel: &ChannelRef) -> Self {
-        self.steps.push(ReconfigStep::UnplugNegative(channel.clone()));
+        self.steps
+            .push(ReconfigStep::UnplugNegative(channel.clone()));
         self
     }
 

@@ -24,7 +24,9 @@ pub struct SequentialScheduler {
 impl SequentialScheduler {
     /// Creates an empty sequential scheduler.
     pub fn new() -> Arc<Self> {
-        Arc::new(SequentialScheduler { queue: Mutex::new(VecDeque::new()) })
+        Arc::new(SequentialScheduler {
+            queue: Mutex::new(VecDeque::new()),
+        })
     }
 
     /// Executes ready components (FIFO) until none remain ready. Returns the

@@ -13,10 +13,30 @@
 //!   (the paper reports that batching considerably outperforms stealing
 //!   single components — reproduce this with experiment E3);
 //! * idle workers park and are unparked by new scheduling activity.
+//!
+//! ## Wakeup protocol
+//!
+//! Parking is **untimed** — there is no periodic timeout papering over lost
+//! wakeups. Sleep and wake linearize through a SeqCst event counter plus an
+//! explicit idle list:
+//!
+//! * `schedule` publishes the task, bumps `events` (SeqCst), and if any
+//!   worker is asleep pops one *specific* sleeper off the idle list and
+//!   unparks exactly that worker;
+//! * a worker that found no task reads `events`, rescans once, announces
+//!   itself on the idle list, **re-checks** `events`/shutdown/injector, and
+//!   only then parks.
+//!
+//! In the SeqCst total order, either the producer's bump precedes the
+//! worker's re-check (the worker retracts and rescans — the happens-before
+//! edge through the counter makes the pushed task visible to that rescan),
+//! or the worker's announcement precedes the producer's sleeper check (the
+//! producer pops and unparks it; the parker's token makes an early unpark
+//! stick even if the worker has not parked yet). No interleaving loses the
+//! wakeup.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::sync::{Parker, Unparker};
@@ -25,13 +45,21 @@ use parking_lot::Mutex;
 use crate::component::{ComponentCore, ExecuteResult};
 use crate::sched::Scheduler;
 
+/// How many quick rescans an idle worker performs (with brief spins in
+/// between) before committing to the announce-and-park path. Parking costs
+/// a syscall round-trip; a short bounded spin absorbs the common case of
+/// work arriving immediately after a queue ran dry.
+const SPIN_RESCANS: usize = 2;
+const SPINS_PER_RESCAN: usize = 64;
+
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
+/// (pool id, pointer to this worker's deque) — lets `schedule` push to the
+/// local queue when called from one of this pool's workers.
+type LocalDeque = (u64, *const Deque<Arc<ComponentCore>>);
+
 thread_local! {
-    /// (pool id, pointer to this worker's deque) — lets `schedule` push to
-    /// the local queue when called from one of this pool's workers.
-    static LOCAL: std::cell::Cell<Option<(u64, *const Deque<Arc<ComponentCore>>)>> =
-        const { std::cell::Cell::new(None) };
+    static LOCAL: std::cell::Cell<Option<LocalDeque>> = const { std::cell::Cell::new(None) };
 }
 
 struct Pool {
@@ -39,12 +67,54 @@ struct Pool {
     injector: Injector<Arc<ComponentCore>>,
     stealers: Vec<Stealer<Arc<ComponentCore>>>,
     unparkers: Vec<Unparker>,
+    /// Scheduling epoch: bumped (SeqCst) by every `schedule` after the task
+    /// is published. A worker records it before its final scan and re-checks
+    /// it after announcing sleep — any change means a task may have been
+    /// missed, so the worker retracts instead of parking.
+    events: AtomicU64,
+    /// Mirror of `idle.len()`, readable without the lock: `schedule`'s fast
+    /// path skips the idle lock entirely while nobody sleeps. Written only
+    /// under the `idle` lock; SeqCst so it participates in the same total
+    /// order as `events` (see the module docs).
     sleepers: AtomicUsize,
-    next_unpark: AtomicUsize,
+    /// Indices of workers that are parked (or irrevocably about to park).
+    /// `schedule` pops a specific entry and unparks exactly that worker.
+    idle: Mutex<Vec<usize>>,
     steal_attempts: AtomicU64,
     steal_successes: AtomicU64,
     shutdown: AtomicBool,
     steal_batch: bool,
+}
+
+impl Pool {
+    /// Adds `index` to the idle list; the caller must park afterwards unless
+    /// it retracts with `exit_idle`.
+    fn announce_idle(&self, index: usize) {
+        let mut idle = self.idle.lock();
+        idle.push(index);
+        self.sleepers.store(idle.len(), Ordering::SeqCst);
+    }
+
+    /// Removes `index` from the idle list if a producer has not already
+    /// popped it (used both to retract a sleep announcement and to clean up
+    /// after an unpark-all on shutdown).
+    fn exit_idle(&self, index: usize) {
+        let mut idle = self.idle.lock();
+        if let Some(pos) = idle.iter().position(|&i| i == index) {
+            idle.swap_remove(pos);
+            self.sleepers.store(idle.len(), Ordering::SeqCst);
+        }
+    }
+
+    /// Pops one actually-sleeping worker, if any.
+    fn pop_idle(&self) -> Option<usize> {
+        let mut idle = self.idle.lock();
+        let popped = idle.pop();
+        if popped.is_some() {
+            self.sleepers.store(idle.len(), Ordering::SeqCst);
+        }
+        popped
+    }
 }
 
 /// A pool of worker threads with per-worker ready queues and batch work
@@ -76,17 +146,16 @@ impl WorkStealingScheduler {
             injector: Injector::new(),
             stealers,
             unparkers,
+            events: AtomicU64::new(0),
             sleepers: AtomicUsize::new(0),
-            next_unpark: AtomicUsize::new(0),
+            idle: Mutex::new(Vec::with_capacity(workers)),
             steal_attempts: AtomicU64::new(0),
             steal_successes: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             steal_batch,
         });
         let mut threads = Vec::with_capacity(workers);
-        for (index, (deque, parker)) in
-            deques.into_iter().zip(parkers.into_iter()).enumerate()
-        {
+        for (index, (deque, parker)) in deques.into_iter().zip(parkers).enumerate() {
             let pool = Arc::clone(&pool);
             threads.push(
                 std::thread::Builder::new()
@@ -95,7 +164,11 @@ impl WorkStealingScheduler {
                     .expect("spawn scheduler worker"),
             );
         }
-        Arc::new(WorkStealingScheduler { pool, threads: Mutex::new(threads), workers })
+        Arc::new(WorkStealingScheduler {
+            pool,
+            threads: Mutex::new(threads),
+            workers,
+        })
     }
 
     /// Number of worker threads.
@@ -113,30 +186,54 @@ impl WorkStealingScheduler {
     }
 }
 
-fn worker_loop(
-    pool: Arc<Pool>,
-    local: Deque<Arc<ComponentCore>>,
-    parker: Parker,
-    index: usize,
-) {
+fn worker_loop(pool: Arc<Pool>, local: Deque<Arc<ComponentCore>>, parker: Parker, index: usize) {
     LOCAL.with(|slot| slot.set(Some((pool.id, &local as *const _))));
-    while !pool.shutdown.load(Ordering::Acquire) {
-        match find_task(&pool, &local, index) {
-            Some(component) => {
+    'run: while !pool.shutdown.load(Ordering::Acquire) {
+        if let Some(component) = find_task(&pool, &local, index) {
+            if component.execute() == ExecuteResult::Reschedule {
+                local.push(component);
+            }
+            continue;
+        }
+        // Bounded spin: absorb work that arrives right after the queues ran
+        // dry without paying for a park/unpark round-trip.
+        for _ in 0..SPIN_RESCANS {
+            for _ in 0..SPINS_PER_RESCAN {
+                std::hint::spin_loop();
+            }
+            if find_task(&pool, &local, index).is_some_and(|component| {
                 if component.execute() == ExecuteResult::Reschedule {
                     local.push(component);
                 }
-            }
-            None => {
-                pool.sleepers.fetch_add(1, Ordering::SeqCst);
-                if pool.injector.is_empty() && !pool.shutdown.load(Ordering::Acquire) {
-                    // Timed park: a bounded race window with `schedule` can
-                    // lose a wakeup; the timeout caps the damage.
-                    parker.park_timeout(Duration::from_millis(10));
-                }
-                pool.sleepers.fetch_sub(1, Ordering::SeqCst);
+                true
+            }) {
+                continue 'run;
             }
         }
+        // Record the epoch *before* the final scan: a task published after
+        // this point bumps `events`, which the pre-park re-check catches.
+        let observed = pool.events.load(Ordering::SeqCst);
+        if let Some(component) = find_task(&pool, &local, index) {
+            if component.execute() == ExecuteResult::Reschedule {
+                local.push(component);
+            }
+            continue;
+        }
+        pool.announce_idle(index);
+        // Re-check between announce and park (module docs give the
+        // interleaving argument): any schedule since `observed` may have
+        // checked `sleepers` before our announcement, so we must not sleep.
+        if pool.events.load(Ordering::SeqCst) != observed
+            || pool.shutdown.load(Ordering::Acquire)
+            || !pool.injector.is_empty()
+        {
+            pool.exit_idle(index);
+            continue;
+        }
+        parker.park();
+        // A producer that woke us popped our entry; an unpark-all (shutdown)
+        // does not — clean up either way.
+        pool.exit_idle(index);
     }
     LOCAL.with(|slot| slot.set(None));
 }
@@ -159,9 +256,12 @@ fn find_task(
     // Steal from a sibling; start at a rotating victim to spread contention.
     let n = pool.stealers.len();
     if n > 1 {
-        pool.steal_attempts.fetch_add(1, Ordering::Relaxed);
         for offset in 1..n {
             let victim = (index + offset) % n;
+            // One attempt per victim probed (not per find_task call), so
+            // the E3 ablation's attempt/success ratio reflects actual
+            // probe traffic.
+            pool.steal_attempts.fetch_add(1, Ordering::Relaxed);
             loop {
                 let result = if pool.steal_batch {
                     pool.stealers[victim].steal_batch_and_pop(local)
@@ -197,10 +297,15 @@ impl Scheduler for WorkStealingScheduler {
         if !pushed_locally {
             self.pool.injector.push(component);
         }
+        // Publish-then-signal (module docs): the bump is SeqCst and happens
+        // after the push, so a worker whose pre-park re-check runs after
+        // this bump rescans and finds the task; a worker already announced
+        // is visible through `sleepers` below and gets a targeted unpark.
+        self.pool.events.fetch_add(1, Ordering::SeqCst);
         if self.pool.sleepers.load(Ordering::SeqCst) > 0 {
-            let i = self.pool.next_unpark.fetch_add(1, Ordering::Relaxed)
-                % self.pool.unparkers.len();
-            self.pool.unparkers[i].unpark();
+            if let Some(i) = self.pool.pop_idle() {
+                self.pool.unparkers[i].unpark();
+            }
         }
     }
 

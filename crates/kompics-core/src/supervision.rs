@@ -58,8 +58,8 @@ use parking_lot::Mutex;
 
 use crate::channel::ChannelRef;
 use crate::component::{
-    try_create_erased_in_system, Component, ComponentContext, ComponentCore,
-    ComponentDefinition, ComponentRef,
+    try_create_erased_in_system, Component, ComponentContext, ComponentCore, ComponentDefinition,
+    ComponentRef,
 };
 use crate::error::CoreError;
 use crate::fault::Fault;
@@ -151,7 +151,9 @@ pub struct SuperviseOptions {
 impl Default for SuperviseOptions {
     fn default() -> Self {
         SuperviseOptions {
-            strategy: RestartStrategy::Restart { with_state_transfer: false },
+            strategy: RestartStrategy::Restart {
+                with_state_transfer: false,
+            },
             factory: None,
             on_restart: None,
         }
@@ -171,7 +173,10 @@ impl std::fmt::Debug for SuperviseOptions {
 impl SuperviseOptions {
     /// Options with the given strategy and no factory or hook.
     pub fn strategy(strategy: RestartStrategy) -> Self {
-        SuperviseOptions { strategy, ..Default::default() }
+        SuperviseOptions {
+            strategy,
+            ..Default::default()
+        }
     }
 
     /// Sets the replacement factory.
@@ -411,11 +416,7 @@ pub fn inject_fault(target: &ComponentRef, error: impl Into<String>) {
 // Fault processing
 // ---------------------------------------------------------------------------
 
-fn log_action(
-    inner: &Arc<Mutex<SupInner>>,
-    fault: &Fault,
-    action: SupervisionAction,
-) {
+fn log_action(inner: &Arc<Mutex<SupInner>>, fault: &Fault, action: SupervisionAction) {
     let mut guard = inner.lock();
     let at = (guard.clock)();
     guard.log.push(SupervisionEvent {
@@ -429,24 +430,30 @@ fn log_action(
 /// Forwards `fault` to the supervised child's ancestors, skipping the
 /// supervisor's own subscription (the walk starts at the parent).
 fn escalate(child_core: Option<Arc<ComponentCore>>, fault: Fault) {
-    match child_core {
-        Some(core) => match core.parent() {
+    if let Some(core) = child_core {
+        match core.parent() {
             Some(parent) => parent.deliver_fault_upward(fault),
             None => {
                 if let Some(system) = core.system() {
                     system.unhandled_fault(fault);
                 }
             }
-        },
-        None => {}
+        }
     }
 }
 
 fn process_fault(inner: &Arc<Mutex<SupInner>>, entry_id: u64, fault: Fault) {
     // Decide under the lock, act outside it.
     enum Decision {
-        RestartNow { with_state: bool, attempt: usize },
-        RestartLater { with_state: bool, attempt: usize, delay: Duration },
+        RestartNow {
+            with_state: bool,
+            attempt: usize,
+        },
+        RestartLater {
+            with_state: bool,
+            attempt: usize,
+            delay: Duration,
+        },
         Resume(Weak<ComponentCore>),
         Stop(Weak<ComponentCore>),
         Escalate(Weak<ComponentCore>, String),
@@ -467,11 +474,12 @@ fn process_fault(inner: &Arc<Mutex<SupInner>>, entry_id: u64, fault: Fault) {
                     guard.entries.remove(&entry_id);
                     Decision::Stop(current)
                 }
-                RestartStrategy::Escalate => Decision::Escalate(
-                    entry.current.clone(),
-                    "strategy is Escalate".to_string(),
-                ),
-                RestartStrategy::Restart { with_state_transfer } => {
+                RestartStrategy::Escalate => {
+                    Decision::Escalate(entry.current.clone(), "strategy is Escalate".to_string())
+                }
+                RestartStrategy::Restart {
+                    with_state_transfer,
+                } => {
                     while entry
                         .restarts
                         .front()
@@ -484,9 +492,7 @@ fn process_fault(inner: &Arc<Mutex<SupInner>>, entry_id: u64, fault: Fault) {
                         guard.entries.remove(&entry_id);
                         Decision::Escalate(
                             current,
-                            format!(
-                                "restart budget exhausted ({max_restarts} in {window:?})"
-                            ),
+                            format!("restart budget exhausted ({max_restarts} in {window:?})"),
                         )
                     } else {
                         entry.restarts.push_back(now);
@@ -496,7 +502,10 @@ fn process_fault(inner: &Arc<Mutex<SupInner>>, entry_id: u64, fault: Fault) {
                             .checked_mul(2u32.saturating_pow(exp))
                             .map_or(cap, |d| d.min(cap));
                         if delay.is_zero() {
-                            Decision::RestartNow { with_state: with_state_transfer, attempt }
+                            Decision::RestartNow {
+                                with_state: with_state_transfer,
+                                attempt,
+                            }
                         } else {
                             Decision::RestartLater {
                                 with_state: with_state_transfer,
@@ -540,10 +549,17 @@ fn process_fault(inner: &Arc<Mutex<SupInner>>, entry_id: u64, fault: Fault) {
             log_action(inner, &fault, SupervisionAction::Escalated { reason });
             escalate(current.upgrade(), fault);
         }
-        Decision::RestartNow { with_state, attempt } => {
+        Decision::RestartNow {
+            with_state,
+            attempt,
+        } => {
             perform_restart(inner, entry_id, with_state, attempt, fault);
         }
-        Decision::RestartLater { with_state, attempt, delay } => {
+        Decision::RestartLater {
+            with_state,
+            attempt,
+            delay,
+        } => {
             log_action(
                 inner,
                 &fault,
@@ -598,18 +614,28 @@ fn perform_restart(
     // Snapshot what we need under the lock.
     let (old_core, factory, on_restart) = {
         let guard = inner.lock();
-        let Some(entry) = guard.entries.get(&entry_id) else { return };
-        (entry.current.upgrade(), entry.factory.clone(), entry.on_restart.clone())
+        let Some(entry) = guard.entries.get(&entry_id) else {
+            return;
+        };
+        (
+            entry.current.upgrade(),
+            entry.factory.clone(),
+            entry.on_restart.clone(),
+        )
     };
     let Some(old_core) = old_core else {
         log_action(
             inner,
             &fault,
-            SupervisionAction::RestartFailed { reason: "old instance gone".to_string() },
+            SupervisionAction::RestartFailed {
+                reason: "old instance gone".to_string(),
+            },
         );
         return;
     };
-    let Some(system) = old_core.system() else { return };
+    let Some(system) = old_core.system() else {
+        return;
+    };
 
     // 1. Hold every channel attached to the old instance's outside halves so
     //    events buffer during the swap instead of reaching a dead port.
@@ -664,7 +690,10 @@ fn perform_restart(
     //    leave channels held forever.
     let mut targets = Vec::with_capacity(held.len());
     for h in &held {
-        match new_ref.core().find_port_half(h.port_type, h.provided, false) {
+        match new_ref
+            .core()
+            .find_port_half(h.port_type, h.provided, false)
+        {
             Some(half) => targets.push(half),
             None => {
                 resume_all(&held);
@@ -723,7 +752,9 @@ fn perform_restart(
         let old_records = old_core.ports.lock();
         for record in old_records.iter() {
             if let Some(new_half) =
-                new_ref.core().find_port_half(record.port_type, record.provided, false)
+                new_ref
+                    .core()
+                    .find_port_half(record.port_type, record.provided, false)
             {
                 migrate_subscriptions(&record.outside, &new_half);
             }
@@ -758,15 +789,13 @@ fn perform_restart(
 /// step 5 still consult the *channel's* stored key, but fresh connections
 /// benefit).
 fn migrate_subscriptions(old: &Arc<crate::port::PortCore>, new: &Arc<crate::port::PortCore>) {
-    let moved: Vec<_> = {
-        let mut inner = old.inner.lock();
-        inner.subscriptions.drain(..).collect()
-    };
+    // Route through PortCore so both halves republish their dispatch
+    // snapshots; poking `inner` directly would leave stale snapshots live.
+    let moved = old.take_subscriptions();
     if moved.is_empty() {
         return;
     }
-    let mut inner = new.inner.lock();
-    inner.subscriptions.extend(moved);
+    new.append_subscriptions(moved);
 }
 
 // ---------------------------------------------------------------------------
@@ -788,7 +817,7 @@ mod tests {
     struct Ping(u64);
     impl_event!(Ping);
     #[derive(Debug, Clone)]
-    struct Pong(u64);
+    struct Pong(#[allow(dead_code)] u64);
     impl_event!(Pong);
 
     port_type! {
@@ -875,7 +904,10 @@ mod tests {
         let (system, sched) =
             KompicsSystem::sequential(Config::default().fault_policy(FaultPolicy::Collect));
         let sup = system.create(|| {
-            Supervisor::new(SupervisorConfig { max_restarts: 2, ..Default::default() })
+            Supervisor::new(SupervisorConfig {
+                max_restarts: 2,
+                ..Default::default()
+            })
         });
         let echo = system.create(Echo::new);
         supervise(&sup, &echo.erased(), SuperviseOptions::default()).unwrap();
@@ -894,7 +926,11 @@ mod tests {
             settle(&sched);
         }
         let faults = system.collected_faults();
-        assert_eq!(faults.len(), 1, "exactly the third fault escalates: {faults:?}");
+        assert_eq!(
+            faults.len(),
+            1,
+            "exactly the third fault escalates: {faults:?}"
+        );
         assert!(faults[0].error.contains("poison"));
         assert_eq!(sup.on_definition(|s| s.supervised_count()).unwrap(), 0);
     }
@@ -974,7 +1010,9 @@ mod tests {
         supervise(
             &sup,
             &comp.erased(),
-            SuperviseOptions::strategy(RestartStrategy::Restart { with_state_transfer: true }),
+            SuperviseOptions::strategy(RestartStrategy::Restart {
+                with_state_transfer: true,
+            }),
         )
         .unwrap();
         system.start(&sup);

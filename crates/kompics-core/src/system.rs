@@ -21,6 +21,10 @@ pub struct SystemCore {
     scheduler: Arc<dyn Scheduler>,
     config: Config,
     pending: AtomicUsize,
+    /// Number of threads blocked in [`KompicsSystem::await_quiescence`].
+    /// Gates the notify in [`SystemCore::pending_sub`]: the common case
+    /// (nobody waiting) skips the mutex+condvar entirely.
+    quiesce_waiters: AtomicUsize,
     quiesce_mutex: Mutex<()>,
     quiesce_cv: Condvar,
     faults: Mutex<Vec<Fault>>,
@@ -43,13 +47,26 @@ impl SystemCore {
     }
 
     pub(crate) fn pending_inc(&self) {
+        // SeqCst: the increment must be ordered before the waiter's
+        // pending-is-zero check in `await_quiescence` (Dekker with the
+        // waiter registering then re-reading `pending`).
         self.pending.fetch_add(1, Ordering::SeqCst);
     }
 
-    pub(crate) fn pending_dec(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _guard = self.quiesce_mutex.lock();
-            self.quiesce_cv.notify_all();
+    /// Batched decrement: one atomic op for a whole execution slice.
+    pub(crate) fn pending_sub(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        if self.pending.fetch_sub(n, Ordering::SeqCst) == n {
+            // Only wake when someone is actually waiting; the waiter
+            // increments `quiesce_waiters` *before* re-checking `pending`
+            // (both SeqCst), so either we see the waiter here or the waiter
+            // sees pending == 0 and never sleeps.
+            if self.quiesce_waiters.load(Ordering::SeqCst) > 0 {
+                let _guard = self.quiesce_mutex.lock();
+                self.quiesce_cv.notify_all();
+            }
         }
     }
 
@@ -107,10 +124,8 @@ impl KompicsSystem {
     /// Creates a system with the multi-core work-stealing scheduler
     /// (production mode).
     pub fn new(config: Config) -> Self {
-        let scheduler = WorkStealingScheduler::with_options(
-            config.worker_count(),
-            config.steal_batch_value(),
-        );
+        let scheduler =
+            WorkStealingScheduler::with_options(config.worker_count(), config.steal_batch_value());
         Self::with_scheduler(config, scheduler)
     }
 
@@ -130,6 +145,7 @@ impl KompicsSystem {
                 scheduler,
                 config,
                 pending: AtomicUsize::new(0),
+                quiesce_waiters: AtomicUsize::new(0),
                 quiesce_mutex: Mutex::new(()),
                 quiesce_cv: Condvar::new(),
                 faults: Mutex::new(Vec::new()),
@@ -198,19 +214,25 @@ impl KompicsSystem {
     /// [`run_until_quiescent`](SequentialScheduler::run_until_quiescent)
     /// instead.
     pub fn await_quiescence(&self) {
+        if self.core.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Register as a waiter *before* the re-check (SeqCst on both sides):
+        // a decrementer that drops `pending` to zero either observes our
+        // registration and notifies, or its decrement is ordered before our
+        // re-check and we never sleep.
+        self.core.quiesce_waiters.fetch_add(1, Ordering::SeqCst);
         loop {
-            if self.core.pending.load(Ordering::SeqCst) == 0 {
-                return;
-            }
             let mut guard = self.core.quiesce_mutex.lock();
             if self.core.pending.load(Ordering::SeqCst) == 0 {
-                return;
+                break;
             }
             // Timed wait bounds any notify race.
             self.core
                 .quiesce_cv
                 .wait_for(&mut guard, Duration::from_millis(20));
         }
+        self.core.quiesce_waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Faults recorded under [`FaultPolicy::Collect`].

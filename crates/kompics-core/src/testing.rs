@@ -67,10 +67,16 @@ impl EventProbe {
         let recorded: Arc<Mutex<Vec<EventRef>>> = Arc::new(Mutex::new(Vec::new()));
         let component = system.create({
             let recorded = Arc::clone(&recorded);
-            move || EventProbe { ctx: ComponentContext::new(), recorded }
+            move || EventProbe {
+                ctx: ComponentContext::new(),
+                recorded,
+            }
         });
         system.start(&component);
-        Probe { component, recorded }
+        Probe {
+            component,
+            recorded,
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use kompics_core::component::Component;
 use kompics_core::error::CoreError;
 use kompics_core::prelude::*;
 use kompics_core::reconfig::ReconfigPlan;
-use kompics_core::supervision::{supervise, Supervisor, SupervisorConfig, SuperviseOptions};
+use kompics_core::supervision::{supervise, SuperviseOptions, Supervisor, SupervisorConfig};
 
 #[derive(Debug, Clone)]
 pub struct Req(pub u64);
@@ -53,7 +53,10 @@ impl Provider {
         work.subscribe(|this: &mut Provider, req: &Req| {
             this.work.trigger(Ind(req.0));
         });
-        Provider { ctx: ComponentContext::new(), work }
+        Provider {
+            ctx: ComponentContext::new(),
+            work,
+        }
     }
 }
 
@@ -79,7 +82,11 @@ impl Consumer {
         for _ in 0..subs {
             work.subscribe(|_this: &mut Consumer, _ind: &Ind| {});
         }
-        Consumer { ctx: ComponentContext::new(), work, subs }
+        Consumer {
+            ctx: ComponentContext::new(),
+            work,
+            subs,
+        }
     }
 }
 
@@ -102,7 +109,10 @@ impl HalfDeaf {
     fn new() -> Self {
         let duo: ProvidedPort<Duo> = ProvidedPort::new();
         duo.subscribe(|_this: &mut HalfDeaf, _req: &Req| {});
-        HalfDeaf { ctx: ComponentContext::new(), duo }
+        HalfDeaf {
+            ctx: ComponentContext::new(),
+            duo,
+        }
     }
 }
 
@@ -252,7 +262,10 @@ fn held_channel_with_queued_events_is_a_warning() {
         system.analyze(),
         vec![Finding {
             severity: Severity::Warning,
-            kind: FindingKind::HeldChannel { channel: channel.id(), queued: 2 },
+            kind: FindingKind::HeldChannel {
+                channel: channel.id(),
+                queued: 2
+            },
         }]
     );
     channel.resume();
@@ -268,7 +281,9 @@ fn plan_hold_without_resume_is_an_error() {
         plan.validate(),
         vec![Finding {
             severity: Severity::Error,
-            kind: FindingKind::HoldWithoutResume { channel: channel.id() },
+            kind: FindingKind::HoldWithoutResume {
+                channel: channel.id()
+            },
         }]
     );
     match plan.execute() {
@@ -288,7 +303,9 @@ fn plan_resume_without_hold_is_a_warning_but_executes() {
         plan.validate(),
         vec![Finding {
             severity: Severity::Warning,
-            kind: FindingKind::ResumeWithoutHold { channel: channel.id() },
+            kind: FindingKind::ResumeWithoutHold {
+                channel: channel.id()
+            },
         }]
     );
     plan.execute().unwrap();

@@ -72,7 +72,13 @@ impl Receiver {
             this.seen.fetch_add(1, Ordering::SeqCst);
             this.log.lock().push(format!("{}:{}", this.tag, m.payload));
         });
-        Receiver { ctx: ComponentContext::new(), net, seen, log, tag }
+        Receiver {
+            ctx: ComponentContext::new(),
+            net,
+            seen,
+            log,
+            tag,
+        }
     }
 }
 
@@ -95,9 +101,15 @@ impl Echo {
     fn new() -> Self {
         let net = ProvidedPort::new();
         net.subscribe(|this: &mut Echo, m: &Message| {
-            this.net.trigger(Message { destination: m.destination, payload: m.payload + 100 });
+            this.net.trigger(Message {
+                destination: m.destination,
+                payload: m.payload + 100,
+            });
         });
-        Echo { ctx: ComponentContext::new(), net }
+        Echo {
+            ctx: ComponentContext::new(),
+            net,
+        }
     }
 }
 
@@ -111,7 +123,11 @@ impl ComponentDefinition for Echo {
 }
 
 fn collect_system() -> KompicsSystem {
-    KompicsSystem::new(Config::default().workers(2).fault_policy(FaultPolicy::Collect))
+    KompicsSystem::new(
+        Config::default()
+            .workers(2)
+            .fault_policy(FaultPolicy::Collect),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -142,7 +158,12 @@ fn event_broadcast_through_multiple_channels() {
 
     // A request into Echo produces one indication, forwarded by BOTH
     // channels (Figure 6).
-    provided.trigger(Message { destination: 9, payload: 1 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 9,
+            payload: 1,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 2);
     let log = log.lock();
@@ -167,7 +188,11 @@ fn multiple_handlers_execute_in_subscription_order() {
             net.subscribe(|this: &mut TwoHandlers, _m: &Message| {
                 this.log.lock().push("second".into());
             });
-            TwoHandlers { ctx: ComponentContext::new(), net, log }
+            TwoHandlers {
+                ctx: ComponentContext::new(),
+                net,
+                log,
+            }
         }
     }
     impl ComponentDefinition for TwoHandlers {
@@ -188,7 +213,10 @@ fn multiple_handlers_execute_in_subscription_order() {
     system.start(&c);
     c.required_ref::<Net>()
         .unwrap()
-        .trigger(Message { destination: 0, payload: 0 })
+        .trigger(Message {
+            destination: 0,
+            payload: 0,
+        })
         .unwrap();
     system.await_quiescence();
     assert_eq!(*log.lock(), vec!["first".to_string(), "second".to_string()]);
@@ -208,7 +236,13 @@ fn subtype_events_reach_supertype_handlers() {
     // Receiver subscribed for Message; a DataMessage must reach it.
     r.required_ref::<Net>()
         .unwrap()
-        .trigger(DataMessage { base: Message { destination: 1, payload: 7 }, seq: 3 })
+        .trigger(DataMessage {
+            base: Message {
+                destination: 1,
+                payload: 7,
+            },
+            seq: 3,
+        })
         .unwrap();
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 1);
@@ -227,7 +261,11 @@ fn disallowed_event_is_rejected_at_trigger() {
     });
     system.start(&r);
     // Tick is not part of the Net port type.
-    let err = r.required_ref::<Net>().unwrap().trigger(Tick(1)).unwrap_err();
+    let err = r
+        .required_ref::<Net>()
+        .unwrap()
+        .trigger(Tick(1))
+        .unwrap_err();
     assert!(matches!(err, CoreError::EventNotAllowed { .. }));
     system.shutdown();
 }
@@ -245,7 +283,10 @@ fn reply_once_then_unsubscribe() {
         fn new(replies: Arc<AtomicUsize>) -> Self {
             let net = ProvidedPort::new();
             let handler = net.subscribe(|this: &mut ReplyOnce, m: &Message| {
-                this.net.trigger(Message { destination: m.destination, payload: m.payload });
+                this.net.trigger(Message {
+                    destination: m.destination,
+                    payload: m.payload,
+                });
                 this.replies.fetch_add(1, Ordering::SeqCst);
                 if let Some(id) = this.handler.take() {
                     this.net.unsubscribe(id);
@@ -277,7 +318,11 @@ fn reply_once_then_unsubscribe() {
     system.start(&c);
     let port = c.provided_ref::<Net>().unwrap();
     for i in 0..5 {
-        port.trigger(Message { destination: 1, payload: i }).unwrap();
+        port.trigger(Message {
+            destination: 1,
+            payload: i,
+        })
+        .unwrap();
     }
     system.await_quiescence();
     assert_eq!(replies.load(Ordering::SeqCst), 1, "replies only once");
@@ -298,14 +343,26 @@ fn passive_components_queue_events_until_started() {
         move || Receiver::new("r", s, l)
     });
     let port = r.required_ref::<Net>().unwrap();
-    port.trigger(Message { destination: 0, payload: 1 }).unwrap();
-    port.trigger(Message { destination: 0, payload: 2 }).unwrap();
+    port.trigger(Message {
+        destination: 0,
+        payload: 1,
+    })
+    .unwrap();
+    port.trigger(Message {
+        destination: 0,
+        payload: 2,
+    })
+    .unwrap();
     std::thread::sleep(std::time::Duration::from_millis(50));
     assert_eq!(seen.load(Ordering::SeqCst), 0, "not started yet");
 
     system.start(&r);
     system.await_quiescence();
-    assert_eq!(seen.load(Ordering::SeqCst), 2, "queued events execute on start");
+    assert_eq!(
+        seen.load(Ordering::SeqCst),
+        2,
+        "queued events execute on start"
+    );
     assert_eq!(*log.lock(), vec!["r:1".to_string(), "r:2".to_string()]);
     system.shutdown();
 }
@@ -334,9 +391,16 @@ fn init_is_handled_before_other_events() {
             });
             let net = RequiredPort::new();
             net.subscribe(|this: &mut Initialized, _m: &Message| {
-                this.log.lock().push(format!("msg-with-param:{}", this.parameter));
+                this.log
+                    .lock()
+                    .push(format!("msg-with-param:{}", this.parameter));
             });
-            Initialized { ctx, net, parameter: 0, log }
+            Initialized {
+                ctx,
+                net,
+                parameter: 0,
+                log,
+            }
         }
     }
     impl ComponentDefinition for Initialized {
@@ -358,9 +422,17 @@ fn init_is_handled_before_other_events() {
     // the Init because control events run first.
     c.required_ref::<Net>()
         .unwrap()
-        .trigger(Message { destination: 0, payload: 0 })
+        .trigger(Message {
+            destination: 0,
+            payload: 0,
+        })
         .unwrap();
-    c.control_ref().trigger(MyInit { base: Init, parameter: 42 }).unwrap();
+    c.control_ref()
+        .trigger(MyInit {
+            base: Init,
+            parameter: 42,
+        })
+        .unwrap();
     c.control_ref().trigger(Start).unwrap();
     system.await_quiescence();
     assert_eq!(
@@ -468,7 +540,11 @@ fn kill_destroys_subtree() {
     assert_eq!(r.lifecycle(), LifecycleState::Destroyed);
     // Events to a destroyed component are discarded without wedging
     // quiescence.
-    port.trigger(Message { destination: 0, payload: 3 }).unwrap();
+    port.trigger(Message {
+        destination: 0,
+        payload: 3,
+    })
+    .unwrap();
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 0);
     system.shutdown();
@@ -488,7 +564,10 @@ impl Bomb {
         net.subscribe(|_this: &mut Bomb, m: &Message| {
             panic!("bomb exploded on payload {}", m.payload);
         });
-        Bomb { ctx: ComponentContext::new(), net }
+        Bomb {
+            ctx: ComponentContext::new(),
+            net,
+        }
     }
 }
 impl ComponentDefinition for Bomb {
@@ -512,7 +591,11 @@ fn handler_panic_becomes_fault_for_parent_supervisor() {
         fn new(observed: Arc<Mutex<Option<Fault>>>) -> Self {
             let ctx = ComponentContext::new();
             let child = ctx.create(Bomb::new);
-            Supervisor { ctx, child, observed }
+            Supervisor {
+                ctx,
+                child,
+                observed,
+            }
         }
     }
     impl ComponentDefinition for Supervisor {
@@ -536,9 +619,10 @@ fn handler_panic_becomes_fault_for_parent_supervisor() {
         .unwrap();
     supervisor
         .on_definition(|s| {
-            s.ctx.subscribe(&child_ctrl, |this: &mut Supervisor, fault: &Fault| {
-                *this.observed.lock() = Some(fault.clone());
-            });
+            s.ctx
+                .subscribe(&child_ctrl, |this: &mut Supervisor, fault: &Fault| {
+                    *this.observed.lock() = Some(fault.clone());
+                });
         })
         .unwrap();
     system.start(&supervisor);
@@ -547,10 +631,18 @@ fn handler_panic_becomes_fault_for_parent_supervisor() {
     let bomb_net = supervisor
         .on_definition(|s| s.child.required_ref::<Net>().unwrap())
         .unwrap();
-    bomb_net.trigger(Message { destination: 0, payload: 13 }).unwrap();
+    bomb_net
+        .trigger(Message {
+            destination: 0,
+            payload: 13,
+        })
+        .unwrap();
     system.await_quiescence();
 
-    let fault = observed.lock().clone().expect("fault observed by supervisor");
+    let fault = observed
+        .lock()
+        .clone()
+        .expect("fault observed by supervisor");
     assert_eq!(fault.component, child_id);
     assert!(fault.error.contains("bomb exploded on payload 13"));
     assert!(system.collected_faults().is_empty(), "fault was handled");
@@ -564,7 +656,10 @@ fn unhandled_fault_escalates_to_system_policy() {
     system.start(&bomb);
     bomb.required_ref::<Net>()
         .unwrap()
-        .trigger(Message { destination: 0, payload: 5 })
+        .trigger(Message {
+            destination: 0,
+            payload: 5,
+        })
         .unwrap();
     system.await_quiescence();
     let faults = system.collected_faults();
@@ -595,7 +690,12 @@ fn held_channels_buffer_and_resume_in_fifo_order() {
 
     channel.hold();
     for i in 0..10 {
-        provided.trigger(Message { destination: 0, payload: i }).unwrap();
+        provided
+            .trigger(Message {
+                destination: 0,
+                payload: i,
+            })
+            .unwrap();
     }
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 0, "held channel buffers");
@@ -630,13 +730,23 @@ fn unplug_and_plug_moves_a_channel() {
     system.start(&ra);
     system.start(&rb);
 
-    provided.trigger(Message { destination: 0, payload: 1 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 1,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(seen_a.load(Ordering::SeqCst), 1);
 
     channel.unplug_negative().unwrap();
     channel.plug(&rb.required_ref::<Net>().unwrap()).unwrap();
-    provided.trigger(Message { destination: 0, payload: 2 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 2,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(seen_a.load(Ordering::SeqCst), 1, "a no longer connected");
     assert_eq!(seen_b.load(Ordering::SeqCst), 1, "b receives after plug");
@@ -657,7 +767,12 @@ impl CountingConsumer {
             this.count += 1;
             this.delivered.fetch_add(1, Ordering::SeqCst);
         });
-        CountingConsumer { ctx: ComponentContext::new(), net, count: 0, delivered }
+        CountingConsumer {
+            ctx: ComponentContext::new(),
+            net,
+            count: 0,
+            delivered,
+        }
     }
 }
 impl ComponentDefinition for CountingConsumer {
@@ -696,7 +811,12 @@ fn replace_component_without_dropping_events() {
         let provided = provided.clone();
         std::thread::spawn(move || {
             for i in 0..TOTAL {
-                provided.trigger(Message { destination: 0, payload: i }).unwrap();
+                provided
+                    .trigger(Message {
+                        destination: 0,
+                        payload: i,
+                    })
+                    .unwrap();
                 if i % 128 == 0 {
                     std::thread::yield_now();
                 }
@@ -734,7 +854,10 @@ struct WrongPorts {
 }
 impl WrongPorts {
     fn new() -> Self {
-        WrongPorts { ctx: ComponentContext::new(), pump: RequiredPort::new() }
+        WrongPorts {
+            ctx: ComponentContext::new(),
+            pump: RequiredPort::new(),
+        }
     }
 }
 impl ComponentDefinition for WrongPorts {
@@ -763,7 +886,12 @@ fn failed_replace_resumes_channels_and_reactivates_old() {
     system.start(&echo);
     system.start(&old);
 
-    provided.trigger(Message { destination: 0, payload: 1 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 1,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(delivered.load(Ordering::SeqCst), 1);
 
@@ -777,7 +905,12 @@ fn failed_replace_resumes_channels_and_reactivates_old() {
 
     // The held channel was resumed and the passivated original reactivated:
     // traffic still flows to the old component as if nothing happened.
-    provided.trigger(Message { destination: 0, payload: 2 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 2,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(
         delivered.load(Ordering::SeqCst),
@@ -821,7 +954,12 @@ fn selector_channels_filter_events() {
     system.start(&all);
 
     for i in 0..10u64 {
-        provided.trigger(Message { destination: 0, payload: i }).unwrap();
+        provided
+            .trigger(Message {
+                destination: 0,
+                payload: i,
+            })
+            .unwrap();
     }
     system.await_quiescence();
     assert_eq!(seen_all.load(Ordering::SeqCst), 10);
@@ -859,9 +997,19 @@ fn keyed_channels_route_by_destination() {
 
     // destination 2 gets three messages; destination 0 gets one.
     for _ in 0..3 {
-        provided.trigger(Message { destination: 2, payload: 0 }).unwrap();
+        provided
+            .trigger(Message {
+                destination: 2,
+                payload: 0,
+            })
+            .unwrap();
     }
-    provided.trigger(Message { destination: 0, payload: 0 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 0,
+        })
+        .unwrap();
     system.await_quiescence();
 
     assert_eq!(counters[0].load(Ordering::SeqCst), 1);
@@ -917,7 +1065,12 @@ fn composite_port_passes_through_to_child() {
 
     // Request goes through the composite's port into the inner Echo; the
     // echoed indication comes back out and reaches the receiver.
-    provided.trigger(Message { destination: 0, payload: 5 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 5,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 1);
     assert_eq!(*log.lock(), vec!["r:105".to_string()]);
@@ -948,7 +1101,11 @@ fn handlers_of_one_component_are_mutually_exclusive() {
         let port = port.clone();
         producers.push(std::thread::spawn(move || {
             for i in 0..PER_THREAD {
-                port.trigger(Message { destination: 0, payload: i as u64 }).unwrap();
+                port.trigger(Message {
+                    destination: 0,
+                    payload: i as u64,
+                })
+                .unwrap();
             }
         }));
     }
@@ -964,8 +1121,7 @@ fn handlers_of_one_component_are_mutually_exclusive() {
 #[test]
 fn sequential_scheduler_is_deterministic() {
     fn run_once() -> Vec<String> {
-        let (system, scheduler) =
-            KompicsSystem::sequential(Config::default().throughput(1));
+        let (system, scheduler) = KompicsSystem::sequential(Config::default().throughput(1));
         let log: Log = Arc::new(Mutex::new(Vec::new()));
         let echo = system.create(Echo::new);
         let provided = echo.provided_ref::<Net>().unwrap();
@@ -982,7 +1138,12 @@ fn sequential_scheduler_is_deterministic() {
         }
         system.start(&echo);
         for i in 0..16 {
-            provided.trigger(Message { destination: 0, payload: i }).unwrap();
+            provided
+                .trigger(Message {
+                    destination: 0,
+                    payload: i,
+                })
+                .unwrap();
         }
         scheduler.run_until_quiescent();
         let result = log.lock().clone();
@@ -1011,7 +1172,11 @@ fn work_stealing_completes_large_fanout() {
     for c in &consumers {
         let port = c.required_ref::<Net>().unwrap();
         for i in 0..100 {
-            port.trigger(Message { destination: 0, payload: i }).unwrap();
+            port.trigger(Message {
+                destination: 0,
+                payload: i,
+            })
+            .unwrap();
         }
     }
     system.await_quiescence();
@@ -1042,7 +1207,11 @@ fn supervisor_replaces_faulty_child_via_reconfiguration() {
                 }
                 this.seen.fetch_add(1, Ordering::SeqCst);
             });
-            Fragile { ctx: ComponentContext::new(), net, seen }
+            Fragile {
+                ctx: ComponentContext::new(),
+                net,
+                seen,
+            }
         }
     }
     impl ComponentDefinition for Fragile {
@@ -1067,25 +1236,31 @@ fn supervisor_replaces_faulty_child_via_reconfiguration() {
                 let seen = seen.clone();
                 move || Fragile::new(seen)
             });
-            Supervisor { ctx, child, seen, replacements }
+            Supervisor {
+                ctx,
+                child,
+                seen,
+                replacements,
+            }
         }
         fn watch(&self) {
             let ctrl = self.child.control_ref();
-            self.ctx.subscribe(&ctrl, |this: &mut Supervisor, _fault: &Fault| {
-                let replacement = this.ctx.create({
-                    let seen = this.seen.clone();
-                    move || Fragile::new(seen)
+            self.ctx
+                .subscribe(&ctrl, |this: &mut Supervisor, _fault: &Fault| {
+                    let replacement = this.ctx.create({
+                        let seen = this.seen.clone();
+                        move || Fragile::new(seen)
+                    });
+                    kompics_core::reconfig::replace_component(
+                        &this.child.erased(),
+                        &replacement.erased(),
+                        kompics_core::reconfig::ReplaceOptions::default(),
+                    )
+                    .expect("replace faulty child");
+                    this.replacements.fetch_add(1, Ordering::SeqCst);
+                    this.child = replacement;
+                    this.watch();
                 });
-                kompics_core::reconfig::replace_component(
-                    &this.child.erased(),
-                    &replacement.erased(),
-                    kompics_core::reconfig::ReplaceOptions::default(),
-                )
-                .expect("replace faulty child");
-                this.replacements.fetch_add(1, Ordering::SeqCst);
-                this.child = replacement;
-                this.watch();
-            });
         }
     }
     impl ComponentDefinition for Supervisor {
@@ -1097,7 +1272,11 @@ fn supervisor_replaces_faulty_child_via_reconfiguration() {
         }
     }
 
-    let system = KompicsSystem::new(Config::default().workers(2).fault_policy(FaultPolicy::Collect));
+    let system = KompicsSystem::new(
+        Config::default()
+            .workers(2)
+            .fault_policy(FaultPolicy::Collect),
+    );
     let seen = Arc::new(AtomicUsize::new(0));
     let replacements = Arc::new(AtomicUsize::new(0));
     let echo = system.create(Echo::new);
@@ -1116,18 +1295,50 @@ fn supervisor_replaces_faulty_child_via_reconfiguration() {
 
     // Two good messages, one poison (echo adds 100, so send 13 → 113),
     // then two more good ones that must reach the *replacement*.
-    provided.trigger(Message { destination: 0, payload: 1 }).unwrap();
-    provided.trigger(Message { destination: 0, payload: 2 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 1,
+        })
+        .unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 2,
+        })
+        .unwrap();
     system.await_quiescence();
-    provided.trigger(Message { destination: 0, payload: 13 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 13,
+        })
+        .unwrap();
     system.await_quiescence();
-    provided.trigger(Message { destination: 0, payload: 3 }).unwrap();
-    provided.trigger(Message { destination: 0, payload: 4 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 3,
+        })
+        .unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 4,
+        })
+        .unwrap();
     system.await_quiescence();
 
-    assert_eq!(replacements.load(Ordering::SeqCst), 1, "child replaced once");
+    assert_eq!(
+        replacements.load(Ordering::SeqCst),
+        1,
+        "child replaced once"
+    );
     assert_eq!(seen.load(Ordering::SeqCst), 4, "all good messages handled");
-    assert!(system.collected_faults().is_empty(), "fault handled by supervisor");
+    assert!(
+        system.collected_faults().is_empty(),
+        "fault handled by supervisor"
+    );
     system.shutdown();
 }
 
@@ -1146,21 +1357,40 @@ fn disconnect_removes_the_channel_and_drops_queued_events() {
     system.start(&echo);
     system.start(&recv);
 
-    provided.trigger(Message { destination: 0, payload: 1 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 1,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 1);
 
     // Hold with traffic queued, then disconnect: queued events are dropped
     // (paper §2.2: disconnect undoes connect).
     channel.hold();
-    provided.trigger(Message { destination: 0, payload: 2 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 2,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(channel.queued_len(), 1);
     channel.disconnect();
     assert_eq!(channel.queued_len(), 0);
-    provided.trigger(Message { destination: 0, payload: 3 }).unwrap();
+    provided
+        .trigger(Message {
+            destination: 0,
+            payload: 3,
+        })
+        .unwrap();
     system.await_quiescence();
-    assert_eq!(seen.load(Ordering::SeqCst), 1, "no delivery after disconnect");
+    assert_eq!(
+        seen.load(Ordering::SeqCst),
+        1,
+        "no delivery after disconnect"
+    );
     system.shutdown();
 }
 
@@ -1176,16 +1406,21 @@ fn parent_unsubscribes_its_handler_on_a_child_port() {
         fn new(seen: Arc<AtomicUsize>) -> Self {
             let ctx = ComponentContext::new();
             let child = ctx.create(Echo::new);
-            Watcher { ctx, child, handler: None, seen }
+            Watcher {
+                ctx,
+                child,
+                handler: None,
+                seen,
+            }
         }
         fn watch(&mut self) {
             let port = self.child.provided_ref::<Net>().unwrap();
-            self.handler = Some(self.ctx.subscribe(
-                &port,
-                |this: &mut Watcher, _m: &Message| {
-                    this.seen.fetch_add(1, Ordering::SeqCst);
-                },
-            ));
+            self.handler = Some(
+                self.ctx
+                    .subscribe(&port, |this: &mut Watcher, _m: &Message| {
+                        this.seen.fetch_add(1, Ordering::SeqCst);
+                    }),
+            );
         }
         fn unwatch(&mut self) {
             if let Some(id) = self.handler.take() {
@@ -1218,16 +1453,27 @@ fn parent_unsubscribes_its_handler_on_a_child_port() {
     });
     system.start(&watcher);
     watcher.on_definition(|w| w.watch()).unwrap();
-    let child_port =
-        watcher.on_definition(|w| w.child.provided_ref::<Net>().unwrap()).unwrap();
+    let child_port = watcher
+        .on_definition(|w| w.child.provided_ref::<Net>().unwrap())
+        .unwrap();
 
     // The child's echo (+100) indication is observed by the parent.
-    child_port.trigger(Message { destination: 0, payload: 1 }).unwrap();
+    child_port
+        .trigger(Message {
+            destination: 0,
+            payload: 1,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 1);
 
     watcher.on_definition(|w| w.unwatch()).unwrap();
-    child_port.trigger(Message { destination: 0, payload: 2 }).unwrap();
+    child_port
+        .trigger(Message {
+            destination: 0,
+            payload: 2,
+        })
+        .unwrap();
     system.await_quiescence();
     assert_eq!(seen.load(Ordering::SeqCst), 1, "handler unsubscribed");
     system.shutdown();

@@ -27,7 +27,10 @@ struct Source {
 }
 impl Source {
     fn new() -> Self {
-        Source { ctx: ComponentContext::new(), out: ProvidedPort::new() }
+        Source {
+            ctx: ComponentContext::new(),
+            out: ProvidedPort::new(),
+        }
     }
 }
 impl ComponentDefinition for Source {
@@ -51,7 +54,11 @@ impl Recorder {
         input.subscribe(|this: &mut Recorder, s: &Seq| {
             this.seen.lock().push(s.0);
         });
-        Recorder { ctx: ComponentContext::new(), input, seen }
+        Recorder {
+            ctx: ComponentContext::new(),
+            input,
+            seen,
+        }
     }
 }
 impl ComponentDefinition for Recorder {

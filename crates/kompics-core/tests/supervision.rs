@@ -107,7 +107,11 @@ impl ComponentDefinition for Outer {
 }
 
 fn collect_system(workers: usize) -> KompicsSystem {
-    KompicsSystem::new(Config::default().workers(workers).fault_policy(FaultPolicy::Collect))
+    KompicsSystem::new(
+        Config::default()
+            .workers(workers)
+            .fault_policy(FaultPolicy::Collect),
+    )
 }
 
 #[test]
@@ -143,13 +147,22 @@ fn grandchild_panic_escalates_through_composites_and_restart_heals() {
         "the *grandchild* faulted: {:?}",
         log[0].component_name
     );
-    assert!(matches!(log[0].action, SupervisionAction::Restarted { attempt: 1 }));
-    assert_eq!(started.load(Ordering::SeqCst), 1, "replacement leaf started");
+    assert!(matches!(
+        log[0].action,
+        SupervisionAction::Restarted { attempt: 1 }
+    ));
+    assert_eq!(
+        started.load(Ordering::SeqCst),
+        1,
+        "replacement leaf started"
+    );
     assert!(system.collected_faults().is_empty(), "fault fully handled");
 
     let children = sup.on_definition(|s| s.supervised_children()).unwrap();
     assert_eq!(children.len(), 1);
-    let replacement = children[0].downcast::<Outer>().expect("replacement is an Outer");
+    let replacement = children[0]
+        .downcast::<Outer>()
+        .expect("replacement is an Outer");
     let leaf_state = replacement
         .on_definition(|o| o.mid.on_definition(|m| m.leaf.lifecycle()).unwrap())
         .unwrap();
@@ -167,7 +180,10 @@ fn budget_exhaustion_escalates_to_the_root_fault_policy() {
         move || Outer::new(f, s)
     });
     let sup = system.create(|| {
-        Supervisor::new(SupervisorConfig { max_restarts: 2, ..SupervisorConfig::default() })
+        Supervisor::new(SupervisorConfig {
+            max_restarts: 2,
+            ..SupervisorConfig::default()
+        })
     });
     system.start(&sup);
     supervise(
@@ -205,7 +221,11 @@ fn budget_exhaustion_escalates_to_the_root_fault_policy() {
         "escalation names the exhausted budget: {escalations:?}"
     );
     let faults = system.collected_faults();
-    assert_eq!(faults.len(), 1, "exactly the escalated fault reached the root");
+    assert_eq!(
+        faults.len(),
+        1,
+        "exactly the escalated fault reached the root"
+    );
     assert!(faults[0].error.contains("leaf detonated"));
     assert_eq!(
         sup.on_definition(|s| s.supervised_count()).unwrap(),
@@ -235,7 +255,11 @@ impl PokeWorker {
             }
             this.handled.fetch_add(1, Ordering::SeqCst);
         });
-        PokeWorker { ctx: ComponentContext::new(), work, handled }
+        PokeWorker {
+            ctx: ComponentContext::new(),
+            work,
+            handled,
+        }
     }
 }
 
@@ -255,7 +279,10 @@ fn concurrent_faults_under_work_stealing_scheduler_all_restart() {
     let handled = Arc::new(AtomicUsize::new(0));
     let sup = system.create(|| {
         // Generous budget: all the concurrent faults land in one window.
-        Supervisor::new(SupervisorConfig { max_restarts: WORKERS, ..SupervisorConfig::default() })
+        Supervisor::new(SupervisorConfig {
+            max_restarts: WORKERS,
+            ..SupervisorConfig::default()
+        })
     });
     system.start(&sup);
 
@@ -300,7 +327,10 @@ fn concurrent_faults_under_work_stealing_scheduler_all_restart() {
         .iter()
         .filter(|e| matches!(e.action, SupervisionAction::Restarted { .. }))
         .count();
-    assert_eq!(restarts, WORKERS, "every poisoned worker restarted: {log:?}");
+    assert_eq!(
+        restarts, WORKERS,
+        "every poisoned worker restarted: {log:?}"
+    );
     assert!(system.collected_faults().is_empty());
 
     // The replacements are live: poke each one (through re-resolved refs —
@@ -309,7 +339,11 @@ fn concurrent_faults_under_work_stealing_scheduler_all_restart() {
     assert_eq!(children.len(), WORKERS);
     for child in &children {
         let worker = child.downcast::<PokeWorker>().expect("replacement worker");
-        worker.provided_ref::<Work>().unwrap().trigger(Poke(7)).unwrap();
+        worker
+            .provided_ref::<Work>()
+            .unwrap()
+            .trigger(Poke(7))
+            .unwrap();
     }
     system.await_quiescence();
     assert_eq!(
@@ -337,8 +371,12 @@ fn escalate_strategy_forwards_the_fault_without_restarting() {
     let sup = system.create(|| Supervisor::new(SupervisorConfig::default()));
     system.start(&sup);
     // No factory on purpose: Escalate must never need one.
-    supervise(&sup, &outer.erased(), SuperviseOptions::strategy(RestartStrategy::Escalate))
-        .unwrap();
+    supervise(
+        &sup,
+        &outer.erased(),
+        SuperviseOptions::strategy(RestartStrategy::Escalate),
+    )
+    .unwrap();
 
     system.start(&outer);
     system.await_quiescence();
@@ -365,7 +403,10 @@ fn escalate_strategy_forwards_the_fault_without_restarting() {
 fn supervisor_remains_usable_after_budget_exhaustion_escalates() {
     let system = collect_system(2);
     let sup = system.create(|| {
-        Supervisor::new(SupervisorConfig { max_restarts: 1, ..SupervisorConfig::default() })
+        Supervisor::new(SupervisorConfig {
+            max_restarts: 1,
+            ..SupervisorConfig::default()
+        })
     });
     system.start(&sup);
 
@@ -397,7 +438,11 @@ fn supervisor_remains_usable_after_budget_exhaustion_escalates() {
     };
     assert_eq!(restarts(&log), 1, "budget of one: {log:?}");
     assert_eq!(system.collected_faults().len(), 1, "second fault escalated");
-    assert_eq!(sup.on_definition(|s| s.supervised_count()).unwrap(), 0, "entry evicted");
+    assert_eq!(
+        sup.on_definition(|s| s.supervised_count()).unwrap(),
+        0,
+        "entry evicted"
+    );
 
     // Child 2 detonates once: the *same* supervisor — after its escalation —
     // must still absorb the fault and heal the newcomer.
@@ -420,13 +465,27 @@ fn supervisor_remains_usable_after_budget_exhaustion_escalates() {
     system.await_quiescence();
 
     let log = sup.on_definition(|s| s.log()).unwrap();
-    assert_eq!(restarts(&log), 2, "child 2 restarted by the same supervisor: {log:?}");
-    assert_eq!(system.collected_faults().len(), 1, "no new root-level faults");
-    assert_eq!(started2.load(Ordering::SeqCst), 1, "child 2's replacement started");
+    assert_eq!(
+        restarts(&log),
+        2,
+        "child 2 restarted by the same supervisor: {log:?}"
+    );
+    assert_eq!(
+        system.collected_faults().len(),
+        1,
+        "no new root-level faults"
+    );
+    assert_eq!(
+        started2.load(Ordering::SeqCst),
+        1,
+        "child 2's replacement started"
+    );
     assert_eq!(sup.on_definition(|s| s.supervised_count()).unwrap(), 1);
 
     let children = sup.on_definition(|s| s.supervised_children()).unwrap();
-    let replacement = children[0].downcast::<Outer>().expect("replacement is an Outer");
+    let replacement = children[0]
+        .downcast::<Outer>()
+        .expect("replacement is an Outer");
     let leaf_state = replacement
         .on_definition(|o| o.mid.on_definition(|m| m.leaf.lifecycle()).unwrap())
         .unwrap();

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Transports route by the endpoint; overlays and the simulator route by
 /// [`Address::routing_key`], which is derived from the logical id.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Address {
     /// IPv4 address octets.
     pub ip: [u8; 4],
@@ -25,18 +23,30 @@ pub struct Address {
 impl Address {
     /// Creates an address from endpoint parts and a logical id.
     pub fn new(ip: Ipv4Addr, port: u16, id: u64) -> Address {
-        Address { ip: ip.octets(), port, id }
+        Address {
+            ip: ip.octets(),
+            port,
+            id,
+        }
     }
 
     /// A loopback address with the given port and id — the common case for
     /// in-process clusters.
     pub fn local(port: u16, id: u64) -> Address {
-        Address { ip: [127, 0, 0, 1], port, id }
+        Address {
+            ip: [127, 0, 0, 1],
+            port,
+            id,
+        }
     }
 
     /// A purely logical address (no real endpoint), as used in simulation.
     pub fn sim(id: u64) -> Address {
-        Address { ip: [0, 0, 0, 0], port: 0, id }
+        Address {
+            ip: [0, 0, 0, 0],
+            port: 0,
+            id,
+        }
     }
 
     /// The IPv4 form of the endpoint.

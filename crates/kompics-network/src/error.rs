@@ -64,6 +64,8 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(NetworkError::UnknownTag(7).to_string().contains('7'));
-        assert!(NetworkError::UnregisteredType("Ping").to_string().contains("Ping"));
+        assert!(NetworkError::UnregisteredType("Ping")
+            .to_string()
+            .contains("Ping"));
     }
 }

@@ -67,7 +67,11 @@ impl LocalNetwork {
                 this.net.trigger_shared(Arc::clone(event));
             },
         );
-        LocalNetwork { ctx: ComponentContext::new(), net, delivered: 0 }
+        LocalNetwork {
+            ctx: ComponentContext::new(),
+            net,
+            delivered: 0,
+        }
     }
 
     /// Number of messages routed so far.
@@ -139,7 +143,13 @@ mod tests {
                     });
                 }
             });
-            Node { ctx: ComponentContext::new(), net, addr, received, count }
+            Node {
+                ctx: ComponentContext::new(),
+                net,
+                addr,
+                received,
+                count,
+            }
         }
     }
     impl ComponentDefinition for Node {
@@ -176,7 +186,10 @@ mod tests {
         // Kick off: node 1 sends round-0 ping to node 2; they alternate
         // until round 3: deliveries at 2(r0), 1(r1), 2(r2), 1(r3).
         n1.on_definition(|n| {
-            n.net.trigger(Ping { base: Message::new(a1, a2), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(a1, a2),
+                round: 0,
+            })
         })
         .unwrap();
         system.await_quiescence();
@@ -202,7 +215,10 @@ mod tests {
         system.start(&lan);
         system.start(&n1);
         n1.on_definition(|n| {
-            n.net.trigger(Ping { base: Message::new(a1, Address::sim(99)), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(a1, Address::sim(99)),
+                round: 0,
+            })
         })
         .unwrap();
         system.await_quiescence();

@@ -38,12 +38,18 @@ impl_event!(Message);
 impl Message {
     /// Creates a message header.
     pub fn new(source: Address, destination: Address) -> Message {
-        Message { source, destination }
+        Message {
+            source,
+            destination,
+        }
     }
 
     /// A reply header: source and destination swapped.
     pub fn reply(&self) -> Message {
-        Message { source: self.destination, destination: self.source }
+        Message {
+            source: self.destination,
+            destination: self.source,
+        }
     }
 }
 
@@ -107,7 +113,9 @@ mod tests {
             base: Message,
         }
         kompics_core::impl_event!(Ping, extends Message, via base);
-        let p = Ping { base: Message::new(Address::sim(1), Address::sim(2)) };
+        let p = Ping {
+            base: Message::new(Address::sim(1), Address::sim(2)),
+        };
         assert!(p.is_instance_of(std::any::TypeId::of::<Message>()));
         assert!(Network::allows(&p, Direction::Negative));
     }

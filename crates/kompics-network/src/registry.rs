@@ -78,9 +78,8 @@ impl MessageRegistry {
                 tag,
                 type_name: std::any::type_name::<T>(),
                 encode: Box::new(|event: &dyn Event| {
-                    let concrete = event_as::<T>(event).ok_or(
-                        NetworkError::UnregisteredType("event/type mismatch"),
-                    )?;
+                    let concrete = event_as::<T>(event)
+                        .ok_or(NetworkError::UnregisteredType("event/type mismatch"))?;
                     Ok(kompics_codec::to_bytes(concrete)?)
                 }),
             },
@@ -144,7 +143,9 @@ impl MessageRegistry {
 
 impl std::fmt::Debug for MessageRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MessageRegistry").field("types", &self.len()).finish()
+        f.debug_struct("MessageRegistry")
+            .field("types", &self.len())
+            .finish()
     }
 }
 
@@ -169,7 +170,10 @@ mod tests {
     kompics_core::impl_event!(Pong, extends Message, via base);
 
     fn ping() -> Ping {
-        Ping { base: Message::new(Address::sim(1), Address::sim(2)), round: 7 }
+        Ping {
+            base: Message::new(Address::sim(1), Address::sim(2)),
+            round: 7,
+        }
     }
 
     #[test]
@@ -196,14 +200,20 @@ mod tests {
     #[test]
     fn unknown_tag_rejected() {
         let r = MessageRegistry::new();
-        assert!(matches!(r.decode(99, &[]), Err(NetworkError::UnknownTag(99))));
+        assert!(matches!(
+            r.decode(99, &[]),
+            Err(NetworkError::UnknownTag(99))
+        ));
     }
 
     #[test]
     fn duplicate_tag_rejected() {
         let mut r = MessageRegistry::new();
         r.register::<Ping>(1).unwrap();
-        assert!(matches!(r.register::<Pong>(1), Err(NetworkError::DuplicateTag(1))));
+        assert!(matches!(
+            r.register::<Pong>(1),
+            Err(NetworkError::DuplicateTag(1))
+        ));
         assert_eq!(r.len(), 1);
     }
 

@@ -82,10 +82,13 @@ struct Outgoing {
     frame: Vec<u8>,
 }
 
+/// (ip, port) key -> writer-thread handle for an open connection.
+type ConnectionMap = HashMap<([u8; 4], u16), Sender<Outgoing>>;
+
 struct Shared {
     registry: Arc<MessageRegistry>,
     config: TcpConfig,
-    connections: Mutex<HashMap<([u8; 4], u16), Sender<Outgoing>>>,
+    connections: Mutex<ConnectionMap>,
     shutdown: AtomicBool,
     sent: AtomicU64,
     received: AtomicU64,
@@ -113,7 +116,11 @@ impl TcpNetwork {
     pub fn bind(addr: Address) -> Result<(Address, TcpListener), NetworkError> {
         let listener = TcpListener::bind(addr.socket_addr())?;
         let actual = listener.local_addr()?;
-        let bound = Address { ip: addr.ip, port: actual.port(), id: addr.id };
+        let bound = Address {
+            ip: addr.ip,
+            port: actual.port(),
+            id: addr.id,
+        };
         Ok((bound, listener))
     }
 
@@ -147,7 +154,14 @@ impl TcpNetwork {
             this.ensure_listener();
         });
 
-        TcpNetwork { ctx, net, self_addr, listener: Some(listener), shared, listener_thread: None }
+        TcpNetwork {
+            ctx,
+            net,
+            self_addr,
+            listener: Some(listener),
+            shared,
+            listener_thread: None,
+        }
     }
 
     /// The transport's own (bound) address.
@@ -220,7 +234,10 @@ impl TcpNetwork {
                 }
             }
             Err(err) => {
-                self.net.trigger(DeadLetter { message: header, reason: err.to_string() });
+                self.net.trigger(DeadLetter {
+                    message: header,
+                    reason: err.to_string(),
+                });
             }
         }
     }
@@ -229,8 +246,12 @@ impl TcpNetwork {
         if self.listener_thread.is_some() {
             return;
         }
-        let Some(listener) = self.listener.take() else { return };
-        listener.set_nonblocking(true).expect("set listener nonblocking");
+        let Some(listener) = self.listener.take() else {
+            return;
+        };
+        listener
+            .set_nonblocking(true)
+            .expect("set listener nonblocking");
         let shared = Arc::clone(&self.shared);
         let port = self.net.inside_ref();
         let self_addr = self.self_addr;
@@ -242,7 +263,10 @@ impl TcpNetwork {
     }
 }
 
-fn encode_frame(shared: &Shared, event: &dyn kompics_core::event::Event) -> Result<Vec<u8>, NetworkError> {
+fn encode_frame(
+    shared: &Shared,
+    event: &dyn kompics_core::event::Event,
+) -> Result<Vec<u8>, NetworkError> {
     let (tag, body) = shared.registry.encode(event)?;
     let mut flags = 0u8;
     let body = match shared.config.compress_threshold {
@@ -305,7 +329,9 @@ fn backoff_delay(config: &TcpConfig, destination: Address, attempt: u32) -> Dura
     let nominal = config
         .connect_retry_delay
         .checked_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX))
-        .map_or(config.connect_backoff_cap, |d| d.min(config.connect_backoff_cap));
+        .map_or(config.connect_backoff_cap, |d| {
+            d.min(config.connect_backoff_cap)
+        });
     let jitter = config.connect_jitter.clamp(0.0, 1.0);
     if jitter == 0.0 {
         return nominal;
@@ -509,8 +535,7 @@ mod tests {
     fn backoff_doubles_and_caps_without_jitter() {
         let cfg = config(50, 2_000, 0.0);
         let dest = Address::local(9000, 1);
-        let delays: Vec<Duration> =
-            (0..8).map(|a| backoff_delay(&cfg, dest, a)).collect();
+        let delays: Vec<Duration> = (0..8).map(|a| backoff_delay(&cfg, dest, a)).collect();
         assert_eq!(delays[0], Duration::from_millis(50));
         assert_eq!(delays[1], Duration::from_millis(100));
         assert_eq!(delays[2], Duration::from_millis(200));
@@ -524,8 +549,14 @@ mod tests {
         // Shift/multiply overflow on huge attempt counts must saturate at
         // the cap, not wrap around to tiny delays.
         let cfg = config(500, 3_000, 0.0);
-        assert_eq!(backoff_delay(&cfg, Address::local(1, 1), 31), Duration::from_secs(3));
-        assert_eq!(backoff_delay(&cfg, Address::local(1, 1), u32::MAX), Duration::from_secs(3));
+        assert_eq!(
+            backoff_delay(&cfg, Address::local(1, 1), 31),
+            Duration::from_secs(3)
+        );
+        assert_eq!(
+            backoff_delay(&cfg, Address::local(1, 1), u32::MAX),
+            Duration::from_secs(3)
+        );
     }
 
     #[test]

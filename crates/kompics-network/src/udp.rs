@@ -59,7 +59,14 @@ impl UdpNetwork {
     pub fn bind(addr: Address) -> Result<(Address, UdpSocket), NetworkError> {
         let socket = UdpSocket::bind(addr.socket_addr())?;
         let actual = socket.local_addr()?;
-        Ok((Address { ip: addr.ip, port: actual.port(), id: addr.id }, socket))
+        Ok((
+            Address {
+                ip: addr.ip,
+                port: actual.port(),
+                id: addr.id,
+            },
+            socket,
+        ))
     }
 
     /// Creates the transport around a pre-bound socket (see
@@ -112,12 +119,16 @@ impl UdpNetwork {
     }
 
     fn send(&mut self, event: &EventRef) {
-        let Some(header) = event_as::<Message>(event.as_ref()).copied() else { return };
+        let Some(header) = event_as::<Message>(event.as_ref()).copied() else {
+            return;
+        };
         let frame = match self.encode(event.as_ref()) {
             Ok(frame) => frame,
             Err(err) => {
-                self.net
-                    .trigger(DeadLetter { message: header, reason: err.to_string() });
+                self.net.trigger(DeadLetter {
+                    message: header,
+                    reason: err.to_string(),
+                });
                 return;
             }
         };
@@ -137,8 +148,10 @@ impl UdpNetwork {
                 self.shared.sent.fetch_add(1, Ordering::Relaxed);
             }
             Err(err) => {
-                self.net
-                    .trigger(DeadLetter { message: header, reason: err.to_string() });
+                self.net.trigger(DeadLetter {
+                    message: header,
+                    reason: err.to_string(),
+                });
             }
         }
     }
@@ -205,8 +218,12 @@ fn receive_loop(
         };
         shared.received.fetch_add(1, Ordering::Relaxed);
         let frame = &buf[..n];
-        let Some((&flags, mut input)) = frame.split_first() else { continue };
-        let Ok(tag) = kompics_codec::varint::read_u64(&mut input) else { continue };
+        let Some((&flags, mut input)) = frame.split_first() else {
+            continue;
+        };
+        let Ok(tag) = kompics_codec::varint::read_u64(&mut input) else {
+            continue;
+        };
         let decoded = if flags & FLAG_COMPRESSED != 0 {
             kompics_codec::rle_decompress(input)
                 .map_err(NetworkError::from)
@@ -287,15 +304,23 @@ mod tests {
                 this.pings.lock().push(ping.round);
                 this.count.fetch_add(1, Ordering::SeqCst);
                 if ping.round < 3 {
-                    this.net
-                        .trigger(Ping { base: ping.base.reply(), round: ping.round + 1 });
+                    this.net.trigger(Ping {
+                        base: ping.base.reply(),
+                        round: ping.round + 1,
+                    });
                 }
             });
             net.subscribe(|this: &mut Node, dl: &DeadLetter| {
                 this.dead.lock().push(dl.reason.clone());
                 this.count.fetch_add(1, Ordering::SeqCst);
             });
-            Node { ctx: ComponentContext::new(), net, pings, dead, count }
+            Node {
+                ctx: ComponentContext::new(),
+                net,
+                pings,
+                dead,
+                count,
+            }
         }
     }
     impl ComponentDefinition for Node {
@@ -325,8 +350,7 @@ mod tests {
     fn make(system: &KompicsSystem, id: u64) -> Fixture {
         let (addr, socket) = UdpNetwork::bind(Address::local(0, id)).unwrap();
         let reg = registry();
-        let udp =
-            system.create(move || UdpNetwork::new(addr, socket, reg, Some(512)));
+        let udp = system.create(move || UdpNetwork::new(addr, socket, reg, Some(512)));
         let count = Arc::new(AtomicUsize::new(0));
         let pings = Arc::new(Mutex::new(Vec::new()));
         let dead = Arc::new(Mutex::new(Vec::new()));
@@ -341,7 +365,13 @@ mod tests {
         .unwrap();
         system.start(&udp);
         system.start(&node);
-        Fixture { node, addr, count, pings, dead }
+        Fixture {
+            node,
+            addr,
+            count,
+            pings,
+            dead,
+        }
     }
 
     fn wait_for(count: &AtomicUsize, target: usize, ms: u64) -> bool {
@@ -363,7 +393,10 @@ mod tests {
         a.node
             .on_definition(|n| {
                 let dest = b.addr;
-                n.net.trigger(Ping { base: Message::new(a.addr, dest), round: 0 })
+                n.net.trigger(Ping {
+                    base: Message::new(a.addr, dest),
+                    round: 0,
+                })
             })
             .unwrap();
         assert!(wait_for(&b.count, 2, 5_000));
@@ -383,7 +416,10 @@ mod tests {
         a.node
             .on_definition(|n| {
                 let dest = b.addr;
-                n.net.trigger(Blob { base: Message::new(a.addr, dest), data })
+                n.net.trigger(Blob {
+                    base: Message::new(a.addr, dest),
+                    data,
+                })
             })
             .unwrap();
         assert!(wait_for(&a.count, 1, 5_000));

@@ -58,7 +58,10 @@ impl Node {
             this.pings.lock().push(ping.round);
             this.count.fetch_add(1, Ordering::SeqCst);
             if ping.round < 3 {
-                this.net.trigger(Ping { base: ping.base.reply(), round: ping.round + 1 });
+                this.net.trigger(Ping {
+                    base: ping.base.reply(),
+                    round: ping.round + 1,
+                });
             }
         });
         net.subscribe(|this: &mut Node, blob: &Blob| {
@@ -69,7 +72,15 @@ impl Node {
             this.dead.lock().push(dl.reason.clone());
             this.count.fetch_add(1, Ordering::SeqCst);
         });
-        Node { ctx: ComponentContext::new(), net, addr, pings, blobs, dead, count }
+        Node {
+            ctx: ComponentContext::new(),
+            net,
+            addr,
+            pings,
+            blobs,
+            dead,
+            count,
+        }
     }
 }
 
@@ -113,7 +124,16 @@ fn make_node(system: &KompicsSystem, id: u64, config: TcpConfig) -> Fixture {
     .unwrap();
     system.start(&tcp);
     system.start(&node);
-    Fixture { system: system.clone(), node, tcp, addr, count, pings, blobs, dead }
+    Fixture {
+        system: system.clone(),
+        node,
+        tcp,
+        addr,
+        count,
+        pings,
+        blobs,
+        dead,
+    }
 }
 
 fn wait_for(count: &AtomicUsize, target: usize, timeout_ms: u64) -> bool {
@@ -135,7 +155,10 @@ fn ping_pong_over_loopback_tcp() {
 
     a.node
         .on_definition(|n| {
-            n.net.trigger(Ping { base: Message::new(n.addr, b.addr), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(n.addr, b.addr),
+                round: 0,
+            })
         })
         .unwrap();
     // Rounds: b gets 0, a gets 1, b gets 2, a gets 3.
@@ -161,7 +184,10 @@ fn large_compressible_payload_roundtrips_and_shrinks() {
             let data = data.clone();
             let dest = b.addr;
             move |n| {
-                n.net.trigger(Blob { base: Message::new(n.addr, dest), data });
+                n.net.trigger(Blob {
+                    base: Message::new(n.addr, dest),
+                    data,
+                });
             }
         })
         .unwrap();
@@ -181,12 +207,19 @@ fn incompressible_payload_roundtrips() {
     let a = make_node(&system, 1, TcpConfig::default());
     let b = make_node(&system, 2, TcpConfig::default());
 
-    let data: Vec<u8> = (0..10_000u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+    let data: Vec<u8> = (0..10_000u32)
+        .map(|i| (i.wrapping_mul(2654435761)) as u8)
+        .collect();
     a.node
         .on_definition({
             let data = data.clone();
             let dest = b.addr;
-            move |n| n.net.trigger(Blob { base: Message::new(n.addr, dest), data })
+            move |n| {
+                n.net.trigger(Blob {
+                    base: Message::new(n.addr, dest),
+                    data,
+                })
+            }
         })
         .unwrap();
     assert!(wait_for(&b.count, 1, 5_000));
@@ -207,7 +240,10 @@ fn unreachable_destination_yields_dead_letter() {
     let bogus = Address::local(1, 99);
     a.node
         .on_definition(move |n| {
-            n.net.trigger(Ping { base: Message::new(n.addr, bogus), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(n.addr, bogus),
+                round: 0,
+            })
         })
         .unwrap();
     assert!(wait_for(&a.count, 1, 5_000), "dead letter should arrive");
@@ -233,7 +269,10 @@ fn full_outbound_queue_dead_letters_instead_of_growing_unbounded() {
     a.node
         .on_definition(move |n| {
             for i in 0..N as u32 {
-                n.net.trigger(Ping { base: Message::new(n.addr, bogus), round: 100 + i });
+                n.net.trigger(Ping {
+                    base: Message::new(n.addr, bogus),
+                    round: 100 + i,
+                });
             }
         })
         .unwrap();
@@ -244,7 +283,10 @@ fn full_outbound_queue_dead_letters_instead_of_growing_unbounded() {
         a.count.load(Ordering::SeqCst)
     );
     let dead = a.dead.lock();
-    let full = dead.iter().filter(|r| r.contains("outbound queue full")).count();
+    let full = dead
+        .iter()
+        .filter(|r| r.contains("outbound queue full"))
+        .count();
     assert!(
         full >= N - 5,
         "expected ≥{} queue-full dead letters, got {full}: {dead:?}",
@@ -266,7 +308,10 @@ fn many_messages_preserve_per_sender_fifo() {
             let dest = b.addr;
             for i in 0..N {
                 // round > 3 so b never replies.
-                n.net.trigger(Ping { base: Message::new(n.addr, dest), round: 100 + i });
+                n.net.trigger(Ping {
+                    base: Message::new(n.addr, dest),
+                    round: 100 + i,
+                });
             }
         })
         .unwrap();

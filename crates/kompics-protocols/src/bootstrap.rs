@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use kompics_core::prelude::*;
 use kompics_network::{Address, Message, MessageRegistry, Network, NetworkError};
-use kompics_timer::{ScheduleTimeout, SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
+use kompics_timer::{SchedulePeriodicTimeout, ScheduleTimeout, Timeout, TimeoutId, Timer};
 use serde::{Deserialize, Serialize};
 
 use crate::web::{Web, WebRequest, WebResponse};
@@ -156,7 +156,10 @@ impl BootstrapServer {
                 .filter(|a| a.id != req.base.source.id)
                 .take(this.config.sample_size)
                 .collect();
-            this.net.trigger(NodesMsg { base: req.base.reply(), peers });
+            this.net.trigger(NodesMsg {
+                base: req.base.reply(),
+                peers,
+            });
             // A node asking to join is itself alive.
             this.touch(req.base.source);
         });
@@ -177,7 +180,9 @@ impl BootstrapServer {
                 this.config.eviction_period,
                 this.config.eviction_period,
                 id,
-                Arc::new(EvictTick { base: Timeout { id } }),
+                Arc::new(EvictTick {
+                    base: Timeout { id },
+                }),
             ));
         });
 
@@ -191,7 +196,11 @@ impl BootstrapServer {
                 body.push_str(&format!("\"{addr}\""));
             }
             body.push_str("]}");
-            this.web.trigger(WebResponse { id: req.id, status: 200, body });
+            this.web.trigger(WebResponse {
+                id: req.id,
+                status: 200,
+                body,
+            });
         });
         BootstrapServer {
             ctx,
@@ -305,14 +314,18 @@ impl BootstrapClient {
                     this.config.keep_alive_period,
                     this.config.keep_alive_period,
                     id,
-                    Arc::new(KeepAliveTick { base: Timeout { id } }),
+                    Arc::new(KeepAliveTick {
+                        base: Timeout { id },
+                    }),
                 ));
             }
         });
         net.subscribe(|this: &mut BootstrapClient, nodes: &NodesMsg| {
             if this.awaiting_response {
                 this.awaiting_response = false;
-                this.bootstrap.trigger(BootstrapResponse { peers: nodes.peers.clone() });
+                this.bootstrap.trigger(BootstrapResponse {
+                    peers: nodes.peers.clone(),
+                });
             }
         });
         timer.subscribe(|this: &mut BootstrapClient, _t: &KeepAliveTick| {
@@ -351,7 +364,9 @@ impl BootstrapClient {
         self.timer.trigger(ScheduleTimeout::new(
             self.config.retry_period,
             id,
-            Arc::new(RetryTick { base: Timeout { id } }),
+            Arc::new(RetryTick {
+                base: Timeout { id },
+            }),
         ));
     }
 }

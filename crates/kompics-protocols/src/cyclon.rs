@@ -162,7 +162,10 @@ impl CyclonOverlay {
         sampling.subscribe(|this: &mut CyclonOverlay, join: &JoinOverlay| {
             for seed in &join.seeds {
                 if seed.id != this.self_addr.id {
-                    this.insert(Descriptor { addr: *seed, age: 0 });
+                    this.insert(Descriptor {
+                        addr: *seed,
+                        age: 0,
+                    });
                 }
             }
         });
@@ -172,8 +175,10 @@ impl CyclonOverlay {
         net.subscribe(|this: &mut CyclonOverlay, req: &ShuffleRequest| {
             // Respond with a random subset of our cache, then merge theirs.
             let subset = this.random_subset(this.config.shuffle_length);
-            this.net
-                .trigger(ShuffleResponse { base: req.base.reply(), entries: subset.clone() });
+            this.net.trigger(ShuffleResponse {
+                base: req.base.reply(),
+                entries: subset.clone(),
+            });
             this.merge(&req.entries, &subset);
         });
         net.subscribe(|this: &mut CyclonOverlay, resp: &ShuffleResponse| {
@@ -190,7 +195,9 @@ impl CyclonOverlay {
                 this.config.period,
                 this.config.period,
                 id,
-                Arc::new(ShuffleTick { base: Timeout { id } }),
+                Arc::new(ShuffleTick {
+                    base: Timeout { id },
+                }),
             ));
         });
 
@@ -264,9 +271,7 @@ impl CyclonOverlay {
             if d.addr.id == self.self_addr.id {
                 continue;
             }
-            if let Some(existing) =
-                self.cache.iter_mut().find(|e| e.addr.id == d.addr.id)
-            {
+            if let Some(existing) = self.cache.iter_mut().find(|e| e.addr.id == d.addr.id) {
                 existing.age = existing.age.min(d.age);
                 continue;
             }
@@ -306,7 +311,10 @@ impl CyclonOverlay {
         self.cache[idx].age = 0;
         let target = self.cache[idx];
         let mut subset = self.random_subset(self.config.shuffle_length - 1);
-        subset.push(Descriptor { addr: self.self_addr, age: 0 });
+        subset.push(Descriptor {
+            addr: self.self_addr,
+            age: 0,
+        });
         self.pending_sent = subset.clone();
         self.pending_sent.push(target);
         self.net.trigger(ShuffleRequest {
@@ -333,9 +341,15 @@ mod tests {
 
     #[test]
     fn sampling_port_direction_rules() {
-        assert!(NodeSampling::allows(&JoinOverlay { seeds: vec![] }, Direction::Negative));
+        assert!(NodeSampling::allows(
+            &JoinOverlay { seeds: vec![] },
+            Direction::Negative
+        ));
         assert!(NodeSampling::allows(&SampleRequest, Direction::Negative));
-        assert!(NodeSampling::allows(&Sample { peers: vec![] }, Direction::Positive));
+        assert!(NodeSampling::allows(
+            &Sample { peers: vec![] },
+            Direction::Positive
+        ));
     }
 
     #[test]
@@ -344,7 +358,10 @@ mod tests {
         register_messages(&mut registry, 300).unwrap();
         let req = ShuffleRequest {
             base: Message::new(Address::sim(1), Address::sim(2)),
-            entries: vec![Descriptor { addr: Address::sim(3), age: 4 }],
+            entries: vec![Descriptor {
+                addr: Address::sim(3),
+                age: 4,
+            }],
         };
         let (tag, bytes) = registry.encode(&req).unwrap();
         let back = registry.decode(tag, &bytes).unwrap();

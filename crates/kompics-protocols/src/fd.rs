@@ -167,7 +167,10 @@ impl PingFailureDetector {
             this.suspected.remove(&req.peer.id);
         });
         net.subscribe(|this: &mut PingFailureDetector, ping: &FdPing| {
-            this.net.trigger(FdPong { base: ping.base.reply(), seq: ping.seq });
+            this.net.trigger(FdPong {
+                base: ping.base.reply(),
+                seq: ping.seq,
+            });
         });
         net.subscribe(|this: &mut PingFailureDetector, pong: &FdPong| {
             if pong.seq == this.seq {
@@ -230,8 +233,10 @@ impl PingFailureDetector {
     }
 
     fn ping(&mut self, peer: Address) {
-        self.net
-            .trigger(FdPing { base: Message::new(self.self_addr, peer), seq: self.seq });
+        self.net.trigger(FdPing {
+            base: Message::new(self.self_addr, peer),
+            seq: self.seq,
+        });
     }
 
     fn schedule_tick(&mut self) {
@@ -239,7 +244,9 @@ impl PingFailureDetector {
         self.timer.trigger(ScheduleTimeout::new(
             self.delay,
             id,
-            Arc::new(FdTick { base: Timeout { id } }),
+            Arc::new(FdTick {
+                base: Timeout { id },
+            }),
         ));
     }
 
@@ -249,12 +256,14 @@ impl PingFailureDetector {
         }
         // A premature suspicion (peer both alive and suspected) means the
         // delay was too short: adapt.
-        if self.monitored.keys().any(|id| self.alive.contains(id) && self.suspected.contains(id))
+        if self
+            .monitored
+            .keys()
+            .any(|id| self.alive.contains(id) && self.suspected.contains(id))
         {
             self.delay += self.config.delta;
         }
-        let peers: Vec<(u64, Address)> =
-            self.monitored.iter().map(|(id, a)| (*id, *a)).collect();
+        let peers: Vec<(u64, Address)> = self.monitored.iter().map(|(id, a)| (*id, *a)).collect();
         for (id, addr) in peers {
             if !self.alive.contains(&id) && !self.suspected.contains(&id) {
                 self.suspected.insert(id);
@@ -295,8 +304,14 @@ mod tests {
             &StartMonitoring { peer },
             Direction::Negative
         ));
-        assert!(EventuallyPerfectFd::allows(&Suspect { peer }, Direction::Positive));
-        assert!(!EventuallyPerfectFd::allows(&Suspect { peer }, Direction::Negative));
+        assert!(EventuallyPerfectFd::allows(
+            &Suspect { peer },
+            Direction::Positive
+        ));
+        assert!(!EventuallyPerfectFd::allows(
+            &Suspect { peer },
+            Direction::Negative
+        ));
     }
 
     #[test]

@@ -127,7 +127,9 @@ impl MonitorClient {
                 this.period,
                 this.period,
                 id,
-                Arc::new(ReportTick { base: Timeout { id } }),
+                Arc::new(ReportTick {
+                    base: Timeout { id },
+                }),
             ));
         });
 
@@ -161,6 +163,11 @@ impl ComponentDefinition for MonitorClient {
 /// provides [`Web`] — a GET against the attached HTTP frontend returns the
 /// global view as JSON, "presenting a global view of the system on a web
 /// page" as in the paper's §4.1.
+///
+/// Per-node slice of the aggregated view: node address plus
+/// component → status entries.
+pub type NodeView = (Address, BTreeMap<String, Vec<(String, String)>>);
+
 pub struct MonitorServer {
     ctx: ComponentContext,
     // Only subscribed on, never triggered; the field keeps the port alive.
@@ -168,7 +175,7 @@ pub struct MonitorServer {
     net: RequiredPort<Network>,
     web: ProvidedPort<Web>,
     /// node id → (node address, component → status entries).
-    view: BTreeMap<u64, (Address, BTreeMap<String, Vec<(String, String)>>)>,
+    view: BTreeMap<u64, NodeView>,
     reports: u64,
 }
 
@@ -185,7 +192,9 @@ impl MonitorServer {
                 .entry(report.base.source.id)
                 .or_insert_with(|| (report.base.source, BTreeMap::new()));
             for status in &report.statuses {
-                entry.1.insert(status.component.clone(), status.entries.clone());
+                entry
+                    .1
+                    .insert(status.component.clone(), status.entries.clone());
             }
         });
         let web: ProvidedPort<Web> = ProvidedPort::new();
@@ -196,13 +205,17 @@ impl MonitorServer {
                 body: this.render_json(),
             });
         });
-        MonitorServer { ctx, net, web, view: BTreeMap::new(), reports: 0 }
+        MonitorServer {
+            ctx,
+            net,
+            web,
+            view: BTreeMap::new(),
+            reports: 0,
+        }
     }
 
     /// The aggregated global view: node id → component → entries.
-    pub fn global_view(
-        &self,
-    ) -> &BTreeMap<u64, (Address, BTreeMap<String, Vec<(String, String)>>)> {
+    pub fn global_view(&self) -> &BTreeMap<u64, NodeView> {
         &self.view
     }
 
@@ -219,9 +232,7 @@ impl MonitorServer {
 }
 
 /// Renders a global view as a JSON document.
-pub fn render_view(
-    view: &BTreeMap<u64, (Address, BTreeMap<String, Vec<(String, String)>>)>,
-) -> String {
+pub fn render_view(view: &BTreeMap<u64, NodeView>) -> String {
     let mut out = String::from("{");
     for (i, (id, (addr, components))) in view.iter().enumerate() {
         if i > 0 {
@@ -260,9 +271,16 @@ mod tests {
 
     #[test]
     fn status_port_direction_rules() {
-        assert!(Status::allows(&StatusRequest { tag: 0 }, Direction::Negative));
         assert!(Status::allows(
-            &StatusResponse { tag: 0, component: "x".into(), entries: vec![] },
+            &StatusRequest { tag: 0 },
+            Direction::Negative
+        ));
+        assert!(Status::allows(
+            &StatusResponse {
+                tag: 0,
+                component: "x".into(),
+                entries: vec![]
+            },
             Direction::Positive
         ));
     }

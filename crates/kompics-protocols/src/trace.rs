@@ -77,7 +77,14 @@ impl NetworkTap {
                 this.upper.trigger_shared(Arc::clone(event));
             },
         );
-        NetworkTap { ctx: ComponentContext::new(), upper, lower, sink, clock, forwarded: 0 }
+        NetworkTap {
+            ctx: ComponentContext::new(),
+            upper,
+            lower,
+            sink,
+            clock,
+            forwarded: 0,
+        }
     }
 
     fn record(&mut self, event: &EventRef, outgoing: bool) {
@@ -136,10 +143,18 @@ mod tests {
             net.subscribe(|this: &mut Node, ping: &Ping| {
                 this.received.fetch_add(1, Ordering::SeqCst);
                 if ping.round < 2 {
-                    this.net.trigger(Ping { base: ping.base.reply(), round: ping.round + 1 });
+                    this.net.trigger(Ping {
+                        base: ping.base.reply(),
+                        round: ping.round + 1,
+                    });
                 }
             });
-            Node { ctx: ComponentContext::new(), net, addr, received }
+            Node {
+                ctx: ComponentContext::new(),
+                net,
+                addr,
+                received,
+            }
         }
     }
     impl ComponentDefinition for Node {
@@ -187,7 +202,10 @@ mod tests {
 
         // n1 → n2 (r0), n2 → n1 (r1), n1 → n2 (r2): three deliveries.
         n1.on_definition(|n| {
-            n.net.trigger(Ping { base: Message::new(a1, a2), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(a1, a2),
+                round: 0,
+            })
         })
         .unwrap();
         system.await_quiescence();

@@ -124,8 +124,12 @@ impl HttpServer {
         if self.thread.is_some() {
             return;
         }
-        let Some(listener) = self.listener.take() else { return };
-        listener.set_nonblocking(true).expect("nonblocking listener");
+        let Some(listener) = self.listener.take() else {
+            return;
+        };
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
         let pending = Arc::clone(&self.pending);
         let shutdown = Arc::clone(&self.shutdown);
         let web = self.web.inside_ref();
@@ -189,8 +193,9 @@ fn handle_http(
     pending.lock().insert(id, tx);
     let _ = web.trigger(WebRequest { id, path });
 
-    // komlint: allow(blocking-recv) reason="blocks the per-connection HTTP thread awaiting the component's WebResponse, never a scheduler worker"
-    let (status, body) = rx.recv_timeout(timeout)
+    let (status, body) = rx
+        // komlint: allow(blocking-recv) reason="blocks the per-connection HTTP thread awaiting the component's WebResponse, never a scheduler worker"
+        .recv_timeout(timeout)
         .unwrap_or((504, "{\"error\":\"status timeout\"}".to_string()));
     pending.lock().remove(&id);
     let reply = format!(
@@ -229,9 +234,19 @@ mod tests {
 
     #[test]
     fn web_port_direction_rules() {
-        assert!(Web::allows(&WebRequest { id: 1, path: "/".into() }, Direction::Negative));
         assert!(Web::allows(
-            &WebResponse { id: 1, status: 200, body: String::new() },
+            &WebRequest {
+                id: 1,
+                path: "/".into()
+            },
+            Direction::Negative
+        ));
+        assert!(Web::allows(
+            &WebResponse {
+                id: 1,
+                status: 200,
+                body: String::new()
+            },
             Direction::Positive
         ));
     }
@@ -250,9 +265,16 @@ mod tests {
                 } else {
                     (404, "{\"error\":\"not found\"}".to_string())
                 };
-                this.web.trigger(WebResponse { id: req.id, status, body });
+                this.web.trigger(WebResponse {
+                    id: req.id,
+                    status,
+                    body,
+                });
             });
-            StatusPage { ctx: ComponentContext::new(), web }
+            StatusPage {
+                ctx: ComponentContext::new(),
+                web,
+            }
         }
     }
     impl ComponentDefinition for StatusPage {
@@ -288,8 +310,7 @@ mod tests {
     fn serves_status_pages_over_real_http() {
         let system = KompicsSystem::new(Config::default().workers(2));
         let (port, listener) = HttpServer::bind(0).unwrap();
-        let server =
-            system.create(move || HttpServer::new(port, listener, Duration::from_secs(2)));
+        let server = system.create(move || HttpServer::new(port, listener, Duration::from_secs(2)));
         let page = system.create(StatusPage::new);
         connect(
             &page.provided_ref::<Web>().unwrap(),

@@ -20,9 +20,7 @@ use kompics_protocols::fd::{
 use kompics_protocols::monitor::{
     MonitorClient, MonitorServer, Status, StatusRequest, StatusResponse,
 };
-use kompics_simulation::{
-    EmulatorConfig, LatencyModel, NetworkEmulator, SimTimer, Simulation,
-};
+use kompics_simulation::{EmulatorConfig, LatencyModel, NetworkEmulator, SimTimer, Simulation};
 use kompics_timer::Timer;
 use parking_lot::Mutex;
 
@@ -77,12 +75,21 @@ impl FdUser {
     fn new(events: FdEvents, des: Arc<kompics_simulation::Des>) -> Self {
         let fd = RequiredPort::new();
         fd.subscribe(|this: &mut FdUser, s: &Suspect| {
-            this.events.lock().push((this.des.now() / 1_000_000, "suspect", s.peer.id));
+            this.events
+                .lock()
+                .push((this.des.now() / 1_000_000, "suspect", s.peer.id));
         });
         fd.subscribe(|this: &mut FdUser, r: &Restore| {
-            this.events.lock().push((this.des.now() / 1_000_000, "restore", r.peer.id));
+            this.events
+                .lock()
+                .push((this.des.now() / 1_000_000, "restore", r.peer.id));
         });
-        FdUser { ctx: ComponentContext::new(), fd, events, des }
+        FdUser {
+            ctx: ComponentContext::new(),
+            fd,
+            events,
+            des,
+        }
     }
 }
 impl ComponentDefinition for FdUser {
@@ -130,7 +137,8 @@ fn fd_suspects_partitioned_peer_and_restores_after_heal() {
     net.sim.system().start(&fd1);
     net.sim.system().start(&fd2);
     net.sim.system().start(&user);
-    user.on_definition(|u| u.fd.trigger(StartMonitoring { peer: a2 })).unwrap();
+    user.on_definition(|u| u.fd.trigger(StartMonitoring { peer: a2 }))
+        .unwrap();
 
     // Healthy for 5 s: no suspicions.
     net.sim.run_for(Duration::from_secs(5));
@@ -179,7 +187,11 @@ impl Joiner {
             *this.peers_seen.lock() = Some(resp.peers.clone());
             this.bootstrap.trigger(BootstrapDone);
         });
-        Joiner { ctx: ComponentContext::new(), bootstrap, peers_seen }
+        Joiner {
+            ctx: ComponentContext::new(),
+            bootstrap,
+            peers_seen,
+        }
     }
 }
 impl ComponentDefinition for Joiner {
@@ -207,9 +219,10 @@ fn bootstrap_flow_returns_alive_nodes_and_evicts_silent_ones() {
     let mut seen = Vec::new();
     for id in 1..=3u64 {
         let addr = Address::sim(id);
-        let client = net.sim.system().create(move || {
-            BootstrapClient::new(addr, BootstrapClientConfig::new(server_addr))
-        });
+        let client = net
+            .sim
+            .system()
+            .create(move || BootstrapClient::new(addr, BootstrapClientConfig::new(server_addr)));
         net.wire(&client, addr);
         let peers_seen = Arc::new(Mutex::new(None));
         let joiner = net.sim.system().create({
@@ -288,7 +301,9 @@ fn cyclon_caches_fill_and_mix_across_the_overlay() {
         overlay
             .provided_ref::<NodeSampling>()
             .unwrap()
-            .trigger(JoinOverlay { seeds: vec![Address::sim(1)] })
+            .trigger(JoinOverlay {
+                seeds: vec![Address::sim(1)],
+            })
             .unwrap();
     }
     net.sim.run_for(Duration::from_secs(60));
@@ -338,7 +353,11 @@ impl Reporter {
                 entries: vec![("value".into(), this.value.to_string())],
             });
         });
-        Reporter { ctx: ComponentContext::new(), status, value }
+        Reporter {
+            ctx: ComponentContext::new(),
+            status,
+            value,
+        }
     }
 }
 impl ComponentDefinition for Reporter {
@@ -360,9 +379,10 @@ fn monitor_aggregates_node_statuses_at_the_server() {
 
     for id in 1..=3u64 {
         let addr = Address::sim(id);
-        let client = net.sim.system().create(move || {
-            MonitorClient::new(addr, server_addr, Duration::from_secs(1))
-        });
+        let client = net
+            .sim
+            .system()
+            .create(move || MonitorClient::new(addr, server_addr, Duration::from_secs(1)));
         net.wire(&client, addr);
         let reporter = net.sim.system().create(move || Reporter::new(id * 100));
         connect(

@@ -88,7 +88,11 @@ impl Des {
     }
 
     /// Schedules `action` to run `delay` after the current virtual time.
-    pub fn schedule_in(&self, delay: Duration, action: impl FnOnce() + Send + 'static) -> DesEventId {
+    pub fn schedule_in(
+        &self,
+        delay: Duration,
+        action: impl FnOnce() + Send + 'static,
+    ) -> DesEventId {
         self.schedule_at(self.now().saturating_add(delay.as_nanos() as u64), action)
     }
 

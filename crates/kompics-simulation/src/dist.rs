@@ -37,7 +37,10 @@ impl Dist {
     /// Uniform over `[0, 2^bits)` — the paper's `uniform(16)` notation for
     /// identifier spaces.
     pub fn uniform_bits(bits: u32) -> Dist {
-        Dist::Uniform { lo: 0.0, hi: (1u64 << bits) as f64 }
+        Dist::Uniform {
+            lo: 0.0,
+            hi: (1u64 << bits) as f64,
+        }
     }
 
     /// Draws one sample (clamped at zero).
@@ -114,12 +117,18 @@ mod tests {
     fn exponential_mean_converges() {
         let d = Dist::Exponential { mean: 2000.0 };
         let m = sample_mean(&d, 50_000);
-        assert!((m - 2000.0).abs() < 50.0, "exponential mean ≈ 2000, got {m}");
+        assert!(
+            (m - 2000.0).abs() < 50.0,
+            "exponential mean ≈ 2000, got {m}"
+        );
     }
 
     #[test]
     fn normal_mean_and_spread() {
-        let d = Dist::Normal { mean: 50.0, std_dev: 10.0 };
+        let d = Dist::Normal {
+            mean: 50.0,
+            std_dev: 10.0,
+        };
         let m = sample_mean(&d, 50_000);
         assert!((m - 50.0).abs() < 0.5, "normal mean ≈ 50, got {m}");
         let mut rng = StdRng::seed_from_u64(3);
@@ -143,7 +152,13 @@ mod tests {
     #[test]
     fn uniform_bits_matches_paper_notation() {
         let d = Dist::uniform_bits(16);
-        assert_eq!(d, Dist::Uniform { lo: 0.0, hi: 65536.0 });
+        assert_eq!(
+            d,
+            Dist::Uniform {
+                lo: 0.0,
+                hi: 65536.0
+            }
+        );
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..100 {
             assert!(d.sample_u64(&mut rng) < 65536);
@@ -152,7 +167,10 @@ mod tests {
 
     #[test]
     fn negative_normal_samples_clamp_to_zero() {
-        let d = Dist::Normal { mean: 0.0, std_dev: 100.0 };
+        let d = Dist::Normal {
+            mean: 0.0,
+            std_dev: 100.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..1000 {
             assert!(d.sample(&mut rng) >= 0.0);

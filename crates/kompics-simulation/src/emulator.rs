@@ -81,7 +81,10 @@ impl LinkFault {
     /// [`NetworkEmulator::block_link`] but expressible in the same plan
     /// vocabulary as partial faults.
     pub fn lossy(drop_probability: f64) -> Self {
-        LinkFault { drop_probability, ..Default::default() }
+        LinkFault {
+            drop_probability,
+            ..Default::default()
+        }
     }
 }
 
@@ -143,7 +146,10 @@ impl NetworkEmulator {
         let Some(header) = event_as::<Message>(event.as_ref()).copied() else {
             return;
         };
-        let (src, dst) = (header.source.routing_key(), header.destination.routing_key());
+        let (src, dst) = (
+            header.source.routing_key(),
+            header.destination.routing_key(),
+        );
         if self.is_blocked(src, dst) {
             self.dropped += 1;
             return;
@@ -168,8 +174,7 @@ impl NetworkEmulator {
         }
         let mut delay = self.config.latency.sample_nanos(&mut rng);
         let duplicate = fault.as_ref().is_some_and(|f| {
-            f.duplicate_probability > 0.0
-                && rng.gen_range(0.0..1.0) < f.duplicate_probability
+            f.duplicate_probability > 0.0 && rng.gen_range(0.0..1.0) < f.duplicate_probability
         });
         drop(rng);
         if let Some(f) = &fault {

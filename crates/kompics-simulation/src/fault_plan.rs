@@ -56,7 +56,11 @@ pub enum FaultOp {
     /// Restore a link blocked by [`FaultOp::DropLink`].
     RestoreLink { a: String, b: String },
     /// Degrade the link between two named nodes.
-    LinkFault { a: String, b: String, fault: LinkFault },
+    LinkFault {
+        a: String,
+        b: String,
+        fault: LinkFault,
+    },
     /// Remove the degradation installed by [`FaultOp::LinkFault`].
     ClearLinkFault { a: String, b: String },
 }
@@ -80,9 +84,7 @@ impl FaultOp {
     fn referenced_names(&self) -> Vec<&str> {
         match self {
             FaultOp::Crash { node, .. } => vec![node],
-            FaultOp::Partition { groups } => {
-                groups.iter().flatten().map(String::as_str).collect()
-            }
+            FaultOp::Partition { groups } => groups.iter().flatten().map(String::as_str).collect(),
             FaultOp::Heal => vec![],
             FaultOp::DropLink { a, b }
             | FaultOp::RestoreLink { a, b }
@@ -121,13 +123,14 @@ impl FaultPlan {
     }
 
     /// Crashes the named component at `at`.
-    pub fn crash_at(
-        self,
-        at: Duration,
-        node: impl Into<String>,
-        error: impl Into<String>,
-    ) -> Self {
-        self.op_at(at, FaultOp::Crash { node: node.into(), error: error.into() })
+    pub fn crash_at(self, at: Duration, node: impl Into<String>, error: impl Into<String>) -> Self {
+        self.op_at(
+            at,
+            FaultOp::Crash {
+                node: node.into(),
+                error: error.into(),
+            },
+        )
     }
 
     /// Partitions the named nodes into isolated groups at `at`.
@@ -150,17 +153,24 @@ impl FaultPlan {
 
     /// Blocks a link at `at`.
     pub fn drop_link_at(self, at: Duration, a: impl Into<String>, b: impl Into<String>) -> Self {
-        self.op_at(at, FaultOp::DropLink { a: a.into(), b: b.into() })
+        self.op_at(
+            at,
+            FaultOp::DropLink {
+                a: a.into(),
+                b: b.into(),
+            },
+        )
     }
 
     /// Restores a dropped link at `at`.
-    pub fn restore_link_at(
-        self,
-        at: Duration,
-        a: impl Into<String>,
-        b: impl Into<String>,
-    ) -> Self {
-        self.op_at(at, FaultOp::RestoreLink { a: a.into(), b: b.into() })
+    pub fn restore_link_at(self, at: Duration, a: impl Into<String>, b: impl Into<String>) -> Self {
+        self.op_at(
+            at,
+            FaultOp::RestoreLink {
+                a: a.into(),
+                b: b.into(),
+            },
+        )
     }
 
     /// Degrades a link at `at`.
@@ -171,7 +181,14 @@ impl FaultPlan {
         b: impl Into<String>,
         fault: LinkFault,
     ) -> Self {
-        self.op_at(at, FaultOp::LinkFault { a: a.into(), b: b.into(), fault })
+        self.op_at(
+            at,
+            FaultOp::LinkFault {
+                a: a.into(),
+                b: b.into(),
+                fault,
+            },
+        )
     }
 
     /// Clears a link degradation at `at`.
@@ -181,7 +198,13 @@ impl FaultPlan {
         a: impl Into<String>,
         b: impl Into<String>,
     ) -> Self {
-        self.op_at(at, FaultOp::ClearLinkFault { a: a.into(), b: b.into() })
+        self.op_at(
+            at,
+            FaultOp::ClearLinkFault {
+                a: a.into(),
+                b: b.into(),
+            },
+        )
     }
 
     /// The scheduled operations (time-ordered as added).
@@ -240,7 +263,13 @@ impl FaultPlan {
 }
 
 fn apply_op(op: &FaultOp, targets: &FaultTargets) {
-    let key = |name: &str| targets.nodes.get(name).copied().expect("validated at install");
+    let key = |name: &str| {
+        targets
+            .nodes
+            .get(name)
+            .copied()
+            .expect("validated at install")
+    };
     let with_emulator = |f: &dyn Fn(&mut NetworkEmulator)| {
         if let Some(emulator) = &targets.emulator {
             let _ = emulator.on_definition(|e| f(e));
@@ -256,9 +285,7 @@ fn apply_op(op: &FaultOp, targets: &FaultTargets) {
             let assignment: Vec<(u64, u32)> = groups
                 .iter()
                 .enumerate()
-                .flat_map(|(i, group)| {
-                    group.iter().map(move |name| (key(name), i as u32))
-                })
+                .flat_map(|(i, group)| group.iter().map(move |name| (key(name), i as u32)))
                 .collect();
             with_emulator(&|e| e.set_partition(assignment.clone()));
         }

@@ -87,7 +87,10 @@ impl<Op> StochasticProcess<Op> {
         count: u64,
         generate: impl Fn(&mut StdRng) -> Op + Send + Sync + 'static,
     ) -> Self {
-        self.batches.push(Batch { count, generate: Arc::new(generate) });
+        self.batches.push(Batch {
+            count,
+            generate: Arc::new(generate),
+        });
         self
     }
 
@@ -128,7 +131,10 @@ pub struct Scenario<Op> {
 
 impl<Op> Default for Scenario<Op> {
     fn default() -> Self {
-        Scenario { processes: Vec::new(), terminate_after: None }
+        Scenario {
+            processes: Vec::new(),
+            terminate_after: None,
+        }
     }
 }
 
@@ -154,7 +160,10 @@ impl<Op: Send + 'static> Scenario<Op> {
     ) -> Self {
         self.processes.push((
             process,
-            StartRule::AfterStartOf { process: of.into(), delay_ms },
+            StartRule::AfterStartOf {
+                process: of.into(),
+                delay_ms,
+            },
         ));
         self
     }
@@ -169,7 +178,10 @@ impl<Op: Send + 'static> Scenario<Op> {
     ) -> Self {
         self.processes.push((
             process,
-            StartRule::AfterTerminationOf { process: of.into(), delay_ms },
+            StartRule::AfterTerminationOf {
+                process: of.into(),
+                delay_ms,
+            },
         ));
         self
     }
@@ -183,7 +195,10 @@ impl<Op: Send + 'static> Scenario<Op> {
 
     /// Total operations across all processes.
     pub fn total_operations(&self) -> u64 {
-        self.processes.iter().map(|(p, _)| p.total_operations()).sum()
+        self.processes
+            .iter()
+            .map(|(p, _)| p.total_operations())
+            .sum()
     }
 
     /// Interprets the scenario on a discrete-event queue: every operation is
@@ -213,11 +228,7 @@ impl<Op: Send + 'static> Scenario<Op> {
                     })
                 })
                 .collect(),
-            specs: self
-                .processes
-                .into_iter()
-                .map(|(p, rule)| (p, rule))
-                .collect(),
+            specs: self.processes.into_iter().collect(),
             handle: ScenarioHandle::new(),
         });
         // Kick off immediate processes; a scenario with none completes
@@ -302,24 +313,25 @@ impl<Op> std::ops::Deref for Run<Op> {
 
 fn start_process<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize, delay_ms: u64) {
     let run2 = Arc::clone(run);
-    run.des.schedule_in(Duration::from_millis(delay_ms), move || {
-        {
-            let mut state = run2.procs[idx].lock();
-            if state.started {
-                return;
+    run.des
+        .schedule_in(Duration::from_millis(delay_ms), move || {
+            {
+                let mut state = run2.procs[idx].lock();
+                if state.started {
+                    return;
+                }
+                state.started = true;
             }
-            state.started = true;
-        }
-        // Parallel composition: dependents of our *start*.
-        for (dep, (_, rule)) in run2.specs.iter().enumerate() {
-            if let StartRule::AfterStartOf { process, delay_ms } = rule {
-                if *process == run2.specs[idx].0.name {
-                    start_process(&run2, dep, *delay_ms);
+            // Parallel composition: dependents of our *start*.
+            for (dep, (_, rule)) in run2.specs.iter().enumerate() {
+                if let StartRule::AfterStartOf { process, delay_ms } = rule {
+                    if *process == run2.specs[idx].0.name {
+                        start_process(&run2, dep, *delay_ms);
+                    }
                 }
             }
-        }
-        schedule_next_op(&run2, idx);
-    });
+            schedule_next_op(&run2, idx);
+        });
 }
 
 fn schedule_next_op<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize) {
@@ -366,7 +378,7 @@ fn fire_op<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize) {
     };
     let op = {
         let mut rng = run.rng.lock();
-        generate(&mut *rng)
+        generate(&mut rng)
     };
     (run.driver.lock())(op);
     run.handle.fired.fetch_add(1, Ordering::SeqCst);
@@ -400,9 +412,10 @@ fn on_process_terminated<Op: Send + 'static>(run: &Arc<Run<Op>>, idx: usize) {
     if let Some((t_idx, delay_ms)) = rule {
         if t_idx == idx {
             let run2 = Arc::clone(run);
-            run.des.schedule_in(Duration::from_millis(delay_ms), move || {
-                run2.handle.completed.store(true, Ordering::SeqCst);
-            });
+            run.des
+                .schedule_in(Duration::from_millis(delay_ms), move || {
+                    run2.handle.completed.store(true, Ordering::SeqCst);
+                });
         }
     }
 }

@@ -101,7 +101,9 @@ impl Simulation {
     /// A [`ClockRef`] reading the simulation's virtual time, for injection
     /// into clock-parameterized components ([`SimClock`]).
     pub fn clock(&self) -> ClockRef {
-        Arc::new(SimClock { des: Arc::clone(&self.des) })
+        Arc::new(SimClock {
+            des: Arc::clone(&self.des),
+        })
     }
 
     /// Statically analyzes the assembled component graph (see

@@ -10,8 +10,8 @@ use kompics_core::event::EventRef;
 use kompics_core::port::PortRef;
 use kompics_core::prelude::*;
 use kompics_timer::{
-    CancelPeriodicTimeout, CancelTimeout, ScheduleTimeout, SchedulePeriodicTimeout,
-    TimeoutId, Timer,
+    CancelPeriodicTimeout, CancelTimeout, SchedulePeriodicTimeout, ScheduleTimeout, TimeoutId,
+    Timer,
 };
 use parking_lot::Mutex;
 

@@ -9,13 +9,13 @@ use std::time::Duration;
 
 use kompics_core::channel::connect;
 use kompics_core::prelude::*;
-use kompics_network::{Address, Message, Network};
 use kompics_core::supervision::{supervise, SuperviseOptions, SupervisorConfig};
+use kompics_network::{Address, Message, Network};
 use kompics_simulation::{
     Dist, EmulatorConfig, FaultPlan, FaultTargets, LatencyModel, LinkFault, NetworkEmulator,
     Scenario, SimTimer, Simulation, StochasticProcess,
 };
-use kompics_timer::{ScheduleTimeout, SchedulePeriodicTimeout, Timeout, TimeoutId, Timer};
+use kompics_timer::{SchedulePeriodicTimeout, ScheduleTimeout, Timeout, TimeoutId, Timer};
 use parking_lot::Mutex;
 
 type Trace = Arc<Mutex<Vec<(u64, String)>>>;
@@ -44,7 +44,12 @@ impl TimerUser {
             let at_ms = this.now.now() / 1_000_000;
             this.trace.lock().push((at_ms, format!("tick{}", t.tag)));
         });
-        TimerUser { ctx: ComponentContext::new(), timer, trace, now }
+        TimerUser {
+            ctx: ComponentContext::new(),
+            timer,
+            trace,
+            now,
+        }
     }
 }
 impl ComponentDefinition for TimerUser {
@@ -83,7 +88,10 @@ fn sim_timer_fires_in_virtual_time() {
             u.timer.trigger(ScheduleTimeout::new(
                 Duration::from_millis(delay),
                 id,
-                Arc::new(Tick { base: Timeout { id }, tag }),
+                Arc::new(Tick {
+                    base: Timeout { id },
+                    tag,
+                }),
             ));
         }
     })
@@ -91,7 +99,10 @@ fn sim_timer_fires_in_virtual_time() {
 
     let wall = std::time::Instant::now();
     sim.run_for(Duration::from_secs(120));
-    assert!(wall.elapsed() < Duration::from_secs(2), "no wall-clock waiting");
+    assert!(
+        wall.elapsed() < Duration::from_secs(2),
+        "no wall-clock waiting"
+    );
     assert_eq!(
         *trace.lock(),
         vec![
@@ -131,7 +142,10 @@ fn sim_periodic_timer_fires_until_cancelled() {
             Duration::from_millis(100),
             Duration::from_millis(100),
             id,
-            Arc::new(Tick { base: Timeout { id }, tag: 9 }),
+            Arc::new(Tick {
+                base: Timeout { id },
+                tag: 9,
+            }),
         ));
     })
     .unwrap();
@@ -141,7 +155,10 @@ fn sim_periodic_timer_fires_until_cancelled() {
     user.on_definition(|u| u.timer.trigger(kompics_timer::CancelPeriodicTimeout { id }))
         .unwrap();
     sim.run_for(Duration::from_secs(10));
-    assert!(trace.lock().len() <= 6, "at most one in-flight firing after cancel");
+    assert!(
+        trace.lock().len() <= 6,
+        "at most one in-flight firing after cancel"
+    );
     sim.shutdown();
 }
 
@@ -181,10 +198,21 @@ impl Node {
                 .push((at_ms, format!("n{}r{}", this.addr.id, ping.round)));
             this.received.fetch_add(1, Ordering::SeqCst);
             if ping.round < this.max_round {
-                this.net.trigger(Ping { base: ping.base.reply(), round: ping.round + 1 });
+                this.net.trigger(Ping {
+                    base: ping.base.reply(),
+                    round: ping.round + 1,
+                });
             }
         });
-        Node { ctx: ComponentContext::new(), net, addr, max_round, trace, des, received }
+        Node {
+            ctx: ComponentContext::new(),
+            net,
+            addr,
+            max_round,
+            trace,
+            des,
+            received,
+        }
     }
 }
 impl ComponentDefinition for Node {
@@ -221,13 +249,18 @@ fn emulated_pair(seed: u64, config: EmulatorConfig, max_round: u32) -> EmuNet {
             let (t, d, r) = (trace.clone(), des.clone(), received.clone());
             move || Node::new(addr, max_round, t, d, r)
         });
-        NetworkEmulator::attach(&emulator, &node.required_ref::<Network>().unwrap(), addr)
-            .unwrap();
+        NetworkEmulator::attach(&emulator, &node.required_ref::<Network>().unwrap(), addr).unwrap();
         sim.system().start(&node);
         nodes.push(node);
     }
     sim.system().start(&emulator);
-    EmuNet { sim, emulator, nodes, trace, received }
+    EmuNet {
+        sim,
+        emulator,
+        nodes,
+        trace,
+        received,
+    }
 }
 
 #[test]
@@ -242,8 +275,10 @@ fn emulator_delivers_with_constant_latency() {
     );
     net.nodes[0]
         .on_definition(|n| {
-            n.net
-                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(n.addr, Address::sim(2)),
+                round: 0,
+            })
         })
         .unwrap();
     net.sim.run_for(Duration::from_secs(1));
@@ -264,13 +299,18 @@ fn emulator_delivers_with_constant_latency() {
 fn emulator_loss_drops_everything_at_probability_one() {
     let net = emulated_pair(
         4,
-        EmulatorConfig { loss_probability: 1.0, ..EmulatorConfig::default() },
+        EmulatorConfig {
+            loss_probability: 1.0,
+            ..EmulatorConfig::default()
+        },
         3,
     );
     net.nodes[0]
         .on_definition(|n| {
-            n.net
-                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(n.addr, Address::sim(2)),
+                round: 0,
+            })
         })
         .unwrap();
     net.sim.run_for(Duration::from_secs(1));
@@ -288,8 +328,10 @@ fn emulator_partition_blocks_and_heals() {
         .unwrap();
     net.nodes[0]
         .on_definition(|n| {
-            n.net
-                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(n.addr, Address::sim(2)),
+                round: 0,
+            })
         })
         .unwrap();
     net.sim.run_for(Duration::from_secs(1));
@@ -298,8 +340,10 @@ fn emulator_partition_blocks_and_heals() {
     net.emulator.on_definition(|e| e.heal_partition()).unwrap();
     net.nodes[0]
         .on_definition(|n| {
-            n.net
-                .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+            n.net.trigger(Ping {
+                base: Message::new(n.addr, Address::sim(2)),
+                round: 0,
+            })
         })
         .unwrap();
     net.sim.run_for(Duration::from_secs(1));
@@ -352,8 +396,10 @@ fn identical_seeds_produce_identical_executions() {
         );
         net.nodes[0]
             .on_definition(|n| {
-                n.net
-                    .trigger(Ping { base: Message::new(n.addr, Address::sim(2)), round: 0 })
+                n.net.trigger(Ping {
+                    base: Message::new(n.addr, Address::sim(2)),
+                    round: 0,
+                })
             })
             .unwrap();
         net.sim.run_for(Duration::from_secs(60));
@@ -383,13 +429,22 @@ enum Op {
 fn paper_scenario(joins: u64, churn: u64, lookups: u64) -> Scenario<Op> {
     let boot = StochasticProcess::new("boot")
         .event_inter_arrival_time(Dist::Exponential { mean: 20.0 })
-        .raise(joins, |rng| Op::Join(Dist::uniform_bits(16).sample_u64(rng)));
+        .raise(joins, |rng| {
+            Op::Join(Dist::uniform_bits(16).sample_u64(rng))
+        });
     let churn_p = StochasticProcess::new("churn")
         .event_inter_arrival_time(Dist::Exponential { mean: 5.0 })
-        .raise(churn / 2, |rng| Op::Join(Dist::uniform_bits(16).sample_u64(rng)))
-        .raise(churn / 2, |rng| Op::Fail(Dist::uniform_bits(16).sample_u64(rng)));
+        .raise(churn / 2, |rng| {
+            Op::Join(Dist::uniform_bits(16).sample_u64(rng))
+        })
+        .raise(churn / 2, |rng| {
+            Op::Fail(Dist::uniform_bits(16).sample_u64(rng))
+        });
     let lookups_p = StochasticProcess::new("lookups")
-        .event_inter_arrival_time(Dist::Normal { mean: 5.0, std_dev: 1.0 })
+        .event_inter_arrival_time(Dist::Normal {
+            mean: 5.0,
+            std_dev: 1.0,
+        })
         .raise(lookups, |rng| {
             Op::Lookup(
                 Dist::uniform_bits(16).sample_u64(rng),
@@ -464,7 +519,9 @@ fn scenario_realtime_mode_delivers_everything() {
     let fast = StochasticProcess::new("fast")
         .event_inter_arrival_time(Dist::Constant(1.0))
         .raise(20, |_rng| Op::Join(1));
-    let scenario = Scenario::new().start(fast).terminate_after_termination_of(0, "fast");
+    let scenario = Scenario::new()
+        .start(fast)
+        .terminate_after_termination_of(0, "fast");
     let seen = Arc::new(AtomicUsize::new(0));
     let fired = scenario.execute_realtime(9, {
         let seen = seen.clone();
@@ -506,7 +563,10 @@ fn simulated_time_is_compressed_for_light_workloads() {
             Duration::from_secs(1),
             Duration::from_secs(1),
             id,
-            Arc::new(Tick { base: Timeout { id }, tag: 0 }),
+            Arc::new(Tick {
+                base: Timeout { id },
+                tag: 0,
+            }),
         ));
     })
     .unwrap();
@@ -541,11 +601,15 @@ fn fault_plan_rejects_unknown_targets_before_scheduling() {
     sim.shutdown();
 }
 
+/// Observable artifacts of one run, for determinism comparison:
+/// (received stream, supervision log, restart count).
+type RunArtifacts = (Vec<(u64, String)>, Vec<(u64, String)>, usize);
+
 /// One full churn run: two nodes, node 1 streams pings to node 2; the plan
 /// degrades the link (drops + duplicates), crashes the receiver mid-stream
 /// (a supervisor restarts it, re-plugging its network channel), partitions
 /// and heals. Returns every observable artifact for determinism comparison.
-fn faulted_run(seed: u64) -> (Vec<(u64, String)>, Vec<(u64, String)>, usize) {
+fn faulted_run(seed: u64) -> RunArtifacts {
     let net = emulated_pair(
         seed,
         EmulatorConfig {
@@ -558,8 +622,11 @@ fn faulted_run(seed: u64) -> (Vec<(u64, String)>, Vec<(u64, String)>, usize) {
 
     // Supervise the receiver with a factory building an equivalent node.
     let supervisor = net.sim.create_supervisor(SupervisorConfig::default());
-    let factory_parts =
-        (net.trace.clone(), net.sim.des().clone(), net.received.clone());
+    let factory_parts = (
+        net.trace.clone(),
+        net.sim.des().clone(),
+        net.received.clone(),
+    );
     supervise(
         &supervisor,
         &net.nodes[1].erased(),
@@ -641,7 +708,9 @@ fn supervised_node_survives_injected_crash_and_keeps_receiving() {
     // re-plugged channel keeps delivering.
     let crash_ns = plan_trace[1].0;
     assert!(
-        msg_trace.iter().any(|(at_ms, _)| at_ms * 1_000_000 > crash_ns),
+        msg_trace
+            .iter()
+            .any(|(at_ms, _)| at_ms * 1_000_000 > crash_ns),
         "deliveries after restart; got {received} total: {msg_trace:?}"
     );
     // The 500-600 ms partition blocks deliveries (sends at 10 ms intervals
@@ -686,7 +755,7 @@ impl ComponentDefinition for Startable {
     }
 }
 
-fn mid_restart_run(seed: u64) -> (Vec<(u64, String)>, Vec<(u64, String)>, usize) {
+fn mid_restart_run(seed: u64) -> RunArtifacts {
     let sim = Simulation::new(seed);
     let started = Arc::new(AtomicUsize::new(0));
     let target = sim.system().create({
@@ -717,7 +786,11 @@ fn mid_restart_run(seed: u64) -> (Vec<(u64, String)>, Vec<(u64, String)>, usize)
     // 120 ms targets the component *mid-restart*.
     let plan = FaultPlan::new()
         .crash_at(Duration::from_millis(100), "t", "first crash")
-        .crash_at(Duration::from_millis(120), "t", "crash during restart window");
+        .crash_at(
+            Duration::from_millis(120),
+            "t",
+            "crash during restart window",
+        );
     let installed = plan
         .install(&sim, FaultTargets::new().component("t", target.erased()))
         .unwrap();
@@ -732,13 +805,19 @@ fn mid_restart_run(seed: u64) -> (Vec<(u64, String)>, Vec<(u64, String)>, usize)
 
     // Whatever the interleaving, the supervisor must end with exactly one
     // live, Active supervised instance.
-    let children = supervisor.on_definition(|s| s.supervised_children()).unwrap();
+    let children = supervisor
+        .on_definition(|s| s.supervised_children())
+        .unwrap();
     assert_eq!(children.len(), 1, "one supervised entry: {log:?}");
     let state = children[0]
         .downcast::<Startable>()
         .expect("replacement is a Startable")
         .lifecycle();
-    assert_eq!(state, kompics_core::component::LifecycleState::Active, "log: {log:?}");
+    assert_eq!(
+        state,
+        kompics_core::component::LifecycleState::Active,
+        "log: {log:?}"
+    );
 
     let result = (installed.trace(), log, started.load(Ordering::SeqCst));
     sim.shutdown();
@@ -754,8 +833,10 @@ fn crash_landing_mid_restart_is_absorbed_and_heals() {
         "at least one restart completed: {log:?}"
     );
     assert!(
-        log.iter().any(|(at, a)| *at == 120_000_000 && a.contains("Backoff")
-            || a.contains("Restarted") || a.contains("Resumed")),
+        log.iter()
+            .any(|(at, a)| *at == 120_000_000 && a.contains("Backoff")
+                || a.contains("Restarted")
+                || a.contains("Resumed")),
         "the mid-window crash was handled, not lost: {log:?}"
     );
     assert!(started >= 1, "a replacement instance started");
@@ -808,7 +889,10 @@ fn start_accepts_a_clean_assembly() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, should_panic(expected = "graph analysis found errors"))]
+#[cfg_attr(
+    debug_assertions,
+    should_panic(expected = "graph analysis found errors")
+)]
 fn start_refuses_a_miswired_assembly() {
     let sim = Simulation::new(11);
     let trace: Trace = Arc::new(Mutex::new(Vec::new()));

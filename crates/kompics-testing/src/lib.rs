@@ -125,7 +125,12 @@ pub struct Observed {
 impl Observed {
     /// Human-readable rendering for failure reports.
     pub fn describe(&self) -> String {
-        format!("{} {} {}", self.port_name, self.dir, self.event.event_name())
+        format!(
+            "{} {} {}",
+            self.port_name,
+            self.dir,
+            self.event.event_name()
+        )
     }
 }
 
@@ -151,7 +156,9 @@ pub struct PortHandle<P: PortType> {
 
 impl<P: PortType> Clone for PortHandle<P> {
     fn clone(&self) -> Self {
-        PortHandle { outside: self.outside.clone() }
+        PortHandle {
+            outside: self.outside.clone(),
+        }
     }
 }
 
@@ -160,7 +167,11 @@ impl<P: PortType> PortHandle<P> {
     pub fn out<E: Event>(&self) -> Matcher<Observed> {
         let pid = self.outside.port_id();
         Matcher::new(
-            format!("{} -> {}", P::port_name(), short_type_name(std::any::type_name::<E>())),
+            format!(
+                "{} -> {}",
+                P::port_name(),
+                short_type_name(std::any::type_name::<E>())
+            ),
             move |o: &Observed| {
                 o.port_id == pid
                     && o.dir == EventDir::Out
@@ -192,7 +203,11 @@ impl<P: PortType> PortHandle<P> {
     pub fn incoming<E: Event>(&self) -> Matcher<Observed> {
         let pid = self.outside.port_id();
         Matcher::new(
-            format!("{} <- {}", P::port_name(), short_type_name(std::any::type_name::<E>())),
+            format!(
+                "{} <- {}",
+                P::port_name(),
+                short_type_name(std::any::type_name::<E>())
+            ),
             move |o: &Observed| {
                 o.port_id == pid
                     && o.dir == EventDir::In
@@ -276,11 +291,7 @@ pub trait SpecBuilder {
     }
 
     /// The observed stream continues with either branch.
-    fn either(
-        &mut self,
-        a: impl FnOnce(&mut Block),
-        b: impl FnOnce(&mut Block),
-    ) -> &mut Self
+    fn either(&mut self, a: impl FnOnce(&mut Block), b: impl FnOnce(&mut Block)) -> &mut Self
     where
         Self: Sized,
     {
@@ -405,7 +416,11 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::BadSpec(msg) => writeln!(f, "spec error: {msg}"),
-            SpecError::Unexpected { observed, expected, log } => {
+            SpecError::Unexpected {
+                observed,
+                expected,
+                log,
+            } => {
                 writeln!(f, "spec failed: unexpected event {observed}")?;
                 render_list(f, "expected one of", expected)?;
                 render_list(f, "observed stream", log)
@@ -465,7 +480,10 @@ impl<C: ComponentDefinition> TestContext<C> {
     /// A harness on the production (work-stealing) scheduler; the spec
     /// deadline is the wall clock.
     pub fn threaded(build: impl FnOnce() -> C) -> Self {
-        Self::with_backend(Backend::Threaded(KompicsSystem::new(Config::default())), build)
+        Self::with_backend(
+            Backend::Threaded(KompicsSystem::new(Config::default())),
+            build,
+        )
     }
 
     /// A harness inside a deterministic [`Simulation`]; the spec deadline is
@@ -612,18 +630,18 @@ impl<C: ComponentDefinition> TestContext<C> {
     ) -> &mut Self {
         let pid = port.outside.port_id();
         let back = port.outside.clone();
-        self.rules.push(Rule::Answer(
-            Arc::new(move |o: &Observed| {
-                if o.port_id != pid || o.dir != EventDir::Out {
-                    return false;
-                }
-                let Some(req) = event_as::<Req>(o.event.as_ref()) else { return false };
-                let Some(resp) = f(req) else { return false };
-                back.trigger_shared(Arc::new(resp))
-                    .expect("answer_request response not allowed by port type");
-                true
-            }),
-        ));
+        self.rules.push(Rule::Answer(Arc::new(move |o: &Observed| {
+            if o.port_id != pid || o.dir != EventDir::Out {
+                return false;
+            }
+            let Some(req) = event_as::<Req>(o.event.as_ref()) else {
+                return false;
+            };
+            let Some(resp) = f(req) else { return false };
+            back.trigger_shared(Arc::new(resp))
+                .expect("answer_request response not allowed by port type");
+            true
+        })));
         self
     }
 
@@ -717,7 +735,10 @@ impl<C: ComponentDefinition> TestContext<C> {
             }
             let faults = self.faults.lock().clone();
             if !faults.is_empty() {
-                return Err(SpecError::Faulted { faults, log: self.log.lock().clone() });
+                return Err(SpecError::Faulted {
+                    faults,
+                    log: self.log.lock().clone(),
+                });
             }
             if run.accepted() {
                 return Ok(());
@@ -741,9 +762,7 @@ impl<C: ComponentDefinition> TestContext<C> {
                     }
                     // Quiescent with nothing observed: the only way forward
                     // is virtual time.
-                    if !sim.advance_within(virtual_deadline)
-                        && self.queue.lock().is_empty()
-                    {
+                    if !sim.advance_within(virtual_deadline) && self.queue.lock().is_empty() {
                         return Err(SpecError::Timeout {
                             expected: run.expected(),
                             log: self.log.lock().clone(),

@@ -44,14 +44,20 @@ pub struct Matcher<T> {
 
 impl<T> Clone for Matcher<T> {
     fn clone(&self) -> Self {
-        Matcher { desc: self.desc.clone(), pred: Arc::clone(&self.pred) }
+        Matcher {
+            desc: self.desc.clone(),
+            pred: Arc::clone(&self.pred),
+        }
     }
 }
 
 impl<T> Matcher<T> {
     /// Creates a matcher.
     pub fn new(desc: impl Into<String>, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Self {
-        Matcher { desc: desc.into(), pred: Arc::new(pred) }
+        Matcher {
+            desc: desc.into(),
+            pred: Arc::new(pred),
+        }
     }
 
     /// The description, for failure reports.
@@ -79,14 +85,20 @@ pub struct Action {
 
 impl Clone for Action {
     fn clone(&self) -> Self {
-        Action { desc: self.desc.clone(), effect: Arc::clone(&self.effect) }
+        Action {
+            desc: self.desc.clone(),
+            effect: Arc::clone(&self.effect),
+        }
     }
 }
 
 impl Action {
     /// Creates an action.
     pub fn new(desc: impl Into<String>, effect: impl Fn() + Send + Sync + 'static) -> Self {
-        Action { desc: desc.into(), effect: Arc::new(effect) }
+        Action {
+            desc: desc.into(),
+            effect: Arc::new(effect),
+        }
     }
 
     /// The description, for failure reports.
@@ -165,11 +177,7 @@ pub fn compile<T>(spec: &[Ast<T>]) -> Result<Nfa<T>, String> {
 
 /// Compiles `seq` so that it continues at node `next`; returns the entry
 /// node. Built back-to-front.
-fn compile_seq<T>(
-    nodes: &mut Vec<Node<T>>,
-    seq: &[Ast<T>],
-    next: usize,
-) -> Result<usize, String> {
+fn compile_seq<T>(nodes: &mut Vec<Node<T>>, seq: &[Ast<T>], next: usize) -> Result<usize, String> {
     let mut next = next;
     for stmt in seq.iter().rev() {
         next = match stmt {
@@ -203,18 +211,14 @@ fn compile_seq<T>(
             }
             Ast::Kleene(body) => {
                 if has_actions(body) {
-                    return Err(
-                        "kleene body contains actions; a repeated side effect is \
+                    return Err("kleene body contains actions; a repeated side effect is \
                          ill-defined — use repeat(n, ..) for a bounded loop"
-                            .to_string(),
-                    );
+                        .to_string());
                 }
                 if matches_empty(body) {
-                    return Err(
-                        "kleene body can match the empty stream, which would loop \
+                    return Err("kleene body can match the empty stream, which would loop \
                          forever"
-                            .to_string(),
-                    );
+                        .to_string());
                 }
                 // Placeholder split, patched once the body (which loops back
                 // to it) is compiled.
@@ -270,7 +274,11 @@ pub struct Run<'a, T> {
 impl<'a, T> Run<'a, T> {
     /// Starts a run; leading actions fire immediately.
     pub fn new(nfa: &'a Nfa<T>) -> Self {
-        let mut run = Run { nfa, threads: BTreeSet::new(), fired: HashSet::new() };
+        let mut run = Run {
+            nfa,
+            threads: BTreeSet::new(),
+            fired: HashSet::new(),
+        };
         let initial = [(nfa.start, 0u64)].into_iter().collect();
         run.threads = run.closure(initial);
         run
@@ -405,8 +413,7 @@ mod tests {
 
     #[test]
     fn unordered_matches_any_permutation() {
-        let nfa =
-            compile(&[Ast::Unordered(vec![sym(1), sym(2), sym(3)])]).unwrap();
+        let nfa = compile(&[Ast::Unordered(vec![sym(1), sym(2), sym(3)])]).unwrap();
         assert!(nfa.matches(&[1, 2, 3]));
         assert!(nfa.matches(&[3, 1, 2]));
         assert!(!nfa.matches(&[1, 2]));
@@ -428,11 +435,7 @@ mod tests {
 
     #[test]
     fn kleene_matches_zero_or_more() {
-        let nfa = compile(&[
-            Ast::Kleene(vec![Ast::Expect(sym(7))]),
-            Ast::Expect(sym(8)),
-        ])
-        .unwrap();
+        let nfa = compile(&[Ast::Kleene(vec![Ast::Expect(sym(7))]), Ast::Expect(sym(8))]).unwrap();
         assert!(nfa.matches(&[8]));
         assert!(nfa.matches(&[7, 8]));
         assert!(nfa.matches(&[7, 7, 7, 8]));
@@ -449,12 +452,9 @@ mod tests {
 
     #[test]
     fn kleene_rejects_ill_formed_bodies() {
-        assert!(
-            compile(&[Ast::<u8>::Kleene(vec![Ast::Do(Action::new("a", || ()))])]).is_err()
-        );
+        assert!(compile(&[Ast::<u8>::Kleene(vec![Ast::Do(Action::new("a", || ()))])]).is_err());
         assert!(compile::<u8>(&[Ast::Kleene(vec![])]).is_err());
-        assert!(compile(&[Ast::Kleene(vec![Ast::Kleene(vec![Ast::Expect(sym(1))])])])
-            .is_err());
+        assert!(compile(&[Ast::Kleene(vec![Ast::Kleene(vec![Ast::Expect(sym(1))])])]).is_err());
     }
 
     #[test]
@@ -467,15 +467,19 @@ mod tests {
                 count.fetch_add(1, Ordering::SeqCst);
             })
         };
-        let nfa = compile(&[Ast::Repeat(
-            2,
-            vec![Ast::Do(act), Ast::Expect(sym(1))],
-        )])
-        .unwrap();
+        let nfa = compile(&[Ast::Repeat(2, vec![Ast::Do(act), Ast::Expect(sym(1))])]).unwrap();
         let mut run = Run::new(&nfa);
-        assert_eq!(count.load(Ordering::SeqCst), 1, "first occurrence fires at start");
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "first occurrence fires at start"
+        );
         assert!(run.step(&1));
-        assert_eq!(count.load(Ordering::SeqCst), 2, "second occurrence fires after first match");
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            2,
+            "second occurrence fires after first match"
+        );
         assert!(run.step(&1));
         assert!(run.accepted());
         assert_eq!(count.load(Ordering::SeqCst), 2);

@@ -59,7 +59,10 @@ impl Echo {
     fn new() -> Self {
         let port = ProvidedPort::new();
         port.subscribe(|this: &mut Echo, p: &Ping| this.port.trigger(Pong(p.0)));
-        Echo { ctx: ComponentContext::new(), port }
+        Echo {
+            ctx: ComponentContext::new(),
+            port,
+        }
     }
 }
 
@@ -87,7 +90,10 @@ impl Burst {
             }
             this.port.trigger(Pong(999));
         });
-        Burst { ctx: ComponentContext::new(), port }
+        Burst {
+            ctx: ComponentContext::new(),
+            port,
+        }
     }
 }
 
@@ -115,7 +121,11 @@ impl Forwarder {
         port.subscribe(|this: &mut Forwarder, p: &Ping| this.storage.trigger(Query(p.0)));
         let storage = RequiredPort::new();
         storage.subscribe(|this: &mut Forwarder, r: &Reply| this.port.trigger(Pong(r.0)));
-        Forwarder { ctx: ComponentContext::new(), port, storage }
+        Forwarder {
+            ctx: ComponentContext::new(),
+            port,
+            storage,
+        }
     }
 }
 
@@ -138,7 +148,10 @@ impl Bomb {
     fn new() -> Self {
         let port = ProvidedPort::new();
         port.subscribe(|_this: &mut Bomb, _p: &Ping| panic!("boom"));
-        Bomb { ctx: ComponentContext::new(), port }
+        Bomb {
+            ctx: ComponentContext::new(),
+            port,
+        }
     }
 }
 
@@ -292,7 +305,9 @@ fn unexpected_event_reports_the_frontier() {
     t.trigger(pp.inject(Ping(5)));
     t.expect(pp.out_where::<Pong>("Pong(6)", |p| p.0 == 6));
     match t.check() {
-        Err(SpecError::Unexpected { observed, expected, .. }) => {
+        Err(SpecError::Unexpected {
+            observed, expected, ..
+        }) => {
             assert!(observed.contains("Pong"), "got {observed}");
             assert!(
                 expected.iter().any(|e| e.contains("Pong(6)")),
@@ -313,7 +328,10 @@ fn virtual_time_deadline_fails_deterministically() {
     t.expect(pp.out::<Pong>());
     match t.check() {
         Err(SpecError::Timeout { expected, .. }) => {
-            assert!(expected.iter().any(|e| e.contains("Pong")), "got {expected:?}")
+            assert!(
+                expected.iter().any(|e| e.contains("Pong")),
+                "got {expected:?}"
+            )
         }
         other => panic!("expected Timeout, got {other:?}"),
     }

@@ -1,0 +1,424 @@
+//! Property tests for the lock-free dispatch snapshots (the RCU port state
+//! introduced by the hot-path overhaul): subscribe / unsubscribe / hold /
+//! resume racing with triggers must never drop or duplicate a delivery.
+//!
+//! Strategy: an arbitrary op schedule runs once on the **sequential
+//! scheduler**, where its outcome is fully deterministic — that run is the
+//! oracle. The same schedule then runs under the threaded work-stealing
+//! scheduler with the control ops genuinely racing the trigger stream, and
+//! the delivered stream must match the oracle's exactly. A
+//! `kompics-testing` dual-mode spec additionally pins the execution-time
+//! (un)subscribe semantics to be identical under both schedulers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kompics_core::channel::connect;
+use kompics_core::prelude::*;
+use kompics_testing::{check_both_modes, SpecBuilder};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Seq(u64);
+impl_event!(Seq);
+
+port_type! {
+    /// Sequenced stream.
+    pub struct SeqStream {
+        indication: Seq;
+        request: ;
+    }
+}
+
+struct Source {
+    ctx: ComponentContext,
+    out: ProvidedPort<SeqStream>,
+}
+impl Source {
+    fn new() -> Self {
+        Source {
+            ctx: ComponentContext::new(),
+            out: ProvidedPort::new(),
+        }
+    }
+}
+impl ComponentDefinition for Source {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Source"
+    }
+}
+
+/// Records every `Seq` through its always-present primary handler into
+/// `seen`; a second, dynamically (un)subscribed handler records into `dup`.
+/// Per-component dispatch dedup means the second subscription must never
+/// cause a second enqueue, and republishing the snapshot on (un)subscribe
+/// must never disturb the primary subscription.
+struct Recorder {
+    ctx: ComponentContext,
+    input: RequiredPort<SeqStream>,
+    seen: Arc<Mutex<Vec<u64>>>,
+    dup: Arc<Mutex<Vec<u64>>>,
+}
+impl Recorder {
+    fn new(seen: Arc<Mutex<Vec<u64>>>, dup: Arc<Mutex<Vec<u64>>>) -> Self {
+        let input = RequiredPort::new();
+        input.subscribe(|this: &mut Recorder, s: &Seq| {
+            this.seen.lock().push(s.0);
+        });
+        Recorder {
+            ctx: ComponentContext::new(),
+            input,
+            seen,
+            dup,
+        }
+    }
+
+    /// Adds the duplicate handler at runtime (republishes the port
+    /// snapshot while dispatches may be in flight).
+    fn subscribe_dup(&self) -> HandlerId {
+        self.ctx
+            .subscribe(&self.input.inside_ref(), |this: &mut Recorder, s: &Seq| {
+                this.dup.lock().push(s.0);
+            })
+    }
+
+    fn unsubscribe_dup(&self, id: HandlerId) -> bool {
+        self.input.unsubscribe(id)
+    }
+}
+impl ComponentDefinition for Recorder {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Recorder"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedules
+// ---------------------------------------------------------------------------
+
+/// One step of an arbitrary schedule of triggers racing port/channel
+/// reconfiguration.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Emit the next sequence number.
+    Emit,
+    /// Put the channel on hold.
+    Hold,
+    /// Resume the channel.
+    Resume,
+    /// Subscribe the duplicate handler (pushed on a stack of ids).
+    SubDup,
+    /// Unsubscribe the most recently added duplicate handler.
+    UnsubDup,
+    /// Let the system settle (sequential: run to quiescence; threaded:
+    /// yield so in-flight work can land).
+    Settle,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => Just(Step::Emit),
+        1 => Just(Step::Hold),
+        1 => Just(Step::Resume),
+        1 => Just(Step::SubDup),
+        1 => Just(Step::UnsubDup),
+        1 => Just(Step::Settle),
+    ]
+}
+
+struct Run {
+    seen: Vec<u64>,
+    dup: Vec<u64>,
+    emitted: u64,
+}
+
+/// Runs `steps` on the sequential scheduler — the deterministic oracle.
+fn run_oracle(steps: &[Step]) -> Run {
+    let (system, scheduler) = KompicsSystem::sequential(Config::default().throughput(4));
+    let source = system.create(Source::new);
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let dup = Arc::new(Mutex::new(Vec::new()));
+    let recorder = system.create({
+        let (s, d) = (seen.clone(), dup.clone());
+        move || Recorder::new(s, d)
+    });
+    let channel = connect(
+        &source.provided_ref::<SeqStream>().unwrap(),
+        &recorder.required_ref::<SeqStream>().unwrap(),
+    )
+    .unwrap();
+    system.start(&source);
+    system.start(&recorder);
+    scheduler.run_until_quiescent();
+
+    let mut dup_ids = Vec::new();
+    let mut next = 0u64;
+    for step in steps {
+        match step {
+            Step::Emit => {
+                let n = next;
+                next += 1;
+                source.on_definition(|s| s.out.trigger(Seq(n))).unwrap();
+            }
+            Step::Hold => channel.hold(),
+            Step::Resume => channel.resume(),
+            Step::SubDup => {
+                // At most one duplicate subscription at a time: every
+                // matching handler runs per delivered event, so overlapping
+                // duplicates would (correctly) multi-record and break the
+                // strictly-increasing check below.
+                if dup_ids.is_empty() {
+                    dup_ids.push(recorder.on_definition(|r| r.subscribe_dup()).unwrap());
+                }
+            }
+            Step::UnsubDup => {
+                if let Some(id) = dup_ids.pop() {
+                    assert!(recorder.on_definition(|r| r.unsubscribe_dup(id)).unwrap());
+                }
+            }
+            Step::Settle => {
+                scheduler.run_until_quiescent();
+            }
+        }
+    }
+    channel.resume();
+    scheduler.run_until_quiescent();
+    system.shutdown();
+
+    let seen = seen.lock().clone();
+    let dup = dup.lock().clone();
+    Run {
+        seen,
+        dup,
+        emitted: next,
+    }
+}
+
+/// Runs the same schedule under the threaded scheduler with the control ops
+/// (hold/resume/sub/unsub) on the test thread genuinely racing a producer
+/// thread that emits the trigger stream.
+fn run_threaded(steps: &[Step], emitted: u64) -> Run {
+    let system = KompicsSystem::new(Config::default().workers(2).throughput(4));
+    let source = system.create(Source::new);
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let dup = Arc::new(Mutex::new(Vec::new()));
+    let recorder = system.create({
+        let (s, d) = (seen.clone(), dup.clone());
+        move || Recorder::new(s, d)
+    });
+    let channel = connect(
+        &source.provided_ref::<SeqStream>().unwrap(),
+        &recorder.required_ref::<SeqStream>().unwrap(),
+    )
+    .unwrap();
+    system.start(&source);
+    system.start(&recorder);
+    system.await_quiescence();
+
+    let producer = {
+        let source = source.clone();
+        std::thread::spawn(move || {
+            for n in 0..emitted {
+                source.on_definition(|s| s.out.trigger(Seq(n))).unwrap();
+                if n % 8 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let mut dup_ids = Vec::new();
+    for step in steps {
+        match step {
+            // The producer thread owns the emits; racing control ops just
+            // yield here so the interleaving actually varies.
+            Step::Emit | Step::Settle => std::thread::yield_now(),
+            Step::Hold => channel.hold(),
+            Step::Resume => channel.resume(),
+            Step::SubDup => {
+                // At most one duplicate subscription at a time: every
+                // matching handler runs per delivered event, so overlapping
+                // duplicates would (correctly) multi-record and break the
+                // strictly-increasing check below.
+                if dup_ids.is_empty() {
+                    dup_ids.push(recorder.on_definition(|r| r.subscribe_dup()).unwrap());
+                }
+            }
+            Step::UnsubDup => {
+                if let Some(id) = dup_ids.pop() {
+                    assert!(recorder.on_definition(|r| r.unsubscribe_dup(id)).unwrap());
+                }
+            }
+        }
+    }
+    producer.join().unwrap();
+    channel.resume();
+    system.await_quiescence();
+    system.shutdown();
+
+    let seen = seen.lock().clone();
+    let dup = dup.lock().clone();
+    Run { seen, dup, emitted }
+}
+
+fn assert_exactly_once(run: &Run) -> Result<(), TestCaseError> {
+    let expected: Vec<u64> = (0..run.emitted).collect();
+    prop_assert_eq!(
+        &run.seen,
+        &expected,
+        "primary handler must see every emitted event exactly once, in order"
+    );
+    // The duplicate handler races (un)subscribe, so its stream is some
+    // subsequence of the emitted stream — but it must never duplicate or
+    // reorder, and must never see an event that was not emitted.
+    prop_assert!(
+        run.dup.windows(2).all(|w| w[0] < w[1]),
+        "duplicate handler stream must be strictly increasing: {:?}",
+        run.dup
+    );
+    prop_assert!(
+        run.dup.iter().all(|v| *v < run.emitted),
+        "duplicate handler saw a never-emitted value: {:?}",
+        run.dup
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Oracle leg: under the sequential scheduler, any schedule of
+    /// subscribe/unsubscribe/hold/resume interleaved with emits delivers
+    /// exactly the emitted sequence, in order, exactly once.
+    #[test]
+    fn sequential_oracle_exactly_once(steps in proptest::collection::vec(arb_step(), 0..60)) {
+        let oracle = run_oracle(&steps);
+        assert_exactly_once(&oracle)?;
+    }
+}
+
+proptest! {
+    // Threaded cases spin up real worker threads; fewer cases keep the
+    // suite fast while still varying the race interleavings.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Race leg: the same schedule with control ops genuinely racing the
+    /// trigger stream on the work-stealing scheduler must deliver exactly
+    /// what the sequential oracle delivered.
+    #[test]
+    fn threaded_race_matches_sequential_oracle(steps in proptest::collection::vec(arb_step(), 0..40)) {
+        let oracle = run_oracle(&steps);
+        assert_exactly_once(&oracle)?;
+        let threaded = run_threaded(&steps, oracle.emitted);
+        assert_exactly_once(&threaded)?;
+        prop_assert_eq!(
+            threaded.seen, oracle.seen,
+            "threaded delivery diverged from the sequential oracle"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dual-mode spec: execution-time unsubscribe semantics
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Ping(u64);
+impl_event!(Ping);
+
+#[derive(Debug, Clone)]
+struct Pong(u64);
+impl_event!(Pong);
+
+#[derive(Debug, Clone)]
+struct Probe;
+impl_event!(Probe);
+
+#[derive(Debug, Clone)]
+struct ProbeAck;
+impl_event!(ProbeAck);
+
+port_type! {
+    pub struct CappedPort {
+        indication: Pong, ProbeAck;
+        request: Ping, Probe;
+    }
+}
+
+/// Echoes `Ping(n)` as `Pong(n)` but unsubscribes its own handler after the
+/// third echo — matching is re-evaluated from the port snapshot at
+/// execution time, so already-queued pings past the third must go
+/// unanswered under *both* schedulers.
+struct Capped {
+    ctx: ComponentContext,
+    port: ProvidedPort<CappedPort>,
+    ping_handler: HandlerId,
+    handled: u64,
+}
+impl Capped {
+    fn new() -> Self {
+        let port = ProvidedPort::new();
+        let ping_handler = port.subscribe(|this: &mut Capped, p: &Ping| {
+            this.handled += 1;
+            this.port.trigger(Pong(p.0));
+            if this.handled == 3 {
+                this.port.unsubscribe(this.ping_handler);
+            }
+        });
+        port.subscribe(|this: &mut Capped, _p: &Probe| {
+            this.port.trigger(ProbeAck);
+        });
+        Capped {
+            ctx: ComponentContext::new(),
+            port,
+            ping_handler,
+            handled: 0,
+        }
+    }
+}
+impl ComponentDefinition for Capped {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Capped"
+    }
+}
+
+/// The reply-thrice component answers exactly three pings and then falls
+/// silent, identically under the threaded scheduler and the deterministic
+/// simulation. The trailing probe round-trip forces the recorded stream
+/// past the point where a leaked fourth `Pong` would have appeared, and the
+/// `disallow` rule turns any such leak into a failure.
+#[test]
+fn execution_time_unsubscribe_is_scheduler_independent() {
+    check_both_modes(Capped::new, |t| {
+        let pp = t.provided::<CappedPort>();
+        t.disallow(pp.out_where::<Pong>("Pong past the cap", |p| p.0 >= 3));
+        t.within(Duration::from_secs(10));
+        for i in 0..6 {
+            t.trigger(pp.inject(Ping(i)));
+        }
+        t.expect(pp.out_where::<Pong>("Pong(0)", |p| p.0 == 0));
+        t.expect(pp.out_where::<Pong>("Pong(1)", |p| p.0 == 1));
+        t.expect(pp.out_where::<Pong>("Pong(2)", |p| p.0 == 2));
+        t.trigger(pp.inject(Probe));
+        t.expect(pp.out::<ProbeAck>());
+    })
+    .unwrap();
+}

@@ -37,7 +37,9 @@ impl_event!(Timeout);
 impl Timeout {
     /// Creates a timeout indication with a fresh id.
     pub fn fresh() -> Timeout {
-        Timeout { id: TimeoutId::fresh() }
+        Timeout {
+            id: TimeoutId::fresh(),
+        }
     }
 }
 
@@ -67,7 +69,11 @@ impl ScheduleTimeout {
     pub fn plain(delay: Duration) -> Self {
         let timeout = Timeout::fresh();
         let id = timeout.id;
-        ScheduleTimeout { id, delay, timeout: std::sync::Arc::new(timeout) }
+        ScheduleTimeout {
+            id,
+            delay,
+            timeout: std::sync::Arc::new(timeout),
+        }
     }
 }
 
@@ -89,7 +95,12 @@ impl_event!(SchedulePeriodicTimeout);
 impl SchedulePeriodicTimeout {
     /// Schedules a periodic timeout.
     pub fn new(delay: Duration, period: Duration, id: TimeoutId, timeout: EventRef) -> Self {
-        SchedulePeriodicTimeout { id, delay, period, timeout }
+        SchedulePeriodicTimeout {
+            id,
+            delay,
+            period,
+            timeout,
+        }
     }
 }
 
@@ -134,7 +145,10 @@ mod tests {
         let timeout = Timeout::fresh();
         assert!(Timer::allows(&timeout, Direction::Positive));
         assert!(!Timer::allows(&timeout, Direction::Negative));
-        assert!(Timer::allows(&CancelTimeout { id: TimeoutId(1) }, Direction::Negative));
+        assert!(Timer::allows(
+            &CancelTimeout { id: TimeoutId(1) },
+            Direction::Negative
+        ));
     }
 
     #[test]
@@ -144,7 +158,9 @@ mod tests {
             base: Timeout,
         }
         kompics_core::impl_event!(MyTimeout, extends Timeout, via base);
-        let t = MyTimeout { base: Timeout::fresh() };
+        let t = MyTimeout {
+            base: Timeout::fresh(),
+        };
         assert!(t.is_instance_of(std::any::TypeId::of::<Timeout>()));
         assert!(Timer::allows(&t, Direction::Positive));
     }
@@ -160,8 +176,7 @@ mod tests {
     #[test]
     fn plain_schedule_embeds_matching_id() {
         let s = ScheduleTimeout::plain(Duration::from_secs(1));
-        let embedded =
-            kompics_core::event::event_as::<Timeout>(s.timeout.as_ref()).unwrap();
+        let embedded = kompics_core::event::event_as::<Timeout>(s.timeout.as_ref()).unwrap();
         assert_eq!(embedded.id, s.id);
     }
 }

@@ -33,7 +33,7 @@ pub mod events;
 pub mod thread_timer;
 
 pub use events::{
-    CancelPeriodicTimeout, CancelTimeout, ScheduleTimeout, SchedulePeriodicTimeout, Timeout,
+    CancelPeriodicTimeout, CancelTimeout, SchedulePeriodicTimeout, ScheduleTimeout, Timeout,
     TimeoutId, Timer,
 };
 pub use thread_timer::ThreadTimer;

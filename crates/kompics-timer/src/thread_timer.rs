@@ -16,8 +16,8 @@ use kompics_core::prelude::*;
 use parking_lot::{Condvar, Mutex};
 
 use crate::events::{
-    CancelPeriodicTimeout, CancelTimeout, ScheduleTimeout, SchedulePeriodicTimeout,
-    TimeoutId, Timer,
+    CancelPeriodicTimeout, CancelTimeout, SchedulePeriodicTimeout, ScheduleTimeout, TimeoutId,
+    Timer,
 };
 
 struct Entry {
@@ -40,7 +40,9 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.deadline.cmp(&other.deadline).then(self.id.cmp(&other.id))
+        self.deadline
+            .cmp(&other.deadline)
+            .then(self.id.cmp(&other.id))
     }
 }
 
@@ -94,7 +96,12 @@ impl ThreadTimer {
             this.ensure_thread();
         });
 
-        ThreadTimer { ctx, timer, shared, thread: None }
+        ThreadTimer {
+            ctx,
+            timer,
+            shared,
+            thread: None,
+        }
     }
 
     fn schedule(
@@ -230,11 +237,19 @@ mod tests {
                 this.fired.lock().push(t.tag);
                 this.count.fetch_add(1, Ordering::SeqCst);
             });
-            TimerUser { ctx: ComponentContext::new(), timer, fired, count }
+            TimerUser {
+                ctx: ComponentContext::new(),
+                timer,
+                fired,
+                count,
+            }
         }
         fn schedule(&self, delay_ms: u64, tag: u64) -> TimeoutId {
             let id = TimeoutId::fresh();
-            let timeout = TestTimeout { base: Timeout { id }, tag };
+            let timeout = TestTimeout {
+                base: Timeout { id },
+                tag,
+            };
             self.timer.trigger(ScheduleTimeout::new(
                 Duration::from_millis(delay_ms),
                 id,
@@ -252,13 +267,15 @@ mod tests {
         }
     }
 
-    fn setup() -> (
+    type Fixture = (
         KompicsSystem,
         Component<ThreadTimer>,
         Component<TimerUser>,
         Arc<Mutex<Vec<u64>>>,
         Arc<AtomicUsize>,
-    ) {
+    );
+
+    fn setup() -> Fixture {
         let system = KompicsSystem::new(Config::default().workers(2));
         let timer = system.create(ThreadTimer::new);
         let fired = Arc::new(Mutex::new(Vec::new()));
@@ -314,7 +331,8 @@ mod tests {
     fn cancelled_timeout_does_not_fire() {
         let (system, _timer, user, fired, count) = setup();
         let id = user.on_definition(|u| u.schedule(80, 9)).unwrap();
-        user.on_definition(|u| u.timer.trigger(CancelTimeout { id })).unwrap();
+        user.on_definition(|u| u.timer.trigger(CancelTimeout { id }))
+            .unwrap();
         std::thread::sleep(Duration::from_millis(200));
         assert_eq!(count.load(Ordering::SeqCst), 0);
         assert!(fired.lock().is_empty());
@@ -326,7 +344,10 @@ mod tests {
         let (system, _timer, user, _fired, count) = setup();
         let id = TimeoutId::fresh();
         user.on_definition(|u| {
-            let timeout = TestTimeout { base: Timeout { id }, tag: 1 };
+            let timeout = TestTimeout {
+                base: Timeout { id },
+                tag: 1,
+            };
             u.timer.trigger(SchedulePeriodicTimeout::new(
                 Duration::from_millis(5),
                 Duration::from_millis(5),
@@ -336,7 +357,8 @@ mod tests {
         })
         .unwrap();
         assert!(wait_for(&count, 3, 2_000));
-        user.on_definition(|u| u.timer.trigger(CancelPeriodicTimeout { id })).unwrap();
+        user.on_definition(|u| u.timer.trigger(CancelPeriodicTimeout { id }))
+            .unwrap();
         system.await_quiescence();
         let settled = count.load(Ordering::SeqCst);
         std::thread::sleep(Duration::from_millis(100));

@@ -33,12 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let timer = system.create(ThreadTimer::new);
     let server =
         system.create(move || BootstrapServer::new(addr, BootstrapServerConfig::default()));
-    connect(&tcp.provided_ref::<Network>()?, &server.required_ref::<Network>()?)?;
-    connect(&timer.provided_ref::<Timer>()?, &server.required_ref::<Timer>()?)?;
+    connect(
+        &tcp.provided_ref::<Network>()?,
+        &server.required_ref::<Network>()?,
+    )?;
+    connect(
+        &timer.provided_ref::<Timer>()?,
+        &server.required_ref::<Timer>()?,
+    )?;
 
     let (http_port, http_listener) = HttpServer::bind(http_port)?;
-    let http = system
-        .create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(3)));
+    let http =
+        system.create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(3)));
     connect(&server.provided_ref::<Web>()?, &http.required_ref::<Web>()?)?;
 
     system.start(&tcp);

@@ -18,13 +18,23 @@ use kompics::protocols::fd::FdConfig;
 fn main() {
     let config = CatsConfig {
         replication: Some(3),
-        ring: RingConfig { stabilize_period: Duration::from_millis(50), ..RingConfig::default() },
+        ring: RingConfig {
+            stabilize_period: Duration::from_millis(50),
+            ..RingConfig::default()
+        },
         fd: FdConfig {
             initial_delay: Duration::from_millis(200),
             delta: Duration::from_millis(100),
         },
-        cyclon: CyclonConfig { period: Duration::from_millis(100), ..CyclonConfig::default() },
-        abd: AbdConfig { op_timeout: Duration::from_millis(500), max_retries: 6, ..AbdConfig::default() },
+        cyclon: CyclonConfig {
+            period: Duration::from_millis(100),
+            ..CyclonConfig::default()
+        },
+        abd: AbdConfig {
+            op_timeout: Duration::from_millis(500),
+            max_retries: 6,
+            ..AbdConfig::default()
+        },
     };
     let mut cluster = LocalCatsCluster::new(Config::default(), config);
 
@@ -32,7 +42,10 @@ fn main() {
     for id in [100u64, 200, 300, 400, 500] {
         cluster.add_node(id);
     }
-    assert!(cluster.await_converged(Duration::from_secs(30)), "convergence timed out");
+    assert!(
+        cluster.await_converged(Duration::from_secs(30)),
+        "convergence timed out"
+    );
     println!("converged: nodes {:?}", cluster.node_ids());
 
     let timeout = Duration::from_secs(5);
@@ -65,7 +78,10 @@ fn main() {
     std::thread::sleep(Duration::from_millis(800));
     let mut recovered = 0;
     for i in 0..OPS {
-        if matches!(cluster.get(i * 13, RingKey(i), timeout), OpOutcome::Got(Some(_))) {
+        if matches!(
+            cluster.get(i * 13, RingKey(i), timeout),
+            OpOutcome::Got(Some(_))
+        ) {
             recovered += 1;
         }
     }

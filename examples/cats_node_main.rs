@@ -47,7 +47,11 @@ impl JoinGlue {
             *this.seeds.lock() = Some(resp.peers.clone());
             this.bootstrap.trigger(BootstrapDone);
         });
-        JoinGlue { ctx: ComponentContext::new(), bootstrap, seeds }
+        JoinGlue {
+            ctx: ComponentContext::new(),
+            bootstrap,
+            seeds,
+        }
     }
 }
 impl ComponentDefinition for JoinGlue {
@@ -61,8 +65,13 @@ impl ComponentDefinition for JoinGlue {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let ring_id: u64 = args.next().ok_or("usage: cats_node_main <ring-id> [tcp-port] \
-        [bootstrap-tcp-port] [http-port] [monitor-tcp-port]")?.parse()?;
+    let ring_id: u64 = args
+        .next()
+        .ok_or(
+            "usage: cats_node_main <ring-id> [tcp-port] \
+        [bootstrap-tcp-port] [http-port] [monitor-tcp-port]",
+        )?
+        .parse()?;
     let tcp_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0);
     let bootstrap_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(7_000);
     let http_port: u16 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(0);
@@ -83,19 +92,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bootstrap_addr = Address::local(bootstrap_port, 9_000_000);
     let client = {
         let addr = deployed.addr;
-        system.create(move || BootstrapClient::new(addr, BootstrapClientConfig::new(bootstrap_addr)))
+        system
+            .create(move || BootstrapClient::new(addr, BootstrapClientConfig::new(bootstrap_addr)))
     };
     connect(
         &deployed.tcp.provided_ref::<Network>()?,
         &client.required_ref::<Network>()?,
     )?;
-    connect(&deployed.timer.provided_ref::<Timer>()?, &client.required_ref::<Timer>()?)?;
+    connect(
+        &deployed.timer.provided_ref::<Timer>()?,
+        &client.required_ref::<Timer>()?,
+    )?;
     let seeds = Arc::new(Mutex::new(None));
     let glue = system.create({
         let s = Arc::clone(&seeds);
         move || JoinGlue::new(s)
     });
-    connect(&client.provided_ref::<Bootstrap>()?, &glue.required_ref::<Bootstrap>()?)?;
+    connect(
+        &client.provided_ref::<Bootstrap>()?,
+        &glue.required_ref::<Bootstrap>()?,
+    )?;
     system.start(&client);
     system.start(&glue);
     glue.on_definition(|g| g.bootstrap.trigger(BootstrapRequest))?;
@@ -121,23 +137,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(port) = monitor_port {
         let monitor_addr = Address::local(port, 9_000_001);
         let addr = deployed.addr;
-        let monitor = system
-            .create(move || MonitorClient::new(addr, monitor_addr, Duration::from_secs(2)));
+        let monitor =
+            system.create(move || MonitorClient::new(addr, monitor_addr, Duration::from_secs(2)));
         connect(
             &deployed.tcp.provided_ref::<Network>()?,
             &monitor.required_ref::<Network>()?,
         )?;
-        connect(&deployed.timer.provided_ref::<Timer>()?, &monitor.required_ref::<Timer>()?)?;
-        connect(&deployed.node.provided_ref::<Status>()?, &monitor.required_ref::<Status>()?)?;
+        connect(
+            &deployed.timer.provided_ref::<Timer>()?,
+            &monitor.required_ref::<Timer>()?,
+        )?;
+        connect(
+            &deployed.node.provided_ref::<Status>()?,
+            &monitor.required_ref::<Status>()?,
+        )?;
         system.start(&monitor);
         println!("reporting status to monitor at {monitor_addr}");
     }
 
     // HTTP frontend: /status, /get/<key>, /put/<key>/<value>.
     let (http_port, http_listener) = HttpServer::bind(http_port)?;
-    let http = system
-        .create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(5)));
-    connect(&deployed.node.provided_ref::<Web>()?, &http.required_ref::<Web>()?)?;
+    let http =
+        system.create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(5)));
+    connect(
+        &deployed.node.provided_ref::<Web>()?,
+        &http.required_ref::<Web>()?,
+    )?;
     system.start(&http);
     println!("web interface at http://127.0.0.1:{http_port}/status");
     println!("press ctrl-c to stop");

@@ -94,9 +94,16 @@ fn main() {
     }
     run_ms(8_000);
     for i in 0..10u64 {
-        op(CatsOp::Put { node: i * 97, key: RingKey(i), value: vec![i as u8; 8] });
+        op(CatsOp::Put {
+            node: i * 97,
+            key: RingKey(i),
+            value: vec![i as u8; 8],
+        });
         run_ms(250);
-        op(CatsOp::Get { node: i * 43, key: RingKey(i) });
+        op(CatsOp::Get {
+            node: i * 43,
+            key: RingKey(i),
+        });
         run_ms(250);
     }
     run_ms(5_000);

@@ -27,12 +27,24 @@ impl Observer {
     fn new(des: Arc<Des>) -> Self {
         let fd = RequiredPort::new();
         fd.subscribe(|this: &mut Observer, s: &Suspect| {
-            println!("[{:>6} ms] SUSPECT node {}", this.des.now() / 1_000_000, s.peer.id);
+            println!(
+                "[{:>6} ms] SUSPECT node {}",
+                this.des.now() / 1_000_000,
+                s.peer.id
+            );
         });
         fd.subscribe(|this: &mut Observer, r: &Restore| {
-            println!("[{:>6} ms] RESTORE node {}", this.des.now() / 1_000_000, r.peer.id);
+            println!(
+                "[{:>6} ms] RESTORE node {}",
+                this.des.now() / 1_000_000,
+                r.peer.id
+            );
         });
-        Observer { ctx: ComponentContext::new(), fd, des }
+        Observer {
+            ctx: ComponentContext::new(),
+            fd,
+            des,
+        }
     }
 }
 
@@ -67,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let des = des.clone();
             move || SimTimer::new(des)
         });
-        connect(&timer.provided_ref::<Timer>()?, &fd.required_ref::<Timer>()?)?;
+        connect(
+            &timer.provided_ref::<Timer>()?,
+            &fd.required_ref::<Timer>()?,
+        )?;
         sim.system().start(&timer);
         sim.system().start(&fd);
         detectors.push(fd);

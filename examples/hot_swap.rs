@@ -34,7 +34,10 @@ struct Producer {
 }
 impl Producer {
     fn new() -> Self {
-        Producer { ctx: ComponentContext::new(), out: ProvidedPort::new() }
+        Producer {
+            ctx: ComponentContext::new(),
+            out: ProvidedPort::new(),
+        }
     }
     fn emit(&mut self, n: u64) {
         self.out.trigger(Item(n));
@@ -65,7 +68,13 @@ impl Consumer {
             this.count += 1;
             this.delivered.fetch_add(1, Ordering::SeqCst);
         });
-        Consumer { ctx: ComponentContext::new(), input, count: 0, generation, delivered }
+        Consumer {
+            ctx: ComponentContext::new(),
+            input,
+            count: 0,
+            generation,
+            delivered,
+        }
     }
 }
 impl ComponentDefinition for Consumer {
@@ -93,7 +102,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let d = delivered.clone();
         move || Consumer::new(1, d)
     });
-    connect(&producer.provided_ref::<Stream>()?, &old.required_ref::<Stream>()?)?;
+    connect(
+        &producer.provided_ref::<Stream>()?,
+        &old.required_ref::<Stream>()?,
+    )?;
     system.start(&producer);
     system.start(&old);
 

@@ -31,11 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         move || TcpNetwork::new(addr, listener, registry, TcpConfig::default())
     });
     let server = system.create(MonitorServer::new);
-    connect(&tcp.provided_ref::<Network>()?, &server.required_ref::<Network>()?)?;
+    connect(
+        &tcp.provided_ref::<Network>()?,
+        &server.required_ref::<Network>()?,
+    )?;
 
     let (http_port, http_listener) = HttpServer::bind(http_port)?;
-    let http = system
-        .create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(3)));
+    let http =
+        system.create(move || HttpServer::new(http_port, http_listener, Duration::from_secs(3)));
     connect(&server.provided_ref::<Web>()?, &http.required_ref::<Web>()?)?;
 
     system.start(&tcp);

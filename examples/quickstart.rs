@@ -35,7 +35,10 @@ impl Ponger {
         port.subscribe(|this: &mut Ponger, ping: &Ping| {
             this.port.trigger(Pong(ping.0 * 2));
         });
-        Ponger { ctx: ComponentContext::new(), port }
+        Ponger {
+            ctx: ComponentContext::new(),
+            port,
+        }
     }
 }
 

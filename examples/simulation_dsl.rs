@@ -68,9 +68,7 @@ fn run(seed: u64) -> (u64, u64, u64, Duration, Duration) {
     let virtual_elapsed = sim.now();
 
     let stats = simulator
-        .on_definition(|s| {
-            (s.stats().issued, s.stats().completed, s.stats().failed)
-        })
+        .on_definition(|s| (s.stats().issued, s.stats().completed, s.stats().failed))
         .expect("simulator alive");
     sim.shutdown();
     (stats.0, stats.1, stats.2, virtual_elapsed, wall_elapsed)

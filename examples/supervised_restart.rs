@@ -45,7 +45,11 @@ impl Counter {
             this.total += add.0;
             this.port.trigger(Total(this.total));
         });
-        Counter { ctx: ComponentContext::new(), port, total: 0 }
+        Counter {
+            ctx: ComponentContext::new(),
+            port,
+            total: 0,
+        }
     }
 }
 
@@ -78,7 +82,11 @@ impl Auditor {
         port.subscribe(|this: &mut Auditor, total: &Total| {
             this.last.store(total.0, Ordering::SeqCst);
         });
-        Auditor { ctx: ComponentContext::new(), port, last }
+        Auditor {
+            ctx: ComponentContext::new(),
+            port,
+            last,
+        }
     }
 }
 
@@ -93,7 +101,9 @@ impl ComponentDefinition for Auditor {
 
 fn main() {
     let system = KompicsSystem::new(
-        Config::default().workers(2).fault_policy(FaultPolicy::Collect),
+        Config::default()
+            .workers(2)
+            .fault_policy(FaultPolicy::Collect),
     );
 
     let counter = system.create(Counter::new);
@@ -103,23 +113,31 @@ fn main() {
         move || Auditor::new(l)
     });
     kompics::core::channel::connect(
-        &counter.provided_ref::<Adder>().expect("counter provides Adder"),
-        &auditor.required_ref::<Adder>().expect("auditor requires Adder"),
+        &counter
+            .provided_ref::<Adder>()
+            .expect("counter provides Adder"),
+        &auditor
+            .required_ref::<Adder>()
+            .expect("auditor requires Adder"),
     )
     .expect("wire auditor");
 
     // A supervisor with a tight restart budget: two restarts per minute.
     let sup = system.create(|| {
-        Supervisor::new(SupervisorConfig { max_restarts: 2, ..SupervisorConfig::default() })
+        Supervisor::new(SupervisorConfig {
+            max_restarts: 2,
+            ..SupervisorConfig::default()
+        })
     });
     system.start(&sup);
-    supervise(&sup, &counter.erased(), SuperviseOptions::default())
-        .expect("supervise counter");
+    supervise(&sup, &counter.erased(), SuperviseOptions::default()).expect("supervise counter");
 
     system.start(&counter);
     system.start(&auditor);
 
-    let port = counter.provided_ref::<Adder>().expect("counter provides Adder");
+    let port = counter
+        .provided_ref::<Adder>()
+        .expect("counter provides Adder");
     port.trigger(Add(10)).unwrap();
     port.trigger(Add(5)).unwrap();
     system.await_quiescence();
@@ -141,7 +159,9 @@ fn main() {
         .expect("counter still supervised")
         .downcast::<Counter>()
         .expect("replacement is a Counter");
-    let port = replacement.provided_ref::<Adder>().expect("replacement port");
+    let port = replacement
+        .provided_ref::<Adder>()
+        .expect("replacement port");
     port.trigger(Add(7)).unwrap();
     system.await_quiescence();
     println!(

@@ -60,7 +60,11 @@ impl Cache {
         storage.subscribe(|this: &mut Cache, r: &Reply| {
             this.client.trigger(Pong(r.0));
         });
-        Cache { ctx: ComponentContext::new(), client, storage }
+        Cache {
+            ctx: ComponentContext::new(),
+            client,
+            storage,
+        }
     }
 }
 

@@ -48,8 +48,15 @@ fn fast_config() -> CatsConfig {
             initial_delay: Duration::from_millis(300),
             delta: Duration::from_millis(150),
         },
-        cyclon: CyclonConfig { period: Duration::from_millis(100), ..CyclonConfig::default() },
-        abd: AbdConfig { op_timeout: Duration::from_millis(600), max_retries: 6, ..AbdConfig::default() },
+        cyclon: CyclonConfig {
+            period: Duration::from_millis(100),
+            ..CyclonConfig::default()
+        },
+        abd: AbdConfig {
+            op_timeout: Duration::from_millis(600),
+            max_retries: 6,
+            ..AbdConfig::default()
+        },
     }
 }
 
@@ -78,7 +85,11 @@ impl Client {
         put_get.subscribe(|_this: &mut Client, fail: &OpFailed| {
             panic!("operation {} failed: {}", fail.id, fail.reason);
         });
-        Client { ctx: ComponentContext::new(), put_get, pending }
+        Client {
+            ctx: ComponentContext::new(),
+            put_get,
+            pending,
+        }
     }
 }
 impl ComponentDefinition for Client {
@@ -139,7 +150,11 @@ fn cats_over_real_tcp_serves_linearizable_ops() {
         system.start(&timer);
         let seeds: Vec<Address> = nodes.iter().map(|n| n.addr).collect();
         CatsNode::join(&node, seeds);
-        nodes.push(DeployedNode { node, put_get, addr });
+        nodes.push(DeployedNode {
+            node,
+            put_get,
+            addr,
+        });
     }
 
     // Wait for convergence.
@@ -170,24 +185,42 @@ fn cats_over_real_tcp_serves_linearizable_ops() {
         match op {
             "put" => node
                 .put_get
-                .trigger(PutRequest { id, key: RingKey(key), value: value.unwrap() })
+                .trigger(PutRequest {
+                    id,
+                    key: RingKey(key),
+                    value: value.unwrap(),
+                })
                 .unwrap(),
-            _ => node.put_get.trigger(GetRequest { id, key: RingKey(key) }).unwrap(),
+            _ => node
+                .put_get
+                .trigger(GetRequest {
+                    id,
+                    key: RingKey(key),
+                })
+                .unwrap(),
         }
-        rx.recv_timeout(Duration::from_secs(10)).expect("op response")
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("op response")
     };
 
     let value = vec![0xAB; 1024];
     assert!(run_op(&nodes[0], "put", 42, Some(value.clone())).is_some());
     assert_eq!(run_op(&nodes[2], "get", 42, None), Some(value));
-    assert_eq!(run_op(&nodes[1], "get", 777, None), None, "unwritten key reads None");
+    assert_eq!(
+        run_op(&nodes[1], "get", 777, None),
+        None,
+        "unwritten key reads None"
+    );
 
     // A burst of writes and reads across coordinators.
     for i in 0..20u64 {
-        assert!(
-            run_op(&nodes[(i % 3) as usize], "put", 1000 + i, Some(vec![i as u8; 64]))
-                .is_some()
-        );
+        assert!(run_op(
+            &nodes[(i % 3) as usize],
+            "put",
+            1000 + i,
+            Some(vec![i as u8; 64])
+        )
+        .is_some());
     }
     for i in 0..20u64 {
         assert_eq!(

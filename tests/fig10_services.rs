@@ -34,7 +34,11 @@ impl WebProbe {
         web.subscribe(|this: &mut WebProbe, resp: &WebResponse| {
             this.pages.lock().push((resp.id, resp.body.clone()));
         });
-        WebProbe { ctx: ComponentContext::new(), web, pages }
+        WebProbe {
+            ctx: ComponentContext::new(),
+            web,
+            pages,
+        }
     }
 }
 impl ComponentDefinition for WebProbe {
@@ -60,7 +64,11 @@ impl JoinGlue {
             *this.seeds_out.lock() = Some(resp.peers.clone());
             this.bootstrap.trigger(BootstrapDone);
         });
-        JoinGlue { ctx: ComponentContext::new(), bootstrap, seeds_out }
+        JoinGlue {
+            ctx: ComponentContext::new(),
+            bootstrap,
+            seeds_out,
+        }
     }
 }
 impl ComponentDefinition for JoinGlue {
@@ -106,9 +114,10 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
     // Infrastructure servers.
     let bootstrap_addr = Address::sim(9_000);
     let monitor_addr = Address::sim(9_001);
-    let bootstrap_server = f.sim.system().create(move || {
-        BootstrapServer::new(bootstrap_addr, BootstrapServerConfig::default())
-    });
+    let bootstrap_server = f
+        .sim
+        .system()
+        .create(move || BootstrapServer::new(bootstrap_addr, BootstrapServerConfig::default()));
     f.wire(&bootstrap_server, bootstrap_addr);
     f.sim.system().start(&bootstrap_server);
     let monitor_server = f.sim.system().create(MonitorServer::new);
@@ -116,7 +125,10 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
     f.sim.system().start(&monitor_server);
 
     let node_config = CatsConfig {
-        ring: RingConfig { stabilize_period: Duration::from_millis(250), ..RingConfig::default() },
+        ring: RingConfig {
+            stabilize_period: Duration::from_millis(250),
+            ..RingConfig::default()
+        },
         ..CatsConfig::default()
     };
 
@@ -131,9 +143,10 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
         });
         f.wire(&node, addr);
 
-        let client = f.sim.system().create(move || {
-            BootstrapClient::new(addr, BootstrapClientConfig::new(bootstrap_addr))
-        });
+        let client = f
+            .sim
+            .system()
+            .create(move || BootstrapClient::new(addr, BootstrapClientConfig::new(bootstrap_addr)));
         f.wire(&client, addr);
         let seeds_out = Arc::new(Mutex::new(None));
         let glue = f.sim.system().create({
@@ -148,9 +161,10 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
         f.sim.system().start(&client);
         f.sim.system().start(&glue);
 
-        let monitor_client = f.sim.system().create(move || {
-            MonitorClient::new(addr, monitor_addr, Duration::from_secs(1))
-        });
+        let monitor_client = f
+            .sim
+            .system()
+            .create(move || MonitorClient::new(addr, monitor_addr, Duration::from_secs(1)));
         f.wire(&monitor_client, addr);
         connect(
             &node.provided_ref::<Status>().unwrap(),
@@ -160,7 +174,8 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
         f.sim.system().start(&monitor_client);
 
         // Fetch seeds from the bootstrap server, then join the ring.
-        glue.on_definition(|g| g.bootstrap.trigger(BootstrapRequest)).unwrap();
+        glue.on_definition(|g| g.bootstrap.trigger(BootstrapRequest))
+            .unwrap();
         f.sim.run_for(Duration::from_secs(2));
         let seeds = seeds_out.lock().clone().expect("bootstrap answered");
         CatsNode::join(&node, seeds);
@@ -172,12 +187,14 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
 
     // Every node joined through bootstrap-provided seeds.
     for node in &nodes {
-        assert_eq!(node.on_definition(|n| n.is_joined()).unwrap().unwrap(), true);
+        assert!(node.on_definition(|n| n.is_joined()).unwrap().unwrap());
         assert!(node.on_definition(|n| n.view_size()).unwrap().unwrap() >= 3);
     }
     // The bootstrap server tracked all three via keep-alives.
     assert_eq!(
-        bootstrap_server.on_definition(|s| s.alive_nodes().len()).unwrap(),
+        bootstrap_server
+            .on_definition(|s| s.alive_nodes().len())
+            .unwrap(),
         3
     );
     // The monitoring server aggregated ring/router/ABD status per node.
@@ -211,12 +228,18 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
     monitor_server
         .provided_ref::<Web>()
         .unwrap()
-        .trigger(WebRequest { id: 1, path: "/".into() })
+        .trigger(WebRequest {
+            id: 1,
+            path: "/".into(),
+        })
         .unwrap();
     bootstrap_server
         .provided_ref::<Web>()
         .unwrap()
-        .trigger(WebRequest { id: 2, path: "/".into() })
+        .trigger(WebRequest {
+            id: 2,
+            path: "/".into(),
+        })
         .unwrap();
     // The bootstrap server's page goes to a second probe channel.
     connect(
@@ -227,14 +250,24 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
     bootstrap_server
         .provided_ref::<Web>()
         .unwrap()
-        .trigger(WebRequest { id: 3, path: "/".into() })
+        .trigger(WebRequest {
+            id: 3,
+            path: "/".into(),
+        })
         .unwrap();
     f.sim.run_for(Duration::from_secs(1));
     let pages = pages.lock();
     let monitor_page = pages.iter().find(|(id, _)| *id == 1).expect("monitor page");
     assert!(monitor_page.1.contains("\"CatsRing\""));
-    let bootstrap_page = pages.iter().find(|(id, _)| *id == 3).expect("bootstrap page");
+    let bootstrap_page = pages
+        .iter()
+        .find(|(id, _)| *id == 3)
+        .expect("bootstrap page");
     assert!(bootstrap_page.1.contains("\"nodes\""));
-    assert!(bootstrap_page.1.contains("/100"), "page lists node 100: {}", bootstrap_page.1);
+    assert!(
+        bootstrap_page.1.contains("/100"),
+        "page lists node 100: {}",
+        bootstrap_page.1
+    );
     f.sim.shutdown();
 }

@@ -28,8 +28,15 @@ fn config() -> CatsConfig {
             initial_delay: Duration::from_millis(300),
             delta: Duration::from_millis(150),
         },
-        cyclon: CyclonConfig { period: Duration::from_millis(200), ..CyclonConfig::default() },
-        abd: AbdConfig { op_timeout: Duration::from_millis(600), max_retries: 5, ..AbdConfig::default() },
+        cyclon: CyclonConfig {
+            period: Duration::from_millis(200),
+            ..CyclonConfig::default()
+        },
+        abd: AbdConfig {
+            op_timeout: Duration::from_millis(600),
+            max_retries: 5,
+            ..AbdConfig::default()
+        },
     }
 }
 
@@ -42,9 +49,9 @@ fn run_simulated() -> Vec<Option<Vec<u8>>> {
     let sim = Simulation::new(99);
     let des = sim.des().clone();
     let rng = sim.rng().clone();
-    let simulator = sim.system().create(move || {
-        CatsSimulator::new(des, rng, EmulatorConfig::default(), config())
-    });
+    let simulator = sim
+        .system()
+        .create(move || CatsSimulator::new(des, rng, EmulatorConfig::default(), config()));
     sim.system().start(&simulator);
     let port = simulator
         .provided_ref::<kompics::cats::experiments::CatsExperiment>()
@@ -64,8 +71,11 @@ fn run_simulated() -> Vec<Option<Vec<u8>>> {
         sim.run_for(Duration::from_millis(500));
     }
     for key in 0..KEYS {
-        port.trigger(ExperimentOp(CatsOp::Get { node: key * 77, key: RingKey(key) }))
-            .unwrap();
+        port.trigger(ExperimentOp(CatsOp::Get {
+            node: key * 77,
+            key: RingKey(key),
+        }))
+        .unwrap();
         sim.run_for(Duration::from_millis(500));
     }
     sim.run_for(Duration::from_secs(5));

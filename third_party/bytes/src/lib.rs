@@ -14,12 +14,16 @@ pub struct Bytes {
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Bytes { inner: std::sync::Arc::from(&[][..]) }
+        Bytes {
+            inner: std::sync::Arc::from(&[][..]),
+        }
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { inner: std::sync::Arc::from(data) }
+        Bytes {
+            inner: std::sync::Arc::from(data),
+        }
     }
 
     /// Length in bytes.
@@ -42,7 +46,9 @@ impl Deref for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { inner: std::sync::Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            inner: std::sync::Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 

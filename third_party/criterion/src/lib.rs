@@ -34,18 +34,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A `function_name/parameter` id.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { repr: format!("{name}/{parameter}") }
+        BenchmarkId {
+            repr: format!("{name}/{parameter}"),
+        }
     }
 
     /// An id carrying only a parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { repr: parameter.to_string() }
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { repr: s.to_string() }
+        BenchmarkId {
+            repr: s.to_string(),
+        }
     }
 }
 
@@ -69,7 +75,8 @@ impl Bencher {
         let calibration = Instant::now();
         black_box(routine());
         let once = calibration.elapsed().max(Duration::from_nanos(1));
-        let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
 
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
@@ -105,7 +112,10 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher { samples: self.sample_size, mean_nanos: 0.0 };
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_nanos: 0.0,
+        };
         f(&mut bencher);
         let rate = match self.throughput {
             Some(Throughput::Bytes(n)) if bencher.mean_nanos > 0.0 => {
@@ -118,7 +128,10 @@ impl BenchmarkGroup {
             }
             _ => String::new(),
         };
-        println!("bench {}/{}: {:.1} ns/iter{rate}", self.name, id.repr, bencher.mean_nanos);
+        println!(
+            "bench {}/{}: {:.1} ns/iter{rate}",
+            self.name, id.repr, bencher.mean_nanos
+        );
         self
     }
 
@@ -182,7 +195,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.benchmark_group(name.to_string()).bench_function("run", f);
+        self.benchmark_group(name.to_string())
+            .bench_function("run", f);
         self
     }
 }

@@ -142,9 +142,7 @@ impl fmt::Display for RecvTimeoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
-            RecvTimeoutError::Disconnected => {
-                f.write_str("channel is empty and disconnected")
-            }
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
         }
     }
 }
@@ -184,7 +182,12 @@ fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 impl<T> Sender<T> {
@@ -238,7 +241,9 @@ impl<T> Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.lock().senders += 1;
-        Sender { shared: Arc::clone(&self.shared) }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -329,7 +334,9 @@ impl<T> Receiver<T> {
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.shared.lock().receivers += 1;
-        Receiver { shared: Arc::clone(&self.shared) }
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 

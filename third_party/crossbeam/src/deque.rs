@@ -49,7 +49,9 @@ pub struct Worker<T> {
 impl<T> Worker<T> {
     /// Creates an empty FIFO worker queue.
     pub fn new_fifo() -> Self {
-        Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
     }
 
     /// Enqueues a task on this worker's queue.
@@ -74,7 +76,9 @@ impl<T> Worker<T> {
 
     /// Creates a stealer handle onto this queue.
     pub fn stealer(&self) -> Stealer<T> {
-        Stealer { inner: Arc::clone(&self.inner) }
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -85,7 +89,9 @@ pub struct Stealer<T> {
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Self {
-        Stealer { inner: Arc::clone(&self.inner) }
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -130,7 +136,9 @@ impl<T> Default for Injector<T> {
 impl<T> Injector<T> {
     /// Creates an empty injector.
     pub const fn new() -> Self {
-        Injector { inner: Mutex::new(VecDeque::new()) }
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
     }
 
     /// Enqueues a task.

@@ -17,7 +17,9 @@ impl<T> Default for SegQueue<T> {
 impl<T> SegQueue<T> {
     /// Creates an empty queue.
     pub const fn new() -> Self {
-        SegQueue { inner: Mutex::new(VecDeque::new()) }
+        SegQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {

@@ -25,8 +25,13 @@ impl Default for Parker {
 impl Parker {
     /// Creates a parker with its paired [`Unparker`].
     pub fn new() -> Self {
-        let state = Arc::new(State { token: Mutex::new(false), cv: Condvar::new() });
-        let unparker = Unparker { state: Arc::clone(&state) };
+        let state = Arc::new(State {
+            token: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let unparker = Unparker {
+            state: Arc::clone(&state),
+        };
         Parker { state, unparker }
     }
 
@@ -75,7 +80,9 @@ pub struct Unparker {
 
 impl Clone for Unparker {
     fn clone(&self) -> Self {
-        Unparker { state: Arc::clone(&self.state) }
+        Unparker {
+            state: Arc::clone(&self.state),
+        }
     }
 }
 

@@ -20,7 +20,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -46,9 +48,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
-                Some(MutexGuard { inner: Some(poisoned.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
+                inner: Some(poisoned.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -58,6 +60,18 @@ impl<T: ?Sized> Mutex<T> {
         match self.inner.get_mut() {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Whether the lock is currently held (by any thread). Advisory only —
+    /// the answer can be stale by the time the caller acts on it; used as a
+    /// probe in lock-freedom tests. Implemented with `try_lock`, so unlike
+    /// real `parking_lot` it momentarily acquires the lock when free.
+    pub fn is_locked(&self) -> bool {
+        match self.inner.try_lock() {
+            Ok(_) => false,
+            Err(std::sync::TryLockError::Poisoned(_)) => false,
+            Err(std::sync::TryLockError::WouldBlock) => true,
         }
     }
 }
@@ -135,7 +149,9 @@ impl Default for Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Blocks until notified, releasing `guard` while waiting.
@@ -163,7 +179,9 @@ impl Condvar {
             }
         };
         guard.inner = Some(std_guard);
-        WaitTimeoutResult { timed_out: result.timed_out() }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wakes one waiter. Returns whether a thread was woken (always `false`
@@ -189,7 +207,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates a new lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 }
 

@@ -144,7 +144,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, f, reason }
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
     }
 
     /// Builds a recursive strategy: `self` is the leaf, `f` wraps an inner
@@ -245,7 +249,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter({}) rejected 1000 candidates in a row", self.reason)
+        panic!(
+            "prop_filter({}) rejected 1000 candidates in a row",
+            self.reason
+        )
     }
 }
 
@@ -259,7 +266,10 @@ impl<T> Union<T> {
     /// A union picking each arm with probability `weight / total`.
     pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>();
-        assert!(total > 0, "prop_oneof! needs at least one arm with nonzero weight");
+        assert!(
+            total > 0,
+            "prop_oneof! needs at least one arm with nonzero weight"
+        );
         Union { arms, total }
     }
 }
@@ -528,19 +538,28 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { start: r.start, end: r.end }
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { start: *r.start(), end: *r.end() + 1 }
+            SizeRange {
+                start: *r.start(),
+                end: *r.end() + 1,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { start: n, end: n + 1 }
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
         }
     }
 
@@ -558,7 +577,10 @@ pub mod collection {
 
     /// Vector strategy with a length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -586,7 +608,11 @@ pub mod collection {
     where
         K::Value: Ord,
     {
-        BTreeMapStrategy { key, value, size: size.into() }
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
@@ -623,7 +649,11 @@ pub mod collection {
     where
         K::Value: std::hash::Hash + Eq,
     {
-        HashMapStrategy { key, value, size: size.into() }
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
@@ -655,7 +685,10 @@ pub mod collection {
     where
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for BTreeSetStrategy<S>
@@ -687,7 +720,10 @@ pub mod collection {
     where
         S::Value: std::hash::Hash + Eq,
     {
-        HashSetStrategy { element, size: size.into() }
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for HashSetStrategy<S>

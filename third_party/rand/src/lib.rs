@@ -295,7 +295,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..10_000 {
             let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            assert!(v >= f64::MIN_POSITIVE && v < 1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
         }
     }
 

@@ -208,7 +208,10 @@ pub trait Visitor<'de>: Sized {
     }
     /// Receives an `i64`.
     fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
-        Err(Error::custom(format_args!("unexpected integer, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected integer, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives a `u8`.
     fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
@@ -235,11 +238,17 @@ pub trait Visitor<'de>: Sized {
     }
     /// Receives an `f64`.
     fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
-        Err(Error::custom(format_args!("unexpected float, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected float, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives a borrowed string.
     fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
-        Err(Error::custom(format_args!("unexpected string, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected string, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives a string borrowed from the input itself.
     fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
@@ -251,7 +260,10 @@ pub trait Visitor<'de>: Sized {
     }
     /// Receives borrowed bytes.
     fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
-        Err(Error::custom(format_args!("unexpected bytes, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected bytes, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives bytes borrowed from the input itself.
     fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
@@ -263,15 +275,24 @@ pub trait Visitor<'de>: Sized {
     }
     /// Receives `Option::None`.
     fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
-        Err(Error::custom(format_args!("unexpected none, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected none, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives `Option::Some`, with the value still in `deserializer`.
     fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
-        Err(Error::custom(format_args!("unexpected some, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected some, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives `()`.
     fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
-        Err(Error::custom(format_args!("unexpected unit, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected unit, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives a newtype struct, with the value still in `deserializer`.
     fn visit_newtype_struct<D: Deserializer<'de>>(
@@ -285,15 +306,24 @@ pub trait Visitor<'de>: Sized {
     }
     /// Receives a sequence.
     fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
-        Err(Error::custom(format_args!("unexpected sequence, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected sequence, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives a map.
     fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
-        Err(Error::custom(format_args!("unexpected map, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected map, expecting {}",
+            Expecting(&self)
+        )))
     }
     /// Receives an enum.
     fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
-        Err(Error::custom(format_args!("unexpected enum, expecting {}", Expecting(&self))))
+        Err(Error::custom(format_args!(
+            "unexpected enum, expecting {}",
+            Expecting(&self)
+        )))
     }
 }
 
@@ -305,10 +335,7 @@ pub trait Deserializer<'de>: Sized {
     /// Asks a self-describing format for whatever comes next.
     fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
     /// Skips whatever comes next.
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        visitor: V,
-    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
     /// Reads a `bool`.
     fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
     /// Reads an `i8`.
@@ -397,10 +424,7 @@ pub trait Deserializer<'de>: Sized {
         visitor: V,
     ) -> Result<V::Value, Self::Error>;
     /// Reads a field or variant identifier.
-    fn deserialize_identifier<V: Visitor<'de>>(
-        self,
-        visitor: V,
-    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
 
     /// Whether the format is human readable (`true` by default).
     fn is_human_readable(&self) -> bool {
@@ -429,7 +453,10 @@ pub struct U32Deserializer<E> {
 impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
     type Deserializer = U32Deserializer<E>;
     fn into_deserializer(self) -> U32Deserializer<E> {
-        U32Deserializer { value: self, marker: PhantomData }
+        U32Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
     }
 }
 
@@ -471,11 +498,7 @@ impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
         visitor.visit_u32(self.value)
     }
 
-    fn deserialize_tuple<V: Visitor<'de>>(
-        self,
-        _len: usize,
-        visitor: V,
-    ) -> Result<V::Value, E> {
+    fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, E> {
         visitor.visit_u32(self.value)
     }
 
@@ -723,8 +746,7 @@ where
     V: Deserialize<'de>,
 {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        deserializer
-            .deserialize_map(MapVisitor::<std::collections::BTreeMap<K, V>>(PhantomData))
+        deserializer.deserialize_map(MapVisitor::<std::collections::BTreeMap<K, V>>(PhantomData))
     }
 }
 
@@ -753,8 +775,7 @@ where
     V: Deserialize<'de>,
 {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        deserializer
-            .deserialize_map(MapVisitor::<std::collections::HashMap<K, V>>(PhantomData))
+        deserializer.deserialize_map(MapVisitor::<std::collections::HashMap<K, V>>(PhantomData))
     }
 }
 

@@ -24,8 +24,7 @@ pub trait SerializeSeq {
     /// Error type shared with the parent serializer.
     type Error: Error;
     /// Serializes one element.
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
-        -> Result<(), Self::Error>;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
     /// Completes the sequence.
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }
@@ -37,8 +36,7 @@ pub trait SerializeTuple {
     /// Error type shared with the parent serializer.
     type Error: Error;
     /// Serializes one element.
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
-        -> Result<(), Self::Error>;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
     /// Completes the tuple.
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }

@@ -363,7 +363,12 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 &format!("{name} {{ {} }}", ctor_fields.join(", ")),
                 &format!("struct {name}"),
             );
-            body.push_str(&gen_visitor("__Visitor", &name, &format!("struct {name}"), &visit));
+            body.push_str(&gen_visitor(
+                "__Visitor",
+                &name,
+                &format!("struct {name}"),
+                &visit,
+            ));
             body.push_str(&format!(
                 "_serde::de::Deserializer::deserialize_struct(__d, \"{name}\", {}, __Visitor)\n",
                 str_slice_literal(fields)
@@ -489,7 +494,12 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }}\n\
                  }}\n"
             );
-            body.push_str(&gen_visitor("__Visitor", &name, &format!("enum {name}"), &visit));
+            body.push_str(&gen_visitor(
+                "__Visitor",
+                &name,
+                &format!("enum {name}"),
+                &visit,
+            ));
             body.push_str(&format!(
                 "_serde::de::Deserializer::deserialize_enum(__d, \"{name}\", {}, __Visitor)\n",
                 str_slice_literal(&variant_names)

@@ -78,9 +78,7 @@ fn main() {
             continue;
         };
         let path = normalize(file);
-        let component_code = COMPONENT_CODE
-            .iter()
-            .any(|prefix| path.starts_with(prefix));
+        let component_code = COMPONENT_CODE.iter().any(|prefix| path.starts_with(prefix));
         findings.extend(check_file(&path, &source, component_code));
     }
 
