@@ -18,6 +18,11 @@
 //! "before" snapshot when present; writes `BENCH_dispatch.json` (override:
 //! `BENCH_OUT`). `BENCH_QUICK=1` shrinks the iteration counts for CI smoke
 //! runs.
+//!
+//! Built with `--features telemetry`, the run additionally compares
+//! instrumented vs uninstrumented dispatch on the same binary and asserts
+//! the overhead stays under 5% (`telemetry_overhead` in the output JSON;
+//! `null` when the feature is absent).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,7 +126,24 @@ fn scaled(full: u64) -> u64 {
 /// B1: single-threaded trigger→handler round trip on the sequential
 /// scheduler. Returns (ns per op, million ops per second).
 fn dispatch_uncontended() -> (f64, f64) {
+    dispatch_uncontended_inner(false)
+}
+
+/// The same round trip, optionally with runtime telemetry installed
+/// (metrics on, causal tracing off — the always-on production
+/// configuration). `instrument` is only honoured under the `telemetry`
+/// feature; without it the parameter is ignored and the run is identical
+/// to [`dispatch_uncontended`].
+fn dispatch_uncontended_inner(instrument: bool) -> (f64, f64) {
     let (system, scheduler) = KompicsSystem::sequential(Config::default().throughput(64));
+    #[cfg(feature = "telemetry")]
+    if instrument {
+        let registry = Arc::new(kompics::telemetry::Registry::with_shards(1));
+        let spec = kompics::core::telemetry::TelemetrySpec::new(registry, SystemClock::shared());
+        assert!(system.install_telemetry(spec), "fresh system");
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = instrument;
     let seen = Arc::new(AtomicU64::new(0));
     let sink = system.create({
         let s = seen.clone();
@@ -308,6 +330,42 @@ fn e3_best(workers: usize, steal_batch: bool, reps: usize) -> f64 {
         .fold(0.0f64, f64::max)
 }
 
+/// Measures the cost of the runtime's automatic instrumentation on the
+/// uncontended dispatch path: best-of-reps with telemetry installed vs
+/// not installed, on the same binary. Returns a JSON object, or `"null"`
+/// when the binary was built without the `telemetry` feature.
+///
+/// Gates the tentpole budget: instrumented dispatch must stay within 5%
+/// of uninstrumented.
+fn telemetry_overhead_block() -> String {
+    #[cfg(feature = "telemetry")]
+    {
+        let reps = if quick() { 2 } else { 5 };
+        eprintln!("# telemetry_overhead ...");
+        let base = (0..reps)
+            .map(|_| dispatch_uncontended_inner(false).0)
+            .fold(f64::INFINITY, f64::min);
+        let instrumented = (0..reps)
+            .map(|_| dispatch_uncontended_inner(true).0)
+            .fold(f64::INFINITY, f64::min);
+        let overhead_pct = (instrumented - base) / base * 100.0;
+        eprintln!(
+            "#   base {base:.1} ns/op, instrumented {instrumented:.1} ns/op ({overhead_pct:+.2}%)"
+        );
+        assert!(
+            overhead_pct < 5.0,
+            "instrumented dispatch is {overhead_pct:.2}% slower; budget is 5%"
+        );
+        return format!(
+            "{{\"uninstrumented_ns_per_op\": {}, \"instrumented_ns_per_op\": {}, \"overhead_pct\": {overhead_pct:.2}}}",
+            json_f(base),
+            json_f(instrumented)
+        );
+    }
+    #[allow(unreachable_code)]
+    "null".to_string()
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -404,6 +462,7 @@ fn main() {
 
     let started = Instant::now();
     let current = run_current();
+    let telemetry_overhead = telemetry_overhead_block();
 
     let baseline = std::fs::read_to_string(&baseline_path).ok();
     let (baseline_block, speedups) = match &baseline {
@@ -445,6 +504,7 @@ fn main() {
             "  \"wall_seconds\": {:.1},\n",
             "  \"baseline\": {},\n",
             "  \"current\": {},\n",
+            "  \"telemetry_overhead\": {},\n",
             "  \"speedup_vs_baseline\": {{\n{}\n  }}\n",
             "}}\n"
         ),
@@ -452,6 +512,7 @@ fn main() {
         started.elapsed().as_secs_f64(),
         baseline_block,
         current,
+        telemetry_overhead,
         speedups.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_dispatch.json");

@@ -110,6 +110,7 @@ fn main() {
             max_retries: 5,
             ..AbdConfig::default()
         },
+        telemetry: None,
     };
     let system = KompicsSystem::new(Config::default());
     let registry = registry();

@@ -44,6 +44,7 @@ fn config() -> CatsConfig {
             max_retries: 4,
             ..AbdConfig::default()
         },
+        telemetry: None,
     }
 }
 

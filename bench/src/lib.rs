@@ -49,6 +49,7 @@ pub fn experiment_cats_config(replication: usize) -> CatsConfig {
             max_retries: 4,
             ..AbdConfig::default()
         },
+        telemetry: None,
     }
 }
 

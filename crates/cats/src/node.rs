@@ -60,6 +60,13 @@ pub struct CatsConfig {
     pub cyclon: CyclonConfig,
     /// ABD parameters.
     pub abd: AbdConfig,
+    /// Metrics registry for protocol-level telemetry (router lookup counts,
+    /// view sizes). `None` keeps the node metrics-free; the runtime's own
+    /// per-component instrumentation is configured separately via
+    /// `KompicsSystem::install_telemetry` / `Simulation::install_telemetry`
+    /// (behind the `telemetry` cargo feature) and typically shares this
+    /// registry.
+    pub telemetry: Option<std::sync::Arc<kompics_telemetry::Registry>>,
 }
 
 /// The default replication degree (3: tolerates one replica failure per
@@ -140,7 +147,10 @@ impl CatsNode {
             let ring_config = config.ring.clone();
             move || CatsRing::new(self_addr, ring_config)
         });
-        let router = ctx.create(move || OneHopRouter::new(self_addr, replication));
+        let router = ctx.create({
+            let registry = config.telemetry.clone();
+            move || OneHopRouter::with_telemetry(self_addr, replication, registry.as_deref())
+        });
         let cyclon = ctx.create({
             let cyclon_config = config.cyclon.clone();
             move || CyclonOverlay::new(self_addr, cyclon_config)

@@ -14,6 +14,7 @@ use kompics_network::Address;
 use kompics_protocols::cyclon::{NodeSampling, Sample};
 use kompics_protocols::fd::{EventuallyPerfectFd, Restore, Suspect};
 use kompics_protocols::monitor::{Status, StatusRequest, StatusResponse};
+use kompics_telemetry::{Counter, Gauge, Registry};
 
 use crate::key::{replication_group, RingKey};
 use crate::ring::{JoinCompleted, RingNeighbors, RingPort};
@@ -73,14 +74,29 @@ pub struct OneHopRouter {
     self_addr: Address,
     replication_degree: usize,
     view: BTreeMap<u64, Address>,
-    lookups: u64,
+    /// Lookup count — a registry counter when telemetry is wired, a
+    /// standalone one otherwise (same recording cost either way).
+    lookups: Counter,
+    /// Mirrors `view.len()` into the registry at mutation time.
+    view_gauge: Gauge,
     joined: bool,
 }
 
 impl OneHopRouter {
     /// Creates the router for the node at `self_addr`, resolving groups of
-    /// `replication_degree` replicas.
+    /// `replication_degree` replicas, without registry-backed metrics.
     pub fn new(self_addr: Address, replication_degree: usize) -> Self {
+        Self::with_telemetry(self_addr, replication_degree, None)
+    }
+
+    /// Like [`new`](OneHopRouter::new), but when `registry` is given the
+    /// router reports `cats_router_lookups{node=…}` and
+    /// `cats_router_view_size{node=…}` through it.
+    pub fn with_telemetry(
+        self_addr: Address,
+        replication_degree: usize,
+        registry: Option<&Registry>,
+    ) -> Self {
         let ctx = ComponentContext::new();
         let routing: ProvidedPort<Routing> = ProvidedPort::new();
         let status: ProvidedPort<Status> = ProvidedPort::new();
@@ -89,7 +105,7 @@ impl OneHopRouter {
         let fd: RequiredPort<EventuallyPerfectFd> = RequiredPort::new();
 
         routing.subscribe(|this: &mut OneHopRouter, req: &FindGroup| {
-            this.lookups += 1;
+            this.lookups.inc();
             let members: Vec<u64> = this.view.keys().copied().collect();
             let ids = replication_group(&members, req.key, this.replication_degree);
             let group = ids.into_iter().map(|id| this.view[&id]).collect();
@@ -106,21 +122,26 @@ impl OneHopRouter {
             for s in &n.successors {
                 this.view.insert(s.id, *s);
             }
+            this.sync_view_gauge();
         });
         ring.subscribe(|this: &mut OneHopRouter, j: &JoinCompleted| {
             this.joined = true;
             this.view.insert(j.node.id, j.node);
+            this.sync_view_gauge();
         });
         sampling.subscribe(|this: &mut OneHopRouter, sample: &Sample| {
             for peer in &sample.peers {
                 this.view.insert(peer.id, *peer);
             }
+            this.sync_view_gauge();
         });
         fd.subscribe(|this: &mut OneHopRouter, s: &Suspect| {
             this.view.remove(&s.peer.id);
+            this.sync_view_gauge();
         });
         fd.subscribe(|this: &mut OneHopRouter, r: &Restore| {
             this.view.insert(r.peer.id, r.peer);
+            this.sync_view_gauge();
         });
         status.subscribe(|this: &mut OneHopRouter, req: &StatusRequest| {
             this.status.trigger(StatusResponse {
@@ -128,14 +149,26 @@ impl OneHopRouter {
                 component: "OneHopRouter".into(),
                 entries: vec![
                     ("view_size".into(), this.view.len().to_string()),
-                    ("lookups".into(), this.lookups.to_string()),
+                    ("lookups".into(), this.lookups.value().to_string()),
                     ("joined".into(), this.joined.to_string()),
                 ],
             });
         });
 
+        let (lookups, view_gauge) = match registry {
+            Some(reg) => {
+                let node = self_addr.id.to_string();
+                let labels = [("node", node.as_str())];
+                (
+                    reg.counter("cats_router_lookups", &labels),
+                    reg.gauge("cats_router_view_size", &labels),
+                )
+            }
+            None => (Counter::standalone(), Gauge::default()),
+        };
         let mut view = BTreeMap::new();
         view.insert(self_addr.id, self_addr);
+        view_gauge.set(view.len() as i64);
         OneHopRouter {
             ctx,
             routing,
@@ -146,9 +179,14 @@ impl OneHopRouter {
             self_addr,
             replication_degree,
             view,
-            lookups: 0,
+            lookups,
+            view_gauge,
             joined: false,
         }
+    }
+
+    fn sync_view_gauge(&self) {
+        self.view_gauge.set(self.view.len() as i64);
     }
 
     /// Size of the membership view (introspection hook).

@@ -33,6 +33,7 @@ fn fast_config() -> CatsConfig {
             max_retries: 6,
             ..AbdConfig::default()
         },
+        telemetry: None,
     }
 }
 

@@ -45,6 +45,7 @@ fn cats_config() -> CatsConfig {
             max_retries: 4,
             ..AbdConfig::default()
         },
+        telemetry: None,
     }
 }
 

@@ -103,6 +103,14 @@ impl Channel {
 
     /// Forwards an event that exited at the half identified by
     /// (`source_port`, `source_sign`) to the opposite end.
+    ///
+    /// Forwarding is *synchronous on the triggering thread*: the chain
+    /// trigger → channel → far half → `enqueue_work` runs before the
+    /// original `trigger` returns. Causal tracing (the `telemetry` feature)
+    /// relies on this — the span of the handler that triggered the event is
+    /// still the thread's current span when delivery mints the child span,
+    /// so causality propagates through channels without the channel
+    /// carrying any trace state.
     pub(crate) fn forward_from(
         self: &Arc<Self>,
         source_port: PortId,

@@ -104,6 +104,22 @@ pub(crate) struct WorkItem {
     pub(crate) half: Arc<PortCore>,
     pub(crate) direction: Direction,
     pub(crate) event: EventRef,
+    /// Causal span minted at delivery (`enqueue_work`); `0` when telemetry
+    /// or tracing is not installed.
+    #[cfg(feature = "telemetry")]
+    pub(crate) span: u64,
+}
+
+impl WorkItem {
+    pub(crate) fn new(half: Arc<PortCore>, direction: Direction, event: EventRef) -> WorkItem {
+        WorkItem {
+            half,
+            direction,
+            event,
+            #[cfg(feature = "telemetry")]
+            span: 0,
+        }
+    }
 }
 
 /// Result of one scheduled execution slice.
@@ -421,6 +437,10 @@ pub struct ComponentCore {
     pub(crate) control_outside: Arc<PortCore>,
     parent: Mutex<Option<Weak<ComponentCore>>>,
     children: Mutex<Vec<Arc<ComponentCore>>>,
+    /// Instrumentation handles, set once at creation when the system has
+    /// telemetry installed. A single `OnceLock::get` when absent.
+    #[cfg(feature = "telemetry")]
+    metrics: OnceLock<crate::telemetry::ComponentMetrics>,
 }
 
 impl fmt::Debug for ComponentCore {
@@ -489,6 +509,25 @@ impl ComponentCore {
         let Some(system) = self.system.upgrade() else {
             return;
         };
+        // Delivery is the natural point to mint a causal span: one delivered
+        // event becomes one handler execution. The span's parent is whatever
+        // handler is executing on *this* thread (channels forward
+        // synchronously, so causality flows through the thread-local).
+        #[cfg(feature = "telemetry")]
+        let item = {
+            let mut item = item;
+            if let Some(metrics) = self.metrics.get() {
+                // `tracing()` first: `event_name()` is a virtual call and
+                // must stay off the metrics-only hot path.
+                if metrics.tracing() {
+                    if let Some(span) = metrics.deliver_span(self.id.raw(), item.event.event_name())
+                    {
+                        item.span = span;
+                    }
+                }
+            }
+            item
+        };
         let is_control = item.half.port_type == TypeId::of::<ControlPort>();
         // The increments are SeqCst: they form the producer half of the
         // Dekker handoff with `execute`'s exit path (store scheduled=false,
@@ -536,6 +575,10 @@ impl ComponentCore {
         // (introspection + fault reporting); it orders nothing but itself,
         // and the definition mutex already synchronizes handler state.
         self.executing.store(true, Ordering::Release);
+        // Sampled slice timing: `slice_begin` reads the clock only on every
+        // `SLICE_SAMPLE`-th slice, so the common slice adds one counter bump.
+        #[cfg(feature = "telemetry")]
+        let slice_started = self.metrics.get().and_then(|m| m.slice_begin());
         let throughput = system.throughput().max(1);
         let mut ctl_popped = 0usize;
         let mut work_popped = 0usize;
@@ -589,6 +632,10 @@ impl ComponentCore {
             self.work_pending.fetch_sub(work_popped, Ordering::SeqCst);
         }
         system.pending_sub(ctl_popped + work_popped);
+        #[cfg(feature = "telemetry")]
+        if let Some(metrics) = self.metrics.get() {
+            metrics.slice_end(slice_started, ctl_popped + work_popped);
+        }
         self.executing.store(false, Ordering::Release);
         // Unschedule, then re-check for work that raced in. Both the store
         // and the loads inside `runnable()` are SeqCst: this is the Dekker
@@ -647,6 +694,21 @@ impl ComponentCore {
     }
 
     fn handle_item(self: &Arc<Self>, item: WorkItem) {
+        // Record the handler execution under the span minted at delivery and
+        // make it the thread's current span, so any trigger the handlers
+        // perform — including post-handler life-cycle propagation below —
+        // is causally parented to this execution. The guard restores the
+        // previous span (executions nest through synchronous forwarding).
+        // `item.span != 0` short-circuits before the virtual `event_name()`
+        // call; spans are only minted when tracing is on.
+        #[cfg(feature = "telemetry")]
+        let _span_scope = if item.span != 0 {
+            self.metrics
+                .get()
+                .and_then(|m| m.enter_span(item.span, self.id.raw(), item.event.event_name()))
+        } else {
+            None
+        };
         let is_own_control = Arc::ptr_eq(&item.half, &self.control_inside);
         let concrete = item.event.as_any().type_id();
 
@@ -906,6 +968,8 @@ where
     let definition = definition?;
 
     let id = system.next_component_id();
+    #[cfg(feature = "telemetry")]
+    let kind = definition.type_name();
     let name = format!("{} {}", definition.type_name(), id);
     let (control_inside, control_outside) = PortCore::new_pair::<ControlPort>(true);
 
@@ -926,7 +990,13 @@ where
         control_outside,
         parent: Mutex::new(parent.as_ref().map(Arc::downgrade)),
         children: Mutex::new(Vec::new()),
+        #[cfg(feature = "telemetry")]
+        metrics: OnceLock::new(),
     });
+    #[cfg(feature = "telemetry")]
+    if let Some(telemetry) = system.telemetry() {
+        let _ = core.metrics.set(telemetry.component_metrics(kind));
+    }
     let weak = Arc::downgrade(&core);
 
     // Bind port ownership and constructor-time subscriptions.

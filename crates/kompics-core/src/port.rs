@@ -429,11 +429,7 @@ impl PortCore {
                     continue;
                 }
                 if let Some(core) = weak.upgrade() {
-                    core.enqueue_work(WorkItem {
-                        half: Arc::clone(self),
-                        direction: dir,
-                        event: Arc::clone(&event),
-                    });
+                    core.enqueue_work(WorkItem::new(Arc::clone(self), dir, Arc::clone(&event)));
                 }
             }
         }

@@ -18,6 +18,19 @@ use std::sync::Arc;
 
 use crate::component::ComponentCore;
 
+/// Aggregate scheduler counters, sampled at telemetry-scrape time (no
+/// eager bookkeeping: implementations just expose counters they already
+/// maintain).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Steal probes issued by idle workers.
+    pub steal_attempts: u64,
+    /// Steal probes that yielded at least one component.
+    pub steal_successes: u64,
+    /// Times a worker parked (went to sleep) for lack of work.
+    pub parks: u64,
+}
+
 /// Decides where and when ready components execute.
 ///
 /// An implementation must eventually call
@@ -36,4 +49,10 @@ pub trait Scheduler: Send + Sync + 'static {
 
     /// A short name for diagnostics.
     fn describe(&self) -> &'static str;
+
+    /// Scheduler-level counters for observability. The default (all zeros)
+    /// suits schedulers with nothing to report, e.g. the sequential one.
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats::default()
+    }
 }

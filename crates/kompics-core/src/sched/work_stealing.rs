@@ -82,6 +82,9 @@ struct Pool {
     idle: Mutex<Vec<usize>>,
     steal_attempts: AtomicU64,
     steal_successes: AtomicU64,
+    /// Times any worker actually parked — cold path, bumped right before
+    /// `parker.park()`.
+    parks: AtomicU64,
     shutdown: AtomicBool,
     steal_batch: bool,
 }
@@ -151,6 +154,7 @@ impl WorkStealingScheduler {
             idle: Mutex::new(Vec::with_capacity(workers)),
             steal_attempts: AtomicU64::new(0),
             steal_successes: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             steal_batch,
         });
@@ -230,6 +234,7 @@ fn worker_loop(pool: Arc<Pool>, local: Deque<Arc<ComponentCore>>, parker: Parker
             pool.exit_idle(index);
             continue;
         }
+        pool.parks.fetch_add(1, Ordering::Relaxed);
         parker.park();
         // A producer that woke us popped our entry; an unpark-all (shutdown)
         // does not — clean up either way.
@@ -328,6 +333,14 @@ impl Scheduler for WorkStealingScheduler {
             "work-stealing (batch)"
         } else {
             "work-stealing (single)"
+        }
+    }
+
+    fn stats(&self) -> crate::sched::SchedulerStats {
+        crate::sched::SchedulerStats {
+            steal_attempts: self.pool.steal_attempts.load(Ordering::Relaxed),
+            steal_successes: self.pool.steal_successes.load(Ordering::Relaxed),
+            parks: self.pool.parks.load(Ordering::Relaxed),
         }
     }
 }

@@ -31,6 +31,11 @@ pub struct SystemCore {
     next_component: AtomicU64,
     roots: Mutex<Vec<Arc<crate::component::ComponentCore>>>,
     shut_down: AtomicBool,
+    /// Installed at most once by [`KompicsSystem::install_telemetry`];
+    /// `None` means every instrumentation site is a single cheap
+    /// `OnceLock::get` miss.
+    #[cfg(feature = "telemetry")]
+    telemetry: std::sync::OnceLock<Arc<crate::telemetry::SystemTelemetry>>,
 }
 
 impl SystemCore {
@@ -80,6 +85,16 @@ impl SystemCore {
 
     pub(crate) fn forget_root(&self, id: ComponentId) {
         self.roots.lock().retain(|c| c.id() != id);
+    }
+
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn telemetry(&self) -> Option<&Arc<crate::telemetry::SystemTelemetry>> {
+        self.telemetry.get()
+    }
+
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn set_telemetry(&self, state: Arc<crate::telemetry::SystemTelemetry>) -> bool {
+        self.telemetry.set(state).is_ok()
     }
 
     pub(crate) fn unhandled_fault(&self, fault: Fault) {
@@ -152,6 +167,8 @@ impl KompicsSystem {
                 next_component: AtomicU64::new(1),
                 roots: Mutex::new(Vec::new()),
                 shut_down: AtomicBool::new(false),
+                #[cfg(feature = "telemetry")]
+                telemetry: std::sync::OnceLock::new(),
             }),
         }
     }
@@ -249,6 +266,16 @@ impl KompicsSystem {
     /// pass catalog and soundness rules.
     pub fn analyze(&self) -> Vec<crate::analyze::Finding> {
         crate::analyze::analyze_system(&self.core)
+    }
+
+    /// Installs runtime telemetry (metrics registry, optional causal
+    /// tracer, timing clock) on this system. Components created *after*
+    /// installation are automatically instrumented; install before
+    /// assembling the component tree. Returns `false` if telemetry was
+    /// already installed (the first installation wins).
+    #[cfg(feature = "telemetry")]
+    pub fn install_telemetry(&self, spec: crate::telemetry::TelemetrySpec) -> bool {
+        crate::telemetry::install(&self.core, spec)
     }
 
     /// Stops the scheduler. Components are not individually killed; their

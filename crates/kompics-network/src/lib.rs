@@ -31,6 +31,7 @@ pub mod local;
 pub mod net;
 pub mod registry;
 pub mod tcp;
+pub mod telemetry;
 pub mod udp;
 
 pub use address::Address;

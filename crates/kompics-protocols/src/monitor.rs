@@ -264,6 +264,102 @@ impl ComponentDefinition for MonitorServer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry bridge
+// ---------------------------------------------------------------------------
+
+/// Bridges the runtime's metrics [`Registry`](kompics_telemetry::Registry)
+/// into the monitoring plane: provides [`Status`] and answers every
+/// [`StatusRequest`] with a snapshot of the registry's counters and gauges,
+/// so node-local telemetry flows to the [`MonitorServer`]'s global view
+/// through the exact same path as any protocol component's status.
+///
+/// Histograms are summarised as `count`/`sum` entries rather than dumped
+/// bucket-by-bucket, and the response is capped at
+/// [`max_entries`](RegistryStatus::with_max_entries) to bound report size.
+pub struct RegistryStatus {
+    ctx: ComponentContext,
+    status: ProvidedPort<Status>,
+    registry: Arc<kompics_telemetry::Registry>,
+    max_entries: usize,
+}
+
+impl RegistryStatus {
+    /// Default cap on entries per status response.
+    pub const DEFAULT_MAX_ENTRIES: usize = 64;
+
+    /// Creates a bridge reporting `registry` with the default entry cap.
+    pub fn new(registry: Arc<kompics_telemetry::Registry>) -> Self {
+        Self::with_max_entries(registry, Self::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Creates a bridge reporting at most `max_entries` samples per
+    /// response (snapshots are sorted by name, so the cap keeps a stable
+    /// prefix).
+    pub fn with_max_entries(
+        registry: Arc<kompics_telemetry::Registry>,
+        max_entries: usize,
+    ) -> Self {
+        let ctx = ComponentContext::new();
+        let status: ProvidedPort<Status> = ProvidedPort::new();
+        status.subscribe(|this: &mut RegistryStatus, req: &StatusRequest| {
+            let entries = this.entries();
+            this.status.trigger(StatusResponse {
+                tag: req.tag,
+                component: "TelemetryRegistry".to_string(),
+                entries,
+            });
+        });
+        RegistryStatus {
+            ctx,
+            status,
+            registry,
+            max_entries,
+        }
+    }
+
+    fn entries(&self) -> Vec<(String, String)> {
+        use kompics_telemetry::SampleValue;
+        let mut out = Vec::new();
+        for sample in self.registry.snapshot() {
+            if out.len() >= self.max_entries {
+                break;
+            }
+            let mut key = sample.name.clone();
+            if !sample.labels.is_empty() {
+                key.push('{');
+                for (i, (k, v)) in sample.labels.iter().enumerate() {
+                    if i > 0 {
+                        key.push(',');
+                    }
+                    key.push_str(&format!("{k}={v}"));
+                }
+                key.push('}');
+            }
+            match sample.value {
+                SampleValue::Counter(v) => out.push((key, v.to_string())),
+                SampleValue::Gauge(v) => out.push((key, v.to_string())),
+                SampleValue::Histogram { count, sum, .. } => {
+                    out.push((format!("{key}.count"), count.to_string()));
+                    if out.len() < self.max_entries {
+                        out.push((format!("{key}.sum_ns"), sum.to_string()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ComponentDefinition for RegistryStatus {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "RegistryStatus"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +397,72 @@ mod tests {
         let back = registry.decode(tag, &bytes).unwrap();
         let back = kompics_core::event_as::<MonitorReportMsg>(back.as_ref()).unwrap();
         assert_eq!(back.statuses[0].component, "Ring");
+    }
+
+    #[test]
+    fn registry_status_reports_samples() {
+        use kompics_core::channel::connect;
+        use parking_lot::Mutex;
+
+        struct Collector {
+            ctx: ComponentContext,
+            #[allow(dead_code)]
+            status: RequiredPort<Status>,
+        }
+        impl ComponentDefinition for Collector {
+            fn context(&self) -> &ComponentContext {
+                &self.ctx
+            }
+            fn type_name(&self) -> &'static str {
+                "Collector"
+            }
+        }
+
+        let registry = Arc::new(kompics_telemetry::Registry::with_shards(1));
+        registry.counter("cats_lookups", &[("node", "1")]).add(9);
+        registry.gauge("cats_view_size", &[]).set(4);
+
+        let got: Arc<Mutex<Vec<StatusResponse>>> = Arc::new(Mutex::new(Vec::new()));
+        let system = KompicsSystem::new(Config::default().workers(1));
+        let bridge = system.create({
+            let reg = registry.clone();
+            move || RegistryStatus::new(reg)
+        });
+        let collector = system.create({
+            let got = got.clone();
+            move || {
+                let status: RequiredPort<Status> = RequiredPort::new();
+                status.subscribe(move |this: &mut Collector, resp: &StatusResponse| {
+                    let _ = this;
+                    got.lock().push(resp.clone());
+                });
+                Collector {
+                    ctx: ComponentContext::new(),
+                    status,
+                }
+            }
+        });
+        let provided = bridge.provided_ref::<Status>().unwrap();
+        connect(&provided, &collector.required_ref::<Status>().unwrap()).unwrap();
+        system.start(&bridge);
+        system.start(&collector);
+        provided.trigger(StatusRequest { tag: 42 }).unwrap();
+        system.await_quiescence();
+        system.shutdown();
+
+        let responses = got.lock();
+        assert_eq!(responses.len(), 1);
+        let resp = &responses[0];
+        assert_eq!(resp.tag, 42);
+        assert_eq!(resp.component, "TelemetryRegistry");
+        assert!(resp
+            .entries
+            .iter()
+            .any(|(k, v)| k == "cats_lookups{node=1}" && v == "9"));
+        assert!(resp
+            .entries
+            .iter()
+            .any(|(k, v)| k == "cats_view_size" && v == "4"));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!   node ──required──▶ [ NetworkTap ] ──required──▶ transport
 //!                        (records)
 //! ```
+//!
+//! Since the introduction of `kompics-telemetry`, the tap's primary output
+//! is a pair of registry counters (`kompics_net_tap_messages` by
+//! direction); causal per-event tracing is now the job of the runtime's own
+//! span tracer (`kompics-core` with the `telemetry` feature). The original
+//! `Vec`-of-records sink is kept as a thin compat layer for callers that
+//! want the full message log (tests, ad-hoc debugging).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,9 +25,11 @@ use std::time::Duration;
 use kompics_core::event::{event_as, EventRef};
 use kompics_core::prelude::*;
 use kompics_network::{Message, Network};
+use kompics_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 
-/// One recorded network event.
+/// One recorded network event (compat record type; the registry counters
+/// carry the aggregate view).
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// Capture time as read from the tap's injected [`ClockRef`] — real
@@ -37,7 +46,8 @@ pub struct TraceRecord {
     pub event: &'static str,
 }
 
-/// Shared sink for trace records.
+/// Shared sink for full trace records (compat; prefer the registry
+/// counters plus the runtime's causal tracer for new code).
 pub type TraceSink = Arc<Mutex<Vec<TraceRecord>>>;
 
 /// The transparent network interceptor. Provides `Network` (to the tapped
@@ -46,14 +56,16 @@ pub struct NetworkTap {
     ctx: ComponentContext,
     upper: ProvidedPort<Network>,
     lower: RequiredPort<Network>,
-    sink: TraceSink,
+    sink: Option<TraceSink>,
     clock: ClockRef,
-    forwarded: u64,
+    outgoing: Counter,
+    incoming: Counter,
 }
 
 impl NetworkTap {
-    /// Creates a tap writing into `sink`, stamping records with real
-    /// elapsed time (inside a `create` closure).
+    /// Creates a tap writing full records into `sink`, stamping them with
+    /// real elapsed time (inside a `create` closure). Counters are
+    /// standalone (not registered anywhere).
     pub fn new(sink: TraceSink) -> Self {
         Self::with_clock(sink, SystemClock::shared())
     }
@@ -61,6 +73,19 @@ impl NetworkTap {
     /// Like [`new`](NetworkTap::new) but stamping records from an injected
     /// clock — pass the simulation's virtual clock to trace in virtual time.
     pub fn with_clock(sink: TraceSink, clock: ClockRef) -> Self {
+        Self::build(Some(sink), clock, None)
+    }
+
+    /// Creates a tap that reports through `registry` only: message counts
+    /// land in `kompics_net_tap_messages{direction="out"|"in"}` and no
+    /// per-message log is kept. This is the telemetry-era configuration.
+    pub fn with_registry(registry: &Registry, clock: ClockRef) -> Self {
+        Self::build(None, clock, Some(registry))
+    }
+
+    /// Full constructor: optional per-message sink, optional registry for
+    /// the direction counters.
+    pub fn build(sink: Option<TraceSink>, clock: ClockRef, registry: Option<&Registry>) -> Self {
         let upper: ProvidedPort<Network> = ProvidedPort::new();
         let lower: RequiredPort<Network> = RequiredPort::new();
         // Outgoing: requests from the tapped component pass down.
@@ -77,20 +102,35 @@ impl NetworkTap {
                 this.upper.trigger_shared(Arc::clone(event));
             },
         );
+        let (outgoing, incoming) = match registry {
+            Some(reg) => (
+                reg.counter("kompics_net_tap_messages", &[("direction", "out")]),
+                reg.counter("kompics_net_tap_messages", &[("direction", "in")]),
+            ),
+            None => (Counter::standalone(), Counter::standalone()),
+        };
         NetworkTap {
             ctx: ComponentContext::new(),
             upper,
             lower,
             sink,
             clock,
-            forwarded: 0,
+            outgoing,
+            incoming,
         }
     }
 
     fn record(&mut self, event: &EventRef, outgoing: bool) {
-        self.forwarded += 1;
+        if outgoing {
+            self.outgoing.inc();
+        } else {
+            self.incoming.inc();
+        }
+        let Some(sink) = &self.sink else {
+            return;
+        };
         if let Some(header) = event_as::<Message>(event.as_ref()) {
-            self.sink.lock().push(TraceRecord {
+            sink.lock().push(TraceRecord {
                 at: self.clock.now(),
                 outgoing,
                 source: header.source.id,
@@ -102,7 +142,7 @@ impl NetworkTap {
 
     /// Messages forwarded so far (both directions).
     pub fn forwarded(&self) -> u64 {
-        self.forwarded
+        self.outgoing.value() + self.incoming.value()
     }
 }
 
@@ -166,12 +206,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn tap_is_transparent_and_records_both_directions() {
+    fn ping_through_tap(tap_factory: impl FnOnce() -> NetworkTap + Send + 'static) -> u64 {
         let system = KompicsSystem::new(Config::default().workers(2));
         let lan = system.create(LocalNetwork::new);
         let received = Arc::new(AtomicUsize::new(0));
-        let sink: TraceSink = Arc::new(Mutex::new(Vec::new()));
 
         // Node 1 behind a tap; node 2 directly attached.
         let a1 = Address::sim(1);
@@ -180,10 +218,7 @@ mod tests {
             let r = received.clone();
             move || Node::new(a1, r)
         });
-        let tap = system.create({
-            let s = sink.clone();
-            move || NetworkTap::new(s)
-        });
+        let tap = system.create(tap_factory);
         connect(
             &tap.provided_ref::<Network>().unwrap(),
             &n1.required_ref::<Network>().unwrap(),
@@ -210,6 +245,18 @@ mod tests {
         .unwrap();
         system.await_quiescence();
         assert_eq!(received.load(Ordering::SeqCst), 3, "tap is transparent");
+        let forwarded = tap.on_definition(|t| t.forwarded()).unwrap();
+        system.shutdown();
+        forwarded
+    }
+
+    #[test]
+    fn tap_is_transparent_and_records_both_directions() {
+        let sink: TraceSink = Arc::new(Mutex::new(Vec::new()));
+        let forwarded = ping_through_tap({
+            let s = sink.clone();
+            move || NetworkTap::new(s)
+        });
 
         let records = sink.lock();
         // The tap sees n1's traffic only: out r0, in r1, out r2.
@@ -218,7 +265,20 @@ mod tests {
         assert!(!records[1].outgoing && records[1].destination == 1);
         assert!(records[2].outgoing);
         assert!(records.iter().all(|r| r.event.ends_with("Ping")));
-        assert_eq!(tap.on_definition(|t| t.forwarded()).unwrap(), 3);
-        system.shutdown();
+        assert_eq!(forwarded, 3);
+    }
+
+    #[test]
+    fn registry_backed_tap_counts_by_direction() {
+        let registry = Arc::new(Registry::with_shards(1));
+        let forwarded = ping_through_tap({
+            let reg = registry.clone();
+            move || NetworkTap::with_registry(&reg, SystemClock::shared())
+        });
+        assert_eq!(forwarded, 3);
+        let out = registry.counter("kompics_net_tap_messages", &[("direction", "out")]);
+        let inc = registry.counter("kompics_net_tap_messages", &[("direction", "in")]);
+        assert_eq!(out.value(), 2);
+        assert_eq!(inc.value(), 1);
     }
 }

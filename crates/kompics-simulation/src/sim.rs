@@ -38,6 +38,26 @@ impl Clock for SimClock {
     }
 }
 
+/// Trace-ring capacity (records per run) used by
+/// [`Simulation::install_telemetry`]. Bounded so a long simulation retains
+/// the most recent window instead of growing without limit.
+#[cfg(feature = "telemetry")]
+const SIM_TRACE_CAPACITY: usize = 65_536;
+
+/// Handles returned by [`Simulation::install_telemetry`]: everything needed
+/// to scrape metrics and read the causal trace of a simulated run.
+#[cfg(feature = "telemetry")]
+pub struct SimTelemetry {
+    /// The registry the runtime (and any protocol components handed a
+    /// clone) records into.
+    pub registry: Arc<kompics_telemetry::Registry>,
+    /// The tracer; disable with `tracer.set_enabled(false)` to keep metrics
+    /// but stop tracing.
+    pub tracer: Arc<kompics_telemetry::Tracer>,
+    /// The bounded ring holding the causal trace.
+    pub trace: Arc<kompics_telemetry::RingSink>,
+}
+
 /// A deterministic simulation of a kompics system. See the module docs.
 ///
 /// ```rust
@@ -104,6 +124,42 @@ impl Simulation {
         Arc::new(SimClock {
             des: Arc::clone(&self.des),
         })
+    }
+
+    /// Installs runtime telemetry on the simulated system, wired entirely
+    /// to *virtual* time: metrics timestamps and trace records read
+    /// [`SimClock`], the registry and the trace ring use a single shard
+    /// (the simulation is single-threaded), and span ids count per-run from
+    /// 1 — so two same-seed runs export byte-identical Prometheus text,
+    /// JSON snapshots and trace renderings.
+    ///
+    /// Call **before** creating components (instrumentation attaches at
+    /// component creation). Returns the handles to scrape; panics if
+    /// telemetry was already installed on this system.
+    #[cfg(feature = "telemetry")]
+    pub fn install_telemetry(&self) -> SimTelemetry {
+        use kompics_core::telemetry::{time_source, TelemetrySpec};
+        use kompics_telemetry::{Registry, RingSink, TraceSink, Tracer};
+
+        let registry = Arc::new(Registry::with_shards(1));
+        let trace = Arc::new(RingSink::with_shards(1, SIM_TRACE_CAPACITY));
+        let clock = self.clock();
+        let tracer = Arc::new(Tracer::new(
+            time_source(&clock),
+            Arc::clone(&trace) as Arc<dyn TraceSink>,
+        ));
+        let installed = self.system.install_telemetry(
+            TelemetrySpec::new(Arc::clone(&registry), clock).with_tracer(Arc::clone(&tracer)),
+        );
+        assert!(
+            installed,
+            "telemetry already installed on this simulation's system"
+        );
+        SimTelemetry {
+            registry,
+            tracer,
+            trace,
+        }
     }
 
     /// Statically analyzes the assembled component graph (see

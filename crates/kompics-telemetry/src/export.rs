@@ -1,0 +1,218 @@
+//! Exporters: Prometheus text exposition format and a JSON snapshot dump.
+//!
+//! Both render from [`Registry::snapshot`], which is sorted — so for a
+//! deterministic (simulated) registry the rendered bytes are identical
+//! across same-seed runs. Everything is hand-rolled string building; no
+//! serialization dependencies.
+
+use crate::registry::{Labels, Registry, Sample, SampleValue};
+
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render the registry in Prometheus text exposition format (v0.0.4).
+/// Histograms expand to `_bucket{le=...}` (cumulative), `_sum`, `_count`.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<String> = None;
+    for sample in registry.snapshot() {
+        let name = sanitize_name(&sample.name);
+        if last_name.as_deref() != Some(name.as_str()) {
+            let kind = match sample.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram { .. } => "histogram",
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_name = Some(name.clone());
+        }
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{name}{} {v}\n",
+                    render_labels(&sample.labels, None)
+                ));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{name}{} {v}\n",
+                    render_labels(&sample.labels, None)
+                ));
+            }
+            SampleValue::Histogram {
+                buckets,
+                count,
+                sum,
+            } => {
+                let mut cumulative = 0u64;
+                for (bound, bucket_count) in buckets {
+                    cumulative += bucket_count;
+                    let le = if *bound == u64::MAX {
+                        "+Inf".to_string()
+                    } else {
+                        bound.to_string()
+                    };
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cumulative}\n",
+                        render_labels(&sample.labels, Some(("le", &le)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_sum{} {sum}\n",
+                    render_labels(&sample.labels, None)
+                ));
+                out.push_str(&format!(
+                    "{name}_count{} {count}\n",
+                    render_labels(&sample.labels, None)
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &Labels) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn json_sample(sample: &Sample) -> String {
+    let head = format!(
+        "{{\"name\":\"{}\",\"labels\":{}",
+        json_escape(&sample.name),
+        json_labels(&sample.labels)
+    );
+    match &sample.value {
+        SampleValue::Counter(v) => format!("{head},\"type\":\"counter\",\"value\":{v}}}"),
+        SampleValue::Gauge(v) => format!("{head},\"type\":\"gauge\",\"value\":{v}}}"),
+        SampleValue::Histogram {
+            buckets,
+            count,
+            sum,
+        } => {
+            let bucket_parts: Vec<String> = buckets
+                .iter()
+                .map(|(bound, c)| {
+                    let le = if *bound == u64::MAX {
+                        "\"+Inf\"".to_string()
+                    } else {
+                        format!("{bound}")
+                    };
+                    format!("{{\"le\":{le},\"count\":{c}}}")
+                })
+                .collect();
+            format!(
+                "{head},\"type\":\"histogram\",\"buckets\":[{}],\"count\":{count},\"sum\":{sum}}}",
+                bucket_parts.join(",")
+            )
+        }
+    }
+}
+
+/// Render the registry as a JSON document:
+/// `{"schema":"kompics-telemetry/v1","samples":[...]}` with samples in the
+/// snapshot's deterministic order.
+pub fn json_snapshot(registry: &Registry) -> String {
+    let samples: Vec<String> = registry.snapshot().iter().map(json_sample).collect();
+    format!(
+        "{{\"schema\":\"kompics-telemetry/v1\",\"samples\":[{}]}}",
+        samples.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_renders_counter_gauge_histogram() {
+        let reg = Registry::with_shards(1);
+        reg.counter("events_total", &[("component", "Sink")]).add(3);
+        reg.gauge("queue_depth", &[]).set(2);
+        let h = reg.histogram("latency_ns", &[]);
+        h.record(100);
+        h.record(600);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE events_total counter"));
+        assert!(text.contains("events_total{component=\"Sink\"} 3"));
+        assert!(text.contains("queue_depth 2"));
+        assert!(text.contains("latency_ns_bucket{le=\"250\"} 1"));
+        // Cumulative: the 600ns sample lands in le=1000 and stays counted upward.
+        assert!(text.contains("latency_ns_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("latency_ns_sum 700"));
+        assert!(text.contains("latency_ns_count 2"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = Registry::with_shards(1);
+        reg.counter("hits", &[("route", "/a\"b")]).inc();
+        let json = json_snapshot(&reg);
+        assert!(json.starts_with("{\"schema\":\"kompics-telemetry/v1\""));
+        assert!(json.contains("\"name\":\"hits\""));
+        assert!(json.contains("\\\"")); // escaped quote in label value
+        assert!(json.contains("\"type\":\"counter\",\"value\":1"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let build = || {
+            let reg = Registry::with_shards(1);
+            reg.counter("b", &[]).add(2);
+            reg.counter("a", &[("x", "1")]).inc();
+            reg.histogram("h", &[]).record(50);
+            (prometheus_text(&reg), json_snapshot(&reg))
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,43 @@
+//! # kompics-telemetry
+//!
+//! Runtime observability for the kompics component model, designed around
+//! one constraint: recording on the dispatch hot path must cost **one
+//! relaxed atomic and zero allocations**, in both execution modes of the
+//! paper (multi-core scheduler and deterministic simulation).
+//!
+//! Three layers:
+//!
+//! * [`metrics`] — counters, gauges and fixed-bucket latency histograms.
+//!   Counters and histograms are *sharded*: each recording thread writes its
+//!   own cache-line-padded slot and the shards are summed only on scrape, so
+//!   concurrent recorders never contend on a line.
+//! * [`registry`] — a named, labeled catalog of metrics plus pull-time
+//!   *collectors* (closures sampled at scrape, e.g. queue depths), producing
+//!   a deterministic, sorted [`Snapshot`](registry::Sample).
+//! * [`trace`] — causal event tracing: span ids minted at event delivery,
+//!   parent links read from the executing handler's span, records stamped
+//!   through an injected [`TimeSource`](trace::TimeSource) (wall clock in
+//!   deployment, virtual `SimClock` time in simulation) into a bounded
+//!   per-worker ring buffer behind the [`TraceSink`](trace::TraceSink)
+//!   trait.
+//! * [`export`] — Prometheus text format and a JSON snapshot dump, both
+//!   rendered from the sorted snapshot so simulated runs produce
+//!   byte-identical output for the same seed.
+//!
+//! This crate is deliberately free of dependencies on the rest of the
+//! workspace: `kompics-core` depends on it (behind its `telemetry`
+//! feature) for automatic per-component instrumentation, and protocol
+//! crates use the registry directly for domain metrics.
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use export::{json_snapshot, prometheus_text};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{Registry, Sample, SampleValue};
+pub use trace::{
+    current_span, render_trace, RingSink, SpanId, SpanScope, TimeSource, TraceKind, TraceRecord,
+    TraceSink, Tracer,
+};

@@ -1,0 +1,288 @@
+//! The metrics registry: a named, labeled catalog of [`Counter`]s,
+//! [`Gauge`]s and [`Histogram`]s plus pull-time *collectors*.
+//!
+//! Get-or-create goes through a mutex over a `BTreeMap` — that's the cold
+//! path, run once per metric at component construction. The returned handles
+//! are clones of the shared sharded cores, so the hot path never touches the
+//! registry again.
+//!
+//! Collectors are closures sampled at scrape time for state that is cheap to
+//! read but wasteful to maintain eagerly (queue depths, scheduler
+//! steal/park totals). They cost literally nothing on the dispatch path.
+//!
+//! [`Registry::snapshot`] returns samples sorted by `(name, labels)` — a
+//! total, deterministic order — so exports of a deterministic (simulated)
+//! run are byte-identical across same-seed runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{default_shards, Counter, Gauge, Histogram, BUCKET_BOUNDS_NS};
+
+/// Owned label set, kept sorted by key.
+pub type Labels = Vec<(String, String)>;
+
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone)]
+struct MetricKey {
+    name: String,
+    labels: Labels,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A collector pushes point-in-time samples at scrape.
+pub type CollectFn = Box<dyn Fn(&mut Vec<Sample>) + Send + Sync>;
+
+/// The value part of one exported sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleValue {
+    Counter(u64),
+    Gauge(i64),
+    /// Non-cumulative per-bucket counts as `(upper_bound_ns, count)`, with
+    /// `u64::MAX` standing in for the `+Inf` bucket, plus totals.
+    Histogram {
+        buckets: Vec<(u64, u64)>,
+        count: u64,
+        sum: u64,
+    },
+}
+
+/// One named, labeled sample in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Labels,
+    pub value: SampleValue,
+}
+
+impl Sample {
+    /// Convenience for collectors.
+    pub fn gauge(name: &str, labels: &[(&str, &str)], value: i64) -> Self {
+        Sample {
+            name: name.to_string(),
+            labels: sorted_labels(labels),
+            value: SampleValue::Gauge(value),
+        }
+    }
+
+    /// Convenience for collectors.
+    pub fn counter(name: &str, labels: &[(&str, &str)], value: u64) -> Self {
+        Sample {
+            name: name.to_string(),
+            labels: sorted_labels(labels),
+            value: SampleValue::Counter(value),
+        }
+    }
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut labels: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    labels
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, Counter>,
+    gauges: BTreeMap<MetricKey, Gauge>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+    collectors: Vec<CollectFn>,
+}
+
+/// The registry. Cheap to clone via `Arc`; all methods take `&self`.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    shards: usize,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .field("collectors", &inner.collectors.len())
+            .field("shards", &self.shards)
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry whose metrics use the machine-default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(default_shards())
+    }
+
+    /// A registry whose metrics use exactly `shards` shards. The
+    /// deterministic simulation uses `1` so aggregation is a no-op.
+    pub fn with_shards(shards: usize) -> Self {
+        Registry {
+            inner: Mutex::new(Inner::default()),
+            shards,
+        }
+    }
+
+    /// Shard count used for metrics created through this registry.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Get or create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(key)
+            .or_insert_with(|| Counter::with_shards(self.shards))
+            .clone()
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock();
+        inner.gauges.entry(key).or_default().clone()
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(key)
+            .or_insert_with(|| Histogram::with_shards(self.shards))
+            .clone()
+    }
+
+    /// Register a scrape-time collector. Collectors run under the registry
+    /// lock; keep them cheap and never let them touch the registry
+    /// re-entrantly.
+    pub fn register_collector(&self, f: impl Fn(&mut Vec<Sample>) + Send + Sync + 'static) {
+        self.inner.lock().collectors.push(Box::new(f));
+    }
+
+    /// Aggregate every metric and collector into a deterministic, sorted
+    /// sample list.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let inner = self.inner.lock();
+        let mut samples = Vec::new();
+        for (key, counter) in &inner.counters {
+            samples.push(Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: SampleValue::Counter(counter.value()),
+            });
+        }
+        for (key, gauge) in &inner.gauges {
+            samples.push(Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: SampleValue::Gauge(gauge.value()),
+            });
+        }
+        for (key, histogram) in &inner.histograms {
+            let totals = histogram.bucket_totals();
+            let mut buckets: Vec<(u64, u64)> = BUCKET_BOUNDS_NS
+                .iter()
+                .copied()
+                .zip(totals.iter().copied())
+                .collect();
+            buckets.push((u64::MAX, totals[totals.len() - 1]));
+            samples.push(Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: SampleValue::Histogram {
+                    buckets,
+                    count: histogram.count(),
+                    sum: histogram.sum(),
+                },
+            });
+        }
+        for collector in &inner.collectors {
+            collector(&mut samples);
+        }
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let reg = Registry::with_shards(1);
+        let a = reg.counter("hits", &[("route", "/x")]);
+        let b = reg.counter("hits", &[("route", "/x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2);
+        // Different labels → different counter.
+        let c = reg.counter("hits", &[("route", "/y")]);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn label_order_is_normalized() {
+        let reg = Registry::with_shards(1);
+        let a = reg.counter("m", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("m", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.value(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_includes_collectors() {
+        let reg = Registry::with_shards(1);
+        reg.counter("z_metric", &[]).inc();
+        reg.gauge("a_metric", &[]).set(5);
+        reg.register_collector(|out| {
+            out.push(Sample::gauge("m_collected", &[("k", "v")], 42));
+        });
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a_metric", "m_collected", "z_metric"]);
+        assert_eq!(snap[1].value, SampleValue::Gauge(42));
+    }
+
+    #[test]
+    fn histogram_snapshot_has_inf_bucket() {
+        let reg = Registry::with_shards(1);
+        reg.histogram("lat", &[]).record(10);
+        let snap = reg.snapshot();
+        match &snap[0].value {
+            SampleValue::Histogram { buckets, count, .. } => {
+                assert_eq!(*count, 1);
+                assert_eq!(buckets.last().unwrap().0, u64::MAX);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

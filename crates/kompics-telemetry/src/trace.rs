@@ -1,0 +1,401 @@
+//! Causal event tracing.
+//!
+//! A *span* is minted when an event is delivered onto a component's work
+//! queue (the natural unit of causality in a message-passing runtime: one
+//! delivered event → one handler execution → zero or more further
+//! triggers). While a handler executes, its span sits in a thread-local;
+//! any event it triggers — directly or through a channel, which forwards
+//! synchronously on the triggering thread — records that span as its
+//! *parent*. The result is a causal forest over deliveries.
+//!
+//! Timestamps come from an injected [`TimeSource`], **never** from
+//! `Instant::now()` directly: deployment injects the wall clock, the
+//! deterministic simulation injects `SimClock` virtual time. Combined with
+//! per-tracer (not global) span counters, a simulated run's trace is
+//! byte-identical across two runs with the same seed.
+//!
+//! Records land in a [`TraceSink`]; the stock [`RingSink`] keeps bounded
+//! per-worker rings (oldest records overwritten) behind short uncontended
+//! mutexes, so steady-state tracing costs no allocation: a `TraceRecord` is
+//! `Copy` (event names are `&'static str`) and is written into a
+//! pre-allocated slot.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Clock abstraction: a closure returning elapsed time since the source's
+/// epoch. Deployment adapts the system clock; simulation adapts virtual
+/// time. Kept as a plain closure (rather than depending on kompics-core's
+/// `ClockRef`) so this crate stays a leaf.
+pub type TimeSource = Arc<dyn Fn() -> Duration + Send + Sync>;
+
+/// A causal span identifier. `SpanId::NONE` (0) means "no span" — e.g. an
+/// event triggered from outside any handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NONE: SpanId = SpanId(0);
+
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// What a trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An event was delivered onto a component's queue (span minted here).
+    Deliver,
+    /// A handler execution for a delivered event began.
+    Exec,
+}
+
+impl TraceKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Deliver => "deliver",
+            TraceKind::Exec => "exec",
+        }
+    }
+}
+
+/// One trace record. `Copy` and allocation-free by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Nanoseconds since the [`TimeSource`] epoch.
+    pub at_ns: u64,
+    pub kind: TraceKind,
+    /// The span this record belongs to.
+    pub span: u64,
+    /// The span that causally produced it (`0` if none).
+    pub parent: u64,
+    /// Raw id of the component involved.
+    pub component: u64,
+    /// Static name of the event type.
+    pub event: &'static str,
+}
+
+/// Where trace records go. Implementations must be cheap and non-blocking
+/// in spirit: `record` runs on the dispatch path.
+pub trait TraceSink: Send + Sync {
+    fn record(&self, rec: TraceRecord);
+    /// All retained records in a deterministic order (per-shard rings
+    /// concatenated in shard order, each oldest-first).
+    fn snapshot(&self) -> Vec<TraceRecord>;
+    fn clear(&self);
+}
+
+/// A bounded ring of records; overwrites the oldest once full.
+struct Ring {
+    buf: Vec<TraceRecord>,
+    head: usize,
+    capacity: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+        }
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn drain_ordered(&self) -> impl Iterator<Item = TraceRecord> + '_ {
+        // Oldest-first: from head to end, then start to head.
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+            .copied()
+    }
+}
+
+/// The stock [`TraceSink`]: per-worker sharded bounded rings.
+///
+/// Each recording thread lands on its own ring (same round-robin slot
+/// assignment as the metric shards would give it), so the mutex guarding a
+/// ring is uncontended in steady state — one CAS in, one CAS out. Under the
+/// single-threaded simulation everything lands in ring 0 in program order,
+/// which is what makes trace snapshots deterministic.
+pub struct RingSink {
+    shards: Box<[Mutex<Ring>]>,
+    mask: usize,
+}
+
+impl RingSink {
+    /// `capacity` records per shard, default shard count.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(crate::metrics::default_shards(), capacity)
+    }
+
+    /// Explicit (power-of-two) shard count. Simulation uses 1.
+    pub fn with_shards(shards: usize, capacity: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        let rings = (0..shards)
+            .map(|_| Mutex::new(Ring::new(capacity)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingSink {
+            shards: rings,
+            mask: shards - 1,
+        }
+    }
+}
+
+thread_local! {
+    static RING_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+static NEXT_RING_SLOT: AtomicU64 = AtomicU64::new(0);
+
+impl TraceSink for RingSink {
+    fn record(&self, rec: TraceRecord) {
+        let idx = RING_SLOT.with(|slot| {
+            let mut v = slot.get();
+            if v == usize::MAX {
+                v = NEXT_RING_SLOT.fetch_add(1, Ordering::Relaxed) as usize;
+                slot.set(v);
+            }
+            v & self.mask
+        });
+        self.shards[idx].lock().push(rec);
+    }
+
+    fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let ring = shard.lock();
+            out.extend(ring.drain_ordered());
+        }
+        out
+    }
+
+    fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut ring = shard.lock();
+            ring.buf.clear();
+            ring.head = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Current-span thread-local
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The span of the handler currently executing on this thread (0 if none).
+/// Triggers use this as the parent of freshly minted spans.
+#[inline]
+pub fn current_span() -> u64 {
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// RAII guard installing a span as the thread's current span; restores the
+/// previous span on drop (handler executions can nest through synchronous
+/// channel forwarding).
+pub struct SpanScope {
+    prev: u64,
+}
+
+impl SpanScope {
+    #[inline]
+    pub fn enter(span: SpanId) -> SpanScope {
+        let prev = CURRENT_SPAN.with(|c| c.replace(span.0));
+        SpanScope { prev }
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|c| c.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+/// Mints spans and writes trace records.
+///
+/// Span ids are a per-tracer counter starting at 1 — *not* process-global —
+/// so two simulations in one process each produce ids 1, 2, 3, ... and
+/// same-seed runs are byte-identical.
+pub struct Tracer {
+    time: TimeSource,
+    sink: Arc<dyn TraceSink>,
+    next_span: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl Tracer {
+    pub fn new(time: TimeSource, sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            time,
+            sink,
+            next_span: AtomicU64::new(1),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Cheap check used by instrumentation to skip all trace work.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Mint a fresh span id.
+    #[inline]
+    pub fn mint(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub fn sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// Record an event delivery under a freshly minted span, parented to
+    /// the span currently executing on this thread. Returns the new span.
+    #[inline]
+    pub fn deliver(&self, component: u64, event: &'static str) -> SpanId {
+        let span = self.mint();
+        self.sink.record(TraceRecord {
+            at_ns: (self.time)().as_nanos() as u64,
+            kind: TraceKind::Deliver,
+            span: span.0,
+            parent: current_span(),
+            component,
+            event,
+        });
+        span
+    }
+
+    /// Record the start of the handler execution for a delivered span.
+    #[inline]
+    pub fn exec(&self, span: SpanId, component: u64, event: &'static str) {
+        self.sink.record(TraceRecord {
+            at_ns: (self.time)().as_nanos() as u64,
+            kind: TraceKind::Exec,
+            span: span.0,
+            parent: current_span(),
+            component,
+            event,
+        });
+    }
+}
+
+/// Render records as stable, line-oriented text — the canonical form used
+/// by determinism tests to compare runs byte-for-byte.
+pub fn render_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&format!(
+            "{} {} span={} parent={} component=c{} event={}\n",
+            rec.at_ns,
+            rec.kind.as_str(),
+            rec.span,
+            rec.parent,
+            rec.component,
+            rec.event
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual_time(ns: u64) -> TimeSource {
+        Arc::new(move || Duration::from_nanos(ns))
+    }
+
+    #[test]
+    fn spans_parent_through_scope() {
+        let sink = Arc::new(RingSink::with_shards(1, 16));
+        let tracer = Tracer::new(manual_time(5), sink.clone());
+        let outer = tracer.deliver(1, "Outer");
+        {
+            let _scope = SpanScope::enter(outer);
+            tracer.exec(outer, 1, "Outer");
+            let inner = tracer.deliver(2, "Inner");
+            assert_eq!(inner.0, 2);
+        }
+        assert_eq!(current_span(), 0);
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].parent, 0);
+        assert_eq!(records[1].kind, TraceKind::Exec);
+        // The Inner deliver is parented to the outer span.
+        assert_eq!(records[2].parent, outer.0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let sink = RingSink::with_shards(1, 3);
+        for i in 0..5u64 {
+            sink.record(TraceRecord {
+                at_ns: i,
+                kind: TraceKind::Deliver,
+                span: i,
+                parent: 0,
+                component: 0,
+                event: "E",
+            });
+        }
+        let snap = sink.snapshot();
+        let spans: Vec<u64> = snap.iter().map(|r| r.span).collect();
+        assert_eq!(spans, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn per_tracer_span_counters_are_independent() {
+        let sink: Arc<dyn TraceSink> = Arc::new(RingSink::with_shards(1, 4));
+        let a = Tracer::new(manual_time(0), sink.clone());
+        let b = Tracer::new(manual_time(0), sink);
+        assert_eq!(a.mint(), SpanId(1));
+        assert_eq!(a.mint(), SpanId(2));
+        assert_eq!(b.mint(), SpanId(1));
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let rec = TraceRecord {
+            at_ns: 1_000,
+            kind: TraceKind::Exec,
+            span: 3,
+            parent: 1,
+            component: 7,
+            event: "Ping",
+        };
+        assert_eq!(
+            render_trace(&[rec]),
+            "1000 exec span=3 parent=1 component=c7 event=Ping\n"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the sharded metric primitives.
+//!
+//! The load-bearing property: aggregating per-worker shards at scrape time
+//! must equal a *sequential single-shard oracle* fed the same observations,
+//! no matter how the observations are interleaved across threads. Counters
+//! and histograms only ever use relaxed `fetch_add`, so this is exactly the
+//! claim that relaxed RMWs on disjoint-then-summed slots lose nothing.
+
+use std::sync::Arc;
+
+use kompics_telemetry::metrics::BUCKETS;
+use kompics_telemetry::{Counter, Histogram};
+use proptest::prelude::*;
+
+/// Sequential oracle for a histogram: single-shard, fed in one thread.
+fn oracle_histogram(observations: &[u64]) -> ([u64; BUCKETS], u64, u64) {
+    let h = Histogram::with_shards(1);
+    for &ns in observations {
+        h.record(ns);
+    }
+    (h.bucket_totals(), h.count(), h.sum())
+}
+
+proptest! {
+    /// Concurrent sharded counter == sequential sum, for arbitrary
+    /// per-thread workloads.
+    #[test]
+    fn sharded_counter_matches_sequential_oracle(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(1u64..1000, 0..200),
+            1..6,
+        )
+    ) {
+        let sharded = Counter::with_shards(8);
+        let threads: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|work| {
+                let c = sharded.clone();
+                std::thread::spawn(move || {
+                    for n in work {
+                        c.add(n);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        // Oracle: plain sequential summation of the same observations.
+        let expected: u64 = per_thread.iter().flatten().sum();
+        prop_assert_eq!(sharded.value(), expected);
+    }
+
+    /// Concurrent sharded histogram == sequential single-shard oracle:
+    /// identical bucket totals, count and sum regardless of interleaving.
+    #[test]
+    fn sharded_histogram_matches_sequential_oracle(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..2_000_000_000, 0..150),
+            1..6,
+        )
+    ) {
+        let sharded = Arc::new(Histogram::with_shards(8));
+        let threads: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|work| {
+                let h = sharded.clone();
+                std::thread::spawn(move || {
+                    for ns in work {
+                        h.record(ns);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        let all: Vec<u64> = per_thread.iter().flatten().copied().collect();
+        let (oracle_buckets, oracle_count, oracle_sum) = oracle_histogram(&all);
+        prop_assert_eq!(sharded.bucket_totals(), oracle_buckets);
+        prop_assert_eq!(sharded.count(), oracle_count);
+        prop_assert_eq!(sharded.sum(), oracle_sum);
+    }
+}

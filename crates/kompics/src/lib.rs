@@ -11,6 +11,9 @@
 //! * [`simulation`] — deterministic simulation and the scenario DSL;
 //! * [`testing`] — the event-stream unit-testing DSL for components;
 //! * [`protocols`] — failure detector, bootstrap, Cyclon, monitoring, web;
+//! * [`telemetry`] — metrics registry, causal tracing, exporters (enable
+//!   the `telemetry` cargo feature to also turn on the runtime's automatic
+//!   per-component instrumentation);
 //! * [`cats`] — the CATS key-value store case study.
 //!
 //! For a guided tour start at [`core`] and the repository's `examples/`.
@@ -21,6 +24,7 @@ pub use kompics_core as core;
 pub use kompics_network as network;
 pub use kompics_protocols as protocols;
 pub use kompics_simulation as simulation;
+pub use kompics_telemetry as telemetry;
 pub use kompics_testing as testing;
 pub use kompics_timer as timer;
 

@@ -35,6 +35,7 @@ fn main() {
             max_retries: 6,
             ..AbdConfig::default()
         },
+        telemetry: None,
     };
     let mut cluster = LocalCatsCluster::new(Config::default(), config);
 

@@ -76,6 +76,7 @@ fn main() {
                     max_retries: 4,
                     ..AbdConfig::default()
                 },
+                telemetry: None,
             },
         )
     });

@@ -45,6 +45,7 @@ fn run(seed: u64) -> (u64, u64, u64, Duration, Duration) {
                     max_retries: 4,
                     ..AbdConfig::default()
                 },
+                telemetry: None,
             },
         )
     });

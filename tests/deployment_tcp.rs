@@ -39,6 +39,7 @@ fn full_registry() -> Arc<MessageRegistry> {
 
 fn fast_config() -> CatsConfig {
     CatsConfig {
+        telemetry: None,
         replication: Some(3),
         ring: RingConfig {
             stabilize_period: Duration::from_millis(50),

@@ -125,6 +125,7 @@ fn bootstrap_and_monitoring_servers_support_a_cats_deployment() {
     f.sim.system().start(&monitor_server);
 
     let node_config = CatsConfig {
+        telemetry: None,
         ring: RingConfig {
             stabilize_period: Duration::from_millis(250),
             ..RingConfig::default()

@@ -19,6 +19,7 @@ use kompics::simulation::{EmulatorConfig, Simulation};
 
 fn config() -> CatsConfig {
     CatsConfig {
+        telemetry: None,
         replication: Some(3),
         ring: RingConfig {
             stabilize_period: Duration::from_millis(100),

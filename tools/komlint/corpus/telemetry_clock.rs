@@ -1,0 +1,19 @@
+use std::time::{Instant, SystemTime};
+
+pub fn sample(histogram: &telemetry::Histogram) {
+    let t0 = Instant::now();
+    histogram.record(t0.elapsed().as_nanos() as u64);
+}
+
+pub fn plain_wall_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn unrelated() {
+    work();
+}
+
+pub fn trace_stamp(tracer: &Tracer) {
+    let at = SystemTime::now();
+    tracer.deliver(at, "Ping");
+}

@@ -194,6 +194,24 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_clock_corpus() {
+        // A wall-clock read *at a telemetry call site* trips both the
+        // generic rule and the sharper contextual one (which carries the
+        // fix-it: use the installed TimeSource); a read with no telemetry
+        // markers within the context window trips only the generic rule.
+        assert_eq!(
+            rules_hit("telemetry_clock.rs", false),
+            vec![
+                ("telemetry-wall-clock", 4),
+                ("wall-clock", 4),
+                ("wall-clock", 9),
+                ("telemetry-wall-clock", 17),
+                ("wall-clock", 17)
+            ]
+        );
+    }
+
+    #[test]
     fn ambient_rng_corpus() {
         assert_eq!(
             rules_hit("ambient_rng.rs", false),

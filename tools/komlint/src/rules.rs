@@ -10,6 +10,15 @@ pub enum Matcher {
     /// (`….lock();`), i.e. the guard is bound to a variable and held for the
     /// rest of the scope instead of scoped to one expression.
     LockHold,
+    /// Any of `needles` appearing in the code of a line whose surrounding
+    /// context (± `window` code lines) contains one of `markers`. Used for
+    /// rules that only apply *at* certain call sites (e.g. wall-clock reads
+    /// next to telemetry recording).
+    Contextual {
+        needles: &'static [&'static str],
+        markers: &'static [&'static str],
+        window: usize,
+    },
 }
 
 /// A determinism lint rule.
@@ -33,6 +42,27 @@ pub const RULES: &[Rule] = &[
         message: "ambient wall-clock read",
         hint: "inject a ClockRef (kompics_core::clock) or accept the time source as a \
                constructor argument so simulation can virtualize time",
+        component_only: false,
+    },
+    Rule {
+        id: "telemetry-wall-clock",
+        matcher: Matcher::Contextual {
+            needles: &["Instant::now(", "SystemTime::now("],
+            markers: &[
+                ".record(",
+                ".observe(",
+                "Tracer",
+                "TraceRecord",
+                "TraceSink",
+                "telemetry",
+            ],
+            window: 3,
+        },
+        message: "wall-clock read at a telemetry call site",
+        hint: "telemetry timestamps must come from the installed clock \
+               (TelemetrySpec/TimeSource), never Instant::now() — otherwise \
+               simulated metrics and traces stop being byte-identical across \
+               same-seed runs",
         component_only: false,
     },
     Rule {
@@ -152,7 +182,7 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
             if rule.component_only && !component_code {
                 continue;
             }
-            for col in match_rule(rule, &line.code) {
+            for col in match_rule(rule, &lines, idx) {
                 if suppressed(&mut directives, rule.id, idx) {
                     continue;
                 }
@@ -178,8 +208,8 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
                 col: 1,
                 rule: "unknown-rule",
                 message: format!("allow directive names unknown rule `{}`", d.rule),
-                hint: "valid rules: wall-clock, ambient-rng, blocking-sleep, \
-                       blocking-recv, thread-spawn, lock-hold",
+                hint: "valid rules: wall-clock, telemetry-wall-clock, ambient-rng, \
+                       blocking-sleep, blocking-recv, thread-spawn, lock-hold",
             });
             continue;
         }
@@ -254,20 +284,29 @@ fn suppressed(directives: &mut [Directive], rule: &str, line: usize) -> bool {
     false
 }
 
-/// Returns the 0-based columns where `rule` matches `code`.
-fn match_rule(rule: &Rule, code: &str) -> Vec<usize> {
+/// Returns the 0-based columns where `rule` matches the code on line `idx`.
+fn match_rule(rule: &Rule, lines: &[Line], idx: usize) -> Vec<usize> {
+    let code = &lines[idx].code;
     match rule.matcher {
-        Matcher::Substring(patterns) => {
-            let mut cols = Vec::new();
-            for pat in patterns {
-                let mut from = 0;
-                while let Some(pos) = code[from..].find(pat) {
-                    cols.push(from + pos);
-                    from += pos + pat.len();
-                }
+        Matcher::Substring(patterns) => substring_cols(code, patterns),
+        Matcher::Contextual {
+            needles,
+            markers,
+            window,
+        } => {
+            let cols = substring_cols(code, needles);
+            if cols.is_empty() {
+                return cols;
             }
-            cols.sort_unstable();
-            cols
+            let lo = idx.saturating_sub(window);
+            let hi = (idx + window).min(lines.len() - 1);
+            let in_context =
+                (lo..=hi).any(|j| markers.iter().any(|marker| lines[j].code.contains(marker)));
+            if in_context {
+                cols
+            } else {
+                Vec::new()
+            }
         }
         Matcher::LockHold => {
             let trimmed = trim_trailing(code);
@@ -280,6 +319,19 @@ fn match_rule(rule: &Rule, code: &str) -> Vec<usize> {
             }
         }
     }
+}
+
+fn substring_cols(code: &str, patterns: &[&str]) -> Vec<usize> {
+    let mut cols = Vec::new();
+    for pat in patterns {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(pat) {
+            cols.push(from + pos);
+            from += pos + pat.len();
+        }
+    }
+    cols.sort_unstable();
+    cols
 }
 
 fn trim_trailing(code: &str) -> &str {
