@@ -25,7 +25,7 @@ use kompics_timer::{ScheduleTimeout, Timeout, TimeoutId, Timer};
 
 use crate::key::RingKey;
 use crate::msgs::{ReadQueryMsg, ReadReplyMsg, Tag, WriteAckMsg, WriteQueryMsg};
-use crate::router::{FindGroup, GroupFound, Routing};
+use crate::router::{FindGroup, GroupFound, Overloaded, Routing};
 
 // ---------------------------------------------------------------------------
 // Port type and events
@@ -187,6 +187,9 @@ pub struct ConsistentAbd {
     next_rid: u64,
     completed_ops: u64,
     failed_ops: u64,
+    /// Lookups the router answered with [`Overloaded`] while the op was
+    /// still pending (the op timer retries them).
+    shed_lookups: u64,
     repair_cursor: u64,
     repairs_sent: u64,
 }
@@ -209,6 +212,16 @@ impl ConsistentAbd {
         });
         routing.subscribe(|this: &mut ConsistentAbd, found: &GroupFound| {
             this.handle_group(found);
+        });
+        routing.subscribe(|this: &mut ConsistentAbd, shed: &Overloaded| {
+            // The router shed our lookup under overload. The op's timeout is
+            // already armed and retries the whole op from scratch, which
+            // respects the suggested delay implicitly (op timeouts are an
+            // order of magnitude above typical retry-after values); all we
+            // add here is visibility.
+            if this.ops.contains_key(&shed.reqid) {
+                this.shed_lookups += 1;
+            }
         });
         net.subscribe(|this: &mut ConsistentAbd, query: &ReadQueryMsg| {
             let (tag, value) = this
@@ -271,6 +284,7 @@ impl ConsistentAbd {
                     ("pending_ops".into(), this.ops.len().to_string()),
                     ("completed_ops".into(), this.completed_ops.to_string()),
                     ("failed_ops".into(), this.failed_ops.to_string()),
+                    ("shed_lookups".into(), this.shed_lookups.to_string()),
                 ],
             });
         });
@@ -289,6 +303,7 @@ impl ConsistentAbd {
             next_rid: 1,
             completed_ops: 0,
             failed_ops: 0,
+            shed_lookups: 0,
             repair_cursor: 0,
             repairs_sent: 0,
         }
@@ -307,6 +322,11 @@ impl ConsistentAbd {
     /// Number of anti-entropy write-impositions sent so far.
     pub fn repairs_sent(&self) -> u64 {
         self.repairs_sent
+    }
+
+    /// Number of router-shed lookups observed for pending ops.
+    pub fn shed_lookups(&self) -> u64 {
+        self.shed_lookups
     }
 
     fn begin_op(&mut self, client_id: u64, key: RingKey, kind: OpKind) {

@@ -46,10 +46,26 @@ pub struct GroupFound {
 }
 impl_event!(GroupFound);
 
+/// Indication: the router shed this lookup instead of queueing it — its
+/// data lane is over the shed threshold. The requester should retry after
+/// `retry_after_ms` (clients with an op timer, like the ABD layer, can just
+/// let the timer fire). A shed request does **not** produce a
+/// [`GroupFound`].
+#[derive(Debug, Clone)]
+pub struct Overloaded {
+    /// Echoed request id.
+    pub reqid: u64,
+    /// Echoed key.
+    pub key: RingKey,
+    /// Suggested retry delay, scaled with the router's current backlog.
+    pub retry_after_ms: u64,
+}
+impl_event!(Overloaded);
+
 port_type! {
     /// The routing abstraction provided by [`OneHopRouter`].
     pub struct Routing {
-        indication: GroupFound;
+        indication: GroupFound, Overloaded;
         request: FindGroup;
     }
 }
@@ -77,9 +93,13 @@ pub struct OneHopRouter {
     /// Lookup count — a registry counter when telemetry is wired, a
     /// standalone one otherwise (same recording cost either way).
     lookups: Counter,
+    /// Lookups shed with [`Overloaded`] instead of answered.
+    sheds: Counter,
     /// Mirrors `view.len()` into the registry at mutation time.
     view_gauge: Gauge,
     joined: bool,
+    /// Shed lookups when the data lane backlog exceeds this many events.
+    shed_threshold: usize,
 }
 
 impl OneHopRouter {
@@ -105,6 +125,24 @@ impl OneHopRouter {
         let fd: RequiredPort<EventuallyPerfectFd> = RequiredPort::new();
 
         routing.subscribe(|this: &mut OneHopRouter, req: &FindGroup| {
+            // Load shedding: when our own data lane is backed up past the
+            // threshold, answer with a retry-after instead of adding more
+            // work to the pile — the control lane (lifecycle, supervision)
+            // stays deliverable and the backlog drains. The retry delay
+            // scales with the backlog, so heavier overload spreads retries
+            // further out; it is a pure function of queue depth, hence
+            // deterministic in simulation.
+            let backlog = this.ctx.lane_pending(Lane::Data);
+            if this.shed_threshold > 0 && backlog > this.shed_threshold {
+                this.sheds.inc();
+                let retry_after_ms = 5 * (backlog as u64).div_ceil(this.shed_threshold as u64);
+                this.routing.trigger(Overloaded {
+                    reqid: req.reqid,
+                    key: req.key,
+                    retry_after_ms,
+                });
+                return;
+            }
             this.lookups.inc();
             let members: Vec<u64> = this.view.keys().copied().collect();
             let ids = replication_group(&members, req.key, this.replication_degree);
@@ -150,21 +188,27 @@ impl OneHopRouter {
                 entries: vec![
                     ("view_size".into(), this.view.len().to_string()),
                     ("lookups".into(), this.lookups.value().to_string()),
+                    ("sheds".into(), this.sheds.value().to_string()),
                     ("joined".into(), this.joined.to_string()),
                 ],
             });
         });
 
-        let (lookups, view_gauge) = match registry {
+        let (lookups, sheds, view_gauge) = match registry {
             Some(reg) => {
                 let node = self_addr.id.to_string();
                 let labels = [("node", node.as_str())];
                 (
                     reg.counter("cats_router_lookups", &labels),
+                    reg.counter("cats_router_sheds", &labels),
                     reg.gauge("cats_router_view_size", &labels),
                 )
             }
-            None => (Counter::standalone(), Gauge::default()),
+            None => (
+                Counter::standalone(),
+                Counter::standalone(),
+                Gauge::default(),
+            ),
         };
         let mut view = BTreeMap::new();
         view.insert(self_addr.id, self_addr);
@@ -180,9 +224,23 @@ impl OneHopRouter {
             replication_degree,
             view,
             lookups,
+            sheds,
             view_gauge,
             joined: false,
+            shed_threshold: 512,
         }
+    }
+
+    /// Sets the data-lane backlog above which lookups are shed with
+    /// [`Overloaded`] (default 512; `0` disables shedding).
+    pub fn with_shed_threshold(mut self, threshold: usize) -> Self {
+        self.shed_threshold = threshold;
+        self
+    }
+
+    /// Lookups shed so far (introspection hook).
+    pub fn sheds(&self) -> u64 {
+        self.sheds.value()
     }
 
     fn sync_view_gauge(&self) {

@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 
 use crate::error::CoreError;
 use crate::event::{Event, EventRef};
+use crate::mailbox::Feedback;
 use crate::port::{Direction, PortCore, PortRef, PortType};
 use crate::rcu::RcuCell;
 use crate::types::{ChannelId, PortId};
@@ -117,10 +118,10 @@ impl Channel {
         source_sign: Direction,
         dir: Direction,
         event: EventRef,
-    ) {
+    ) -> Feedback {
         if let Some(selector) = &self.selector {
             if !selector(event.as_ref(), dir) {
-                return;
+                return Feedback::default();
             }
         }
         let source_idx = match source_sign {
@@ -138,7 +139,7 @@ impl Channel {
             match &view.ends[source_idx] {
                 Some(end) if end.port_id == source_port => {}
                 // The source half was unplugged concurrently; drop.
-                _ => return,
+                _ => return Feedback::default(),
             }
             if view.held {
                 drop(view);
@@ -149,10 +150,11 @@ impl Channel {
                 None => None,
             }
         };
-        if let Some(dest) = dest {
+        match dest {
             // Delivered outside the pin: FIFO per producer still holds
             // because forwarding is synchronous on the producing thread.
-            let _ = dest.trigger_in(dir, event);
+            Some(dest) => dest.trigger_in(dir, event).unwrap_or_default(),
+            None => Feedback::default(),
         }
     }
 
@@ -166,25 +168,30 @@ impl Channel {
         source_port: PortId,
         dir: Direction,
         event: EventRef,
-    ) {
+    ) -> Feedback {
         let dest = {
             let mut state = self.state.lock();
             match &state.ends[source_idx] {
                 Some(end) if end.port_id == source_port => {}
-                _ => return,
+                _ => return Feedback::default(),
             }
             let dest_idx = 1 - source_idx;
             if state.held {
+                // Bounded by the reconfiguration window, not a mailbox: the
+                // hold→resume protocol drains this buffer in full, so its
+                // size is the number of events triggered while held.
+                // komlint: allow(unbounded-queue-push) reason="held-channel buffer is drained by resume(); bounding it would drop events mid-reconfiguration"
                 state.buffer.push_back((dest_idx, dir, event));
-                return;
+                return Feedback::default();
             }
             match &state.ends[dest_idx] {
                 Some(end) => end.half.upgrade(),
                 None => None,
             }
         };
-        if let Some(dest) = dest {
-            let _ = dest.trigger_in(dir, event);
+        match dest {
+            Some(dest) => dest.trigger_in(dir, event).unwrap_or_default(),
+            None => Feedback::default(),
         }
     }
 

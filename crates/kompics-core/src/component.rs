@@ -20,16 +20,16 @@ use std::any::{Any, TypeId};
 use std::cell::RefCell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 
-use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
 
 use crate::error::CoreError;
 use crate::event::{Event, EventRef};
 use crate::fault::Fault;
 use crate::lifecycle::{ControlPort, Kill, Start, Started, Stop, Stopped};
+use crate::mailbox::{Enqueued, Lane, LaneCounters, Mailbox, MailboxSpec};
 use crate::port::{
     erase_handler, erase_handler_shared, fresh_handler_id, Direction, PortCore, PortRef, PortType,
     Subscription,
@@ -69,6 +69,14 @@ pub trait ComponentDefinition: Any + Send {
     /// cannot be recreated (the default).
     fn recreate(&self) -> Option<Box<dyn ComponentDefinition>> {
         None
+    }
+
+    /// The mailbox (queue bounds and overload policies) this component
+    /// wants, consulted once at creation. The default is unbounded on both
+    /// lanes — exactly the semantics components had before bounded
+    /// mailboxes existed. See [`MailboxSpec`].
+    fn mailbox_spec(&self) -> MailboxSpec {
+        MailboxSpec::default()
     }
 }
 
@@ -381,6 +389,25 @@ impl ComponentContext {
         port.core().unsubscribe_raw(id)
     }
 
+    /// Number of events queued in one of this component's own mailbox
+    /// lanes. Handlers use this to shed load early: a request handler that
+    /// sees a deep backlog behind it can answer "overloaded, retry later"
+    /// instead of letting work queue up.
+    pub fn lane_pending(&self, lane: Lane) -> usize {
+        self.inner
+            .get()
+            .and_then(|inner| inner.core.upgrade())
+            .map_or(0, |core| core.lane_pending(lane))
+    }
+
+    /// Snapshot of one of this component's own mailbox lanes.
+    pub fn mailbox_counters(&self, lane: Lane) -> LaneCounters {
+        self.inner
+            .get()
+            .and_then(|inner| inner.core.upgrade())
+            .map_or_else(LaneCounters::default, |core| core.mailbox_counters(lane))
+    }
+
     /// Subscribes a handler on this component's **own control port**, for
     /// [`Init`](crate::lifecycle::Init) subtypes, [`Start`], [`Stop`] or
     /// [`Kill`]. Usable from the component constructor.
@@ -428,10 +455,10 @@ pub struct ComponentCore {
     lifecycle: AtomicU8,
     scheduled: AtomicBool,
     executing: AtomicBool,
-    control_queue: SegQueue<WorkItem>,
-    work_queue: SegQueue<WorkItem>,
-    control_pending: AtomicUsize,
-    work_pending: AtomicUsize,
+    /// The bounded two-lane event queue (control > data); replaces the old
+    /// pair of unbounded queues. Its per-lane pending counters are the
+    /// producer side of the Dekker scheduling handoff.
+    mailbox: Mailbox,
     pub(crate) ports: Mutex<Vec<PortRecord>>,
     pub(crate) control_inside: Arc<PortCore>,
     pub(crate) control_outside: Arc<PortCore>,
@@ -481,7 +508,23 @@ impl ComponentCore {
 
     /// Number of events currently queued at this component.
     pub fn pending(&self) -> usize {
-        self.control_pending.load(Ordering::SeqCst) + self.work_pending.load(Ordering::SeqCst)
+        self.mailbox.pending(Lane::Control) + self.mailbox.pending(Lane::Data)
+    }
+
+    /// Number of events currently queued in one mailbox lane.
+    pub fn lane_pending(&self, lane: Lane) -> usize {
+        self.mailbox.pending(lane)
+    }
+
+    /// Snapshot of one mailbox lane's depth and overload counters.
+    pub fn mailbox_counters(&self, lane: Lane) -> LaneCounters {
+        self.mailbox.counters(lane)
+    }
+
+    /// Whether a lane is inside a `Block` saturation window (at capacity,
+    /// not yet drained to the low watermark).
+    pub fn lane_saturated(&self, lane: Lane) -> bool {
+        self.mailbox.saturated(lane)
     }
 
     /// Whether an execution slice is currently running.
@@ -498,16 +541,16 @@ impl ComponentCore {
 
     fn runnable(&self) -> bool {
         match self.lifecycle() {
-            LifecycleState::Passive => self.control_pending.load(Ordering::SeqCst) > 0,
+            LifecycleState::Passive => self.mailbox.pending(Lane::Control) > 0,
             LifecycleState::Active => self.pending() > 0,
             // Dead components still get scheduled to drain their queues.
             LifecycleState::Faulty | LifecycleState::Destroyed => self.pending() > 0,
         }
     }
 
-    pub(crate) fn enqueue_work(self: &Arc<Self>, item: WorkItem) {
+    pub(crate) fn enqueue_work(self: &Arc<Self>, item: WorkItem) -> Enqueued {
         let Some(system) = self.system.upgrade() else {
-            return;
+            return Enqueued::Dropped;
         };
         // Delivery is the natural point to mint a causal span: one delivered
         // event becomes one handler execution. The span's parent is whatever
@@ -528,21 +571,23 @@ impl ComponentCore {
             }
             item
         };
-        let is_control = item.half.port_type == TypeId::of::<ControlPort>();
-        // The increments are SeqCst: they form the producer half of the
-        // Dekker handoff with `execute`'s exit path (store scheduled=false,
-        // then re-read the counters). The counter is bumped *before* the
-        // push so the consumer's counters only ever overstate queued work.
-        if is_control {
-            self.control_pending.fetch_add(1, Ordering::SeqCst);
-            system.pending_inc();
-            self.control_queue.push(item);
+        let lane = if item.half.port_type == TypeId::of::<ControlPort>() {
+            Lane::Control
         } else {
-            self.work_pending.fetch_add(1, Ordering::SeqCst);
-            system.pending_inc();
-            self.work_queue.push(item);
+            Lane::Data
+        };
+        // The mailbox preserves the SegQueue-era Dekker protocol: the lane's
+        // pending counter is bumped (SeqCst) *before* the item becomes
+        // poppable, so `execute`'s exit recheck only ever overstates queued
+        // work. Admission policies may also drop or merge the item instead.
+        let outcome = self.mailbox.offer(lane, item, &system);
+        if matches!(
+            outcome,
+            Enqueued::Delivered | Enqueued::DeliveredPushback | Enqueued::DeliveredEvicted
+        ) {
+            self.try_schedule(&system);
         }
-        self.try_schedule(&system);
+        outcome
     }
 
     fn try_schedule(self: &Arc<Self>, system: &Arc<SystemCore>) {
@@ -598,39 +643,33 @@ impl ComponentCore {
                 }
                 break;
             }
-            // Counter-guarded pops: skip the queue mutex entirely when the
-            // (possibly overstated) counter says it is empty. Acquire is
-            // enough here — the counter is a hint; missing a just-raced
-            // increment is caught by the post-slice SeqCst recheck below.
-            let item = if self.control_pending.load(Ordering::Acquire) > ctl_popped {
-                // A pop may still come up empty: the producer increments the
-                // counter *before* pushing. Falling through is fine — the
-                // producer's `try_schedule` or our exit recheck picks it up.
-                self.control_queue.pop().inspect(|_| ctl_popped += 1)
+            // Counter-guarded pops: skip the lane mutex entirely when the
+            // (possibly overstated) counter says it is empty. The counter is
+            // a hint; a pop may still come up empty because the producer
+            // increments before pushing — falling through is fine, the
+            // producer's `try_schedule` or our exit recheck picks it up.
+            let item = if self.mailbox.pending(Lane::Control) > ctl_popped {
+                self.mailbox.pop(Lane::Control).inspect(|_| ctl_popped += 1)
             } else {
                 None
             };
             let item = match item {
                 Some(i) => Some(i),
                 None if state == LifecycleState::Active
-                    && self.work_pending.load(Ordering::Acquire) > work_popped =>
+                    && self.mailbox.pending(Lane::Data) > work_popped =>
                 {
-                    self.work_queue.pop().inspect(|_| work_popped += 1)
+                    self.mailbox.pop(Lane::Data).inspect(|_| work_popped += 1)
                 }
                 None => None,
             };
             let Some(item) = item else { break };
             self.handle_item(item);
         }
-        // Settle the slice: one fetch_sub per counter instead of one per
-        // item. SeqCst so the decrements are ordered before the
+        // Settle the slice: one fetch_sub per lane counter instead of one
+        // per item. SeqCst so the decrements are ordered before the
         // scheduled-flag release and the runnable() recheck below.
-        if ctl_popped > 0 {
-            self.control_pending.fetch_sub(ctl_popped, Ordering::SeqCst);
-        }
-        if work_popped > 0 {
-            self.work_pending.fetch_sub(work_popped, Ordering::SeqCst);
-        }
+        self.mailbox.settle(Lane::Control, ctl_popped);
+        self.mailbox.settle(Lane::Data, work_popped);
         system.pending_sub(ctl_popped + work_popped);
         #[cfg(feature = "telemetry")]
         if let Some(metrics) = self.metrics.get() {
@@ -674,21 +713,17 @@ impl ComponentCore {
         };
         let mut ctl = 0usize;
         let mut work = 0usize;
-        while let Some(item) = self.control_queue.pop() {
+        while let Some(item) = self.mailbox.pop(Lane::Control) {
             note(&item);
             ctl += 1;
         }
-        while let Some(item) = self.work_queue.pop() {
+        while let Some(item) = self.mailbox.pop(Lane::Data) {
             note(&item);
             work += 1;
         }
-        // Settled in one batch per counter, like the execute slice.
-        if ctl > 0 {
-            self.control_pending.fetch_sub(ctl, Ordering::SeqCst);
-        }
-        if work > 0 {
-            self.work_pending.fetch_sub(work, Ordering::SeqCst);
-        }
+        // Settled in one batch per lane counter, like the execute slice.
+        self.mailbox.settle(Lane::Control, ctl);
+        self.mailbox.settle(Lane::Data, work);
         system.pending_sub(ctl + work);
         saw_kill
     }
@@ -981,10 +1016,7 @@ where
         lifecycle: AtomicU8::new(LifecycleState::Passive as u8),
         scheduled: AtomicBool::new(false),
         executing: AtomicBool::new(false),
-        control_queue: SegQueue::new(),
-        work_queue: SegQueue::new(),
-        control_pending: AtomicUsize::new(0),
-        work_pending: AtomicUsize::new(0),
+        mailbox: Mailbox::new(definition.mailbox_spec()),
         ports: Mutex::new(frame.ports),
         control_inside,
         control_outside,
@@ -1104,6 +1136,11 @@ impl<C> Component<C> {
         self.core.lifecycle()
     }
 
+    /// Snapshot of one mailbox lane's depth and overload counters.
+    pub fn mailbox_counters(&self, lane: Lane) -> LaneCounters {
+        self.core.mailbox_counters(lane)
+    }
+
     /// A type-erased handle to the same component.
     pub fn erased(&self) -> ComponentRef {
         ComponentRef {
@@ -1194,6 +1231,11 @@ impl ComponentRef {
     /// Number of events currently queued at this component.
     pub fn pending(&self) -> usize {
         self.core.pending()
+    }
+
+    /// Snapshot of one mailbox lane's depth and overload counters.
+    pub fn mailbox_counters(&self, lane: Lane) -> LaneCounters {
+        self.core.mailbox_counters(lane)
     }
 
     /// See [`Component::provided_ref`].

@@ -82,6 +82,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod lifecycle;
+pub mod mailbox;
 pub mod port;
 pub(crate) mod rcu;
 pub mod reconfig;
@@ -104,6 +105,9 @@ pub mod prelude {
     pub use crate::event::{event_as, Event, EventRef};
     pub use crate::fault::{Fault, FaultPolicy};
     pub use crate::lifecycle::{Init, Kill, Start, Started, Stop, Stopped};
+    pub use crate::mailbox::{
+        CoalesceFn, Feedback, Lane, LaneCounters, LaneSpec, MailboxSpec, OverloadPolicy,
+    };
     pub use crate::port::{Direction, PortRef, PortType, ProvidedPort, RequiredPort};
     pub use crate::supervision::{
         inject_fault, supervise, RestartStrategy, SuperviseOptions, SupervisionAction,

@@ -41,6 +41,7 @@ use crate::channel::Channel;
 use crate::component::{construction_frame_attach, ComponentCore, ComponentDefinition, WorkItem};
 use crate::error::CoreError;
 use crate::event::{event_as, Event, EventRef};
+use crate::mailbox::Feedback;
 use crate::rcu::RcuCell;
 use crate::types::{ChannelId, ComponentId, HandlerId, PortId};
 
@@ -378,8 +379,15 @@ impl PortCore {
 
     /// An event *enters* this half: triggered on it by a component in this
     /// half's scope, or delivered by a channel plugged into this half. It
-    /// exits through the pair half.
-    pub(crate) fn trigger_in(&self, dir: Direction, event: EventRef) -> Result<(), CoreError> {
+    /// exits through the pair half. Returns the aggregated mailbox
+    /// [`Feedback`] of every component the event was delivered to — the
+    /// end of the synchronous trigger→channel→mailbox chain, which is what
+    /// carries back-pressure back to the producer.
+    pub(crate) fn trigger_in(
+        &self,
+        dir: Direction,
+        event: EventRef,
+    ) -> Result<Feedback, CoreError> {
         if !(self.allows)(event.as_ref(), dir) {
             return Err(CoreError::EventNotAllowed {
                 event: event.event_name(),
@@ -387,16 +395,18 @@ impl PortCore {
                 direction: dir,
             });
         }
-        if let Some(pair) = self.pair.get().and_then(Weak::upgrade) {
-            pair.dispatch(dir, event);
+        match self.pair.get().and_then(Weak::upgrade) {
+            Some(pair) => Ok(pair.dispatch(dir, event)),
+            None => Ok(Feedback::default()),
         }
-        Ok(())
     }
 
     /// An event *exits* via this half: deliver to this half's subscriptions
     /// (if the direction matches this half's sign) and forward into this
-    /// half's channels.
-    pub(crate) fn dispatch(self: &Arc<Self>, dir: Direction, event: EventRef) {
+    /// half's channels. Returns the aggregated admission feedback of every
+    /// mailbox reached (channels forward synchronously, so the whole
+    /// fan-out completes before this returns).
+    pub(crate) fn dispatch(self: &Arc<Self>, dir: Direction, event: EventRef) -> Feedback {
         // Hot path: one RCU pin, zero Mutex acquisitions, zero allocations.
         // Subscriptions/channels/taps are read from the pinned snapshot;
         // concurrent subscribe/connect/reconfig publish a fresh snapshot
@@ -407,6 +417,7 @@ impl PortCore {
         for (_, tap) in &snap.taps {
             tap(dir, &event);
         }
+        let mut feedback = Feedback::default();
         if dir == self.sign {
             let subs = &snap.subscriptions;
             for (i, sub) in subs.iter().enumerate() {
@@ -429,13 +440,16 @@ impl PortCore {
                     continue;
                 }
                 if let Some(core) = weak.upgrade() {
-                    core.enqueue_work(WorkItem::new(Arc::clone(self), dir, Arc::clone(&event)));
+                    let outcome =
+                        core.enqueue_work(WorkItem::new(Arc::clone(self), dir, Arc::clone(&event)));
+                    feedback.note(outcome);
                 }
             }
         }
         for_each_selected_channel(&snap, event.as_ref(), dir, |channel| {
-            channel.forward_from(self.id, self.sign, dir, Arc::clone(&event));
+            feedback.merge(channel.forward_from(self.id, self.sign, dir, Arc::clone(&event)));
         });
+        feedback
     }
 
     /// Adds a subscription at this half.
@@ -670,6 +684,25 @@ impl<P: PortType> PortRef<P> {
 
     /// Like [`PortRef::trigger`] but takes an already-shared event.
     pub fn trigger_shared(&self, event: EventRef) -> Result<(), CoreError> {
+        self.trigger_shared_feedback(event).map(|_| ())
+    }
+
+    /// Like [`PortRef::trigger`], but additionally reports the aggregated
+    /// mailbox [`Feedback`] of every component the event reached. Producers
+    /// that cooperate with back-pressure (the TCP read path, rate-limited
+    /// generators) check [`Feedback::pushback`] and slow down; producers
+    /// that don't care use [`PortRef::trigger`] and get today's semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EventNotAllowed`] if the port type does not allow
+    /// the event in that direction.
+    pub fn trigger_feedback(&self, event: impl Event) -> Result<Feedback, CoreError> {
+        self.trigger_shared_feedback(Arc::new(event))
+    }
+
+    /// Like [`PortRef::trigger_feedback`] but takes an already-shared event.
+    pub fn trigger_shared_feedback(&self, event: EventRef) -> Result<Feedback, CoreError> {
         self.half.trigger_in(self.half.sign.opposite(), event)
     }
 

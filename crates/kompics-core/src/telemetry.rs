@@ -31,6 +31,7 @@ use kompics_telemetry::{Counter, Histogram, Registry, Sample, SpanId, SpanScope,
 
 use crate::clock::ClockRef;
 use crate::component::ComponentCore;
+use crate::mailbox::Lane;
 use crate::system::SystemCore;
 
 /// Record a slice-duration sample every `SLICE_SAMPLE`-th execution slice.
@@ -201,10 +202,10 @@ pub(crate) fn install(core: &Arc<SystemCore>, spec: TelemetrySpec) -> bool {
         return false;
     }
 
-    // Per-instance queue depths, sampled at scrape by walking the component
-    // tree. Weak system reference: the registry outliving the system must
-    // not keep it alive (and must not cycle through SystemCore's own
-    // telemetry slot).
+    // Per-instance queue depths and per-lane mailbox counters, sampled at
+    // scrape by walking the component tree. Weak system reference: the
+    // registry outliving the system must not keep it alive (and must not
+    // cycle through SystemCore's own telemetry slot).
     let weak = Arc::downgrade(core);
     spec.registry.register_collector(move |out| {
         let Some(system) = weak.upgrade() else {
@@ -216,6 +217,35 @@ pub(crate) fn install(core: &Arc<SystemCore>, spec: TelemetrySpec) -> bool {
                 &[("component", core.name())],
                 core.pending() as i64,
             ));
+            for lane in [Lane::Control, Lane::Data] {
+                let c = core.mailbox_counters(lane);
+                let labels = &[("component", core.name()), ("lane", lane.label())];
+                out.push(Sample::gauge(
+                    "kompics_mailbox_depth",
+                    labels,
+                    c.depth as i64,
+                ));
+                out.push(Sample::counter(
+                    "kompics_mailbox_enqueued_total",
+                    labels,
+                    c.enqueued,
+                ));
+                out.push(Sample::counter(
+                    "kompics_mailbox_dropped_total",
+                    labels,
+                    c.dropped,
+                ));
+                out.push(Sample::counter(
+                    "kompics_mailbox_coalesced_total",
+                    labels,
+                    c.coalesced,
+                ));
+                out.push(Sample::counter(
+                    "kompics_mailbox_pushback_total",
+                    labels,
+                    c.pushback,
+                ));
+            }
             for child in core.children_snapshot() {
                 walk(&child, out);
             }

@@ -62,6 +62,14 @@ pub struct TcpConfig {
     /// [`DeadLetter`]s instead of growing the heap without bound.
     /// Default: 1024 messages.
     pub outbound_queue: usize,
+    /// How long a reader thread pauses before draining the next frame when
+    /// the destination component's mailbox reports pushback (a `Block`-lane
+    /// at capacity). While paused the socket is not read, so kernel receive
+    /// buffers fill and TCP flow control throttles the remote peer — the
+    /// end-to-end backpressure path. Reading resumes at full speed as soon
+    /// as the mailbox drains below its low watermark (pushback clears).
+    /// Default: 1 ms.
+    pub read_pause: Duration,
 }
 
 impl Default for TcpConfig {
@@ -73,6 +81,7 @@ impl Default for TcpConfig {
             connect_backoff_cap: Duration::from_secs(2),
             connect_jitter: 0.25,
             outbound_queue: 1024,
+            read_pause: Duration::from_millis(1),
         }
     }
 }
@@ -82,8 +91,18 @@ struct Outgoing {
     frame: Vec<u8>,
 }
 
+/// Per-open-connection state kept in the connection table.
+#[derive(Clone)]
+struct Conn {
+    tx: Sender<Outgoing>,
+    /// Set on the first queue-full drop for this connection, so the warning
+    /// fires once per connection (it resets naturally when the writer dies
+    /// and a fresh entry replaces this one).
+    warned_full: Arc<AtomicBool>,
+}
+
 /// (ip, port) key -> writer-thread handle for an open connection.
-type ConnectionMap = HashMap<([u8; 4], u16), Sender<Outgoing>>;
+type ConnectionMap = HashMap<([u8; 4], u16), Conn>;
 
 struct Shared {
     registry: Arc<MessageRegistry>,
@@ -94,6 +113,12 @@ struct Shared {
     received: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    /// Messages shed to [`DeadLetter`]s because a per-connection outbound
+    /// queue was full.
+    outbound_dropped: AtomicU64,
+    /// Times a reader thread paused because a destination mailbox signalled
+    /// pushback.
+    read_pauses: AtomicU64,
 }
 
 /// The TCP transport component. See the module documentation.
@@ -142,6 +167,8 @@ impl TcpNetwork {
             received: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
+            outbound_dropped: AtomicU64::new(0),
+            read_pauses: AtomicU64::new(0),
         });
 
         net.subscribe_shared::<TcpNetwork, Message, _>(
@@ -185,6 +212,50 @@ impl TcpNetwork {
         )
     }
 
+    /// (outbound messages dropped because a per-connection queue was full,
+    /// reader pauses taken because a destination mailbox signalled
+    /// pushback) so far.
+    pub fn overload_stats(&self) -> (u64, u64) {
+        (
+            self.shared.outbound_dropped.load(Ordering::Relaxed),
+            self.shared.read_pauses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Registers scrape-time transport counters on `registry`:
+    /// `kompics_tcp_{sent,received,outbound_dropped,read_pauses}_total`.
+    /// Call once after creating the component (e.g. next to
+    /// `install_telemetry`).
+    pub fn register_metrics(&self, registry: &kompics_telemetry::Registry) {
+        let shared = Arc::downgrade(&self.shared);
+        registry.register_collector(move |out| {
+            let Some(shared) = shared.upgrade() else {
+                return;
+            };
+            use kompics_telemetry::Sample;
+            out.push(Sample::counter(
+                "kompics_tcp_sent_total",
+                &[],
+                shared.sent.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "kompics_tcp_received_total",
+                &[],
+                shared.received.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "kompics_tcp_outbound_dropped_total",
+                &[],
+                shared.outbound_dropped.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "kompics_tcp_read_pauses_total",
+                &[],
+                shared.read_pauses.load(Ordering::Relaxed),
+            ));
+        });
+    }
+
     fn send(&mut self, event: &EventRef) {
         let Some(header) = event_as::<Message>(event.as_ref()).copied() else {
             return;
@@ -192,16 +263,17 @@ impl TcpNetwork {
         match encode_frame(&self.shared, event.as_ref()) {
             Ok(frame) => {
                 let endpoint = (header.destination.ip, header.destination.port);
-                let sender = {
+                let conn = {
                     let mut table = self.shared.connections.lock();
                     table
                         .entry(endpoint)
-                        .or_insert_with(|| {
-                            spawn_writer(
+                        .or_insert_with(|| Conn {
+                            tx: spawn_writer(
                                 Arc::clone(&self.shared),
                                 header.destination,
                                 self.net.inside_ref(),
-                            )
+                            ),
+                            warned_full: Arc::new(AtomicBool::new(false)),
                         })
                         .clone()
                 };
@@ -209,12 +281,23 @@ impl TcpNetwork {
                 self.shared
                     .bytes_sent
                     .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                match sender.try_send(Outgoing { header, frame }) {
+                match conn.tx.try_send(Outgoing { header, frame }) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
                         // Back-pressure: the peer is slow or unreachable and
                         // the bounded queue is full. Fail the send fast; the
-                        // writer (and its queue) stay up.
+                        // writer (and its queue) stay up. Shedding must stay
+                        // observable: count every drop, warn once per
+                        // connection.
+                        self.shared.outbound_dropped.fetch_add(1, Ordering::Relaxed);
+                        if !conn.warned_full.swap(true, Ordering::Relaxed) {
+                            eprintln!(
+                                "kompics-network: outbound queue full ({} messages) for {}; \
+                                 shedding to DeadLetters (warning once per connection, see \
+                                 kompics_tcp_outbound_dropped_total)",
+                                self.shared.config.outbound_queue, header.destination
+                            );
+                        }
                         self.net.trigger(DeadLetter {
                             message: header,
                             reason: format!(
@@ -460,7 +543,20 @@ fn reader_loop(
             .fetch_add((len + 4) as u64, Ordering::Relaxed);
         match decode_frame(&shared, &payload) {
             Ok(event) => {
-                let _ = port.trigger_shared(event);
+                match port.trigger_shared_feedback(event) {
+                    Ok(feedback) if feedback.pushback => {
+                        // A destination mailbox (Block lane) is saturated:
+                        // stop draining the socket for a beat. The kernel
+                        // receive buffer fills and TCP flow control pushes
+                        // back on the remote peer; pushback clears once the
+                        // mailbox drops below its low watermark, and reads
+                        // resume at full speed.
+                        shared.read_pauses.fetch_add(1, Ordering::Relaxed);
+                        // komlint: allow(blocking-sleep) reason="read-path pause on the transport's dedicated reader thread is the backpressure mechanism itself"
+                        std::thread::sleep(shared.config.read_pause);
+                    }
+                    _ => {}
+                }
             }
             Err(err) => {
                 let _ = port.trigger(DeadLetter {

@@ -1,0 +1,27 @@
+// Corpus: the unbounded-queue-push rule. Bad: pushing straight into an
+// event-queue collection with no capacity check. Good: bounded admission
+// through the mailbox, or an allowlisted internal with a justified allow.
+fn bad_enqueue(queue: &mut std::collections::VecDeque<Ev>, ev: Ev) {
+    queue.push_back(ev);
+}
+
+fn bad_vec_queue(events: &mut Vec<Ev>, ev: Ev) {
+    events.push_back(ev);
+}
+
+fn bad_hold_buffer(buffer: &mut std::collections::VecDeque<Ev>, ev: Ev) {
+    buffer.push_back(ev);
+}
+
+fn good_bounded(queue: &mut std::collections::VecDeque<Ev>, ev: Ev, cap: usize) {
+    if queue.len() < cap {
+        // komlint: allow(unbounded-queue-push) reason="guarded by the capacity check on the line above"
+        queue.push_back(ev);
+    }
+}
+
+fn good_not_a_queue(results: &mut Vec<u64>, x: u64) {
+    results.push(x);
+}
+
+struct Ev;

@@ -239,6 +239,21 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_push_corpus() {
+        // Bad: raw pushes into queue-named collections (lines 5, 9, 13).
+        // Good: the capacity-guarded push is allowed with a reason, and a
+        // plain results Vec is not an event queue.
+        assert_eq!(
+            rules_hit("unbounded_push.rs", false),
+            vec![
+                ("unbounded-queue-push", 5),
+                ("unbounded-queue-push", 9),
+                ("unbounded-queue-push", 13)
+            ]
+        );
+    }
+
+    #[test]
     fn allow_directives_suppress_and_are_audited() {
         // A reason-less allow still suppresses (line 10 stays quiet) but is
         // flagged itself, so `--deny` fails until the reason is written.

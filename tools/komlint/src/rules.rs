@@ -105,6 +105,25 @@ pub const RULES: &[Rule] = &[
                the shared state into a component and message it",
         component_only: true,
     },
+    Rule {
+        id: "unbounded-queue-push",
+        matcher: Matcher::Substring(&[
+            "queue.push_back(",
+            "queue.push(",
+            "buffer.push_back(",
+            "items.push_back(",
+            "events.push_back(",
+            "pending.push_back(",
+            "inbox.push_back(",
+            "mailbox.push_back(",
+        ]),
+        message: "direct push into an event-queue collection with no capacity check",
+        hint: "event queues must be bounded: route delivery through the component \
+               mailbox (MailboxSpec lanes enforce capacity and overload policy) or \
+               check capacity before pushing; an unbounded queue under a flood grows \
+               memory without bound and starves the control lane",
+        component_only: false,
+    },
 ];
 
 /// One reported problem.
@@ -209,7 +228,8 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
                 rule: "unknown-rule",
                 message: format!("allow directive names unknown rule `{}`", d.rule),
                 hint: "valid rules: wall-clock, telemetry-wall-clock, ambient-rng, \
-                       blocking-sleep, blocking-recv, thread-spawn, lock-hold",
+                       blocking-sleep, blocking-recv, thread-spawn, lock-hold, \
+                       unbounded-queue-push",
             });
             continue;
         }
