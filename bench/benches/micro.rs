@@ -422,12 +422,12 @@ fn bench_e3_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_steal_ablation");
     group.throughput(Throughput::Elements(COMPONENTS as u64 * ROUNDS));
     for workers in [1usize, 2, 4, 8] {
-        for steal_batch in [true, false] {
+        for steal_batch in [8usize, 1] {
             let system = KompicsSystem::new(
                 Config::default()
                     .workers(workers)
                     .throughput(16)
-                    .steal_batch(steal_batch),
+                    .scheduler(SchedulerSpec::default().steal_batch(steal_batch)),
             );
             let seen = Arc::new(AtomicU64::new(0));
             let splitter = system.create(Splitter::new);
@@ -451,7 +451,7 @@ fn bench_e3_ablation(c: &mut Criterion) {
             group.bench_function(
                 BenchmarkId::new(
                     format!("w{workers}"),
-                    if steal_batch { "batch" } else { "single" },
+                    if steal_batch > 1 { "batch" } else { "single" },
                 ),
                 |b| {
                     b.iter(|| {

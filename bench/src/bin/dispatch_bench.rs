@@ -11,8 +11,13 @@
 //!   forth under the work-stealing scheduler: per-hop wakeup latency.
 //! * `fanin_throughput` — N producer threads all triggering one sink
 //!   component: contended enqueue plus scheduler handoff.
-//! * `e3_ablation` — the paper's batch-vs-single steal ablation (E3): a
-//!   fan-out of busy components at 1/2/4/8 workers, batch stealing on/off.
+//! * `e3_ablation` — the paper's scheduler ablation (E3): a fan-out of
+//!   busy components at 1/2/4/8 workers, three arms per worker count —
+//!   the sharded-affinity default (batch 8), the single-steal ablation
+//!   (batch 1) and the affinity ablation (round-robin routing). The
+//!   default-arm 8-worker/1-worker ratio feeds a hardware-normalized
+//!   **scaling gate** (`scaling_gate` in the JSON) that fails the run —
+//!   and CI's bench-smoke job — if the scheduler stops scaling.
 //!
 //! Reads `bench/baseline_dispatch.json` (override: `BENCH_BASELINE`) as the
 //! "before" snapshot when present; writes `BENCH_dispatch.json` (override:
@@ -281,17 +286,26 @@ impl ComponentDefinition for Splitter {
 }
 
 /// E3: a splitter component fans each tick out to `components` sinks *from a
-/// worker thread*, so the ready sinks land on that worker's local deque and
-/// the other workers must steal them — the access pattern where batch vs
-/// single stealing matters. Returns events/sec over the delivered fan-out.
-fn e3_fanout(workers: usize, steal_batch: bool) -> f64 {
+/// worker thread*, so the ready sinks land on that worker's shard and the
+/// other workers must be recruited (helper wakes + steals) — the access
+/// pattern where the scheduler's sharding, affinity routing and steal batch
+/// size all matter. Returns events/sec over the delivered fan-out.
+///
+/// `batch` is the steal batch size (1 = the paper's single-steal ablation
+/// arm); `affinity` toggles home-shard routing (off = round-robin external
+/// pushes, no migration).
+fn e3_fanout(workers: usize, batch: usize, affinity: bool) -> f64 {
     let components = 64usize;
-    let rounds = scaled(4_000);
+    // Quick mode keeps enough rounds for the scaling gate to be a signal
+    // rather than park/wake noise: 64k events still finish in well under a
+    // second per rep.
+    let rounds = if quick() { 1_000 } else { 4_000 };
     let system = KompicsSystem::new(
-        Config::default()
-            .workers(workers)
-            .throughput(16)
-            .steal_batch(steal_batch),
+        Config::default().workers(workers).throughput(16).scheduler(
+            SchedulerSpec::default()
+                .steal_batch(batch)
+                .affinity(affinity),
+        ),
     );
     let seen = Arc::new(AtomicU64::new(0));
     let splitter = system.create(Splitter::new);
@@ -324,10 +338,43 @@ fn e3_fanout(workers: usize, steal_batch: bool) -> f64 {
 
 /// Best-of-`reps` wrapper: thread-scheduling noise only ever slows a run
 /// down, so the max observed rate is the least-noisy estimate.
-fn e3_best(workers: usize, steal_batch: bool, reps: usize) -> f64 {
+fn e3_best(workers: usize, batch: usize, affinity: bool, reps: usize) -> f64 {
     (0..reps)
-        .map(|_| e3_fanout(workers, steal_batch))
+        .map(|_| e3_fanout(workers, batch, affinity))
         .fold(0.0f64, f64::max)
+}
+
+/// The scale-up gate over the e3 series: 8 workers must beat 1 worker by
+/// `base` ×, normalized to the hardware actually present — a box with
+/// fewer cores than workers cannot demonstrate full scale-up, and an
+/// oversubscribed box (hw < workers) additionally pays context-switch and
+/// park/unpark overhead, covered by a 0.8 allowance. On an 8-core box the
+/// full-mode gate is the paper's 3×; on this repo's 1-core CI containers
+/// it degrades to "8 oversubscribed workers keep ≥ 30% of single-worker
+/// throughput" — which the old single-injector scheduler failed (~0.2)
+/// and the sharded-affinity scheduler passes (~0.4–0.5).
+///
+/// Panics (failing the bench run, and CI's bench-smoke job in quick mode)
+/// when the measured ratio falls below the threshold.
+fn scaling_gate_block(rate_1w: f64, rate_8w: f64, hw: usize) -> String {
+    let workers = 8.0f64;
+    let base = if quick() { 1.5 } else { 3.0 };
+    let effective = (hw as f64).min(workers);
+    let allowance = if (hw as f64) < workers { 0.8 } else { 1.0 };
+    let threshold = base * effective / workers * allowance;
+    let measured = rate_8w / rate_1w;
+    let pass = measured >= threshold;
+    eprintln!("# scaling gate: 8w/1w = {measured:.3} (threshold {threshold:.3}, hw_threads {hw})");
+    assert!(
+        pass,
+        "scheduler scale-up regression: e3 8-worker/1-worker ratio {measured:.3} \
+         below hardware-normalized threshold {threshold:.3} (hw_threads={hw})"
+    );
+    format!(
+        "{{\"hw_threads\": {hw}, \"workers\": 8, \"base_ratio\": {base}, \
+         \"oversubscription_allowance\": {allowance}, \"threshold\": {threshold:.4}, \
+         \"measured_ratio\": {measured:.4}, \"pass\": {pass}}}"
+    )
 }
 
 /// Measures the cost of the runtime's automatic instrumentation on the
@@ -396,27 +443,40 @@ fn run_current() -> String {
     let fanin = fanin_throughput(4, 4.min(hw));
     eprintln!("#   {fanin:.0} events/s");
 
+    // Three arms per worker count: the sharded default (affinity, batch 8),
+    // the single-steal ablation (batch 1) and the affinity ablation
+    // (round-robin routing). The (1w, 8w) default-arm rates feed the
+    // scale-up gate.
     let mut ablation = Vec::new();
+    let (mut rate_1w, mut rate_8w) = (0.0f64, 0.0f64);
     for &workers in &[1usize, 2, 4, 8] {
-        for &batch in &[true, false] {
-            eprintln!("# e3 workers={workers} batch={batch} ...");
+        for &(batch, affinity) in &[(8usize, true), (1, true), (8, false)] {
+            eprintln!("# e3 workers={workers} batch={batch} affinity={affinity} ...");
             // Oversubscribed configs (more workers than cores) are the
             // noisiest; give them more repetitions.
             let reps = if quick() {
-                1
+                2
             } else if workers > 2 {
                 5
             } else {
                 3
             };
-            let rate = e3_best(workers, batch, reps);
+            let rate = e3_best(workers, batch, affinity, reps);
             eprintln!("#   {rate:.0} events/s");
+            if batch == 8 && affinity {
+                match workers {
+                    1 => rate_1w = rate,
+                    8 => rate_8w = rate,
+                    _ => {}
+                }
+            }
             ablation.push(format!(
-                "{{\"workers\": {workers}, \"steal_batch\": {batch}, \"events_per_sec\": {}}}",
+                "{{\"workers\": {workers}, \"steal_batch\": {batch}, \"affinity\": {affinity}, \"events_per_sec\": {}}}",
                 json_f(rate)
             ));
         }
     }
+    let gate = scaling_gate_block(rate_1w, rate_8w, hw);
 
     format!(
         concat!(
@@ -424,14 +484,16 @@ fn run_current() -> String {
             "    \"dispatch_uncontended\": {{\"ns_per_op\": {}, \"mops_per_sec\": {}}},\n",
             "    \"pingpong_latency\": {{\"ns_per_hop\": {}}},\n",
             "    \"fanin_throughput\": {{\"producers\": 4, \"events_per_sec\": {}}},\n",
-            "    \"e3_ablation\": [\n      {}\n    ]\n",
+            "    \"e3_ablation\": [\n      {}\n    ],\n",
+            "    \"scaling_gate\": {}\n",
             "  }}"
         ),
         json_f(disp_ns),
         json_f(disp_mops),
         json_f(pp_ns),
         json_f(fanin),
-        ablation.join(",\n      ")
+        ablation.join(",\n      "),
+        gate
     )
 }
 

@@ -87,7 +87,8 @@ fn run(workers: usize, batch: bool, pairs: u64, rounds: u32) -> (f64, u64) {
     let system = KompicsSystem::new(
         Config::default()
             .workers(workers)
-            .steal_batch(batch)
+            // Bool arm kept for the original E3 axis: batch=8 vs single.
+            .scheduler(SchedulerSpec::default().steal_batch(if batch { 8 } else { 1 }))
             .throughput(5),
     );
     let hops = Arc::new(AtomicU64::new(0));

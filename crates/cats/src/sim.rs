@@ -225,7 +225,6 @@ impl CatsSimulator {
             if let Some(nearest) = self.nearest(id) {
                 seeds.push(self.nodes[&nearest].addr);
             }
-            // komlint: allow(lock-hold) reason="guard is scoped to this seed-selection block in a single-threaded simulation handler; shuffle needs &mut to the RNG"
             let mut rng = self.rng.lock();
             let mut candidates: Vec<Address> = self.nodes.values().map(|e| e.addr).collect();
             candidates.shuffle(&mut *rng);

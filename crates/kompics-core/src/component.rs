@@ -459,6 +459,11 @@ pub struct ComponentCore {
     /// pair of unbounded queues. Its per-lane pending counters are the
     /// producer side of the Dekker scheduling handoff.
     mailbox: Mailbox,
+    /// Home-worker affinity hint consulted by the sharded scheduler when
+    /// the ready flag (`scheduled`) is claimed: the readiness handoff
+    /// carries this hint so the component keeps executing on one worker.
+    /// Purely advisory — delivery correctness never depends on it.
+    home: crate::sched::affinity::HomeHint,
     pub(crate) ports: Mutex<Vec<PortRecord>>,
     pub(crate) control_inside: Arc<PortCore>,
     pub(crate) control_outside: Arc<PortCore>,
@@ -489,6 +494,13 @@ impl ComponentCore {
     /// The component's name: definition type name plus id.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The scheduler affinity hint travelling with the ready flag: which
+    /// shard this component calls home. Only the scheduler mutates it, and
+    /// only while holding the component's scheduling claim.
+    pub(crate) fn home_hint(&self) -> &crate::sched::affinity::HomeHint {
+        &self.home
     }
 
     /// Current life-cycle state.
@@ -1017,6 +1029,7 @@ where
         scheduled: AtomicBool::new(false),
         executing: AtomicBool::new(false),
         mailbox: Mailbox::new(definition.mailbox_spec()),
+        home: crate::sched::affinity::HomeHint::new(),
         ports: Mutex::new(frame.ports),
         control_inside,
         control_outside,

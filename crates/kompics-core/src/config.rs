@@ -2,6 +2,131 @@
 
 use crate::fault::FaultPolicy;
 
+/// A deterministic, test-only worker stall: after the given worker has
+/// executed `after_slices` execution slices, it sleeps for `millis`
+/// milliseconds before continuing. The scheduler test suite uses planted
+/// stalls to prove that protocol properties (linearizability, lane order,
+/// no lost wakeups) do not depend on worker timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStall {
+    /// Worker index (0-based) to stall.
+    pub worker: usize,
+    /// Stall once the worker has executed exactly this many slices.
+    pub after_slices: u64,
+    /// Stall duration in milliseconds.
+    pub millis: u64,
+}
+
+/// Configuration of the sharded work-stealing scheduler: shard count,
+/// affinity routing, steal batching, inbound-ring capacity, and planted
+/// worker stalls.
+///
+/// ```rust
+/// use kompics_core::config::{Config, SchedulerSpec};
+///
+/// let config = Config::default()
+///     .workers(8)
+///     .scheduler(SchedulerSpec::default().affinity(true).steal_batch(4));
+/// assert_eq!(config.scheduler_spec().steal_batch_size(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSpec {
+    shards: usize,
+    affinity: bool,
+    steal_batch: usize,
+    inbound_capacity: usize,
+    stalls: Vec<WorkerStall>,
+}
+
+impl Default for SchedulerSpec {
+    fn default() -> Self {
+        SchedulerSpec {
+            shards: 0,
+            affinity: true,
+            steal_batch: Self::DEFAULT_STEAL_BATCH,
+            inbound_capacity: 256,
+            stalls: Vec::new(),
+        }
+    }
+}
+
+impl SchedulerSpec {
+    /// Default maximum components taken per steal (the "batch" mode of the
+    /// paper's E3 ablation; `steal_batch(1)` is the "single" mode).
+    pub const DEFAULT_STEAL_BATCH: usize = 8;
+
+    /// Creates the default spec (one shard per worker, affinity on, batch
+    /// stealing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the shard count. `0` (the default) means one shard per worker;
+    /// non-zero values are raised to at least the worker count at pool
+    /// construction.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enables (default) or disables component-to-worker affinity. When
+    /// disabled, pool workers push to their own shard and external threads
+    /// round-robin across shards — the "no affinity" ablation baseline.
+    pub fn affinity(mut self, affinity: bool) -> Self {
+        self.affinity = affinity;
+        self
+    }
+
+    /// Sets the maximum components a thief takes per steal (at least 1;
+    /// `1` reproduces the paper's single-component-steal baseline).
+    pub fn steal_batch(mut self, steal_batch: usize) -> Self {
+        self.steal_batch = steal_batch.max(1);
+        self
+    }
+
+    /// Sets the per-shard inbound handoff ring capacity (rounded up to a
+    /// power of two; overflow falls back to the shard's queue lock).
+    pub fn inbound_capacity(mut self, capacity: usize) -> Self {
+        self.inbound_capacity = capacity.max(2);
+        self
+    }
+
+    /// Plants a deterministic worker stall (see [`WorkerStall`]).
+    pub fn stall_at(mut self, worker: usize, after_slices: u64, millis: u64) -> Self {
+        self.stalls.push(WorkerStall {
+            worker,
+            after_slices,
+            millis,
+        });
+        self
+    }
+
+    /// The configured shard count (`0` = one per worker).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether affinity routing is enabled.
+    pub fn affinity_enabled(&self) -> bool {
+        self.affinity
+    }
+
+    /// The maximum components taken per steal.
+    pub fn steal_batch_size(&self) -> usize {
+        self.steal_batch
+    }
+
+    /// The inbound handoff ring capacity per shard.
+    pub fn ring_capacity(&self) -> usize {
+        self.inbound_capacity
+    }
+
+    /// The planted worker stalls.
+    pub fn stalls(&self) -> &[WorkerStall] {
+        &self.stalls
+    }
+}
+
 /// Configuration for a [`KompicsSystem`](crate::system::KompicsSystem).
 ///
 /// ```rust
@@ -15,7 +140,7 @@ pub struct Config {
     workers: usize,
     throughput: usize,
     fault_policy: FaultPolicy,
-    steal_batch: bool,
+    scheduler: SchedulerSpec,
 }
 
 impl Default for Config {
@@ -24,7 +149,7 @@ impl Default for Config {
             workers: 0,
             throughput: 25,
             fault_policy: FaultPolicy::default(),
-            steal_batch: true,
+            scheduler: SchedulerSpec::default(),
         }
     }
 }
@@ -59,9 +184,22 @@ impl Config {
 
     /// Enables (default) or disables *batch* work stealing. When disabled,
     /// thieves steal a single ready component at a time — the baseline the
-    /// paper compares batching against.
+    /// paper compares batching against. Compatibility wrapper over
+    /// [`SchedulerSpec::steal_batch`]: `true` maps to the default batch
+    /// size, `false` to single-component steals.
     pub fn steal_batch(mut self, batch: bool) -> Self {
-        self.steal_batch = batch;
+        self.scheduler = self.scheduler.steal_batch(if batch {
+            SchedulerSpec::DEFAULT_STEAL_BATCH
+        } else {
+            1
+        });
+        self
+    }
+
+    /// Sets the full scheduler configuration (shards, affinity, steal
+    /// batching, planted stalls). See [`SchedulerSpec`].
+    pub fn scheduler(mut self, spec: SchedulerSpec) -> Self {
+        self.scheduler = spec;
         self
     }
 
@@ -87,9 +225,14 @@ impl Config {
         self.fault_policy
     }
 
-    /// Whether batch work stealing is enabled.
+    /// Whether batch work stealing is enabled (steal batch size > 1).
     pub fn steal_batch_value(&self) -> bool {
-        self.steal_batch
+        self.scheduler.steal_batch_size() > 1
+    }
+
+    /// The scheduler configuration.
+    pub fn scheduler_spec(&self) -> &SchedulerSpec {
+        &self.scheduler
     }
 }
 
@@ -122,5 +265,40 @@ mod tests {
         assert_eq!(c.throughput_value(), 7);
         assert_eq!(c.fault_policy_value(), FaultPolicy::Collect);
         assert!(!c.steal_batch_value());
+        assert_eq!(c.scheduler_spec().steal_batch_size(), 1);
+    }
+
+    #[test]
+    fn steal_batch_bool_maps_onto_spec() {
+        let c = Config::default().steal_batch(true);
+        assert_eq!(
+            c.scheduler_spec().steal_batch_size(),
+            SchedulerSpec::DEFAULT_STEAL_BATCH
+        );
+        assert!(c.steal_batch_value());
+    }
+
+    #[test]
+    fn scheduler_spec_builder() {
+        let spec = SchedulerSpec::new()
+            .shards(16)
+            .affinity(false)
+            .steal_batch(0)
+            .inbound_capacity(1)
+            .stall_at(2, 100, 5);
+        assert_eq!(spec.shard_count(), 16);
+        assert!(!spec.affinity_enabled());
+        assert_eq!(spec.steal_batch_size(), 1, "batch clamps to >= 1");
+        assert_eq!(spec.ring_capacity(), 2, "ring clamps to >= 2");
+        assert_eq!(
+            spec.stalls(),
+            &[WorkerStall {
+                worker: 2,
+                after_slices: 100,
+                millis: 5
+            }]
+        );
+        let c = Config::default().scheduler(spec.clone());
+        assert_eq!(c.scheduler_spec(), &spec);
     }
 }

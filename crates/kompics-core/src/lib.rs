@@ -100,7 +100,7 @@ pub mod prelude {
     pub use crate::channel::{ChannelRef, ChannelSelector};
     pub use crate::clock::{Clock, ClockRef, ManualClock, SystemClock};
     pub use crate::component::{Component, ComponentContext, ComponentDefinition, ComponentRef};
-    pub use crate::config::Config;
+    pub use crate::config::{Config, SchedulerSpec, WorkerStall};
     pub use crate::error::CoreError;
     pub use crate::event::{event_as, Event, EventRef};
     pub use crate::fault::{Fault, FaultPolicy};

@@ -121,6 +121,14 @@ pub fn replace_component(
                     reason: "old component did not drain in time",
                 });
             }
+            // This loop may run *on a worker thread* (a supervisor swapping
+            // a child from inside its fault handler). The work it waits
+            // for can then sit queued behind this very worker, and the
+            // sharded scheduler's owner-local pushes do not signal — nudge
+            // it so a sleeping worker comes and steals the backlog.
+            if let Some(system) = old.core().system() {
+                system.scheduler().nudge();
+            }
             std::thread::yield_now();
             // komlint: allow(blocking-sleep) reason="poll backoff on the caller's (non-worker) thread while the old component drains"
             std::thread::sleep(Duration::from_millis(1));

@@ -1,0 +1,190 @@
+//! Component-to-worker affinity for the sharded scheduler.
+//!
+//! Every component has a *home shard*: the run queue whose owning worker
+//! executes it by default, keeping a component's state hot in one core's
+//! cache. The initial home is a **pure function of the component id** —
+//! [`home_shard`] — so that the same deployment maps components to shards
+//! identically on every run. This is a determinism requirement, not a
+//! stylistic one: same-seed simulation runs must stay byte-identical, so
+//! the hash must never consult ambient state (no `ThreadId`, no pointer
+//! addresses, no global counters). The `affinity-ambient-hash` komlint
+//! rule and the debug assertions below guard that invariant.
+//!
+//! The home can *move* at runtime (work stealing migrates a component after
+//! a streak of consecutive steals; the lazy-wake path pulls a component to
+//! the triggering worker when its home owner is parked), but runtime
+//! migration only ever reacts to scheduler state the threaded mode owns —
+//! the sequential/simulated scheduler never consults hints, so simulated
+//! determinism is untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hard cap on scheduler workers: the sleeper set is a single `u64`
+/// bitmask, one bit per worker. 64 workers is far beyond the pool sizes
+/// the runtime targets; `WorkStealingScheduler` clamps to this.
+pub const MAX_WORKERS: usize = 64;
+
+/// Maps a component id to its initial home shard.
+///
+/// Pure and deterministic: the result depends only on `(id, shards)`.
+/// Uses the splitmix64 finalizer so consecutively allocated ids (the
+/// common case — ids come from a per-system counter) spread uniformly
+/// across shards instead of clustering.
+pub fn home_shard(id: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "home_shard needs at least one shard");
+    let mut x = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// A component's mutable affinity state, packed into one atomic word so the
+/// scheduler can read/update it without locks:
+///
+/// * low 32 bits — home shard **plus one** (`0` = not yet assigned);
+/// * high 32 bits — *steal streak*: consecutive times the component was
+///   executed by a thief instead of its home worker. A home execution or a
+///   re-home resets it; a streak crossing the migration threshold re-homes
+///   the component onto the stealing worker's shard.
+///
+/// All operations are `Relaxed`: the hint is advisory routing state. A
+/// racy read can at worst send one scheduling to a non-optimal shard; it
+/// can never lose the event (delivery is carried by the mailbox/scheduled
+/// flag protocol, not by the hint).
+#[derive(Debug, Default)]
+pub struct HomeHint(AtomicU64);
+
+const STREAK_SHIFT: u32 = 32;
+const HOME_MASK: u64 = (1 << STREAK_SHIFT) - 1;
+
+impl HomeHint {
+    /// A hint with no home assigned yet.
+    pub const fn new() -> Self {
+        HomeHint(AtomicU64::new(0))
+    }
+
+    /// The current home shard, if one was assigned.
+    pub fn home(&self) -> Option<usize> {
+        let packed = self.0.load(Ordering::Relaxed) & HOME_MASK;
+        (packed != 0).then(|| (packed - 1) as usize)
+    }
+
+    /// Current home, assigning `default` (and clearing the streak) when no
+    /// home was set yet.
+    pub fn home_or_assign(&self, default: usize) -> usize {
+        match self.home() {
+            Some(home) => home,
+            None => {
+                // Racing assigners may briefly disagree; last write wins
+                // and both candidates came from the same pure hash, so the
+                // winner is still deterministic state.
+                self.set_home(default);
+                default
+            }
+        }
+    }
+
+    /// Re-homes the component onto `shard` and clears the steal streak.
+    pub fn set_home(&self, shard: usize) {
+        self.0.store(shard as u64 + 1, Ordering::Relaxed);
+    }
+
+    /// Records one execution by a thief; returns the updated streak length.
+    pub fn record_steal(&self) -> u32 {
+        let prev = self.0.fetch_add(1 << STREAK_SHIFT, Ordering::Relaxed);
+        (prev >> STREAK_SHIFT) as u32 + 1
+    }
+
+    /// Records an execution by the home worker, resetting the streak.
+    pub fn record_home_run(&self) {
+        let packed = self.0.load(Ordering::Relaxed);
+        if packed >> STREAK_SHIFT != 0 {
+            self.0.store(packed & HOME_MASK, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden values: the mapping is part of the determinism contract. If
+    /// this test breaks, same-binary runs still agree, but traces recorded
+    /// by older binaries stop lining up — bump deliberately, not by
+    /// accident.
+    #[test]
+    fn home_shard_golden_values() {
+        let golden = [
+            (0u64, 8usize, 7usize),
+            (1, 8, 1),
+            (2, 8, 6),
+            (3, 8, 5),
+            (42, 8, 5),
+            (1_000_000, 8, 7),
+            (0, 1, 0),
+        ];
+        for (id, shards, want) in golden {
+            assert_eq!(home_shard(id, shards), want, "home_shard({id}, {shards})");
+        }
+    }
+
+    /// The hash is a pure function: repeated calls agree, across threads,
+    /// for any id — the property the komlint `affinity-ambient-hash` rule
+    /// protects at the source level.
+    #[test]
+    fn home_shard_is_pure_across_threads() {
+        let ids: Vec<u64> = (0..512).chain([u64::MAX, u64::MAX - 7]).collect();
+        let baseline: Vec<usize> = ids.iter().map(|&id| home_shard(id, 8)).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    ids.iter().map(|&id| home_shard(id, 8)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), baseline);
+        }
+    }
+
+    #[test]
+    fn home_shard_spreads_sequential_ids() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for id in 0..8000 {
+            counts[home_shard(id, shards)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 500,
+                "shard {shard} starved: {count}/8000 sequential ids"
+            );
+        }
+    }
+
+    #[test]
+    fn hint_assign_and_rehome() {
+        let hint = HomeHint::new();
+        assert_eq!(hint.home(), None);
+        assert_eq!(hint.home_or_assign(3), 3);
+        assert_eq!(hint.home(), Some(3));
+        assert_eq!(hint.home_or_assign(5), 3, "existing home wins");
+        hint.set_home(0);
+        assert_eq!(hint.home(), Some(0), "shard 0 must be representable");
+    }
+
+    #[test]
+    fn steal_streak_counts_and_resets() {
+        let hint = HomeHint::new();
+        hint.set_home(2);
+        assert_eq!(hint.record_steal(), 1);
+        assert_eq!(hint.record_steal(), 2);
+        assert_eq!(hint.home(), Some(2), "steals alone do not move the home");
+        hint.record_home_run();
+        assert_eq!(hint.record_steal(), 1, "home run resets the streak");
+        hint.set_home(4);
+        assert_eq!(hint.record_steal(), 1, "re-home resets the streak");
+    }
+}

@@ -5,12 +5,15 @@
 //! when* the component's [`execute`](crate::component::ComponentCore::execute)
 //! slice runs. The same unchanged component code therefore runs under:
 //!
-//! * [`work_stealing::WorkStealingScheduler`] — a pool of workers with
-//!   per-worker ready queues and batch work stealing, for parallel
-//!   multi-core execution (the production mode); and
+//! * [`work_stealing::WorkStealingScheduler`] — a pool of workers over
+//!   *sharded run queues with component-to-worker affinity* and
+//!   last-resort batched stealing, for parallel multi-core execution
+//!   (the production mode); and
 //! * [`sequential::SequentialScheduler`] — a single-threaded FIFO run loop
 //!   driven externally, for deterministic simulation.
 
+pub mod affinity;
+pub(crate) mod ring;
 pub mod sequential;
 pub mod work_stealing;
 
@@ -29,6 +32,25 @@ pub struct SchedulerStats {
     pub steal_successes: u64,
     /// Times a worker parked (went to sleep) for lack of work.
     pub parks: u64,
+    /// Cross-shard handoffs that landed in a shard's bounded inbound ring.
+    pub handoffs: u64,
+    /// Cross-shard handoffs that found the ring full and fell back to the
+    /// shard's queue lock.
+    pub overflows: u64,
+    /// Component home re-assignments (steal-streak migrations plus
+    /// lazy-wake pulls).
+    pub migrations: u64,
+}
+
+/// Per-shard occupancy and traffic counters, sampled at scrape time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Components currently queued on the shard (run queue + inbound ring).
+    pub depth: usize,
+    /// Slices executed by the shard's owning worker.
+    pub executed: u64,
+    /// Components stolen away from this shard by other workers.
+    pub stolen: u64,
 }
 
 /// Decides where and when ready components execute.
@@ -55,4 +77,19 @@ pub trait Scheduler: Send + Sync + 'static {
     fn stats(&self) -> SchedulerStats {
         SchedulerStats::default()
     }
+
+    /// Per-shard counters for observability. The default (no shards) suits
+    /// unsharded schedulers, e.g. the sequential one.
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        Vec::new()
+    }
+
+    /// Called by code that *blocks a worker thread* waiting for other
+    /// queued components to execute (e.g. a reconfiguration drain loop
+    /// inside a handler). The owner-local scheduling fast path does not
+    /// signal, so work queued behind a blocked worker would otherwise wait
+    /// for it; a nudge lets the scheduler wake a sleeper to come steal
+    /// visible backlog. Default: no-op (a sequential scheduler is driven
+    /// externally and cannot be blocked-and-waited-on).
+    fn nudge(&self) {}
 }

@@ -1,0 +1,232 @@
+//! A bounded lock-free MPMC ring (Vyukov-style) used as each shard's
+//! *inbound* queue: cross-worker handoffs land here instead of on a global
+//! injector, so producers touching different shards never contend on a
+//! shared structure. The shard's owner drains the ring into its private
+//! run queue at the top of every loop iteration.
+//!
+//! Per-slot sequence numbers carry both the full/empty state and the
+//! acquire/release edges:
+//!
+//! * a producer claims slot `t` when `seq == t` (CAS on `tail`), writes the
+//!   value, then publishes with `seq = t + 1` (Release);
+//! * a consumer claims slot `h` when `seq == h + 1` (CAS on `head`), reads
+//!   the value (the Acquire load of `seq` pairs with the producer's
+//!   Release), then recycles with `seq = h + capacity` (Release);
+//! * `seq` lagging the claimed index means full (producer side) or empty
+//!   (consumer side) — detected without touching the opposite cursor.
+//!
+//! A full ring makes `push` return the value to the caller, which falls
+//! back to the shard's locked run queue: handoff never blocks and never
+//! drops.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+pub(crate) struct BoundedRing<T> {
+    mask: usize,
+    slots: Box<[Slot<T>]>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+// Safety: slots are handed off between threads with the seq-number
+// acquire/release protocol above; a value is written by exactly one
+// producer and read by exactly one consumer.
+unsafe impl<T: Send> Send for BoundedRing<T> {}
+unsafe impl<T: Send> Sync for BoundedRing<T> {}
+
+impl<T> BoundedRing<T> {
+    /// Creates a ring holding at least `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        BoundedRing {
+            mask: capacity - 1,
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues `value`, or returns it when the ring is full.
+    pub(crate) fn push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match (seq as isize).wrapping_sub(tail as isize) {
+                0 => {
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // Safety: the CAS gave this thread exclusive
+                            // claim on the slot until the seq store below.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(current) => tail = current,
+                    }
+                }
+                diff if diff < 0 => return Err(value), // consumer lap not done: full
+                _ => tail = self.tail.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Dequeues the oldest item, or `None` when the ring is empty.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match (seq as isize).wrapping_sub(head.wrapping_add(1) as isize) {
+                0 => {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // Safety: the CAS gave this thread exclusive
+                            // claim; the producer's Release store to seq
+                            // made the value visible.
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq
+                                .store(head.wrapping_add(self.mask + 1), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(current) => head = current,
+                    }
+                }
+                diff if diff < 0 => return None, // producer not there yet: empty
+                _ => head = self.head.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Whether the ring currently looks empty (approximate under
+    /// concurrency, exact when quiescent).
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::SeqCst);
+        head == tail
+    }
+}
+
+impl<T> Drop for BoundedRing<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ring = BoundedRing::with_capacity(8);
+        for i in 0..8 {
+            ring.push(i).unwrap();
+        }
+        assert!(ring.push(99).is_err(), "ninth push must report full");
+        for i in 0..8 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn wraps_across_many_laps() {
+        let ring = BoundedRing::with_capacity(4);
+        for lap in 0..1000u64 {
+            ring.push(lap).unwrap();
+            ring.push(lap + 1).unwrap();
+            assert_eq!(ring.pop(), Some(lap));
+            assert_eq!(ring.pop(), Some(lap + 1));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_single_consumer_lose_nothing() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 5_000;
+        let ring = Arc::new(BoundedRing::with_capacity(64));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = p * PER_PRODUCER + i;
+                        loop {
+                            match ring.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut seen = vec![false; (PRODUCERS * PER_PRODUCER) as usize];
+        let mut last_per_producer = vec![None::<u64>; PRODUCERS as usize];
+        let mut got = 0;
+        while got < PRODUCERS * PER_PRODUCER {
+            if let Some(v) = ring.pop() {
+                assert!(!seen[v as usize], "duplicate {v}");
+                seen[v as usize] = true;
+                // Per-producer FIFO: each producer's values arrive in order.
+                let producer = (v / PER_PRODUCER) as usize;
+                let seqno = v % PER_PRODUCER;
+                if let Some(prev) = last_per_producer[producer] {
+                    assert!(seqno > prev, "producer {producer} reordered");
+                }
+                last_per_producer[producer] = Some(seqno);
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_remaining_items() {
+        let item = Arc::new(());
+        {
+            let ring = BoundedRing::with_capacity(4);
+            ring.push(Arc::clone(&item)).unwrap();
+            ring.push(Arc::clone(&item)).unwrap();
+            assert_eq!(Arc::strong_count(&item), 3);
+        }
+        assert_eq!(Arc::strong_count(&item), 1, "drop must drain the ring");
+    }
+}

@@ -1,49 +1,101 @@
-//! The multi-core work-stealing scheduler (production mode).
+//! The multi-core scheduler (production mode): **sharded run queues with
+//! component-to-worker affinity**.
 //!
-//! Design, following §3 of the paper:
+//! The first-generation design (per-worker crossbeam deques + one shared
+//! injector + uniform stealing) collapsed under fan-in: every external
+//! schedule crossed the global injector, every idle worker hammered every
+//! victim, and a component's events bounced between cores on every slice.
+//! This design shards the scheduler state so the hot paths touch only
+//! core-local structures:
 //!
-//! * a pool of worker threads executes ready components;
-//! * every worker has a dedicated lock-free ready queue
-//!   ([`crossbeam::deque`]);
-//! * components scheduled from a worker thread go to that worker's own
-//!   queue; components scheduled from outside the pool go to a shared
-//!   injector queue;
-//! * a worker that runs out of ready components becomes a *thief*: it steals
-//!   a **batch** of roughly half the ready components from a victim's queue
-//!   (the paper reports that batching considerably outperforms stealing
-//!   single components — reproduce this with experiment E3);
-//! * idle workers park and are unparked by new scheduling activity.
+//! * **Shards.** The pool owns `shards >= workers` shards; shard `s`
+//!   belongs to worker `s % workers` (with the default `shards == workers`
+//!   this is one shard per worker). A shard is a private run queue (popped
+//!   only under its lock, almost always by its owner) plus a bounded
+//!   lock-free *inbound ring* ([`BoundedRing`]) where other threads hand
+//!   off work without taking the queue lock.
+//! * **Affinity.** Every component has a *home shard* — initially the pure
+//!   hash [`affinity::home_shard`] of its id — carried on the component as
+//!   a [`HomeHint`]. The scheduled-flag handoff in
+//!   [`ComponentCore::try_schedule`](crate::component) delivers the
+//!   component here exactly once; `schedule` routes it to its home shard,
+//!   so a component's slices keep executing on one worker and its state
+//!   stays in one core's cache.
+//! * **Single-producer fast path.** When the triggering component already
+//!   runs on the home shard's owner (the common case: synchronous trigger
+//!   chains stay on one worker), the push is a plain locked `push_back`
+//!   with no signalling at all — no SeqCst epoch bump, no sleeper check,
+//!   no unpark.
+//! * **Batched cross-worker handoff.** Pushes from other workers or from
+//!   external threads go through the home shard's inbound ring; the owner
+//!   drains the whole ring into its run queue in one sweep per loop
+//!   iteration. A full ring falls back to the victim's queue lock (counted
+//!   as an `overflow`) — handoff never blocks and never drops.
+//! * **Lazy wake / pull migration.** If a pool worker triggers a component
+//!   whose home owner is *parked*, waking it would cost an unpark
+//!   round-trip just to run one component on a cold core. Instead the
+//!   caller re-homes the component onto its own shard and keeps it local.
+//!   Ping-pong pairs therefore coalesce onto one worker instead of paying
+//!   a park/unpark per hop; load spreads back out through helper wakes and
+//!   stealing when a shard's backlog grows.
+//! * **Stealing is the last resort.** Only a worker with *nothing* in any
+//!   of its own shards probes others, picks victims by descending queue
+//!   depth (load-aware, not round-robin), and grabs up to `steal_batch`
+//!   components in one lock acquisition. A component executed by a thief
+//!   records a *steal streak* on its hint; a streak of
+//!   [`MIGRATE_STREAK`] consecutive stolen slices re-homes it onto the
+//!   thief — sustained imbalance migrates components instead of paying
+//!   steal traffic forever.
 //!
 //! ## Wakeup protocol
 //!
-//! Parking is **untimed** — there is no periodic timeout papering over lost
-//! wakeups. Sleep and wake linearize through a SeqCst event counter plus an
-//! explicit idle list:
+//! Parking is untimed; sleep/wake linearize through per-shard SeqCst
+//! epochs plus one global sleeper *bitmask* (`1 << worker`, hence the
+//! [`affinity::MAX_WORKERS`] cap):
 //!
-//! * `schedule` publishes the task, bumps `events` (SeqCst), and if any
-//!   worker is asleep pops one *specific* sleeper off the idle list and
-//!   unparks exactly that worker;
-//! * a worker that found no task reads `events`, rescans once, announces
-//!   itself on the idle list, **re-checks** `events`/shutdown/injector, and
-//!   only then parks.
+//! * a producer publishes the component (ring or queue), bumps the home
+//!   shard's `epoch` (SeqCst), and — only if the owner's bit is set in
+//!   `sleepers` — clears the bit with a `fetch_and` and unparks exactly
+//!   that worker (winning the `fetch_and` makes the unpark exclusive);
+//! * a worker that found no work records the epoch-sum of its shards,
+//!   rescans (including a steal sweep), sets its sleeper bit, **re-checks**
+//!   the epoch-sum and shutdown flag, and only then parks.
 //!
-//! In the SeqCst total order, either the producer's bump precedes the
-//! worker's re-check (the worker retracts and rescans — the happens-before
-//! edge through the counter makes the pushed task visible to that rescan),
-//! or the worker's announcement precedes the producer's sleeper check (the
-//! producer pops and unparks it; the parker's token makes an early unpark
-//! stick even if the worker has not parked yet). No interleaving loses the
-//! wakeup.
+//! In the SeqCst total order, either the producer's epoch bump precedes
+//! the worker's re-check (the worker retracts and rescans; the bump's
+//! happens-before edge makes the push visible), or the worker's
+//! `fetch_or` precedes the producer's sleeper check (the producer sees the
+//! bit and unparks it; the parker token makes an early unpark stick). No
+//! interleaving loses a wakeup, and — because every cross-shard push wakes
+//! the *home* owner, owner-local pushes mean the owner is awake by
+//! definition, and the lazy-wake path keeps the component on the *awake*
+//! caller — every enqueued event is executed after a bounded number of
+//! park/unpark cycles (`sched_props.rs` pins this).
+//!
+//! Backlog crossing [`HELP_DEPTH`] multiples additionally wakes one extra
+//! sleeper per crossing (helper wake), which is how fan-in load spreads
+//! across cores: helpers steal a batch, build their own streaks, and the
+//! migration policy re-homes the hot components onto them.
+//!
+//! ## Fault injection
+//!
+//! [`SchedulerSpec::stall_at`](crate::config::SchedulerSpec) plants
+//! deterministic worker stalls (worker, after-N-slices, duration) used by
+//! the scheduler test suite to prove protocol properties are
+//! stall-independent (e.g. CATS linearizability under a stalled worker).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam::sync::{Parker, Unparker};
 use parking_lot::Mutex;
 
 use crate::component::{ComponentCore, ExecuteResult};
-use crate::sched::Scheduler;
+use crate::config::{SchedulerSpec, WorkerStall};
+use crate::sched::affinity::{self, home_shard};
+use crate::sched::ring::BoundedRing;
+use crate::sched::{Scheduler, SchedulerStats, ShardStats};
 
 /// How many quick rescans an idle worker performs (with brief spins in
 /// between) before committing to the announce-and-park path. Parking costs
@@ -52,76 +104,204 @@ use crate::sched::Scheduler;
 const SPIN_RESCANS: usize = 2;
 const SPINS_PER_RESCAN: usize = 64;
 
+/// Consecutive slices executed by thieves after which a component's home
+/// moves to the stealing worker: sustained imbalance migrates the
+/// component once instead of stealing it forever.
+const MIGRATE_STREAK: u32 = 3;
+
+/// Every time a shard's backlog crosses a multiple of this depth, the
+/// pusher wakes one additional sleeping worker (beyond the shard's owner)
+/// to come steal — the mechanism that fans a hot shard out across cores.
+const HELP_DEPTH: usize = 8;
+
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
-/// (pool id, pointer to this worker's deque) — lets `schedule` push to the
-/// local queue when called from one of this pool's workers.
-type LocalDeque = (u64, *const Deque<Arc<ComponentCore>>);
-
 thread_local! {
-    static LOCAL: std::cell::Cell<Option<LocalDeque>> = const { std::cell::Cell::new(None) };
+    /// (pool id, worker index) for pool worker threads — lets `schedule`
+    /// recognize calls made from inside the pool and use the owner-local
+    /// fast path.
+    static LOCAL: std::cell::Cell<Option<(u64, usize)>> = const { std::cell::Cell::new(None) };
+}
+
+/// One run queue plus its inbound handoff ring.
+struct Shard {
+    /// The run queue. Popped from the front by the owner; thieves take a
+    /// batch from the front under the same lock (oldest first). Uncontended
+    /// in steady state — cross-thread traffic goes through `inbound`.
+    queue: Mutex<VecDeque<Arc<ComponentCore>>>,
+    /// Bounded lock-free landing pad for cross-worker handoffs; drained
+    /// into `queue` by whoever next holds the queue lock.
+    inbound: BoundedRing<Arc<ComponentCore>>,
+    /// Logical occupancy (ring + queue): bumped before a push completes,
+    /// decremented when a pop hands a component to a worker. SeqCst so the
+    /// pre-park steal sweep and victim selection see pushes promptly.
+    depth: AtomicUsize,
+    /// Per-shard scheduling epoch for the park protocol (see module docs).
+    epoch: AtomicU64,
+    /// Slices executed by this shard's owning worker (attributed to the
+    /// worker's primary shard).
+    executed: AtomicU64,
+    /// Components stolen *away* from this shard by thieves.
+    stolen: AtomicU64,
+}
+
+impl Shard {
+    fn new(inbound_capacity: usize) -> Self {
+        Shard {
+            queue: Mutex::new(VecDeque::new()),
+            inbound: BoundedRing::with_capacity(inbound_capacity),
+            depth: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Pool {
     id: u64,
-    injector: Injector<Arc<ComponentCore>>,
-    stealers: Vec<Stealer<Arc<ComponentCore>>>,
+    workers: usize,
+    affinity: bool,
+    steal_batch: usize,
+    shards: Vec<Shard>,
     unparkers: Vec<Unparker>,
-    /// Scheduling epoch: bumped (SeqCst) by every `schedule` after the task
-    /// is published. A worker records it before its final scan and re-checks
-    /// it after announcing sleep — any change means a task may have been
-    /// missed, so the worker retracts instead of parking.
-    events: AtomicU64,
-    /// Mirror of `idle.len()`, readable without the lock: `schedule`'s fast
-    /// path skips the idle lock entirely while nobody sleeps. Written only
-    /// under the `idle` lock; SeqCst so it participates in the same total
-    /// order as `events` (see the module docs).
-    sleepers: AtomicUsize,
-    /// Indices of workers that are parked (or irrevocably about to park).
-    /// `schedule` pops a specific entry and unparks exactly that worker.
-    idle: Mutex<Vec<usize>>,
+    /// Bitmask of parked (or irrevocably about-to-park) workers; bit
+    /// `1 << worker`. Producers wake a worker by winning the `fetch_and`
+    /// that clears its bit.
+    sleepers: AtomicU64,
+    /// Round-robin cursor for external pushes when affinity is disabled.
+    next_external: AtomicUsize,
     steal_attempts: AtomicU64,
     steal_successes: AtomicU64,
-    /// Times any worker actually parked — cold path, bumped right before
-    /// `parker.park()`.
     parks: AtomicU64,
+    /// Cross-shard handoffs that landed in an inbound ring.
+    handoffs: AtomicU64,
+    /// Cross-shard handoffs that found the ring full and fell back to the
+    /// victim's queue lock.
+    overflows: AtomicU64,
+    /// Home re-assignments (steal-streak migrations + lazy-wake pulls).
+    migrations: AtomicU64,
+    stalls: Vec<WorkerStall>,
     shutdown: AtomicBool,
-    steal_batch: bool,
 }
 
 impl Pool {
-    /// Adds `index` to the idle list; the caller must park afterwards unless
-    /// it retracts with `exit_idle`.
-    fn announce_idle(&self, index: usize) {
-        let mut idle = self.idle.lock();
-        idle.push(index);
-        self.sleepers.store(idle.len(), Ordering::SeqCst);
+    fn owner_of(&self, shard: usize) -> usize {
+        shard % self.workers
     }
 
-    /// Removes `index` from the idle list if a producer has not already
-    /// popped it (used both to retract a sleep announcement and to clean up
-    /// after an unpark-all on shutdown).
-    fn exit_idle(&self, index: usize) {
-        let mut idle = self.idle.lock();
-        if let Some(pos) = idle.iter().position(|&i| i == index) {
-            idle.swap_remove(pos);
-            self.sleepers.store(idle.len(), Ordering::SeqCst);
+    /// The shard a worker pushes its own work to (its lowest-index shard;
+    /// with `shards == workers` simply the worker index).
+    fn primary_shard(&self, worker: usize) -> usize {
+        worker
+    }
+
+    /// Wakes `worker` iff its sleeper bit is set; winning the `fetch_and`
+    /// makes the unpark exclusive to one producer.
+    fn wake_worker(&self, worker: usize) {
+        let bit = 1u64 << worker;
+        if self.sleepers.load(Ordering::SeqCst) & bit != 0
+            && self.sleepers.fetch_and(!bit, Ordering::SeqCst) & bit != 0
+        {
+            self.unparkers[worker].unpark();
         }
     }
 
-    /// Pops one actually-sleeping worker, if any.
-    fn pop_idle(&self) -> Option<usize> {
-        let mut idle = self.idle.lock();
-        let popped = idle.pop();
-        if popped.is_some() {
-            self.sleepers.store(idle.len(), Ordering::SeqCst);
+    /// Wakes one sleeping worker other than `except` (helper wake: come
+    /// steal from a backlogged shard). An out-of-range `except` excludes
+    /// nobody.
+    fn wake_helper(&self, except: usize) {
+        let except_mask = match except {
+            0..affinity::MAX_WORKERS => 1u64 << except,
+            _ => 0,
+        };
+        let mut mask = self.sleepers.load(Ordering::SeqCst) & !except_mask;
+        while mask != 0 {
+            let worker = mask.trailing_zeros() as usize;
+            let bit = 1u64 << worker;
+            if self.sleepers.fetch_and(!bit, Ordering::SeqCst) & bit != 0 {
+                self.unparkers[worker].unpark();
+                return;
+            }
+            mask &= !bit;
         }
-        popped
+    }
+
+    /// Routes one freshly claimed component to a shard and signals as
+    /// needed. `caller` is the pool worker index when invoked from a worker
+    /// thread.
+    fn dispatch(&self, component: Arc<ComponentCore>, caller: Option<usize>) {
+        let shard = self.route(&component, caller);
+        let owner = self.owner_of(shard);
+        let target = &self.shards[shard];
+        // Count before the push completes so steal sweeps racing this push
+        // either see the item or over-estimate (harmless) — never under.
+        let depth_after = target.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        if caller == Some(owner) {
+            // Owner-local fast path: the owner is by definition awake and
+            // will rescan its queue before parking — no signalling.
+            target.queue.lock().push_back(component);
+        } else {
+            match target.inbound.push(component) {
+                Ok(()) => {
+                    self.handoffs.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(component) => {
+                    target.queue.lock().push_back(component);
+                    self.overflows.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Publish-then-signal (module docs): the epoch bump is SeqCst
+            // and follows the push, so the owner's pre-park re-check or
+            // the sleeper-bit handshake below catches it.
+            target.epoch.fetch_add(1, Ordering::SeqCst);
+            self.wake_worker(owner);
+        }
+        // Backlog crossing a HELP_DEPTH multiple recruits one extra
+        // sleeper to steal from this shard.
+        if depth_after >= HELP_DEPTH && depth_after.is_multiple_of(HELP_DEPTH) {
+            self.wake_helper(owner);
+        }
+    }
+
+    /// Picks the shard for a component. With affinity on this is the home
+    /// shard, except that a pool worker pulls the component onto its own
+    /// shard when the home owner is parked (lazy wake). With affinity off:
+    /// caller's shard from inside the pool, round-robin from outside.
+    fn route(&self, component: &ComponentCore, caller: Option<usize>) -> usize {
+        if self.affinity {
+            let hint = component.home_hint();
+            let home = hint.home_or_assign(home_shard(component.id().raw(), self.shards.len()));
+            if let Some(worker) = caller {
+                let owner = self.owner_of(home);
+                if owner != worker && self.sleepers.load(Ordering::SeqCst) & (1u64 << owner) != 0 {
+                    // Lazy wake: the home owner is asleep; keep the work on
+                    // this (awake, warm) worker and move the home with it.
+                    let pulled = self.primary_shard(worker);
+                    hint.set_home(pulled);
+                    self.migrations.fetch_add(1, Ordering::Relaxed);
+                    return pulled;
+                }
+            }
+            home
+        } else {
+            match caller {
+                Some(worker) => self.primary_shard(worker),
+                None => self.next_external.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
+            }
+        }
+    }
+
+    fn epoch_sum(&self, owned: &[usize]) -> u64 {
+        owned
+            .iter()
+            .map(|&s| self.shards[s].epoch.load(Ordering::SeqCst))
+            .fold(0u64, u64::wrapping_add)
     }
 }
 
-/// A pool of worker threads with per-worker ready queues and batch work
-/// stealing. See the module documentation.
+/// A pool of worker threads over sharded run queues with component
+/// affinity. See the module documentation.
 pub struct WorkStealingScheduler {
     pool: Arc<Pool>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -129,42 +309,65 @@ pub struct WorkStealingScheduler {
 }
 
 impl WorkStealingScheduler {
-    /// Creates a scheduler with `workers` threads and batch stealing
-    /// enabled.
+    /// Creates a scheduler with `workers` threads and the default
+    /// [`SchedulerSpec`] (one shard per worker, affinity on).
     pub fn new(workers: usize) -> Arc<Self> {
-        Self::with_options(workers, true)
+        Self::with_spec(workers, SchedulerSpec::default())
     }
 
-    /// Creates a scheduler choosing batch (`true`) or single-component
-    /// (`false`) stealing — the knob for ablation experiment E3.
+    /// Compatibility constructor for the E3 ablation knob: batch (`true`)
+    /// or single-component (`false`) stealing, default spec otherwise.
     pub fn with_options(workers: usize, steal_batch: bool) -> Arc<Self> {
-        let workers = workers.max(1);
-        let deques: Vec<Deque<Arc<ComponentCore>>> =
-            (0..workers).map(|_| Deque::new_fifo()).collect();
-        let stealers = deques.iter().map(Deque::stealer).collect();
+        Self::with_spec(
+            workers,
+            SchedulerSpec::default().steal_batch(if steal_batch {
+                SchedulerSpec::DEFAULT_STEAL_BATCH
+            } else {
+                1
+            }),
+        )
+    }
+
+    /// Creates a scheduler from a full [`SchedulerSpec`]. Workers clamp to
+    /// `1..=`[`affinity::MAX_WORKERS`] (the sleeper set is one `u64`
+    /// bitmask); shard count resolves to at least one per worker.
+    pub fn with_spec(workers: usize, spec: SchedulerSpec) -> Arc<Self> {
+        let workers = workers.clamp(1, affinity::MAX_WORKERS);
+        let shard_count = if spec.shard_count() == 0 {
+            workers
+        } else {
+            spec.shard_count().max(workers)
+        };
+        let shards = (0..shard_count)
+            .map(|_| Shard::new(spec.ring_capacity()))
+            .collect();
         let parkers: Vec<Parker> = (0..workers).map(|_| Parker::new()).collect();
         let unparkers = parkers.iter().map(Parker::unparker).cloned().collect();
         let pool = Arc::new(Pool {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
-            injector: Injector::new(),
-            stealers,
+            workers,
+            affinity: spec.affinity_enabled(),
+            steal_batch: spec.steal_batch_size().max(1),
+            shards,
             unparkers,
-            events: AtomicU64::new(0),
-            sleepers: AtomicUsize::new(0),
-            idle: Mutex::new(Vec::with_capacity(workers)),
+            sleepers: AtomicU64::new(0),
+            next_external: AtomicUsize::new(0),
             steal_attempts: AtomicU64::new(0),
             steal_successes: AtomicU64::new(0),
             parks: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
+            stalls: spec.stalls().to_vec(),
             shutdown: AtomicBool::new(false),
-            steal_batch,
         });
         let mut threads = Vec::with_capacity(workers);
-        for (index, (deque, parker)) in deques.into_iter().zip(parkers).enumerate() {
+        for (index, parker) in parkers.into_iter().enumerate() {
             let pool = Arc::clone(&pool);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("kompics-worker-{index}"))
-                    .spawn(move || worker_loop(pool, deque, parker, index))
+                    .spawn(move || worker_loop(pool, parker, index))
                     .expect("spawn scheduler worker"),
             );
         }
@@ -190,13 +393,29 @@ impl WorkStealingScheduler {
     }
 }
 
-fn worker_loop(pool: Arc<Pool>, local: Deque<Arc<ComponentCore>>, parker: Parker, index: usize) {
-    LOCAL.with(|slot| slot.set(Some((pool.id, &local as *const _))));
+fn worker_loop(pool: Arc<Pool>, parker: Parker, worker: usize) {
+    LOCAL.with(|slot| slot.set(Some((pool.id, worker))));
+    let owned: Vec<usize> = (worker..pool.shards.len()).step_by(pool.workers).collect();
+    let mut stalls: Vec<WorkerStall> = pool
+        .stalls
+        .iter()
+        .filter(|s| s.worker == worker)
+        .copied()
+        .collect();
+    stalls.sort_by_key(|s| s.after_slices);
+    let mut next_stall = 0usize;
+    let mut slices = 0u64;
+    let bit = 1u64 << worker;
     'run: while !pool.shutdown.load(Ordering::Acquire) {
-        if let Some(component) = find_task(&pool, &local, index) {
-            if component.execute() == ExecuteResult::Reschedule {
-                local.push(component);
-            }
+        if let Some(component) = find_task(&pool, worker, &owned) {
+            run_slice(
+                &pool,
+                worker,
+                component,
+                &mut slices,
+                &stalls,
+                &mut next_stall,
+            );
             continue;
         }
         // Bounded spin: absorb work that arrives right after the queues ran
@@ -205,113 +424,163 @@ fn worker_loop(pool: Arc<Pool>, local: Deque<Arc<ComponentCore>>, parker: Parker
             for _ in 0..SPINS_PER_RESCAN {
                 std::hint::spin_loop();
             }
-            if find_task(&pool, &local, index).is_some_and(|component| {
-                if component.execute() == ExecuteResult::Reschedule {
-                    local.push(component);
-                }
-                true
-            }) {
+            if let Some(component) = find_task(&pool, worker, &owned) {
+                run_slice(
+                    &pool,
+                    worker,
+                    component,
+                    &mut slices,
+                    &stalls,
+                    &mut next_stall,
+                );
                 continue 'run;
             }
         }
-        // Record the epoch *before* the final scan: a task published after
-        // this point bumps `events`, which the pre-park re-check catches.
-        let observed = pool.events.load(Ordering::SeqCst);
-        if let Some(component) = find_task(&pool, &local, index) {
-            if component.execute() == ExecuteResult::Reschedule {
-                local.push(component);
-            }
+        // Record the epoch-sum *before* the final scan: a cross push after
+        // this point bumps an owned epoch, which the pre-park re-check
+        // catches.
+        let observed = pool.epoch_sum(&owned);
+        if let Some(component) = find_task(&pool, worker, &owned) {
+            run_slice(
+                &pool,
+                worker,
+                component,
+                &mut slices,
+                &stalls,
+                &mut next_stall,
+            );
             continue;
         }
-        pool.announce_idle(index);
+        pool.sleepers.fetch_or(bit, Ordering::SeqCst);
         // Re-check between announce and park (module docs give the
-        // interleaving argument): any schedule since `observed` may have
-        // checked `sleepers` before our announcement, so we must not sleep.
-        if pool.events.load(Ordering::SeqCst) != observed
-            || pool.shutdown.load(Ordering::Acquire)
-            || !pool.injector.is_empty()
-        {
-            pool.exit_idle(index);
+        // interleaving argument): any push since `observed` may have read
+        // `sleepers` before our announcement, so we must not sleep.
+        if pool.shutdown.load(Ordering::Acquire) || pool.epoch_sum(&owned) != observed {
+            pool.sleepers.fetch_and(!bit, Ordering::SeqCst);
             continue;
         }
         pool.parks.fetch_add(1, Ordering::Relaxed);
         parker.park();
-        // A producer that woke us popped our entry; an unpark-all (shutdown)
-        // does not — clean up either way.
-        pool.exit_idle(index);
+        // A producer that woke us cleared our bit; an unpark-all
+        // (shutdown) or helper wake race may not have — clear either way.
+        pool.sleepers.fetch_and(!bit, Ordering::SeqCst);
     }
     LOCAL.with(|slot| slot.set(None));
 }
 
-fn find_task(
-    pool: &Pool,
-    local: &Deque<Arc<ComponentCore>>,
-    index: usize,
-) -> Option<Arc<ComponentCore>> {
-    if let Some(task) = local.pop() {
-        return Some(task);
-    }
-    loop {
-        match pool.injector.steal_batch_and_pop(local) {
-            Steal::Success(task) => return Some(task),
-            Steal::Empty => break,
-            Steal::Retry => continue,
-        }
-    }
-    // Steal from a sibling; start at a rotating victim to spread contention.
-    let n = pool.stealers.len();
-    if n > 1 {
-        for offset in 1..n {
-            let victim = (index + offset) % n;
-            // One attempt per victim probed (not per find_task call), so
-            // the E3 ablation's attempt/success ratio reflects actual
-            // probe traffic.
-            pool.steal_attempts.fetch_add(1, Ordering::Relaxed);
-            loop {
-                let result = if pool.steal_batch {
-                    pool.stealers[victim].steal_batch_and_pop(local)
-                } else {
-                    pool.stealers[victim].steal()
-                };
-                match result {
-                    Steal::Success(task) => {
-                        pool.steal_successes.fetch_add(1, Ordering::Relaxed);
-                        return Some(task);
-                    }
-                    Steal::Empty => break,
-                    Steal::Retry => continue,
+/// Executes one slice with affinity bookkeeping and (test-only) stall
+/// injection.
+fn run_slice(
+    pool: &Arc<Pool>,
+    worker: usize,
+    component: Arc<ComponentCore>,
+    slices: &mut u64,
+    stalls: &[WorkerStall],
+    next_stall: &mut usize,
+) {
+    if pool.affinity {
+        // The hint is only ever touched by whoever holds the component's
+        // scheduling claim, which is this worker right now.
+        let hint = component.home_hint();
+        match hint.home() {
+            Some(home) if pool.owner_of(home) == worker => hint.record_home_run(),
+            Some(_) => {
+                if hint.record_steal() >= MIGRATE_STREAK {
+                    // Sustained imbalance: stop stealing this component
+                    // every slice and move it here for good.
+                    hint.set_home(pool.primary_shard(worker));
+                    pool.migrations.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            None => hint.set_home(pool.primary_shard(worker)),
         }
+    }
+    *slices += 1;
+    pool.shards[pool.primary_shard(worker)]
+        .executed
+        .fetch_add(1, Ordering::Relaxed);
+    if let Some(stall) = stalls.get(*next_stall) {
+        if stall.after_slices == *slices {
+            *next_stall += 1;
+            // komlint: allow(blocking-sleep) reason="deterministic fault-injection stall configured via SchedulerSpec::stall_at; test-only scheduling delay, never on a component handler path"
+            std::thread::sleep(std::time::Duration::from_millis(stall.millis));
+        }
+    }
+    if component.execute() == ExecuteResult::Reschedule {
+        pool.dispatch(component, Some(worker));
+    }
+}
+
+fn find_task(pool: &Pool, worker: usize, owned: &[usize]) -> Option<Arc<ComponentCore>> {
+    // Own shards first: drain each inbound ring into the run queue in one
+    // sweep, then pop.
+    for &s in owned {
+        let shard = &pool.shards[s];
+        let mut queue = shard.queue.lock();
+        while let Some(component) = shard.inbound.pop() {
+            // komlint: allow(unbounded-queue-push) reason="run queue of ready components, not an event queue; bounded at one entry per component by the scheduled-flag claim"
+            queue.push_back(component);
+        }
+        if let Some(component) = queue.pop_front() {
+            drop(queue);
+            shard.depth.fetch_sub(1, Ordering::SeqCst);
+            return Some(component);
+        }
+    }
+    steal(pool, worker)
+}
+
+/// Last-resort stealing: probe victims in descending backlog order, grab up
+/// to `steal_batch` components in one lock acquisition, run the first and
+/// queue the rest on the thief's primary shard.
+fn steal(pool: &Pool, worker: usize) -> Option<Arc<ComponentCore>> {
+    let mut victims: Vec<(usize, usize)> = pool
+        .shards
+        .iter()
+        .enumerate()
+        .filter(|(s, shard)| pool.owner_of(*s) != worker && shard.depth.load(Ordering::SeqCst) > 0)
+        .map(|(s, shard)| (shard.depth.load(Ordering::SeqCst), s))
+        .collect();
+    victims.sort_unstable_by(|a, b| b.cmp(a));
+    for (_, victim) in victims {
+        pool.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        let shard = &pool.shards[victim];
+        let mut queue = shard.queue.lock();
+        // Help a (possibly stalled) owner by landing its ring into the
+        // queue while we hold the lock anyway.
+        while let Some(component) = shard.inbound.pop() {
+            // komlint: allow(unbounded-queue-push) reason="run queue of ready components, not an event queue; bounded at one entry per component by the scheduled-flag claim"
+            queue.push_back(component);
+        }
+        let take = pool.steal_batch.min(queue.len());
+        if take == 0 {
+            continue;
+        }
+        let mut taken: Vec<Arc<ComponentCore>> = queue.drain(..take).collect();
+        drop(queue);
+        shard.depth.fetch_sub(take, Ordering::SeqCst);
+        shard.stolen.fetch_add(take as u64, Ordering::Relaxed);
+        pool.steal_successes.fetch_add(1, Ordering::Relaxed);
+        let first = taken.remove(0);
+        if !taken.is_empty() {
+            let rest = taken.len();
+            let mine = &pool.shards[pool.primary_shard(worker)];
+            mine.depth.fetch_add(rest, Ordering::SeqCst);
+            let mut queue = mine.queue.lock();
+            queue.extend(taken);
+        }
+        return Some(first);
     }
     None
 }
 
 impl Scheduler for WorkStealingScheduler {
     fn schedule(&self, component: Arc<ComponentCore>) {
-        let pushed_locally = LOCAL.with(|slot| match slot.get() {
-            Some((pool_id, deque)) if pool_id == self.pool.id => {
-                // Safety: the pointer targets the deque owned by *this*
-                // thread's worker loop, which outlives every `schedule` call
-                // made from this thread (it clears the slot before exiting).
-                unsafe { (*deque).push(Arc::clone(&component)) };
-                true
-            }
-            _ => false,
+        let caller = LOCAL.with(|slot| match slot.get() {
+            Some((pool_id, worker)) if pool_id == self.pool.id => Some(worker),
+            _ => None,
         });
-        if !pushed_locally {
-            self.pool.injector.push(component);
-        }
-        // Publish-then-signal (module docs): the bump is SeqCst and happens
-        // after the push, so a worker whose pre-park re-check runs after
-        // this bump rescans and finds the task; a worker already announced
-        // is visible through `sleepers` below and gets a targeted unpark.
-        self.pool.events.fetch_add(1, Ordering::SeqCst);
-        if self.pool.sleepers.load(Ordering::SeqCst) > 0 {
-            if let Some(i) = self.pool.pop_idle() {
-                self.pool.unparkers[i].unpark();
-            }
-        }
+        self.pool.dispatch(component, caller);
     }
 
     fn shutdown(&self) {
@@ -329,18 +598,47 @@ impl Scheduler for WorkStealingScheduler {
     }
 
     fn describe(&self) -> &'static str {
-        if self.pool.steal_batch {
-            "work-stealing (batch)"
+        if self.pool.affinity {
+            "sharded work-stealing (affinity)"
         } else {
-            "work-stealing (single)"
+            "sharded work-stealing (no affinity)"
         }
     }
 
-    fn stats(&self) -> crate::sched::SchedulerStats {
-        crate::sched::SchedulerStats {
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
             steal_attempts: self.pool.steal_attempts.load(Ordering::Relaxed),
             steal_successes: self.pool.steal_successes.load(Ordering::Relaxed),
             parks: self.pool.parks.load(Ordering::Relaxed),
+            handoffs: self.pool.handoffs.load(Ordering::Relaxed),
+            overflows: self.pool.overflows.load(Ordering::Relaxed),
+            migrations: self.pool.migrations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.pool
+            .shards
+            .iter()
+            .map(|shard| ShardStats {
+                depth: shard.depth.load(Ordering::Relaxed),
+                executed: shard.executed.load(Ordering::Relaxed),
+                stolen: shard.stolen.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn nudge(&self) {
+        // A blocked worker's own shard may hold the very work the blocker
+        // waits for; wake one sleeper to come steal it. `wake_helper` with
+        // an out-of-range exclusion excludes nobody.
+        if self
+            .pool
+            .shards
+            .iter()
+            .any(|shard| shard.depth.load(Ordering::SeqCst) > 0)
+        {
+            self.pool.wake_helper(affinity::MAX_WORKERS);
         }
     }
 }

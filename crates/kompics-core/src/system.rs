@@ -139,8 +139,10 @@ impl KompicsSystem {
     /// Creates a system with the multi-core work-stealing scheduler
     /// (production mode).
     pub fn new(config: Config) -> Self {
-        let scheduler =
-            WorkStealingScheduler::with_options(config.worker_count(), config.steal_batch_value());
+        let scheduler = WorkStealingScheduler::with_spec(
+            config.worker_count(),
+            config.scheduler_spec().clone(),
+        );
         Self::with_scheduler(config, scheduler)
     }
 
@@ -181,6 +183,14 @@ impl KompicsSystem {
     #[allow(dead_code)]
     pub(crate) fn core(&self) -> &Arc<SystemCore> {
         &self.core
+    }
+
+    /// Snapshot of the scheduler's counters (steals, parks, handoffs,
+    /// migrations) — the same numbers the telemetry collector exports.
+    /// Useful in tests asserting scheduling behaviour (e.g. bounded
+    /// park/unpark churn) without pulling in the telemetry feature.
+    pub fn scheduler_stats(&self) -> crate::sched::SchedulerStats {
+        self.core.scheduler.stats()
     }
 
     /// Creates a top-level component from its constructor closure. The

@@ -255,7 +255,8 @@ pub(crate) fn install(core: &Arc<SystemCore>, spec: TelemetrySpec) -> bool {
         }
     });
 
-    // Scheduler counters (steals, parks) — already maintained by the
+    // Scheduler counters (steals, parks, handoffs, migrations) plus
+    // per-shard depth/traffic gauges — already maintained by the
     // scheduler; just exposed.
     let weak = Arc::downgrade(core);
     spec.registry.register_collector(move |out| {
@@ -274,6 +275,40 @@ pub(crate) fn install(core: &Arc<SystemCore>, spec: TelemetrySpec) -> bool {
             stats.steal_successes,
         ));
         out.push(Sample::counter("kompics_sched_parks", &[], stats.parks));
+        out.push(Sample::counter(
+            "kompics_sched_handoffs_total",
+            &[],
+            stats.handoffs,
+        ));
+        out.push(Sample::counter(
+            "kompics_sched_handoff_overflows_total",
+            &[],
+            stats.overflows,
+        ));
+        out.push(Sample::counter(
+            "kompics_sched_migrations_total",
+            &[],
+            stats.migrations,
+        ));
+        for (index, shard) in system.scheduler().shard_stats().into_iter().enumerate() {
+            let index = index.to_string();
+            let labels = &[("shard", index.as_str())];
+            out.push(Sample::gauge(
+                "kompics_sched_shard_depth",
+                labels,
+                shard.depth as i64,
+            ));
+            out.push(Sample::counter(
+                "kompics_sched_shard_executed_total",
+                labels,
+                shard.executed,
+            ));
+            out.push(Sample::counter(
+                "kompics_sched_shard_stolen_total",
+                labels,
+                shard.stolen,
+            ));
+        }
     });
     true
 }

@@ -480,10 +480,15 @@ impl<C: ComponentDefinition> TestContext<C> {
     /// A harness on the production (work-stealing) scheduler; the spec
     /// deadline is the wall clock.
     pub fn threaded(build: impl FnOnce() -> C) -> Self {
-        Self::with_backend(
-            Backend::Threaded(KompicsSystem::new(Config::default())),
-            build,
-        )
+        Self::threaded_with(Config::default(), build)
+    }
+
+    /// A harness on the production scheduler with an explicit [`Config`] —
+    /// for specs that pin scheduler parameters (worker count, affinity,
+    /// planted worker stalls) to prove protocol properties are
+    /// scheduler-independent.
+    pub fn threaded_with(config: Config, build: impl FnOnce() -> C) -> Self {
+        Self::with_backend(Backend::Threaded(KompicsSystem::new(config)), build)
     }
 
     /// A harness inside a deterministic [`Simulation`]; the spec deadline is

@@ -1,0 +1,21 @@
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::hash::{BuildHasher, Hash, Hasher};
+
+pub fn pick_shard(component: u64, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    component.hash(&mut h);
+    (h.finish() as usize) % shards
+}
+
+pub fn rehome_affinity(component: u64, lanes: usize) -> usize {
+    let state = RandomState::new();
+    let mut h = state.build_hasher();
+    component.hash(&mut h);
+    (h.finish() as usize) % lanes
+}
+
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    let mut h = DefaultHasher::new();
+    bytes.hash(&mut h);
+    h.finish()
+}

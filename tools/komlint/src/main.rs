@@ -220,6 +220,17 @@ mod tests {
     }
 
     #[test]
+    fn affinity_hash_corpus() {
+        // Ambient-seeded hashers are only a finding near placement context
+        // ("shard"/"affinity"/"placement" within the window): the content
+        // digest at the bottom of the fixture stays clean.
+        assert_eq!(
+            rules_hit("affinity_hash.rs", false),
+            vec![("affinity-ambient-hash", 5), ("affinity-ambient-hash", 11)]
+        );
+    }
+
+    #[test]
     fn blocking_corpus() {
         assert_eq!(
             rules_hit("blocking.rs", false),

@@ -74,6 +74,25 @@ pub const RULES: &[Rule] = &[
         component_only: false,
     },
     Rule {
+        id: "affinity-ambient-hash",
+        matcher: Matcher::Contextual {
+            needles: &[
+                "DefaultHasher::new(",
+                "RandomState::new(",
+                "RandomState::default(",
+            ],
+            markers: &["shard", "affinity", "placement"],
+            window: 4,
+        },
+        message: "component placement derived from an ambient-seeded hasher",
+        hint: "home-shard / affinity placement must be a pure function of the \
+               component id so two same-seed runs place components identically; \
+               std's RandomState-keyed hashers are seeded per-process — use \
+               kompics_core::sched::affinity::home_shard (seedless splitmix64) \
+               or another fixed-key hash instead",
+        component_only: false,
+    },
+    Rule {
         id: "blocking-sleep",
         matcher: Matcher::Substring(&["thread::sleep("]),
         message: "blocking sleep",
@@ -228,8 +247,8 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
                 rule: "unknown-rule",
                 message: format!("allow directive names unknown rule `{}`", d.rule),
                 hint: "valid rules: wall-clock, telemetry-wall-clock, ambient-rng, \
-                       blocking-sleep, blocking-recv, thread-spawn, lock-hold, \
-                       unbounded-queue-push",
+                       affinity-ambient-hash, blocking-sleep, blocking-recv, \
+                       thread-spawn, lock-hold, unbounded-queue-push",
             });
             continue;
         }
