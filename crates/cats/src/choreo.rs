@@ -1,0 +1,170 @@
+//! The ABD quorum protocol ([`abd`](crate::abd)) as a session-typed
+//! choreography, plus the role bindings and runtime-monitor classifier that
+//! connect it to the live components.
+//!
+//! A single choreography covers both operations because `get` and `put` are
+//! *wire-identical* in CATS: both run a read round (collect `(tag, value)`
+//! from a majority) followed by a write-impose round (a `get` writes back
+//! the maximum it read, a `put` imposes an incremented tag). The checker's
+//! bisimulation merge collapses the two branches into one replica machine,
+//! which is exactly why a replica never needs to know which operation it is
+//! serving.
+
+use kompics_choreo::check::RoleBinding;
+use kompics_choreo::global::{choice, end, round, Choreography, Global};
+use kompics_choreo::monitor::Obs;
+use kompics_core::analyze::ComponentSurface;
+use kompics_core::event::{event_as, EventRef};
+use kompics_core::port::Direction;
+
+use crate::msgs::{ReadQueryMsg, ReadReplyMsg, WriteAckMsg, WriteQueryMsg};
+
+/// Role name of the operation coordinator.
+pub const COORDINATOR: &str = "coordinator";
+/// Role family name of the replication group members.
+pub const REPLICA: &str = "replica";
+
+/// One read round followed by one write round, quorum-bounded.
+fn two_rounds(quorum: usize) -> Global {
+    round(
+        COORDINATOR,
+        REPLICA,
+        "ReadQueryMsg",
+        "ReadReplyMsg",
+        quorum,
+        round(
+            COORDINATOR,
+            REPLICA,
+            "WriteQueryMsg",
+            "WriteAckMsg",
+            quorum,
+            end(),
+        ),
+    )
+}
+
+/// The full ABD operation over a replication group of `replicas` members
+/// with the given read/write `quorum`:
+///
+/// ```text
+/// coordinator chooses { get, put }, both:
+///   coordinator -> every replica: ReadQueryMsg.
+///   quorum of replicas -> coordinator: ReadReplyMsg.   (stragglers absorbed)
+///   coordinator -> every replica: WriteQueryMsg.
+///   quorum of replicas -> coordinator: WriteAckMsg.    (stragglers absorbed)
+/// end
+/// ```
+pub fn abd_operation(replicas: usize, quorum: usize) -> Choreography {
+    Choreography::new("abd-operation")
+        .role(COORDINATOR)
+        .family(REPLICA, replicas)
+        .body(choice(
+            COORDINATOR,
+            vec![two_rounds(quorum), two_rounds(quorum)],
+        ))
+}
+
+/// [`abd_operation`] at the deployment defaults: replication degree 3,
+/// majority quorum 2 — matching [`AbdConfig`](crate::abd::AbdConfig)'s
+/// `group.len() / 2 + 1`.
+pub fn abd_operation_default() -> Choreography {
+    abd_operation(3, 2)
+}
+
+/// Binds both ABD roles to their live handled-event surfaces. In CATS every
+/// node's `ConsistentAbd` plays both roles, so the coordinator and replica
+/// surfaces usually come from the same component
+/// ([`CatsNode::abd_surface`](crate::node::CatsNode::abd_surface)).
+pub fn abd_bindings(coordinator: ComponentSurface, replica: ComponentSurface) -> Vec<RoleBinding> {
+    vec![
+        RoleBinding::new(COORDINATOR, coordinator),
+        RoleBinding::new(REPLICA, replica),
+    ]
+}
+
+/// Binds both sides of the Cyclon shuffle
+/// ([`cyclon_shuffle`](kompics_protocols::choreo::cyclon_shuffle)) to one
+/// overlay surface — every `CyclonOverlay` is initiator and peer at once.
+pub fn cyclon_bindings(overlay: ComponentSurface) -> Vec<RoleBinding> {
+    vec![
+        RoleBinding::new("initiator", overlay.clone()),
+        RoleBinding::new("peer", overlay),
+    ]
+}
+
+/// Classifies a tapped `Network` event for an ABD conformance monitor: the
+/// session key is the operation's round id (one `rid` spans the read and
+/// write rounds of a single `get`/`put`), and the direction follows the
+/// port polarity — requests leaving the role are sends, indications
+/// arriving at it are receives.
+pub fn abd_classify(dir: Direction, event: &EventRef) -> Option<(String, Obs)> {
+    let (label, rid) = if let Some(q) = event_as::<ReadQueryMsg>(event.as_ref()) {
+        ("ReadQueryMsg", q.rid)
+    } else if let Some(r) = event_as::<ReadReplyMsg>(event.as_ref()) {
+        ("ReadReplyMsg", r.rid)
+    } else if let Some(w) = event_as::<WriteQueryMsg>(event.as_ref()) {
+        ("WriteQueryMsg", w.rid)
+    } else if let Some(a) = event_as::<WriteAckMsg>(event.as_ref()) {
+        ("WriteAckMsg", a.rid)
+    } else {
+        return None;
+    };
+    let obs = match dir {
+        Direction::Negative => Obs::Sent(label.to_string()),
+        Direction::Positive => Obs::Received(label.to_string()),
+    };
+    Some((rid.to_string(), obs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_choreo::check::check;
+    use kompics_choreo::product::explore;
+    use kompics_choreo::project::project;
+
+    #[test]
+    fn abd_operation_checks_clean() {
+        let report = check(&abd_operation_default());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn abd_checks_clean_for_any_majority_quorum() {
+        for replicas in 1..=5 {
+            let quorum = replicas / 2 + 1;
+            let report = check(&abd_operation(replicas, quorum));
+            assert!(
+                report.is_clean(),
+                "replicas={replicas}: {}",
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn abd_with_impossible_quorum_is_stuck() {
+        let report = check(&abd_operation(3, 4));
+        assert_eq!(report.errors(), 1, "{}", report.render_text());
+        assert!(
+            report.render_text().contains("error[protocol-stuck]"),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn get_and_put_branches_merge_into_one_replica_machine() {
+        let (projections, issues) = project(&abd_operation_default());
+        assert!(issues.is_empty(), "{issues:?}");
+        let replica = projections
+            .iter()
+            .find(|p| p.role == REPLICA)
+            .expect("replica projection");
+        // Wire-identical branches collapse: the replica machine is the
+        // four-step query/reply/impose/ack chain, nothing more.
+        assert_eq!(replica.automaton.len(), 5, "{:?}", replica.automaton);
+        let product = explore(&projections);
+        assert!(product.stuck.is_none());
+    }
+}

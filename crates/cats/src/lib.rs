@@ -13,6 +13,8 @@
 //!   replication group in one hop;
 //! * [`abd`] — **Consistent ABD**: quorum-based linearizable `get`/`put`
 //!   (read-impose write-back majority quorums over the replication group);
+//! * [`choreo`] — the ABD wire protocol as a session-typed **choreography**
+//!   for the `kompics-choreo` checker, plus its runtime conformance hooks;
 //! * [`node`] — the **CATS Node** composite of Figure 11: encapsulates the
 //!   failure detector, ring, router, Cyclon, ABD, bootstrap and monitoring
 //!   clients behind `PutGet`/`Status`/`Web` ports, hiding all event-driven
@@ -31,6 +33,7 @@
 //!   suite to validate consistency under concurrency and churn.
 
 pub mod abd;
+pub mod choreo;
 pub mod deployment;
 pub mod experiments;
 pub mod key;

@@ -335,6 +335,18 @@ impl CatsNode {
         self.abd.on_definition(|a| a.stored_keys())
     }
 
+    /// The ABD replication component's handled-event surface — the
+    /// role-binding input for the [`kompics_choreo`] protocol checker.
+    pub fn abd_surface(&self) -> kompics_core::analyze::ComponentSurface {
+        self.abd.protocol_surface()
+    }
+
+    /// The Cyclon overlay's handled-event surface — the role-binding input
+    /// for the [`kompics_choreo`] protocol checker.
+    pub fn cyclon_surface(&self) -> kompics_core::analyze::ComponentSurface {
+        self.cyclon.protocol_surface()
+    }
+
     /// Dispatches a web request: interactive `get`/`put` commands or the
     /// status page.
     fn handle_web(&mut self, req: &WebRequest) {

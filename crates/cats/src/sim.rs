@@ -225,9 +225,8 @@ impl CatsSimulator {
             if let Some(nearest) = self.nearest(id) {
                 seeds.push(self.nodes[&nearest].addr);
             }
-            let mut rng = self.rng.lock();
             let mut candidates: Vec<Address> = self.nodes.values().map(|e| e.addr).collect();
-            candidates.shuffle(&mut *rng);
+            candidates.shuffle(&mut *self.rng.lock());
             for c in candidates {
                 if seeds.len() >= 3 {
                     break;

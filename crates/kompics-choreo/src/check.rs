@@ -1,0 +1,240 @@
+//! The checker pipeline: structural validation → projection soundness →
+//! product-automaton exploration → role/component binding. Findings come
+//! back as the shared [`Report`] from `kompics-core::analyze`, so protocol
+//! findings and component-graph findings merge into one severity-sorted
+//! summary.
+
+use kompics_core::analyze::{ComponentSurface, Finding, FindingKind, Report};
+
+use crate::global::Choreography;
+use crate::product::{explore_with_limit, DEFAULT_LIMIT};
+use crate::project::{project, Action, ProjectionIssue};
+
+/// Maps a choreography role onto the live component playing it, carrying
+/// the component's actual handled-event surface (see
+/// [`Component::protocol_surface`](kompics_core::component::Component::protocol_surface)).
+#[derive(Debug, Clone)]
+pub struct RoleBinding {
+    /// The choreography role name.
+    pub role: String,
+    /// The bound component's surface.
+    pub surface: ComponentSurface,
+}
+
+impl RoleBinding {
+    /// Binds `role` to a component surface.
+    pub fn new(role: impl Into<String>, surface: ComponentSurface) -> RoleBinding {
+        RoleBinding {
+            role: role.into(),
+            surface,
+        }
+    }
+}
+
+/// Checks a choreography with no role bindings (static passes only).
+pub fn check(choreo: &Choreography) -> Report {
+    check_bound(choreo, &[])
+}
+
+/// Checks a choreography and, for every role that has a binding, verifies
+/// that the bound component subscribes a handler for each event type the
+/// role must receive. Roles without a binding skip the binding pass (their
+/// components may live on another node).
+pub fn check_bound(choreo: &Choreography, bindings: &[RoleBinding]) -> Report {
+    let mut report = Report::new();
+
+    let structural = choreo.validate();
+    if !structural.is_empty() {
+        for detail in structural {
+            report.push(Finding::error(FindingKind::ProtocolMalformed {
+                choreography: choreo.name.clone(),
+                detail,
+            }));
+        }
+        // Projection of a malformed term is undefined; stop here.
+        return report;
+    }
+
+    let (projections, issues) = project(choreo);
+    let mut ambiguous = false;
+    for issue in issues {
+        match issue {
+            ProjectionIssue::Ambiguous { role, detail } => {
+                ambiguous = true;
+                report.push(Finding::error(FindingKind::ProtocolAmbiguousChoice {
+                    choreography: choreo.name.clone(),
+                    role,
+                    detail,
+                }));
+            }
+            ProjectionIssue::NonExhaustive { role, detail } => {
+                report.push(Finding::warning(FindingKind::ProtocolNonExhaustiveChoice {
+                    choreography: choreo.name.clone(),
+                    role,
+                    detail,
+                }));
+            }
+        }
+    }
+
+    // Reachability over an ambiguous projection would chase merge artifacts;
+    // the stuck/orphan passes run only on sound projections.
+    if !ambiguous {
+        let product = explore_with_limit(&projections, DEFAULT_LIMIT);
+        if let Some(stuck) = product.stuck {
+            report.push(Finding::error(FindingKind::ProtocolStuck {
+                choreography: choreo.name.clone(),
+                waiting: stuck.waiting,
+                trace: stuck.trace,
+            }));
+        }
+        for orphan in product.orphans {
+            report.push(Finding::warning(FindingKind::ProtocolOrphanMessage {
+                choreography: choreo.name.clone(),
+                from: orphan.from,
+                to: orphan.to,
+                event: orphan.label,
+            }));
+        }
+        if product.truncated {
+            report.push(Finding::warning(FindingKind::ProtocolMalformed {
+                choreography: choreo.name.clone(),
+                detail: format!(
+                    "state space exceeded {DEFAULT_LIMIT} configurations; exploration \
+                     truncated — stuck-freedom not established"
+                ),
+            }));
+        }
+    }
+
+    for binding in bindings {
+        let Some(projection) = projections.iter().find(|p| p.role == binding.role) else {
+            report.push(Finding::error(FindingKind::ProtocolMalformed {
+                choreography: choreo.name.clone(),
+                detail: format!(
+                    "binding names role `{}`, which the choreography does not declare",
+                    binding.role
+                ),
+            }));
+            continue;
+        };
+        let mut missing: Vec<String> = Vec::new();
+        for outs in &projection.automaton.transitions {
+            for (action, _) in outs {
+                let label = match action {
+                    Action::Recv { label, .. } | Action::Collect { label, .. } => label,
+                    Action::Send { .. } | Action::SendAll { .. } => continue,
+                };
+                if !binding.surface.handled.contains(label) && !missing.contains(label) {
+                    missing.push(label.clone());
+                }
+            }
+        }
+        for event in missing {
+            report.push(Finding::error(FindingKind::ProtocolUnhandledMessage {
+                choreography: choreo.name.clone(),
+                role: binding.role.clone(),
+                component: binding.surface.component.clone(),
+                event,
+            }));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{end, jump, msg, round, Choreography};
+    use std::collections::BTreeSet;
+
+    fn surface(component: &str, handled: &[&str]) -> ComponentSurface {
+        ComponentSurface {
+            component: component.to_string(),
+            handled: handled
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
+        }
+    }
+
+    #[test]
+    fn clean_protocol_checks_clean() {
+        let c = Choreography::new("pp").role("a").role("b").body(msg(
+            "a",
+            "b",
+            "Ping",
+            msg("b", "a", "Pong", end()),
+        ));
+        assert!(check(&c).is_clean());
+    }
+
+    #[test]
+    fn malformed_short_circuits_before_projection() {
+        let c = Choreography::new("bad").role("a").role("b").body(jump("t"));
+        let report = check(&c);
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.findings()[0].kind.name(), "protocol-malformed");
+    }
+
+    #[test]
+    fn impossible_quorum_is_reported_stuck() {
+        let c = Choreography::new("q").role("a").family("f", 3).body(round(
+            "a",
+            "f",
+            "Q",
+            "R",
+            4,
+            end(),
+        ));
+        let report = check(&c);
+        assert!(report
+            .findings()
+            .iter()
+            .any(|f| f.kind.name() == "protocol-stuck"));
+    }
+
+    #[test]
+    fn binding_against_a_deaf_component_is_unhandled_message() {
+        let c = Choreography::new("pp").role("a").role("b").body(msg(
+            "a",
+            "b",
+            "Ping",
+            msg("b", "a", "Pong", end()),
+        ));
+        let bindings = [
+            RoleBinding::new("a", surface("Coordinator 1", &["Pong"])),
+            RoleBinding::new("b", surface("Worker 2", &["Other"])),
+        ];
+        let report = check_bound(&c, &bindings);
+        assert_eq!(report.errors(), 1);
+        match &report.findings()[0].kind {
+            FindingKind::ProtocolUnhandledMessage {
+                role,
+                component,
+                event,
+                ..
+            } => {
+                assert_eq!(role, "b");
+                assert_eq!(component, "Worker 2");
+                assert_eq!(event, "Ping");
+            }
+            other => panic!("unexpected finding {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binding_an_undeclared_role_is_malformed() {
+        let c = Choreography::new("pp")
+            .role("a")
+            .role("b")
+            .body(msg("a", "b", "Ping", end()));
+        let bindings = [RoleBinding::new("ghost", surface("X 1", &[]))];
+        let report = check_bound(&c, &bindings);
+        assert!(report
+            .findings()
+            .iter()
+            .any(|f| f.kind.name() == "protocol-malformed"));
+    }
+}

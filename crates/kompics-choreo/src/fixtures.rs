@@ -1,0 +1,181 @@
+//! The known-bad fixture corpus: one small choreography per defect class,
+//! each annotated with the exact rule names the checker must report. The
+//! `choreo-check --fixtures` CI mode runs every fixture and fails unless the
+//! produced rule set matches — guarding both directions (a pass that stops
+//! firing, and a pass that starts over-reporting).
+
+use std::collections::BTreeSet;
+
+use kompics_core::analyze::ComponentSurface;
+
+use crate::check::RoleBinding;
+use crate::global::{choice, end, jump, msg, rec, round, Choreography};
+
+/// One corpus entry.
+pub struct Fixture {
+    /// Corpus id, kebab-case.
+    pub name: &'static str,
+    /// What the fixture demonstrates.
+    pub expectation: &'static str,
+    /// The (defective) choreography.
+    pub choreography: Choreography,
+    /// Role bindings to check against, when the defect is a binding defect.
+    pub bindings: Vec<RoleBinding>,
+    /// The exact set of rule names the checker must produce.
+    pub expect_rules: &'static [&'static str],
+}
+
+fn surface(component: &str, handled: &[&str]) -> ComponentSurface {
+    ComponentSurface {
+        component: component.to_string(),
+        handled: handled
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<BTreeSet<_>>(),
+    }
+}
+
+/// Every known-bad fixture.
+pub fn corpus() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            name: "quorum-exceeds-group",
+            expectation: "a 4-of-3 quorum round can never complete: the coordinator \
+                          waits forever once all three replies are consumed",
+            choreography: Choreography::new("quorum-exceeds-group")
+                .role("coordinator")
+                .family("replica", 3)
+                .body(round("coordinator", "replica", "Query", "Reply", 4, end())),
+            bindings: Vec::new(),
+            expect_rules: &["protocol-stuck"],
+        },
+        Fixture {
+            name: "ambiguous-choice",
+            expectation: "both branches open with the same label but then diverge, so \
+                          neither role can tell which branch it is in",
+            choreography: Choreography::new("ambiguous-choice")
+                .role("client")
+                .role("server")
+                .body(choice(
+                    "client",
+                    vec![
+                        msg(
+                            "client",
+                            "server",
+                            "Request",
+                            msg("server", "client", "Granted", end()),
+                        ),
+                        msg(
+                            "client",
+                            "server",
+                            "Request",
+                            msg(
+                                "server",
+                                "client",
+                                "Denied",
+                                msg("client", "server", "Retry", end()),
+                            ),
+                        ),
+                    ],
+                )),
+            bindings: Vec::new(),
+            expect_rules: &["protocol-ambiguous-choice"],
+        },
+        Fixture {
+            name: "unhandled-message",
+            expectation: "the bound component never subscribes a handler for an event \
+                          the role must receive",
+            choreography: Choreography::new("unhandled-message")
+                .role("client")
+                .role("server")
+                .body(msg(
+                    "client",
+                    "server",
+                    "Request",
+                    msg("server", "client", "Response", end()),
+                )),
+            bindings: vec![
+                RoleBinding::new("client", surface("Client 1", &["Response"])),
+                RoleBinding::new("server", surface("Server 2", &["Heartbeat"])),
+            ],
+            expect_rules: &["protocol-unhandled-message"],
+        },
+        Fixture {
+            name: "early-exit-skips-a-role",
+            expectation: "one branch ends without involving the worker, which \
+                          therefore cannot tell whether its message is still coming \
+                          — and the message it would get may outlive the protocol",
+            choreography: Choreography::new("early-exit-skips-a-role")
+                .role("driver")
+                .role("worker")
+                .role("logger")
+                .body(choice(
+                    "driver",
+                    vec![
+                        msg(
+                            "driver",
+                            "logger",
+                            "Begin",
+                            msg("driver", "worker", "Job", end()),
+                        ),
+                        msg("driver", "logger", "Abort", end()),
+                    ],
+                )),
+            bindings: Vec::new(),
+            expect_rules: &["protocol-non-exhaustive-choice", "protocol-orphan-message"],
+        },
+        Fixture {
+            name: "unbound-recursion",
+            expectation: "the loop-back names a recursion variable no enclosing rec \
+                          binds",
+            choreography: Choreography::new("unbound-recursion")
+                .role("a")
+                .role("b")
+                .body(msg("a", "b", "Ping", jump("t"))),
+            bindings: Vec::new(),
+            expect_rules: &["protocol-malformed"],
+        },
+        Fixture {
+            name: "unguarded-recursion",
+            expectation: "a branch loops back without communicating anything, so the \
+                          protocol can spin without progress",
+            choreography: Choreography::new("unguarded-recursion")
+                .role("a")
+                .role("b")
+                .body(rec(
+                    "t",
+                    choice("a", vec![msg("a", "b", "Tick", jump("t")), jump("t")]),
+                )),
+            bindings: Vec::new(),
+            expect_rules: &["protocol-malformed"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_bound;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_fixture_produces_exactly_its_expected_rules() {
+        for fixture in corpus() {
+            let report = check_bound(&fixture.choreography, &fixture.bindings);
+            let produced: BTreeSet<&str> =
+                report.findings().iter().map(|f| f.kind.name()).collect();
+            let expected: BTreeSet<&str> = fixture.expect_rules.iter().copied().collect();
+            assert_eq!(
+                produced, expected,
+                "fixture `{}`: expected {expected:?}, checker produced {produced:?}",
+                fixture.name
+            );
+        }
+    }
+
+    #[test]
+    fn fixture_names_are_unique() {
+        let names: BTreeSet<&str> = corpus().iter().map(|f| f.name).collect();
+        assert_eq!(names.len(), corpus().len());
+    }
+}

@@ -1,0 +1,477 @@
+//! The global-protocol DSL: a choreography describes a multiparty protocol
+//! from the bird's-eye view — who sends which labelled message to whom, in
+//! what order — as one term, the way multiparty session types write global
+//! types. The checker then *projects* the global term onto each role
+//! ([`crate::project`]) and model-checks the projected system
+//! ([`crate::product`]); components never see this type at runtime.
+//!
+//! Message labels are the *unqualified Rust event type names* carried on the
+//! wire (`"ReadQueryMsg"`), which is what lets the binding pass compare a
+//! choreography against a live component's
+//! [`ComponentSurface`](kompics_core::analyze::ComponentSurface).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A role family: `count == 1` is an ordinary point-to-point participant,
+/// `count > 1` a symmetric replica group addressed by the quorum/broadcast
+/// combinators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleDecl {
+    /// Family name, e.g. `"client"` or `"replica"`.
+    pub name: String,
+    /// Number of interchangeable instances.
+    pub count: usize,
+}
+
+/// A global protocol term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Global {
+    /// Protocol over; every role may stop.
+    End,
+    /// Point-to-point `from -> to : label . cont`. Both roles must be
+    /// singletons (`count == 1`) — groups are addressed via [`Global::Broadcast`]
+    /// and [`Global::Round`].
+    Msg {
+        /// Sending role (singleton).
+        from: String,
+        /// Receiving role (singleton).
+        to: String,
+        /// Unqualified event type name on the wire.
+        label: String,
+        /// The rest of the protocol.
+        cont: Box<Global>,
+    },
+    /// `from` sends `label` to *every* instance of family `to` atomically
+    /// (one `SendAll`), then the protocol continues.
+    Broadcast {
+        /// Sending role (singleton).
+        from: String,
+        /// Receiving family (any count).
+        to: String,
+        /// Unqualified event type name on the wire.
+        label: String,
+        /// The rest of the protocol.
+        cont: Box<Global>,
+    },
+    /// An n-of-m quorum round: `at` broadcasts `query` to family, every
+    /// family member replies `reply`, and `at` proceeds once `quorum`
+    /// replies arrived. Straggler replies beyond the quorum are absorbed
+    /// (the ABD pattern: late replies are dropped by request-id check).
+    Round {
+        /// The collecting coordinator (singleton).
+        at: String,
+        /// The replica family queried.
+        family: String,
+        /// Query event type name, coordinator -> each member.
+        query: String,
+        /// Reply event type name, each member -> coordinator.
+        reply: String,
+        /// Replies needed before the coordinator may proceed.
+        quorum: usize,
+        /// The rest of the protocol.
+        cont: Box<Global>,
+    },
+    /// Internal choice at role `at`: `at` decides which branch runs and
+    /// communicates the decision by its branch-initial message.
+    Choice {
+        /// The deciding role (singleton).
+        at: String,
+        /// The alternative continuations.
+        branches: Vec<Global>,
+    },
+    /// Binds recursion variable `var` over `body`.
+    Rec {
+        /// Variable name.
+        var: String,
+        /// Loop body; must be guarded (some message before any loop-back).
+        body: Box<Global>,
+    },
+    /// Jumps back to the innermost enclosing [`Global::Rec`] binding `var`.
+    Var {
+        /// Variable name.
+        var: String,
+    },
+}
+
+/// A named global protocol plus its cast of roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Choreography {
+    /// Diagnostic name, e.g. `"abd-operation"`.
+    pub name: String,
+    /// The declared role families.
+    pub roles: Vec<RoleDecl>,
+    /// The protocol term.
+    pub body: Global,
+}
+
+impl Choreography {
+    /// Starts a choreography with no roles and an empty (`End`) body.
+    pub fn new(name: impl Into<String>) -> Choreography {
+        Choreography {
+            name: name.into(),
+            roles: Vec::new(),
+            body: Global::End,
+        }
+    }
+
+    /// Declares a singleton role.
+    pub fn role(mut self, name: impl Into<String>) -> Self {
+        self.roles.push(RoleDecl {
+            name: name.into(),
+            count: 1,
+        });
+        self
+    }
+
+    /// Declares a role family with `count` interchangeable instances.
+    pub fn family(mut self, name: impl Into<String>, count: usize) -> Self {
+        self.roles.push(RoleDecl {
+            name: name.into(),
+            count,
+        });
+        self
+    }
+
+    /// Sets the protocol term.
+    pub fn body(mut self, body: Global) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Looks up a declared role family.
+    pub fn role_decl(&self, name: &str) -> Option<&RoleDecl> {
+        self.roles.iter().find(|r| r.name == name)
+    }
+
+    /// Structural well-formedness errors: undeclared or duplicate roles,
+    /// self-messages, point-to-point messages involving a family, unbound
+    /// or unguarded recursion, choices whose branches are not announced by
+    /// the deciding role's own send. Returns human-readable details; the
+    /// checker wraps them as `ProtocolMalformed` findings.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen = BTreeSet::new();
+        for role in &self.roles {
+            if !seen.insert(role.name.as_str()) {
+                problems.push(format!("role `{}` declared twice", role.name));
+            }
+            if role.count == 0 {
+                problems.push(format!("role `{}` declared with zero instances", role.name));
+            }
+        }
+        validate_term(self, &self.body, &mut Vec::new(), &mut problems);
+        problems
+    }
+}
+
+fn singleton(choreo: &Choreography, name: &str, what: &str, problems: &mut Vec<String>) {
+    match choreo.role_decl(name) {
+        None => problems.push(format!("{what} role `{name}` is not declared")),
+        Some(decl) if decl.count != 1 => problems.push(format!(
+            "{what} role `{name}` is a family of {}; point-to-point positions need a \
+             singleton (use broadcast/round to address a family)",
+            decl.count
+        )),
+        Some(_) => {}
+    }
+}
+
+fn declared(choreo: &Choreography, name: &str, what: &str, problems: &mut Vec<String>) {
+    if choreo.role_decl(name).is_none() {
+        problems.push(format!("{what} role `{name}` is not declared"));
+    }
+}
+
+/// Walks the term carrying the enclosing `Rec` variables; `bound` entries are
+/// `(var, guarded_yet)` so an unguarded loop-back (`rec t. t`, or a choice
+/// branch that jumps back without communicating) is caught.
+fn validate_term(
+    choreo: &Choreography,
+    term: &Global,
+    bound: &mut Vec<(String, bool)>,
+    problems: &mut Vec<String>,
+) {
+    match term {
+        Global::End => {}
+        Global::Msg { from, to, cont, .. } => {
+            singleton(choreo, from, "sender", problems);
+            singleton(choreo, to, "receiver", problems);
+            if from == to {
+                problems.push(format!("role `{from}` sends a message to itself"));
+            }
+            guard_all(bound);
+            validate_term(choreo, cont, bound, problems);
+        }
+        Global::Broadcast { from, to, cont, .. } => {
+            singleton(choreo, from, "broadcast sender", problems);
+            declared(choreo, to, "broadcast target", problems);
+            if from == to {
+                problems.push(format!("role `{from}` broadcasts to its own family"));
+            }
+            guard_all(bound);
+            validate_term(choreo, cont, bound, problems);
+        }
+        Global::Round {
+            at,
+            family,
+            quorum,
+            cont,
+            ..
+        } => {
+            singleton(choreo, at, "round coordinator", problems);
+            declared(choreo, family, "round", problems);
+            if at == family {
+                problems.push(format!("role `{at}` runs a quorum round over itself"));
+            }
+            if *quorum == 0 {
+                problems.push(format!(
+                    "round at `{at}` over `{family}` collects a quorum of zero"
+                ));
+            }
+            guard_all(bound);
+            validate_term(choreo, cont, bound, problems);
+        }
+        Global::Choice { at, branches } => {
+            singleton(choreo, at, "choice", problems);
+            if branches.is_empty() {
+                problems.push(format!("choice at `{at}` has no branches"));
+            }
+            for branch in branches {
+                if let Some(sender) = first_sender(branch) {
+                    if sender != *at {
+                        problems.push(format!(
+                            "choice at `{at}` has a branch whose first message is sent \
+                             by `{sender}`; the deciding role must announce its own \
+                             decision"
+                        ));
+                    }
+                }
+                // Each branch sees its own copy of the guard flags: taking a
+                // different branch cannot guard this one.
+                let mut branch_bound = bound.clone();
+                validate_term(choreo, branch, &mut branch_bound, problems);
+            }
+        }
+        Global::Rec { var, body } => {
+            bound.push((var.clone(), false));
+            validate_term(choreo, body, bound, problems);
+            bound.pop();
+        }
+        Global::Var { var } => match bound.iter().find(|(v, _)| v == var) {
+            None => problems.push(format!("recursion variable `{var}` is unbound")),
+            Some((_, guarded)) if !guarded => problems.push(format!(
+                "recursion variable `{var}` loops back without any message in \
+                     between (unguarded recursion)"
+            )),
+            Some(_) => {}
+        },
+    }
+}
+
+fn guard_all(bound: &mut [(String, bool)]) {
+    for (_, guarded) in bound.iter_mut() {
+        *guarded = true;
+    }
+}
+
+/// The role that sends the first message of `term`, if any.
+fn first_sender(term: &Global) -> Option<String> {
+    match term {
+        Global::End | Global::Var { .. } => None,
+        Global::Msg { from, .. }
+        | Global::Broadcast { from, .. }
+        | Global::Round { at: from, .. } => Some(from.clone()),
+        Global::Choice { branches, .. } => branches.iter().find_map(first_sender),
+        Global::Rec { body, .. } => first_sender(body),
+    }
+}
+
+impl fmt::Display for Global {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Global::End => write!(f, "end"),
+            Global::Msg {
+                from,
+                to,
+                label,
+                cont,
+            } => write!(f, "{from} -> {to}: {label}. {cont}"),
+            Global::Broadcast {
+                from,
+                to,
+                label,
+                cont,
+            } => write!(f, "{from} ->* {to}: {label}. {cont}"),
+            Global::Round {
+                at,
+                family,
+                query,
+                reply,
+                quorum,
+                cont,
+            } => write!(
+                f,
+                "round[{at} <-> {family}: {query}/{reply}, quorum {quorum}]. {cont}"
+            ),
+            Global::Choice { at, branches } => {
+                write!(f, "choice at {at} {{ ")?;
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, " }}")
+            }
+            Global::Rec { var, body } => write!(f, "rec {var}. {body}"),
+            Global::Var { var } => write!(f, "{var}"),
+        }
+    }
+}
+
+/// `from -> to : label . cont`
+pub fn msg(
+    from: impl Into<String>,
+    to: impl Into<String>,
+    label: impl Into<String>,
+    cont: Global,
+) -> Global {
+    Global::Msg {
+        from: from.into(),
+        to: to.into(),
+        label: label.into(),
+        cont: Box::new(cont),
+    }
+}
+
+/// `from ->* family : label . cont` — one atomic send to every instance.
+pub fn broadcast(
+    from: impl Into<String>,
+    to: impl Into<String>,
+    label: impl Into<String>,
+    cont: Global,
+) -> Global {
+    Global::Broadcast {
+        from: from.into(),
+        to: to.into(),
+        label: label.into(),
+        cont: Box::new(cont),
+    }
+}
+
+/// An n-of-m quorum round; see [`Global::Round`].
+pub fn round(
+    at: impl Into<String>,
+    family: impl Into<String>,
+    query: impl Into<String>,
+    reply: impl Into<String>,
+    quorum: usize,
+    cont: Global,
+) -> Global {
+    Global::Round {
+        at: at.into(),
+        family: family.into(),
+        query: query.into(),
+        reply: reply.into(),
+        quorum,
+        cont: Box::new(cont),
+    }
+}
+
+/// Internal choice at `at`.
+pub fn choice(at: impl Into<String>, branches: Vec<Global>) -> Global {
+    Global::Choice {
+        at: at.into(),
+        branches,
+    }
+}
+
+/// `rec var. body`
+pub fn rec(var: impl Into<String>, body: Global) -> Global {
+    Global::Rec {
+        var: var.into(),
+        body: Box::new(body),
+    }
+}
+
+/// Loop back to `rec var`.
+pub fn jump(var: impl Into<String>) -> Global {
+    Global::Var { var: var.into() }
+}
+
+/// Protocol end.
+pub fn end() -> Global {
+    Global::End
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_party() -> Choreography {
+        Choreography::new("t").role("a").role("b")
+    }
+
+    #[test]
+    fn clean_terms_validate() {
+        let c = two_party().body(msg("a", "b", "X", msg("b", "a", "Y", end())));
+        assert_eq!(c.validate(), Vec::<String>::new());
+        let c = Choreography::new("q").role("a").family("f", 3).body(round(
+            "a",
+            "f",
+            "Q",
+            "R",
+            2,
+            end(),
+        ));
+        assert_eq!(c.validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn undeclared_and_self_messages_are_caught() {
+        let c = two_party().body(msg("a", "c", "X", end()));
+        assert!(c.validate()[0].contains("not declared"));
+        let c = two_party().body(msg("a", "a", "X", end()));
+        assert!(c.validate()[0].contains("itself"));
+    }
+
+    #[test]
+    fn family_in_point_to_point_position_is_caught() {
+        let c = Choreography::new("t")
+            .role("a")
+            .family("f", 3)
+            .body(msg("a", "f", "X", end()));
+        assert!(c.validate()[0].contains("family of 3"));
+    }
+
+    #[test]
+    fn unbound_and_unguarded_recursion_are_caught() {
+        let c = two_party().body(jump("t"));
+        assert!(c.validate()[0].contains("unbound"));
+        let c = two_party().body(rec("t", jump("t")));
+        assert!(c.validate()[0].contains("unguarded"));
+        let c = two_party().body(rec("t", msg("a", "b", "X", jump("t"))));
+        assert_eq!(c.validate(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn choice_branches_must_be_announced_by_the_chooser() {
+        let c = two_party().body(choice(
+            "a",
+            vec![msg("a", "b", "X", end()), msg("b", "a", "Y", end())],
+        ));
+        assert!(c.validate()[0].contains("announce"));
+    }
+
+    #[test]
+    fn a_branch_does_not_guard_its_sibling() {
+        // rec t. choice at a { a->b: X. t  |  t } — the second branch loops
+        // back without communicating even though the first one would.
+        let c = two_party().body(rec(
+            "t",
+            choice("a", vec![msg("a", "b", "X", jump("t")), jump("t")]),
+        ));
+        assert!(c.validate().iter().any(|p| p.contains("unguarded")));
+    }
+}

@@ -1,0 +1,63 @@
+//! # kompics-choreo
+//!
+//! Session-typed protocol choreographies for the kompics component model:
+//! write a distributed protocol *once*, as a global choreography, and get
+//!
+//! 1. **static projection** onto per-role communicating state machines
+//!    ([`project`]), with projection-soundness checks (no role ever faces an
+//!    ambiguous choice),
+//! 2. **stuck-protocol detection** by reachability over the product of the
+//!    projected machines ([`product`]), including n-of-m quorum rounds with
+//!    absorbed stragglers,
+//! 3. **binding checks** against the event types live components actually
+//!    handle (via `kompics-core::analyze`'s component surfaces), and
+//! 4. **runtime conformance monitors** ([`monitor`]) compiled from the very
+//!    same projection, tapping a role's ports in threaded or simulated
+//!    execution.
+//!
+//! Findings are reported through the shared
+//! [`Report`](kompics_core::analyze::Report) type, so protocol findings and
+//! component-graph findings print as one severity-sorted summary.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use kompics_choreo::prelude::*;
+//!
+//! // A 2-of-3 quorum read: the coordinator queries every replica and
+//! // proceeds on the second reply; the third is an absorbed straggler.
+//! let read = Choreography::new("quorum-read")
+//!     .role("coordinator")
+//!     .family("replica", 3)
+//!     .body(round("coordinator", "replica", "ReadQueryMsg", "ReadReplyMsg", 2, end()));
+//! assert!(check(&read).is_clean());
+//!
+//! // The same round demanding four replies from three replicas deadlocks,
+//! // and the checker proves it with a witness trace.
+//! let broken = Choreography::new("impossible-quorum")
+//!     .role("coordinator")
+//!     .family("replica", 3)
+//!     .body(round("coordinator", "replica", "ReadQueryMsg", "ReadReplyMsg", 4, end()));
+//! assert_eq!(check(&broken).errors(), 1);
+//! ```
+
+pub mod check;
+pub mod fixtures;
+pub mod global;
+pub mod monitor;
+pub mod product;
+pub mod project;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::check::{check, check_bound, RoleBinding};
+    pub use crate::fixtures::{corpus, Fixture};
+    pub use crate::global::{
+        broadcast, choice, end, jump, msg, rec, round, Choreography, Global, RoleDecl,
+    };
+    pub use crate::monitor::{short_event_name, ConformanceMonitor, Obs};
+    pub use crate::product::{explore, explore_with_limit, ProductReport};
+    pub use crate::project::{project, project_role, Action, LocalAutomaton, Projection};
+}
+
+pub use prelude::*;

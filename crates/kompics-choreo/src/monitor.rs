@@ -1,0 +1,405 @@
+//! Runtime conformance monitoring: the *same* projected automaton that the
+//! static checker explores is compiled into a small online monitor that
+//! watches one role's real message traffic (via [`PortRef::tap`]) and flags
+//! any observation sequence the projection cannot produce — so the static
+//! and dynamic layers check one artifact.
+//!
+//! Observations are multiplexed by *session* (for ABD, the request id): each
+//! session independently tracks the set of local states the role could be
+//! in, NFA-style. Two runtime realities are built in:
+//!
+//! * **Stragglers.** Once a session passed an n-of-m `Collect`, late copies
+//!   of the collected reply are expected and absorbed silently — the
+//!   runtime analog of the product explorer's absorb permits.
+//! * **Retries.** Protocol engines restart an operation under the same
+//!   session key (ABD re-runs the read round after an operation timeout).
+//!   An observation no state admits is retried from the initial state
+//!   before being ruled a violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use kompics_core::event::EventRef;
+use kompics_core::port::{Direction, PortRef, PortType};
+use kompics_core::types::HandlerId;
+use parking_lot::Mutex;
+
+use crate::global::Choreography;
+use crate::project::{project_role, Action, LocalAutomaton};
+
+/// One observed protocol step of the monitored role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Obs {
+    /// The role sent an event with this unqualified type name.
+    Sent(String),
+    /// The role received an event with this unqualified type name.
+    Received(String),
+}
+
+/// Strips a module path off an event name (`cats::msgs::ReadQueryMsg` ->
+/// `ReadQueryMsg`), matching choreography label spelling.
+pub fn short_event_name(full: &str) -> &str {
+    full.rsplit("::").next().unwrap_or(full)
+}
+
+// ---------------------------------------------------------------------------
+// Runtime machine
+// ---------------------------------------------------------------------------
+
+/// A projected automaton recompiled for online matching: `SendAll` and
+/// `Collect` actions — atomic in the static model — show up at runtime as
+/// *bursts* of individual sends/receives, so each becomes an absorbing
+/// pseudo-state that loops on repeats and epsilon-continues to the
+/// successor.
+struct RuntimeMachine {
+    /// Per-state `(observation-kind, label, target)`; kind true = sent.
+    edges: Vec<Vec<(bool, String, usize)>>,
+    /// Epsilon successors (absorbing pseudo-states fall through here).
+    eps: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+    /// States that are collect-absorbers: entering one makes its label a
+    /// permanent expected straggler for the session.
+    collect_label: Vec<Option<String>>,
+    start: usize,
+}
+
+impl RuntimeMachine {
+    fn compile(automaton: &LocalAutomaton) -> RuntimeMachine {
+        let n = automaton.len();
+        let mut machine = RuntimeMachine {
+            edges: vec![Vec::new(); n],
+            eps: vec![Vec::new(); n],
+            accepting: automaton.accepting.clone(),
+            collect_label: vec![None; n],
+            start: automaton.start,
+        };
+        for (state, outs) in automaton.transitions.iter().enumerate() {
+            for (action, target) in outs {
+                match action {
+                    Action::Send { label, .. } => {
+                        machine.edges[state].push((true, label.clone(), *target));
+                    }
+                    Action::Recv { label, .. } => {
+                        machine.edges[state].push((false, label.clone(), *target));
+                    }
+                    Action::SendAll { label, .. } => {
+                        let p = machine.add_absorber(*target, None);
+                        machine.edges[state].push((true, label.clone(), p));
+                        machine.edges[p].push((true, label.clone(), p));
+                    }
+                    Action::Collect { label, .. } => {
+                        let p = machine.add_absorber(*target, Some(label.clone()));
+                        machine.edges[state].push((false, label.clone(), p));
+                        machine.edges[p].push((false, label.clone(), p));
+                    }
+                }
+            }
+        }
+        machine
+    }
+
+    fn add_absorber(&mut self, fall_through: usize, collect: Option<String>) -> usize {
+        let p = self.edges.len();
+        self.edges.push(Vec::new());
+        self.eps.push(vec![fall_through]);
+        self.accepting.push(false);
+        self.collect_label.push(collect);
+        p
+    }
+
+    fn closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = states.clone();
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s] {
+                if out.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Advances a closed state set by one observation; empty result means no
+    /// protocol state admits it.
+    fn step(&self, states: &BTreeSet<usize>, obs: &Obs) -> BTreeSet<usize> {
+        let (sent, label) = match obs {
+            Obs::Sent(l) => (true, l),
+            Obs::Received(l) => (false, l),
+        };
+        let mut next = BTreeSet::new();
+        for &s in states {
+            for (kind, lab, target) in &self.edges[s] {
+                if *kind == sent && lab == label {
+                    next.insert(*target);
+                }
+            }
+        }
+        self.closure(&next)
+    }
+
+    fn initial(&self) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        set.insert(self.start);
+        self.closure(&set)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monitor
+// ---------------------------------------------------------------------------
+
+struct Session {
+    states: BTreeSet<usize>,
+    /// Labels whose late copies are expected (passed collects).
+    absorbable: BTreeSet<String>,
+    observed: usize,
+}
+
+struct MonitorCore {
+    choreography: String,
+    role: String,
+    machine: RuntimeMachine,
+    sessions: Mutex<BTreeMap<String, Session>>,
+    violations: Mutex<Vec<String>>,
+}
+
+/// An online conformance monitor for one role of a choreography. Cheap to
+/// clone (shared state); safe to feed from scheduler threads.
+#[derive(Clone)]
+pub struct ConformanceMonitor {
+    core: Arc<MonitorCore>,
+}
+
+impl ConformanceMonitor {
+    /// Compiles the monitor from the projection of `role`. Fails when the
+    /// choreography is structurally invalid or does not declare the role.
+    pub fn for_role(choreo: &Choreography, role: &str) -> Result<ConformanceMonitor, String> {
+        let problems = choreo.validate();
+        if let Some(problem) = problems.first() {
+            return Err(format!(
+                "choreography `{}` is malformed: {problem}",
+                choreo.name
+            ));
+        }
+        if choreo.role_decl(role).is_none() {
+            return Err(format!(
+                "choreography `{}` declares no role `{role}`",
+                choreo.name
+            ));
+        }
+        let automaton = project_role(choreo, role);
+        Ok(ConformanceMonitor {
+            core: Arc::new(MonitorCore {
+                choreography: choreo.name.clone(),
+                role: role.to_string(),
+                machine: RuntimeMachine::compile(&automaton),
+                sessions: Mutex::new(BTreeMap::new()),
+                violations: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// Feeds one observation for one session.
+    pub fn observe(&self, session: &str, obs: Obs) {
+        let core = &self.core;
+        let mut sessions = core.sessions.lock();
+        let entry = sessions
+            .entry(session.to_string())
+            .or_insert_with(|| Session {
+                states: core.machine.initial(),
+                absorbable: BTreeSet::new(),
+                observed: 0,
+            });
+        entry.observed += 1;
+
+        let next = core.machine.step(&entry.states, &obs);
+        if !next.is_empty() {
+            remember_collects(&core.machine, &next, &mut entry.absorbable);
+            entry.states = next;
+            return;
+        }
+        // Late straggler of a quorum the session already passed?
+        if let Obs::Received(label) = &obs {
+            if entry.absorbable.contains(label) {
+                return;
+            }
+        }
+        // Retry semantics: the engine may restart the operation under the
+        // same session key; earlier stragglers stay expected.
+        let restarted = core.machine.step(&core.machine.initial(), &obs);
+        if !restarted.is_empty() {
+            remember_collects(&core.machine, &restarted, &mut entry.absorbable);
+            entry.states = restarted;
+            return;
+        }
+        drop(sessions);
+        let what = match &obs {
+            Obs::Sent(l) => format!("sent `{l}`"),
+            Obs::Received(l) => format!("received `{l}`"),
+        };
+        core.violations.lock().push(format!(
+            "choreography `{}` role `{}` session `{session}`: {what}, which no \
+             state of the projected protocol admits",
+            core.choreography, core.role
+        ));
+    }
+
+    /// All conformance violations seen so far.
+    pub fn violations(&self) -> Vec<String> {
+        self.core.violations.lock().clone()
+    }
+
+    /// True when no observation has diverged from the projection.
+    pub fn is_conformant(&self) -> bool {
+        self.core.violations.lock().is_empty()
+    }
+
+    /// Number of sessions observed.
+    pub fn sessions(&self) -> usize {
+        self.core.sessions.lock().len()
+    }
+
+    /// Number of sessions whose state set contains an accepting state (the
+    /// protocol run may have completed).
+    pub fn completed_sessions(&self) -> usize {
+        let core = &self.core;
+        core.sessions
+            .lock()
+            .values()
+            .filter(|s| s.states.iter().any(|&st| core.machine.accepting[st]))
+            .count()
+    }
+
+    /// Taps a port and feeds every event the classifier recognizes. The
+    /// classifier maps a raw `(direction, event)` pair to a session key and
+    /// an observation — returning `None` ignores the event (lifecycle,
+    /// unrelated traffic). Returns the tap's handler id for
+    /// [`PortRef::untap`].
+    pub fn attach<P, F>(&self, port: &PortRef<P>, classify: F) -> HandlerId
+    where
+        P: PortType,
+        F: Fn(Direction, &EventRef) -> Option<(String, Obs)> + Send + Sync + 'static,
+    {
+        let monitor = self.clone();
+        port.tap(move |dir, event| {
+            if let Some((session, obs)) = classify(dir, event) {
+                monitor.observe(&session, obs);
+            }
+        })
+    }
+}
+
+fn remember_collects(
+    machine: &RuntimeMachine,
+    states: &BTreeSet<usize>,
+    absorbable: &mut BTreeSet<String>,
+) {
+    for &s in states {
+        if let Some(label) = &machine.collect_label[s] {
+            if !absorbable.contains(label) {
+                absorbable.insert(label.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{end, round, Choreography};
+
+    fn quorum_choreo() -> Choreography {
+        Choreography::new("q")
+            .role("client")
+            .family("replica", 3)
+            .body(round(
+                "client",
+                "replica",
+                "Q",
+                "R",
+                2,
+                round("client", "replica", "W", "A", 2, end()),
+            ))
+    }
+
+    #[test]
+    fn conforming_quorum_run_is_accepted() {
+        let m = ConformanceMonitor::for_role(&quorum_choreo(), "client").unwrap();
+        for _ in 0..3 {
+            m.observe("1", Obs::Sent("Q".into()));
+        }
+        m.observe("1", Obs::Received("R".into()));
+        m.observe("1", Obs::Received("R".into()));
+        for _ in 0..3 {
+            m.observe("1", Obs::Sent("W".into()));
+        }
+        m.observe("1", Obs::Received("A".into()));
+        m.observe("1", Obs::Received("A".into()));
+        assert!(m.is_conformant(), "{:?}", m.violations());
+        assert_eq!(m.completed_sessions(), 1);
+    }
+
+    #[test]
+    fn late_straggler_after_round_switch_is_absorbed() {
+        let m = ConformanceMonitor::for_role(&quorum_choreo(), "client").unwrap();
+        m.observe("1", Obs::Sent("Q".into()));
+        m.observe("1", Obs::Received("R".into()));
+        m.observe("1", Obs::Received("R".into()));
+        m.observe("1", Obs::Sent("W".into()));
+        // Third replica's read reply arrives mid-write-round.
+        m.observe("1", Obs::Received("R".into()));
+        m.observe("1", Obs::Received("A".into()));
+        m.observe("1", Obs::Received("A".into()));
+        assert!(m.is_conformant(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn retry_restarts_the_session() {
+        let m = ConformanceMonitor::for_role(&quorum_choreo(), "client").unwrap();
+        m.observe("1", Obs::Sent("Q".into()));
+        m.observe("1", Obs::Received("R".into()));
+        // Operation timeout: the engine re-runs the read round, same rid.
+        m.observe("1", Obs::Sent("Q".into()));
+        m.observe("1", Obs::Received("R".into()));
+        m.observe("1", Obs::Received("R".into()));
+        m.observe("1", Obs::Sent("W".into()));
+        assert!(m.is_conformant(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn out_of_protocol_message_is_a_violation() {
+        let m = ConformanceMonitor::for_role(&quorum_choreo(), "client").unwrap();
+        m.observe("1", Obs::Sent("Q".into()));
+        // An ack before any write query exists in no protocol state.
+        m.observe("1", Obs::Received("A".into()));
+        assert!(!m.is_conformant());
+        assert!(m.violations()[0].contains("received `A`"));
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let m = ConformanceMonitor::for_role(&quorum_choreo(), "client").unwrap();
+        m.observe("1", Obs::Sent("Q".into()));
+        m.observe("2", Obs::Sent("Q".into()));
+        m.observe("2", Obs::Received("R".into()));
+        assert_eq!(m.sessions(), 2);
+        assert!(m.is_conformant());
+    }
+
+    #[test]
+    fn unknown_role_is_rejected() {
+        assert!(ConformanceMonitor::for_role(&quorum_choreo(), "ghost").is_err());
+    }
+
+    #[test]
+    fn replica_role_monitors_the_passive_side() {
+        let m = ConformanceMonitor::for_role(&quorum_choreo(), "replica").unwrap();
+        m.observe("1", Obs::Received("Q".into()));
+        m.observe("1", Obs::Sent("R".into()));
+        m.observe("1", Obs::Received("W".into()));
+        m.observe("1", Obs::Sent("A".into()));
+        assert!(m.is_conformant(), "{:?}", m.violations());
+        assert_eq!(m.completed_sessions(), 1);
+    }
+}

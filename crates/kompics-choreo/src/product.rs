@@ -1,0 +1,620 @@
+//! Stuck-protocol detection: instantiates the projected role automata (one
+//! copy per family member), then explores the *product automaton* — every
+//! reachable combination of local states and in-flight messages — by
+//! breadth-first search. Communication is modelled with capacity-1 buffers
+//! per directed instance pair, the tightest bound under which the kompics
+//! channel layer can always make progress; a deadlock found here is a real
+//! execution, and the BFS order makes its witness trace shortest.
+//!
+//! Quorum rounds need one refinement: an n-of-m `Collect` leaves `m - n`
+//! straggler replies in flight by design (ABD drops late replies by
+//! request id). Completing a collect therefore grants the collector that
+//! many *absorb permits* — the right to silently consume stragglers later —
+//! so they neither wedge the buffers nor count as orphaned messages.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::project::{Action, Projection};
+
+/// Hard cap on explored configurations; protocols here are tiny, so hitting
+/// it means a modelling mistake rather than a big protocol.
+pub const DEFAULT_LIMIT: usize = 200_000;
+
+/// What the exploration found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProductReport {
+    /// Number of distinct configurations visited.
+    pub explored: usize,
+    /// The first (shortest-witness) reachable deadlock, if any.
+    pub stuck: Option<StuckReport>,
+    /// Messages that can remain undelivered (and unabsorbable) after every
+    /// role reached an accepting state.
+    pub orphans: Vec<OrphanReport>,
+    /// True when the configuration limit cut the search short.
+    pub truncated: bool,
+}
+
+/// A reachable configuration where no instance can move yet at least one is
+/// not finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckReport {
+    /// What each unfinished instance is waiting to do.
+    pub waiting: Vec<String>,
+    /// Shortest event trace from the initial configuration.
+    pub trace: Vec<String>,
+}
+
+/// A message that can outlive the protocol.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrphanReport {
+    /// Sending instance, e.g. `replica[2]`.
+    pub from: String,
+    /// Receiving instance.
+    pub to: String,
+    /// The event type name left in flight.
+    pub label: String,
+}
+
+/// Explores the product of the given projections with [`DEFAULT_LIMIT`].
+pub fn explore(projections: &[Projection]) -> ProductReport {
+    explore_with_limit(projections, DEFAULT_LIMIT)
+}
+
+// ---------------------------------------------------------------------------
+// Instantiation
+// ---------------------------------------------------------------------------
+
+/// A single family member's machine, with `Collect` edges expanded into
+/// counting chains of single-reply consumptions.
+struct Instance {
+    /// Display name (`client`, `replica[1]`).
+    name: String,
+    start: usize,
+    accepting: Vec<bool>,
+    edges: Vec<Vec<Move>>,
+}
+
+#[derive(Clone)]
+enum Move {
+    /// Put `label` into each target's inbound buffer atomically (a
+    /// point-to-point send has one target; a broadcast all of them).
+    Emit {
+        targets: Vec<usize>,
+        label: u16,
+        next: usize,
+        describe: String,
+    },
+    /// Take `label` out of the buffer from one specific instance.
+    Take {
+        from: usize,
+        label: u16,
+        next: usize,
+        describe: String,
+    },
+    /// Take one copy of `label` from any member of a family (one step of a
+    /// quorum collect); the final step grants `grant` absorb permits.
+    TakeAny {
+        from: Vec<usize>,
+        label: u16,
+        next: usize,
+        grant: u8,
+        permit: usize,
+        describe: String,
+    },
+}
+
+struct World {
+    instances: Vec<Instance>,
+    labels: Vec<String>,
+    /// Number of distinct `(instance, family, label)` absorb-permit slots.
+    permit_slots: usize,
+    /// permit slot -> the family instances whose messages it may absorb.
+    permit_sources: Vec<Vec<usize>>,
+    permit_labels: Vec<u16>,
+    /// permit slot -> the collecting instance holding the permit.
+    permit_owners: Vec<usize>,
+}
+
+fn intern(labels: &mut Vec<String>, label: &str) -> u16 {
+    if let Some(i) = labels.iter().position(|l| l == label) {
+        return i as u16;
+    }
+    labels.push(label.to_string());
+    (labels.len() - 1) as u16
+}
+
+fn build_world(projections: &[Projection]) -> World {
+    // Instance layout: families in projection order, members in index order.
+    let mut family_members: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut names = Vec::new();
+    for p in projections {
+        for idx in 0..p.count {
+            let id = names.len();
+            let name = if p.count == 1 {
+                p.role.clone()
+            } else {
+                format!("{}[{idx}]", p.role)
+            };
+            names.push((p.role.clone(), name));
+            family_members.entry(p.role.as_str()).or_default().push(id);
+        }
+    }
+
+    let mut labels = Vec::new();
+    let mut permit_keys: Vec<(usize, String, String)> = Vec::new();
+    let mut instances = Vec::new();
+
+    for p in projections {
+        let members = family_members[p.role.as_str()].clone();
+        for &id in &members {
+            let name = names[id].1.clone();
+            let mut accepting = p.automaton.accepting.clone();
+            let mut edges: Vec<Vec<Move>> = vec![Vec::new(); accepting.len()];
+            for (state, outs) in p.automaton.transitions.iter().enumerate() {
+                for (action, target) in outs {
+                    match action {
+                        Action::Send { to, label } => {
+                            let Some(peers) = family_members.get(to.as_str()) else {
+                                continue;
+                            };
+                            edges[state].push(Move::Emit {
+                                targets: vec![peers[0]],
+                                label: intern(&mut labels, label),
+                                next: *target,
+                                describe: format!("{name} -> {to}: {label}"),
+                            });
+                        }
+                        Action::SendAll { family: fam, label } => {
+                            let Some(peers) = family_members.get(fam.as_str()) else {
+                                continue;
+                            };
+                            edges[state].push(Move::Emit {
+                                targets: peers.clone(),
+                                label: intern(&mut labels, label),
+                                next: *target,
+                                describe: format!("{name} ->* {fam}: {label}"),
+                            });
+                        }
+                        Action::Recv { from, label } => {
+                            let Some(peers) = family_members.get(from.as_str()) else {
+                                continue;
+                            };
+                            edges[state].push(Move::Take {
+                                from: peers[0],
+                                label: intern(&mut labels, label),
+                                next: *target,
+                                describe: format!("{name} <- {from}: {label}"),
+                            });
+                        }
+                        Action::Collect {
+                            family: fam,
+                            label,
+                            quorum,
+                        } => {
+                            let Some(peers) = family_members.get(fam.as_str()) else {
+                                continue;
+                            };
+                            let lab = intern(&mut labels, label);
+                            let key = (id, fam.clone(), label.clone());
+                            let permit = match permit_keys.iter().position(|k| *k == key) {
+                                Some(i) => i,
+                                None => {
+                                    permit_keys.push(key);
+                                    permit_keys.len() - 1
+                                }
+                            };
+                            let grant = peers.len().saturating_sub(*quorum) as u8;
+                            // quorum - 1 intermediate counting states, then
+                            // the final step that grants the permits.
+                            let mut entry = *target;
+                            for step in (1..*quorum).rev() {
+                                let s = accepting.len();
+                                accepting.push(false);
+                                edges.push(vec![Move::TakeAny {
+                                    from: peers.clone(),
+                                    label: lab,
+                                    next: entry,
+                                    grant: if step == *quorum - 1 { grant } else { 0 },
+                                    permit,
+                                    describe: format!(
+                                        "{name} <- {fam}: {label} [{}/{quorum}]",
+                                        step + 1
+                                    ),
+                                }]);
+                                entry = s;
+                            }
+                            edges[state].push(Move::TakeAny {
+                                from: peers.clone(),
+                                label: lab,
+                                next: entry,
+                                grant: if *quorum == 1 { grant } else { 0 },
+                                permit,
+                                describe: format!("{name} <- {fam}: {label} [1/{quorum}]"),
+                            });
+                        }
+                    }
+                }
+            }
+            instances.push(Instance {
+                name,
+                start: p.automaton.start,
+                accepting,
+                edges,
+            });
+        }
+    }
+
+    let permit_sources = permit_keys
+        .iter()
+        .map(|(_, fam, _)| {
+            family_members
+                .get(fam.as_str())
+                .cloned()
+                .unwrap_or_default()
+        })
+        .collect();
+    let permit_labels = permit_keys
+        .iter()
+        .map(|(_, _, label)| intern(&mut labels, label))
+        .collect();
+    let permit_owners = permit_keys.iter().map(|(id, _, _)| *id).collect();
+
+    World {
+        instances,
+        labels,
+        permit_slots: permit_keys.len(),
+        permit_sources,
+        permit_labels,
+        permit_owners,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Config {
+    locals: Vec<usize>,
+    /// Row-major `buffers[sender * n + receiver]`.
+    buffers: Vec<Option<u16>>,
+    /// Remaining absorb permits per slot, capped to keep the space finite.
+    permits: Vec<u8>,
+}
+
+/// Permits never need to exceed the family size: at most `m` stragglers of
+/// one label can ever be in flight towards one collector.
+const PERMIT_CAP: u8 = 16;
+
+/// Explores the product with an explicit configuration limit.
+pub fn explore_with_limit(projections: &[Projection], limit: usize) -> ProductReport {
+    let world = build_world(projections);
+    let n = world.instances.len();
+    let initial = Config {
+        locals: world.instances.iter().map(|i| i.start).collect(),
+        buffers: vec![None; n * n],
+        permits: vec![0; world.permit_slots],
+    };
+
+    let mut report = ProductReport::default();
+    let mut seen: HashMap<Config, usize> = HashMap::new();
+    let mut parents: Vec<Option<(usize, String)>> = Vec::new();
+    let mut frontier: VecDeque<(Config, usize)> = VecDeque::new();
+    seen.insert(initial.clone(), 0);
+    parents.push(None);
+    frontier.push_back((initial, 0));
+    let mut orphans: BTreeSet<OrphanReport> = BTreeSet::new();
+
+    while let Some((config, id)) = frontier.pop_front() {
+        report.explored += 1;
+        if report.explored > limit {
+            report.truncated = true;
+            break;
+        }
+        let moves = enabled_moves(&world, &config);
+        let all_accepting = config
+            .locals
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| world.instances[i].accepting[s]);
+
+        if all_accepting {
+            // Every role may legitimately stop here; anything still in a
+            // buffer that no permit covers would then never be consumed.
+            note_orphans(&world, &config, &mut orphans);
+        }
+        if moves.is_empty() {
+            if !all_accepting && report.stuck.is_none() {
+                report.stuck = Some(stuck_report(&world, &config, id, &parents));
+            }
+            continue;
+        }
+        for (next, describe) in moves {
+            if !seen.contains_key(&next) {
+                let next_id = parents.len();
+                seen.insert(next.clone(), next_id);
+                parents.push(Some((id, describe)));
+                frontier.push_back((next, next_id));
+            }
+        }
+    }
+
+    report.orphans = orphans.into_iter().collect();
+    report
+}
+
+fn enabled_moves(world: &World, config: &Config) -> Vec<(Config, String)> {
+    let n = world.instances.len();
+    let mut out = Vec::new();
+    for (i, instance) in world.instances.iter().enumerate() {
+        for mv in &instance.edges[config.locals[i]] {
+            match mv {
+                Move::Emit {
+                    targets,
+                    label,
+                    next,
+                    describe,
+                } => {
+                    if targets.iter().all(|&j| config.buffers[i * n + j].is_none()) {
+                        let mut c = config.clone();
+                        for &j in targets {
+                            c.buffers[i * n + j] = Some(*label);
+                        }
+                        c.locals[i] = *next;
+                        out.push((c, describe.clone()));
+                    }
+                }
+                Move::Take {
+                    from,
+                    label,
+                    next,
+                    describe,
+                } => {
+                    if config.buffers[from * n + i] == Some(*label) {
+                        let mut c = config.clone();
+                        c.buffers[from * n + i] = None;
+                        c.locals[i] = *next;
+                        out.push((c, describe.clone()));
+                    }
+                }
+                Move::TakeAny {
+                    from,
+                    label,
+                    next,
+                    grant,
+                    permit,
+                    describe,
+                } => {
+                    for &j in from {
+                        if config.buffers[j * n + i] == Some(*label) {
+                            let mut c = config.clone();
+                            c.buffers[j * n + i] = None;
+                            c.locals[i] = *next;
+                            if *grant > 0 {
+                                c.permits[*permit] =
+                                    c.permits[*permit].saturating_add(*grant).min(PERMIT_CAP);
+                            }
+                            out.push((c, describe.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Absorb moves: a collector with permits may drop a straggler copy of
+    // the collected label regardless of its local state.
+    for slot in 0..world.permit_slots {
+        if config.permits[slot] == 0 {
+            continue;
+        }
+        let collector = world.permit_owners[slot];
+        for &j in &world.permit_sources[slot] {
+            if config.buffers[j * n + collector] == Some(world.permit_labels[slot]) {
+                let mut c = config.clone();
+                c.buffers[j * n + collector] = None;
+                c.permits[slot] -= 1;
+                out.push((
+                    c,
+                    format!(
+                        "{} absorbs straggler {} from {}",
+                        world.instances[collector].name,
+                        world.labels[world.permit_labels[slot] as usize],
+                        world.instances[j].name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn note_orphans(world: &World, config: &Config, orphans: &mut BTreeSet<OrphanReport>) {
+    let n = world.instances.len();
+    // Count how many copies of each label each receiver could still absorb.
+    let mut absorbable: HashMap<(usize, u16), u32> = HashMap::new();
+    for slot in 0..world.permit_slots {
+        if config.permits[slot] > 0 {
+            let collector = world.permit_owners[slot];
+            *absorbable
+                .entry((collector, world.permit_labels[slot]))
+                .or_default() += config.permits[slot] as u32;
+        }
+    }
+    for from in 0..n {
+        for to in 0..n {
+            let Some(label) = config.buffers[from * n + to] else {
+                continue;
+            };
+            if let Some(budget) = absorbable.get_mut(&(to, label)) {
+                if *budget > 0 {
+                    *budget -= 1;
+                    continue;
+                }
+            }
+            orphans.insert(OrphanReport {
+                from: world.instances[from].name.clone(),
+                to: world.instances[to].name.clone(),
+                label: world.labels[label as usize].clone(),
+            });
+        }
+    }
+}
+
+fn stuck_report(
+    world: &World,
+    config: &Config,
+    id: usize,
+    parents: &[Option<(usize, String)>],
+) -> StuckReport {
+    let mut waiting = Vec::new();
+    for (i, instance) in world.instances.iter().enumerate() {
+        let state = config.locals[i];
+        if instance.accepting[state] {
+            continue;
+        }
+        let wants: Vec<String> = instance.edges[state]
+            .iter()
+            .map(|mv| match mv {
+                Move::Emit { describe, .. }
+                | Move::Take { describe, .. }
+                | Move::TakeAny { describe, .. } => describe.clone(),
+            })
+            .collect();
+        if wants.is_empty() {
+            waiting.push(format!("{} has no possible action", instance.name));
+        } else {
+            waiting.push(format!("{} cannot {}", instance.name, wants.join(" / ")));
+        }
+    }
+    let mut trace = Vec::new();
+    let mut cursor = id;
+    while let Some((parent, step)) = &parents[cursor] {
+        trace.push(step.clone());
+        cursor = *parent;
+    }
+    trace.reverse();
+    StuckReport { waiting, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{choice, end, jump, msg, rec, round, Choreography};
+    use crate::project::project;
+
+    fn product_of(choreo: &Choreography) -> ProductReport {
+        let (projections, _) = project(choreo);
+        explore(&projections)
+    }
+
+    #[test]
+    fn pingpong_is_stuck_free() {
+        let c = Choreography::new("pp").role("a").role("b").body(msg(
+            "a",
+            "b",
+            "Ping",
+            msg("b", "a", "Pong", end()),
+        ));
+        let report = product_of(&c);
+        assert_eq!(report.stuck, None);
+        assert_eq!(report.orphans, Vec::new());
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn quorum_round_with_stragglers_is_stuck_and_orphan_free() {
+        let c = Choreography::new("q").role("a").family("f", 3).body(round(
+            "a",
+            "f",
+            "Q",
+            "R",
+            2,
+            end(),
+        ));
+        let report = product_of(&c);
+        assert_eq!(report.stuck, None);
+        assert_eq!(report.orphans, Vec::new());
+    }
+
+    #[test]
+    fn quorum_exceeding_the_family_gets_stuck_with_a_trace() {
+        let c = Choreography::new("q").role("a").family("f", 3).body(round(
+            "a",
+            "f",
+            "Q",
+            "R",
+            4,
+            end(),
+        ));
+        let report = product_of(&c);
+        let stuck = report.stuck.expect("4-of-3 quorum can never complete");
+        assert!(stuck.waiting.iter().any(|w| w.contains('a')), "{stuck:?}");
+        assert!(!stuck.trace.is_empty());
+    }
+
+    #[test]
+    fn dropped_reply_send_is_stuck() {
+        // Mutation of ping-pong: delete b's Send edge after the receive.
+        let c = Choreography::new("pp").role("a").role("b").body(msg(
+            "a",
+            "b",
+            "Ping",
+            msg("b", "a", "Pong", end()),
+        ));
+        let (mut projections, _) = project(&c);
+        let b = &mut projections[1].automaton;
+        let after_recv = b.transitions[b.start][0].1;
+        b.transitions[after_recv].clear();
+        let report = explore(&projections);
+        assert!(report.stuck.is_some());
+    }
+
+    #[test]
+    fn early_exit_branch_orphans_the_unsent_message() {
+        // Branch 2 ends while branch 1's X for b is potentially never
+        // consumed: b may already have stopped at its accepting state.
+        let c = Choreography::new("ee")
+            .role("a")
+            .role("b")
+            .role("c")
+            .body(choice(
+                "a",
+                vec![
+                    msg("a", "c", "Go", msg("a", "b", "X", end())),
+                    msg("a", "c", "Stop", end()),
+                ],
+            ));
+        let report = product_of(&c);
+        assert_eq!(report.stuck, None);
+        assert!(report.orphans.iter().any(|o| o.label == "X" && o.to == "b"));
+    }
+
+    #[test]
+    fn infinite_keepalive_loop_is_stuck_free_and_finite() {
+        let c = Choreography::new("ka")
+            .role("a")
+            .role("b")
+            .body(rec("t", msg("a", "b", "KeepAlive", jump("t"))));
+        let report = product_of(&c);
+        assert_eq!(report.stuck, None);
+        assert!(report.explored < 100, "loop must revisit configurations");
+    }
+
+    #[test]
+    fn sequential_rounds_reuse_buffers_cleanly() {
+        let c = Choreography::new("two-rounds")
+            .role("a")
+            .family("f", 3)
+            .body(round(
+                "a",
+                "f",
+                "Q1",
+                "R1",
+                2,
+                round("a", "f", "Q2", "R2", 2, end()),
+            ));
+        let report = product_of(&c);
+        assert_eq!(report.stuck, None);
+        assert_eq!(report.orphans, Vec::new());
+    }
+}

@@ -1,0 +1,744 @@
+//! Projection: from one global [`Choreography`] to a communicating state
+//! machine per role family, plus the *projection-soundness* checks — a role
+//! whose local view cannot tell which branch of a choice the protocol took
+//! is reported before any state-space exploration runs.
+//!
+//! The construction is the standard one from multiparty session types: walk
+//! the global term, keep the transitions in which the role participates,
+//! skip the rest as epsilon edges, then eliminate epsilons. A choice the
+//! role does not witness collapses into one local state carrying the union
+//! of the branches' first observable actions; the soundness pass inspects
+//! exactly those union states.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::global::{Choreography, Global};
+
+/// One observable step of a role's local state machine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// Send `label` to singleton role `to`.
+    Send {
+        /// Receiving role.
+        to: String,
+        /// Event type name.
+        label: String,
+    },
+    /// Receive `label` from singleton role `from`.
+    Recv {
+        /// Sending role.
+        from: String,
+        /// Event type name.
+        label: String,
+    },
+    /// Atomically send `label` to every instance of `family`.
+    SendAll {
+        /// Receiving family.
+        family: String,
+        /// Event type name.
+        label: String,
+    },
+    /// Gather `quorum` copies of `label`, each from a distinct instance of
+    /// `family`; stragglers beyond the quorum become absorbable.
+    Collect {
+        /// Replying family.
+        family: String,
+        /// Event type name.
+        label: String,
+        /// Replies required to proceed.
+        quorum: usize,
+    },
+}
+
+impl Action {
+    /// True for `Send`/`SendAll` (the role speaks), false for
+    /// `Recv`/`Collect` (the role listens).
+    pub fn is_output(&self) -> bool {
+        matches!(self, Action::Send { .. } | Action::SendAll { .. })
+    }
+
+    /// The peer role/family on the other end.
+    pub fn peer(&self) -> &str {
+        match self {
+            Action::Send { to, .. } => to,
+            Action::Recv { from, .. } => from,
+            Action::SendAll { family, .. } | Action::Collect { family, .. } => family,
+        }
+    }
+
+    /// The event type name on the wire.
+    pub fn label(&self) -> &str {
+        match self {
+            Action::Send { label, .. }
+            | Action::Recv { label, .. }
+            | Action::SendAll { label, .. }
+            | Action::Collect { label, .. } => label,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Send { to, label } => write!(f, "send `{label}` to `{to}`"),
+            Action::Recv { from, label } => write!(f, "await `{label}` from `{from}`"),
+            Action::SendAll { family, label } => {
+                write!(f, "broadcast `{label}` to `{family}`")
+            }
+            Action::Collect {
+                family,
+                label,
+                quorum,
+            } => write!(f, "collect {quorum}x `{label}` from `{family}`"),
+        }
+    }
+}
+
+/// A role's projected state machine. States are dense indices; `start` is
+/// the initial state; an accepting state is one where the role may stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAutomaton {
+    /// Initial state.
+    pub start: usize,
+    /// Per-state: may the role terminate here?
+    pub accepting: Vec<bool>,
+    /// Per-state outgoing `(action, target)` edges.
+    pub transitions: Vec<Vec<(Action, usize)>>,
+}
+
+impl LocalAutomaton {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// True when the automaton has no states (never produced by projection).
+    pub fn is_empty(&self) -> bool {
+        self.accepting.is_empty()
+    }
+}
+
+/// One role family's projection.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// The role family name.
+    pub role: String,
+    /// Instances in the family (from the choreography's declaration).
+    pub count: usize,
+    /// The projected machine (shared by every instance).
+    pub automaton: LocalAutomaton,
+}
+
+/// A projection-soundness problem for one role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjectionIssue {
+    /// The role reaches a local state where it cannot determine which
+    /// branch the protocol took (error).
+    Ambiguous {
+        /// The affected role.
+        role: String,
+        /// What is ambiguous, human-readable.
+        detail: String,
+    },
+    /// The role may terminate at a state that still expects input: it
+    /// cannot locally distinguish "the protocol ended" from "my message is
+    /// still in flight" (warning).
+    NonExhaustive {
+        /// The affected role.
+        role: String,
+        /// The undecidable state, human-readable.
+        detail: String,
+    },
+}
+
+/// Projects the choreography onto every declared role family and runs the
+/// soundness checks. The choreography must already pass
+/// [`Choreography::validate`]; projection of an invalid term may panic on
+/// unbound recursion variables.
+pub fn project(choreo: &Choreography) -> (Vec<Projection>, Vec<ProjectionIssue>) {
+    let mut projections = Vec::new();
+    let mut issues = Vec::new();
+    for decl in &choreo.roles {
+        let automaton = project_role(choreo, &decl.name);
+        check_soundness(&decl.name, &automaton, &mut issues);
+        projections.push(Projection {
+            role: decl.name.clone(),
+            count: decl.count,
+            automaton,
+        });
+    }
+    (projections, issues)
+}
+
+/// Projects onto a single role family.
+pub fn project_role(choreo: &Choreography, role: &str) -> LocalAutomaton {
+    let mut nfa = Nfa::new();
+    let accept = nfa.add_state(true);
+    let mut env: Vec<(String, usize)> = Vec::new();
+    let start = build(&choreo.body, role, accept, &mut env, &mut nfa);
+    minimize(&eliminate_epsilons(&nfa, start))
+}
+
+// ---------------------------------------------------------------------------
+// NFA construction
+// ---------------------------------------------------------------------------
+
+struct Nfa {
+    accepting: Vec<bool>,
+    eps: Vec<Vec<usize>>,
+    moves: Vec<Vec<(Action, usize)>>,
+}
+
+impl Nfa {
+    fn new() -> Nfa {
+        Nfa {
+            accepting: Vec::new(),
+            eps: Vec::new(),
+            moves: Vec::new(),
+        }
+    }
+
+    fn add_state(&mut self, accepting: bool) -> usize {
+        self.accepting.push(accepting);
+        self.eps.push(Vec::new());
+        self.moves.push(Vec::new());
+        self.accepting.len() - 1
+    }
+
+    /// A fresh state with a single outgoing action.
+    fn step(&mut self, action: Action, target: usize) -> usize {
+        let s = self.add_state(false);
+        self.moves[s].push((action, target));
+        s
+    }
+}
+
+/// Returns the entry state of `term` projected onto `role`. Builds back to
+/// front: the continuation's entry state is computed first and becomes the
+/// transition target.
+fn build(
+    term: &Global,
+    role: &str,
+    accept: usize,
+    env: &mut Vec<(String, usize)>,
+    nfa: &mut Nfa,
+) -> usize {
+    match term {
+        Global::End => accept,
+        Global::Msg {
+            from,
+            to,
+            label,
+            cont,
+        } => {
+            let next = build(cont, role, accept, env, nfa);
+            if role == from {
+                nfa.step(
+                    Action::Send {
+                        to: to.clone(),
+                        label: label.clone(),
+                    },
+                    next,
+                )
+            } else if role == to {
+                nfa.step(
+                    Action::Recv {
+                        from: from.clone(),
+                        label: label.clone(),
+                    },
+                    next,
+                )
+            } else {
+                next
+            }
+        }
+        Global::Broadcast {
+            from,
+            to,
+            label,
+            cont,
+        } => {
+            let next = build(cont, role, accept, env, nfa);
+            if role == from {
+                nfa.step(
+                    Action::SendAll {
+                        family: to.clone(),
+                        label: label.clone(),
+                    },
+                    next,
+                )
+            } else if role == to {
+                nfa.step(
+                    Action::Recv {
+                        from: from.clone(),
+                        label: label.clone(),
+                    },
+                    next,
+                )
+            } else {
+                next
+            }
+        }
+        Global::Round {
+            at,
+            family,
+            query,
+            reply,
+            quorum,
+            cont,
+        } => {
+            let next = build(cont, role, accept, env, nfa);
+            if role == at {
+                let collect = nfa.step(
+                    Action::Collect {
+                        family: family.clone(),
+                        label: reply.clone(),
+                        quorum: *quorum,
+                    },
+                    next,
+                );
+                nfa.step(
+                    Action::SendAll {
+                        family: family.clone(),
+                        label: query.clone(),
+                    },
+                    collect,
+                )
+            } else if role == family {
+                let send = nfa.step(
+                    Action::Send {
+                        to: at.clone(),
+                        label: reply.clone(),
+                    },
+                    next,
+                );
+                nfa.step(
+                    Action::Recv {
+                        from: at.clone(),
+                        label: query.clone(),
+                    },
+                    send,
+                )
+            } else {
+                next
+            }
+        }
+        Global::Choice { branches, .. } => {
+            let s = nfa.add_state(false);
+            for branch in branches {
+                let b = build(branch, role, accept, env, nfa);
+                nfa.eps[s].push(b);
+            }
+            s
+        }
+        Global::Rec { var, body } => {
+            let header = nfa.add_state(false);
+            env.push((var.clone(), header));
+            let b = build(body, role, accept, env, nfa);
+            env.pop();
+            nfa.eps[header].push(b);
+            header
+        }
+        Global::Var { var } => env
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|(_, s)| *s)
+            .expect("validate() rejects unbound recursion variables"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epsilon elimination
+// ---------------------------------------------------------------------------
+
+fn eliminate_epsilons(nfa: &Nfa, start: usize) -> LocalAutomaton {
+    let n = nfa.accepting.len();
+    let mut closures: Vec<BTreeSet<usize>> = Vec::with_capacity(n);
+    for s in 0..n {
+        let mut closure = BTreeSet::new();
+        let mut stack = vec![s];
+        while let Some(x) = stack.pop() {
+            if closure.insert(x) {
+                stack.extend(nfa.eps[x].iter().copied());
+            }
+        }
+        closures.push(closure);
+    }
+
+    // Keep only states reachable from the start through real transitions.
+    let mut keep: Vec<usize> = Vec::new();
+    let mut index = vec![usize::MAX; n];
+    let mut stack = vec![start];
+    while let Some(s) = stack.pop() {
+        if index[s] != usize::MAX {
+            continue;
+        }
+        index[s] = keep.len();
+        keep.push(s);
+        for c in &closures[s] {
+            for (_, t) in &nfa.moves[*c] {
+                if index[*t] == usize::MAX {
+                    stack.push(*t);
+                }
+            }
+        }
+    }
+
+    let mut accepting = Vec::with_capacity(keep.len());
+    let mut transitions: Vec<Vec<(Action, usize)>> = Vec::with_capacity(keep.len());
+    for &s in &keep {
+        accepting.push(closures[s].iter().any(|c| nfa.accepting[*c]));
+        let mut out: Vec<(Action, usize)> = Vec::new();
+        for c in &closures[s] {
+            for (action, t) in &nfa.moves[*c] {
+                let edge = (action.clone(), index[*t]);
+                if !out.contains(&edge) {
+                    out.push(edge);
+                }
+            }
+        }
+        out.sort();
+        transitions.push(out);
+    }
+
+    LocalAutomaton {
+        start: index[start],
+        accepting,
+        transitions,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bisimulation quotient
+// ---------------------------------------------------------------------------
+
+/// Quotients the automaton by bisimilarity: states no observation can tell
+/// apart collapse into one. This is what makes *wire-identical* choice
+/// branches (ABD's get and put look the same on the wire) literally merge
+/// into a single local machine — and keeps the product exploration small,
+/// since the duplicate branches would otherwise multiply the state space
+/// once per role instance.
+fn minimize(automaton: &LocalAutomaton) -> LocalAutomaton {
+    let n = automaton.len();
+    let mut repr: Vec<usize> = (0..n).collect();
+    for a in 0..n {
+        if repr[a] != a {
+            continue;
+        }
+        for (b, rb) in repr.iter_mut().enumerate().skip(a + 1) {
+            if *rb != b {
+                continue;
+            }
+            let mut assumed = BTreeSet::new();
+            if bisimilar(automaton, a, b, &mut assumed) {
+                *rb = a;
+            }
+        }
+    }
+
+    // Renumber the representatives reachable from the start, in BFS order.
+    let mut index = vec![usize::MAX; n];
+    let mut order: Vec<usize> = Vec::new();
+    let mut stack = vec![repr[automaton.start]];
+    while let Some(s) = stack.pop() {
+        if index[s] != usize::MAX {
+            continue;
+        }
+        index[s] = order.len();
+        order.push(s);
+        for (_, t) in &automaton.transitions[s] {
+            let t = repr[*t];
+            if index[t] == usize::MAX {
+                stack.push(t);
+            }
+        }
+    }
+
+    let mut accepting = Vec::with_capacity(order.len());
+    let mut transitions: Vec<Vec<(Action, usize)>> = Vec::with_capacity(order.len());
+    for &s in &order {
+        accepting.push(automaton.accepting[s]);
+        let mut out: Vec<(Action, usize)> = Vec::new();
+        for (action, t) in &automaton.transitions[s] {
+            let edge = (action.clone(), index[repr[*t]]);
+            if !out.contains(&edge) {
+                out.push(edge);
+            }
+        }
+        out.sort();
+        transitions.push(out);
+    }
+
+    LocalAutomaton {
+        start: index[repr[automaton.start]],
+        accepting,
+        transitions,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Soundness checks
+// ---------------------------------------------------------------------------
+
+/// Inspects every state of a projected automaton:
+///
+/// 1. *Mixed direction*: outgoing sends **and** receives — the role cannot
+///    decide whether to speak or listen (error).
+/// 2. *Mixed input peers*: receives from two different senders — the role
+///    cannot know whom to listen to (error; classic projection requires a
+///    unique input peer per state).
+/// 3. *Duplicate label*: two edges with the same action whose continuations
+///    are not bisimilar — observing the message does not determine what
+///    comes next (error). Bisimilar duplicates (the ABD case: get and put
+///    look identical to a replica) are merged silently.
+/// 4. *Non-exhaustive choice*: a state that is accepting yet expects input —
+///    the role may wait for a message the chosen branch never sends
+///    (warning). Accepting states with pending *outputs* are fine: stopping
+///    or continuing is the role's own decision.
+fn check_soundness(role: &str, automaton: &LocalAutomaton, issues: &mut Vec<ProjectionIssue>) {
+    for state in 0..automaton.len() {
+        let edges = &automaton.transitions[state];
+        if edges.is_empty() {
+            continue;
+        }
+        let outputs: Vec<&(Action, usize)> = edges.iter().filter(|(a, _)| a.is_output()).collect();
+        let inputs: Vec<&(Action, usize)> = edges.iter().filter(|(a, _)| !a.is_output()).collect();
+
+        if !outputs.is_empty() && !inputs.is_empty() {
+            issues.push(ProjectionIssue::Ambiguous {
+                role: role.to_string(),
+                detail: format!(
+                    "a state mixes outputs and inputs ({} vs {})",
+                    outputs[0].0, inputs[0].0
+                ),
+            });
+            continue;
+        }
+        let peers: BTreeSet<&str> = inputs.iter().map(|(a, _)| a.peer()).collect();
+        if peers.len() > 1 {
+            let mut names: Vec<&str> = peers.into_iter().collect();
+            names.sort_unstable();
+            issues.push(ProjectionIssue::Ambiguous {
+                role: role.to_string(),
+                detail: format!("a state awaits input from {}", names.join(" and ")),
+            });
+            continue;
+        }
+        for i in 0..edges.len() {
+            for j in i + 1..edges.len() {
+                let (a, t) = &edges[i];
+                let (b, u) = &edges[j];
+                if a == b && t != u {
+                    let mut assumed = BTreeSet::new();
+                    if !bisimilar(automaton, *t, *u, &mut assumed) {
+                        issues.push(ProjectionIssue::Ambiguous {
+                            role: role.to_string(),
+                            detail: format!(
+                                "two protocol branches both {a} but then diverge; the \
+                                 role cannot tell the branches apart"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if automaton.accepting[state] && !inputs.is_empty() {
+            issues.push(ProjectionIssue::NonExhaustive {
+                role: role.to_string(),
+                detail: format!(
+                    "the role may stop here or {}; it cannot locally tell whether \
+                     the protocol ended",
+                    inputs[0].0
+                ),
+            });
+        }
+    }
+    issues.dedup();
+}
+
+/// Coinductive bisimilarity over one automaton: `a` and `b` are equivalent
+/// when they agree on acceptance and every action available at one has a
+/// matching action at the other leading to equivalent states. `assumed`
+/// carries the standard hypothesis set so loops terminate.
+pub fn bisimilar(
+    automaton: &LocalAutomaton,
+    a: usize,
+    b: usize,
+    assumed: &mut BTreeSet<(usize, usize)>,
+) -> bool {
+    if a == b || assumed.contains(&(a, b)) {
+        return true;
+    }
+    if automaton.accepting[a] != automaton.accepting[b] {
+        return false;
+    }
+    assumed.insert((a, b));
+    let keys_a: BTreeSet<&Action> = automaton.transitions[a].iter().map(|(k, _)| k).collect();
+    let keys_b: BTreeSet<&Action> = automaton.transitions[b].iter().map(|(k, _)| k).collect();
+    if keys_a != keys_b {
+        return false;
+    }
+    for key in keys_a {
+        let targets_a = targets_for(automaton, a, key);
+        let targets_b = targets_for(automaton, b, key);
+        for &ta in &targets_a {
+            for &tb in &targets_b {
+                if !bisimilar(automaton, ta, tb, assumed) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn targets_for(automaton: &LocalAutomaton, state: usize, key: &Action) -> Vec<usize> {
+    automaton.transitions[state]
+        .iter()
+        .filter(|(a, _)| a == key)
+        .map(|(_, t)| *t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{broadcast, choice, end, jump, msg, rec, round, Choreography};
+
+    fn pingpong() -> Choreography {
+        Choreography::new("pp").role("a").role("b").body(msg(
+            "a",
+            "b",
+            "Ping",
+            msg("b", "a", "Pong", end()),
+        ))
+    }
+
+    #[test]
+    fn pingpong_projects_to_two_step_machines() {
+        let (projections, issues) = project(&pingpong());
+        assert_eq!(issues, Vec::new());
+        let a = &projections[0].automaton;
+        assert_eq!(a.transitions[a.start].len(), 1);
+        assert!(matches!(a.transitions[a.start][0].0, Action::Send { .. }));
+        let b = &projections[1].automaton;
+        assert!(matches!(b.transitions[b.start][0].0, Action::Recv { .. }));
+    }
+
+    #[test]
+    fn uninvolved_role_projects_to_accepting_point() {
+        let c = Choreography::new("t")
+            .role("a")
+            .role("b")
+            .role("idle")
+            .body(msg("a", "b", "X", end()));
+        let idle = project_role(&c, "idle");
+        assert!(idle.accepting[idle.start]);
+        assert!(idle.transitions[idle.start].is_empty());
+    }
+
+    #[test]
+    fn round_projects_to_sendall_collect_and_recv_send() {
+        let c = Choreography::new("q").role("a").family("f", 3).body(round(
+            "a",
+            "f",
+            "Q",
+            "R",
+            2,
+            end(),
+        ));
+        let (projections, issues) = project(&c);
+        assert_eq!(issues, Vec::new());
+        let coord = &projections[0].automaton;
+        assert!(matches!(
+            coord.transitions[coord.start][0].0,
+            Action::SendAll { .. }
+        ));
+        let member = &projections[1].automaton;
+        assert!(matches!(
+            member.transitions[member.start][0].0,
+            Action::Recv { .. }
+        ));
+    }
+
+    #[test]
+    fn wire_identical_branches_merge_for_the_passive_role() {
+        // get and put look the same to a replica: same query, same reply.
+        let c = Choreography::new("abdish")
+            .role("client")
+            .family("replica", 3)
+            .body(choice(
+                "client",
+                vec![
+                    round("client", "replica", "Q", "R", 2, end()),
+                    round("client", "replica", "Q", "R", 2, end()),
+                ],
+            ));
+        let (_, issues) = project(&c);
+        assert_eq!(issues, Vec::new());
+    }
+
+    #[test]
+    fn diverging_duplicate_labels_are_ambiguous() {
+        let c = Choreography::new("amb").role("a").role("b").body(choice(
+            "a",
+            vec![
+                msg("a", "b", "X", msg("b", "a", "Ack1", end())),
+                msg("a", "b", "X", msg("b", "a", "Ack2", end())),
+            ],
+        ));
+        let (_, issues) = project(&c);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ProjectionIssue::Ambiguous { role, .. } if role == "b")));
+    }
+
+    #[test]
+    fn missing_branch_participation_is_non_exhaustive() {
+        let c = Choreography::new("ne")
+            .role("a")
+            .role("b")
+            .role("c")
+            .body(choice(
+                "a",
+                vec![
+                    msg("a", "c", "Go", msg("a", "b", "X", end())),
+                    msg("a", "c", "Stop", end()),
+                ],
+            ));
+        let (_, issues) = project(&c);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ProjectionIssue::NonExhaustive { role, .. } if role == "b")));
+    }
+
+    #[test]
+    fn infinite_loops_project_to_cyclic_machines() {
+        let c = Choreography::new("loop").role("a").role("b").body(rec(
+            "t",
+            msg("a", "b", "Ping", msg("b", "a", "Pong", jump("t"))),
+        ));
+        let (projections, issues) = project(&c);
+        assert_eq!(issues, Vec::new());
+        let a = &projections[0].automaton;
+        // Two states cycling: send -> recv -> send ...
+        assert_eq!(a.len(), 2);
+        assert!(!a.accepting.iter().any(|x| *x));
+    }
+
+    #[test]
+    fn broadcast_reaches_every_family_member() {
+        let c = Choreography::new("bc")
+            .role("a")
+            .family("f", 2)
+            .body(broadcast("a", "f", "Hello", end()));
+        let (projections, issues) = project(&c);
+        assert_eq!(issues, Vec::new());
+        assert!(matches!(
+            projections[0].automaton.transitions[0][0].0,
+            Action::SendAll { .. }
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the choreography checker.
+//!
+//! The generator builds *well-formed by construction* choreographies —
+//! random mixes of message exchanges, quorum rounds and announced choices
+//! over two singleton roles and one replica family — and the properties
+//! assert the checker's two sides:
+//!
+//! * soundness of the clean path: every generated choreography validates,
+//!   projects without issues, and its product is stuck-free;
+//! * sensitivity of the defect path: seeded mutations (drop every reply
+//!   send, bump a quorum past the family size, collide two choice-branch
+//!   labels) are each caught with the right finding.
+
+use kompics_choreo::check::check;
+use kompics_choreo::global::{choice, end, msg, round, Choreography, Global};
+use kompics_choreo::product::explore;
+use kompics_choreo::project::{project, Action, ProjectionIssue};
+use proptest::prelude::*;
+
+/// SplitMix64 — a tiny deterministic stream from one seed.
+fn next(rng: &mut u64) -> u64 {
+    *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *rng;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+const FAMILY: usize = 3;
+
+/// A random well-formed choreography over roles `a`, `b` and family `f`:
+/// `segments` protocol steps, each a ping/pong exchange, an n-of-3 quorum
+/// round, or a choice announced to `b` with per-branch distinct labels.
+/// When `ensure_round` is set, at least one quorum round is present.
+fn gen_choreo(seed: u64, segments: usize, ensure_round: bool) -> Choreography {
+    let mut rng = seed;
+    let mut body = end();
+    let mut has_round = false;
+    for i in (0..segments).rev() {
+        match next(&mut rng) % 3 {
+            0 => {
+                body = msg(
+                    "a",
+                    "b",
+                    format!("M{i}"),
+                    msg("b", "a", format!("R{i}"), body),
+                );
+            }
+            1 => {
+                let quorum = 1 + (next(&mut rng) as usize % FAMILY);
+                body = round("a", "f", format!("Q{i}"), format!("P{i}"), quorum, body);
+                has_round = true;
+            }
+            _ => {
+                body = choice(
+                    "a",
+                    vec![
+                        msg("a", "b", format!("C{i}L"), body.clone()),
+                        msg("a", "b", format!("C{i}R"), body),
+                    ],
+                );
+            }
+        }
+    }
+    if ensure_round && !has_round {
+        let quorum = 1 + (next(&mut rng) as usize % FAMILY);
+        body = round("a", "f", "Q", "P", quorum, body);
+    }
+    Choreography::new("generated")
+        .role("a")
+        .role("b")
+        .family("f", FAMILY)
+        .body(body)
+}
+
+/// Rewrites every quorum round to demand more replies than the family has.
+fn bump_quorums(term: &Global) -> Global {
+    match term {
+        Global::Round {
+            at,
+            family,
+            query,
+            reply,
+            cont,
+            ..
+        } => Global::Round {
+            at: at.clone(),
+            family: family.clone(),
+            query: query.clone(),
+            reply: reply.clone(),
+            quorum: FAMILY + 1,
+            cont: Box::new(bump_quorums(cont)),
+        },
+        Global::Msg {
+            from,
+            to,
+            label,
+            cont,
+        } => Global::Msg {
+            from: from.clone(),
+            to: to.clone(),
+            label: label.clone(),
+            cont: Box::new(bump_quorums(cont)),
+        },
+        Global::Broadcast {
+            from,
+            to,
+            label,
+            cont,
+        } => Global::Broadcast {
+            from: from.clone(),
+            to: to.clone(),
+            label: label.clone(),
+            cont: Box::new(bump_quorums(cont)),
+        },
+        Global::Choice { at, branches } => Global::Choice {
+            at: at.clone(),
+            branches: branches.iter().map(bump_quorums).collect(),
+        },
+        Global::Rec { var, body } => Global::Rec {
+            var: var.clone(),
+            body: Box::new(bump_quorums(body)),
+        },
+        Global::Var { .. } | Global::End => term.clone(),
+    }
+}
+
+proptest! {
+    /// Every generated choreography is clean end to end: validation,
+    /// projection soundness, and product reachability all pass.
+    #[test]
+    fn wellformed_choreographies_are_stuck_free(seed in any::<u64>()) {
+        let choreo = gen_choreo(seed, 1 + (seed % 5) as usize, false);
+        prop_assert_eq!(choreo.validate(), Vec::<String>::new());
+        let (projections, issues) = project(&choreo);
+        prop_assert_eq!(issues, Vec::new());
+        let product = explore(&projections);
+        prop_assert!(!product.truncated, "state space must stay small");
+        prop_assert!(product.stuck.is_none(), "{:?}", product.stuck);
+        let report = check(&choreo);
+        prop_assert_eq!(report.errors(), 0, "{}", report.render_text());
+    }
+
+    /// Mutation: silently dropping the replicas' reply send (every replica,
+    /// since they share one projection) deadlocks the first quorum round,
+    /// and the product exploration proves it with a witness.
+    #[test]
+    fn dropped_reply_sends_are_caught(seed in any::<u64>()) {
+        let choreo = gen_choreo(seed, 1 + (seed % 4) as usize, true);
+        let (mut projections, issues) = project(&choreo);
+        prop_assert_eq!(issues, Vec::new());
+        for projection in &mut projections {
+            if projection.role == "f" {
+                for edges in &mut projection.automaton.transitions {
+                    edges.retain(|(action, _)| !matches!(action, Action::Send { .. }));
+                }
+            }
+        }
+        let product = explore(&projections);
+        prop_assert!(
+            product.stuck.is_some(),
+            "a round with no replies must deadlock"
+        );
+    }
+
+    /// Mutation: demanding a 4-of-3 quorum anywhere in the protocol is
+    /// reported as a stuck protocol by the full checker pipeline.
+    #[test]
+    fn impossible_quorums_are_caught(seed in any::<u64>()) {
+        let clean = gen_choreo(seed, 1 + (seed % 4) as usize, true);
+        let broken = Choreography::new("generated")
+            .role("a")
+            .role("b")
+            .family("f", FAMILY)
+            .body(bump_quorums(&clean.body));
+        let report = check(&broken);
+        prop_assert!(report.errors() > 0, "{}", report.render_text());
+        prop_assert!(
+            report.render_text().contains("error[protocol-stuck]"),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    /// Mutation: swapping one branch's announcement label so both branches
+    /// open identically (then diverge) makes the receiver's projection
+    /// ambiguous — the soundness pass, not the explorer, must catch it.
+    #[test]
+    fn colliding_choice_labels_are_caught(seed in any::<u64>()) {
+        let tail = gen_choreo(seed, 1 + (seed % 3) as usize, false).body;
+        let choreo = Choreography::new("generated")
+            .role("a")
+            .role("b")
+            .family("f", FAMILY)
+            .body(choice(
+                "a",
+                vec![
+                    // Both branches announce `C`; only one then detours.
+                    msg("a", "b", "C", msg("a", "b", "Detour", tail.clone())),
+                    msg("a", "b", "C", tail),
+                ],
+            ));
+        let (_, issues) = project(&choreo);
+        prop_assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, ProjectionIssue::Ambiguous { role, .. } if role == "b")),
+            "{issues:?}"
+        );
+        let report = check(&choreo);
+        prop_assert!(report.errors() > 0, "{}", report.render_text());
+    }
+}

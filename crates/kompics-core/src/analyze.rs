@@ -146,6 +146,111 @@ pub enum FindingKind {
         /// Component names along the cycle.
         path: Vec<String>,
     },
+    /// A provided port that the outside world can reach (channels or
+    /// external subscriptions at the outside half) but whose inside half
+    /// has no handler for *any* of its request events and no channel
+    /// forwarding them onward: every request is silently dropped.
+    DeadHandler {
+        /// The component declaring the port.
+        component: ComponentId,
+        /// Its name.
+        component_name: String,
+        /// The port type's name.
+        port: &'static str,
+        /// The request (negative) event types that have nowhere to go.
+        events: Vec<&'static str>,
+    },
+    /// A choreography that is not a well-formed global protocol (self
+    /// message, unbound recursion variable, unguarded loop, malformed
+    /// choice, …). Reported by the `kompics-choreo` checker.
+    ProtocolMalformed {
+        /// The choreography's name.
+        choreography: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// Projection is unsound for a role: at some local state the role
+    /// cannot tell which protocol branch it is in (same label from two
+    /// branches with diverging continuations, receives from different
+    /// senders at one choice, or a state mixing sends and receives).
+    ProtocolAmbiguousChoice {
+        /// The choreography's name.
+        choreography: String,
+        /// The role whose projection is ambiguous.
+        role: String,
+        /// The offending state, rendered.
+        detail: String,
+    },
+    /// The product of the projected role automata reaches a state where no
+    /// role can move and at least one role is not finished: the protocol
+    /// can deadlock.
+    ProtocolStuck {
+        /// The choreography's name.
+        choreography: String,
+        /// What each unfinished role is waiting for.
+        waiting: Vec<String>,
+        /// A shortest event trace reaching the stuck state.
+        trace: Vec<String>,
+    },
+    /// The protocol can terminate with a message still in flight that its
+    /// destination will never consume.
+    ProtocolOrphanMessage {
+        /// The choreography's name.
+        choreography: String,
+        /// The sending role instance.
+        from: String,
+        /// The receiving role instance.
+        to: String,
+        /// The orphaned payload event type.
+        event: String,
+    },
+    /// The choreography requires a role to receive an event its bound
+    /// component never subscribes a handler for.
+    ProtocolUnhandledMessage {
+        /// The choreography's name.
+        choreography: String,
+        /// The role that must receive the event.
+        role: String,
+        /// The component bound to the role.
+        component: String,
+        /// The unhandled payload event type.
+        event: String,
+    },
+    /// A role is absent from some branches of a choice: locally it cannot
+    /// distinguish "the other branch was taken" from "the message is still
+    /// coming", so it may wait on a branch that never arrives.
+    ProtocolNonExhaustiveChoice {
+        /// The choreography's name.
+        choreography: String,
+        /// The role that cannot locally decide.
+        role: String,
+        /// The offending state, rendered.
+        detail: String,
+    },
+}
+
+impl FindingKind {
+    /// A stable kebab-case identifier for the finding's rule, used by the
+    /// JSON report format and the fixture corpora.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FindingKind::DanglingRequiredPort { .. } => "dangling-required-port",
+            FindingKind::DeadEvent { .. } => "dead-event",
+            FindingKind::DuplicateSubscription { .. } => "duplicate-subscription",
+            FindingKind::DuplicateChannel { .. } => "duplicate-channel",
+            FindingKind::HeldChannel { .. } => "held-channel",
+            FindingKind::HoldWithoutResume { .. } => "hold-without-resume",
+            FindingKind::ResumeWithoutHold { .. } => "resume-without-hold",
+            FindingKind::EscalationCycle { .. } => "escalation-cycle",
+            FindingKind::DeadHandler { .. } => "dead-handler",
+            FindingKind::ProtocolMalformed { .. } => "protocol-malformed",
+            FindingKind::ProtocolAmbiguousChoice { .. } => "protocol-ambiguous-choice",
+            FindingKind::ProtocolStuck { .. } => "protocol-stuck",
+            FindingKind::ProtocolOrphanMessage { .. } => "protocol-orphan-message",
+            FindingKind::ProtocolUnhandledMessage { .. } => "protocol-unhandled-message",
+            FindingKind::ProtocolNonExhaustiveChoice { .. } => "protocol-non-exhaustive-choice",
+        }
+    }
 }
 
 /// One problem found in the assembled graph (or a reconfiguration plan).
@@ -158,14 +263,17 @@ pub struct Finding {
 }
 
 impl Finding {
-    pub(crate) fn error(kind: FindingKind) -> Finding {
+    /// An error-severity finding (public so external checkers — the
+    /// `kompics-choreo` protocol passes — report through the same type).
+    pub fn error(kind: FindingKind) -> Finding {
         Finding {
             severity: Severity::Error,
             kind,
         }
     }
 
-    pub(crate) fn warning(kind: FindingKind) -> Finding {
+    /// A warning-severity finding.
+    pub fn warning(kind: FindingKind) -> Finding {
         Finding {
             severity: Severity::Warning,
             kind,
@@ -175,7 +283,7 @@ impl Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: ", self.severity)?;
+        write!(f, "{}[{}]: ", self.severity, self.kind.name())?;
         match &self.kind {
             FindingKind::DanglingRequiredPort {
                 component,
@@ -228,8 +336,243 @@ impl fmt::Display for Finding {
             FindingKind::EscalationCycle { path } => {
                 write!(f, "supervision escalation cycle: {}", path.join(" -> "))
             }
+            FindingKind::DeadHandler {
+                component,
+                component_name,
+                port,
+                events,
+            } => write!(
+                f,
+                "`{component_name}` ({component}) provides reachable port `{port}` but \
+                 handles none of its request events ({}); every request is silently \
+                 dropped",
+                events.join(", ")
+            ),
+            FindingKind::ProtocolMalformed {
+                choreography,
+                detail,
+            } => write!(f, "choreography `{choreography}` is malformed: {detail}"),
+            FindingKind::ProtocolAmbiguousChoice {
+                choreography,
+                role,
+                detail,
+            } => write!(
+                f,
+                "choreography `{choreography}`: projection onto role `{role}` is \
+                 ambiguous — {detail}"
+            ),
+            FindingKind::ProtocolStuck {
+                choreography,
+                waiting,
+                trace,
+            } => {
+                write!(
+                    f,
+                    "choreography `{choreography}` can get stuck: {}",
+                    waiting.join("; ")
+                )?;
+                if !trace.is_empty() {
+                    write!(f, " [trace: {}]", trace.join(" -> "))?;
+                }
+                Ok(())
+            }
+            FindingKind::ProtocolOrphanMessage {
+                choreography,
+                from,
+                to,
+                event,
+            } => write!(
+                f,
+                "choreography `{choreography}` can terminate with `{event}` from \
+                 `{from}` still undelivered at `{to}`"
+            ),
+            FindingKind::ProtocolUnhandledMessage {
+                choreography,
+                role,
+                component,
+                event,
+            } => write!(
+                f,
+                "choreography `{choreography}`: role `{role}` must receive `{event}` \
+                 but its bound component `{component}` subscribes no handler for it"
+            ),
+            FindingKind::ProtocolNonExhaustiveChoice {
+                choreography,
+                role,
+                detail,
+            } => write!(
+                f,
+                "choreography `{choreography}`: role `{role}` does not participate in \
+                 every branch of a choice — {detail}"
+            ),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared report path
+// ---------------------------------------------------------------------------
+
+/// A merged, severity-sorted collection of [`Finding`]s with one text and
+/// one JSON rendering — the single report path shared by the graph analyzer
+/// ([`KompicsSystem::analyze`](crate::system::KompicsSystem::analyze) /
+/// `Simulation::analyze_report`) and the `kompics-choreo` protocol checker,
+/// so CI prints one summary instead of two formats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    findings: Vec<Finding>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Wraps existing findings.
+    pub fn from_findings(findings: Vec<Finding>) -> Report {
+        Report { findings }
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Absorbs another report.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+    }
+
+    /// All findings, errors first (insertion order within a severity).
+    pub fn sorted(&self) -> Vec<&Finding> {
+        let mut out: Vec<&Finding> = self.findings.iter().collect();
+        out.sort_by_key(|f| std::cmp::Reverse(f.severity));
+        out
+    }
+
+    /// The findings in insertion order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The human-readable rendering: one line per finding, errors first,
+    /// then a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for finding in self.sorted() {
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "analysis: {} error(s), {} warning(s)\n",
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// The machine-readable rendering (stable across runs: severity-sorted,
+    /// insertion order within a severity).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"errors\":");
+        out.push_str(&self.errors().to_string());
+        out.push_str(",\"warnings\":");
+        out.push_str(&self.warnings().to_string());
+        out.push_str(",\"findings\":[");
+        for (i, finding) in self.sorted().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":{},\"rule\":{},\"message\":{}}}",
+                json_str(&finding.severity.to_string()),
+                json_str(finding.kind.name()),
+                json_str(&finding.to_string())
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Protocol surface extraction
+// ---------------------------------------------------------------------------
+
+/// The event types a live component actually handles, extracted from its
+/// assembled port graph — what the `kompics-choreo` checker binds protocol
+/// roles against. Names are unqualified type names (`ReadQueryMsg`, not the
+/// full path), matching choreography label declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSurface {
+    /// The component's instance name.
+    pub component: String,
+    /// Unqualified names of every event type the component subscribes a
+    /// handler for, on any of its non-control ports (inside halves only:
+    /// the component's own handlers, not its parent's).
+    pub handled: std::collections::BTreeSet<String>,
+}
+
+pub(crate) fn surface_of(core: &Arc<ComponentCore>) -> ComponentSurface {
+    let mut handled = std::collections::BTreeSet::new();
+    let records: Vec<Arc<PortCore>> = {
+        let guard = core.ports.lock();
+        guard.iter().map(|r| Arc::clone(&r.inside)).collect()
+    };
+    for inside in records {
+        let inner = inside.inner.lock();
+        for sub in &inner.subscriptions {
+            handled.insert(short_name(sub.event_type_name).to_string());
+        }
+    }
+    ComponentSurface {
+        component: core.name().to_string(),
+        handled,
+    }
+}
+
+fn short_name(full: &str) -> &str {
+    full.rsplit("::").next().unwrap_or(full)
 }
 
 /// Runs every pass over the live graph reachable from the system roots.
@@ -270,6 +613,9 @@ fn analyze_components(components: &[Arc<ComponentCore>]) -> Vec<Finding> {
                     port: outside.type_name,
                 }));
             }
+            if *provided {
+                dead_handler_at(comp, inside, outside, &mut findings);
+            }
             for half in [inside, outside] {
                 for channel in half.attached_channels() {
                     channels.entry(channel.channel_id()).or_insert(channel);
@@ -304,6 +650,49 @@ fn required_port_is_dangling(inside: &Arc<PortCore>, outside: &Arc<PortCore>) ->
     }
     drop(outside_inner);
     inside.inner.lock().channels.is_empty()
+}
+
+/// Flags a provided port that the outside world can reach (channels or
+/// subscriptions at the outside half) while the inside half handles nothing
+/// at all — no subscriptions and no channel forwarding into a child. The
+/// per-event case (some requests handled, others not) is covered by
+/// [`dead_events_at`]; this pass catches the all-dead provider, where every
+/// request vanishes. Requires a known, non-empty request catalog so a pure
+/// indication-only port (empty `request:` set) is not a finding.
+fn dead_handler_at(
+    comp: &Arc<ComponentCore>,
+    inside: &Arc<PortCore>,
+    outside: &Arc<PortCore>,
+    findings: &mut Vec<Finding>,
+) {
+    if inside.port_type == TypeId::of::<ControlPort>() {
+        return;
+    }
+    let Some(catalog) = (inside.catalog)(inside.sign) else {
+        return;
+    };
+    if catalog.is_empty() {
+        return;
+    }
+    {
+        let inner = inside.inner.lock();
+        if !inner.subscriptions.is_empty() || !inner.channels.is_empty() {
+            return;
+        }
+    }
+    let reachable = {
+        let outer = outside.inner.lock();
+        !outer.subscriptions.is_empty() || !outer.channels.is_empty()
+    };
+    if !reachable {
+        return;
+    }
+    findings.push(Finding::error(FindingKind::DeadHandler {
+        component: comp.id(),
+        component_name: comp.name().to_string(),
+        port: inside.type_name,
+        events: catalog.iter().map(|e| e.name).collect(),
+    }));
 }
 
 /// Flags catalog event types with no matching subscription at a half that

@@ -1161,6 +1161,13 @@ impl<C> Component<C> {
         }
     }
 
+    /// The event types this component actually handles, extracted from its
+    /// assembled ports — the role-binding input of the `kompics-choreo`
+    /// protocol checker.
+    pub fn protocol_surface(&self) -> crate::analyze::ComponentSurface {
+        crate::analyze::surface_of(&self.core)
+    }
+
     /// The outside half of the component's provided port of type `P`, for
     /// connecting channels or triggering requests at it.
     ///

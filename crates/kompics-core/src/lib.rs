@@ -96,7 +96,7 @@ pub mod types;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
-    pub use crate::analyze::{Finding, FindingKind, Severity};
+    pub use crate::analyze::{ComponentSurface, Finding, FindingKind, Report, Severity};
     pub use crate::channel::{ChannelRef, ChannelSelector};
     pub use crate::clock::{Clock, ClockRef, ManualClock, SystemClock};
     pub use crate::component::{Component, ComponentContext, ComponentDefinition, ComponentRef};

@@ -329,6 +329,120 @@ fn balanced_plan_swaps_a_provider_cleanly() {
     let _ = consumer;
 }
 
+/// Provides `Work` but subscribes nothing at all: every request vanishes.
+struct Deaf {
+    ctx: ComponentContext,
+    work: ProvidedPort<Work>,
+}
+
+impl Deaf {
+    fn new() -> Self {
+        Deaf {
+            ctx: ComponentContext::new(),
+            work: ProvidedPort::new(),
+        }
+    }
+}
+
+impl ComponentDefinition for Deaf {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Deaf"
+    }
+}
+
+#[test]
+fn reachable_provider_handling_nothing_is_a_dead_handler_error() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let deaf = system.create(Deaf::new);
+    let consumer = system.create(|| Consumer::new(1));
+    connect(
+        &deaf.provided_ref::<Work>().unwrap(),
+        &consumer.required_ref::<Work>().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        system.analyze(),
+        vec![Finding {
+            severity: Severity::Error,
+            kind: FindingKind::DeadHandler {
+                component: deaf.id(),
+                component_name: deaf.name().to_string(),
+                port: "Work",
+                events: vec![type_name::<Req>()],
+            },
+        }]
+    );
+}
+
+#[test]
+fn unreachable_deaf_provider_is_not_flagged() {
+    // Nothing can trigger a request at an unconnected provided port, so a
+    // missing handler there drops nothing.
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let _deaf = system.create(Deaf::new);
+    assert_eq!(system.analyze(), Vec::new());
+}
+
+#[test]
+fn protocol_surface_lists_unqualified_handled_event_types() {
+    let (system, _sched) = KompicsSystem::sequential(Config::default());
+    let (provider, consumer, _ch) = wired_pair(&system);
+    let p = provider.protocol_surface();
+    assert_eq!(p.component, provider.name());
+    assert_eq!(
+        p.handled.into_iter().collect::<Vec<_>>(),
+        vec!["Req".to_string()]
+    );
+    let c = consumer.protocol_surface();
+    assert_eq!(
+        c.handled.into_iter().collect::<Vec<_>>(),
+        vec!["Ind".to_string()]
+    );
+}
+
+#[test]
+fn report_merges_and_sorts_errors_first() {
+    let mut graph = Report::from_findings(vec![Finding::warning(FindingKind::HeldChannel {
+        channel: ChannelId(7),
+        queued: 1,
+    })]);
+    let mut protocol = Report::new();
+    protocol.push(Finding::error(FindingKind::ProtocolStuck {
+        choreography: "abd".into(),
+        waiting: vec!["client waits for ReadReplyMsg".into()],
+        trace: vec!["client -> replica: ReadQueryMsg".into()],
+    }));
+    protocol.push(Finding::warning(FindingKind::ProtocolOrphanMessage {
+        choreography: "abd".into(),
+        from: "replica[2]".into(),
+        to: "client".into(),
+        event: "ReadReplyMsg".into(),
+    }));
+    graph.merge(protocol);
+    assert_eq!(graph.errors(), 1);
+    assert_eq!(graph.warnings(), 2);
+    assert!(!graph.is_clean());
+    let sorted = graph.sorted();
+    assert_eq!(sorted[0].severity, Severity::Error);
+    // Insertion order preserved within a severity.
+    assert!(matches!(sorted[1].kind, FindingKind::HeldChannel { .. }));
+    assert!(matches!(
+        sorted[2].kind,
+        FindingKind::ProtocolOrphanMessage { .. }
+    ));
+    let text = graph.render_text();
+    assert!(
+        text.ends_with("analysis: 1 error(s), 2 warning(s)\n"),
+        "{text}"
+    );
+    let json = graph.render_json();
+    assert!(json.starts_with("{\"errors\":1,\"warnings\":2,"), "{json}");
+    assert!(json.contains("\"rule\":\"protocol-stuck\""), "{json}");
+}
+
 #[test]
 fn mutual_supervision_is_an_escalation_cycle() {
     let (system, _sched) = KompicsSystem::sequential(Config::default());

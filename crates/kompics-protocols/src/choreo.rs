@@ -1,0 +1,79 @@
+//! Choreographies for the wire protocols in this crate: the bootstrap
+//! handshake and the Cyclon shuffle, written as global session types for
+//! the `kompics-choreo` static checker. The message labels are the
+//! unqualified wire event type names ([`GetNodesMsg`](crate::bootstrap::GetNodesMsg),
+//! [`ShuffleRequest`](crate::cyclon::ShuffleRequest), …), which is what the
+//! checker's binding pass compares against live components' protocol
+//! surfaces.
+
+use kompics_choreo::global::{jump, msg, rec, Choreography};
+
+/// The bootstrap handshake ([`bootstrap`](crate::bootstrap)): a fresh node
+/// asks the bootstrap server for the current membership, receives it, then
+/// keeps its registration alive forever.
+///
+/// ```text
+/// client -> server: GetNodesMsg.
+/// server -> client: NodesMsg.
+/// rec keepalive. client -> server: KeepAliveMsg. keepalive
+/// ```
+pub fn bootstrap_handshake() -> Choreography {
+    Choreography::new("bootstrap-handshake")
+        .role("client")
+        .role("server")
+        .body(msg(
+            "client",
+            "server",
+            "GetNodesMsg",
+            msg(
+                "server",
+                "client",
+                "NodesMsg",
+                rec(
+                    "keepalive",
+                    msg("client", "server", "KeepAliveMsg", jump("keepalive")),
+                ),
+            ),
+        ))
+}
+
+/// One Cyclon shuffle exchange ([`cyclon`](crate::cyclon)), repeated
+/// forever: the initiating overlay sends a neighbour sample, the peer
+/// answers with its own.
+///
+/// ```text
+/// rec shuffle. initiator -> peer: ShuffleRequest.
+///              peer -> initiator: ShuffleResponse. shuffle
+/// ```
+pub fn cyclon_shuffle() -> Choreography {
+    Choreography::new("cyclon-shuffle")
+        .role("initiator")
+        .role("peer")
+        .body(rec(
+            "shuffle",
+            msg(
+                "initiator",
+                "peer",
+                "ShuffleRequest",
+                msg("peer", "initiator", "ShuffleResponse", jump("shuffle")),
+            ),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kompics_choreo::check::check;
+
+    #[test]
+    fn bootstrap_handshake_checks_clean() {
+        let report = check(&bootstrap_handshake());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn cyclon_shuffle_checks_clean() {
+        let report = check(&cyclon_shuffle());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

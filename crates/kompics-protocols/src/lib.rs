@@ -10,6 +10,8 @@
 //!   per-node **bootstrap client** with keep-alives and eviction;
 //! * [`cyclon`] — the **Cyclon random-overlay** protocol providing a node
 //!   sampling service;
+//! * [`choreo`] — the bootstrap and Cyclon wire protocols written as
+//!   **session-typed choreographies** for the `kompics-choreo` checker;
 //! * [`monitor`] — a distributed **monitoring service**: per-node clients
 //!   periodically collect component status and report to an aggregation
 //!   server with a global view;
@@ -23,6 +25,7 @@
 //! simulation emulator in virtual time.
 
 pub mod bootstrap;
+pub mod choreo;
 pub mod cyclon;
 pub mod fd;
 pub mod monitor;

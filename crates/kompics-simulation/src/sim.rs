@@ -170,6 +170,14 @@ impl Simulation {
         self.system.analyze()
     }
 
+    /// Like [`analyze`](Simulation::analyze), but wrapped in the shared
+    /// [`Report`](kompics_core::analyze::Report) container so graph findings
+    /// and protocol-checker findings (`kompics-choreo`) merge into a single
+    /// severity-sorted summary with one text/JSON rendering.
+    pub fn analyze_report(&self) -> kompics_core::analyze::Report {
+        kompics_core::analyze::Report::from_findings(self.analyze())
+    }
+
     /// Starts a component like [`KompicsSystem::start`], but in debug builds
     /// first runs [`analyze`](Simulation::analyze) and panics on any
     /// error-severity finding. Simulation is where wiring mistakes are

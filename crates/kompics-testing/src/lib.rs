@@ -163,6 +163,12 @@ impl<P: PortType> Clone for PortHandle<P> {
 }
 
 impl<P: PortType> PortHandle<P> {
+    /// The underlying outside port reference — for attaching observers
+    /// (e.g. a `kompics-choreo` conformance monitor) alongside the spec.
+    pub fn port_ref(&self) -> &PortRef<P> {
+        &self.outside
+    }
+
     /// Matches any outgoing `E` (or subtype) on this port.
     pub fn out<E: Event>(&self) -> Matcher<Observed> {
         let pid = self.outside.port_id();

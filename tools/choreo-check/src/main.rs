@@ -1,0 +1,146 @@
+//! choreo-check — static protocol checks for the workspace's session-typed
+//! choreographies.
+//!
+//! The default run checks every shipped choreography (the CATS ABD
+//! operation, the bootstrap handshake, the Cyclon shuffle) end to end:
+//! projection soundness, stuck-protocol detection over the product of the
+//! projected machines, and role bindings against the handled-event surfaces
+//! of *live* components assembled for the occasion. All findings merge into
+//! the shared `kompics-core::analyze` report, so protocol defects print in
+//! the same severity-sorted format as component-graph defects.
+//!
+//! ```text
+//! usage: choreo-check [--deny] [--json] [--fixtures]
+//!   --deny      exit non-zero when any error-severity finding is produced
+//!   --json      machine-readable report
+//!   --fixtures  run the known-bad corpus instead: every fixture must
+//!               produce exactly its expected rule set
+//! ```
+//!
+//! CI runs `choreo-check --deny` (the shipped protocols must be clean) and
+//! `choreo-check --fixtures` (the checker must still catch every seeded
+//! defect).
+
+use cats::abd::{AbdConfig, ConsistentAbd};
+use cats::choreo::{abd_bindings, abd_operation_default, cyclon_bindings};
+use kompics_choreo::check::{check_bound, RoleBinding};
+use kompics_choreo::fixtures::corpus;
+use kompics_core::analyze::Report;
+use kompics_core::{Config, KompicsSystem};
+use kompics_network::Address;
+use kompics_protocols::bootstrap::{
+    BootstrapClient, BootstrapClientConfig, BootstrapServer, BootstrapServerConfig,
+};
+use kompics_protocols::choreo::{bootstrap_handshake, cyclon_shuffle};
+use kompics_protocols::cyclon::{CyclonConfig, CyclonOverlay};
+
+fn main() {
+    let mut deny = false;
+    let mut json = false;
+    let mut fixtures = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--help" | "-h" => {
+                eprintln!("usage: choreo-check [--deny] [--json] [--fixtures]");
+                return;
+            }
+            other => {
+                eprintln!("choreo-check: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if fixtures {
+        run_fixtures();
+        return;
+    }
+
+    let report = check_workspace_protocols();
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if deny && report.errors() > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Checks every shipped choreography, with role bindings taken from live
+/// component assemblies — the same constructors production deployments use,
+/// so a handler dropped from a component fails this check, not a stale
+/// hand-written list.
+fn check_workspace_protocols() -> Report {
+    let system = KompicsSystem::new(Config::default());
+    let abd = system.create(|| ConsistentAbd::new(Address::sim(1), AbdConfig::default()));
+    let cyclon = system.create(|| CyclonOverlay::new(Address::sim(1), CyclonConfig::default()));
+    let server =
+        system.create(|| BootstrapServer::new(Address::sim(0), BootstrapServerConfig::default()));
+    let client = system.create(|| {
+        BootstrapClient::new(Address::sim(1), BootstrapClientConfig::new(Address::sim(0)))
+    });
+
+    let mut report = Report::new();
+    // Every CATS node plays ABD coordinator and replica off one component.
+    let abd_surface = abd.protocol_surface();
+    report.merge(check_bound(
+        &abd_operation_default(),
+        &abd_bindings(abd_surface.clone(), abd_surface),
+    ));
+    report.merge(check_bound(
+        &cyclon_shuffle(),
+        &cyclon_bindings(cyclon.protocol_surface()),
+    ));
+    report.merge(check_bound(
+        &bootstrap_handshake(),
+        &[
+            RoleBinding::new("client", client.protocol_surface()),
+            RoleBinding::new("server", server.protocol_surface()),
+        ],
+    ));
+    system.shutdown();
+    report
+}
+
+/// Runs the known-bad corpus: each fixture must produce *exactly* its
+/// expected rule set — no silent fix, no extra noise.
+fn run_fixtures() {
+    let mut failed = 0usize;
+    let fixtures = corpus();
+    for fixture in &fixtures {
+        let report = check_bound(&fixture.choreography, &fixture.bindings);
+        let mut produced: Vec<&str> = report.findings().iter().map(|f| f.kind.name()).collect();
+        produced.sort_unstable();
+        produced.dedup();
+        let mut expected: Vec<&str> = fixture.expect_rules.to_vec();
+        expected.sort_unstable();
+        if produced == expected {
+            println!("fixture {}: ok ({})", fixture.name, expected.join(", "));
+        } else {
+            failed += 1;
+            println!(
+                "fixture {}: MISMATCH\n  expected: {}\n  produced: {}\n  ({})",
+                fixture.name,
+                expected.join(", "),
+                if produced.is_empty() {
+                    "<nothing>".to_string()
+                } else {
+                    produced.join(", ")
+                },
+                fixture.expectation
+            );
+        }
+    }
+    println!(
+        "choreo-check: {} fixture(s), {} mismatch(es)",
+        fixtures.len(),
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,10 @@
 //! Usage: `cargo run -p komlint -- [--deny] [--json] [paths…]`
 //! (default paths: `crates`, `examples`, `src`). `--deny` exits non-zero
 //! when anything is found — that is what CI runs.
+//!
+//! `komlint --explain <rule>` prints the rule's rationale plus a minimal
+//! violating snippet and its allowed replacement (both live: a self-test
+//! keeps every example honest against the matcher).
 
 mod lexer;
 mod rules;
@@ -50,12 +54,20 @@ fn main() {
     let mut deny = false;
     let mut json = false;
     let mut roots: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("usage: komlint --explain <rule>");
+                    std::process::exit(2);
+                };
+                std::process::exit(explain(&rule));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: komlint [--deny] [--json] [paths...]");
+                eprintln!("usage: komlint [--deny] [--json] [--explain <rule>] [paths...]");
                 return;
             }
             other => roots.push(other.to_string()),
@@ -98,6 +110,65 @@ fn main() {
     if deny && !findings.is_empty() {
         std::process::exit(1);
     }
+}
+
+/// Prints one rule's rationale and live example pair. Returns the process
+/// exit code: 0 for a known rule, 2 for an unknown one (with a typo hint).
+fn explain(rule_id: &str) -> i32 {
+    // The directive-hygiene diagnostics are not matcher rules but can show
+    // up in output; explain them in one line each.
+    let meta = [
+        (
+            "unknown-rule",
+            "an allow directive names a rule komlint does not know — usually a typo; \
+             the diagnostic suggests the closest real rule",
+        ),
+        (
+            "missing-reason",
+            "an allow directive has no reason=\"...\"; every suppression must say why \
+             the flagged pattern is safe at that site, or the allowlist rots",
+        ),
+        (
+            "unused-allow",
+            "an allow directive suppresses nothing; the code it excused has moved or \
+             been fixed, so the directive must be removed",
+        ),
+    ];
+    if let Some((id, text)) = meta.iter().find(|(id, _)| *id == rule_id) {
+        println!("{id} (directive hygiene)\n\n{text}");
+        return 0;
+    }
+    let Some(rule) = rules::find_rule(rule_id) else {
+        match rules::did_you_mean(rule_id) {
+            Some(close) => eprintln!("komlint: unknown rule `{rule_id}`; did you mean `{close}`?"),
+            None => eprintln!("komlint: unknown rule `{rule_id}`"),
+        }
+        eprintln!("valid rules: {}", rules::rule_list());
+        return 2;
+    };
+    println!("{} — {}", rule.id, rule.message);
+    if rule.component_only {
+        println!(
+            "(applies to component code only: crates/cats, crates/kompics-protocols, examples)"
+        );
+    }
+    println!("\nwhy:\n  {}", reflow(rule.rationale));
+    println!("\nviolates:\n{}", indent(rule.bad_example));
+    println!("allowed:\n{}", indent(rule.good_example));
+    println!("fix: {}", reflow(rule.hint));
+    0
+}
+
+fn indent(snippet: &str) -> String {
+    snippet
+        .lines()
+        .map(|l| format!("    {l}\n"))
+        .collect::<String>()
+}
+
+/// Collapses the multi-space gaps left by string-literal continuation.
+fn reflow(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
 fn collect_rust_files(path: &Path, out: &mut Vec<PathBuf>) {
@@ -144,7 +215,7 @@ fn to_json(findings: &[Diagnostic], files_scanned: usize) -> String {
             d.col,
             json_str(d.rule),
             json_str(&d.message),
-            json_str(d.hint)
+            json_str(&d.hint)
         ));
     }
     s.push_str("]}");
@@ -297,6 +368,56 @@ mod tests {
     fn try_recv_is_not_blocking_recv() {
         let src = "fn f(rx: &R) { while let Ok(x) = rx.try_recv() { drop(x); } }\n";
         assert!(check_file("x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn explain_examples_are_live() {
+        // Every rule's bad example must actually trip that rule, and every
+        // good example must check completely clean — so `--explain` can
+        // never drift from the matchers.
+        for rule in super::rules::RULES {
+            let bad = check_file("bad.rs", rule.bad_example, rule.component_only);
+            assert!(
+                bad.iter().any(|d| d.rule == rule.id),
+                "{}: bad example does not trip the rule: {:?}",
+                rule.id,
+                bad
+            );
+            let good = check_file("good.rs", rule.good_example, rule.component_only);
+            assert!(
+                good.is_empty(),
+                "{}: good example is not clean: {:?}",
+                rule.id,
+                good
+            );
+            assert!(!rule.rationale.is_empty(), "{}: missing rationale", rule.id);
+        }
+    }
+
+    #[test]
+    fn did_you_mean_suggests_the_closest_rule() {
+        assert_eq!(super::rules::did_you_mean("wall-clock"), Some("wall-clock"));
+        assert_eq!(
+            super::rules::did_you_mean("thread-spwan"),
+            Some("thread-spawn")
+        );
+        assert_eq!(super::rules::did_you_mean("lockhold"), Some("lock-hold"));
+        assert_eq!(super::rules::did_you_mean("totally-unrelated"), None);
+    }
+
+    #[test]
+    fn unknown_rule_diagnostic_carries_a_typo_hint() {
+        let src = "// komlint: allow(wall-clok) reason=\"typo\"\nfn f() {}\n";
+        let findings = check_file("x.rs", src, false);
+        let unknown = findings
+            .iter()
+            .find(|d| d.rule == "unknown-rule")
+            .expect("unknown-rule finding");
+        assert!(
+            unknown.hint.contains("did you mean `wall-clock`?"),
+            "{}",
+            unknown.hint
+        );
     }
 
     #[test]

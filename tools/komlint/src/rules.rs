@@ -32,6 +32,13 @@ pub struct Rule {
     /// When true the rule only applies to component-code crates
     /// (`cats`, `kompics-protocols`, `examples`), not runtime internals.
     pub component_only: bool,
+    /// Why the pattern is a problem — shown by `--explain`.
+    pub rationale: &'static str,
+    /// A minimal violating snippet; must actually trip the rule (enforced
+    /// by a self-test), so `--explain` never shows a stale example.
+    pub bad_example: &'static str,
+    /// The allowed replacement; must check clean (same self-test).
+    pub good_example: &'static str,
 }
 
 /// Every rule komlint knows about, in reporting order.
@@ -43,6 +50,11 @@ pub const RULES: &[Rule] = &[
         hint: "inject a ClockRef (kompics_core::clock) or accept the time source as a \
                constructor argument so simulation can virtualize time",
         component_only: false,
+        rationale: "the simulation replays a whole system in virtual time from a seed; \
+                    a component that reads the machine clock sees different values on \
+                    every run, so same-seed runs diverge and bugs stop reproducing",
+        bad_example: "fn f(&mut self) {\n    self.started = Instant::now();\n}\n",
+        good_example: "fn f(&mut self, clock: &ClockRef) {\n    self.started = clock.now();\n}\n",
     },
     Rule {
         id: "telemetry-wall-clock",
@@ -64,6 +76,12 @@ pub const RULES: &[Rule] = &[
                simulated metrics and traces stop being byte-identical across \
                same-seed runs",
         component_only: false,
+        rationale: "the telemetry suite guarantees byte-identical metric and trace \
+                    exports across same-seed simulation runs; a raw clock read at a \
+                    record/observe call site smuggles host time into the export and \
+                    silently voids that guarantee",
+        bad_example: "fn f(&mut self) {\n    let t0 = Instant::now();\n    self.latency.record(t0.elapsed());\n}\n",
+        good_example: "fn f(&mut self, ts: &TimeSource) {\n    let t0 = ts.now();\n    self.latency.record(ts.since(t0));\n}\n",
     },
     Rule {
         id: "ambient-rng",
@@ -72,6 +90,12 @@ pub const RULES: &[Rule] = &[
         hint: "a thread-seeded RNG breaks deterministic replay; take an explicit seed \
                (e.g. SmallRng::seed_from_u64) from configuration",
         component_only: false,
+        rationale: "protocols like Cyclon shuffle and the failure detector make \
+                    randomized decisions; if the randomness is seeded from the \
+                    environment instead of the scenario seed, a simulated failure \
+                    cannot be replayed to debug it",
+        bad_example: "fn f(&mut self) {\n    let coin: bool = rand::random();\n    self.flip = coin;\n}\n",
+        good_example: "fn f(seed: u64) -> SmallRng {\n    SmallRng::seed_from_u64(seed)\n}\n",
     },
     Rule {
         id: "affinity-ambient-hash",
@@ -91,6 +115,12 @@ pub const RULES: &[Rule] = &[
                kompics_core::sched::affinity::home_shard (seedless splitmix64) \
                or another fixed-key hash instead",
         component_only: false,
+        rationale: "std's RandomState is seeded once per process, so a hasher-derived \
+                    home shard places the same component on different workers in \
+                    different runs — execution interleavings, and therefore any bug \
+                    that depends on them, stop being reproducible",
+        bad_example: "fn shard_for(id: u64) -> usize {\n    let mut h = DefaultHasher::new();\n    id.hash(&mut h);\n    h.finish() as usize % SHARDS\n}\n",
+        good_example: "fn shard_for(id: u64) -> usize {\n    home_shard(id, SHARDS)\n}\n",
     },
     Rule {
         id: "blocking-sleep",
@@ -99,6 +129,11 @@ pub const RULES: &[Rule] = &[
         hint: "handlers must not block a scheduler worker; use a timer port \
                (kompics-timer) or simulated time instead",
         component_only: false,
+        rationale: "a handler runs on one of a small fixed pool of scheduler workers; \
+                    sleeping in it stalls every component assigned to that worker, and \
+                    in simulation there is no wall time to sleep against at all",
+        bad_example: "fn f(&mut self) {\n    thread::sleep(Duration::from_millis(100));\n    self.retry();\n}\n",
+        good_example: "fn f(&mut self, timer: &TimerRef) {\n    timer.schedule_once(self.id(), RETRY_DELAY);\n}\n",
     },
     Rule {
         id: "blocking-recv",
@@ -107,6 +142,12 @@ pub const RULES: &[Rule] = &[
         hint: "blocking a worker on a channel can deadlock the scheduler; subscribe a \
                handler for the reply event instead",
         component_only: false,
+        rationale: "the component that would send the awaited reply may be scheduled \
+                    on the same worker that is now parked in recv(): the reply can \
+                    never be produced and the scheduler deadlocks — the exact failure \
+                    mode the message-passing model exists to prevent",
+        bad_example: "fn f(&mut self, rx: &Receiver<Reply>) {\n    let reply = rx.recv().unwrap();\n    self.apply(reply);\n}\n",
+        good_example: "fn f(&mut self, rx: &Receiver<Reply>) {\n    while let Ok(reply) = rx.try_recv() {\n        self.apply(reply);\n    }\n}\n",
     },
     Rule {
         id: "thread-spawn",
@@ -115,6 +156,12 @@ pub const RULES: &[Rule] = &[
         hint: "raw threads escape supervision and deterministic replay; create a \
                component on the scheduler instead",
         component_only: false,
+        rationale: "a raw thread has no supervisor (its panics vanish instead of \
+                    escalating through the fault tree) and the simulation scheduler \
+                    cannot interpose on it, so anything it does is invisible to \
+                    deterministic replay",
+        bad_example: "fn f(&mut self) {\n    thread::spawn(move || background_work());\n}\n",
+        good_example: "fn f(&mut self, system: &KompicsSystem) {\n    let worker = system.create(Worker::new);\n    worker.start();\n}\n",
     },
     Rule {
         id: "lock-hold",
@@ -123,6 +170,12 @@ pub const RULES: &[Rule] = &[
         hint: "scope the guard to a single expression (`state.lock().field`) or move \
                the shared state into a component and message it",
         component_only: true,
+        rationale: "a guard held across the rest of a handler is held across every \
+                    trigger the handler performs; if any downstream handler takes the \
+                    same lock the system deadlocks, and lock-step interleavings are \
+                    exactly what the share-nothing component model removes",
+        bad_example: "fn f(&mut self) {\n    let state = self.shared.lock();\n    self.net.trigger(Update { v: state.v });\n}\n",
+        good_example: "fn f(&mut self) {\n    let v = self.shared.lock().v;\n    self.net.trigger(Update { v });\n}\n",
     },
     Rule {
         id: "unbounded-queue-push",
@@ -142,6 +195,12 @@ pub const RULES: &[Rule] = &[
                check capacity before pushing; an unbounded queue under a flood grows \
                memory without bound and starves the control lane",
         component_only: false,
+        rationale: "every queue in the runtime is bounded with an explicit overload \
+                    policy (backpressure, drop, coalesce); a raw push into a \
+                    queue-named collection bypasses that discipline, so a flood grows \
+                    memory without bound while the control lane starves behind it",
+        bad_example: "fn f(&mut self, ev: Event) {\n    self.queue.push_back(ev);\n}\n",
+        good_example: "fn f(&mut self, ev: Event) {\n    if let Err(rejected) = self.mailbox.offer(Lane::Data, ev) {\n        self.shed(rejected);\n    }\n}\n",
     },
 ];
 
@@ -155,7 +214,7 @@ pub struct Diagnostic {
     pub col: usize,
     pub rule: &'static str,
     pub message: String,
-    pub hint: &'static str,
+    pub hint: String,
 }
 
 struct Directive {
@@ -202,6 +261,42 @@ fn known_rule(id: &str) -> bool {
     RULES.iter().any(|r| r.id == id)
 }
 
+/// Looks a rule up by id (for `--explain`).
+pub fn find_rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Comma-separated list of every rule id, in reporting order.
+pub fn rule_list() -> String {
+    RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+}
+
+/// The closest known rule id within edit distance 3, for typo hints.
+pub fn did_you_mean(id: &str) -> Option<&'static str> {
+    RULES
+        .iter()
+        .map(|r| (edit_distance(id, r.id), r.id))
+        .min()
+        .filter(|(distance, _)| *distance <= 3)
+        .map(|(_, rule)| rule)
+}
+
+/// Classic Levenshtein distance, O(|a|·|b|) with a rolling row.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            row.push(substitute.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
 /// Runs every applicable rule over one file.
 ///
 /// `component_code` selects whether `component_only` rules apply —
@@ -230,7 +325,7 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
                     col: col + 1,
                     rule: rule.id,
                     message: rule.message.to_string(),
-                    hint: rule.hint,
+                    hint: rule.hint.to_string(),
                 });
             }
         }
@@ -246,9 +341,12 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
                 col: 1,
                 rule: "unknown-rule",
                 message: format!("allow directive names unknown rule `{}`", d.rule),
-                hint: "valid rules: wall-clock, telemetry-wall-clock, ambient-rng, \
-                       affinity-ambient-hash, blocking-sleep, blocking-recv, \
-                       thread-spawn, lock-hold, unbounded-queue-push",
+                hint: match did_you_mean(&d.rule) {
+                    Some(close) => {
+                        format!("did you mean `{close}`? valid rules: {}", rule_list())
+                    }
+                    None => format!("valid rules: {}", rule_list()),
+                },
             });
             continue;
         }
@@ -262,7 +360,7 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
                     "allow({}) directive has no reason=\"...\" justification",
                     d.rule
                 ),
-                hint: "every suppression must explain why the pattern is safe here",
+                hint: "every suppression must explain why the pattern is safe here".to_string(),
             });
         }
         if !d.used {
@@ -273,7 +371,8 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
                 rule: "unused-allow",
                 message: format!("allow({}) directive suppresses nothing", d.rule),
                 hint: "remove the stale directive (the code it excused has moved or \
-                       been fixed)",
+                       been fixed)"
+                    .to_string(),
             });
         }
     }
