@@ -1,0 +1,483 @@
+//! Network wire-path benchmark runner: two real TCP transports over
+//! loopback, measuring message throughput, byte throughput and echo RTT
+//! tail latency at 64 B / 1 KiB / 64 KiB payloads, and emitting a
+//! machine-readable `BENCH_net.json` at the repo root (mirroring
+//! `dispatch_bench`).
+//!
+//! Two arms per run:
+//!
+//! * `baseline_legacy` — `TcpConfig::legacy_wire`: the pre-change wire path
+//!   (double-copy encode, one `write_all` syscall per message, two
+//!   `read_exact` syscalls per frame, owned copying decode);
+//! * `batched` — the current path: encode-once into pooled refcounted
+//!   frames, vectored writes (≤ 64 frames / ≤ 256 KiB per `write_vectored`),
+//!   zero-copy frame splitting and borrowing decode.
+//!
+//! Compression is disabled in both arms so the comparison isolates the
+//! wire path itself (encode-once, batching, zero-copy decode).
+//!
+//! The in-binary **throughput gate** fails the run (and CI's
+//! net-bench-smoke job) unless the batched arm moves 64 B frames at ≥ 1.5×
+//! the legacy-wire rate (1.2× in quick mode, where iteration counts shrink).
+//!
+//! Reads `bench/baseline_net.json` (override: `BENCH_BASELINE`) as the
+//! "before" snapshot when present; writes `BENCH_net.json` (override:
+//! `BENCH_OUT`). `BENCH_QUICK=1` shrinks the iteration counts for CI.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use kompics::core::channel::connect;
+use kompics::network::{Address, Message, MessageRegistry, Network, TcpConfig, TcpNetwork};
+use kompics::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NetMsg {
+    base: Message,
+    seq: u64,
+    payload: Bytes,
+}
+impl_event!(NetMsg, extends Message, via base);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NetResp {
+    base: Message,
+    seq: u64,
+    payload: Bytes,
+}
+impl_event!(NetResp, extends Message, via base);
+
+fn registry() -> Arc<MessageRegistry> {
+    let mut r = MessageRegistry::new();
+    r.register::<NetMsg>(1).unwrap();
+    r.register::<NetResp>(2).unwrap();
+    Arc::new(r)
+}
+
+/// Counts received `NetMsg`s; echoes them back as `NetResp` when `echo`.
+struct Receiver {
+    ctx: ComponentContext,
+    net: RequiredPort<Network>,
+    #[allow(dead_code)]
+    seen: Arc<AtomicUsize>,
+}
+
+impl Receiver {
+    fn new(seen: Arc<AtomicUsize>, echo: bool) -> Self {
+        let net = RequiredPort::new();
+        if echo {
+            net.subscribe(|this: &mut Receiver, m: &NetMsg| {
+                this.net.trigger(NetResp {
+                    base: m.base.reply(),
+                    seq: m.seq,
+                    payload: m.payload.clone(),
+                });
+                this.seen.fetch_add(1, Ordering::Release);
+            });
+        } else {
+            net.subscribe(|this: &mut Receiver, _m: &NetMsg| {
+                this.seen.fetch_add(1, Ordering::Release);
+            });
+        }
+        Receiver {
+            ctx: ComponentContext::new(),
+            net,
+            seen,
+        }
+    }
+}
+
+impl ComponentDefinition for Receiver {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "Receiver"
+    }
+}
+
+/// Counts `NetResp`s arriving back at the driver.
+struct RespSink {
+    ctx: ComponentContext,
+    #[allow(dead_code)]
+    net: RequiredPort<Network>,
+    #[allow(dead_code)]
+    seen: Arc<AtomicUsize>,
+}
+
+impl RespSink {
+    fn new(seen: Arc<AtomicUsize>) -> Self {
+        let net = RequiredPort::new();
+        net.subscribe(|this: &mut RespSink, _m: &NetResp| {
+            this.seen.fetch_add(1, Ordering::Release);
+        });
+        RespSink {
+            ctx: ComponentContext::new(),
+            net,
+            seen,
+        }
+    }
+}
+
+impl ComponentDefinition for RespSink {
+    fn context(&self) -> &ComponentContext {
+        &self.ctx
+    }
+    fn type_name(&self) -> &'static str {
+        "RespSink"
+    }
+}
+
+fn config(batched: bool) -> TcpConfig {
+    TcpConfig {
+        // Isolate the wire path: no compression in either arm.
+        compress_threshold: None,
+        // Deep enough that the flood-control window below never sheds.
+        outbound_queue: 8_192,
+        // The baseline arm runs the preserved pre-change wire path:
+        // double-copy encode, write_all per message, copying decode.
+        legacy_wire: !batched,
+        ..TcpConfig::default()
+    }
+}
+
+struct Pair {
+    system: KompicsSystem,
+    send_tcp: kompics::core::component::Component<TcpNetwork>,
+    recv_tcp: kompics::core::component::Component<TcpNetwork>,
+    send_addr: Address,
+    recv_addr: Address,
+    /// Messages seen by the remote receiver.
+    received: Arc<AtomicUsize>,
+    /// Echo responses seen back at the driver (echo pairs only).
+    responses: Arc<AtomicUsize>,
+}
+
+fn make_pair(cfg: &TcpConfig, echo: bool) -> Pair {
+    let system = KompicsSystem::new(Config::default().workers(2));
+
+    let (recv_addr, recv_listener) = TcpNetwork::bind(Address::local(0, 2)).unwrap();
+    let recv_tcp = {
+        let (reg, cfg) = (registry(), cfg.clone());
+        system.create(move || TcpNetwork::new(recv_addr, recv_listener, reg, cfg))
+    };
+    let received = Arc::new(AtomicUsize::new(0));
+    let receiver = system.create({
+        let seen = received.clone();
+        move || Receiver::new(seen, echo)
+    });
+    connect(
+        &recv_tcp.provided_ref::<Network>().unwrap(),
+        &receiver.required_ref::<Network>().unwrap(),
+    )
+    .unwrap();
+
+    let (send_addr, send_listener) = TcpNetwork::bind(Address::local(0, 1)).unwrap();
+    let send_tcp = {
+        let (reg, cfg) = (registry(), cfg.clone());
+        system.create(move || TcpNetwork::new(send_addr, send_listener, reg, cfg))
+    };
+    let responses = Arc::new(AtomicUsize::new(0));
+    let resp_sink = system.create({
+        let seen = responses.clone();
+        move || RespSink::new(seen)
+    });
+    connect(
+        &send_tcp.provided_ref::<Network>().unwrap(),
+        &resp_sink.required_ref::<Network>().unwrap(),
+    )
+    .unwrap();
+
+    system.start(&send_tcp);
+    system.start(&recv_tcp);
+    system.start(&receiver);
+    system.start(&resp_sink);
+    system.await_quiescence();
+
+    Pair {
+        system,
+        send_tcp,
+        recv_tcp,
+        send_addr,
+        recv_addr,
+        received,
+        responses,
+    }
+}
+
+fn wait_until(count: &AtomicUsize, target: usize, budget: Duration) -> bool {
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline {
+        if count.load(Ordering::Acquire) >= target {
+            return true;
+        }
+        std::thread::yield_now();
+    }
+    false
+}
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn scaled(full: usize) -> usize {
+    if quick() {
+        (full / 20).max(50)
+    } else {
+        full
+    }
+}
+
+struct PayloadResult {
+    payload_bytes: usize,
+    msgs_per_sec: f64,
+    bytes_per_sec: f64,
+    p99_rtt_us: f64,
+}
+
+/// One-way flood of `n` messages; returns (msgs/sec, wire bytes/sec).
+fn throughput(cfg: &TcpConfig, payload_bytes: usize, n: usize) -> (f64, f64) {
+    let pair = make_pair(cfg, false);
+    let payload = Bytes::from(vec![0u8; payload_bytes]);
+    let port = pair.send_tcp.provided_ref::<Network>().unwrap();
+    let bytes_before = pair.recv_tcp.on_definition(|t| t.byte_stats().1).unwrap();
+
+    let start = Instant::now();
+    for seq in 0..n {
+        // Flow control: cap in-flight messages well under the outbound
+        // queue so nothing is shed to DeadLetters mid-measurement.
+        while seq - pair.received.load(Ordering::Acquire) > 4_096 {
+            std::thread::yield_now();
+        }
+        port.trigger(NetMsg {
+            base: Message::new(pair.send_addr, pair.recv_addr),
+            seq: seq as u64,
+            payload: payload.clone(),
+        })
+        .unwrap();
+    }
+    assert!(
+        wait_until(&pair.received, n, Duration::from_secs(120)),
+        "all {n} messages of {payload_bytes} B delivered"
+    );
+    let elapsed = start.elapsed();
+    let (dropped, _) = pair.send_tcp.on_definition(|t| t.overload_stats()).unwrap();
+    assert_eq!(
+        dropped, 0,
+        "flood control kept the outbound queue under cap"
+    );
+    let bytes_after = pair.recv_tcp.on_definition(|t| t.byte_stats().1).unwrap();
+    pair.system.shutdown();
+    (
+        n as f64 / elapsed.as_secs_f64(),
+        (bytes_after - bytes_before) as f64 / elapsed.as_secs_f64(),
+    )
+}
+
+/// Sequential echo round trips; returns the p99 RTT in microseconds.
+fn echo_p99(cfg: &TcpConfig, payload_bytes: usize, rounds: usize) -> f64 {
+    let pair = make_pair(cfg, true);
+    let payload = Bytes::from(vec![0u8; payload_bytes]);
+    let port = pair.send_tcp.provided_ref::<Network>().unwrap();
+
+    // Warm-up: establish the connection pair and fault in both readers.
+    port.trigger(NetMsg {
+        base: Message::new(pair.send_addr, pair.recv_addr),
+        seq: u64::MAX,
+        payload: payload.clone(),
+    })
+    .unwrap();
+    assert!(
+        wait_until(&pair.responses, 1, Duration::from_secs(30)),
+        "echo path established"
+    );
+
+    let mut rtts_us = Vec::with_capacity(rounds);
+    for seq in 0..rounds {
+        let target = seq + 2; // warm-up response + this round's
+        let start = Instant::now();
+        port.trigger(NetMsg {
+            base: Message::new(pair.send_addr, pair.recv_addr),
+            seq: seq as u64,
+            payload: payload.clone(),
+        })
+        .unwrap();
+        assert!(
+            wait_until(&pair.responses, target, Duration::from_secs(30)),
+            "echo {seq} of {payload_bytes} B returned"
+        );
+        rtts_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    pair.system.shutdown();
+    rtts_us.sort_by(f64::total_cmp);
+    let idx = ((rounds as f64 * 0.99).ceil() as usize).clamp(1, rounds) - 1;
+    rtts_us[idx]
+}
+
+/// Full sweep of one arm across the payload ladder.
+fn run_arm(name: &str, batched: bool) -> (Vec<PayloadResult>, (u64, u64, u64)) {
+    let cfg = config(batched);
+    // (payload bytes, flood count, echo rounds)
+    let ladder: &[(usize, usize, usize)] = &[
+        (64, scaled(150_000), scaled(2_000)),
+        (1_024, scaled(40_000), scaled(1_000)),
+        (64 * 1_024, scaled(1_500), scaled(200)),
+    ];
+    let mut out = Vec::new();
+    let mut counters = (0u64, 0u64, 0u64);
+    for &(payload_bytes, n, rounds) in ladder {
+        eprintln!("# {name}: throughput payload={payload_bytes}B n={n} ...");
+        let (msgs, bytes) = best_of(2, || throughput(&cfg, payload_bytes, n));
+        eprintln!(
+            "#   {msgs:.0} msgs/s, {:.1} MiB/s",
+            bytes / (1024.0 * 1024.0)
+        );
+        eprintln!("# {name}: echo p99 payload={payload_bytes}B rounds={rounds} ...");
+        let p99 = echo_p99(&cfg, payload_bytes, rounds);
+        eprintln!("#   p99 {p99:.1} us");
+        out.push(PayloadResult {
+            payload_bytes,
+            msgs_per_sec: msgs,
+            bytes_per_sec: bytes,
+            p99_rtt_us: p99,
+        });
+        // Wire counters from a dedicated short run (the throughput pairs
+        // are torn down inside best_of).
+        if payload_bytes == 64 {
+            let pair = make_pair(&cfg, false);
+            let port = pair.send_tcp.provided_ref::<Network>().unwrap();
+            let probe = scaled(20_000);
+            for seq in 0..probe {
+                port.trigger(NetMsg {
+                    base: Message::new(pair.send_addr, pair.recv_addr),
+                    seq: seq as u64,
+                    payload: Bytes::from(vec![0u8; payload_bytes]),
+                })
+                .unwrap();
+            }
+            assert!(wait_until(&pair.received, probe, Duration::from_secs(60)));
+            let send_side = pair.send_tcp.on_definition(|t| t.wire_stats()).unwrap();
+            let recv_side = pair.recv_tcp.on_definition(|t| t.wire_stats()).unwrap();
+            counters = (
+                send_side.0 + recv_side.0,
+                send_side.1 + recv_side.1,
+                send_side.2 + recv_side.2,
+            );
+            pair.system.shutdown();
+        }
+    }
+    (out, counters)
+}
+
+/// Throughput noise only ever slows a run down: keep the best.
+fn best_of(reps: usize, mut f: impl FnMut() -> (f64, f64)) -> (f64, f64) {
+    (0..reps)
+        .map(|_| f())
+        .fold((0.0, 0.0), |acc, r| if r.0 > acc.0 { r } else { acc })
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn arm_json(name: &str, results: &[PayloadResult]) -> String {
+    let payloads: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"payload_bytes\": {}, \"msgs_per_sec\": {}, \"bytes_per_sec\": {}, \"p99_rtt_us\": {}}}",
+                r.payload_bytes,
+                json_f(r.msgs_per_sec),
+                json_f(r.bytes_per_sec),
+                json_f(r.p99_rtt_us)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"arm\": \"{name}\", \"payloads\": [\n        {}\n      ]}}",
+        payloads.join(",\n        ")
+    )
+}
+
+/// The wire-path gate over the 64 B series: the current path must beat the
+/// legacy baseline by the threshold or the run (and CI's net-bench-smoke) fails.
+fn throughput_gate_block(baseline: &[PayloadResult], batched: &[PayloadResult]) -> String {
+    let base = baseline[0].msgs_per_sec;
+    let fast = batched[0].msgs_per_sec;
+    let threshold = if quick() { 1.2 } else { 1.5 };
+    let ratio = fast / base;
+    let pass = ratio >= threshold;
+    eprintln!("# throughput gate: batched/legacy = {ratio:.3} (threshold {threshold})");
+    assert!(
+        pass,
+        "wire-path batching regression: batched 64 B throughput is only {ratio:.3}× \
+         the per-message-write baseline (threshold {threshold}×)"
+    );
+    format!(
+        "{{\"payload_bytes\": 64, \"baseline_msgs_per_sec\": {}, \"batched_msgs_per_sec\": {}, \
+         \"measured_ratio\": {ratio:.4}, \"threshold\": {threshold}, \"pass\": {pass}}}",
+        json_f(base),
+        json_f(fast)
+    )
+}
+
+fn main() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let repo_root = manifest
+        .parent()
+        .expect("bench crate lives in the repo")
+        .to_path_buf();
+    let baseline_path = std::env::var("BENCH_BASELINE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| manifest.join("baseline_net.json"));
+    let out_path = std::env::var("BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| repo_root.join("BENCH_net.json"));
+
+    let started = Instant::now();
+    let (baseline_arm, _) = run_arm("baseline_legacy", false);
+    let (batched_arm, counters) = run_arm("batched", true);
+    let gate = throughput_gate_block(&baseline_arm, &batched_arm);
+
+    let baseline_block = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .unwrap_or_else(|| "null".to_string());
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"kompics-bench-net/v1\",\n",
+            "  \"quick_mode\": {},\n",
+            "  \"wall_seconds\": {:.1},\n",
+            "  \"baseline\": {},\n",
+            "  \"current\": {{\n",
+            "    \"arms\": [\n      {},\n      {}\n    ],\n",
+            "    \"wire_counters\": {{\"batched_frames\": {}, \"flush_syscalls\": {}, \"borrowed_decodes\": {}}},\n",
+            "    \"throughput_gate\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        quick(),
+        started.elapsed().as_secs_f64(),
+        baseline_block,
+        arm_json("baseline_legacy", &baseline_arm),
+        arm_json("batched", &batched_arm),
+        counters.0,
+        counters.1,
+        counters.2,
+        gate
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_net.json");
+    println!("{json}");
+    eprintln!("# wrote {}", out_path.display());
+}

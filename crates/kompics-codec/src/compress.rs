@@ -56,18 +56,41 @@ fn flush_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
 ///
 /// Returns [`CodecError::CorruptCompression`] on truncated chunks.
 pub fn rle_decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
-    let mut out = Vec::with_capacity(input.len() * 2);
+    rle_decompress_bounded(input, usize::MAX)
+}
+
+/// Decompresses data produced by [`rle_compress`], refusing to produce more
+/// than `max_len` output bytes. Receive paths use this to bound allocation:
+/// a small hostile input can otherwise expand by ~64× per run chunk (an
+/// "RLE bomb").
+///
+/// # Errors
+///
+/// Returns [`CodecError::CorruptCompression`] on truncated chunks and
+/// [`CodecError::LimitExceeded`] as soon as the output would pass `max_len`
+/// (before allocating past the limit).
+pub fn rle_decompress_bounded(input: &[u8], max_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(input.len().saturating_mul(2).min(max_len));
     let mut i = 0;
     while i < input.len() {
         let control = input[i];
         i += 1;
+        let n = if control < 0x80 {
+            control as usize + 1
+        } else {
+            (control - 0x80) as usize + 2
+        };
+        if out.len() + n > max_len {
+            return Err(CodecError::LimitExceeded {
+                len: out.len() + n,
+                max: max_len,
+            });
+        }
         if control < 0x80 {
-            let n = control as usize + 1;
             let literals = input.get(i..i + n).ok_or(CodecError::CorruptCompression)?;
             out.extend_from_slice(literals);
             i += n;
         } else {
-            let n = (control - 0x80) as usize + 2;
             let &byte = input.get(i).ok_or(CodecError::CorruptCompression)?;
             i += 1;
             out.resize(out.len() + n, byte);
@@ -124,6 +147,24 @@ mod tests {
     fn long_literal_spans_chunks() {
         let data: Vec<u8> = (0..200u8).collect();
         roundtrip(&data);
+    }
+
+    #[test]
+    fn bounded_decompress_rejects_rle_bomb() {
+        // 1 KiB of runs expands to ~64 KiB; a 256-byte bound must refuse it
+        // without allocating the full output.
+        let bomb: Vec<u8> = std::iter::repeat_n([0xFFu8, 0xAA], 512).flatten().collect();
+        let full = rle_decompress(&bomb).unwrap();
+        assert_eq!(full.len(), 512 * 129);
+        match rle_decompress_bounded(&bomb, 256) {
+            Err(CodecError::LimitExceeded { max: 256, .. }) => {}
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+        // Exactly at the limit is fine.
+        let data = vec![3u8; 200];
+        let compressed = rle_compress(&data);
+        assert_eq!(rle_decompress_bounded(&compressed, 200).unwrap(), data);
+        assert!(rle_decompress_bounded(&compressed, 199).is_err());
     }
 
     #[test]

@@ -23,6 +23,25 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
     }
 }
 
+/// Decodes a value of type `T` from a refcounted `input` buffer, letting any
+/// `bytes::Bytes` fields in `T` *borrow* from it instead of copying: the
+/// decode runs inside a [`bytes::serde_support::with_source`] scope, so
+/// byte-slice fields that resolve within `input` are reconstructed as
+/// zero-copy refcounted views of the same allocation. All other fields
+/// decode exactly as [`from_bytes`] — the two entry points always produce
+/// equal values.
+///
+/// Events that must not pin the (potentially much larger) receive buffer —
+/// e.g. values retained across `Coalesce` merges — should use owned field
+/// types (`Vec<u8>`) or [`from_bytes`] instead.
+///
+/// # Errors
+///
+/// Same as [`from_bytes`].
+pub fn from_bytes_shared<T: DeserializeOwned>(input: &bytes::Bytes) -> Result<T, CodecError> {
+    bytes::serde_support::with_source(input.clone(), || from_bytes(&input[..]))
+}
+
 /// Deserializer reading the compact binary format from a byte slice.
 pub struct Deserializer<'de> {
     input: &'de [u8],

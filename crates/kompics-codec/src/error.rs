@@ -26,6 +26,14 @@ pub enum CodecError {
     UnknownLength,
     /// Corrupt compressed data.
     CorruptCompression,
+    /// Decoded or decompressed data would exceed a configured size limit.
+    LimitExceeded {
+        /// Size the input wanted to produce (lower bound when detection
+        /// stopped early).
+        len: usize,
+        /// The configured limit.
+        max: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -46,6 +54,9 @@ impl fmt::Display for CodecError {
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             CodecError::UnknownLength => write!(f, "sequence length must be known"),
             CodecError::CorruptCompression => write!(f, "corrupt compressed payload"),
+            CodecError::LimitExceeded { len, max } => {
+                write!(f, "decoded size {len} exceeds limit {max}")
+            }
         }
     }
 }

@@ -42,7 +42,7 @@ pub mod error;
 pub mod ser;
 pub mod varint;
 
-pub use compress::{rle_compress, rle_decompress};
-pub use de::{from_bytes, Deserializer};
+pub use compress::{rle_compress, rle_decompress, rle_decompress_bounded};
+pub use de::{from_bytes, from_bytes_shared, Deserializer};
 pub use error::CodecError;
 pub use ser::{to_bytes, to_writer, Serializer};

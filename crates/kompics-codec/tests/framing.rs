@@ -1,0 +1,132 @@
+//! Wire-path framing properties: varint length boundaries, frame round-trips
+//! across boundary payload sizes (with and without compression), and
+//! borrowed-vs-owned decode equivalence for `bytes::Bytes` fields.
+
+use bytes::Bytes;
+use kompics_codec::{
+    from_bytes, from_bytes_shared, rle_compress, rle_decompress_bounded, to_bytes, varint,
+};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+struct Frame {
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+struct SharedFrame {
+    seq: u64,
+    payload: Bytes,
+    trailer: Option<String>,
+}
+
+/// LEB128 boundary values: the first/last value of each encoded width,
+/// including the `u32::MAX`-adjacent ones a 4 GiB-ish length would hit.
+const VARINT_BOUNDARIES: &[(u64, usize)] = &[
+    (0, 1),
+    (127, 1),
+    (128, 2),
+    (129, 2),
+    (16_383, 2),
+    (16_384, 3),
+    ((1 << 21) - 1, 3),
+    (1 << 21, 4),
+    (u32::MAX as u64 - 1, 5),
+    (u32::MAX as u64, 5),
+    (u32::MAX as u64 + 1, 5),
+    (u64::MAX, 10),
+];
+
+#[test]
+fn varint_boundaries_roundtrip_at_expected_widths() {
+    for &(value, width) in VARINT_BOUNDARIES {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, value);
+        assert_eq!(out.len(), width, "encoded width of {value}");
+        let mut input = &out[..];
+        assert_eq!(varint::read_u64(&mut input).unwrap(), value);
+        assert!(input.is_empty(), "no trailing bytes for {value}");
+    }
+}
+
+/// Payload sizes that straddle the varint length-prefix boundaries, plus a
+/// random filler range.
+fn boundary_size() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1),
+        Just(126),
+        Just(127),
+        Just(128),
+        Just(129),
+        Just(16_383),
+        Just(16_384),
+        Just(16_385),
+        0usize..2_048,
+    ]
+}
+
+proptest! {
+    /// A frame whose payload length sits on (or near) a varint width
+    /// boundary must round-trip exactly.
+    #[test]
+    fn frames_roundtrip_across_length_boundaries(
+        seq in any::<u64>(),
+        size in boundary_size(),
+        fill in any::<u8>(),
+    ) {
+        let frame = Frame { seq, payload: vec![fill; size] };
+        let bytes = to_bytes(&frame).unwrap();
+        let back: Frame = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(frame, back);
+    }
+
+    /// The compressed wire path (encode → RLE → bounded decompress →
+    /// decode) must be lossless whenever the size bound admits the body.
+    #[test]
+    fn compressed_frames_roundtrip_under_bounded_decompress(
+        seq in any::<u64>(),
+        size in boundary_size(),
+        fill in any::<u8>(),
+    ) {
+        let frame = Frame { seq, payload: vec![fill; size] };
+        let body = to_bytes(&frame).unwrap();
+        let compressed = rle_compress(&body);
+        let restored = rle_decompress_bounded(&compressed, body.len()).unwrap();
+        prop_assert_eq!(&restored, &body);
+        let back: Frame = from_bytes(&restored).unwrap();
+        prop_assert_eq!(frame, back);
+        // One byte under the exact size must be refused, not mis-decoded.
+        if !body.is_empty() {
+            prop_assert!(rle_decompress_bounded(&compressed, body.len() - 1).is_err());
+        }
+    }
+
+    /// Decoding through the zero-copy scope must produce a value equal to
+    /// the plain owned decode — borrowing is an optimization, never a
+    /// semantic change.
+    #[test]
+    fn borrowed_and_owned_decodes_agree(
+        seq in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        trailer in proptest::option::of(".*"),
+    ) {
+        let frame = SharedFrame { seq, payload: Bytes::from(payload), trailer };
+        let encoded = Bytes::from(to_bytes(&frame).unwrap());
+        let owned: SharedFrame = from_bytes(&encoded).unwrap();
+        let borrowed: SharedFrame = from_bytes_shared(&encoded).unwrap();
+        prop_assert_eq!(&owned, &frame);
+        prop_assert_eq!(&borrowed, &frame);
+        // Non-empty payloads decoded in-scope must actually borrow: the
+        // view's bytes live inside the source buffer's allocation.
+        if !borrowed.payload.is_empty() {
+            let src = encoded.as_slice().as_ptr() as usize;
+            let end = src + encoded.len();
+            let view = borrowed.payload.as_slice().as_ptr() as usize;
+            prop_assert!(view >= src && view + borrowed.payload.len() <= end,
+                "payload view does not point into the source buffer");
+        }
+    }
+}

@@ -16,7 +16,7 @@ use serde::Serialize;
 
 use crate::error::NetworkError;
 
-type EncodeFn = Box<dyn Fn(&dyn Event) -> Result<Vec<u8>, NetworkError> + Send + Sync>;
+type EncodeFn = Box<dyn Fn(&dyn Event, &mut Vec<u8>) -> Result<(), NetworkError> + Send + Sync>;
 type DecodeFn = Box<dyn Fn(&[u8]) -> Result<EventRef, NetworkError> + Send + Sync>;
 
 struct Entry {
@@ -77,10 +77,11 @@ impl MessageRegistry {
             Entry {
                 tag,
                 type_name: std::any::type_name::<T>(),
-                encode: Box::new(|event: &dyn Event| {
+                encode: Box::new(|event: &dyn Event, out: &mut Vec<u8>| {
                     let concrete = event_as::<T>(event)
                         .ok_or(NetworkError::UnregisteredType("event/type mismatch"))?;
-                    Ok(kompics_codec::to_bytes(concrete)?)
+                    kompics_codec::to_writer(out, concrete)?;
+                    Ok(())
                 }),
             },
         );
@@ -106,8 +107,36 @@ impl MessageRegistry {
             .by_type
             .get(&type_id)
             .ok_or(NetworkError::UnregisteredType(event.event_name()))?;
-        let bytes = (entry.encode)(event)?;
+        let mut bytes = Vec::new();
+        (entry.encode)(event, &mut bytes)?;
         Ok((entry.tag, bytes))
+    }
+
+    /// Encodes a registered event directly into `out` (appending), with no
+    /// intermediate allocation: appends `[varint tag][body]` and returns
+    /// `(tag, body_start)` where `body_start` is the index in `out` at which
+    /// the body begins (so callers can e.g. compress the body in place).
+    ///
+    /// This is the wire-path fast path: the caller hands in a reusable
+    /// frame buffer that already contains its framing prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MessageRegistry::encode`].
+    pub fn encode_into(
+        &self,
+        event: &dyn Event,
+        out: &mut Vec<u8>,
+    ) -> Result<(u64, usize), NetworkError> {
+        let type_id = event.as_any().type_id();
+        let entry = self
+            .by_type
+            .get(&type_id)
+            .ok_or(NetworkError::UnregisteredType(event.event_name()))?;
+        kompics_codec::varint::write_u64(out, entry.tag);
+        let body_start = out.len();
+        (entry.encode)(event, out)?;
+        Ok((entry.tag, body_start))
     }
 
     /// Decodes a received frame body.
@@ -118,6 +147,18 @@ impl MessageRegistry {
     pub fn decode(&self, tag: u64, bytes: &[u8]) -> Result<EventRef, NetworkError> {
         let decode = self.by_tag.get(&tag).ok_or(NetworkError::UnknownTag(tag))?;
         decode(bytes)
+    }
+
+    /// Decodes a received frame body from a refcounted buffer, letting
+    /// `bytes::Bytes` fields of the event *borrow* from it (zero-copy
+    /// views) instead of copying — see [`kompics_codec::from_bytes_shared`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MessageRegistry::decode`].
+    pub fn decode_shared(&self, tag: u64, body: &bytes::Bytes) -> Result<EventRef, NetworkError> {
+        let decode = self.by_tag.get(&tag).ok_or(NetworkError::UnknownTag(tag))?;
+        bytes::serde_support::with_source(body.clone(), || decode(&body[..]))
     }
 
     /// Whether the concrete type of `event` is registered.
@@ -187,6 +228,40 @@ mod tests {
         let back = r.decode(tag, &bytes).unwrap();
         let back = event_as::<Ping>(back.as_ref()).unwrap();
         assert_eq!(*back, p);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let mut r = MessageRegistry::new();
+        r.register::<Ping>(10).unwrap();
+        let p = ping();
+        let (tag, body) = r.encode(&p).unwrap();
+
+        let mut buf = vec![0xEEu8; 3]; // pre-existing framing prefix survives
+        let (tag2, body_start) = r.encode_into(&p, &mut buf).unwrap();
+        assert_eq!(tag2, tag);
+        assert_eq!(&buf[..3], &[0xEE; 3]);
+        // [prefix][varint tag][body]
+        let mut tag_bytes = Vec::new();
+        kompics_codec::varint::write_u64(&mut tag_bytes, tag);
+        assert_eq!(&buf[3..3 + tag_bytes.len()], &tag_bytes[..]);
+        assert_eq!(body_start, 3 + tag_bytes.len());
+        assert_eq!(&buf[body_start..], &body[..]);
+    }
+
+    #[test]
+    fn decode_shared_matches_decode() {
+        let mut r = MessageRegistry::new();
+        r.register::<Ping>(10).unwrap();
+        let p = ping();
+        let (tag, body) = r.encode(&p).unwrap();
+        let shared = bytes::Bytes::from(body.clone());
+        let owned = r.decode(tag, &body).unwrap();
+        let borrowed = r.decode_shared(tag, &shared).unwrap();
+        assert_eq!(
+            event_as::<Ping>(owned.as_ref()).unwrap(),
+            event_as::<Ping>(borrowed.as_ref()).unwrap()
+        );
     }
 
     #[test]

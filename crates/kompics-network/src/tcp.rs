@@ -6,24 +6,36 @@
 //!
 //! * automatic connection management — connections are opened on first send
 //!   to an endpoint, kept in a table, re-established on failure;
+//! * **connection multiplexing** — connections are full duplex: a dialing
+//!   writer announces its canonical listen address in a `HELLO` frame, so
+//!   the accepting side routes replies back over the *same* socket instead
+//!   of dialing a second connection (one writer/reader pair per peer,
+//!   shared by every local component);
 //! * message serialization via the [`MessageRegistry`] and the
-//!   `kompics-codec` wire format;
+//!   `kompics-codec` wire format, encoded **once** directly into a pooled
+//!   frame buffer (no intermediate `Vec`s, length prefix written in place);
+//! * **batched vectored writes** — the writer thread drains its outbound
+//!   queue into multi-frame `write_vectored` flushes (bounded by
+//!   [`TcpConfig::max_batch_frames`] / [`TcpConfig::max_batch_bytes`]), so
+//!   small events share syscalls;
+//! * **zero-copy decode** — the reader accumulates into a `BytesMut`,
+//!   freezes complete frames off it without copying bodies, and decodes
+//!   through [`MessageRegistry::decode_shared`] so `bytes::Bytes` fields of
+//!   handler-visible events reference the receive buffer directly;
 //! * optional payload compression above a size threshold (the Zlib
 //!   substitute);
 //! * length-prefixed framing: `[u32 len][u8 flags][varint tag][body]`.
 //!
-//! Per endpoint there is one writer thread draining a send queue and, on the
-//! receiving side, one reader thread per accepted connection; decoded
-//! messages are triggered as indications on the provided port (the runtime
-//! then queues them at the destination components).
+//! See DESIGN.md §16 for the buffer lifecycle and batching rules.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use kompics_core::event::{event_as, EventRef};
 use kompics_core::port::PortRef;
@@ -36,6 +48,19 @@ use crate::net::{DeadLetter, Message, Network};
 use crate::registry::MessageRegistry;
 
 const FLAG_COMPRESSED: u8 = 0b0000_0001;
+/// Marks a connection-handshake frame carrying the dialer's canonical
+/// listen address (payload: `[flags][ip;4][port u16 le]`, no tag/body).
+/// Hello frames are transport-internal: they do not count in message/byte
+/// stats and are never delivered to components.
+const FLAG_HELLO: u8 = 0b0000_0010;
+
+/// How many bytes a reader tries to pull from the socket per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Encode buffers retained for reuse per transport instance.
+const BUF_POOL_CAP: usize = 64;
+/// Encode buffers larger than this are dropped instead of pooled, so one
+/// huge frame does not pin megabytes of idle capacity.
+const BUF_POOL_MAX_CAPACITY: usize = 4 * 1024 * 1024;
 
 /// Transport tuning knobs.
 #[derive(Debug, Clone)]
@@ -70,6 +95,25 @@ pub struct TcpConfig {
     /// as the mailbox drains below its low watermark (pushback clears).
     /// Default: 1 ms.
     pub read_pause: Duration,
+    /// Largest frame payload (and decompressed body) a reader accepts, in
+    /// bytes. A length prefix above this emits a [`DeadLetter`] and drops
+    /// the connection instead of attempting a multi-GiB allocation on a
+    /// corrupt or hostile prefix. Default: 16 MiB.
+    pub max_frame: usize,
+    /// Most frames a writer coalesces into one vectored flush. `1` degrades
+    /// to one write syscall per message (the pre-batching wire path, kept
+    /// as the benchmark baseline arm). Default: 64.
+    pub max_batch_frames: usize,
+    /// Byte budget for one vectored flush; a batch stops growing once the
+    /// already-collected frames reach it (a single oversized frame still
+    /// flushes alone). Default: 256 KiB.
+    pub max_batch_bytes: usize,
+    /// Reproduces the pre-zero-copy wire path for A/B benchmarking: encode
+    /// through intermediate `Vec`s (two full body copies), one `write_all`
+    /// syscall per frame, and a read-length-then-`read_exact` reader with
+    /// owned (copying) decode. This is `net_bench`'s baseline arm — the
+    /// "before" the throughput gate compares against. Default: `false`.
+    pub legacy_wire: bool,
 }
 
 impl Default for TcpConfig {
@@ -82,13 +126,20 @@ impl Default for TcpConfig {
             connect_jitter: 0.25,
             outbound_queue: 1024,
             read_pause: Duration::from_millis(1),
+            max_frame: 16 * 1024 * 1024,
+            max_batch_frames: 64,
+            max_batch_bytes: 256 * 1024,
+            legacy_wire: false,
         }
     }
 }
 
 struct Outgoing {
     header: Message,
-    frame: Vec<u8>,
+    /// The complete encoded frame (`[len][flags][tag][body]`). Refcounted:
+    /// after a flush the writer reclaims the allocation into the encode
+    /// pool if it holds the last reference.
+    frame: Bytes,
 }
 
 /// Per-open-connection state kept in the connection table.
@@ -107,7 +158,10 @@ type ConnectionMap = HashMap<([u8; 4], u16), Conn>;
 struct Shared {
     registry: Arc<MessageRegistry>,
     config: TcpConfig,
+    self_addr: Address,
     connections: Mutex<ConnectionMap>,
+    /// Reusable encode buffers; see [`Shared::take_buf`]/[`Shared::recycle`].
+    buf_pool: Mutex<Vec<Vec<u8>>>,
     shutdown: AtomicBool,
     sent: AtomicU64,
     received: AtomicU64,
@@ -119,6 +173,51 @@ struct Shared {
     /// Times a reader thread paused because a destination mailbox signalled
     /// pushback.
     read_pauses: AtomicU64,
+    /// Frames written as part of a multi-frame vectored flush.
+    batched_frames: AtomicU64,
+    /// Vectored write syscalls issued by writer threads.
+    flush_syscalls: AtomicU64,
+    /// Decodes that produced at least one zero-copy `Bytes` view of the
+    /// receive buffer.
+    borrowed_decodes: AtomicU64,
+    /// Socket-option calls (`set_nodelay`, `set_read_timeout`) that failed;
+    /// each is also logged once for its connection.
+    sockopt_errors: AtomicU64,
+}
+
+impl Shared {
+    fn take_buf(&self) -> Vec<u8> {
+        self.buf_pool.lock().pop().unwrap_or_default()
+    }
+
+    fn recycle(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > BUF_POOL_MAX_CAPACITY {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.buf_pool.lock();
+        if pool.len() < BUF_POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
+    /// Returns a spent frame's allocation to the pool if the writer held
+    /// the last reference to it.
+    fn recycle_frame(&self, frame: Bytes) {
+        if let Ok(buf) = frame.try_reclaim() {
+            self.recycle(buf);
+        }
+    }
+
+    fn log_sockopt_error(&self, what: &'static str, peer: &str, err: &std::io::Error) {
+        self.sockopt_errors.fetch_add(1, Ordering::Relaxed);
+        // Once per connection: each sockopt is applied exactly once per
+        // established stream, so no dedup state is needed.
+        eprintln!(
+            "kompics-network: {what} failed for connection with {peer}: {err} \
+             (see kompics_tcp_sockopt_errors_total)"
+        );
+    }
 }
 
 /// The TCP transport component. See the module documentation.
@@ -161,7 +260,9 @@ impl TcpNetwork {
         let shared = Arc::new(Shared {
             registry,
             config,
+            self_addr,
             connections: Mutex::new(HashMap::new()),
+            buf_pool: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             sent: AtomicU64::new(0),
             received: AtomicU64::new(0),
@@ -169,6 +270,10 @@ impl TcpNetwork {
             bytes_received: AtomicU64::new(0),
             outbound_dropped: AtomicU64::new(0),
             read_pauses: AtomicU64::new(0),
+            batched_frames: AtomicU64::new(0),
+            flush_syscalls: AtomicU64::new(0),
+            borrowed_decodes: AtomicU64::new(0),
+            sockopt_errors: AtomicU64::new(0),
         });
 
         net.subscribe_shared::<TcpNetwork, Message, _>(
@@ -196,7 +301,8 @@ impl TcpNetwork {
         self.self_addr
     }
 
-    /// (messages sent, messages received) so far.
+    /// (messages sent, messages received) so far. Transport-internal hello
+    /// frames are not counted.
     pub fn message_stats(&self) -> (u64, u64) {
         (
             self.shared.sent.load(Ordering::Relaxed),
@@ -204,7 +310,7 @@ impl TcpNetwork {
         )
     }
 
-    /// (bytes sent, bytes received) so far, counting frame bodies.
+    /// (bytes sent, bytes received) so far, counting data frames.
     pub fn byte_stats(&self) -> (u64, u64) {
         (
             self.shared.bytes_sent.load(Ordering::Relaxed),
@@ -222,8 +328,20 @@ impl TcpNetwork {
         )
     }
 
+    /// Wire-path counters: (frames written in multi-frame vectored flushes,
+    /// vectored write syscalls, decodes that borrowed zero-copy views of
+    /// the receive buffer) so far.
+    pub fn wire_stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.batched_frames.load(Ordering::Relaxed),
+            self.shared.flush_syscalls.load(Ordering::Relaxed),
+            self.shared.borrowed_decodes.load(Ordering::Relaxed),
+        )
+    }
+
     /// Registers scrape-time transport counters on `registry`:
-    /// `kompics_tcp_{sent,received,outbound_dropped,read_pauses}_total`.
+    /// `kompics_tcp_{sent,received,outbound_dropped,read_pauses,
+    /// batched_frames,flush_syscalls,borrowed_decodes,sockopt_errors}_total`.
     /// Call once after creating the component (e.g. next to
     /// `install_telemetry`).
     pub fn register_metrics(&self, registry: &kompics_telemetry::Registry) {
@@ -253,6 +371,26 @@ impl TcpNetwork {
                 &[],
                 shared.read_pauses.load(Ordering::Relaxed),
             ));
+            out.push(Sample::counter(
+                "kompics_tcp_batched_frames_total",
+                &[],
+                shared.batched_frames.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "kompics_tcp_flush_syscalls_total",
+                &[],
+                shared.flush_syscalls.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "kompics_tcp_borrowed_decodes_total",
+                &[],
+                shared.borrowed_decodes.load(Ordering::Relaxed),
+            ));
+            out.push(Sample::counter(
+                "kompics_tcp_sockopt_errors_total",
+                &[],
+                shared.sockopt_errors.load(Ordering::Relaxed),
+            ));
         });
     }
 
@@ -260,7 +398,12 @@ impl TcpNetwork {
         let Some(header) = event_as::<Message>(event.as_ref()).copied() else {
             return;
         };
-        match encode_frame(&self.shared, event.as_ref()) {
+        let encoded = if self.shared.config.legacy_wire {
+            encode_frame_legacy(&self.shared, event.as_ref())
+        } else {
+            encode_frame(&self.shared, event.as_ref())
+        };
+        match encoded {
             Ok(frame) => {
                 let endpoint = (header.destination.ip, header.destination.port);
                 let conn = {
@@ -272,6 +415,7 @@ impl TcpNetwork {
                                 Arc::clone(&self.shared),
                                 header.destination,
                                 self.net.inside_ref(),
+                                None,
                             ),
                             warned_full: Arc::new(AtomicBool::new(false)),
                         })
@@ -283,12 +427,13 @@ impl TcpNetwork {
                     .fetch_add(frame.len() as u64, Ordering::Relaxed);
                 match conn.tx.try_send(Outgoing { header, frame }) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(_)) => {
+                    Err(TrySendError::Full(outgoing)) => {
                         // Back-pressure: the peer is slow or unreachable and
                         // the bounded queue is full. Fail the send fast; the
                         // writer (and its queue) stay up. Shedding must stay
                         // observable: count every drop, warn once per
                         // connection.
+                        self.shared.recycle_frame(outgoing.frame);
                         self.shared.outbound_dropped.fetch_add(1, Ordering::Relaxed);
                         if !conn.warned_full.swap(true, Ordering::Relaxed) {
                             eprintln!(
@@ -306,8 +451,9 @@ impl TcpNetwork {
                             ),
                         });
                     }
-                    Err(TrySendError::Disconnected(_)) => {
+                    Err(TrySendError::Disconnected(outgoing)) => {
                         // Writer died; drop it so the next send reconnects.
+                        self.shared.recycle_frame(outgoing.frame);
                         self.shared.connections.lock().remove(&endpoint);
                         self.net.trigger(DeadLetter {
                             message: header,
@@ -346,10 +492,48 @@ impl TcpNetwork {
     }
 }
 
+/// Encodes `event` once, directly into a pooled frame buffer:
+/// `[u32 len][u8 flags][varint tag][body]` with the length prefix written
+/// in place. The returned frame is refcounted so the writer can reclaim
+/// the allocation after flushing.
 fn encode_frame(
     shared: &Shared,
     event: &dyn kompics_core::event::Event,
-) -> Result<Vec<u8>, NetworkError> {
+) -> Result<Bytes, NetworkError> {
+    let mut buf = shared.take_buf();
+    // komlint: allow(wire-path-copy) reason="5-byte framing placeholder (len + flags), not a body copy"
+    buf.extend_from_slice(&[0u8; 5]);
+    let (_tag, body_start) = match shared.registry.encode_into(event, &mut buf) {
+        Ok(v) => v,
+        Err(err) => {
+            shared.recycle(buf);
+            return Err(err);
+        }
+    };
+    if let Some(threshold) = shared.config.compress_threshold {
+        if buf.len() - body_start > threshold {
+            let compressed = kompics_codec::rle_compress(&buf[body_start..]);
+            if compressed.len() < buf.len() - body_start {
+                buf[4] |= FLAG_COMPRESSED;
+                buf.truncate(body_start);
+                // komlint: allow(wire-path-copy) reason="compression rewrites the body in place: the smaller compressed form replaces the original, it is not a frame copy"
+                buf.extend_from_slice(&compressed);
+            }
+        }
+    }
+    let len = (buf.len() - 4) as u32;
+    buf[0..4].copy_from_slice(&len.to_le_bytes());
+    Ok(Bytes::from(buf))
+}
+
+/// The pre-zero-copy encode path, preserved verbatim for the benchmark
+/// baseline arm ([`TcpConfig::legacy_wire`]): serialize to an owned body,
+/// copy it into a payload `Vec`, copy *that* into a length-prefixed frame
+/// `Vec` — three allocations and two full body copies per message.
+fn encode_frame_legacy(
+    shared: &Shared,
+    event: &dyn kompics_core::event::Event,
+) -> Result<Bytes, NetworkError> {
     let (tag, body) = shared.registry.encode(event)?;
     let mut flags = 0u8;
     let body = match shared.config.compress_threshold {
@@ -367,37 +551,48 @@ fn encode_frame(
     let mut payload = Vec::with_capacity(body.len() + 12);
     payload.push(flags);
     kompics_codec::varint::write_u64(&mut payload, tag);
+    // komlint: allow(wire-path-copy) reason="legacy_wire baseline arm deliberately reproduces the pre-change double-copy encode for A/B benchmarking"
     payload.extend_from_slice(&body);
     let mut frame = Vec::with_capacity(payload.len() + 4);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes()); // komlint: allow(wire-path-copy) reason="4-byte length prefix, not a body copy"
+                                                                    // komlint: allow(wire-path-copy) reason="legacy_wire baseline arm deliberately reproduces the pre-change double-copy encode for A/B benchmarking"
     frame.extend_from_slice(&payload);
-    Ok(frame)
+    Ok(Bytes::from(frame))
 }
 
-fn decode_frame(shared: &Shared, payload: &[u8]) -> Result<EventRef, NetworkError> {
-    let mut input = payload;
-    let (&flags, rest) = input
-        .split_first()
-        .ok_or(NetworkError::BadFrame("empty payload"))?;
-    input = rest;
-    let tag = kompics_codec::varint::read_u64(&mut input)?;
-    if flags & FLAG_COMPRESSED != 0 {
-        let body = kompics_codec::rle_decompress(input)?;
-        shared.registry.decode(tag, &body)
-    } else {
-        shared.registry.decode(tag, input)
+/// Builds the transport-internal hello frame announcing `addr` as this
+/// node's canonical listen endpoint.
+fn hello_frame(addr: Address) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11);
+    out.extend_from_slice(&7u32.to_le_bytes()); // komlint: allow(wire-path-copy) reason="11-byte handshake frame built once per connection, no body"
+    out.push(FLAG_HELLO);
+    out.extend_from_slice(&addr.ip);
+    out.extend_from_slice(&addr.port.to_le_bytes());
+    out
+}
+
+/// Parses a hello payload (after the flags byte): `[ip;4][port u16 le]`.
+fn parse_hello(body: &[u8]) -> Option<Address> {
+    if body.len() != 6 {
+        return None;
     }
+    Some(Address {
+        ip: [body[0], body[1], body[2], body[3]],
+        port: u16::from_le_bytes([body[4], body[5]]),
+        id: 0,
+    })
 }
 
 fn spawn_writer(
     shared: Arc<Shared>,
     destination: Address,
     port: PortRef<Network>,
+    initial: Option<TcpStream>,
 ) -> Sender<Outgoing> {
     let (tx, rx) = bounded::<Outgoing>(shared.config.outbound_queue.max(1));
     std::thread::Builder::new()
         .name(format!("tcp-writer-{}", destination.port))
-        .spawn(move || writer_loop(shared, destination, rx, port))
+        .spawn(move || writer_loop(shared, destination, rx, port, initial))
         .expect("spawn writer");
     tx
 }
@@ -438,7 +633,9 @@ fn try_connect(shared: &Shared, destination: Address) -> Option<TcpStream> {
         }
         match TcpStream::connect(destination.socket_addr()) {
             Ok(stream) => {
-                let _ = stream.set_nodelay(true);
+                if let Err(err) = stream.set_nodelay(true) {
+                    shared.log_sockopt_error("set_nodelay", &destination.to_string(), &err);
+                }
                 return Some(stream);
             }
             Err(_) if attempt + 1 < shared.config.connect_retries.max(1) => {
@@ -451,42 +648,176 @@ fn try_connect(shared: &Shared, destination: Address) -> Option<TcpStream> {
     None
 }
 
+/// Dials `destination`, announces our canonical listen address with a hello
+/// frame (so the peer multiplexes replies onto this socket), and spawns the
+/// client-side reader half of the full-duplex connection.
+fn establish(
+    shared: &Arc<Shared>,
+    destination: Address,
+    port: &PortRef<Network>,
+) -> Option<TcpStream> {
+    let mut stream = try_connect(shared, destination)?;
+    if stream.write_all(&hello_frame(shared.self_addr)).is_err() {
+        return None;
+    }
+    match stream.try_clone() {
+        Ok(read_half) => {
+            let shared = Arc::clone(shared);
+            let port = port.clone();
+            let self_addr = shared.self_addr;
+            std::thread::Builder::new()
+                .name(format!("tcp-reader-{}", self_addr.port))
+                .spawn(move || reader_loop(read_half, shared, port, self_addr))
+                .expect("spawn reader");
+        }
+        Err(err) => {
+            // Degraded but functional: without a local read half, replies
+            // from the peer arrive over a peer-dialed connection instead.
+            shared.log_sockopt_error("try_clone", &destination.to_string(), &err);
+        }
+    }
+    Some(stream)
+}
+
 fn writer_loop(
     shared: Arc<Shared>,
     destination: Address,
     rx: Receiver<Outgoing>,
     port: PortRef<Network>,
+    initial: Option<TcpStream>,
 ) {
-    let mut stream: Option<TcpStream> = None;
-    // komlint: allow(blocking-recv) reason="this loop IS the dedicated writer thread; it exists to block on the outgoing queue"
-    while let Ok(outgoing) = rx.recv() {
+    let mut stream: Option<TcpStream> = initial;
+    let mut batch: Vec<Outgoing> = Vec::new();
+    loop {
+        batch.clear();
+        // komlint: allow(blocking-recv) reason="this loop IS the dedicated writer thread; it exists to block on the outgoing queue"
+        match rx.recv() {
+            Ok(outgoing) => batch.push(outgoing),
+            Err(_) => return,
+        }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        // (Re)establish and write; one reconnect attempt per message.
-        let mut delivered = false;
-        for _ in 0..2 {
-            if stream.is_none() {
-                stream = try_connect(&shared, destination);
-            }
-            match stream.as_mut() {
-                Some(s) => match s.write_all(&outgoing.frame) {
-                    Ok(()) => {
-                        delivered = true;
-                        break;
-                    }
-                    Err(_) => stream = None,
-                },
-                None => break,
+        // Coalesce whatever else is already queued, up to the batch budget.
+        // (The legacy baseline arm never coalesces: one write per message.)
+        let max_frames = if shared.config.legacy_wire {
+            1
+        } else {
+            shared.config.max_batch_frames.max(1)
+        };
+        let max_bytes = shared.config.max_batch_bytes;
+        let mut batch_bytes = batch[0].frame.len();
+        while batch.len() < max_frames && batch_bytes < max_bytes {
+            match rx.try_recv() {
+                Ok(outgoing) => {
+                    batch_bytes += outgoing.frame.len();
+                    batch.push(outgoing);
+                }
+                Err(_) => break,
             }
         }
-        if !delivered {
+        // Flush, with one reconnect attempt on write failure. Frames before
+        // the failure point were handed to the kernel and are not resent; a
+        // partially-written frame is resent from its start (the peer
+        // discards the truncated copy at EOF).
+        let mut start = 0;
+        let mut attempts_left = 2;
+        while start < batch.len() && attempts_left > 0 {
+            if stream.is_none() {
+                stream = establish(&shared, destination, &port);
+                if stream.is_none() {
+                    break;
+                }
+            }
+            let flushed = if shared.config.legacy_wire {
+                flush_frames_legacy(
+                    stream.as_mut().expect("stream set"),
+                    &batch[start..],
+                    &shared,
+                )
+            } else {
+                flush_frames(
+                    stream.as_mut().expect("stream set"),
+                    &batch[start..],
+                    &shared,
+                )
+            };
+            match flushed {
+                Ok(()) => {
+                    if batch.len() - start > 1 {
+                        shared
+                            .batched_frames
+                            .fetch_add((batch.len() - start) as u64, Ordering::Relaxed);
+                    }
+                    start = batch.len();
+                }
+                Err(flushed) => {
+                    start += flushed;
+                    stream = None;
+                    attempts_left -= 1;
+                }
+            }
+        }
+        for outgoing in &batch[start..] {
             let _ = port.trigger(DeadLetter {
                 message: outgoing.header,
                 reason: format!("cannot reach {destination}"),
             });
         }
+        for outgoing in batch.drain(..) {
+            shared.recycle_frame(outgoing.frame);
+        }
     }
+}
+
+/// Writes `frames` with vectored syscalls, handling partial writes.
+/// On I/O failure returns `Err(n)` where `n` is the count of frames fully
+/// handed to the kernel before the failure.
+fn flush_frames(stream: &mut TcpStream, frames: &[Outgoing], shared: &Shared) -> Result<(), usize> {
+    let mut idx = 0; // first frame not yet fully written
+    let mut offset = 0; // bytes of frames[idx] already written
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(frames.len());
+    while idx < frames.len() {
+        slices.clear();
+        slices.push(IoSlice::new(&frames[idx].frame[offset..]));
+        for outgoing in &frames[idx + 1..] {
+            slices.push(IoSlice::new(&outgoing.frame));
+        }
+        match stream.write_vectored(&slices) {
+            Ok(0) => return Err(idx),
+            Ok(mut n) => {
+                shared.flush_syscalls.fetch_add(1, Ordering::Relaxed);
+                while idx < frames.len() {
+                    let remaining = frames[idx].frame.len() - offset;
+                    if n >= remaining {
+                        n -= remaining;
+                        idx += 1;
+                        offset = 0;
+                    } else {
+                        offset += n;
+                        break;
+                    }
+                }
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(idx),
+        }
+    }
+    Ok(())
+}
+
+/// The pre-batching flush, preserved for the benchmark baseline arm
+/// ([`TcpConfig::legacy_wire`]): one `write_all` syscall per frame.
+fn flush_frames_legacy(
+    stream: &mut TcpStream,
+    frames: &[Outgoing],
+    shared: &Shared,
+) -> Result<(), usize> {
+    for (idx, outgoing) in frames.iter().enumerate() {
+        stream.write_all(&outgoing.frame).map_err(|_| idx)?;
+        shared.flush_syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
 }
 
 fn accept_loop(
@@ -514,13 +845,119 @@ fn accept_loop(
     }
 }
 
+/// When a hello frame announces `peer` as the remote's canonical listen
+/// address, register the live socket as the write route to it, making the
+/// connection full duplex. An existing route (e.g. from a simultaneous
+/// dial) wins; the duplicate socket then only carries inbound traffic.
+fn register_route(
+    shared: &Arc<Shared>,
+    port: &PortRef<Network>,
+    peer: Address,
+    stream: &TcpStream,
+) {
+    let endpoint = (peer.ip, peer.port);
+    let mut table = shared.connections.lock();
+    if table.contains_key(&endpoint) {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Conn {
+        tx: spawn_writer(Arc::clone(shared), peer, port.clone(), Some(write_half)),
+        warned_full: Arc::new(AtomicBool::new(false)),
+    };
+    table.insert(endpoint, conn);
+}
+
 fn reader_loop(
     mut stream: TcpStream,
     shared: Arc<Shared>,
     port: PortRef<Network>,
     self_addr: Address,
 ) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    if let Err(err) = stream.set_read_timeout(Some(Duration::from_millis(200))) {
+        shared.log_sockopt_error("set_read_timeout", "peer", &err);
+    }
+    if shared.config.legacy_wire {
+        return reader_loop_legacy(stream, shared, port, self_addr);
+    }
+    let mut acc = BytesMut::with_capacity(2 * READ_CHUNK);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let filled = acc.len();
+        acc.resize(filled + READ_CHUNK, 0);
+        let n = match stream.read(&mut acc.as_mut_slice()[filled..]) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                acc.truncate(filled);
+                continue;
+            }
+            Err(_) => return,
+        };
+        acc.truncate(filled + n);
+
+        // Find how many *complete* frames the accumulator holds, bounding
+        // each length prefix before any allocation depends on it.
+        let mut consumed = 0;
+        loop {
+            let available = acc.len() - consumed;
+            if available < 4 {
+                break;
+            }
+            let len_bytes: [u8; 4] = acc[consumed..consumed + 4].try_into().expect("4 bytes");
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            if len > shared.config.max_frame {
+                let _ = port.trigger(DeadLetter {
+                    message: Message::new(Address::sim(0), self_addr),
+                    reason: format!(
+                        "frame length {len} exceeds max_frame {}; dropping connection",
+                        shared.config.max_frame
+                    ),
+                });
+                return;
+            }
+            if available - 4 < len {
+                break;
+            }
+            consumed += 4 + len;
+        }
+        if consumed == 0 {
+            continue;
+        }
+
+        // Freeze the complete frames off the accumulator: the allocation
+        // moves behind a refcounted `Bytes` (no body copy); only the
+        // partial tail is carried into the next round.
+        let frames = acc.freeze_to(consumed);
+        let mut offset = 0;
+        while offset < frames.len() {
+            let len_bytes: [u8; 4] = frames[offset..offset + 4].try_into().expect("4 bytes");
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            let payload = frames.slice(offset + 4..offset + 4 + len);
+            offset += 4 + len;
+            handle_frame(&shared, &port, self_addr, &stream, payload);
+        }
+    }
+}
+
+/// The pre-zero-copy read path, preserved for the benchmark baseline arm
+/// ([`TcpConfig::legacy_wire`]): two `read_exact` calls per frame (length
+/// prefix, then payload into a resized `Vec`) and an owned, copying decode.
+/// Hello-frame routing and mailbox pushback behave as in the current path
+/// so the arms differ only in buffer handling and syscall pattern.
+fn reader_loop_legacy(
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    port: PortRef<Network>,
+    self_addr: Address,
+) {
     let mut len_buf = [0u8; 4];
     let mut payload = Vec::new();
     loop {
@@ -532,32 +969,47 @@ fn reader_loop(
             _ => return,
         }
         let len = u32::from_le_bytes(len_buf) as usize;
+        if len > shared.config.max_frame {
+            let _ = port.trigger(DeadLetter {
+                message: Message::new(Address::sim(0), self_addr),
+                reason: format!(
+                    "frame length {len} exceeds max_frame {}; dropping connection",
+                    shared.config.max_frame
+                ),
+            });
+            return;
+        }
         payload.resize(len, 0);
         match read_exact_retry(&mut stream, &mut payload, &shared) {
             Ok(true) => {}
             _ => return,
         }
+        let Some(&flags) = payload.first() else {
+            let _ = port.trigger(DeadLetter {
+                message: Message::new(Address::sim(0), self_addr),
+                reason: "undecodable frame: empty payload".into(),
+            });
+            continue;
+        };
+        if flags & FLAG_HELLO != 0 {
+            if let Some(peer) = parse_hello(&payload[1..]) {
+                register_route(&shared, &port, peer, &stream);
+            }
+            continue;
+        }
         shared.received.fetch_add(1, Ordering::Relaxed);
         shared
             .bytes_received
             .fetch_add((len + 4) as u64, Ordering::Relaxed);
-        match decode_frame(&shared, &payload) {
-            Ok(event) => {
-                match port.trigger_shared_feedback(event) {
-                    Ok(feedback) if feedback.pushback => {
-                        // A destination mailbox (Block lane) is saturated:
-                        // stop draining the socket for a beat. The kernel
-                        // receive buffer fills and TCP flow control pushes
-                        // back on the remote peer; pushback clears once the
-                        // mailbox drops below its low watermark, and reads
-                        // resume at full speed.
-                        shared.read_pauses.fetch_add(1, Ordering::Relaxed);
-                        // komlint: allow(blocking-sleep) reason="read-path pause on the transport's dedicated reader thread is the backpressure mechanism itself"
-                        std::thread::sleep(shared.config.read_pause);
-                    }
-                    _ => {}
+        match decode_frame_legacy(&shared, &payload) {
+            Ok(event) => match port.trigger_shared_feedback(event) {
+                Ok(feedback) if feedback.pushback => {
+                    shared.read_pauses.fetch_add(1, Ordering::Relaxed);
+                    // komlint: allow(blocking-sleep) reason="read-path pause on the transport's dedicated reader thread is the backpressure mechanism itself"
+                    std::thread::sleep(shared.config.read_pause);
                 }
-            }
+                _ => {}
+            },
             Err(err) => {
                 let _ = port.trigger(DeadLetter {
                     message: Message::new(Address::sim(0), self_addr),
@@ -568,8 +1020,8 @@ fn reader_loop(
     }
 }
 
-/// Reads exactly `buf` bytes, retrying on timeouts while not shut down.
-/// Returns `Ok(false)` on clean EOF before any byte.
+/// Blocking `read_exact` that retries through the 200 ms read timeout so the
+/// legacy reader can notice shutdown. Returns `Ok(false)` on EOF/shutdown.
 fn read_exact_retry(
     stream: &mut TcpStream,
     buf: &mut [u8],
@@ -593,6 +1045,94 @@ fn read_exact_retry(
         }
     }
     Ok(true)
+}
+
+/// Owned, copying decode for the legacy baseline arm: `Bytes` fields of the
+/// event copy out of the receive buffer instead of borrowing it.
+fn decode_frame_legacy(shared: &Shared, payload: &[u8]) -> Result<EventRef, NetworkError> {
+    let mut input = &payload[1..];
+    let tag = kompics_codec::varint::read_u64(&mut input)?;
+    if payload[0] & FLAG_COMPRESSED != 0 {
+        let body = kompics_codec::rle_decompress_bounded(input, shared.config.max_frame)?;
+        shared.registry.decode(tag, &body)
+    } else {
+        shared.registry.decode(tag, input)
+    }
+}
+
+/// Decodes and delivers one frame payload (`[flags][tag][body]`, already a
+/// zero-copy view of the receive buffer).
+fn handle_frame(
+    shared: &Arc<Shared>,
+    port: &PortRef<Network>,
+    self_addr: Address,
+    stream: &TcpStream,
+    payload: Bytes,
+) {
+    let Some(&flags) = payload.first() else {
+        let _ = port.trigger(DeadLetter {
+            message: Message::new(Address::sim(0), self_addr),
+            reason: "undecodable frame: empty payload".into(),
+        });
+        return;
+    };
+    if flags & FLAG_HELLO != 0 {
+        if let Some(peer) = parse_hello(&payload[1..]) {
+            register_route(shared, port, peer, stream);
+        }
+        return;
+    }
+    shared.received.fetch_add(1, Ordering::Relaxed);
+    shared
+        .bytes_received
+        .fetch_add((payload.len() + 4) as u64, Ordering::Relaxed);
+
+    let borrowed_before = bytes::serde_support::borrowed_views();
+    match decode_payload(shared, &payload, flags) {
+        Ok(event) => {
+            if bytes::serde_support::borrowed_views() > borrowed_before {
+                shared.borrowed_decodes.fetch_add(1, Ordering::Relaxed);
+            }
+            match port.trigger_shared_feedback(event) {
+                Ok(feedback) if feedback.pushback => {
+                    // A destination mailbox (Block lane) is saturated:
+                    // stop draining the socket for a beat. The kernel
+                    // receive buffer fills and TCP flow control pushes
+                    // back on the remote peer; pushback clears once the
+                    // mailbox drops below its low watermark, and reads
+                    // resume at full speed.
+                    shared.read_pauses.fetch_add(1, Ordering::Relaxed);
+                    // komlint: allow(blocking-sleep) reason="read-path pause on the transport's dedicated reader thread is the backpressure mechanism itself"
+                    std::thread::sleep(shared.config.read_pause);
+                }
+                _ => {}
+            }
+        }
+        Err(err) => {
+            let _ = port.trigger(DeadLetter {
+                message: Message::new(Address::sim(0), self_addr),
+                reason: format!("undecodable frame: {err}"),
+            });
+        }
+    }
+}
+
+/// Decodes a data frame payload into an event, borrowing `Bytes` fields
+/// from the receive buffer (or from the decompression buffer when the body
+/// was compressed).
+fn decode_payload(shared: &Shared, payload: &Bytes, flags: u8) -> Result<EventRef, NetworkError> {
+    let mut rest = &payload[1..];
+    let tag = kompics_codec::varint::read_u64(&mut rest)?;
+    let body_offset = payload.len() - rest.len();
+    let body = payload.slice(body_offset..);
+    if flags & FLAG_COMPRESSED != 0 {
+        let decompressed = kompics_codec::rle_decompress_bounded(&body, shared.config.max_frame)?;
+        shared
+            .registry
+            .decode_shared(tag, &Bytes::from(decompressed))
+    } else {
+        shared.registry.decode_shared(tag, &body)
+    }
 }
 
 impl ComponentDefinition for TcpNetwork {
@@ -673,5 +1213,17 @@ mod tests {
         let a = backoff_delay(&cfg, Address::local(1, 7), 3);
         let b = backoff_delay(&cfg, Address::local(2, 8), 3);
         assert_ne!(a, b, "different endpoints draw different jitter");
+    }
+
+    #[test]
+    fn hello_frame_roundtrips() {
+        let addr = Address::local(45678, 0);
+        let frame = hello_frame(addr);
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        assert_eq!(frame[4] & FLAG_HELLO, FLAG_HELLO);
+        let peer = parse_hello(&frame[5..]).unwrap();
+        assert!(peer.same_endpoint(&addr));
+        assert_eq!(parse_hello(&frame[5..8]), None, "truncated hello rejected");
     }
 }

@@ -28,6 +28,11 @@ use crate::registry::MessageRegistry;
 /// Largest payload we attempt to send in one datagram.
 const MAX_DATAGRAM: usize = 60 * 1024;
 
+/// Largest decompressed body accepted from one datagram. A datagram itself
+/// is bounded by the socket buffer, but an RLE body can expand ~64×; bound
+/// the expansion before allocating (mirrors `TcpConfig::max_frame`).
+const MAX_DECOMPRESSED: usize = 16 * 1024 * 1024;
+
 const FLAG_COMPRESSED: u8 = 0b0000_0001;
 
 struct Shared {
@@ -46,6 +51,10 @@ pub struct UdpNetwork {
     self_addr: Address,
     shared: Arc<Shared>,
     compress_threshold: Option<usize>,
+    /// Reusable encode buffer: `send` runs on the component's single
+    /// handler thread, so one buffer serves every outgoing datagram with
+    /// no per-send allocation (the TCP path's pool, degenerated to one).
+    encode_buf: Vec<u8>,
     receiver: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -101,6 +110,7 @@ impl UdpNetwork {
             self_addr,
             shared,
             compress_threshold,
+            encode_buf: Vec::new(),
             receiver: None,
         }
     }
@@ -122,27 +132,27 @@ impl UdpNetwork {
         let Some(header) = event_as::<Message>(event.as_ref()).copied() else {
             return;
         };
-        let frame = match self.encode(event.as_ref()) {
-            Ok(frame) => frame,
-            Err(err) => {
-                self.net.trigger(DeadLetter {
-                    message: header,
-                    reason: err.to_string(),
-                });
-                return;
-            }
-        };
-        if frame.len() > MAX_DATAGRAM {
+        if let Err(err) = self.encode(event.as_ref()) {
             self.net.trigger(DeadLetter {
                 message: header,
-                reason: format!("frame of {} bytes exceeds datagram limit", frame.len()),
+                reason: err.to_string(),
+            });
+            return;
+        }
+        if self.encode_buf.len() > MAX_DATAGRAM {
+            self.net.trigger(DeadLetter {
+                message: header,
+                reason: format!(
+                    "frame of {} bytes exceeds datagram limit",
+                    self.encode_buf.len()
+                ),
             });
             return;
         }
         match self
             .shared
             .socket
-            .send_to(&frame, header.destination.socket_addr())
+            .send_to(&self.encode_buf, header.destination.socket_addr())
         {
             Ok(_) => {
                 self.shared.sent.fetch_add(1, Ordering::Relaxed);
@@ -156,26 +166,26 @@ impl UdpNetwork {
         }
     }
 
-    fn encode(&self, event: &dyn kompics_core::event::Event) -> Result<Vec<u8>, NetworkError> {
-        let (tag, body) = self.shared.registry.encode(event)?;
-        let mut flags = 0u8;
-        let body = match self.compress_threshold {
-            Some(threshold) if body.len() > threshold => {
-                let compressed = kompics_codec::rle_compress(&body);
-                if compressed.len() < body.len() {
-                    flags |= FLAG_COMPRESSED;
-                    compressed
-                } else {
-                    body
+    /// Encodes `event` once, directly into the reusable buffer:
+    /// `[flags][varint tag][body]` (no length prefix — the datagram
+    /// boundary is the frame boundary).
+    fn encode(&mut self, event: &dyn kompics_core::event::Event) -> Result<(), NetworkError> {
+        let buf = &mut self.encode_buf;
+        buf.clear();
+        buf.push(0u8); // flags
+        let (_tag, body_start) = self.shared.registry.encode_into(event, buf)?;
+        if let Some(threshold) = self.compress_threshold {
+            if buf.len() - body_start > threshold {
+                let compressed = kompics_codec::rle_compress(&buf[body_start..]);
+                if compressed.len() < buf.len() - body_start {
+                    buf[0] |= FLAG_COMPRESSED;
+                    buf.truncate(body_start);
+                    // komlint: allow(wire-path-copy) reason="compression rewrites the body in place: the smaller compressed form replaces the original, it is not a frame copy"
+                    buf.extend_from_slice(&compressed);
                 }
             }
-            _ => body,
-        };
-        let mut frame = Vec::with_capacity(body.len() + 10);
-        frame.push(flags);
-        kompics_codec::varint::write_u64(&mut frame, tag);
-        frame.extend_from_slice(&body);
-        Ok(frame)
+        }
+        Ok(())
     }
 
     fn ensure_receiver(&mut self) {
@@ -224,12 +234,23 @@ fn receive_loop(
         let Ok(tag) = kompics_codec::varint::read_u64(&mut input) else {
             continue;
         };
+        // Copy the body once into a refcounted buffer and decode through
+        // `decode_shared`, so `bytes::Bytes` fields of the event borrow
+        // zero-copy views instead of copying again. Compressed bodies are
+        // size-bounded *before* allocation (an RLE bomb in a single
+        // datagram could otherwise expand ~64×).
         let decoded = if flags & FLAG_COMPRESSED != 0 {
-            kompics_codec::rle_decompress(input)
+            kompics_codec::rle_decompress_bounded(input, MAX_DECOMPRESSED)
                 .map_err(NetworkError::from)
-                .and_then(|body| shared.registry.decode(tag, &body))
+                .and_then(|body| {
+                    shared
+                        .registry
+                        .decode_shared(tag, &bytes::Bytes::from(body))
+                })
         } else {
-            shared.registry.decode(tag, input)
+            shared
+                .registry
+                .decode_shared(tag, &bytes::Bytes::copy_from_slice(input))
         };
         match decoded {
             Ok(event) => {

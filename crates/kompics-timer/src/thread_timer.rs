@@ -4,9 +4,15 @@
 //! and triggers the scheduled [`Timeout`] indications on the component's
 //! provided [`Timer`] port. One-shot and periodic schedules are supported;
 //! cancellation is lazy (cancelled entries are skipped when they surface).
+//!
+//! The timer thread cooperates with mailbox back-pressure: each firing uses
+//! the feedback-reporting trigger, and when a destination's bounded `Block`
+//! lane signals pushback the thread pauses briefly before delivering the
+//! next expiry, so a timeout flood cannot overrun a saturated component.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -56,6 +62,11 @@ struct TimerState {
 struct Shared {
     state: Mutex<TimerState>,
     cv: Condvar,
+    /// How long the timer thread pauses after a firing that reported
+    /// mailbox pushback.
+    pushback_pause: Duration,
+    /// Pauses taken because a firing reported pushback.
+    pushback_pauses: AtomicU64,
 }
 
 /// Real-time timer component: provides [`Timer`], backed by a timer thread.
@@ -70,14 +81,25 @@ pub struct ThreadTimer {
 }
 
 impl ThreadTimer {
-    /// Creates the timer component (call inside a `create` closure).
+    /// Creates the timer component (call inside a `create` closure). The
+    /// pushback pause defaults to 1 ms; tune it with
+    /// [`ThreadTimer::with_pushback_pause`].
     #[allow(clippy::new_without_default)]
     pub fn new() -> Self {
+        Self::with_pushback_pause(Duration::from_millis(1))
+    }
+
+    /// Like [`ThreadTimer::new`], with an explicit pause taken by the timer
+    /// thread whenever a delivered timeout reports mailbox pushback (a
+    /// saturated `Block` lane at the destination).
+    pub fn with_pushback_pause(pushback_pause: Duration) -> Self {
         let ctx = ComponentContext::new();
         let timer: ProvidedPort<Timer> = ProvidedPort::new();
         let shared = Arc::new(Shared {
             state: Mutex::new(TimerState::default()),
             cv: Condvar::new(),
+            pushback_pause,
+            pushback_pauses: AtomicU64::new(0),
         });
 
         timer.subscribe(|this: &mut ThreadTimer, req: &ScheduleTimeout| {
@@ -102,6 +124,12 @@ impl ThreadTimer {
             shared,
             thread: None,
         }
+    }
+
+    /// Number of pauses the timer thread has taken because a delivered
+    /// timeout reported mailbox pushback.
+    pub fn pushback_pauses(&self) -> u64 {
+        self.shared.pushback_pauses.load(Ordering::Relaxed)
     }
 
     fn schedule(
@@ -176,7 +204,17 @@ fn timer_loop(shared: Arc<Shared>, port: PortRef<Timer>) {
             if cancelled {
                 continue;
             }
-            let _ = port.trigger_shared(entry.event.clone());
+            match port.trigger_shared_feedback(entry.event.clone()) {
+                Ok(feedback) if feedback.pushback => {
+                    // A destination's Block lane is saturated: pause the
+                    // producer so a timeout flood respects mailbox
+                    // back-pressure instead of overrunning the component.
+                    shared.pushback_pauses.fetch_add(1, Ordering::Relaxed);
+                    // komlint: allow(blocking-sleep) reason="pushback pause on the dedicated timer thread is the backpressure response itself"
+                    std::thread::sleep(shared.pushback_pause);
+                }
+                _ => {}
+            }
             if let Some(period) = entry.period {
                 let mut state = shared.state.lock();
                 state.heap.push(Reverse(Entry {
@@ -336,6 +374,84 @@ mod tests {
         std::thread::sleep(Duration::from_millis(200));
         assert_eq!(count.load(Ordering::SeqCst), 0);
         assert!(fired.lock().is_empty());
+        system.shutdown();
+    }
+
+    /// Requires Timer; bounded Block mailbox and a slow handler, so a
+    /// timeout flood saturates the lane and signals pushback.
+    struct SlowTimerUser {
+        ctx: ComponentContext,
+        timer: RequiredPort<Timer>,
+        count: Arc<AtomicUsize>,
+    }
+    impl SlowTimerUser {
+        fn new(count: Arc<AtomicUsize>) -> Self {
+            let timer = RequiredPort::new();
+            timer.subscribe(|this: &mut SlowTimerUser, _t: &TestTimeout| {
+                std::thread::sleep(Duration::from_millis(3));
+                this.count.fetch_add(1, Ordering::SeqCst);
+            });
+            SlowTimerUser {
+                ctx: ComponentContext::new(),
+                timer,
+                count,
+            }
+        }
+    }
+    impl ComponentDefinition for SlowTimerUser {
+        fn context(&self) -> &ComponentContext {
+            &self.ctx
+        }
+        fn type_name(&self) -> &'static str {
+            "SlowTimerUser"
+        }
+        fn mailbox_spec(&self) -> MailboxSpec {
+            MailboxSpec::bounded_data(2, OverloadPolicy::Block)
+        }
+    }
+
+    #[test]
+    fn timeout_flood_respects_mailbox_pushback() {
+        let system = KompicsSystem::new(Config::default().workers(2));
+        let timer = system.create(|| ThreadTimer::with_pushback_pause(Duration::from_millis(1)));
+        let count = Arc::new(AtomicUsize::new(0));
+        let user = system.create({
+            let c = count.clone();
+            move || SlowTimerUser::new(c)
+        });
+        kompics_core::channel::connect(
+            &timer.provided_ref::<Timer>().unwrap(),
+            &user.required_ref::<Timer>().unwrap(),
+        )
+        .unwrap();
+        system.start(&timer);
+        system.start(&user);
+
+        const FLOOD: usize = 20;
+        user.on_definition(|u| {
+            for i in 0..FLOOD {
+                let id = TimeoutId::fresh();
+                let timeout = TestTimeout {
+                    base: Timeout { id },
+                    tag: i as u64,
+                };
+                u.timer.trigger(ScheduleTimeout::new(
+                    Duration::from_millis(1),
+                    id,
+                    Arc::new(timeout),
+                ));
+            }
+        })
+        .unwrap();
+
+        // Block admits everything, so nothing is lost — deliveries just
+        // slow down while the lane is saturated.
+        assert!(wait_for(&count, FLOOD, 10_000));
+        let pauses = timer.on_definition(|t| t.pushback_pauses()).unwrap();
+        assert!(
+            pauses > 0,
+            "timer thread should have paused on pushback at least once"
+        );
         system.shutdown();
     }
 

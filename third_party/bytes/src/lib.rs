@@ -1,53 +1,197 @@
-//! Offline stand-in for the `bytes` crate. The workspace declares the
-//! dependency but does not currently use it in code; this shim exists only
-//! so dependency resolution succeeds without a registry. A thin `Vec<u8>`
-//! wrapper is provided should future code need the basic types.
+//! Offline stand-in for the `bytes` crate with real `Bytes`/`BytesMut`
+//! semantics: `Bytes` is a refcounted view into a shared heap allocation
+//! (clone / slice / split are O(1) and never copy payload bytes), and
+//! `BytesMut` is a growable buffer whose contents can be *frozen* into a
+//! `Bytes` without copying.
+//!
+//! The one deliberate deviation from upstream: `BytesMut` has no
+//! shared-allocation split (upstream implements that with unsafe aliasing);
+//! instead [`BytesMut::freeze_to`] freezes a prefix zero-copy and carries
+//! the (typically tiny) unconsumed tail into a fresh buffer. This is the
+//! primitive the wire path uses to peel complete frames off a receive
+//! accumulator without copying frame bodies.
+//!
+//! With the `serde` feature (on by default) `Bytes` serializes as raw bytes
+//! and deserializes *zero-copy* whenever the decode runs inside a
+//! [`serde_support::with_source`] scope whose backing buffer contains the
+//! visited slice — the visitor reconstructs a refcounted sub-view instead
+//! of copying.
 
-use std::ops::Deref;
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
 
-/// A cheaply cloneable contiguous byte buffer (here: an `Arc<[u8]>`).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+/// A cheaply cloneable, sliceable view into a refcounted byte buffer.
+#[derive(Clone, Default)]
 pub struct Bytes {
-    inner: std::sync::Arc<[u8]>,
+    /// Backing allocation; `None` means the canonical empty buffer.
+    data: Option<Arc<Vec<u8>>>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
-    /// Creates an empty buffer.
-    pub fn new() -> Self {
+    /// Creates an empty buffer (no allocation).
+    pub const fn new() -> Self {
         Bytes {
-            inner: std::sync::Arc::from(&[][..]),
+            data: None,
+            start: 0,
+            end: 0,
         }
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view of `range` (indices relative to this view).
+    /// O(1); shares the backing allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice out of bounds: {begin}..{end} of {len}"
+        );
+        if begin == end {
+            return Bytes::new();
+        }
         Bytes {
-            inner: std::sync::Arc::from(data),
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + end,
         }
     }
 
-    /// Length in bytes.
-    pub fn len(&self) -> usize {
-        self.inner.len()
+    /// Splits off and returns the prefix `[0, at)`, leaving `self` as
+    /// `[at, len)`. O(1); both views share the allocation.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
     }
 
-    /// Whether the buffer is empty.
-    pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+    /// Splits off and returns the suffix `[at, len)`, leaving `self` as
+    /// `[0, at)`. O(1); both views share the allocation.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Advances the start of the view by `n` bytes. O(1).
+    ///
+    /// # Panics
+    /// Panics if `n > len`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+
+    /// Copies this view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.data {
+            Some(data) => &data[self.start..self.end],
+            None => &[],
+        }
+    }
+
+    /// If this is the only handle to the backing allocation, recovers the
+    /// underlying `Vec` (cleared) for reuse; otherwise returns `self`
+    /// unchanged. This is the writer-side buffer-recycling hook: a frame
+    /// whose refcount dropped to one after the flush hands its allocation
+    /// back to the encode pool.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        match self.data {
+            None => Ok(Vec::new()),
+            Some(arc) => match Arc::try_unwrap(arc) {
+                Ok(mut vec) => {
+                    vec.clear();
+                    Ok(vec)
+                }
+                Err(arc) => Err(Bytes {
+                    data: Some(arc),
+                    start: self.start,
+                    end: self.end,
+                }),
+            },
+        }
+    }
+
+    /// Address range `[base, base + len)` of the viewed bytes on the heap,
+    /// as plain integers. Used by the serde support to decide whether a
+    /// visited slice lies within a scoped source buffer; never dereferenced.
+    fn addr_range(&self) -> (usize, usize) {
+        let slice = self.as_slice();
+        let base = slice.as_ptr() as usize;
+        (base, base + slice.len())
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.inner
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
         Bytes {
-            inner: std::sync::Arc::from(v.into_boxed_slice()),
+            data: Some(Arc::new(v)),
+            start: 0,
+            end,
         }
     }
 }
@@ -58,8 +202,338 @@ impl From<&[u8]> for Bytes {
     }
 }
 
-/// A growable byte buffer.
-pub type BytesMut = Vec<u8>;
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(v: BytesMut) -> Self {
+        v.freeze()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`] without
+/// copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing `Vec` (no copy).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Clears the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Truncates to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Appends `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, byte: u8) {
+        self.buf.push(byte);
+    }
+
+    /// Resizes to `len`, filling new bytes with `value`.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.buf.resize(len, value);
+    }
+
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// The buffer contents, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Freezes the whole buffer into an immutable, refcounted [`Bytes`].
+    /// Zero-copy: the heap allocation moves behind an `Arc`.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Freezes the prefix `[0, at)` into a [`Bytes`] view, leaving `self`
+    /// holding the remaining tail `[at, len)`.
+    ///
+    /// The *frozen prefix is never copied*: the whole allocation moves
+    /// behind the returned `Bytes` and only the unconsumed tail (in the
+    /// wire path: a partial trailing frame, usually zero or a few bytes)
+    /// is copied into a fresh buffer.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn freeze_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.buf.len(), "freeze_to out of bounds");
+        let tail_len = self.buf.len() - at;
+        let mut tail = Vec::with_capacity(self.buf.capacity().max(tail_len));
+        tail.extend_from_slice(&self.buf[at..]);
+        let full = std::mem::replace(&mut self.buf, tail);
+        let mut frozen = Bytes::from(full);
+        frozen.split_off(at);
+        frozen
+    }
+
+    /// Recovers the underlying `Vec` (no copy).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut { buf: data.to_vec() }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({:?})", self.as_slice())
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.buf.extend(iter);
+    }
+}
+
+impl std::io::Write for BytesMut {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(feature = "serde")]
+pub mod serde_support {
+    //! Zero-copy decode support: a decoder that owns a refcounted source
+    //! buffer establishes a thread-local *source scope* around the
+    //! deserialize call; any [`Bytes`] field decoded inside the scope whose
+    //! visited slice lies within the source reconstructs a refcounted
+    //! sub-view of it instead of copying. Outside a scope (or when the
+    //! slice comes from elsewhere, e.g. a decompression buffer that is not
+    //! the scoped source) the field falls back to an owned copy.
+
+    use super::Bytes;
+    use std::cell::{Cell, RefCell};
+
+    thread_local! {
+        static SOURCE: RefCell<Option<Bytes>> = const { RefCell::new(None) };
+        static BORROWED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Restores the previous scope even if `f` panics.
+    struct ScopeGuard {
+        prev: Option<Bytes>,
+    }
+
+    impl Drop for ScopeGuard {
+        fn drop(&mut self) {
+            SOURCE.with(|s| *s.borrow_mut() = self.prev.take());
+        }
+    }
+
+    /// Runs `f` with `source` as the thread's zero-copy reconstruction
+    /// scope. Nestable; the previous scope is restored on exit (including
+    /// on panic).
+    pub fn with_source<R>(source: Bytes, f: impl FnOnce() -> R) -> R {
+        let prev = SOURCE.with(|s| s.borrow_mut().replace(source));
+        let _guard = ScopeGuard { prev };
+        f()
+    }
+
+    /// Cumulative number of zero-copy `Bytes` views reconstructed on this
+    /// thread. Callers (e.g. the TCP reader) read a delta around a decode
+    /// to count borrowed decodes.
+    pub fn borrowed_views() -> u64 {
+        BORROWED.with(|c| c.get())
+    }
+
+    /// Builds a `Bytes` for a slice visited during deserialization:
+    /// a zero-copy sub-view when `v` lies within the scoped source,
+    /// otherwise an owned copy.
+    pub(super) fn reconstruct(v: &[u8]) -> Bytes {
+        if v.is_empty() {
+            return Bytes::new();
+        }
+        let v_base = v.as_ptr() as usize;
+        let v_end = v_base + v.len();
+        SOURCE.with(|s| {
+            if let Some(src) = s.borrow().as_ref() {
+                let (base, end) = src.addr_range();
+                if v_base >= base && v_end <= end {
+                    BORROWED.with(|c| c.set(c.get() + 1));
+                    let offset = v_base - base;
+                    return src.slice(offset..offset + v.len());
+                }
+            }
+            Bytes::copy_from_slice(v)
+        })
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impl {
+    use super::{serde_support, Bytes};
+    use serde::de::{Deserialize, Deserializer, Error, Visitor};
+    use serde::ser::{Serialize, Serializer};
+    use std::fmt;
+
+    impl Serialize for Bytes {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bytes(self.as_slice())
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Bytes {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            struct BytesVisitor;
+            impl<'de> Visitor<'de> for BytesVisitor {
+                type Value = Bytes;
+                fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                    f.write_str("a byte buffer")
+                }
+                fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Bytes, E> {
+                    Ok(serde_support::reconstruct(v))
+                }
+                fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Bytes, E> {
+                    Ok(serde_support::reconstruct(v))
+                }
+                fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Bytes, E> {
+                    Ok(Bytes::from(v))
+                }
+                fn visit_str<E: Error>(self, v: &str) -> Result<Bytes, E> {
+                    Ok(serde_support::reconstruct(v.as_bytes()))
+                }
+            }
+            deserializer.deserialize_byte_buf(BytesVisitor)
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -71,5 +545,103 @@ mod tests {
         assert_eq!(&*b, &[1, 2, 3]);
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn slice_and_split_share_allocation() {
+        let b = Bytes::from((0u8..32).collect::<Vec<_>>());
+        let mid = b.slice(8..24);
+        assert_eq!(&*mid, &(8u8..24).collect::<Vec<_>>()[..]);
+        let inner = mid.slice(4..8);
+        assert_eq!(&*inner, &[12, 13, 14, 15]);
+
+        let mut rest = b.clone();
+        let head = rest.split_to(10);
+        assert_eq!(head.len(), 10);
+        assert_eq!(rest.len(), 22);
+        assert_eq!(rest[0], 10);
+
+        let mut lhs = b.clone();
+        let tail = lhs.split_off(30);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(lhs.len(), 30);
+        assert_eq!(tail[0], 30);
+    }
+
+    #[test]
+    fn advance_moves_start() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        b.advance(2);
+        assert_eq!(&*b, &[3, 4]);
+        b.advance(2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(b"hello world");
+        let before = m.as_slice().as_ptr() as usize;
+        let frozen = m.freeze();
+        let after = frozen.as_slice().as_ptr() as usize;
+        assert_eq!(before, after, "freeze must not move the bytes");
+        assert_eq!(&*frozen, b"hello world");
+    }
+
+    #[test]
+    fn freeze_to_keeps_tail_and_does_not_copy_prefix() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"frame-one|tail");
+        let prefix_ptr = m.as_slice().as_ptr() as usize;
+        let frozen = m.freeze_to(10);
+        assert_eq!(&*frozen, b"frame-one|");
+        assert_eq!(
+            frozen.as_slice().as_ptr() as usize,
+            prefix_ptr,
+            "frozen prefix must reference the original allocation"
+        );
+        assert_eq!(m.as_slice(), b"tail");
+        m.extend_from_slice(b"+more");
+        assert_eq!(m.as_slice(), b"tail+more");
+    }
+
+    #[test]
+    fn try_reclaim_returns_vec_only_when_unique() {
+        let b = Bytes::from(vec![9u8; 16]);
+        let keep = b.clone();
+        let b = b.try_reclaim().unwrap_err();
+        drop(keep);
+        let vec = b.try_reclaim().unwrap();
+        assert!(vec.is_empty());
+        assert!(vec.capacity() >= 16);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn reconstruct_borrows_inside_scope_and_copies_outside() {
+        let src = Bytes::from((0u8..64).collect::<Vec<_>>());
+        let before = serde_support::borrowed_views();
+        let view = serde_support::with_source(src.clone(), || {
+            serde_support::reconstruct(&src.as_slice()[16..32])
+        });
+        assert_eq!(serde_support::borrowed_views(), before + 1);
+        assert_eq!(&*view, &src.as_slice()[16..32]);
+        assert_eq!(
+            view.as_slice().as_ptr() as usize,
+            src.as_slice()[16..].as_ptr() as usize,
+            "in-scope reconstruction must be zero-copy"
+        );
+
+        let other = vec![7u8; 8];
+        let copied = serde_support::with_source(src, || serde_support::reconstruct(&other));
+        assert_eq!(&*copied, &other[..]);
+        assert_eq!(serde_support::borrowed_views(), before + 1);
     }
 }

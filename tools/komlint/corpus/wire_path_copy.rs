@@ -1,0 +1,30 @@
+// wire-path-copy: whole-buffer copies of frames/payloads/bodies inside the
+// wire-path crates. Checked under a kompics-network path; the same content
+// under any other path must stay clean (the rule is path-scoped).
+
+fn copies_whole_frame(frame: &[u8]) {
+    let body = frame.to_vec();
+    handle(body);
+}
+
+fn reassembles_payload(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(payload);
+}
+
+fn slices_instead(frame: Bytes) {
+    let body = frame.slice(5..);
+    handle_shared(body);
+}
+
+fn copy_far_from_wire_context(metrics: &[u8], out: &mut Vec<u8>) {
+    let snapshot = metrics.to_vec();
+    drop(snapshot);
+    out.extend_from_slice(metrics);
+}
+
+fn compresses_in_place(buf: &mut Vec<u8>, body_start: usize) {
+    let compressed = rle_compress(&buf[body_start..]);
+    buf.truncate(body_start);
+    // komlint: allow(wire-path-copy) reason="in-place body compression replaces the original bytes, it is not a second copy of the frame"
+    buf.extend_from_slice(&compressed);
+}

@@ -336,6 +336,33 @@ mod tests {
     }
 
     #[test]
+    fn wire_path_copy_is_scoped_to_wire_crates() {
+        // In scope (a kompics-network source path): the whole-frame copy
+        // and the payload reassembly are findings; the sliced access, the
+        // copy with no frame/payload/body context, and the reason-carrying
+        // allow at the in-place compression site are not.
+        let source = corpus("wire_path_copy.rs");
+        let in_scope: Vec<(&str, usize)> = check_file(
+            "crates/kompics-network/src/wire_path_copy.rs",
+            &source,
+            false,
+        )
+        .into_iter()
+        .map(|d| (d.rule, d.line))
+        .collect();
+        assert_eq!(
+            in_scope,
+            vec![("wire-path-copy", 6), ("wire-path-copy", 11)]
+        );
+        // Out of scope, the rule never fires — which also exposes the now
+        // pointless allow directive as unused.
+        assert_eq!(
+            rules_hit("wire_path_copy.rs", false),
+            vec![("unused-allow", 28)]
+        );
+    }
+
+    #[test]
     fn allow_directives_suppress_and_are_audited() {
         // A reason-less allow still suppresses (line 10 stays quiet) but is
         // flagged itself, so `--deny` fails until the reason is written.
@@ -376,14 +403,20 @@ mod tests {
         // good example must check completely clean — so `--explain` can
         // never drift from the matchers.
         for rule in super::rules::RULES {
-            let bad = check_file("bad.rs", rule.bad_example, rule.component_only);
+            // Path-scoped rules only fire under their prefixes, so the
+            // example must be checked as if it lived there.
+            let in_scope = |name: &str| match rule.path_prefixes.first() {
+                Some(prefix) => format!("{prefix}/src/{name}"),
+                None => name.to_string(),
+            };
+            let bad = check_file(&in_scope("bad.rs"), rule.bad_example, rule.component_only);
             assert!(
                 bad.iter().any(|d| d.rule == rule.id),
                 "{}: bad example does not trip the rule: {:?}",
                 rule.id,
                 bad
             );
-            let good = check_file("good.rs", rule.good_example, rule.component_only);
+            let good = check_file(&in_scope("good.rs"), rule.good_example, rule.component_only);
             assert!(
                 good.is_empty(),
                 "{}: good example is not clean: {:?}",

@@ -32,6 +32,10 @@ pub struct Rule {
     /// When true the rule only applies to component-code crates
     /// (`cats`, `kompics-protocols`, `examples`), not runtime internals.
     pub component_only: bool,
+    /// When non-empty the rule only applies to files whose (normalized)
+    /// path starts with one of these prefixes — for lints that police a
+    /// specific subsystem (e.g. the wire path) rather than the whole tree.
+    pub path_prefixes: &'static [&'static str],
     /// Why the pattern is a problem — shown by `--explain`.
     pub rationale: &'static str,
     /// A minimal violating snippet; must actually trip the rule (enforced
@@ -50,6 +54,7 @@ pub const RULES: &[Rule] = &[
         hint: "inject a ClockRef (kompics_core::clock) or accept the time source as a \
                constructor argument so simulation can virtualize time",
         component_only: false,
+        path_prefixes: &[],
         rationale: "the simulation replays a whole system in virtual time from a seed; \
                     a component that reads the machine clock sees different values on \
                     every run, so same-seed runs diverge and bugs stop reproducing",
@@ -76,6 +81,7 @@ pub const RULES: &[Rule] = &[
                simulated metrics and traces stop being byte-identical across \
                same-seed runs",
         component_only: false,
+        path_prefixes: &[],
         rationale: "the telemetry suite guarantees byte-identical metric and trace \
                     exports across same-seed simulation runs; a raw clock read at a \
                     record/observe call site smuggles host time into the export and \
@@ -90,6 +96,7 @@ pub const RULES: &[Rule] = &[
         hint: "a thread-seeded RNG breaks deterministic replay; take an explicit seed \
                (e.g. SmallRng::seed_from_u64) from configuration",
         component_only: false,
+        path_prefixes: &[],
         rationale: "protocols like Cyclon shuffle and the failure detector make \
                     randomized decisions; if the randomness is seeded from the \
                     environment instead of the scenario seed, a simulated failure \
@@ -115,6 +122,7 @@ pub const RULES: &[Rule] = &[
                kompics_core::sched::affinity::home_shard (seedless splitmix64) \
                or another fixed-key hash instead",
         component_only: false,
+        path_prefixes: &[],
         rationale: "std's RandomState is seeded once per process, so a hasher-derived \
                     home shard places the same component on different workers in \
                     different runs — execution interleavings, and therefore any bug \
@@ -129,6 +137,7 @@ pub const RULES: &[Rule] = &[
         hint: "handlers must not block a scheduler worker; use a timer port \
                (kompics-timer) or simulated time instead",
         component_only: false,
+        path_prefixes: &[],
         rationale: "a handler runs on one of a small fixed pool of scheduler workers; \
                     sleeping in it stalls every component assigned to that worker, and \
                     in simulation there is no wall time to sleep against at all",
@@ -142,6 +151,7 @@ pub const RULES: &[Rule] = &[
         hint: "blocking a worker on a channel can deadlock the scheduler; subscribe a \
                handler for the reply event instead",
         component_only: false,
+        path_prefixes: &[],
         rationale: "the component that would send the awaited reply may be scheduled \
                     on the same worker that is now parked in recv(): the reply can \
                     never be produced and the scheduler deadlocks — the exact failure \
@@ -156,6 +166,7 @@ pub const RULES: &[Rule] = &[
         hint: "raw threads escape supervision and deterministic replay; create a \
                component on the scheduler instead",
         component_only: false,
+        path_prefixes: &[],
         rationale: "a raw thread has no supervisor (its panics vanish instead of \
                     escalating through the fault tree) and the simulation scheduler \
                     cannot interpose on it, so anything it does is invisible to \
@@ -170,6 +181,7 @@ pub const RULES: &[Rule] = &[
         hint: "scope the guard to a single expression (`state.lock().field`) or move \
                the shared state into a component and message it",
         component_only: true,
+        path_prefixes: &[],
         rationale: "a guard held across the rest of a handler is held across every \
                     trigger the handler performs; if any downstream handler takes the \
                     same lock the system deadlocks, and lock-step interleavings are \
@@ -195,12 +207,36 @@ pub const RULES: &[Rule] = &[
                check capacity before pushing; an unbounded queue under a flood grows \
                memory without bound and starves the control lane",
         component_only: false,
+        path_prefixes: &[],
         rationale: "every queue in the runtime is bounded with an explicit overload \
                     policy (backpressure, drop, coalesce); a raw push into a \
                     queue-named collection bypasses that discipline, so a flood grows \
                     memory without bound while the control lane starves behind it",
         bad_example: "fn f(&mut self, ev: Event) {\n    self.queue.push_back(ev);\n}\n",
         good_example: "fn f(&mut self, ev: Event) {\n    if let Err(rejected) = self.mailbox.offer(Lane::Data, ev) {\n        self.shed(rejected);\n    }\n}\n",
+    },
+    Rule {
+        id: "wire-path-copy",
+        matcher: Matcher::Contextual {
+            needles: &[".to_vec()", ".extend_from_slice("],
+            markers: &["frame", "payload", "body"],
+            window: 2,
+        },
+        message: "whole-buffer copy on the zero-copy wire path",
+        hint: "the wire path carries frames as refcounted `bytes::Bytes`: slice or \
+               `split_to`/`freeze_to` instead of copying, and decode through \
+               `decode_shared` so payload fields borrow the receive buffer; if the \
+               copy is genuinely required (in-place compression, retained/coalesced \
+               events), allow it with a reason",
+        component_only: false,
+        path_prefixes: &["crates/kompics-network", "crates/kompics-codec"],
+        rationale: "the encode-once/decode-borrowed wire path exists so a frame body \
+                    crosses the transport with zero copies; a stray to_vec() or \
+                    extend_from_slice of a frame/payload/body silently reintroduces \
+                    the allocation-per-message cost the subsystem was rebuilt to \
+                    remove, and nothing else will catch the regression",
+        bad_example: "fn deliver(&mut self, frame: &[u8]) {\n    let body = frame.to_vec();\n    self.handle(body);\n}\n",
+        good_example: "fn deliver(&mut self, frame: Bytes) {\n    let body = frame.slice(5..);\n    self.handle(body);\n}\n",
     },
 ];
 
@@ -313,6 +349,11 @@ pub fn check_file(path: &str, source: &str, component_code: bool) -> Vec<Diagnos
         }
         for rule in RULES {
             if rule.component_only && !component_code {
+                continue;
+            }
+            if !rule.path_prefixes.is_empty()
+                && !rule.path_prefixes.iter().any(|p| path.starts_with(p))
+            {
                 continue;
             }
             for col in match_rule(rule, &lines, idx) {
